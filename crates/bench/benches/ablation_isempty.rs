@@ -1,0 +1,74 @@
+//! Ablation (paper §5.1, "Alternative semantic locks"): `isEmpty` as a
+//! derivative of `size` versus as a primitive with its own zero-crossing
+//! lock.
+//!
+//! The paper's example: transactions running
+//! `if (!map.isEmpty()) map.put(unique_key, v)` *should* commute, but the
+//! derived isEmpty takes the full size lock and gets doomed by every
+//! committed insert. The primitive variant only conflicts when the size
+//! crosses zero.
+
+use jbb::TxnRng;
+use sim::{run_tm, TmWorkload};
+use stm::Txn;
+use txcollections::TransactionalMap;
+
+const CPUS: usize = 16;
+const TXNS: usize = 200;
+const THINK: u64 = 20_000;
+
+struct Workload {
+    map: TransactionalMap<u64, u64>,
+    primitive: bool,
+}
+
+impl TmWorkload for Workload {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        TXNS
+    }
+    fn run(&self, cpu: usize, seq: usize, tx: &mut Txn) {
+        let mut rng = TxnRng::new(7, cpu, seq);
+        sim::think(THINK / 2);
+        let empty = if self.primitive {
+            self.map.is_empty_primitive(tx)
+        } else {
+            self.map.is_empty(tx)
+        };
+        if !empty {
+            // Unique key per (cpu, seq): the puts themselves never conflict.
+            let key = (cpu as u64) << 32 | (seq as u64) << 8 | rng.below(256);
+            self.map.put_discard(tx, key, 1);
+        }
+        sim::think(THINK / 2);
+    }
+}
+
+fn run(primitive: bool) -> (u64, u64, u64) {
+    let map = TransactionalMap::with_capacity(65536);
+    stm::atomic(|tx| {
+        map.put_discard(tx, u64::MAX, 0); // never empty during the run
+    });
+    let w = Workload { map, primitive };
+    let r = run_tm(CPUS, &w);
+    (
+        r.commits,
+        r.violations_memory + r.violations_semantic,
+        r.makespan,
+    )
+}
+
+fn main() {
+    println!("Ablation: derived isEmpty (size lock) vs primitive isEmpty (zero-crossing lock)");
+    println!("workload: if !map.is_empty() {{ put(unique_key) }}  — 16 CPUs");
+    let (c, v, m) = run(false);
+    println!(
+        "  derived  : {c} commits, {v} violations, makespan {m} cycles ({:.3} viol/txn)",
+        v as f64 / c as f64
+    );
+    let (c, v, m) = run(true);
+    println!(
+        "  primitive: {c} commits, {v} violations, makespan {m} cycles ({:.3} viol/txn)",
+        v as f64 / c as f64
+    );
+    println!("\nthe primitive variant eliminates the false size-lock conflicts (§5.1).");
+}

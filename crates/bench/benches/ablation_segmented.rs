@@ -1,0 +1,93 @@
+//! Ablation (paper §2.4): does a ConcurrentHashMap-style **segmented** hash
+//! map solve the long-transaction conflict problem?
+//!
+//! The paper's argument: segmentation "statistically reduces the chances of
+//! conflicts" for single operations, but "the more updates to the hash
+//! table, the more segments likely to be touched. If two long-running
+//! transactions perform a number of insert or remove operations on
+//! different keys, there is a large probability that at least one key from
+//! each transaction will end up in the same segment."
+//!
+//! This harness sweeps the number of updates per transaction and reports
+//! violation rates for: one plain map, a 16-segment map, and a
+//! TransactionalMap — reproducing the argument quantitatively.
+
+use jbb::TxnRng;
+use sim::{run_tm, TmWorkload};
+use stm::Txn;
+use txcollections::TransactionalMap;
+use txstruct::{SegmentedTxHashMap, TxHashMap};
+
+const KEY_SPACE: u64 = 4096;
+const CPUS: usize = 16;
+const TXNS: usize = 200;
+const THINK: u64 = 20_000;
+
+enum Flavor {
+    Plain(TxHashMap<u64, u64>),
+    Segmented(SegmentedTxHashMap<u64, u64>),
+    Wrapped(TransactionalMap<u64, u64>),
+}
+
+struct Workload {
+    map: Flavor,
+    ops_per_txn: usize,
+}
+
+impl TmWorkload for Workload {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        TXNS
+    }
+    fn run(&self, cpu: usize, seq: usize, tx: &mut Txn) {
+        let mut rng = TxnRng::new(99, cpu, seq);
+        for i in 0..self.ops_per_txn {
+            sim::think(THINK / self.ops_per_txn as u64);
+            // Disjoint keys per CPU: every conflict is an artifact.
+            let key = (cpu as u64) * 10_000 + rng.below(KEY_SPACE);
+            match &self.map {
+                Flavor::Plain(m) => {
+                    m.insert(tx, key, i as u64);
+                }
+                Flavor::Segmented(m) => {
+                    m.insert(tx, key, i as u64);
+                }
+                Flavor::Wrapped(m) => {
+                    m.put_discard(tx, key, i as u64);
+                }
+            }
+        }
+    }
+}
+
+fn violations(map: Flavor, ops: usize) -> (u64, f64) {
+    let w = Workload {
+        map,
+        ops_per_txn: ops,
+    };
+    let r = run_tm(CPUS, &w);
+    let v = r.violations_memory + r.violations_semantic;
+    (v, v as f64 / r.commits as f64)
+}
+
+fn main() {
+    println!("Ablation: segmented hash map vs TransactionalMap (16 CPUs, disjoint keys)");
+    println!(
+        "{:>12} {:>22} {:>22} {:>22}",
+        "ops/txn", "plain (viol/txn)", "16-segment (viol/txn)", "wrapped (viol/txn)"
+    );
+    for ops in [1usize, 2, 4, 8, 16] {
+        let (pv, pr) = violations(Flavor::Plain(TxHashMap::with_capacity(65536)), ops);
+        let (sv, sr) = violations(
+            Flavor::Segmented(SegmentedTxHashMap::with_capacity(16, 4096)),
+            ops,
+        );
+        let (wv, wr) = violations(Flavor::Wrapped(TransactionalMap::with_capacity(65536)), ops);
+        println!(
+            "{ops:>12} {pv:>12} ({pr:>6.3}) {sv:>12} ({sr:>6.3}) {wv:>12} ({wr:>6.3})"
+        );
+    }
+    println!(
+        "\nsegmentation helps single-op transactions but degrades as transactions \
+         grow; the wrapper stays conflict-free (keys are disjoint)."
+    );
+}

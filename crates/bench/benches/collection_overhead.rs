@@ -1,0 +1,125 @@
+//! Criterion microbenches of the single-threaded overhead each layer adds:
+//! lock-based map < bare transactional map < TransactionalMap (semantic
+//! locks + buffers + handlers). The paper's design accepts this per-op
+//! overhead in exchange for long-transaction scalability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stm::atomic;
+use txcollections::{TransactionalMap, TransactionalSortedMap};
+use txstruct::{LockHashMap, TxHashMap, TxTreeMap};
+
+const N: u64 = 1024;
+
+fn bench_maps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("map_get");
+
+    let lock: LockHashMap<u64, u64> = LockHashMap::new();
+    for k in 0..N {
+        lock.insert(k, k);
+    }
+    g.bench_function("lock_hashmap", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % N;
+            black_box(lock.get(&k))
+        });
+    });
+
+    let bare: TxHashMap<u64, u64> = TxHashMap::with_capacity(2 * N as usize);
+    atomic(|tx| {
+        for k in 0..N {
+            bare.insert(tx, k, k);
+        }
+    });
+    g.bench_function("bare_txhashmap", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % N;
+            atomic(|tx| black_box(bare.get(tx, &k)))
+        });
+    });
+
+    let wrapped: TransactionalMap<u64, u64> = TransactionalMap::with_capacity(2 * N as usize);
+    atomic(|tx| {
+        for k in 0..N {
+            wrapped.put_discard(tx, k, k);
+        }
+    });
+    g.bench_function("transactional_map", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % N;
+            atomic(|tx| black_box(wrapped.get(tx, &k)))
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("map_put");
+    g.bench_function("bare_txhashmap", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % N;
+            atomic(|tx| bare.insert(tx, k, k + 1))
+        });
+    });
+    g.bench_function("transactional_map_put", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % N;
+            atomic(|tx| wrapped.put(tx, k, k + 1))
+        });
+    });
+    g.bench_function("transactional_map_put_discard", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % N;
+            atomic(|tx| wrapped.put_discard(tx, k, k + 1))
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sorted_range16");
+    let bare_tree: TxTreeMap<u64, u64> = TxTreeMap::new();
+    atomic(|tx| {
+        for k in 0..N {
+            bare_tree.insert(tx, k, k);
+        }
+    });
+    g.bench_function("bare_txtreemap", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % (N - 16);
+            atomic(|tx| {
+                black_box(bare_tree.range_entries(
+                    tx,
+                    std::ops::Bound::Included(&k),
+                    std::ops::Bound::Excluded(&(k + 16)),
+                ))
+            })
+        });
+    });
+    let wrapped_tree: TransactionalSortedMap<u64, u64> = TransactionalSortedMap::new();
+    atomic(|tx| {
+        for k in 0..N {
+            wrapped_tree.put_discard(tx, k, k);
+        }
+    });
+    g.bench_function("transactional_sortedmap", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7) % (N - 16);
+            atomic(|tx| {
+                black_box(wrapped_tree.range_entries(
+                    tx,
+                    std::ops::Bound::Included(k),
+                    std::ops::Bound::Excluded(k + 16),
+                ))
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_maps);
+criterion_main!(benches);

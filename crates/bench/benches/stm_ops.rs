@@ -1,0 +1,95 @@
+//! Criterion microbenches for the raw STM substrate: per-operation costs of
+//! reads, writes, commits, nesting, and handlers (wall-clock, host machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stm::{atomic, TVar};
+
+fn bench_stm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm");
+
+    g.bench_function("empty_txn", |b| {
+        b.iter(|| atomic(|_tx| black_box(1)));
+    });
+
+    let v = TVar::new(42u64);
+    g.bench_function("read_1var", |b| {
+        b.iter(|| atomic(|tx| black_box(v.read(tx))));
+    });
+
+    g.bench_function("write_1var", |b| {
+        b.iter(|| atomic(|tx| v.write(tx, black_box(7))));
+    });
+
+    g.bench_function("rmw_1var", |b| {
+        b.iter(|| {
+            atomic(|tx| {
+                let x = v.read(tx);
+                v.write(tx, x + 1);
+            })
+        });
+    });
+
+    let vars: Vec<TVar<u64>> = (0..64).map(TVar::new).collect();
+    g.bench_function("read_64vars", |b| {
+        b.iter(|| {
+            atomic(|tx| {
+                let mut s = 0;
+                for v in &vars {
+                    s += v.read(tx);
+                }
+                black_box(s)
+            })
+        });
+    });
+
+    g.bench_function("write_64vars", |b| {
+        b.iter(|| {
+            atomic(|tx| {
+                for (i, v) in vars.iter().enumerate() {
+                    v.write(tx, i as u64);
+                }
+            })
+        });
+    });
+
+    g.bench_function("closed_nested_rmw", |b| {
+        b.iter(|| {
+            atomic(|tx| {
+                tx.closed(|tx| {
+                    let x = v.read(tx);
+                    v.write(tx, x + 1);
+                })
+            })
+        });
+    });
+
+    g.bench_function("open_nested_rmw", |b| {
+        b.iter(|| {
+            atomic(|tx| {
+                let v2 = v.clone();
+                tx.open(move |otx| {
+                    let x = v2.read(otx);
+                    v2.write(otx, x + 1);
+                })
+            })
+        });
+    });
+
+    g.bench_function("commit_handler_registration", |b| {
+        b.iter(|| {
+            atomic(|tx| {
+                tx.on_commit_top(|_| {});
+            })
+        });
+    });
+
+    g.bench_function("read_committed_untracked", |b| {
+        b.iter(|| black_box(v.read_committed()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stm);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 1 — TestMap: 80% lookups / 10% inserts / 10% removals on one
+//! shared `Map` from long transactions.
+//!
+//! Series: Java HashMap (locks), Atomos HashMap (bare transactional map —
+//! header/size-field conflicts), Atomos TransactionalMap (semantic
+//! concurrency control).
+
+use bench::testmap::{LockMapFlavor, TestMapLock, TestMapTm, TmMapFlavor};
+use bench::{print_figure, throughput, to_series, CPU_COUNTS};
+use txcollections::TransactionalMap;
+use txstruct::{LockHashMap, TxHashMap};
+
+const TXNS_PER_CPU: usize = 400;
+const SEED: u64 = 0xF161_ABCD; // deterministic workload seed
+
+fn run_java(cpus: usize) -> (u64, u64, u64) {
+    let w = TestMapLock {
+        map: LockMapFlavor::Hash(LockHashMap::new()),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_lock(cpus, &w);
+    (r.commits, r.makespan, r.blocked_cycles / 1000)
+}
+
+fn run_bare(cpus: usize) -> (u64, u64, u64) {
+    let w = TestMapTm {
+        map: TmMapFlavor::BareHash(TxHashMap::with_capacity(2 * bench::testmap::KEY_SPACE as usize)),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_tm(cpus, &w);
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn run_wrapped(cpus: usize) -> (u64, u64, u64) {
+    let w = TestMapTm {
+        map: TmMapFlavor::WrappedHash(TransactionalMap::with_capacity(
+            2 * bench::testmap::KEY_SPACE as usize,
+        )),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_tm(cpus, &w);
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn main() {
+    let (c, m, _) = run_java(1);
+    let base = throughput(c, m);
+
+    let sweep = |f: &dyn Fn(usize) -> (u64, u64, u64)| -> Vec<(usize, u64, u64, u64)> {
+        CPU_COUNTS
+            .iter()
+            .map(|&p| {
+                let (commits, makespan, conflicts) = f(p);
+                (p, commits, makespan, conflicts)
+            })
+            .collect()
+    };
+
+    let series = vec![
+        to_series("Java HashMap", base, sweep(&run_java)),
+        to_series("Atomos HashMap", base, sweep(&run_bare)),
+        to_series("Atomos TransactionalMap", base, sweep(&run_wrapped)),
+    ];
+    print_figure(
+        "Figure 1: TestMap (speedup vs 1-CPU Java; cf = violations/blocked-kcycles)",
+        &series,
+    );
+}

@@ -1,0 +1,79 @@
+//! Figure 2 — TestSortedMap: TestMap with point lookups replaced by
+//! `subMap` range lookups (median of the returned range).
+//!
+//! Series: Java TreeMap (locks), Atomos TreeMap (bare transactional
+//! red-black tree — rebalancing conflicts), Atomos TransactionalSortedMap.
+
+use bench::testmap::{LockMapFlavor, TestMapLock, TestMapTm, TmMapFlavor};
+use bench::{print_figure, throughput, to_series, CPU_COUNTS};
+use txcollections::TransactionalSortedMap;
+use txstruct::{LockTreeMap, TxTreeMap};
+
+const TXNS_PER_CPU: usize = 300;
+const SEED: u64 = 0xF162_0001;
+
+fn run_java(cpus: usize) -> (u64, u64, u64) {
+    let w = TestMapLock {
+        map: LockMapFlavor::Tree(LockTreeMap::new()),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_lock(cpus, &w);
+    (r.commits, r.makespan, r.blocked_cycles / 1000)
+}
+
+fn run_bare(cpus: usize) -> (u64, u64, u64) {
+    let w = TestMapTm {
+        map: TmMapFlavor::BareTree(TxTreeMap::new()),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_tm(cpus, &w);
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn run_wrapped(cpus: usize) -> (u64, u64, u64) {
+    let w = TestMapTm {
+        map: TmMapFlavor::WrappedTree(TransactionalSortedMap::new()),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_tm(cpus, &w);
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn main() {
+    let (c, m, _) = run_java(1);
+    let base = throughput(c, m);
+
+    let sweep = |f: &dyn Fn(usize) -> (u64, u64, u64)| -> Vec<(usize, u64, u64, u64)> {
+        CPU_COUNTS
+            .iter()
+            .map(|&p| {
+                let (commits, makespan, conflicts) = f(p);
+                (p, commits, makespan, conflicts)
+            })
+            .collect()
+    };
+
+    let series = vec![
+        to_series("Java TreeMap", base, sweep(&run_java)),
+        to_series("Atomos TreeMap", base, sweep(&run_bare)),
+        to_series("Atomos Txnl SortedMap", base, sweep(&run_wrapped)),
+    ];
+    print_figure(
+        "Figure 2: TestSortedMap (speedup vs 1-CPU Java; cf = violations/blocked-kcycles)",
+        &series,
+    );
+}

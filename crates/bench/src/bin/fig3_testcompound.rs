@@ -1,0 +1,86 @@
+//! Figure 3 — TestCompound: two map operations separated by computation,
+//! composed atomically.
+//!
+//! The Java version must hold one coarse lock across both operations *and*
+//! the intermediate computation, so it stops scaling; the Atomos
+//! TransactionalMap composes the operations in one transaction and scales.
+//! (This is the composability argument: plain open nesting could not even
+//! express this atomically.)
+
+use bench::testmap::{LockMapFlavor, TestCompoundLock, TestCompoundTm, TmMapFlavor};
+use bench::{print_figure, throughput, to_series, CPU_COUNTS};
+use txcollections::TransactionalMap;
+use txstruct::{LockHashMap, TxHashMap};
+
+const TXNS_PER_CPU: usize = 300;
+const SEED: u64 = 0xF163_0007;
+
+fn run_java(cpus: usize) -> (u64, u64, u64) {
+    let w = TestCompoundLock {
+        map: LockMapFlavor::Hash(LockHashMap::new()),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_lock(cpus, &w);
+    (r.commits, r.makespan, r.blocked_cycles / 1000)
+}
+
+fn run_bare(cpus: usize) -> (u64, u64, u64) {
+    let w = TestCompoundTm {
+        map: TmMapFlavor::BareHash(TxHashMap::with_capacity(
+            2 * bench::testmap::KEY_SPACE as usize,
+        )),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_tm(cpus, &w);
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn run_wrapped(cpus: usize) -> (u64, u64, u64) {
+    let w = TestCompoundTm {
+        map: TmMapFlavor::WrappedHash(TransactionalMap::with_capacity(
+            2 * bench::testmap::KEY_SPACE as usize,
+        )),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+    };
+    w.map.preload();
+    let r = sim::run_tm(cpus, &w);
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn main() {
+    let (c, m, _) = run_java(1);
+    let base = throughput(c, m);
+
+    let sweep = |f: &dyn Fn(usize) -> (u64, u64, u64)| -> Vec<(usize, u64, u64, u64)> {
+        CPU_COUNTS
+            .iter()
+            .map(|&p| {
+                let (commits, makespan, conflicts) = f(p);
+                (p, commits, makespan, conflicts)
+            })
+            .collect()
+    };
+
+    let series = vec![
+        to_series("Java HashMap (coarse)", base, sweep(&run_java)),
+        to_series("Atomos HashMap", base, sweep(&run_bare)),
+        to_series("Atomos TransactionalMap", base, sweep(&run_wrapped)),
+    ];
+    print_figure(
+        "Figure 3: TestCompound (speedup vs 1-CPU Java; cf = violations/blocked-kcycles)",
+        &series,
+    );
+}

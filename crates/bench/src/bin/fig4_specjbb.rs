@@ -1,0 +1,73 @@
+//! Figure 4 — SPECjbb2000 in the high-contention single-warehouse
+//! configuration, five TPC-C style operations each run as one atomic
+//! transaction.
+//!
+//! Series: Java (per-structure locks), Atomos Baseline (plain structures),
+//! Atomos Open (open-nested counters), Atomos Transactional (+
+//! TransactionalMap / TransactionalSortedMap on historyTable, orderTable,
+//! newOrderTable).
+
+use bench::{print_figure, throughput, to_series, CPU_COUNTS};
+use jbb::{JbbLockWorkload, JbbTmWorkload, LockWarehouse, TmConfig, TmWarehouse, DEFAULT_THINK};
+
+const TXNS_PER_CPU: usize = 96;
+const SEED: u64 = 0xF164_0042;
+
+fn run_java(cpus: usize) -> (u64, u64, u64) {
+    let w = JbbLockWorkload {
+        warehouse: LockWarehouse::new(),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+        think: DEFAULT_THINK,
+    };
+    let r = sim::run_lock(cpus, &w);
+    (r.commits, r.makespan, r.blocked_cycles / 1000)
+}
+
+fn run_tm(config: TmConfig, cpus: usize) -> (u64, u64, u64) {
+    let w = JbbTmWorkload {
+        warehouse: TmWarehouse::new(config),
+        txns_per_cpu: TXNS_PER_CPU,
+        seed: SEED,
+        think: DEFAULT_THINK,
+    };
+    let r = sim::run_tm(cpus, &w);
+    w.warehouse
+        .check_invariants()
+        .expect("warehouse invariants violated");
+    (
+        r.commits,
+        r.makespan,
+        r.violations_memory + r.violations_semantic,
+    )
+}
+
+fn main() {
+    let (c, m, _) = run_java(1);
+    let base = throughput(c, m);
+
+    let sweep = |f: &dyn Fn(usize) -> (u64, u64, u64)| -> Vec<(usize, u64, u64, u64)> {
+        CPU_COUNTS
+            .iter()
+            .map(|&p| {
+                let (commits, makespan, conflicts) = f(p);
+                (p, commits, makespan, conflicts)
+            })
+            .collect()
+    };
+
+    let series = vec![
+        to_series("Java", base, sweep(&run_java)),
+        to_series("Atomos Baseline", base, sweep(&|p| {
+            run_tm(TmConfig::Baseline, p)
+        })),
+        to_series("Atomos Open", base, sweep(&|p| run_tm(TmConfig::Open, p))),
+        to_series("Atomos Transactional", base, sweep(&|p| {
+            run_tm(TmConfig::Transactional, p)
+        })),
+    ];
+    print_figure(
+        "Figure 4: SPECjbb2000, single warehouse (speedup vs 1-CPU Java; cf = violations/blocked-kcycles)",
+        &series,
+    );
+}

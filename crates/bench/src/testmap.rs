@@ -1,0 +1,339 @@
+//! The TestMap / TestSortedMap / TestCompound micro-benchmark workloads
+//! (paper §6.2, after Adl-Tabatabai et al.): multi-threaded access to a
+//! single shared map, "a mixture of operations with a breakdown of 80%
+//! lookups, 10% insertions, and 10% removals", each operation surrounded by
+//! computation to emulate long-running transactions.
+
+use jbb::TxnRng;
+use sim::{LockRecorder, LockWorkload, TmWorkload};
+use std::ops::Bound;
+use stm::Txn;
+use txcollections::{TransactionalMap, TransactionalSortedMap};
+use txstruct::{LockHashMap, LockTreeMap, TxHashMap, TxTreeMap};
+
+/// Key space of the shared map.
+pub const KEY_SPACE: u64 = 4096;
+/// Keys preloaded before measurement (half the key space).
+pub const PRELOAD: u64 = KEY_SPACE / 2;
+/// Surrounding computation per operation, in cycles. Chosen so that data-
+/// structure work is small relative to the transaction body, as in the
+/// paper's long-transaction setup (the op cost in TM mode — counted per
+/// `TVar` access — tops out near 1.5k cycles for a range lookup).
+pub const THINK: u64 = 20_000;
+/// Virtual cost of one lock-based hash op (calibrated to the TM-mode
+/// access-counted cost of the same operation).
+pub const C_HASH: u64 = 60;
+/// Virtual cost of one lock-based tree range lookup (descent + 16-wide
+/// range walk, matching the TM-mode counted cost).
+pub const C_TREE_RANGE: u64 = 600;
+/// Virtual cost of one lock-based tree insert/remove.
+pub const C_TREE_UPDATE: u64 = 250;
+/// Width of the range queried by TestSortedMap's `subMap` lookup.
+pub const RANGE_WIDTH: u64 = 16;
+
+const MAP_LOCK: u64 = 1;
+
+/// Which map implementation a TM-mode series uses.
+pub enum TmMapFlavor {
+    /// Bare transactional hash map ("Atomos HashMap").
+    BareHash(TxHashMap<u64, u64>),
+    /// Wrapped hash map ("Atomos TransactionalMap").
+    WrappedHash(TransactionalMap<u64, u64>),
+    /// Bare red-black tree ("Atomos TreeMap").
+    BareTree(TxTreeMap<u64, u64>),
+    /// Wrapped tree ("Atomos TransactionalSortedMap").
+    WrappedTree(TransactionalSortedMap<u64, u64>),
+}
+
+impl TmMapFlavor {
+    /// Preload with the standard keys (even keys in `0..KEY_SPACE`).
+    pub fn preload(&self) {
+        stm::atomic(|tx| match self {
+            TmMapFlavor::BareHash(m) => {
+                for k in 0..PRELOAD {
+                    m.insert(tx, k * 2, k);
+                }
+            }
+            TmMapFlavor::WrappedHash(m) => {
+                for k in 0..PRELOAD {
+                    m.put_discard(tx, k * 2, k);
+                }
+            }
+            TmMapFlavor::BareTree(m) => {
+                for k in 0..PRELOAD {
+                    m.insert(tx, k * 2, k);
+                }
+            }
+            TmMapFlavor::WrappedTree(m) => {
+                for k in 0..PRELOAD {
+                    m.put_discard(tx, k * 2, k);
+                }
+            }
+        });
+    }
+
+    fn lookup(&self, tx: &mut Txn, k: u64) {
+        match self {
+            TmMapFlavor::BareHash(m) => {
+                std::hint::black_box(m.get(tx, &k));
+            }
+            TmMapFlavor::WrappedHash(m) => {
+                std::hint::black_box(m.get(tx, &k));
+            }
+            // TestSortedMap replaces point lookups with a subMap range
+            // lookup, "taking the median key from the returned range".
+            TmMapFlavor::BareTree(m) => {
+                let hi = k + RANGE_WIDTH;
+                let r = m.range_entries(tx, Bound::Included(&k), Bound::Excluded(&hi));
+                std::hint::black_box(r.get(r.len() / 2).map(|e| e.0));
+            }
+            TmMapFlavor::WrappedTree(m) => {
+                let r = m.range_entries(tx, Bound::Included(k), Bound::Excluded(k + RANGE_WIDTH));
+                std::hint::black_box(r.get(r.len() / 2).map(|e| e.0));
+            }
+        }
+    }
+
+    fn insert(&self, tx: &mut Txn, k: u64, v: u64) {
+        match self {
+            TmMapFlavor::BareHash(m) => {
+                m.insert(tx, k, v);
+            }
+            TmMapFlavor::WrappedHash(m) => {
+                m.put(tx, k, v);
+            }
+            TmMapFlavor::BareTree(m) => {
+                m.insert(tx, k, v);
+            }
+            TmMapFlavor::WrappedTree(m) => {
+                m.put(tx, k, v);
+            }
+        }
+    }
+
+    fn remove(&self, tx: &mut Txn, k: u64) {
+        match self {
+            TmMapFlavor::BareHash(m) => {
+                m.remove(tx, &k);
+            }
+            TmMapFlavor::WrappedHash(m) => {
+                m.remove(tx, &k);
+            }
+            TmMapFlavor::BareTree(m) => {
+                m.remove(tx, &k);
+            }
+            TmMapFlavor::WrappedTree(m) => {
+                m.remove(tx, &k);
+            }
+        }
+    }
+
+    fn get_value(&self, tx: &mut Txn, k: u64) -> Option<u64> {
+        match self {
+            TmMapFlavor::BareHash(m) => m.get(tx, &k),
+            TmMapFlavor::WrappedHash(m) => m.get(tx, &k),
+            TmMapFlavor::BareTree(m) => m.get(tx, &k),
+            TmMapFlavor::WrappedTree(m) => m.get(tx, &k),
+        }
+    }
+}
+
+/// The 80/10/10 one-op-per-transaction workload (Figures 1 and 2).
+pub struct TestMapTm {
+    /// Map under test.
+    pub map: TmMapFlavor,
+    /// Transactions per CPU.
+    pub txns_per_cpu: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TmWorkload for TestMapTm {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns_per_cpu
+    }
+
+    fn run(&self, cpu: usize, seq: usize, tx: &mut Txn) {
+        let mut rng = TxnRng::new(self.seed, cpu, seq);
+        let roll = rng.below(100);
+        let key = rng.below(KEY_SPACE);
+        sim::think(THINK / 2);
+        if roll < 80 {
+            self.map.lookup(tx, key);
+        } else if roll < 90 {
+            self.map.insert(tx, key, roll);
+        } else {
+            self.map.remove(tx, key);
+        }
+        sim::think(THINK / 2);
+    }
+}
+
+/// The compound workload (Figure 3): two operations on the shared map with
+/// computation in between, composed atomically.
+pub struct TestCompoundTm {
+    /// Map under test.
+    pub map: TmMapFlavor,
+    /// Transactions per CPU.
+    pub txns_per_cpu: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TmWorkload for TestCompoundTm {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns_per_cpu
+    }
+
+    fn run(&self, cpu: usize, seq: usize, tx: &mut Txn) {
+        let mut rng = TxnRng::new(self.seed, cpu, seq);
+        let k1 = rng.below(KEY_SPACE);
+        let k2 = rng.below(KEY_SPACE);
+        sim::think(THINK / 2);
+        let v = self.map.get_value(tx, k1).unwrap_or(0);
+        sim::think(THINK); // computation between the two operations
+        self.map.insert(tx, k2, v + 1);
+        sim::think(THINK / 2);
+    }
+}
+
+/// Which lock-based map the "Java" series uses.
+pub enum LockMapFlavor {
+    /// `synchronized HashMap`.
+    Hash(LockHashMap<u64, u64>),
+    /// `synchronized TreeMap`.
+    Tree(LockTreeMap<u64, u64>),
+}
+
+impl LockMapFlavor {
+    /// Preload with the standard keys.
+    pub fn preload(&self) {
+        match self {
+            LockMapFlavor::Hash(m) => {
+                for k in 0..PRELOAD {
+                    m.insert(k * 2, k);
+                }
+            }
+            LockMapFlavor::Tree(m) => {
+                for k in 0..PRELOAD {
+                    m.insert(k * 2, k);
+                }
+            }
+        }
+    }
+
+    fn lookup_cost(&self) -> u64 {
+        match self {
+            LockMapFlavor::Hash(_) => C_HASH,
+            LockMapFlavor::Tree(_) => C_TREE_RANGE,
+        }
+    }
+
+    fn update_cost(&self) -> u64 {
+        match self {
+            LockMapFlavor::Hash(_) => C_HASH,
+            LockMapFlavor::Tree(_) => C_TREE_UPDATE,
+        }
+    }
+
+    fn lookup(&self, k: u64) {
+        match self {
+            LockMapFlavor::Hash(m) => {
+                std::hint::black_box(m.get(&k));
+            }
+            LockMapFlavor::Tree(m) => {
+                let r = m.range_entries(Bound::Included(k), Bound::Excluded(k + RANGE_WIDTH));
+                std::hint::black_box(r.get(r.len() / 2).map(|e| e.0));
+            }
+        }
+    }
+
+    fn insert(&self, k: u64, v: u64) {
+        match self {
+            LockMapFlavor::Hash(m) => {
+                m.insert(k, v);
+            }
+            LockMapFlavor::Tree(m) => {
+                m.insert(k, v);
+            }
+        }
+    }
+
+    fn remove(&self, k: u64) {
+        match self {
+            LockMapFlavor::Hash(m) => {
+                m.remove(&k);
+            }
+            LockMapFlavor::Tree(m) => {
+                m.remove(&k);
+            }
+        }
+    }
+}
+
+/// The Java 80/10/10 workload: the map lock is held only for the operation
+/// itself (fine-grained in time), so it scales.
+pub struct TestMapLock {
+    /// Map under test.
+    pub map: LockMapFlavor,
+    /// Transactions per CPU.
+    pub txns_per_cpu: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl LockWorkload for TestMapLock {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns_per_cpu
+    }
+
+    fn run(&self, cpu: usize, seq: usize, rec: &mut LockRecorder) {
+        let mut rng = TxnRng::new(self.seed, cpu, seq);
+        let roll = rng.below(100);
+        let key = rng.below(KEY_SPACE);
+        rec.work(THINK / 2);
+        if roll < 80 {
+            rec.critical(MAP_LOCK, self.map.lookup_cost(), || self.map.lookup(key));
+        } else if roll < 90 {
+            rec.critical(MAP_LOCK, self.map.update_cost(), || self.map.insert(key, roll));
+        } else {
+            rec.critical(MAP_LOCK, self.map.update_cost(), || self.map.remove(key));
+        }
+        rec.work(THINK / 2);
+    }
+}
+
+/// The Java compound workload (Figure 3): "a coarse grained lock is used to
+/// ensure that two operations act as a single compound operation" — the lock
+/// is held across the intermediate computation, serializing it.
+pub struct TestCompoundLock {
+    /// Map under test.
+    pub map: LockMapFlavor,
+    /// Transactions per CPU.
+    pub txns_per_cpu: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl LockWorkload for TestCompoundLock {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns_per_cpu
+    }
+
+    fn run(&self, cpu: usize, seq: usize, rec: &mut LockRecorder) {
+        let mut rng = TxnRng::new(self.seed, cpu, seq);
+        let k1 = rng.below(KEY_SPACE);
+        let k2 = rng.below(KEY_SPACE);
+        rec.work(THINK / 2);
+        let cost = self.map.update_cost();
+        // One critical section spanning op + think + op.
+        rec.critical(MAP_LOCK, cost + THINK + cost, || {
+            let v = match &self.map {
+                LockMapFlavor::Hash(m) => m.get(&k1).unwrap_or(0),
+                LockMapFlavor::Tree(m) => m.get(&k1).unwrap_or(0),
+            };
+            self.map.insert(k2, v + 1);
+        });
+        rec.work(THINK / 2);
+    }
+}

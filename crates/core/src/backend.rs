@@ -1,0 +1,197 @@
+//! Backend traits: the "underlying Map/Queue instance" slot of the paper's
+//! collection classes.
+//!
+//! `TransactionalMap` et al. are *wrappers*: "transactional collection
+//! classes wrap existing data structures, without the need for custom
+//! implementations or knowledge of data structure internals" (paper
+//! abstract). These traits are the wrapper's only view of the wrapped
+//! structure. Any structure whose operations are transactional (take a
+//! `&mut Txn`) can be wrapped — the reproduction wraps [`txstruct::TxHashMap`],
+//! [`txstruct::SegmentedTxHashMap`] and [`txstruct::TxTreeMap`].
+
+use std::ops::Bound;
+use stm::Txn;
+use txstruct::{SegmentedTxHashMap, TxHashMap, TxTreeMap, TxVecDeque};
+
+/// An unordered transactional map usable as the committed store of a
+/// `TransactionalMap`.
+pub trait MapBackend<K, V>: Send + Sync + 'static {
+    /// Look up a key.
+    fn get(&self, tx: &mut Txn, key: &K) -> Option<V>;
+    /// Whether a key is present.
+    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool;
+    /// Insert or replace; returns the previous value.
+    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V>;
+    /// Remove a key; returns the previous value.
+    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V>;
+    /// Number of entries.
+    fn len(&self, tx: &mut Txn) -> usize;
+    /// Whether empty.
+    fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.len(tx) == 0
+    }
+    /// Snapshot of all entries (arbitrary order).
+    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)>;
+}
+
+/// An ordered transactional map usable as the committed store of a
+/// `TransactionalSortedMap`.
+pub trait SortedMapBackend<K, V>: MapBackend<K, V> {
+    /// Smallest entry.
+    fn first_entry(&self, tx: &mut Txn) -> Option<(K, V)>;
+    /// Largest entry.
+    fn last_entry(&self, tx: &mut Txn) -> Option<(K, V)>;
+    /// Smallest entry with key `>= key`.
+    fn ceiling_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
+    /// Largest entry with key `<= key`.
+    fn floor_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
+    /// Smallest entry with key `> key` (the stepwise iteration primitive).
+    fn next_entry_after(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
+    /// Largest entry with key `< key`.
+    fn prev_entry_before(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
+    /// Entries within bounds, in key order.
+    fn range_entries(&self, tx: &mut Txn, lower: Bound<&K>, upper: Bound<&K>) -> Vec<(K, V)>;
+}
+
+/// A transactional FIFO usable as the committed store of a
+/// `TransactionalQueue`.
+pub trait QueueBackend<T>: Send + Sync + 'static {
+    /// Enqueue at the back.
+    fn push_back(&self, tx: &mut Txn, item: T);
+    /// Return an item to the front (abort compensation).
+    fn push_front(&self, tx: &mut Txn, item: T);
+    /// Dequeue from the front.
+    fn pop_front(&self, tx: &mut Txn) -> Option<T>;
+    /// Front element without removal.
+    fn peek_front(&self, tx: &mut Txn) -> Option<T>;
+    /// Number of elements.
+    fn len(&self, tx: &mut Txn) -> usize;
+    /// Whether empty.
+    fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.len(tx) == 0
+    }
+}
+
+impl<K, V> MapBackend<K, V> for TxHashMap<K, V>
+where
+    K: Clone + Eq + std::hash::Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        TxHashMap::get(self, tx, key)
+    }
+    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        TxHashMap::contains_key(self, tx, key)
+    }
+    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        TxHashMap::insert(self, tx, key, value)
+    }
+    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        TxHashMap::remove(self, tx, key)
+    }
+    fn len(&self, tx: &mut Txn) -> usize {
+        TxHashMap::len(self, tx)
+    }
+    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        TxHashMap::entries(self, tx)
+    }
+}
+
+impl<K, V> MapBackend<K, V> for SegmentedTxHashMap<K, V>
+where
+    K: Clone + Eq + std::hash::Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        SegmentedTxHashMap::get(self, tx, key)
+    }
+    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        SegmentedTxHashMap::contains_key(self, tx, key)
+    }
+    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        SegmentedTxHashMap::insert(self, tx, key, value)
+    }
+    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        SegmentedTxHashMap::remove(self, tx, key)
+    }
+    fn len(&self, tx: &mut Txn) -> usize {
+        SegmentedTxHashMap::len(self, tx)
+    }
+    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        SegmentedTxHashMap::entries(self, tx)
+    }
+}
+
+impl<K, V> MapBackend<K, V> for TxTreeMap<K, V>
+where
+    K: Clone + Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        TxTreeMap::get(self, tx, key)
+    }
+    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        TxTreeMap::contains_key(self, tx, key)
+    }
+    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        TxTreeMap::insert(self, tx, key, value)
+    }
+    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        TxTreeMap::remove(self, tx, key)
+    }
+    fn len(&self, tx: &mut Txn) -> usize {
+        TxTreeMap::len(self, tx)
+    }
+    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        TxTreeMap::entries(self, tx)
+    }
+}
+
+impl<K, V> SortedMapBackend<K, V> for TxTreeMap<K, V>
+where
+    K: Clone + Ord + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn first_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
+        TxTreeMap::first_entry(self, tx)
+    }
+    fn last_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
+        TxTreeMap::last_entry(self, tx)
+    }
+    fn ceiling_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+        TxTreeMap::ceiling_entry(self, tx, key)
+    }
+    fn floor_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+        TxTreeMap::floor_entry(self, tx, key)
+    }
+    fn next_entry_after(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+        TxTreeMap::next_entry_after(self, tx, key)
+    }
+    fn prev_entry_before(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+        TxTreeMap::prev_entry_before(self, tx, key)
+    }
+    fn range_entries(&self, tx: &mut Txn, lower: Bound<&K>, upper: Bound<&K>) -> Vec<(K, V)> {
+        TxTreeMap::range_entries(self, tx, lower, upper)
+    }
+}
+
+impl<T> QueueBackend<T> for TxVecDeque<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    fn push_back(&self, tx: &mut Txn, item: T) {
+        TxVecDeque::push_back(self, tx, item)
+    }
+    fn push_front(&self, tx: &mut Txn, item: T) {
+        TxVecDeque::push_front(self, tx, item)
+    }
+    fn pop_front(&self, tx: &mut Txn) -> Option<T> {
+        TxVecDeque::pop_front(self, tx)
+    }
+    fn peek_front(&self, tx: &mut Txn) -> Option<T> {
+        TxVecDeque::peek_front(self, tx)
+    }
+    fn len(&self, tx: &mut Txn) -> usize {
+        TxVecDeque::len(self, tx)
+    }
+}

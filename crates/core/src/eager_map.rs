@@ -1,0 +1,607 @@
+//! `EagerTransactionalMap` — the **pessimistic / undo-logging** alternative
+//! implementation strategy discussed in paper §5.1.
+//!
+//! The main `TransactionalMap` is optimistic with redo logging: writes are
+//! buffered and conflicts are detected at commit. This variant explores the
+//! other quadrant the paper describes:
+//!
+//! * **Undo logging** — "update the global state in place. If there are no
+//!   conflicts, the undo log is simply dropped at commit time. If ... the
+//!   transaction needs to abort, the undo log can be used to perform the
+//!   compensating actions."
+//! * **Pessimistic (early) conflict detection** — "undo logging requires
+//!   early conflict detection since only one writer can be allowed to
+//!   update a piece of semantic state in place at a time." Writers take
+//!   exclusive key locks at operation time; the [`EagerPolicy`] decides
+//!   whether a writer encountering readers waits (self-aborts and retries —
+//!   the lock-like behaviour with its "usual problems", which the retry
+//!   loop converts to livelock-free waiting) or dooms them (aggressive
+//!   contention management).
+//!
+//! The class preserves the same external semantics (atomicity, isolation,
+//! abstract-datatype serializability) — the `eager_vs_lazy` test suite and
+//! the `ablation_eager` bench compare the two strategies under contention.
+//!
+//! Scope: point operations and size. Iteration is provided only by the
+//! optimistic wrapper (an eager iterator would have to write-lock every
+//! visited key, which §5.1's performance framing argues against).
+
+use crate::backend::MapBackend;
+use crate::locks::{doom_others, Owner, SemanticStats};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+use stm::{TxState, Txn, TxnMode};
+use txstruct::TxHashMap;
+
+/// What a writer does when it meets readers of the key it wants to update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EagerPolicy {
+    /// The writer aborts itself and retries later (polite; writers wait for
+    /// readers, like write-preferring lock acquisition with deadlock
+    /// avoidance by restart).
+    WriterWaits,
+    /// The writer dooms the readers immediately (aggressive; readers are
+    /// rolled back at operation time rather than commit time).
+    DoomReaders,
+}
+
+enum UndoOp<K, V> {
+    /// Key held this value before our in-place update.
+    Restore(K, V),
+    /// Key was absent before our in-place insert.
+    Delete(K),
+}
+
+struct EagerLocal<K, V> {
+    read_keys: HashSet<K>,
+    write_keys: HashSet<K>,
+    undo: Vec<UndoOp<K, V>>,
+    /// Net size change applied in place by this transaction.
+    delta: i64,
+    holds_size_lock: bool,
+}
+
+impl<K, V> Default for EagerLocal<K, V> {
+    fn default() -> Self {
+        EagerLocal {
+            read_keys: HashSet::new(),
+            write_keys: HashSet::new(),
+            undo: Vec::new(),
+            delta: 0,
+            holds_size_lock: false,
+        }
+    }
+}
+
+struct EagerTables<K> {
+    readers: HashMap<K, HashSet<Owner>>,
+    writers: HashMap<K, Owner>,
+    size_lockers: HashSet<Owner>,
+    /// Sum of uncommitted in-place size changes; subtracted from the
+    /// backend's length so readers see the committed size.
+    pending_delta: i64,
+}
+
+impl<K> Default for EagerTables<K> {
+    fn default() -> Self {
+        EagerTables {
+            readers: HashMap::new(),
+            writers: HashMap::new(),
+            size_lockers: HashSet::new(),
+            pending_delta: 0,
+        }
+    }
+}
+
+struct EagerInner<K, V, B> {
+    backend: B,
+    policy: EagerPolicy,
+    tables: Mutex<EagerTables<K>>,
+    locals: Mutex<HashMap<u64, EagerLocal<K, V>>>,
+    stats: SemanticStats,
+}
+
+/// Pessimistic, undo-logging transactional map; see the module docs.
+pub struct EagerTransactionalMap<K, V, B = TxHashMap<K, V>> {
+    inner: Arc<EagerInner<K, V, B>>,
+}
+
+impl<K, V, B> Clone for EagerTransactionalMap<K, V, B> {
+    fn clone(&self) -> Self {
+        EagerTransactionalMap {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<K, V> EagerTransactionalMap<K, V, TxHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create over a fresh [`TxHashMap`] with the given contention policy.
+    pub fn new(policy: EagerPolicy) -> Self {
+        Self::wrap(TxHashMap::new(), policy)
+    }
+
+    /// Create over a fresh pre-sized [`TxHashMap`].
+    pub fn with_capacity(capacity: usize, policy: EagerPolicy) -> Self {
+        Self::wrap(TxHashMap::with_capacity(capacity), policy)
+    }
+}
+
+impl<K, V, B> EagerTransactionalMap<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    /// Wrap an existing map implementation.
+    pub fn wrap(backend: B, policy: EagerPolicy) -> Self {
+        EagerTransactionalMap {
+            inner: Arc::new(EagerInner {
+                backend,
+                policy,
+                tables: Mutex::new(EagerTables::default()),
+                locals: Mutex::new(HashMap::new()),
+                stats: SemanticStats::default(),
+            }),
+        }
+    }
+
+    /// Semantic-conflict counters for this instance.
+    pub fn semantic_stats(&self) -> &SemanticStats {
+        &self.inner.stats
+    }
+
+    fn assert_usable(tx: &Txn) {
+        assert!(
+            tx.mode() == TxnMode::Speculative,
+            "EagerTransactionalMap operations cannot run inside commit/abort handlers"
+        );
+    }
+
+    fn ensure_registered(&self, tx: &mut Txn) {
+        let id = tx.handle().id();
+        let fresh = {
+            let mut locals = self.inner.locals.lock();
+            match locals.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(EagerLocal::default());
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
+        if fresh {
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_commit_top(move |_htx| eager_commit_handler(&inner, h.id()));
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_abort_top(move |htx| eager_abort_handler(&inner, htx, h.id()));
+        }
+    }
+
+    fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut EagerLocal<K, V>) -> R) -> R {
+        let id = tx.handle().id();
+        let mut locals = self.inner.locals.lock();
+        f(locals.entry(id).or_default())
+    }
+
+    /// Is this owner (by id) an *other, still-active* transaction?
+    fn is_other_active(owner: &Owner, self_id: u64) -> bool {
+        owner.id() != self_id && owner.state() == TxState::Active
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Look up a key. Pessimistic: if another transaction holds the write
+    /// lock (its in-place value is uncommitted), this transaction aborts and
+    /// retries rather than read dirty data.
+    pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let self_id = tx.handle().id();
+        {
+            let mut t = self.inner.tables.lock();
+            if let Some(w) = t.writers.get(key) {
+                if Self::is_other_active(w, self_id) {
+                    drop(t);
+                    stm::abort_and_retry();
+                }
+            }
+            t.readers
+                .entry(key.clone())
+                .or_default()
+                .insert(tx.handle().clone());
+        }
+        self.with_local(tx, |l| {
+            l.read_keys.insert(key.clone());
+        });
+        let backend = &self.inner.backend;
+        tx.open(|otx| backend.get(otx, key))
+    }
+
+    /// Whether a key is present (same locking as [`Self::get`]).
+    pub fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        self.get(tx, key).is_some()
+    }
+
+    /// Committed size: the backend length minus all pending in-place deltas,
+    /// plus this transaction's own delta. Takes the size lock.
+    pub fn size(&self, tx: &mut Txn) -> usize {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let (pending, own) = {
+            let mut t = self.inner.tables.lock();
+            t.size_lockers.insert(tx.handle().clone());
+            let own = self.with_local(tx, |l| {
+                l.holds_size_lock = true;
+                l.delta
+            });
+            (t.pending_delta, own)
+        };
+        let backend = &self.inner.backend;
+        let raw = tx.open(|otx| backend.len(otx)) as i64;
+        (raw - pending + own).max(0) as usize
+    }
+
+    /// Whether the map is empty (derived; takes the size lock).
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.size(tx) == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Writes (in place, early conflict detection)
+    // ------------------------------------------------------------------
+
+    /// Acquire the exclusive write lock on `key`, resolving conflicts by
+    /// policy. Returns without the lock only by unwinding (abort & retry).
+    fn acquire_write_lock(&self, tx: &mut Txn, key: &K) {
+        let self_id = tx.handle().id();
+        let mut t = self.inner.tables.lock();
+        if let Some(w) = t.writers.get(key) {
+            if Self::is_other_active(w, self_id) {
+                // Two in-place writers on one key can never coexist.
+                drop(t);
+                stm::abort_and_retry();
+            }
+        }
+        let readers_present = t
+            .readers
+            .get(key)
+            .map(|rs| rs.iter().any(|o| Self::is_other_active(o, self_id)))
+            .unwrap_or(false);
+        if readers_present {
+            match self.inner.policy {
+                EagerPolicy::WriterWaits => {
+                    drop(t);
+                    stm::abort_and_retry();
+                }
+                EagerPolicy::DoomReaders => {
+                    if let Some(rs) = t.readers.get_mut(key) {
+                        let doomed = doom_others(rs, self_id);
+                        self.inner.stats.bump(&self.inner.stats.key_conflicts, doomed);
+                    }
+                }
+            }
+        }
+        t.writers.insert(key.clone(), tx.handle().clone());
+        drop(t);
+        self.with_local(tx, |l| {
+            l.write_keys.insert(key.clone());
+        });
+    }
+
+    /// Account an in-place size change: adjust the pending delta and doom
+    /// size observers (early, pessimistic).
+    fn size_changed(&self, tx: &mut Txn, change: i64) {
+        let self_id = tx.handle().id();
+        let mut t = self.inner.tables.lock();
+        t.pending_delta += change;
+        let doomed = doom_others(&mut t.size_lockers, self_id);
+        self.inner.stats.bump(&self.inner.stats.size_conflicts, doomed);
+        drop(t);
+        self.with_local(tx, |l| l.delta += change);
+    }
+
+    /// Insert or replace **in place**; returns the previous value. The undo
+    /// log restores it if the transaction aborts.
+    pub fn put(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        self.acquire_write_lock(tx, &key);
+        let backend = &self.inner.backend;
+        let k2 = key.clone();
+        let old = tx.open(move |otx| backend.insert(otx, k2.clone(), value.clone()));
+        let first_write = self.with_local(tx, |l| {
+            // Only the first in-place write of a key needs an undo entry;
+            // later writes are undone by the same restore.
+            let first = !l
+                .undo
+                .iter()
+                .any(|u| matches!(u, UndoOp::Restore(k, _) | UndoOp::Delete(k) if *k == key));
+            if first {
+                match &old {
+                    Some(v) => l.undo.push(UndoOp::Restore(key.clone(), v.clone())),
+                    None => l.undo.push(UndoOp::Delete(key.clone())),
+                }
+            }
+            first
+        });
+        let _ = first_write;
+        if old.is_none() {
+            self.size_changed(tx, 1);
+        }
+        old
+    }
+
+    /// Remove **in place**; returns the previous value.
+    pub fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        self.acquire_write_lock(tx, key);
+        let backend = &self.inner.backend;
+        let k2 = key.clone();
+        let old = tx.open(move |otx| backend.remove(otx, &k2));
+        if let Some(v) = &old {
+            self.with_local(tx, |l| {
+                let first = !l
+                    .undo
+                    .iter()
+                    .any(|u| matches!(u, UndoOp::Restore(k, _) | UndoOp::Delete(k) if k == key));
+                if first {
+                    l.undo.push(UndoOp::Restore(key.clone(), v.clone()));
+                }
+            });
+            self.size_changed(tx, -1);
+        }
+        old
+    }
+}
+
+// ----------------------------------------------------------------------
+// Handlers
+// ----------------------------------------------------------------------
+
+fn release_owner<K: Clone + Eq + Hash, V>(
+    tables: &mut EagerTables<K>,
+    local: &EagerLocal<K, V>,
+    id: u64,
+) {
+    for k in &local.read_keys {
+        if let Some(rs) = tables.readers.get_mut(k) {
+            rs.retain(|o| o.id() != id);
+            if rs.is_empty() {
+                tables.readers.remove(k);
+            }
+        }
+    }
+    for k in &local.write_keys {
+        if tables.writers.get(k).map(|o| o.id() == id).unwrap_or(false) {
+            tables.writers.remove(k);
+        }
+    }
+    tables.size_lockers.retain(|o| o.id() != id);
+    tables.pending_delta -= local.delta;
+}
+
+fn eager_commit_handler<K, V, B>(inner: &Arc<EagerInner<K, V, B>>, id: u64)
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    // Changes are already in place: drop the undo log, doom the readers of
+    // our written keys that appeared after our write lock (none can exist —
+    // they abort on seeing the write lock — but a doomed-then-revived
+    // bookkeeping race is cheap to close), and release everything.
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let mut t = inner.tables.lock();
+    for k in &local.write_keys {
+        if let Some(rs) = t.readers.get_mut(k) {
+            let doomed = doom_others(rs, id);
+            inner.stats.bump(&inner.stats.key_conflicts, doomed);
+        }
+    }
+    release_owner(&mut t, &local, id);
+}
+
+fn eager_abort_handler<K, V, B>(inner: &Arc<EagerInner<K, V, B>>, htx: &mut Txn, id: u64)
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    // Compensate: apply the undo log in reverse (direct mode), then release.
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    for op in local.undo.iter().rev() {
+        match op {
+            UndoOp::Restore(k, v) => {
+                inner.backend.insert(htx, k.clone(), v.clone());
+            }
+            UndoOp::Delete(k) => {
+                inner.backend.remove(htx, k);
+            }
+        }
+    }
+    let mut t = inner.tables.lock();
+    release_owner(&mut t, &local, id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::atomic;
+
+    #[test]
+    fn basic_roundtrip() {
+        let m: EagerTransactionalMap<u32, String> =
+            EagerTransactionalMap::new(EagerPolicy::WriterWaits);
+        atomic(|tx| {
+            assert_eq!(m.put(tx, 1, "a".into()), None);
+            assert_eq!(m.put(tx, 1, "b".into()), Some("a".into()));
+            assert_eq!(m.get(tx, &1).as_deref(), Some("b"));
+            assert_eq!(m.size(tx), 1);
+            assert_eq!(m.remove(tx, &1), Some("b".into()));
+            assert_eq!(m.size(tx), 0);
+        });
+    }
+
+    #[test]
+    fn in_place_writes_roll_back_on_abort() {
+        let m: EagerTransactionalMap<u32, u32> =
+            EagerTransactionalMap::new(EagerPolicy::WriterWaits);
+        atomic(|tx| {
+            m.put(tx, 1, 10);
+        });
+        let m2 = m.clone();
+        let (_, t1) = stm::speculate(
+            move |tx| {
+                m2.put(tx, 1, 99); // in place!
+                m2.put(tx, 2, 20);
+                m2.remove(tx, &1);
+            },
+            0,
+        )
+        .unwrap();
+        t1.abort(stm::AbortCause::Explicit);
+        atomic(|tx| {
+            assert_eq!(m.get(tx, &1), Some(10), "undo failed to restore");
+            assert_eq!(m.get(tx, &2), None, "undo failed to delete");
+            assert_eq!(m.size(tx), 1);
+        });
+    }
+
+    #[test]
+    fn writer_waits_for_reader() {
+        let m: EagerTransactionalMap<u32, u32> =
+            EagerTransactionalMap::new(EagerPolicy::WriterWaits);
+        atomic(|tx| {
+            m.put(tx, 1, 1);
+        });
+        // Reader holds the key...
+        let m2 = m.clone();
+        let (_, reader) = stm::speculate(
+            move |tx| {
+                m2.get(tx, &1);
+            },
+            0,
+        )
+        .unwrap();
+        // ...writer self-aborts.
+        let m3 = m.clone();
+        let writer = stm::speculate(
+            move |tx| {
+                m3.put(tx, 1, 2);
+            },
+            0,
+        );
+        assert!(writer.is_err(), "writer must abort while a reader holds the key");
+        assert!(!reader.handle().is_doomed());
+        reader.abort(stm::AbortCause::Explicit);
+        // Reader gone: writer succeeds.
+        let m4 = m.clone();
+        let (_, w) = stm::speculate(
+            move |tx| {
+                m4.put(tx, 1, 2);
+            },
+            0,
+        )
+        .unwrap();
+        w.commit();
+        assert_eq!(atomic(|tx| m.get(tx, &1)), Some(2));
+    }
+
+    #[test]
+    fn doom_readers_policy_dooms_at_write_time() {
+        let m: EagerTransactionalMap<u32, u32> =
+            EagerTransactionalMap::new(EagerPolicy::DoomReaders);
+        atomic(|tx| {
+            m.put(tx, 1, 1);
+        });
+        let m2 = m.clone();
+        let (_, reader) = stm::speculate(
+            move |tx| {
+                m2.get(tx, &1);
+            },
+            0,
+        )
+        .unwrap();
+        let m3 = m.clone();
+        let (_, writer) = stm::speculate(
+            move |tx| {
+                m3.put(tx, 1, 2);
+            },
+            0,
+        )
+        .unwrap();
+        assert!(
+            reader.handle().is_doomed(),
+            "aggressive writer must doom the reader at operation time"
+        );
+        writer.commit();
+        reader.abort(stm::AbortCause::Doomed);
+        assert_eq!(atomic(|tx| m.get(tx, &1)), Some(2));
+    }
+
+    #[test]
+    fn size_hides_uncommitted_deltas() {
+        let m: EagerTransactionalMap<u32, u32> =
+            EagerTransactionalMap::new(EagerPolicy::DoomReaders);
+        atomic(|tx| {
+            m.put(tx, 1, 1);
+        });
+        let m2 = m.clone();
+        let (_, writer) = stm::speculate(
+            move |tx| {
+                m2.put(tx, 2, 2); // in place, uncommitted
+                assert_eq!(m2.size(tx), 2, "own delta must count");
+            },
+            0,
+        )
+        .unwrap();
+        // An outside observer sees the committed size only.
+        let observed = atomic(|tx| m.size(tx));
+        assert_eq!(observed, 1, "uncommitted in-place insert leaked into size");
+        writer.commit();
+        assert_eq!(atomic(|tx| m.size(tx)), 2);
+    }
+
+    #[test]
+    fn concurrent_threads_conserve_data() {
+        let m: Arc<EagerTransactionalMap<u64, u64>> = Arc::new(
+            EagerTransactionalMap::with_capacity(4096, EagerPolicy::WriterWaits),
+        );
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..150u64 {
+                        let k = t * 1000 + (i % 60);
+                        atomic(|tx| {
+                            let cur = m.get(tx, &k).unwrap_or(0);
+                            m.put(tx, k, cur + 1);
+                        });
+                    }
+                });
+            }
+        });
+        // Each thread incremented each of its 60 keys 150/60 times (2 or 3).
+        let total: u64 = atomic(|tx| {
+            let mut sum = 0;
+            for t in 0..4u64 {
+                for j in 0..60u64 {
+                    sum += m.get(tx, &(t * 1000 + j)).unwrap_or(0);
+                }
+            }
+            sum
+        });
+        assert_eq!(total, 4 * 150, "lost updates under eager concurrency");
+    }
+}

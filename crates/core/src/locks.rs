@@ -1,0 +1,482 @@
+//! Semantic lock tables — the shared transaction state of the collection
+//! classes (paper Tables 3, 6, 9).
+//!
+//! A semantic lock is a record "transaction H has observed abstract property
+//! P of this collection". Locks are *read* locks only; writers never block —
+//! they detect conflicts at commit time by scanning the lockers of every
+//! abstract property they are changing and **dooming** those transactions
+//! (program-directed abort). This is the optimistic concurrency control
+//! choice of paper §5.1.
+//!
+//! The tables are guarded by one short [`parking_lot::Mutex`] per collection
+//! instance. Lock *acquisition* happens during the transaction body (after
+//! which the underlying structure is read open-nested — lock-then-read
+//! order is what makes the doom protocol sound); conflict *detection* and
+//! lock *release* happen inside commit/abort handlers, which the `stm` crate
+//! runs under the global commit mutex. The mutex order is always
+//! commit-mutex → table-mutex, so there is no deadlock, and a reader that
+//! takes its lock after a committer's scan is guaranteed to observe the
+//! fully applied post-commit state (its open-nested read must validate
+//! under the commit mutex, which the committer holds until its handlers
+//! finish).
+
+use crate::interval::IntervalTree;
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use stm::{TxHandle, TxState};
+
+/// How a `TransactionalSortedMap` indexes its range locks (paper §3.2: the
+/// flat scanned set is the paper's choice; the interval tree is the
+/// alternative it mentions — measured in the `ablation_rangeindex` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RangeIndexKind {
+    /// A flat `Vec` scanned linearly at every committed update (paper
+    /// default: simple, fast for few outstanding ranges).
+    #[default]
+    FlatScan,
+    /// An augmented treap with `O(log n + hits)` stabbing queries (pays off
+    /// with many concurrent iterators).
+    IntervalTree,
+}
+
+/// The owner of a semantic lock: a top-level transaction attempt.
+pub type Owner = Arc<TxHandle>;
+
+/// Counters of semantic conflict detections, per collection instance.
+///
+/// Every increment corresponds to at least one transaction doomed because a
+/// committing writer changed an abstract property the victim had observed.
+#[derive(Debug, Default)]
+pub struct SemanticStats {
+    /// Dooms due to key locks (get/containsKey/iterator.next vs put/remove).
+    pub key_conflicts: AtomicU64,
+    /// Dooms due to the size lock (size/hasNext-false vs size change).
+    pub size_conflicts: AtomicU64,
+    /// Dooms due to range locks (sorted iteration vs put/remove in range).
+    pub range_conflicts: AtomicU64,
+    /// Dooms due to the first-key lock (endpoint change).
+    pub first_conflicts: AtomicU64,
+    /// Dooms due to the last-key lock (endpoint change).
+    pub last_conflicts: AtomicU64,
+    /// Dooms due to the empty lock (peek/poll-null vs put, and the
+    /// `isEmpty`-as-primitive zero-crossing lock of §5.1).
+    pub empty_conflicts: AtomicU64,
+}
+
+impl SemanticStats {
+    /// Sum of all semantic conflicts.
+    pub fn total(&self) -> u64 {
+        self.key_conflicts.load(Ordering::Relaxed)
+            + self.size_conflicts.load(Ordering::Relaxed)
+            + self.range_conflicts.load(Ordering::Relaxed)
+            + self.first_conflicts.load(Ordering::Relaxed)
+            + self.last_conflicts.load(Ordering::Relaxed)
+            + self.empty_conflicts.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn bump(&self, which: &AtomicU64, n: u64) {
+        if n > 0 {
+            which.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Doom every *other*, still-active owner in `owners`; prune finished ones.
+/// Returns how many dooms landed.
+pub(crate) fn doom_others(owners: &mut HashSet<Owner>, self_id: u64) -> u64 {
+    let mut doomed = 0;
+    owners.retain(|o| {
+        if o.id() == self_id {
+            return true;
+        }
+        match o.state() {
+            TxState::Active => {
+                if o.doom() {
+                    doomed += 1;
+                }
+                true
+            }
+            // Finished transactions should have released their locks; if one
+            // lingers (e.g. a panicking thread), prune it here.
+            _ => false,
+        }
+    });
+    doomed
+}
+
+/// Lock tables for the `Map` abstraction (paper Table 3: `key2lockers`,
+/// `sizeLockers`; plus the §5.1 `isEmpty` zero-crossing lock set).
+#[derive(Debug)]
+pub(crate) struct MapLockTables<K> {
+    pub key2lockers: HashMap<K, HashSet<Owner>>,
+    pub size_lockers: HashSet<Owner>,
+    pub empty_lockers: HashSet<Owner>,
+}
+
+impl<K> Default for MapLockTables<K> {
+    fn default() -> Self {
+        MapLockTables {
+            key2lockers: HashMap::new(),
+            size_lockers: HashSet::new(),
+            empty_lockers: HashSet::new(),
+        }
+    }
+}
+
+impl<K: Clone + Eq + std::hash::Hash> MapLockTables<K> {
+    pub fn take_key_lock(&mut self, key: K, owner: Owner) {
+        self.key2lockers.entry(key).or_default().insert(owner);
+    }
+
+    pub fn take_size_lock(&mut self, owner: Owner) {
+        self.size_lockers.insert(owner);
+    }
+
+    pub fn take_empty_lock(&mut self, owner: Owner) {
+        self.empty_lockers.insert(owner);
+    }
+
+    /// A committing writer is adding/removing/replacing `key`: doom readers.
+    pub fn doom_key_lockers(&mut self, key: &K, self_id: u64) -> u64 {
+        match self.key2lockers.get_mut(key) {
+            None => 0,
+            Some(owners) => {
+                let n = doom_others(owners, self_id);
+                if owners.is_empty() {
+                    self.key2lockers.remove(key);
+                }
+                n
+            }
+        }
+    }
+
+    /// A committing writer changed the size: doom size observers.
+    pub fn doom_size_lockers(&mut self, self_id: u64) -> u64 {
+        doom_others(&mut self.size_lockers, self_id)
+    }
+
+    /// A committing writer made the size cross zero: doom emptiness
+    /// observers (the `isEmpty`-as-primitive lock).
+    pub fn doom_empty_lockers(&mut self, self_id: u64) -> u64 {
+        doom_others(&mut self.empty_lockers, self_id)
+    }
+
+    /// Release every lock held on behalf of `owner_id`. `keys` is the
+    /// owner's thread-local `keyLocks` set — kept precisely so release does
+    /// not have to enumerate `key2lockers` (paper §3.1).
+    pub fn release_owner<'a>(&mut self, owner_id: u64, keys: impl Iterator<Item = &'a K>)
+    where
+        K: 'a,
+    {
+        for k in keys {
+            if let Some(owners) = self.key2lockers.get_mut(k) {
+                owners.retain(|o| o.id() != owner_id);
+                if owners.is_empty() {
+                    self.key2lockers.remove(k);
+                }
+            }
+        }
+        self.size_lockers.retain(|o| o.id() != owner_id);
+        self.empty_lockers.retain(|o| o.id() != owner_id);
+    }
+
+    /// Number of distinct keys currently locked (diagnostics).
+    pub fn locked_key_count(&self) -> usize {
+        self.key2lockers.len()
+    }
+}
+
+/// A range lock: owner has observed all keys in the interval. Identified by
+/// a stable id so iterators can grow their range as they advance even while
+/// the table compacts.
+#[derive(Debug, Clone)]
+pub(crate) struct RangeLock<K> {
+    pub id: u64,
+    pub owner: Owner,
+    pub lower: Bound<K>,
+    pub upper: Bound<K>,
+}
+
+fn in_range<K: Ord>(key: &K, lower: &Bound<K>, upper: &Bound<K>) -> bool {
+    let lo_ok = match lower {
+        Bound::Unbounded => true,
+        Bound::Included(l) => key >= l,
+        Bound::Excluded(l) => key > l,
+    };
+    let hi_ok = match upper {
+        Bound::Unbounded => true,
+        Bound::Included(u) => key <= u,
+        Bound::Excluded(u) => key < u,
+    };
+    lo_ok && hi_ok
+}
+
+/// The range-lock store: flat scanned list (paper default) or interval
+/// tree (the §3.2 alternative).
+pub(crate) enum RangeStore<K> {
+    Flat {
+        locks: Vec<RangeLock<K>>,
+        next_id: u64,
+    },
+    Tree {
+        tree: IntervalTree<K, Owner>,
+        /// Owner id -> that owner's (lower, id) pairs, for O(own) release.
+        by_owner: HashMap<u64, Vec<(Bound<K>, u64)>>,
+        /// Lock id -> lower bound (the tree's lookup key), for extension.
+        by_id: HashMap<u64, Bound<K>>,
+    },
+}
+
+impl<K: Clone + Ord> RangeStore<K> {
+    fn new(kind: RangeIndexKind) -> Self {
+        match kind {
+            RangeIndexKind::FlatScan => RangeStore::Flat {
+                locks: Vec::new(),
+                next_id: 0,
+            },
+            RangeIndexKind::IntervalTree => RangeStore::Tree {
+                tree: IntervalTree::new(),
+                by_owner: HashMap::new(),
+                by_id: HashMap::new(),
+            },
+        }
+    }
+}
+
+/// Additional lock tables for the `SortedMap` abstraction (paper Table 6:
+/// `firstLockers`, `lastLockers`, `rangeLockers`).
+pub(crate) struct SortedLockTables<K> {
+    pub first_lockers: HashSet<Owner>,
+    pub last_lockers: HashSet<Owner>,
+    pub ranges: RangeStore<K>,
+}
+
+impl<K: Clone + Ord> Default for SortedLockTables<K> {
+    fn default() -> Self {
+        Self::with_kind(RangeIndexKind::FlatScan)
+    }
+}
+
+impl<K: Clone + Ord> SortedLockTables<K> {
+    pub fn with_kind(kind: RangeIndexKind) -> Self {
+        SortedLockTables {
+            first_lockers: HashSet::new(),
+            last_lockers: HashSet::new(),
+            ranges: RangeStore::new(kind),
+        }
+    }
+
+    pub fn take_first_lock(&mut self, owner: Owner) {
+        self.first_lockers.insert(owner);
+    }
+
+    pub fn take_last_lock(&mut self, owner: Owner) {
+        self.last_lockers.insert(owner);
+    }
+
+    /// Register a range lock and return its stable id so an iterator can
+    /// grow it as it advances.
+    pub fn add_range_lock(&mut self, owner: Owner, lower: Bound<K>, upper: Bound<K>) -> u64 {
+        match &mut self.ranges {
+            RangeStore::Flat { locks, next_id } => {
+                let id = *next_id;
+                *next_id += 1;
+                locks.push(RangeLock {
+                    id,
+                    owner,
+                    lower,
+                    upper,
+                });
+                id
+            }
+            RangeStore::Tree {
+                tree,
+                by_owner,
+                by_id,
+            } => {
+                let owner_id = owner.id();
+                let id = tree.insert(lower.clone(), upper, owner);
+                by_owner
+                    .entry(owner_id)
+                    .or_default()
+                    .push((lower.clone(), id));
+                by_id.insert(id, lower);
+                id
+            }
+        }
+    }
+
+    /// Extend the upper bound of a previously registered range lock.
+    pub fn extend_range_upper(&mut self, id: u64, upper: Bound<K>) {
+        match &mut self.ranges {
+            RangeStore::Flat { locks, .. } => {
+                if let Some(r) = locks.iter_mut().find(|r| r.id == id) {
+                    r.upper = upper;
+                }
+            }
+            RangeStore::Tree { tree, by_id, .. } => {
+                if let Some(lower) = by_id.get(&id) {
+                    tree.extend_upper(&lower.clone(), id, upper);
+                }
+            }
+        }
+    }
+
+    /// A committing writer touched `key`: doom owners of covering ranges.
+    pub fn doom_range_lockers(&mut self, key: &K, self_id: u64) -> u64 {
+        let mut doomed = 0;
+        match &mut self.ranges {
+            RangeStore::Flat { locks, .. } => {
+                locks.retain(|r| {
+                    if r.owner.id() == self_id {
+                        return true;
+                    }
+                    match r.owner.state() {
+                        TxState::Active => {
+                            if in_range(key, &r.lower, &r.upper) && r.owner.doom() {
+                                doomed += 1;
+                            }
+                            true
+                        }
+                        _ => false,
+                    }
+                });
+            }
+            RangeStore::Tree { tree, .. } => {
+                tree.stab(key, &mut |_, owner| {
+                    if owner.id() != self_id
+                        && owner.state() == TxState::Active
+                        && owner.doom()
+                    {
+                        doomed += 1;
+                    }
+                });
+            }
+        }
+        doomed
+    }
+
+    pub fn doom_first_lockers(&mut self, self_id: u64) -> u64 {
+        doom_others(&mut self.first_lockers, self_id)
+    }
+
+    pub fn doom_last_lockers(&mut self, self_id: u64) -> u64 {
+        doom_others(&mut self.last_lockers, self_id)
+    }
+
+    pub fn release_owner(&mut self, owner_id: u64) {
+        self.first_lockers.retain(|o| o.id() != owner_id);
+        self.last_lockers.retain(|o| o.id() != owner_id);
+        match &mut self.ranges {
+            RangeStore::Flat { locks, .. } => {
+                locks.retain(|r| r.owner.id() != owner_id);
+            }
+            RangeStore::Tree {
+                tree,
+                by_owner,
+                by_id,
+            } => {
+                if let Some(mine) = by_owner.remove(&owner_id) {
+                    for (lower, id) in mine {
+                        tree.remove(&lower, id);
+                        by_id.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner() -> Owner {
+        TxHandle::new(0)
+    }
+
+    #[test]
+    fn key_lock_doom_hits_only_other_active_owners() {
+        let mut t: MapLockTables<u32> = MapLockTables::default();
+        let me = owner();
+        let victim = owner();
+        t.take_key_lock(7, me.clone());
+        t.take_key_lock(7, victim.clone());
+        let doomed = t.doom_key_lockers(&7, me.id());
+        assert_eq!(doomed, 1);
+        assert!(victim.is_doomed());
+        assert!(!me.is_doomed());
+    }
+
+    #[test]
+    fn doom_missing_key_is_zero() {
+        let mut t: MapLockTables<u32> = MapLockTables::default();
+        assert_eq!(t.doom_key_lockers(&1, 0), 0);
+    }
+
+    #[test]
+    fn release_removes_all_owner_locks() {
+        let mut t: MapLockTables<u32> = MapLockTables::default();
+        let me = owner();
+        t.take_key_lock(1, me.clone());
+        t.take_key_lock(2, me.clone());
+        t.take_size_lock(me.clone());
+        let keys: Vec<u32> = vec![1, 2];
+        t.release_owner(me.id(), keys.iter());
+        assert_eq!(t.locked_key_count(), 0);
+        assert_eq!(t.doom_size_lockers(u64::MAX), 0);
+    }
+
+    #[test]
+    fn finished_owners_are_pruned_not_doomed() {
+        let mut t: MapLockTables<u32> = MapLockTables::default();
+        let dead = owner();
+        // Simulate a completed transaction lingering in the table.
+        let mut set = HashSet::new();
+        set.insert(dead.clone());
+        t.size_lockers = set;
+        // mark_committed is crate-private to stm; emulate via doom->abort path
+        // is not possible here, so use an Active owner and verify doom, then
+        // check pruning with the doomed-but-aborted state is covered by the
+        // integration tests.
+        let n = t.doom_size_lockers(u64::MAX);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn range_lock_covers_and_grows() {
+        let mut t: SortedLockTables<u32> = SortedLockTables::default();
+        let me = owner();
+        let victim = owner();
+        let idx = t.add_range_lock(victim.clone(), Bound::Included(10), Bound::Included(20));
+        assert_eq!(t.doom_range_lockers(&5, me.id()), 0);
+        assert_eq!(t.doom_range_lockers(&15, me.id()), 1);
+        assert!(victim.is_doomed());
+
+        let victim2 = owner();
+        let id2 = t.add_range_lock(victim2.clone(), Bound::Included(30), Bound::Excluded(31));
+        t.extend_range_upper(id2, Bound::Included(40));
+        assert_eq!(t.doom_range_lockers(&40, me.id()), 1);
+        assert!(victim2.is_doomed());
+        let _ = idx;
+    }
+
+    #[test]
+    fn range_owner_not_self_doomed() {
+        let mut t: SortedLockTables<u32> = SortedLockTables::default();
+        let me = owner();
+        t.add_range_lock(me.clone(), Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(t.doom_range_lockers(&1, me.id()), 0);
+        assert!(!me.is_doomed());
+    }
+
+    #[test]
+    fn in_range_bounds() {
+        assert!(in_range(&5, &Bound::Included(5), &Bound::Included(5)));
+        assert!(!in_range(&5, &Bound::Excluded(5), &Bound::Unbounded));
+        assert!(!in_range(&5, &Bound::Unbounded, &Bound::Excluded(5)));
+        assert!(in_range(&5, &Bound::Unbounded, &Bound::Unbounded));
+    }
+}

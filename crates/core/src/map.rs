@@ -1,0 +1,684 @@
+//! `TransactionalMap` — semantic concurrency control for the `Map` abstract
+//! data type (paper §3.1).
+//!
+//! # Protocol
+//!
+//! Following the paper's three-step recipe (§2.4):
+//!
+//! 1. **Take semantic locks on read operations.** `get`/`contains_key` take a
+//!    key lock on their argument; `size` takes the size lock; the iterator
+//!    takes key locks on returned keys and the size lock once exhausted
+//!    (Table 2). Lock acquisition is a short critical section on the
+//!    instance's lock-table mutex, after which the committed value is read in
+//!    an **open-nested** transaction — so the parent transaction carries *no
+//!    memory dependency* on the underlying structure.
+//! 2. **Check for semantic conflicts while writing during commit.** Writes
+//!    (`put`/`remove`) are buffered in transaction-local state (`storeBuffer`,
+//!    `delta` — Table 3). The commit handler applies the buffer to the
+//!    underlying map and **dooms** every other transaction holding a
+//!    conflicting key/size lock (program-directed abort).
+//! 3. **Clear semantic locks on abort and commit.** Both handlers release the
+//!    transaction's locks and discard its local state; the abort handler is
+//!    the compensating transaction for the open-nested lock acquisitions.
+//!
+//! # Why lock-then-read is sound
+//!
+//! A reader takes its key lock *before* reading the committed value; a
+//! committing writer applies its changes and *then* scans lockers, all under
+//! the global commit mutex (handlers run there). If the reader saw the old
+//! value, its lock was in the table before the writer's scan, so the writer
+//! dooms it; if the reader's lock arrived after the scan, its open-nested
+//! read is forced (by commit-mutex ordering) to see the fully applied new
+//! value — either way the reader is serializable.
+
+use crate::backend::MapBackend;
+use crate::locks::{MapLockTables, SemanticStats};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+use stm::{Txn, TxnMode};
+use txstruct::TxHashMap;
+
+/// A buffered write in the thread-local store buffer (the paper's "special
+/// value for removed keys" is the `Remove` variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BufWrite<V> {
+    /// Pending insert/replace.
+    Put(V),
+    /// Pending removal.
+    Remove,
+}
+
+/// Per-transaction local state (paper Table 3: `keyLocks`, `storeBuffer`,
+/// `delta`). Keyed by top-level transaction id rather than by thread — the
+/// same encapsulation, robust to handler execution context.
+pub(crate) struct MapLocal<K, V> {
+    pub key_locks: HashSet<K>,
+    pub store_buffer: HashMap<K, BufWrite<V>>,
+    /// Size delta of buffered writes whose prior presence is known.
+    pub delta: isize,
+    /// Keys written blindly (`put_discard`/`remove_discard`): their effect on
+    /// the size is unknown until resolved or until commit.
+    pub blind: HashSet<K>,
+}
+
+impl<K, V> Default for MapLocal<K, V> {
+    fn default() -> Self {
+        MapLocal {
+            key_locks: HashSet::new(),
+            store_buffer: HashMap::new(),
+            delta: 0,
+            blind: HashSet::new(),
+        }
+    }
+}
+
+pub(crate) struct MapInner<K, V, B> {
+    pub backend: B,
+    pub tables: Mutex<MapLockTables<K>>,
+    pub locals: Mutex<HashMap<u64, MapLocal<K, V>>>,
+    pub stats: SemanticStats,
+}
+
+/// A transactional wrapper making any [`MapBackend`] safe and scalable to use
+/// from long-running transactions.
+///
+/// ```
+/// use stm::atomic;
+/// use txcollections::TransactionalMap;
+///
+/// let map: TransactionalMap<u32, String> = TransactionalMap::new();
+/// atomic(|tx| {
+///     map.put(tx, 1, "one".to_string());
+///     assert_eq!(map.get(tx, &1).as_deref(), Some("one"));
+/// });
+/// ```
+pub struct TransactionalMap<K, V, B = TxHashMap<K, V>> {
+    pub(crate) inner: Arc<MapInner<K, V, B>>,
+}
+
+impl<K, V, B> Clone for TransactionalMap<K, V, B> {
+    fn clone(&self) -> Self {
+        TransactionalMap {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<K, V> TransactionalMap<K, V, TxHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a `TransactionalMap` over a fresh [`TxHashMap`].
+    pub fn new() -> Self {
+        Self::wrap(TxHashMap::new())
+    }
+
+    /// Create over a fresh, pre-sized [`TxHashMap`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::wrap(TxHashMap::with_capacity(capacity))
+    }
+}
+
+impl<K, V> Default for TransactionalMap<K, V, TxHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, B> TransactionalMap<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    /// Wrap an existing map implementation (the paper's drop-in-replacement
+    /// use: "they can serve as drop-in replacements in existing programs").
+    pub fn wrap(backend: B) -> Self {
+        TransactionalMap {
+            inner: Arc::new(MapInner {
+                backend,
+                tables: Mutex::new(MapLockTables::default()),
+                locals: Mutex::new(HashMap::new()),
+                stats: SemanticStats::default(),
+            }),
+        }
+    }
+
+    /// Semantic-conflict counters for this instance.
+    pub fn semantic_stats(&self) -> &SemanticStats {
+        &self.inner.stats
+    }
+
+    fn assert_usable(tx: &Txn) {
+        assert!(
+            tx.mode() == TxnMode::Speculative,
+            "TransactionalMap operations cannot run inside commit/abort handlers"
+        );
+    }
+
+    /// Create local state and register the single commit/abort handler pair
+    /// on first use by this top-level transaction (paper §5 guidelines).
+    fn ensure_registered(&self, tx: &mut Txn) {
+        let id = tx.handle().id();
+        let fresh = {
+            let mut locals = self.inner.locals.lock();
+            match locals.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(MapLocal::default());
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
+        if fresh {
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_commit_top(move |htx| commit_handler(&inner, htx, h.id()));
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_abort_top(move |_htx| abort_handler(&inner, h.id()));
+        }
+    }
+
+    fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut MapLocal<K, V>) -> R) -> R {
+        let id = tx.handle().id();
+        let mut locals = self.inner.locals.lock();
+        f(locals.entry(id).or_default())
+    }
+
+    /// Take a key read lock and remember it locally for cheap release.
+    fn take_key_lock(&self, tx: &mut Txn, key: &K) {
+        let owner = tx.handle().clone();
+        {
+            let mut tables = self.inner.tables.lock();
+            tables.take_key_lock(key.clone(), owner);
+        }
+        self.with_local(tx, |l| {
+            l.key_locks.insert(key.clone());
+        });
+    }
+
+    fn buffered(&self, tx: &Txn, key: &K) -> Option<BufWrite<V>> {
+        self.with_local(tx, |l| l.store_buffer.get(key).cloned())
+    }
+
+    /// Buffered entry plus whether it is blind (its presence relative to the
+    /// committed state is unknown). Blindness must be preserved by further
+    /// writes to the key, or the size delta silently loses the unresolved
+    /// contribution.
+    fn buffered_with_blind(&self, tx: &Txn, key: &K) -> (Option<BufWrite<V>>, bool) {
+        self.with_local(tx, |l| {
+            (l.store_buffer.get(key).cloned(), l.blind.contains(key))
+        })
+    }
+
+    /// Buffer a write, maintaining `delta`/`blind`, and register a local
+    /// undo so the mutation rolls back if an enclosing closed-nested frame
+    /// aborts (the encapsulated alternative to Moss-style interleaved undo,
+    /// paper §5.1).
+    fn buffer_write(
+        &self,
+        tx: &mut Txn,
+        key: K,
+        write: BufWrite<V>,
+        delta_change: isize,
+        blind: bool,
+    ) {
+        let id = tx.handle().id();
+        let (prev_entry, was_blind) = self.with_local(tx, |l| {
+            let prev = l.store_buffer.insert(key.clone(), write);
+            let was_blind = if blind {
+                !l.blind.insert(key.clone())
+            } else {
+                l.blind.remove(&key)
+            };
+            l.delta += delta_change;
+            (prev, was_blind)
+        });
+        let inner = self.inner.clone();
+        let key2 = key.clone();
+        tx.on_local_undo(move || {
+            let mut locals = inner.locals.lock();
+            if let Some(l) = locals.get_mut(&id) {
+                match prev_entry {
+                    Some(w) => {
+                        l.store_buffer.insert(key2.clone(), w);
+                    }
+                    None => {
+                        l.store_buffer.remove(&key2);
+                    }
+                }
+                if blind && !was_blind {
+                    l.blind.remove(&key2);
+                }
+                l.delta -= delta_change;
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Read operations (Table 2, upper half)
+    // ------------------------------------------------------------------
+
+    /// Look up a key. Takes a key lock; reads the committed map open-nested;
+    /// consults the store buffer for this transaction's own writes.
+    pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered(tx, key) {
+            Some(BufWrite::Put(v)) => return Some(v),
+            Some(BufWrite::Remove) => return None,
+            None => {}
+        }
+        self.take_key_lock(tx, key);
+        let backend = &self.inner.backend;
+        tx.open(|otx| backend.get(otx, key))
+    }
+
+    /// Whether a key is present (key lock on the argument — note that even
+    /// observing *absence* conflicts with a later `put` of that key,
+    /// Table 1).
+    pub fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered(tx, key) {
+            Some(BufWrite::Put(_)) => return true,
+            Some(BufWrite::Remove) => return false,
+            None => {}
+        }
+        self.take_key_lock(tx, key);
+        let backend = &self.inner.backend;
+        tx.open(|otx| backend.contains_key(otx, key))
+    }
+
+    /// Resolve blind writes: a size observation needs to know whether each
+    /// blindly written key was previously present, which is itself a key
+    /// read (so it takes the key lock the blind write deliberately avoided).
+    fn resolve_blind(&self, tx: &mut Txn) {
+        let blind: Vec<K> = self.with_local(tx, |l| l.blind.iter().cloned().collect());
+        for k in blind {
+            self.take_key_lock(tx, &k);
+            let backend = &self.inner.backend;
+            let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
+            self.with_local(tx, |l| {
+                if l.blind.remove(&k) {
+                    let buffered_present =
+                        matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
+                    l.delta += buffered_present as isize - committed_present as isize;
+                }
+            });
+        }
+    }
+
+    /// Number of entries as seen by this transaction. Takes the **size
+    /// lock**: any committing transaction that changes the size dooms us.
+    pub fn size(&self, tx: &mut Txn) -> usize {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        self.resolve_blind(tx);
+        {
+            let mut tables = self.inner.tables.lock();
+            tables.take_size_lock(tx.handle().clone());
+        }
+        let backend = &self.inner.backend;
+        let committed = tx.open(|otx| backend.len(otx));
+        let delta = self.with_local(tx, |l| l.delta);
+        (committed as isize + delta).max(0) as usize
+    }
+
+    /// `size() == 0`, implemented as a derivative of [`Self::size`]: takes
+    /// the full size lock, so it conflicts with *any* size change. See
+    /// [`Self::is_empty_primitive`] for the higher-concurrency variant the
+    /// paper derives in §5.1.
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.size(tx) == 0
+    }
+
+    /// Emptiness as a primitive operation with its own **zero-crossing
+    /// lock** (paper §5.1): conflicts only when the size moves to or from
+    /// zero, so `if !is_empty { put(unique_key) }` transactions commute.
+    pub fn is_empty_primitive(&self, tx: &mut Txn) -> bool {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        self.resolve_blind(tx);
+        {
+            let mut tables = self.inner.tables.lock();
+            tables.take_empty_lock(tx.handle().clone());
+        }
+        let backend = &self.inner.backend;
+        let committed = tx.open(|otx| backend.len(otx));
+        let delta = self.with_local(tx, |l| l.delta);
+        (committed as isize + delta) <= 0
+    }
+
+    // ------------------------------------------------------------------
+    // Write operations (Table 2, lower half)
+    // ------------------------------------------------------------------
+
+    /// Insert or replace; returns the previous value.
+    ///
+    /// Because it returns the old value, `put` *reads* the key (paper §5.1
+    /// "Extensions to java.util.Map") and therefore takes a key lock. The
+    /// write itself is buffered until commit. Use [`Self::put_discard`] when
+    /// the old value is not needed.
+    pub fn put(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let (buffered, was_blind) = self.buffered_with_blind(tx, &key);
+        let old = match buffered {
+            Some(BufWrite::Put(v)) => Some(v),
+            Some(BufWrite::Remove) => None,
+            None => {
+                self.take_key_lock(tx, &key);
+                let backend = &self.inner.backend;
+                tx.open(|otx| backend.get(otx, &key))
+            }
+        };
+        // A blind entry's contribution to the size is still unresolved:
+        // keep it blind and leave the delta deferred.
+        let delta_change = if was_blind {
+            0
+        } else {
+            1 - isize::from(old.is_some())
+        };
+        self.buffer_write(tx, key, BufWrite::Put(value), delta_change, was_blind);
+        old
+    }
+
+    /// Insert or replace **without reading the old value** — the
+    /// information-hiding variant of §5.1: two transactions blind-writing the
+    /// same key (the `"LastModified"` idiom) do not conflict with each other,
+    /// only with readers of that key.
+    pub fn put_discard(&self, tx: &mut Txn, key: K, value: V) {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        // If prior presence is already known locally, keep delta exact;
+        // blind entries stay blind (deferred) across overwrites.
+        match self.buffered_with_blind(tx, &key) {
+            (Some(BufWrite::Put(_)), blind) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 0, blind);
+            }
+            (Some(BufWrite::Remove), true) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 0, true);
+            }
+            (Some(BufWrite::Remove), false) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 1, false);
+            }
+            (None, _) => {
+                let known_lock = self.with_local(tx, |l| l.key_locks.contains(&key));
+                if known_lock {
+                    // We already read this key earlier: presence is known.
+                    let backend = &self.inner.backend;
+                    let present = tx.open(|otx| backend.contains_key(otx, &key));
+                    self.buffer_write(
+                        tx,
+                        key,
+                        BufWrite::Put(value),
+                        1 - isize::from(present),
+                        false,
+                    );
+                } else {
+                    self.buffer_write(tx, key, BufWrite::Put(value), 0, true);
+                }
+            }
+        }
+    }
+
+    /// Remove a key; returns the previous value (and therefore reads the
+    /// key — takes a key lock).
+    pub fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let (buffered, was_blind) = self.buffered_with_blind(tx, key);
+        let old = match buffered {
+            Some(BufWrite::Put(v)) => Some(v),
+            Some(BufWrite::Remove) => None,
+            None => {
+                self.take_key_lock(tx, key);
+                let backend = &self.inner.backend;
+                tx.open(|otx| backend.get(otx, key))
+            }
+        };
+        let delta_change = if was_blind {
+            0
+        } else {
+            -isize::from(old.is_some())
+        };
+        self.buffer_write(tx, key.clone(), BufWrite::Remove, delta_change, was_blind);
+        old
+    }
+
+    /// Remove without reading the old value (blind; see
+    /// [`Self::put_discard`]).
+    pub fn remove_discard(&self, tx: &mut Txn, key: &K) {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered_with_blind(tx, key) {
+            (Some(BufWrite::Put(_)), true) => {
+                self.buffer_write(tx, key.clone(), BufWrite::Remove, 0, true);
+            }
+            (Some(BufWrite::Put(_)), false) => {
+                self.buffer_write(tx, key.clone(), BufWrite::Remove, -1, false);
+            }
+            (Some(BufWrite::Remove), _) => {}
+            (None, _) => {
+                let known_lock = self.with_local(tx, |l| l.key_locks.contains(key));
+                if known_lock {
+                    let backend = &self.inner.backend;
+                    let present = tx.open(|otx| backend.contains_key(otx, key));
+                    self.buffer_write(
+                        tx,
+                        key.clone(),
+                        BufWrite::Remove,
+                        -isize::from(present),
+                        false,
+                    );
+                } else {
+                    self.buffer_write(tx, key.clone(), BufWrite::Remove, 0, true);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration
+    // ------------------------------------------------------------------
+
+    /// Begin enumerating the map as seen by this transaction.
+    ///
+    /// Keys are snapshotted eagerly (one consistent open-nested read) but
+    /// **values are read live and key locks are taken lazily** as entries
+    /// are returned, per Table 2 (`entrySet.iterator.next` takes a key lock
+    /// on the return value). When the iterator is exhausted it takes the
+    /// size lock and verifies the enumeration is still complete; if entries
+    /// appeared concurrently the transaction aborts and retries.
+    pub fn iter(&self, tx: &mut Txn) -> TxMapIter<K, V, B> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let backend = &self.inner.backend;
+        let committed_keys: Vec<K> =
+            tx.open(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
+        let key_set: HashSet<K> = committed_keys.iter().cloned().collect();
+        let buffered_new: Vec<(K, V)> = self.with_local(tx, |l| {
+            l.store_buffer
+                .iter()
+                .filter_map(|(k, w)| match w {
+                    BufWrite::Put(v) if !key_set.contains(k) => Some((k.clone(), v.clone())),
+                    _ => None,
+                })
+                .collect()
+        });
+        TxMapIter {
+            map: self.clone(),
+            keys: committed_keys,
+            pos: 0,
+            confirmed: HashSet::new(),
+            buffered_new,
+            bpos: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Convenience: collect all entries visible to this transaction
+    /// (fully enumerates, so it takes the size lock).
+    pub fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        let mut it = self.iter(tx);
+        let mut out = Vec::new();
+        while let Some(e) = it.next(tx) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Convenience: all keys visible to this transaction.
+    pub fn keys(&self, tx: &mut Txn) -> Vec<K> {
+        self.entries(tx).into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Number of semantic locks currently outstanding (diagnostics).
+    pub fn locked_key_count(&self) -> usize {
+        self.inner.tables.lock().locked_key_count()
+    }
+}
+
+/// Iterator over a [`TransactionalMap`]; see [`TransactionalMap::iter`].
+///
+/// Unlike a std iterator this is a *transactional cursor*: `next` needs the
+/// transaction context to take locks, so it is a method taking `&mut Txn`
+/// rather than an `Iterator` impl.
+pub struct TxMapIter<K, V, B> {
+    map: TransactionalMap<K, V, B>,
+    keys: Vec<K>,
+    pos: usize,
+    /// Snapshot keys confirmed still committed when visited.
+    confirmed: HashSet<K>,
+    buffered_new: Vec<(K, V)>,
+    bpos: usize,
+    exhausted: bool,
+}
+
+impl<K, V, B> TxMapIter<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    /// Produce the next entry, or `None` at exhaustion (at which point the
+    /// size lock has been taken).
+    pub fn next(&mut self, tx: &mut Txn) -> Option<(K, V)> {
+        loop {
+            if self.pos < self.keys.len() {
+                let k = self.keys[self.pos].clone();
+                self.pos += 1;
+                // Lock, then read live (lock-then-read soundness).
+                self.map.take_key_lock(tx, &k);
+                let backend = &self.map.inner.backend;
+                let committed = tx.open(|otx| backend.get(otx, &k));
+                if committed.is_some() {
+                    self.confirmed.insert(k.clone());
+                }
+                let visible = match self.map.buffered(tx, &k) {
+                    Some(BufWrite::Put(v)) => Some(v),
+                    Some(BufWrite::Remove) => None,
+                    None => committed,
+                };
+                match visible {
+                    Some(v) => return Some((k, v)),
+                    None => continue, // concurrently/by-us removed: skip
+                }
+            }
+            if self.bpos < self.buffered_new.len() {
+                let e = self.buffered_new[self.bpos].clone();
+                self.bpos += 1;
+                return Some(e);
+            }
+            if !self.exhausted {
+                self.exhausted = true;
+                {
+                    let mut tables = self.map.inner.tables.lock();
+                    tables.take_size_lock(tx.handle().clone());
+                }
+                // Completeness check: keys committed after our snapshot would
+                // silently be missed. Verify the set of confirmed keys equals
+                // the live committed key set; otherwise abort and retry. Every
+                // confirmed key is lock-protected against later change, so on
+                // success the enumeration equals the committed state at this
+                // instant — a valid serialization point.
+                let backend = &self.map.inner.backend;
+                let live: HashSet<K> = tx.open(|otx| {
+                    backend.entries(otx).into_iter().map(|(k, _)| k).collect()
+                });
+                if live != self.confirmed {
+                    stm::abort_and_retry();
+                }
+            }
+            return None;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Handlers (run in direct mode under the global commit mutex)
+// ----------------------------------------------------------------------
+
+pub(crate) fn commit_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, htx: &mut Txn, id: u64)
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let mut tables = inner.tables.lock();
+
+    let size_before = inner.backend.len(htx) as isize;
+    let mut size_after = size_before;
+    for (k, w) in &local.store_buffer {
+        match w {
+            BufWrite::Put(v) => {
+                let old = inner.backend.insert(htx, k.clone(), v.clone());
+                if old.is_none() {
+                    size_after += 1;
+                }
+                // put conflicts with any reader of this key (Table 2).
+                let doomed = tables.doom_key_lockers(k, id);
+                inner.stats.bump(&inner.stats.key_conflicts, doomed);
+            }
+            BufWrite::Remove => {
+                let old = inner.backend.remove(htx, k);
+                if old.is_some() {
+                    size_after -= 1;
+                    // Removing nothing conflicts with nobody (Table 1).
+                    let doomed = tables.doom_key_lockers(k, id);
+                    inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                }
+            }
+        }
+    }
+    if size_after != size_before {
+        let doomed = tables.doom_size_lockers(id);
+        inner.stats.bump(&inner.stats.size_conflicts, doomed);
+        if (size_before == 0) != (size_after == 0) {
+            let doomed = tables.doom_empty_lockers(id);
+            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+        }
+    }
+    tables.release_owner(id, local.key_locks.iter());
+}
+
+pub(crate) fn abort_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, id: u64)
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    // Compensating transaction: discard buffered state, release locks.
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let mut tables = inner.tables.lock();
+    tables.release_owner(id, local.key_locks.iter());
+}

@@ -1,0 +1,426 @@
+//! `TransactionalQueue` — a transactional work queue with **selectively
+//! reduced isolation** (paper §3.3).
+//!
+//! Inspired by Delaunay-mesh work queues: workers take work items and may add
+//! new ones while processing. Plain open nesting (add/remove immediately)
+//! breaks atomicity — "if transactions abort, the new work added to the
+//! queue is invalid, but may be impossible to recover since another
+//! transaction may have dequeued it". `TransactionalQueue` fixes both
+//! directions:
+//!
+//! * **put** buffers the item locally (`addBuffer`) and publishes it in the
+//!   commit handler, so work produced by an aborted transaction is never
+//!   seen by anyone;
+//! * **poll/take** removes the item from the shared queue *immediately*
+//!   (open-nested — this is the isolation reduction: other transactions can
+//!   observe the queue shrink before we commit) and records it in
+//!   `removeBuffer`; the abort handler returns it to the queue, so work is
+//!   never lost.
+//!
+//! Because ordering is deliberately not guaranteed ("to improve concurrency,
+//! we do not maintain strict ordering on the queue"), the only semantic
+//! conflict is emptiness: a transaction that observed an empty queue
+//! (null `peek`/`poll`) holds the **empty lock** and is doomed by any commit
+//! or abort that makes the queue non-empty (Tables 7–8).
+
+use crate::backend::QueueBackend;
+use crate::locks::{doom_others, Owner, SemanticStats};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use stm::{Txn, TxnMode};
+use txstruct::TxVecDeque;
+
+/// The `Channel` interface from `util.concurrent` (paper §3.3): the minimal
+/// enqueue/dequeue surface of a concurrent work queue, deliberately omitting
+/// random access.
+pub trait Channel<T> {
+    /// Enqueue an item (published at commit).
+    fn put(&self, tx: &mut Txn, item: T);
+    /// Enqueue an item; `true` on success (always, for unbounded queues).
+    fn offer(&self, tx: &mut Txn, item: T) -> bool {
+        self.put(tx, item);
+        true
+    }
+    /// Dequeue an item, or `None` if the queue is empty (taking the empty
+    /// lock in that case).
+    fn poll(&self, tx: &mut Txn) -> Option<T>;
+    /// Observe the head without removing it, or `None` if empty (taking the
+    /// empty lock in that case).
+    fn peek(&self, tx: &mut Txn) -> Option<T>;
+}
+
+/// Per-transaction local queue state (paper Table 9 plus the frame-abort
+/// `returnBuffer` needed for closed-nesting compensation).
+struct QueueLocal<T> {
+    /// Items this transaction enqueued; published by the commit handler.
+    add_buffer: Vec<T>,
+    /// Items this transaction dequeued from the shared queue; returned by
+    /// the abort handler.
+    remove_buffer: Vec<T>,
+    /// Items dequeued inside a closed-nested frame that later aborted: they
+    /// must go back to the shared queue whether the top-level transaction
+    /// commits or aborts.
+    return_buffer: Vec<T>,
+}
+
+impl<T> Default for QueueLocal<T> {
+    fn default() -> Self {
+        QueueLocal {
+            add_buffer: Vec::new(),
+            remove_buffer: Vec::new(),
+            return_buffer: Vec::new(),
+        }
+    }
+}
+
+struct QueueTables {
+    empty_lockers: HashSet<Owner>,
+    /// Holders observed the queue full (bounded queues only) — doomed when
+    /// a commit permanently consumes items.
+    full_lockers: HashSet<Owner>,
+}
+
+struct QueueInner<T, B> {
+    backend: B,
+    /// `None` = unbounded (the paper's queue); `Some(n)` = bounded Channel
+    /// with full-lock semantics symmetric to the empty lock.
+    capacity: Option<usize>,
+    tables: Mutex<QueueTables>,
+    locals: Mutex<HashMap<u64, QueueLocal<T>>>,
+    stats: SemanticStats,
+}
+
+/// A transactional work queue wrapping any [`QueueBackend`]; see the module
+/// docs for the isolation contract.
+pub struct TransactionalQueue<T, B = TxVecDeque<T>> {
+    inner: Arc<QueueInner<T, B>>,
+}
+
+impl<T, B> Clone for TransactionalQueue<T, B> {
+    fn clone(&self) -> Self {
+        TransactionalQueue {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> TransactionalQueue<T, TxVecDeque<T>>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Create a `TransactionalQueue` over a fresh [`TxVecDeque`].
+    pub fn new() -> Self {
+        Self::wrap(TxVecDeque::new())
+    }
+
+    /// Create a **bounded** queue: `offer` fails (taking the full lock) when
+    /// `capacity` items are visible, and `put` blocks (aborts and retries).
+    /// The full lock mirrors the empty lock of Tables 7–8: a transaction
+    /// that observed fullness is doomed by any commit that permanently
+    /// consumes items.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::wrap_bounded(TxVecDeque::new(), capacity)
+    }
+}
+
+impl<T> Default for TransactionalQueue<T, TxVecDeque<T>>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, B> TransactionalQueue<T, B>
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    /// Wrap an existing queue implementation (unbounded).
+    pub fn wrap(backend: B) -> Self {
+        TransactionalQueue {
+            inner: Arc::new(QueueInner {
+                backend,
+                capacity: None,
+                tables: Mutex::new(QueueTables {
+                    empty_lockers: HashSet::new(),
+                    full_lockers: HashSet::new(),
+                }),
+                locals: Mutex::new(HashMap::new()),
+                stats: SemanticStats::default(),
+            }),
+        }
+    }
+
+    /// Wrap an existing queue implementation with a capacity bound.
+    pub fn wrap_bounded(backend: B, capacity: usize) -> Self {
+        TransactionalQueue {
+            inner: Arc::new(QueueInner {
+                backend,
+                capacity: Some(capacity),
+                tables: Mutex::new(QueueTables {
+                    empty_lockers: HashSet::new(),
+                    full_lockers: HashSet::new(),
+                }),
+                locals: Mutex::new(HashMap::new()),
+                stats: SemanticStats::default(),
+            }),
+        }
+    }
+
+    /// Semantic-conflict counters (only `empty_conflicts` is used here).
+    pub fn semantic_stats(&self) -> &SemanticStats {
+        &self.inner.stats
+    }
+
+    fn assert_usable(tx: &Txn) {
+        assert!(
+            tx.mode() == TxnMode::Speculative,
+            "TransactionalQueue operations cannot run inside commit/abort handlers"
+        );
+    }
+
+    fn ensure_registered(&self, tx: &mut Txn) {
+        let id = tx.handle().id();
+        let fresh = {
+            let mut locals = self.inner.locals.lock();
+            match locals.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(QueueLocal::default());
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
+        if fresh {
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_commit_top(move |htx| queue_commit_handler(&inner, htx, h.id()));
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_abort_top(move |htx| queue_abort_handler(&inner, htx, h.id()));
+        }
+    }
+
+    fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut QueueLocal<T>) -> R) -> R {
+        let id = tx.handle().id();
+        let mut locals = self.inner.locals.lock();
+        f(locals.entry(id).or_default())
+    }
+
+    fn take_empty_lock(&self, tx: &Txn) {
+        self.inner
+            .tables
+            .lock()
+            .empty_lockers
+            .insert(tx.handle().clone());
+    }
+
+    fn take_full_lock(&self, tx: &Txn) {
+        self.inner
+            .tables
+            .lock()
+            .full_lockers
+            .insert(tx.handle().clone());
+    }
+
+    /// The number of items this transaction would see: committed queue plus
+    /// everything it will publish at commit.
+    fn visible_len(&self, tx: &mut Txn) -> usize {
+        let backend = &self.inner.backend;
+        let committed = tx.open(|otx| backend.len(otx));
+        committed + self.with_local(tx, |l| l.add_buffer.len() + l.return_buffer.len())
+    }
+
+    /// Dequeue with blocking-take semantics in the threaded runtime: if the
+    /// queue is empty, abort and retry the whole transaction (the STM analog
+    /// of `Channel.take` blocking). Use [`Channel::poll`] for non-blocking.
+    pub fn take_or_retry(&self, tx: &mut Txn) -> T {
+        match self.poll(tx) {
+            Some(item) => item,
+            None => stm::abort_and_retry(),
+        }
+    }
+
+    /// Number of committed items currently in the underlying queue
+    /// (diagnostic; takes no semantic locks).
+    pub fn committed_len(&self, tx: &mut Txn) -> usize {
+        let backend = &self.inner.backend;
+        tx.open(|otx| backend.len(otx))
+    }
+}
+
+impl<T, B> Channel<T> for TransactionalQueue<T, B>
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    fn put(&self, tx: &mut Txn, item: T) {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        if let Some(cap) = self.inner.capacity {
+            if self.visible_len(tx) >= cap {
+                // Blocking semantics in the threaded runtime: observe
+                // fullness (full lock) and retry the whole transaction; a
+                // consuming commit dooms/wakes us.
+                self.take_full_lock(tx);
+                stm::abort_and_retry();
+            }
+        }
+        let id = tx.handle().id();
+        let index = self.with_local(tx, |l| {
+            l.add_buffer.push(item);
+            l.add_buffer.len() - 1
+        });
+        let inner = self.inner.clone();
+        tx.on_local_undo(move || {
+            let mut locals = inner.locals.lock();
+            if let Some(l) = locals.get_mut(&id) {
+                l.add_buffer.truncate(index);
+            }
+        });
+    }
+
+    fn offer(&self, tx: &mut Txn, item: T) -> bool {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        if let Some(cap) = self.inner.capacity {
+            if self.visible_len(tx) >= cap {
+                // Observed fullness: semantic read of the "full" property.
+                self.take_full_lock(tx);
+                return false;
+            }
+        }
+        self.put(tx, item);
+        true
+    }
+
+    fn poll(&self, tx: &mut Txn) -> Option<T> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let id = tx.handle().id();
+        // Reduced isolation: remove from the shared queue immediately.
+        let backend = &self.inner.backend;
+        if let Some(item) = tx.open(|otx| backend.pop_front(otx)) {
+            let index = self.with_local(tx, |l| {
+                l.remove_buffer.push(item.clone());
+                l.remove_buffer.len() - 1
+            });
+            // If an enclosing closed frame aborts, the item must still reach
+            // the queue again: move it to the unconditional return buffer.
+            let inner = self.inner.clone();
+            tx.on_local_undo(move || {
+                let mut locals = inner.locals.lock();
+                if let Some(l) = locals.get_mut(&id) {
+                    if index < l.remove_buffer.len() {
+                        let it = l.remove_buffer.remove(index);
+                        l.return_buffer.push(it);
+                    }
+                }
+            });
+            return Some(item);
+        }
+        // Shared queue empty: consume our own pending additions.
+        let own = self.with_local(tx, |l| {
+            if l.add_buffer.is_empty() {
+                None
+            } else {
+                Some(l.add_buffer.remove(0))
+            }
+        });
+        if let Some(item) = own {
+            let inner = self.inner.clone();
+            let item2 = item.clone();
+            tx.on_local_undo(move || {
+                let mut locals = inner.locals.lock();
+                if let Some(l) = locals.get_mut(&id) {
+                    l.add_buffer.insert(0, item2.clone());
+                }
+            });
+            return Some(item);
+        }
+        // Observed emptiness: semantic read of the "empty" property.
+        self.take_empty_lock(tx);
+        None
+    }
+
+    fn peek(&self, tx: &mut Txn) -> Option<T> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let backend = &self.inner.backend;
+        if let Some(item) = tx.open(|otx| backend.peek_front(otx)) {
+            // A non-null peek never conflicts (Table 7: the queue is
+            // unordered, so observing *an* element commutes with puts and
+            // with takes of other elements).
+            return Some(item);
+        }
+        let own = self.with_local(tx, |l| l.add_buffer.first().cloned());
+        if own.is_some() {
+            return own;
+        }
+        self.take_empty_lock(tx);
+        None
+    }
+}
+
+// ----------------------------------------------------------------------
+// Handlers
+// ----------------------------------------------------------------------
+
+fn queue_commit_handler<T, B>(inner: &Arc<QueueInner<T, B>>, htx: &mut Txn, id: u64)
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let made_nonempty = !local.add_buffer.is_empty() || !local.return_buffer.is_empty();
+    // Items permanently consumed: fullness observations are invalidated.
+    let consumed = !local.remove_buffer.is_empty();
+    // Items un-consumed by aborted frames go back near the front; new work
+    // appends at the back.
+    for item in local.return_buffer {
+        inner.backend.push_front(htx, item);
+    }
+    for item in local.add_buffer {
+        inner.backend.push_back(htx, item);
+    }
+    let mut tables = inner.tables.lock();
+    if made_nonempty {
+        let doomed = doom_others(&mut tables.empty_lockers, id);
+        inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+    }
+    if consumed {
+        let doomed = doom_others(&mut tables.full_lockers, id);
+        inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+    }
+    tables.empty_lockers.retain(|o| o.id() != id);
+    tables.full_lockers.retain(|o| o.id() != id);
+}
+
+fn queue_abort_handler<T, B>(inner: &Arc<QueueInner<T, B>>, htx: &mut Txn, id: u64)
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let restored = !local.remove_buffer.is_empty() || !local.return_buffer.is_empty();
+    // Compensation: return everything we dequeued; drop everything we only
+    // buffered for addition.
+    for item in local.remove_buffer.into_iter().rev() {
+        inner.backend.push_front(htx, item);
+    }
+    for item in local.return_buffer {
+        inner.backend.push_front(htx, item);
+    }
+    let mut tables = inner.tables.lock();
+    if restored {
+        // The queue may have gone from empty back to non-empty: emptiness
+        // observers are no longer serializable.
+        let doomed = doom_others(&mut tables.empty_lockers, id);
+        inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+    }
+    tables.empty_lockers.retain(|o| o.id() != id);
+    tables.full_lockers.retain(|o| o.id() != id);
+}

@@ -1,0 +1,199 @@
+//! `TransactionalSet` / `TransactionalSortedSet` — thin wrappers over the
+//! transactional maps, "as has been done similarly for ConcurrentHashSet
+//! implementations built on top of ConcurrentHashMap" (paper §5.1).
+
+use crate::backend::{MapBackend, SortedMapBackend};
+use crate::locks::SemanticStats;
+use crate::map::TransactionalMap;
+use crate::sorted_map::TransactionalSortedMap;
+use std::hash::Hash;
+use std::ops::Bound;
+use stm::Txn;
+use txstruct::{TxHashMap, TxTreeMap};
+
+/// A transactional set with semantic concurrency control, backed by a
+/// [`TransactionalMap`] with unit values.
+pub struct TransactionalSet<K, B = TxHashMap<K, ()>> {
+    map: TransactionalMap<K, (), B>,
+}
+
+impl<K, B> Clone for TransactionalSet<K, B> {
+    fn clone(&self) -> Self {
+        TransactionalSet {
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<K> TransactionalSet<K, TxHashMap<K, ()>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    /// Create an empty set.
+    pub fn new() -> Self {
+        TransactionalSet {
+            map: TransactionalMap::new(),
+        }
+    }
+}
+
+impl<K> Default for TransactionalSet<K, TxHashMap<K, ()>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, B> TransactionalSet<K, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    B: MapBackend<K, ()>,
+{
+    /// Wrap an existing map backend as a set.
+    pub fn wrap(backend: B) -> Self {
+        TransactionalSet {
+            map: TransactionalMap::wrap(backend),
+        }
+    }
+
+    /// Add an element; `true` if it was not already present (reads the
+    /// element's presence, so it takes a key lock).
+    pub fn add(&self, tx: &mut Txn, value: K) -> bool {
+        self.map.put(tx, value, ()).is_none()
+    }
+
+    /// Add without observing prior presence (blind; commutes with other
+    /// blind adds of the same element).
+    pub fn add_discard(&self, tx: &mut Txn, value: K) {
+        self.map.put_discard(tx, value, ());
+    }
+
+    /// Remove an element; `true` if it was present.
+    pub fn remove(&self, tx: &mut Txn, value: &K) -> bool {
+        self.map.remove(tx, value).is_some()
+    }
+
+    /// Whether the element is present (key lock).
+    pub fn contains(&self, tx: &mut Txn, value: &K) -> bool {
+        self.map.contains_key(tx, value)
+    }
+
+    /// Number of elements (size lock).
+    pub fn size(&self, tx: &mut Txn) -> usize {
+        self.map.size(tx)
+    }
+
+    /// Whether empty (size lock; see `is_empty_primitive` on the map for the
+    /// zero-crossing variant).
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.map.is_empty(tx)
+    }
+
+    /// All visible elements (full enumeration: size lock at the end).
+    pub fn elements(&self, tx: &mut Txn) -> Vec<K> {
+        self.map.keys(tx)
+    }
+
+    /// Semantic-conflict counters.
+    pub fn semantic_stats(&self) -> &SemanticStats {
+        self.map.semantic_stats()
+    }
+}
+
+/// A transactional sorted set backed by a [`TransactionalSortedMap`].
+pub struct TransactionalSortedSet<K, B = TxTreeMap<K, ()>> {
+    map: TransactionalSortedMap<K, (), B>,
+}
+
+impl<K, B> Clone for TransactionalSortedSet<K, B> {
+    fn clone(&self) -> Self {
+        TransactionalSortedSet {
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<K> TransactionalSortedSet<K, TxTreeMap<K, ()>>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+{
+    /// Create an empty sorted set.
+    pub fn new() -> Self {
+        TransactionalSortedSet {
+            map: TransactionalSortedMap::new(),
+        }
+    }
+}
+
+impl<K> Default for TransactionalSortedSet<K, TxTreeMap<K, ()>>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, B> TransactionalSortedSet<K, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    B: SortedMapBackend<K, ()>,
+{
+    /// Wrap an existing sorted map backend as a set.
+    pub fn wrap(backend: B) -> Self {
+        TransactionalSortedSet {
+            map: TransactionalSortedMap::wrap(backend),
+        }
+    }
+
+    /// Add an element; `true` if newly added.
+    pub fn add(&self, tx: &mut Txn, value: K) -> bool {
+        self.map.put(tx, value, ()).is_none()
+    }
+
+    /// Remove an element; `true` if it was present.
+    pub fn remove(&self, tx: &mut Txn, value: &K) -> bool {
+        self.map.remove(tx, value).is_some()
+    }
+
+    /// Whether the element is present.
+    pub fn contains(&self, tx: &mut Txn, value: &K) -> bool {
+        self.map.contains_key(tx, value)
+    }
+
+    /// Number of elements.
+    pub fn size(&self, tx: &mut Txn) -> usize {
+        self.map.size(tx)
+    }
+
+    /// Smallest element (first lock).
+    pub fn first(&self, tx: &mut Txn) -> Option<K> {
+        self.map.first_key(tx)
+    }
+
+    /// Largest element (last lock).
+    pub fn last(&self, tx: &mut Txn) -> Option<K> {
+        self.map.last_key(tx)
+    }
+
+    /// Elements within bounds, in order (growing range lock).
+    pub fn range(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) -> Vec<K> {
+        self.map
+            .range_entries(tx, lower, upper)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// All elements in order.
+    pub fn elements(&self, tx: &mut Txn) -> Vec<K> {
+        self.map.entries(tx).into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Semantic-conflict counters.
+    pub fn semantic_stats(&self) -> &SemanticStats {
+        self.map.semantic_stats()
+    }
+}

@@ -1,0 +1,1006 @@
+//! `TransactionalSortedMap` — semantic concurrency control for the
+//! `SortedMap` abstract data type (paper §3.2).
+//!
+//! Extends the `Map` protocol with the sorted-specific abstract properties
+//! of Tables 4–6: **key ranges** (ordered iteration and `subMap`/`headMap`/
+//! `tailMap` views take growing range locks), and the **first/last
+//! endpoints** (`firstKey`/`lastKey` take endpoint locks; a committing
+//! `put`/`remove` that changes an endpoint dooms their holders).
+//!
+//! "It's important to note that ranges are more than just a series of keys"
+//! (§3.2): inserting a new key *inside* a range another transaction has
+//! iterated violates serializability even though no iterated key was
+//! touched. The range lock covers the whole interval, so such inserts doom
+//! the iterator's transaction at the writer's commit.
+//!
+//! Range locks live, by default, in a flat scanned list — the paper's
+//! complexity-vs-overhead call — or in an interval tree
+//! ([`crate::RangeIndexKind::IntervalTree`], the alternative §3.2 mentions;
+//! the `ablation_rangeindex` bench quantifies the crossover). Iterators read
+//! the underlying tree *stepwise and live* (`next_entry_after` per step,
+//! each in its own open-nested transaction), merging the thread-local store
+//! buffer in key order.
+
+use crate::backend::SortedMapBackend;
+use crate::locks::{MapLockTables, RangeIndexKind, SemanticStats, SortedLockTables};
+use crate::map::{BufWrite, MapLocal};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::ops::Bound;
+use std::sync::Arc;
+use stm::{Txn, TxnMode};
+use txstruct::TxTreeMap;
+
+pub(crate) struct AllTables<K> {
+    pub map: MapLockTables<K>,
+    pub sorted: SortedLockTables<K>,
+}
+
+impl<K: Clone + Ord> Default for AllTables<K> {
+    fn default() -> Self {
+        AllTables {
+            map: MapLockTables::default(),
+            sorted: SortedLockTables::default(),
+        }
+    }
+}
+
+pub(crate) struct SortedInner<K, V, B> {
+    pub backend: B,
+    pub tables: Mutex<AllTables<K>>,
+    pub locals: Mutex<HashMap<u64, MapLocal<K, V>>>,
+    pub stats: SemanticStats,
+}
+
+/// A transactional wrapper making any [`SortedMapBackend`] safe and scalable
+/// to use from long-running transactions, including ordered iteration and
+/// range views.
+pub struct TransactionalSortedMap<K, V, B = TxTreeMap<K, V>> {
+    inner: Arc<SortedInner<K, V, B>>,
+}
+
+impl<K, V, B> Clone for TransactionalSortedMap<K, V, B> {
+    fn clone(&self) -> Self {
+        TransactionalSortedMap {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+fn below_upper<K: Ord>(k: &K, upper: &Bound<K>) -> bool {
+    match upper {
+        Bound::Unbounded => true,
+        Bound::Included(u) => k <= u,
+        Bound::Excluded(u) => k < u,
+    }
+}
+
+fn above_lower<K: Ord>(k: &K, lower: &Bound<K>) -> bool {
+    match lower {
+        Bound::Unbounded => true,
+        Bound::Included(l) => k >= l,
+        Bound::Excluded(l) => k > l,
+    }
+}
+
+impl<K, V> TransactionalSortedMap<K, V, TxTreeMap<K, V>>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create a `TransactionalSortedMap` over a fresh [`TxTreeMap`].
+    pub fn new() -> Self {
+        Self::wrap(TxTreeMap::new())
+    }
+}
+
+impl<K, V> Default for TransactionalSortedMap<K, V, TxTreeMap<K, V>>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, B> TransactionalSortedMap<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    /// Wrap an existing sorted map implementation.
+    pub fn wrap(backend: B) -> Self {
+        Self::wrap_with_range_index(backend, RangeIndexKind::FlatScan)
+    }
+
+    /// Wrap with an explicit range-lock index (paper §3.2 discusses the
+    /// flat-scan default vs an interval tree; see `RangeIndexKind`).
+    pub fn wrap_with_range_index(backend: B, kind: RangeIndexKind) -> Self {
+        TransactionalSortedMap {
+            inner: Arc::new(SortedInner {
+                backend,
+                tables: Mutex::new(AllTables {
+                    map: MapLockTables::default(),
+                    sorted: SortedLockTables::with_kind(kind),
+                }),
+                locals: Mutex::new(HashMap::new()),
+                stats: SemanticStats::default(),
+            }),
+        }
+    }
+
+    /// Semantic-conflict counters for this instance.
+    pub fn semantic_stats(&self) -> &SemanticStats {
+        &self.inner.stats
+    }
+
+    fn assert_usable(tx: &Txn) {
+        assert!(
+            tx.mode() == TxnMode::Speculative,
+            "TransactionalSortedMap operations cannot run inside commit/abort handlers"
+        );
+    }
+
+    fn ensure_registered(&self, tx: &mut Txn) {
+        let id = tx.handle().id();
+        let fresh = {
+            let mut locals = self.inner.locals.lock();
+            match locals.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(MapLocal::default());
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
+        if fresh {
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_commit_top(move |htx| sorted_commit_handler(&inner, htx, h.id()));
+            let inner = self.inner.clone();
+            let h = tx.handle().clone();
+            tx.on_abort_top(move |_htx| sorted_abort_handler(&inner, h.id()));
+        }
+    }
+
+    fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut MapLocal<K, V>) -> R) -> R {
+        let id = tx.handle().id();
+        let mut locals = self.inner.locals.lock();
+        f(locals.entry(id).or_default())
+    }
+
+    fn take_key_lock(&self, tx: &mut Txn, key: &K) {
+        let owner = tx.handle().clone();
+        {
+            let mut tables = self.inner.tables.lock();
+            tables.map.take_key_lock(key.clone(), owner);
+        }
+        self.with_local(tx, |l| {
+            l.key_locks.insert(key.clone());
+        });
+    }
+
+    fn buffered(&self, tx: &Txn, key: &K) -> Option<BufWrite<V>> {
+        self.with_local(tx, |l| l.store_buffer.get(key).cloned())
+    }
+
+    /// Buffered entry plus whether it is blind (its presence relative to the
+    /// committed state is unknown). Blindness must be preserved by further
+    /// writes to the key, or the size delta silently loses the unresolved
+    /// contribution.
+    fn buffered_with_blind(&self, tx: &Txn, key: &K) -> (Option<BufWrite<V>>, bool) {
+        self.with_local(tx, |l| {
+            (l.store_buffer.get(key).cloned(), l.blind.contains(key))
+        })
+    }
+
+    fn buffer_write(
+        &self,
+        tx: &mut Txn,
+        key: K,
+        write: BufWrite<V>,
+        delta_change: isize,
+        blind: bool,
+    ) {
+        let id = tx.handle().id();
+        let (prev_entry, was_blind) = self.with_local(tx, |l| {
+            let prev = l.store_buffer.insert(key.clone(), write);
+            let was_blind = if blind {
+                !l.blind.insert(key.clone())
+            } else {
+                l.blind.remove(&key)
+            };
+            l.delta += delta_change;
+            (prev, was_blind)
+        });
+        let inner = self.inner.clone();
+        let key2 = key.clone();
+        tx.on_local_undo(move || {
+            let mut locals = inner.locals.lock();
+            if let Some(l) = locals.get_mut(&id) {
+                match prev_entry {
+                    Some(w) => {
+                        l.store_buffer.insert(key2.clone(), w);
+                    }
+                    None => {
+                        l.store_buffer.remove(&key2);
+                    }
+                }
+                if blind && !was_blind {
+                    l.blind.remove(&key2);
+                }
+                l.delta -= delta_change;
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Map-level operations (same protocol as TransactionalMap)
+    // ------------------------------------------------------------------
+
+    /// Look up a key (key lock + open-nested read).
+    pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered(tx, key) {
+            Some(BufWrite::Put(v)) => return Some(v),
+            Some(BufWrite::Remove) => return None,
+            None => {}
+        }
+        self.take_key_lock(tx, key);
+        let backend = &self.inner.backend;
+        tx.open(|otx| backend.get(otx, key))
+    }
+
+    /// Whether a key is present (key lock).
+    pub fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered(tx, key) {
+            Some(BufWrite::Put(_)) => return true,
+            Some(BufWrite::Remove) => return false,
+            None => {}
+        }
+        self.take_key_lock(tx, key);
+        let backend = &self.inner.backend;
+        tx.open(|otx| backend.contains_key(otx, key))
+    }
+
+    /// Insert or replace; returns the previous value (reads the key).
+    pub fn put(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let (buffered, was_blind) = self.buffered_with_blind(tx, &key);
+        let old = match buffered {
+            Some(BufWrite::Put(v)) => Some(v),
+            Some(BufWrite::Remove) => None,
+            None => {
+                self.take_key_lock(tx, &key);
+                let backend = &self.inner.backend;
+                tx.open(|otx| backend.get(otx, &key))
+            }
+        };
+        // A blind entry's contribution to the size is still unresolved:
+        // keep it blind and leave the delta deferred.
+        let delta_change = if was_blind {
+            0
+        } else {
+            1 - isize::from(old.is_some())
+        };
+        self.buffer_write(tx, key, BufWrite::Put(value), delta_change, was_blind);
+        old
+    }
+
+    /// Insert or replace without reading the old value (§5.1 extension).
+    pub fn put_discard(&self, tx: &mut Txn, key: K, value: V) {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered_with_blind(tx, &key) {
+            (Some(BufWrite::Put(_)), blind) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 0, blind);
+            }
+            (Some(BufWrite::Remove), true) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 0, true);
+            }
+            (Some(BufWrite::Remove), false) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 1, false);
+            }
+            (None, _) => {
+                self.buffer_write(tx, key, BufWrite::Put(value), 0, true);
+            }
+        }
+    }
+
+    /// Remove a key; returns the previous value (reads the key).
+    pub fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        let (buffered, was_blind) = self.buffered_with_blind(tx, key);
+        let old = match buffered {
+            Some(BufWrite::Put(v)) => Some(v),
+            Some(BufWrite::Remove) => None,
+            None => {
+                self.take_key_lock(tx, key);
+                let backend = &self.inner.backend;
+                tx.open(|otx| backend.get(otx, key))
+            }
+        };
+        let delta_change = if was_blind {
+            0
+        } else {
+            -isize::from(old.is_some())
+        };
+        self.buffer_write(tx, key.clone(), BufWrite::Remove, delta_change, was_blind);
+        old
+    }
+
+    /// Remove without reading the old value (blind; see
+    /// [`Self::put_discard`]).
+    pub fn remove_discard(&self, tx: &mut Txn, key: &K) {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        match self.buffered_with_blind(tx, key) {
+            (Some(BufWrite::Put(_)), true) => {
+                self.buffer_write(tx, key.clone(), BufWrite::Remove, 0, true);
+            }
+            (Some(BufWrite::Put(_)), false) => {
+                self.buffer_write(tx, key.clone(), BufWrite::Remove, -1, false);
+            }
+            (Some(BufWrite::Remove), _) => {}
+            (None, _) => {
+                self.buffer_write(tx, key.clone(), BufWrite::Remove, 0, true);
+            }
+        }
+    }
+
+    fn resolve_blind(&self, tx: &mut Txn) {
+        let blind: Vec<K> = self.with_local(tx, |l| l.blind.iter().cloned().collect());
+        for k in blind {
+            self.take_key_lock(tx, &k);
+            let backend = &self.inner.backend;
+            let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
+            self.with_local(tx, |l| {
+                if l.blind.remove(&k) {
+                    let buffered_present =
+                        matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
+                    l.delta += buffered_present as isize - committed_present as isize;
+                }
+            });
+        }
+    }
+
+    /// Number of entries (size lock).
+    pub fn size(&self, tx: &mut Txn) -> usize {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        self.resolve_blind(tx);
+        {
+            let mut tables = self.inner.tables.lock();
+            tables.map.take_size_lock(tx.handle().clone());
+        }
+        let backend = &self.inner.backend;
+        let committed = tx.open(|otx| backend.len(otx));
+        let delta = self.with_local(tx, |l| l.delta);
+        (committed as isize + delta).max(0) as usize
+    }
+
+    /// `size() == 0` (size lock); see `TransactionalMap::is_empty_primitive`
+    /// for the rationale of the separate zero-crossing variant.
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.size(tx) == 0
+    }
+
+    /// Emptiness with its own zero-crossing lock (§5.1).
+    pub fn is_empty_primitive(&self, tx: &mut Txn) -> bool {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        self.resolve_blind(tx);
+        {
+            let mut tables = self.inner.tables.lock();
+            tables.map.take_empty_lock(tx.handle().clone());
+        }
+        let backend = &self.inner.backend;
+        let committed = tx.open(|otx| backend.len(otx));
+        let delta = self.with_local(tx, |l| l.delta);
+        (committed as isize + delta) <= 0
+    }
+
+    // ------------------------------------------------------------------
+    // Sorted operations
+    // ------------------------------------------------------------------
+
+    /// Committed next entry after `from`, skipping keys the buffer removes,
+    /// staying under `upper`. Each step is one open-nested descent.
+    fn committed_next(
+        &self,
+        tx: &mut Txn,
+        from: &Bound<K>,
+        upper: &Bound<K>,
+    ) -> Option<(K, V)> {
+        let backend = &self.inner.backend;
+        let mut cur = match from {
+            Bound::Unbounded => tx.open(|otx| backend.first_entry(otx)),
+            Bound::Included(k) => tx.open(|otx| backend.ceiling_entry(otx, k)),
+            Bound::Excluded(k) => tx.open(|otx| backend.next_entry_after(otx, k)),
+        };
+        while let Some((k, v)) = cur {
+            if !below_upper(&k, upper) {
+                return None;
+            }
+            match self.buffered(tx, &k) {
+                Some(BufWrite::Remove) => {
+                    cur = tx.open(|otx| backend.next_entry_after(otx, &k));
+                }
+                _ => return Some((k, v)),
+            }
+        }
+        None
+    }
+
+    /// Smallest buffered `Put` with key in `(from, upper]`.
+    fn buffered_next(&self, tx: &Txn, from: &Bound<K>, upper: &Bound<K>) -> Option<(K, V)> {
+        self.with_local(tx, |l| {
+            l.store_buffer
+                .iter()
+                .filter_map(|(k, w)| match w {
+                    BufWrite::Put(v)
+                        if above_lower(k, from) && below_upper(k, upper) =>
+                    {
+                        Some((k.clone(), v.clone()))
+                    }
+                    _ => None,
+                })
+                .min_by(|a, b| a.0.cmp(&b.0))
+        })
+    }
+
+    /// Largest committed entry at or below `upper`, skipping keys the buffer
+    /// removes, staying above `lower` (the mirror of [`Self::committed_next`]).
+    fn committed_prev(
+        &self,
+        tx: &mut Txn,
+        upper: &Bound<K>,
+        lower: &Bound<K>,
+    ) -> Option<(K, V)> {
+        let backend = &self.inner.backend;
+        let mut cur = match upper {
+            Bound::Unbounded => tx.open(|otx| backend.last_entry(otx)),
+            Bound::Included(k) => tx.open(|otx| backend.floor_entry(otx, k)),
+            Bound::Excluded(k) => tx.open(|otx| backend.prev_entry_before(otx, k)),
+        };
+        while let Some((k, v)) = cur {
+            if !above_lower(&k, lower) {
+                return None;
+            }
+            match self.buffered(tx, &k) {
+                Some(BufWrite::Remove) => {
+                    cur = tx.open(|otx| backend.prev_entry_before(otx, &k));
+                }
+                _ => return Some((k, v)),
+            }
+        }
+        None
+    }
+
+    /// The smallest visible entry in the given range.
+    ///
+    /// Protocol (probe → lock → verify): a first unlocked probe finds the
+    /// candidate; the range lock `[lower, candidate]` (plus the first lock
+    /// when `lower` is unbounded, Table 5) is taken; then the committed
+    /// state is **re-read under the lock** and the verified value returned.
+    /// If the verify disagrees, the world changed between probe and lock and
+    /// the query restarts — the returned observation is therefore always
+    /// covered by a lock that predates it (lock-then-read soundness).
+    pub fn first_in_range(
+        &self,
+        tx: &mut Txn,
+        lower: Bound<K>,
+        upper: Bound<K>,
+    ) -> Option<(K, V)> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        if matches!(lower, Bound::Unbounded) {
+            let mut tables = self.inner.tables.lock();
+            tables.sorted.take_first_lock(tx.handle().clone());
+        }
+        for _attempt in 0..64 {
+            let committed = self.committed_next(tx, &lower, &upper);
+            let buffered = self.buffered_next(tx, &lower, &upper);
+            let candidate = match (&committed, &buffered) {
+                (None, None) => None,
+                (Some((ck, _)), None) => Some(ck.clone()),
+                (None, Some((bk, _))) => Some(bk.clone()),
+                (Some((ck, _)), Some((bk, _))) => Some(if bk <= ck { bk.clone() } else { ck.clone() }),
+            };
+            // Lock the observed prefix (or the whole empty range).
+            let lock_upper = match &candidate {
+                Some(k) => Bound::Included(k.clone()),
+                None => upper.clone(),
+            };
+            {
+                let mut tables = self.inner.tables.lock();
+                tables
+                    .sorted
+                    .add_range_lock(tx.handle().clone(), lower.clone(), lock_upper.clone());
+            }
+            // Verify under the lock.
+            let verify = self.committed_next(tx, &lower, &lock_upper);
+            match (&candidate, verify) {
+                (None, None) => return None,
+                (Some(k), verify) => {
+                    let committed_now = match verify {
+                        Some((vk, vv)) if vk == *k => Some(vv),
+                        Some(_) => continue, // a smaller committed key appeared
+                        None => None,
+                    };
+                    // Buffer override for the candidate key.
+                    let value = match self.buffered(tx, k) {
+                        Some(BufWrite::Put(v)) => Some(v),
+                        Some(BufWrite::Remove) => None,
+                        None => committed_now,
+                    };
+                    match value {
+                        Some(v) => {
+                            self.take_key_lock(tx, k);
+                            return Some((k.clone(), v));
+                        }
+                        // Candidate vanished between probe and verify.
+                        None => continue,
+                    }
+                }
+                (None, Some(_)) => continue, // something appeared in the range
+            }
+        }
+        // Pathological contention: give up the attempt and retry the whole
+        // transaction (the §5.1 livelock hazard, resolved by back-off).
+        stm::abort_and_retry()
+    }
+
+    /// Largest buffered `Put` with key in `[lower, upper]` bounds.
+    fn buffered_prev(&self, tx: &Txn, upper: &Bound<K>, lower: &Bound<K>) -> Option<(K, V)> {
+        self.with_local(tx, |l| {
+            l.store_buffer
+                .iter()
+                .filter_map(|(k, w)| match w {
+                    BufWrite::Put(v) if above_lower(k, lower) && below_upper(k, upper) => {
+                        Some((k.clone(), v.clone()))
+                    }
+                    _ => None,
+                })
+                .max_by(|a, b| a.0.cmp(&b.0))
+        })
+    }
+
+    /// The largest visible entry in the given range — the mirror of
+    /// [`Self::first_in_range`], with the same probe → lock → verify
+    /// protocol (the last lock when `upper` is unbounded, a range lock
+    /// `[candidate, upper]` otherwise).
+    pub fn last_in_range(
+        &self,
+        tx: &mut Txn,
+        lower: Bound<K>,
+        upper: Bound<K>,
+    ) -> Option<(K, V)> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        if matches!(upper, Bound::Unbounded) {
+            let mut tables = self.inner.tables.lock();
+            tables.sorted.take_last_lock(tx.handle().clone());
+        }
+        for _attempt in 0..64 {
+            let committed = self.committed_prev(tx, &upper, &lower);
+            let buffered = self.buffered_prev(tx, &upper, &lower);
+            let candidate = match (&committed, &buffered) {
+                (None, None) => None,
+                (Some((ck, _)), None) => Some(ck.clone()),
+                (None, Some((bk, _))) => Some(bk.clone()),
+                (Some((ck, _)), Some((bk, _))) => Some(if bk >= ck { bk.clone() } else { ck.clone() }),
+            };
+            let lock_lower = match &candidate {
+                Some(k) => Bound::Included(k.clone()),
+                None => lower.clone(),
+            };
+            {
+                let mut tables = self.inner.tables.lock();
+                tables
+                    .sorted
+                    .add_range_lock(tx.handle().clone(), lock_lower.clone(), upper.clone());
+            }
+            let verify = self.committed_prev(tx, &upper, &lock_lower);
+            match (&candidate, verify) {
+                (None, None) => return None,
+                (Some(k), verify) => {
+                    let committed_now = match verify {
+                        Some((vk, vv)) if vk == *k => Some(vv),
+                        Some(_) => continue, // a larger committed key appeared
+                        None => None,
+                    };
+                    let value = match self.buffered(tx, k) {
+                        Some(BufWrite::Put(v)) => Some(v),
+                        Some(BufWrite::Remove) => None,
+                        None => committed_now,
+                    };
+                    match value {
+                        Some(v) => {
+                            self.take_key_lock(tx, k);
+                            return Some((k.clone(), v));
+                        }
+                        None => continue,
+                    }
+                }
+                (None, Some(_)) => continue,
+            }
+        }
+        stm::abort_and_retry()
+    }
+
+    /// Smallest key (first lock + key lock on the result, Table 5).
+    pub fn first_key(&self, tx: &mut Txn) -> Option<K> {
+        self.first_in_range(tx, Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| k)
+    }
+
+    // NavigableMap-style queries (the JDK6 `NavigableMap` extension the
+    // paper's §2.2 mentions). Each takes a range lock covering the gap it
+    // observed plus a key lock on the answer.
+
+    /// Smallest key `>= key`.
+    pub fn ceiling_key(&self, tx: &mut Txn, key: &K) -> Option<K> {
+        self.first_in_range(tx, Bound::Included(key.clone()), Bound::Unbounded)
+            .map(|(k, _)| k)
+    }
+
+    /// Smallest key `> key`.
+    pub fn higher_key(&self, tx: &mut Txn, key: &K) -> Option<K> {
+        self.first_in_range(tx, Bound::Excluded(key.clone()), Bound::Unbounded)
+            .map(|(k, _)| k)
+    }
+
+    /// Largest key `<= key`.
+    pub fn floor_key(&self, tx: &mut Txn, key: &K) -> Option<K> {
+        self.last_in_range(tx, Bound::Unbounded, Bound::Included(key.clone()))
+            .map(|(k, _)| k)
+    }
+
+    /// Largest key `< key`.
+    pub fn lower_key(&self, tx: &mut Txn, key: &K) -> Option<K> {
+        self.last_in_range(tx, Bound::Unbounded, Bound::Excluded(key.clone()))
+            .map(|(k, _)| k)
+    }
+
+    /// Largest key (last lock + key lock on the result, Table 5).
+    pub fn last_key(&self, tx: &mut Txn) -> Option<K> {
+        self.last_in_range(tx, Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| k)
+    }
+
+    /// Begin ordered iteration over the whole map.
+    pub fn iter(&self, tx: &mut Txn) -> TxSortedIter<K, V, B> {
+        self.range_iter(tx, Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Begin ordered iteration over `[lower, upper]` as given.
+    ///
+    /// The iterator owns a **growing range lock**: after returning key `k`
+    /// its lock covers `[lower, k]`; on exhaustion it covers the full range,
+    /// so inserts *anywhere* in the iterated interval doom this transaction
+    /// at the writer's commit.
+    pub fn range_iter(
+        &self,
+        tx: &mut Txn,
+        lower: Bound<K>,
+        upper: Bound<K>,
+    ) -> TxSortedIter<K, V, B> {
+        Self::assert_usable(tx);
+        self.ensure_registered(tx);
+        TxSortedIter {
+            map: self.clone(),
+            lower,
+            upper,
+            last: None,
+            range_id: None,
+            done: false,
+        }
+    }
+
+    /// All visible entries in key order (fully enumerates: on return, the
+    /// whole range is locked).
+    pub fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        let mut it = self.iter(tx);
+        let mut out = Vec::new();
+        while let Some(e) = it.next(tx) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Visible entries within a range, in key order.
+    pub fn range_entries(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) -> Vec<(K, V)> {
+        let mut it = self.range_iter(tx, lower, upper);
+        let mut out = Vec::new();
+        while let Some(e) = it.next(tx) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// A mutable range view (the `subMap` of the `SortedMap` interface).
+    pub fn sub_map(&self, lower: Bound<K>, upper: Bound<K>) -> SortedMapView<K, V, B> {
+        SortedMapView {
+            map: self.clone(),
+            lower,
+            upper,
+        }
+    }
+
+    /// View of all keys `< upper` (`headMap`).
+    pub fn head_map(&self, upper: Bound<K>) -> SortedMapView<K, V, B> {
+        self.sub_map(Bound::Unbounded, upper)
+    }
+
+    /// View of all keys `>= lower` (`tailMap`).
+    pub fn tail_map(&self, lower: Bound<K>) -> SortedMapView<K, V, B> {
+        self.sub_map(lower, Bound::Unbounded)
+    }
+}
+
+/// Ordered transactional cursor; see [`TransactionalSortedMap::range_iter`].
+pub struct TxSortedIter<K, V, B> {
+    map: TransactionalSortedMap<K, V, B>,
+    lower: Bound<K>,
+    upper: Bound<K>,
+    last: Option<K>,
+    range_id: Option<u64>,
+    done: bool,
+}
+
+impl<K, V, B> TxSortedIter<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    fn extend_lock(&mut self, tx: &Txn, upper: Bound<K>) {
+        let mut tables = self.map.inner.tables.lock();
+        match self.range_id {
+            Some(id) => tables.sorted.extend_range_upper(id, upper),
+            None => {
+                let owner = tx.handle().clone();
+                self.range_id = Some(tables.sorted.add_range_lock(
+                    owner,
+                    self.lower.clone(),
+                    upper,
+                ));
+            }
+        }
+    }
+
+    /// Produce the next entry in key order, or `None` once the range is
+    /// exhausted (at which point the range lock spans the entire range).
+    ///
+    /// Each step is probe → lock-extension → verify: the candidate is found
+    /// unlocked, the growing range lock is extended to cover it, and the
+    /// committed state is re-read under the lock. The returned value always
+    /// comes from the post-lock read, so a writer committing between probe
+    /// and lock either shows up in the verify (the step restarts) or
+    /// commits after the lock and dooms this transaction — never a stale
+    /// observation.
+    pub fn next(&mut self, tx: &mut Txn) -> Option<(K, V)> {
+        if self.done {
+            return None;
+        }
+        let from: Bound<K> = match &self.last {
+            None => self.lower.clone(),
+            Some(k) => Bound::Excluded(k.clone()),
+        };
+        for _attempt in 0..64 {
+            let committed = self.map.committed_next(tx, &from, &self.upper);
+            let buffered = self.map.buffered_next(tx, &from, &self.upper);
+            let candidate: Option<K> = match (&committed, &buffered) {
+                (None, None) => None,
+                (Some((ck, _)), None) => Some(ck.clone()),
+                (None, Some((bk, _))) => Some(bk.clone()),
+                (Some((ck, _)), Some((bk, _))) => {
+                    Some(if bk <= ck { bk.clone() } else { ck.clone() })
+                }
+            };
+            match candidate {
+                Some(k) => {
+                    self.extend_lock(tx, Bound::Included(k.clone()));
+                    // Verify under the lock: the next committed key within
+                    // the freshly locked prefix.
+                    let verify = self
+                        .map
+                        .committed_next(tx, &from, &Bound::Included(k.clone()));
+                    let committed_now = match verify {
+                        Some((vk, vv)) if vk == k => Some(vv),
+                        // A smaller committed key slipped in before the
+                        // lock: re-probe (the lock now covers it, so it is
+                        // stable for the next round).
+                        Some(_) => continue,
+                        None => None,
+                    };
+                    let value = match self.map.buffered(tx, &k) {
+                        Some(BufWrite::Put(v)) => Some(v),
+                        Some(BufWrite::Remove) => None,
+                        None => committed_now,
+                    };
+                    match value {
+                        Some(v) => {
+                            self.last = Some(k.clone());
+                            return Some((k, v));
+                        }
+                        // The candidate vanished between probe and lock.
+                        None => continue,
+                    }
+                }
+                None => {
+                    // Exhaustion: lock the whole remaining range, then make
+                    // sure nothing appeared before the lock landed.
+                    self.extend_lock(tx, self.upper.clone());
+                    if matches!(self.upper, Bound::Unbounded) {
+                        // Observed that nothing follows: the last-key lock
+                        // of Table 5's `hasNext == false` row.
+                        let mut tables = self.map.inner.tables.lock();
+                        tables.sorted.take_last_lock(tx.handle().clone());
+                    }
+                    let verify = self.map.committed_next(tx, &from, &self.upper);
+                    if verify.is_some() {
+                        continue;
+                    }
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
+        stm::abort_and_retry()
+    }
+}
+
+/// A live range view over a [`TransactionalSortedMap`] (`subMap`/`headMap`/
+/// `tailMap`). Mutations through the view are bounds-checked.
+pub struct SortedMapView<K, V, B> {
+    map: TransactionalSortedMap<K, V, B>,
+    lower: Bound<K>,
+    upper: Bound<K>,
+}
+
+impl<K, V, B> SortedMapView<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    fn check_bounds(&self, key: &K) {
+        assert!(
+            above_lower(key, &self.lower) && below_upper(key, &self.upper),
+            "key outside of view bounds"
+        );
+    }
+
+    /// Look up a key within the view.
+    pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        self.check_bounds(key);
+        self.map.get(tx, key)
+    }
+
+    /// Insert within the view.
+    pub fn put(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        self.check_bounds(&key);
+        self.map.put(tx, key, value)
+    }
+
+    /// Remove within the view.
+    pub fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        self.check_bounds(key);
+        self.map.remove(tx, key)
+    }
+
+    /// First entry of the view.
+    pub fn first_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
+        self.map
+            .first_in_range(tx, self.lower.clone(), self.upper.clone())
+    }
+
+    /// Last entry of the view.
+    pub fn last_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
+        self.map
+            .last_in_range(tx, self.lower.clone(), self.upper.clone())
+    }
+
+    /// Iterate the view in key order.
+    pub fn iter(&self, tx: &mut Txn) -> TxSortedIter<K, V, B> {
+        self.map
+            .range_iter(tx, self.lower.clone(), self.upper.clone())
+    }
+
+    /// All visible entries of the view.
+    pub fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        let mut it = self.iter(tx);
+        let mut out = Vec::new();
+        while let Some(e) = it.next(tx) {
+            out.push(e);
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Handlers
+// ----------------------------------------------------------------------
+
+fn sorted_commit_handler<K, V, B>(inner: &Arc<SortedInner<K, V, B>>, htx: &mut Txn, id: u64)
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let mut tables = inner.tables.lock();
+
+    let first_before = inner.backend.first_entry(htx).map(|(k, _)| k);
+    let last_before = inner.backend.last_entry(htx).map(|(k, _)| k);
+    let size_before = inner.backend.len(htx) as isize;
+    let mut size_after = size_before;
+
+    for (k, w) in &local.store_buffer {
+        match w {
+            BufWrite::Put(v) => {
+                let old = inner.backend.insert(htx, k.clone(), v.clone());
+                if old.is_none() {
+                    size_after += 1;
+                }
+                let doomed = tables.map.doom_key_lockers(k, id);
+                inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                let doomed = tables.sorted.doom_range_lockers(k, id);
+                inner.stats.bump(&inner.stats.range_conflicts, doomed);
+            }
+            BufWrite::Remove => {
+                let old = inner.backend.remove(htx, k);
+                if old.is_some() {
+                    size_after -= 1;
+                    let doomed = tables.map.doom_key_lockers(k, id);
+                    inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                    let doomed = tables.sorted.doom_range_lockers(k, id);
+                    inner.stats.bump(&inner.stats.range_conflicts, doomed);
+                }
+            }
+        }
+    }
+
+    let first_after = inner.backend.first_entry(htx).map(|(k, _)| k);
+    let last_after = inner.backend.last_entry(htx).map(|(k, _)| k);
+    if first_before != first_after {
+        let doomed = tables.sorted.doom_first_lockers(id);
+        inner.stats.bump(&inner.stats.first_conflicts, doomed);
+    }
+    if last_before != last_after {
+        let doomed = tables.sorted.doom_last_lockers(id);
+        inner.stats.bump(&inner.stats.last_conflicts, doomed);
+    }
+    if size_after != size_before {
+        let doomed = tables.map.doom_size_lockers(id);
+        inner.stats.bump(&inner.stats.size_conflicts, doomed);
+        if (size_before == 0) != (size_after == 0) {
+            let doomed = tables.map.doom_empty_lockers(id);
+            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+        }
+    }
+
+    tables.map.release_owner(id, local.key_locks.iter());
+    tables.sorted.release_owner(id);
+}
+
+fn sorted_abort_handler<K, V, B>(inner: &Arc<SortedInner<K, V, B>>, id: u64)
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let mut tables = inner.tables.lock();
+    tables.map.release_owner(id, local.key_locks.iter());
+    tables.sorted.release_owner(id);
+}

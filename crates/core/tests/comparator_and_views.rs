@@ -1,0 +1,174 @@
+//! Remaining Table 4/5 rows: the `comparator` row (read-only, conflicts
+//! with nothing — our comparator is the key's `Ord`, established at
+//! construction) and the view-iterator rows (`subMap`/`headMap`/`tailMap`
+//! iterators with their first/last/range lock behaviour).
+
+mod conflict_harness;
+use conflict_harness::assert_cell;
+use std::ops::Bound;
+use txcollections::TransactionalSortedMap;
+
+fn seeded(keys: &[i64]) -> TransactionalSortedMap<i64, i64> {
+    let m = TransactionalSortedMap::new();
+    stm::atomic(|tx| {
+        for &k in keys {
+            m.put_discard(tx, k, k * 10);
+        }
+    });
+    m
+}
+
+// ---------------------------------------------------------------------
+// Table 4 row: comparator — read-only, conflicts with nothing
+// ---------------------------------------------------------------------
+
+#[test]
+fn comparator_conflicts_with_nothing() {
+    // "the comparator is established during construction and thereafter is
+    // read only so no locks are required" (§3.2). Ordering-only observations
+    // that touch no entries (comparing two candidate keys) must commute with
+    // every write.
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "pure key comparison vs put",
+        move |_tx| {
+            // The "comparator" of this reproduction is K::Ord: usable
+            // without any transactional read at all.
+            assert!(5i64.cmp(&7) == std::cmp::Ordering::Less);
+            let _ = r; // the map itself is untouched
+        },
+        move |tx| {
+            w.put(tx, 15, 150);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table 4/5 rows: headMap / tailMap iterators
+// ---------------------------------------------------------------------
+
+#[test]
+fn headmap_iterator_vs_put_in_view_conflicts() {
+    let m = seeded(&[10, 20, 30, 40]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "headMap(<30) iterated vs put(15)",
+        move |tx| {
+            let view = r.head_map(Bound::Excluded(30));
+            assert_eq!(view.entries(tx).len(), 2);
+        },
+        move |tx| {
+            w.put(tx, 15, 150);
+        },
+    );
+}
+
+#[test]
+fn headmap_iterator_vs_put_beyond_view_commutes() {
+    let m = seeded(&[10, 20, 30, 40]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "headMap(<30) iterated vs put(35)",
+        move |tx| {
+            let view = r.head_map(Bound::Excluded(30));
+            view.entries(tx);
+        },
+        move |tx| {
+            w.put(tx, 35, 350);
+        },
+    );
+}
+
+#[test]
+fn tailmap_exhaustion_takes_last_lock() {
+    // Table 5: tailMap.iterator.hasNext takes the "last lock on false
+    // return value" — adding a new maximum key conflicts.
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "tailMap(>=20) exhausted vs put(99) — new lastKey",
+        move |tx| {
+            let view = r.tail_map(Bound::Included(20));
+            assert_eq!(view.entries(tx).len(), 2);
+        },
+        move |tx| {
+            w.put(tx, 99, 990);
+        },
+    );
+}
+
+#[test]
+fn tailmap_iterator_vs_remove_before_view_commutes() {
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "tailMap(>=20) iterated vs remove(10) below the view",
+        move |tx| {
+            let view = r.tail_map(Bound::Included(20));
+            view.entries(tx);
+        },
+        move |tx| {
+            w.remove(tx, &10);
+        },
+    );
+}
+
+#[test]
+fn view_first_and_last_entries_take_gap_locks() {
+    let m = seeded(&[10, 20, 30, 40]);
+    // first_entry of subMap [15, 35]: observes the gap [15, 20).
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "subMap[15,35].first=20 vs put(17) in the observed gap",
+        move |tx| {
+            let view = r.sub_map(Bound::Included(15), Bound::Included(35));
+            assert_eq!(view.first_entry(tx).map(|e| e.0), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 17, 170);
+        },
+    );
+    // last_entry of subMap [15, 35]: observes the gap (30, 35].
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "subMap[15,35].last=30 vs put(33) in the observed gap",
+        move |tx| {
+            let view = r.sub_map(Bound::Included(15), Bound::Included(35));
+            assert_eq!(view.last_entry(tx).map(|e| e.0), Some(30));
+        },
+        move |tx| {
+            w.put(tx, 33, 330);
+        },
+    );
+    // Writes outside both observed regions commute.
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "subMap[15,35].first=20 vs put(25) past the observed gap",
+        move |tx| {
+            let view = r.sub_map(Bound::Included(15), Bound::Included(35));
+            view.first_entry(tx);
+        },
+        move |tx| {
+            w.put(tx, 25, 250);
+        },
+    );
+}
+
+#[test]
+fn view_mutations_are_bounds_checked() {
+    let m = seeded(&[10, 20]);
+    let view = m.sub_map(Bound::Included(10), Bound::Excluded(20));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm::atomic(|tx| view.put(tx, 25, 250))
+    }));
+    assert!(result.is_err(), "out-of-bounds view write must panic");
+}

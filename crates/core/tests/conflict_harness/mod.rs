@@ -1,0 +1,39 @@
+//! Two-transaction conflict harness for the table-conformance suites.
+//!
+//! Encodes a paper-table cell directly: transaction T1 performs a *read*
+//! operation and stays live; transaction T2 performs a *write* operation and
+//! commits. The cell's condition holds iff T1 ends up doomed (program-
+//! directed abort through the semantic locks).
+
+use stm::{AbortCause, Txn};
+
+/// Run `reader` in a live transaction, then commit `writer` in another.
+/// Returns whether the reader was doomed by the writer's commit.
+pub fn writer_dooms_reader(
+    reader: impl FnOnce(&mut Txn),
+    writer: impl FnOnce(&mut Txn),
+) -> bool {
+    let (_, t1) = stm::speculate(reader, 0).expect("reader speculation must succeed");
+    let (_, t2) = stm::speculate(writer, 0).expect("writer speculation must succeed");
+    t2.commit();
+    let doomed = t1.handle().is_doomed();
+    // Clean up the reader either way (releases its semantic locks).
+    t1.abort(AbortCause::Explicit);
+    doomed
+}
+
+/// Assert a table cell: `expected == true` means the operations must
+/// conflict (reader doomed), `false` means they must commute (no doom).
+#[track_caller]
+pub fn assert_cell(
+    expected: bool,
+    what: &str,
+    reader: impl FnOnce(&mut Txn),
+    writer: impl FnOnce(&mut Txn),
+) {
+    let doomed = writer_dooms_reader(reader, writer);
+    assert_eq!(
+        doomed, expected,
+        "table cell violated: {what} (expected conflict={expected}, got doomed={doomed})"
+    );
+}

@@ -1,0 +1,204 @@
+//! Tests for the NavigableMap-style queries (ceiling/floor/higher/lower with
+//! gap-covering range locks) and the bounded queue's full-lock semantics.
+
+mod conflict_harness;
+use conflict_harness::assert_cell;
+use txcollections::{Channel, TransactionalQueue, TransactionalSortedMap};
+
+fn seeded(keys: &[i64]) -> TransactionalSortedMap<i64, i64> {
+    let m = TransactionalSortedMap::new();
+    stm::atomic(|tx| {
+        for &k in keys {
+            m.put_discard(tx, k, k);
+        }
+    });
+    m
+}
+
+#[test]
+fn navigable_queries_merge_buffer_and_committed() {
+    let m = seeded(&[10, 20, 30]);
+    stm::atomic(|tx| {
+        m.put(tx, 15, 15);
+        m.remove(tx, &20);
+        assert_eq!(m.ceiling_key(tx, &15), Some(15), "buffered put visible");
+        assert_eq!(m.ceiling_key(tx, &16), Some(30), "buffered remove hides 20");
+        assert_eq!(m.higher_key(tx, &15), Some(30));
+        assert_eq!(m.floor_key(tx, &25), Some(15));
+        assert_eq!(m.lower_key(tx, &15), Some(10));
+        assert_eq!(m.floor_key(tx, &9), None);
+        assert_eq!(m.higher_key(tx, &30), None);
+    });
+}
+
+#[test]
+fn ceiling_gap_is_protected() {
+    // ceiling(12) = 20 observed "nothing in [12, 20)": an insert into the
+    // gap must conflict, an insert outside must not.
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "ceiling(12)=20 vs put(15) in the observed gap",
+        move |tx| {
+            assert_eq!(r.ceiling_key(tx, &12), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 15, 15);
+        },
+    );
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "ceiling(12)=20 vs put(25) outside the gap",
+        move |tx| {
+            assert_eq!(r.ceiling_key(tx, &12), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 25, 25);
+        },
+    );
+    // Removing the answer itself conflicts (key lock on the result).
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "ceiling(12)=20 vs remove(20)",
+        move |tx| {
+            assert_eq!(r.ceiling_key(tx, &12), Some(20));
+        },
+        move |tx| {
+            w.remove(tx, &20);
+        },
+    );
+}
+
+#[test]
+fn floor_gap_is_protected() {
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "floor(28)=20 vs put(25) in the observed gap",
+        move |tx| {
+            assert_eq!(r.floor_key(tx, &28), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 25, 25);
+        },
+    );
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "floor(28)=20 vs put(5) far below",
+        move |tx| {
+            assert_eq!(r.floor_key(tx, &28), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 5, 5);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Bounded queue
+// ---------------------------------------------------------------------
+
+#[test]
+fn offer_fails_when_full_and_succeeds_otherwise() {
+    let q: TransactionalQueue<u32> = TransactionalQueue::bounded(2);
+    stm::atomic(|tx| {
+        assert!(q.offer(tx, 1));
+        assert!(q.offer(tx, 2));
+        assert!(!q.offer(tx, 3), "visible length includes own buffer");
+    });
+    stm::atomic(|tx| {
+        assert!(!q.offer(tx, 3), "committed queue is full");
+        assert_eq!(q.poll(tx), Some(1));
+        assert!(q.offer(tx, 3), "room after own take");
+    });
+}
+
+#[test]
+fn full_observer_doomed_by_consuming_commit() {
+    let q: TransactionalQueue<u32> = TransactionalQueue::bounded(1);
+    stm::atomic(|tx| {
+        q.put(tx, 7);
+    });
+    let q1 = q.clone();
+    let (_, observer) = stm::speculate(
+        move |tx| {
+            assert!(!q1.offer(tx, 8), "queue is full");
+        },
+        0,
+    )
+    .unwrap();
+    // A consumer commits, permanently making room.
+    let q2 = q.clone();
+    let (_, consumer) = stm::speculate(
+        move |tx| {
+            assert_eq!(q2.poll(tx), Some(7));
+        },
+        0,
+    )
+    .unwrap();
+    consumer.commit();
+    assert!(
+        observer.handle().is_doomed(),
+        "fullness observation must be invalidated by a consuming commit"
+    );
+    observer.abort(stm::AbortCause::Doomed);
+}
+
+#[test]
+fn full_observer_not_doomed_by_producer_commit() {
+    let q: TransactionalQueue<u32> = TransactionalQueue::bounded(1);
+    stm::atomic(|tx| {
+        q.put(tx, 7);
+    });
+    let q1 = q.clone();
+    let (_, observer) = stm::speculate(
+        move |tx| {
+            assert!(!q1.offer(tx, 8));
+        },
+        0,
+    )
+    .unwrap();
+    // Another transaction that only peeks commits: no change to fullness.
+    let q2 = q.clone();
+    let (_, peeker) = stm::speculate(
+        move |tx| {
+            assert_eq!(q2.peek(tx), Some(7));
+        },
+        0,
+    )
+    .unwrap();
+    peeker.commit();
+    assert!(!observer.handle().is_doomed());
+    observer.abort(stm::AbortCause::Explicit);
+}
+
+#[test]
+fn blocking_put_wakes_after_consumption() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    let q: Arc<TransactionalQueue<u32>> = Arc::new(TransactionalQueue::bounded(1));
+    stm::atomic(|tx| q.put(tx, 1));
+    let started = Arc::new(AtomicU32::new(0));
+    let q2 = q.clone();
+    let s2 = started.clone();
+    let producer = std::thread::spawn(move || {
+        s2.store(1, Ordering::SeqCst);
+        // Blocks (retries) until the consumer makes room.
+        stm::atomic(|tx| q2.put(tx, 2));
+    });
+    while started.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    assert_eq!(stm::atomic(|tx| q.poll(tx)), Some(1));
+    producer.join().unwrap();
+    assert_eq!(stm::atomic(|tx| q.poll(tx)), Some(2));
+}

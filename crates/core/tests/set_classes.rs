@@ -1,0 +1,141 @@
+//! Tests for `TransactionalSet` / `TransactionalSortedSet` — the §5.1
+//! wrappers over the transactional maps.
+
+mod conflict_harness;
+use conflict_harness::assert_cell;
+use std::ops::Bound;
+use std::sync::Arc;
+use stm::atomic;
+use txcollections::{TransactionalSet, TransactionalSortedSet};
+
+#[test]
+fn set_add_remove_contains() {
+    let s: TransactionalSet<u32> = TransactionalSet::new();
+    atomic(|tx| {
+        assert!(s.add(tx, 1));
+        assert!(!s.add(tx, 1), "second add of same element");
+        assert!(s.contains(tx, &1));
+        assert_eq!(s.size(tx), 1);
+        assert!(s.remove(tx, &1));
+        assert!(!s.remove(tx, &1));
+        assert!(s.is_empty(tx));
+    });
+}
+
+#[test]
+fn set_membership_conflicts_follow_map_rules() {
+    // contains(false) vs add of that element conflicts (key lock).
+    let s: TransactionalSet<u32> = TransactionalSet::new();
+    let (r, w) = (s.clone(), s.clone());
+    assert_cell(
+        true,
+        "contains(x)=false vs add(x)",
+        move |tx| {
+            assert!(!r.contains(tx, &5));
+        },
+        move |tx| {
+            w.add(tx, 5);
+        },
+    );
+    // Blind adds of different elements commute.
+    let s: TransactionalSet<u32> = TransactionalSet::new();
+    let (a, b) = (s.clone(), s.clone());
+    assert_cell(
+        false,
+        "add_discard(1) vs add_discard(2)",
+        move |tx| {
+            a.add_discard(tx, 1);
+        },
+        move |tx| {
+            b.add_discard(tx, 2);
+        },
+    );
+    // Blind adds of the SAME element commute too (information hiding).
+    let s: TransactionalSet<u32> = TransactionalSet::new();
+    let (a, b) = (s.clone(), s.clone());
+    assert_cell(
+        false,
+        "add_discard(1) vs add_discard(1)",
+        move |tx| {
+            a.add_discard(tx, 1);
+        },
+        move |tx| {
+            b.add_discard(tx, 1);
+        },
+    );
+}
+
+#[test]
+fn sorted_set_orders_and_ranges() {
+    let s: TransactionalSortedSet<i32> = TransactionalSortedSet::new();
+    atomic(|tx| {
+        for x in [5, 1, 9, 3, 7] {
+            s.add(tx, x);
+        }
+        assert_eq!(s.elements(tx), vec![1, 3, 5, 7, 9]);
+        assert_eq!(s.first(tx), Some(1));
+        assert_eq!(s.last(tx), Some(9));
+        assert_eq!(
+            s.range(tx, Bound::Included(3), Bound::Excluded(8)),
+            vec![3, 5, 7]
+        );
+        assert_eq!(s.size(tx), 5);
+    });
+}
+
+#[test]
+fn sorted_set_range_conflicts() {
+    let s: TransactionalSortedSet<i32> = TransactionalSortedSet::new();
+    atomic(|tx| {
+        for x in [10, 20, 30] {
+            s.add(tx, x);
+        }
+    });
+    let (r, w) = (s.clone(), s.clone());
+    assert_cell(
+        true,
+        "range [10,30] vs add(15) inside",
+        move |tx| {
+            r.range(tx, Bound::Included(10), Bound::Included(30));
+        },
+        move |tx| {
+            w.add(tx, 15);
+        },
+    );
+    let (r, w) = (s.clone(), s.clone());
+    assert_cell(
+        false,
+        "range [10,20] vs add(25) outside",
+        move |tx| {
+            r.range(tx, Bound::Included(10), Bound::Included(20));
+        },
+        move |tx| {
+            w.add(tx, 25);
+        },
+    );
+}
+
+#[test]
+fn concurrent_set_membership_is_exact() {
+    let s: Arc<TransactionalSet<u64>> = Arc::new(TransactionalSet::new());
+    std::thread::scope(|sc| {
+        for t in 0..4u64 {
+            let s = s.clone();
+            sc.spawn(move || {
+                for i in 0..200u64 {
+                    let x = t * 1000 + i;
+                    atomic(|tx| {
+                        s.add_discard(tx, x);
+                        if i % 3 == 0 {
+                            s.remove(tx, &x);
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let n = atomic(|tx| s.size(tx));
+    // Each thread: 200 adds, 67 of which are immediately removed (i%3==0
+    // for i in 0..200 -> 67 values).
+    assert_eq!(n, 4 * (200 - 67));
+}

@@ -1,0 +1,529 @@
+//! Conformance suite for paper **Table 1** (semantic operational analysis of
+//! the `Map` interface) and **Table 2** (semantic locks for `Map`): one test
+//! per table cell, asserting that exactly the stated conflicts are detected
+//! — and, just as importantly, that the stated *non*-conflicts commute.
+
+mod conflict_harness;
+use conflict_harness::assert_cell;
+use txcollections::TransactionalMap;
+
+fn seeded(pairs: &[(u32, &str)]) -> TransactionalMap<u32, String> {
+    let m = TransactionalMap::new();
+    stm::atomic(|tx| {
+        for (k, v) in pairs {
+            m.put_discard(tx, *k, v.to_string());
+        }
+    });
+    m
+}
+
+// ---------------------------------------------------------------------
+// Row: containsKey
+// ---------------------------------------------------------------------
+
+#[test]
+fn containskey_vs_put_new_entry_same_key_conflicts() {
+    let m = seeded(&[]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "containsKey(k)=false vs put adds new entry with same key",
+        move |tx| {
+            assert!(!r.contains_key(tx, &1));
+        },
+        move |tx| {
+            w.put(tx, 1, "x".into());
+        },
+    );
+}
+
+#[test]
+fn containskey_vs_put_different_key_commutes() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "containsKey(k1) vs put(k2) — semantically independent",
+        move |tx| {
+            assert!(r.contains_key(tx, &1));
+        },
+        move |tx| {
+            w.put(tx, 2, "y".into());
+        },
+    );
+}
+
+#[test]
+fn containskey_vs_remove_matching_key_conflicts() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "containsKey(k)=true vs remove takes away entry with matching key",
+        move |tx| {
+            assert!(r.contains_key(tx, &1));
+        },
+        move |tx| {
+            w.remove(tx, &1);
+        },
+    );
+}
+
+#[test]
+fn containskey_vs_remove_of_absent_key_commutes() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "containsKey(k1) vs remove(k2) where k2 absent — removes nothing",
+        move |tx| {
+            assert!(r.contains_key(tx, &1));
+        },
+        move |tx| {
+            assert_eq!(w.remove(tx, &9), None);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Row: get
+// ---------------------------------------------------------------------
+
+#[test]
+fn get_vs_put_same_key_conflicts() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "get(k) vs put(k)",
+        move |tx| {
+            assert_eq!(r.get(tx, &1).as_deref(), Some("a"));
+        },
+        move |tx| {
+            w.put(tx, 1, "b".into());
+        },
+    );
+}
+
+#[test]
+fn get_vs_put_different_key_commutes() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "get(k1) vs put(k2)",
+        move |tx| {
+            r.get(tx, &1);
+        },
+        move |tx| {
+            w.put(tx, 2, "b".into());
+        },
+    );
+}
+
+#[test]
+fn get_of_absent_key_vs_put_of_that_key_conflicts() {
+    // Even the non-existence of a key is an observation (Table 1 note).
+    let m = seeded(&[]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "get(k)=None vs put(k)",
+        move |tx| {
+            assert_eq!(r.get(tx, &5), None);
+        },
+        move |tx| {
+            w.put(tx, 5, "v".into());
+        },
+    );
+}
+
+#[test]
+fn get_vs_remove_same_key_conflicts() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "get(k) vs remove(k)",
+        move |tx| {
+            r.get(tx, &1);
+        },
+        move |tx| {
+            w.remove(tx, &1);
+        },
+    );
+}
+
+#[test]
+fn get_vs_remove_different_key_commutes() {
+    let m = seeded(&[(1, "a"), (2, "b")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "get(k1) vs remove(k2)",
+        move |tx| {
+            r.get(tx, &1);
+        },
+        move |tx| {
+            w.remove(tx, &2);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Row: size
+// ---------------------------------------------------------------------
+
+#[test]
+fn size_vs_put_new_entry_conflicts() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "size vs put adds a new entry",
+        move |tx| {
+            assert_eq!(r.size(tx), 1);
+        },
+        move |tx| {
+            w.put(tx, 2, "b".into());
+        },
+    );
+}
+
+#[test]
+fn size_vs_put_replacing_value_commutes() {
+    // Replacing a value does not change the size: no size conflict.
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "size vs put replaces existing value (size unchanged)",
+        move |tx| {
+            assert_eq!(r.size(tx), 1);
+        },
+        move |tx| {
+            w.put(tx, 1, "b".into());
+        },
+    );
+}
+
+#[test]
+fn size_vs_remove_existing_conflicts() {
+    let m = seeded(&[(1, "a"), (2, "b")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "size vs remove takes away an entry",
+        move |tx| {
+            assert_eq!(r.size(tx), 2);
+        },
+        move |tx| {
+            w.remove(tx, &1);
+        },
+    );
+}
+
+#[test]
+fn size_vs_remove_absent_commutes() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "size vs remove of absent key (size unchanged)",
+        move |tx| {
+            assert_eq!(r.size(tx), 1);
+        },
+        move |tx| {
+            assert_eq!(w.remove(tx, &9), None);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Row: entrySet.iterator (hasNext / next)
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhausted_iteration_vs_put_new_entry_conflicts() {
+    // hasNext=false reveals the size: adding an entry afterwards conflicts.
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "iterator exhausted (hasNext=false) vs put adds a new entry",
+        move |tx| {
+            let n = r.entries(tx).len();
+            assert_eq!(n, 1);
+        },
+        move |tx| {
+            w.put(tx, 2, "b".into());
+        },
+    );
+}
+
+#[test]
+fn iterator_next_vs_remove_of_returned_key_conflicts() {
+    let m = seeded(&[(1, "a"), (2, "b"), (3, "c")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "iterator.next returned k vs remove(k) — key in iterated range",
+        move |tx| {
+            let mut it = r.iter(tx);
+            // Consume everything so every key is locked.
+            while it.next(tx).is_some() {}
+        },
+        move |tx| {
+            w.remove(tx, &2);
+        },
+    );
+}
+
+#[test]
+fn partial_iteration_vs_remove_of_unvisited_key_can_commute() {
+    // A prefix of the iteration only locks the returned keys: a remove of a
+    // never-returned key does not doom the reader. (With an unordered hash
+    // backend the visited prefix is arbitrary, so pick the key to remove
+    // from the unvisited remainder at runtime.)
+    let m = seeded(&[(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
+    let (r, w) = (m.clone(), m.clone());
+    let visited = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let v2 = visited.clone();
+    let (_, t1) = stm::speculate(
+        move |tx| {
+            let mut it = r.iter(tx);
+            // Visit exactly two of the four entries.
+            for _ in 0..2 {
+                if let Some((k, _)) = it.next(tx) {
+                    v2.lock().push(k);
+                }
+            }
+        },
+        0,
+    )
+    .unwrap();
+    let unvisited = {
+        let vis = visited.lock();
+        (1..=4u32).find(|k| !vis.contains(k)).unwrap()
+    };
+    let (_, t2) = stm::speculate(
+        move |tx| {
+            w.remove(tx, &unvisited);
+        },
+        0,
+    )
+    .unwrap();
+    t2.commit();
+    let doomed = t1.handle().is_doomed();
+    t1.abort(stm::AbortCause::Explicit);
+    assert!(
+        !doomed,
+        "remove of an unvisited key must not doom a partial iteration"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Row: put/remove as writes (write-write cells)
+// ---------------------------------------------------------------------
+
+#[test]
+fn put_vs_put_same_key_conflicts() {
+    // Default put returns the old value, so it reads the key.
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "put(k) vs put(k) — both write the same key",
+        move |tx| {
+            r.put(tx, 1, "mine".into());
+        },
+        move |tx| {
+            w.put(tx, 1, "theirs".into());
+        },
+    );
+}
+
+#[test]
+fn put_vs_put_different_keys_commutes() {
+    let m = seeded(&[]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "put(k1) vs put(k2)",
+        move |tx| {
+            r.put(tx, 1, "mine".into());
+        },
+        move |tx| {
+            w.put(tx, 2, "theirs".into());
+        },
+    );
+}
+
+#[test]
+fn remove_vs_remove_same_key_conflicts() {
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "remove(k) vs remove(k) — both remove the same key",
+        move |tx| {
+            assert!(r.remove(tx, &1).is_some());
+        },
+        move |tx| {
+            w.remove(tx, &1);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// §5.1 extensions: information-hiding writes and isEmpty-as-primitive
+// ---------------------------------------------------------------------
+
+#[test]
+fn blind_puts_to_same_key_commute() {
+    // The "LastModified" idiom: two transactions blind-writing the same key
+    // can commit in any order.
+    let m = seeded(&[(7, "old")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "put_discard(k) vs put_discard(k) — no read, no ordering needed",
+        move |tx| {
+            r.put_discard(tx, 7, "mine".into());
+        },
+        move |tx| {
+            w.put_discard(tx, 7, "theirs".into());
+        },
+    );
+}
+
+#[test]
+fn blind_put_still_dooms_readers_of_that_key() {
+    let m = seeded(&[(7, "old")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "get(k) vs put_discard(k) — readers still conflict",
+        move |tx| {
+            r.get(tx, &7);
+        },
+        move |tx| {
+            w.put_discard(tx, 7, "new".into());
+        },
+    );
+}
+
+#[test]
+fn isempty_primitive_commutes_with_nonzero_size_changes() {
+    // Paper §5.1: `if (!map.isEmpty()) put(unique)` transactions should
+    // commute as long as the map stays non-empty.
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "is_empty_primitive()=false vs put adds entry (size 1 -> 2, no zero crossing)",
+        move |tx| {
+            assert!(!r.is_empty_primitive(tx));
+        },
+        move |tx| {
+            w.put(tx, 2, "b".into());
+        },
+    );
+}
+
+#[test]
+fn isempty_primitive_conflicts_on_zero_crossing() {
+    // The other half of §5.1: `if (map.isEmpty()) put(...)` must NOT
+    // commute — only one transaction may see the empty map.
+    let m = seeded(&[]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "is_empty_primitive()=true vs put makes map non-empty (zero crossing)",
+        move |tx| {
+            assert!(r.is_empty_primitive(tx));
+        },
+        move |tx| {
+            w.put(tx, 1, "a".into());
+        },
+    );
+}
+
+#[test]
+fn derived_isempty_conflicts_even_without_zero_crossing() {
+    // Control for the previous pair: the derivative isEmpty (via size) is
+    // doomed by ANY size change — the concurrency limitation §5.1 fixes.
+    let m = seeded(&[(1, "a")]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "is_empty() [derived from size] vs put adds entry",
+        move |tx| {
+            assert!(!r.is_empty(tx));
+        },
+        move |tx| {
+            w.put(tx, 2, "b".into());
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table 3: state inventory — buffered writes are local, locks are shared
+// ---------------------------------------------------------------------
+
+#[test]
+fn table3_store_buffer_isolates_writes_until_commit() {
+    let m: TransactionalMap<u32, String> = TransactionalMap::new();
+    let m2 = m.clone();
+    let (_, t1) = stm::speculate(
+        move |tx| {
+            m2.put(tx, 1, "uncommitted".into());
+        },
+        0,
+    )
+    .unwrap();
+    // Another transaction must not see the buffered write.
+    let m3 = m.clone();
+    let seen = stm::atomic(move |tx| m3.get(tx, &1));
+    assert_eq!(seen, None, "store buffer leaked before commit");
+    t1.commit();
+    let m4 = m.clone();
+    let seen = stm::atomic(move |tx| m4.get(tx, &1));
+    assert_eq!(seen.as_deref(), Some("uncommitted"));
+}
+
+#[test]
+fn table3_delta_tracks_local_size_changes() {
+    let m = seeded(&[(1, "a")]);
+    stm::atomic(|tx| {
+        assert_eq!(m.size(tx), 1);
+        m.put(tx, 2, "b".into());
+        m.put(tx, 3, "c".into());
+        assert_eq!(m.size(tx), 3, "size must include own buffered puts");
+        m.remove(tx, &1);
+        assert_eq!(m.size(tx), 2, "size must include own buffered removes");
+    });
+    stm::atomic(|tx| assert_eq!(m.size(tx), 2));
+}
+
+#[test]
+fn table3_key_locks_are_released_after_commit_and_abort() {
+    let m = seeded(&[(1, "a")]);
+    let m2 = m.clone();
+    stm::atomic(move |tx| {
+        m2.get(tx, &1);
+    });
+    assert_eq!(m.locked_key_count(), 0, "commit must release key locks");
+
+    let m3 = m.clone();
+    let (_, t) = stm::speculate(
+        move |tx| {
+            m3.get(tx, &1);
+        },
+        0,
+    )
+    .unwrap();
+    assert_eq!(m.locked_key_count(), 1);
+    t.abort(stm::AbortCause::Explicit);
+    assert_eq!(m.locked_key_count(), 0, "abort must release key locks");
+}

@@ -1,0 +1,326 @@
+//! Conformance suite for paper **Table 4** (semantic operational analysis of
+//! the `SortedMap` interface) and **Table 5** (semantic locks for
+//! `SortedMap`): range, endpoint and iterator conflicts, plus the stated
+//! non-conflicts.
+
+mod conflict_harness;
+use conflict_harness::assert_cell;
+use std::ops::Bound;
+use txcollections::TransactionalSortedMap;
+
+fn seeded(keys: &[i64]) -> TransactionalSortedMap<i64, i64> {
+    let m = TransactionalSortedMap::new();
+    stm::atomic(|tx| {
+        for &k in keys {
+            m.put_discard(tx, k, k * 10);
+        }
+    });
+    m
+}
+
+// ---------------------------------------------------------------------
+// Range iteration (entrySet/subMap/headMap/tailMap iterator.next rows)
+// ---------------------------------------------------------------------
+
+#[test]
+fn submap_iteration_vs_put_inside_range_conflicts() {
+    // "inserting a new key ... within a range of keys iterated by another
+    // transaction would violate serializability" (§3.2) — even though the
+    // inserted key was never returned.
+    let m = seeded(&[10, 20, 30, 40]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "subMap [10,30] iterated vs put(25) in range",
+        move |tx| {
+            let got = r.range_entries(tx, Bound::Included(10), Bound::Included(30));
+            assert_eq!(got.len(), 3);
+        },
+        move |tx| {
+            w.put(tx, 25, 250);
+        },
+    );
+}
+
+#[test]
+fn submap_iteration_vs_put_outside_range_commutes() {
+    let m = seeded(&[10, 20, 30, 40]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "subMap [10,30] iterated vs put(35) outside range",
+        move |tx| {
+            r.range_entries(tx, Bound::Included(10), Bound::Included(30));
+        },
+        move |tx| {
+            w.put(tx, 35, 350);
+        },
+    );
+}
+
+#[test]
+fn submap_iteration_vs_remove_inside_range_conflicts() {
+    let m = seeded(&[10, 20, 30, 40]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "subMap [10,30] iterated vs remove(20) in range",
+        move |tx| {
+            r.range_entries(tx, Bound::Included(10), Bound::Included(30));
+        },
+        move |tx| {
+            w.remove(tx, &20);
+        },
+    );
+}
+
+#[test]
+fn submap_iteration_vs_remove_outside_range_commutes() {
+    let m = seeded(&[10, 20, 30, 40]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "subMap [10,30] iterated vs remove(40) outside range",
+        move |tx| {
+            r.range_entries(tx, Bound::Included(10), Bound::Included(30));
+        },
+        move |tx| {
+            w.remove(tx, &40);
+        },
+    );
+}
+
+#[test]
+fn partial_iteration_growing_range_lock() {
+    // The range lock grows with the cursor: a put beyond the iterated
+    // prefix must not conflict; a put inside the prefix must.
+    let m = seeded(&[10, 20, 30, 40, 50]);
+
+    // Case A: put beyond the visited prefix.
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "iterated prefix [10,20] vs put(45) past the cursor",
+        move |tx| {
+            let mut it = r.iter(tx);
+            assert_eq!(it.next(tx).map(|e| e.0), Some(10));
+            assert_eq!(it.next(tx).map(|e| e.0), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 45, 450);
+        },
+    );
+
+    // Case B: put inside the visited prefix.
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "iterated prefix [10,20] vs put(15) inside the prefix",
+        move |tx| {
+            let mut it = r.iter(tx);
+            assert_eq!(it.next(tx).map(|e| e.0), Some(10));
+            assert_eq!(it.next(tx).map(|e| e.0), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 15, 150);
+        },
+    );
+}
+
+#[test]
+fn exhausted_full_iteration_vs_put_new_last_key_conflicts() {
+    // Table 4 row `entrySet.iterator.hasNext`: hasNext=false and put adds a
+    // new last key.
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "full iteration exhausted vs put(99) — new lastKey",
+        move |tx| {
+            assert_eq!(r.entries(tx).len(), 2);
+        },
+        move |tx| {
+            w.put(tx, 99, 990);
+        },
+    );
+}
+
+#[test]
+fn exhausted_full_iteration_vs_remove_last_key_conflicts() {
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "full iteration exhausted vs remove(20) — lastKey removed",
+        move |tx| {
+            assert_eq!(r.entries(tx).len(), 2);
+        },
+        move |tx| {
+            w.remove(tx, &20);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Endpoints: firstKey / lastKey rows
+// ---------------------------------------------------------------------
+
+#[test]
+fn lastkey_vs_put_new_lastkey_conflicts() {
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "lastKey=20 vs put(30) — new lastKey",
+        move |tx| {
+            assert_eq!(r.last_key(tx), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 30, 300);
+        },
+    );
+}
+
+#[test]
+fn lastkey_vs_put_interior_key_commutes() {
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "lastKey=20 vs put(15) — endpoint unchanged",
+        move |tx| {
+            assert_eq!(r.last_key(tx), Some(20));
+        },
+        move |tx| {
+            w.put(tx, 15, 150);
+        },
+    );
+}
+
+#[test]
+fn lastkey_vs_remove_lastkey_conflicts() {
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "lastKey=20 vs remove(20) — takes away the lastKey",
+        move |tx| {
+            assert_eq!(r.last_key(tx), Some(20));
+        },
+        move |tx| {
+            w.remove(tx, &20);
+        },
+    );
+}
+
+#[test]
+fn firstkey_vs_put_new_firstkey_conflicts() {
+    let m = seeded(&[10, 20]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "firstKey=10 vs put(5) — new firstKey",
+        move |tx| {
+            assert_eq!(r.first_key(tx), Some(10));
+        },
+        move |tx| {
+            w.put(tx, 5, 50);
+        },
+    );
+}
+
+#[test]
+fn firstkey_vs_remove_interior_key_commutes() {
+    let m = seeded(&[10, 20, 30]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        false,
+        "firstKey=10 vs remove(20) — endpoint unchanged",
+        move |tx| {
+            assert_eq!(r.first_key(tx), Some(10));
+        },
+        move |tx| {
+            w.remove(tx, &20);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table 4's submap read via median (the TestSortedMap access pattern)
+// ---------------------------------------------------------------------
+
+#[test]
+fn median_of_submap_is_protected_by_range_lock() {
+    let m = seeded(&[10, 20, 30, 40, 50]);
+    let (r, w) = (m.clone(), m.clone());
+    assert_cell(
+        true,
+        "median of subMap [20,40] vs remove(30)",
+        move |tx| {
+            let range = r.range_entries(tx, Bound::Included(20), Bound::Included(40));
+            let median = range[range.len() / 2].0;
+            assert_eq!(median, 30);
+        },
+        move |tx| {
+            w.remove(tx, &30);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table 6: state inventory — sorted buffer merge and isolation
+// ---------------------------------------------------------------------
+
+#[test]
+fn table6_sorted_store_buffer_merges_in_key_order() {
+    let m = seeded(&[20, 40]);
+    stm::atomic(|tx| {
+        m.put(tx, 30, 300);
+        m.put(tx, 10, 100);
+        m.remove(tx, &40);
+        let keys: Vec<i64> = m.entries(tx).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![10, 20, 30],
+            "iteration must interleave buffer and committed state in order"
+        );
+        assert_eq!(m.first_key(tx), Some(10), "buffered put becomes first");
+        assert_eq!(m.last_key(tx), Some(30), "buffered remove hides last");
+    });
+}
+
+#[test]
+fn table6_view_iterators_respect_bounds_with_buffer() {
+    let m = seeded(&[10, 20, 30, 40]);
+    stm::atomic(|tx| {
+        m.put(tx, 25, 250);
+        let view = m.sub_map(Bound::Included(20), Bound::Excluded(40));
+        let keys: Vec<i64> = view.entries(tx).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![20, 25, 30]);
+        assert_eq!(view.first_entry(tx).map(|e| e.0), Some(20));
+        assert_eq!(view.last_entry(tx).map(|e| e.0), Some(30));
+    });
+}
+
+#[test]
+fn table6_buffered_changes_invisible_to_others() {
+    let m = seeded(&[10]);
+    let m2 = m.clone();
+    let (_, t1) = stm::speculate(
+        move |tx| {
+            m2.put(tx, 5, 50);
+            m2.remove(tx, &10);
+        },
+        0,
+    )
+    .unwrap();
+    let m3 = m.clone();
+    let outside: Vec<i64> =
+        stm::atomic(move |tx| m3.entries(tx).into_iter().map(|(k, _)| k).collect());
+    assert_eq!(outside, vec![10], "buffer leaked before commit");
+    t1.commit();
+    let m4 = m.clone();
+    let after: Vec<i64> =
+        stm::atomic(move |tx| m4.entries(tx).into_iter().map(|(k, _)| k).collect());
+    assert_eq!(after, vec![5]);
+}

@@ -1,0 +1,289 @@
+//! The "Java" configuration: the same warehouse with `synchronized`-style
+//! per-structure locks, driven by the simulator's lock-mode engine.
+
+use crate::model::*;
+use parking_lot::Mutex;
+use sim::LockRecorder;
+use std::collections::HashMap;
+use txstruct::{LockHashMap, LockTreeMap};
+
+/// Virtual-cycle cost of a hash-map operation under a lock.
+pub const C_HASH: u64 = 60;
+/// Virtual-cycle cost of a tree-map operation under a lock.
+pub const C_TREE: u64 = 110;
+/// Virtual-cycle cost of a counter bump under a lock.
+pub const C_CNT: u64 = 15;
+
+// Lock-id layout for the virtual-time replay.
+fn district_counter_lock(d: usize) -> u64 {
+    (d as u64) * 8 + 1
+}
+fn district_orders_lock(d: usize) -> u64 {
+    (d as u64) * 8 + 2
+}
+fn district_neworders_lock(d: usize) -> u64 {
+    (d as u64) * 8 + 3
+}
+fn district_ytd_lock(d: usize) -> u64 {
+    (d as u64) * 8 + 4
+}
+const HISTORY_LOCK: u64 = 1_001;
+const CUSTOMER_INDEX_LOCK: u64 = 1_006;
+const HISTORY_UID_LOCK: u64 = 1_002;
+const WARE_YTD_LOCK: u64 = 1_003;
+const STOCK_LOCK: u64 = 1_004;
+const CUSTOMER_LOCK: u64 = 1_005;
+
+/// One district with lock-based structures.
+pub struct LockDistrict {
+    /// Next order id.
+    pub next_order: Mutex<i64>,
+    /// Order id → order header.
+    pub order_table: LockTreeMap<i64, Order>,
+    /// Undelivered order ids.
+    pub new_order_table: LockTreeMap<i64, u64>,
+    /// District year-to-date.
+    pub ytd: Mutex<i64>,
+}
+
+/// The warehouse with Java-style synchronization.
+pub struct LockWarehouse {
+    /// Per-district state.
+    pub districts: Vec<LockDistrict>,
+    /// Customer id -> packed (district, order id) of the latest order.
+    pub customer_index: LockHashMap<i64, i64>,
+    /// Payment history.
+    pub history_table: LockHashMap<i64, History>,
+    /// History id generator.
+    pub history_uid: Mutex<i64>,
+    /// Warehouse year-to-date.
+    pub ytd: Mutex<i64>,
+    /// Item stock quantities.
+    pub stock: Mutex<HashMap<u64, i64>>,
+    /// Customer balances.
+    pub customers: Mutex<HashMap<u64, i64>>,
+    /// Item catalog.
+    pub prices: Vec<i64>,
+    /// Initial per-item stock.
+    pub initial_stock: i64,
+}
+
+impl LockWarehouse {
+    /// Build and populate.
+    pub fn new() -> Self {
+        let initial_stock = 100_000;
+        let w = LockWarehouse {
+            districts: (0..DISTRICTS)
+                .map(|_| LockDistrict {
+                    next_order: Mutex::new(0),
+                    order_table: LockTreeMap::new(),
+                    new_order_table: LockTreeMap::new(),
+                    ytd: Mutex::new(0),
+                })
+                .collect(),
+            customer_index: LockHashMap::new(),
+            history_table: LockHashMap::new(),
+            history_uid: Mutex::new(0),
+            ytd: Mutex::new(0),
+            stock: Mutex::new(HashMap::new()),
+            customers: Mutex::new(HashMap::new()),
+            prices: (0..ITEMS).map(|i| 100 + (i as i64 % 900)).collect(),
+            initial_stock,
+        };
+        {
+            let mut stock = w.stock.lock();
+            for item in 0..ITEMS {
+                stock.insert(item, initial_stock);
+            }
+        }
+        {
+            let mut customers = w.customers.lock();
+            for c in 0..(DISTRICTS as u64 * CUSTOMERS_PER_DISTRICT) {
+                customers.insert(c, 0);
+            }
+        }
+        w
+    }
+
+    fn new_order(&self, rec: &mut LockRecorder, rng: &mut TxnRng, think: u64) {
+        let di = rng.below(DISTRICTS as u64) as usize;
+        let d = &self.districts[di];
+        let customer = rng.below(DISTRICTS as u64 * CUSTOMERS_PER_DISTRICT);
+        let id = rec.critical(district_counter_lock(di), C_CNT, || {
+            let mut n = d.next_order.lock();
+            let id = *n;
+            *n += 1;
+            id
+        });
+        rec.work(think);
+        let mut items = Vec::with_capacity(LINES_PER_ORDER as usize);
+        let mut total = 0i64;
+        for _ in 0..LINES_PER_ORDER {
+            let item = rng.below(ITEMS);
+            items.push(item);
+            total += self.prices[item as usize];
+            rec.critical(STOCK_LOCK, C_HASH, || {
+                let mut stock = self.stock.lock();
+                *stock.entry(item).or_insert(0) -= 1;
+            });
+        }
+        rec.work(think);
+        let order = Order {
+            id,
+            customer,
+            items,
+            total,
+            delivered: false,
+        };
+        rec.critical(district_orders_lock(di), C_TREE, || {
+            d.order_table.insert(id, order);
+        });
+        rec.critical(district_neworders_lock(di), C_TREE, || {
+            d.new_order_table.insert(id, customer);
+        });
+        rec.critical(CUSTOMER_INDEX_LOCK, C_HASH, || {
+            self.customer_index
+                .insert(customer as i64, di as i64 * 1_000_000_000 + id);
+        });
+    }
+
+    fn payment(&self, rec: &mut LockRecorder, rng: &mut TxnRng, think: u64) {
+        let di = rng.below(DISTRICTS as u64) as usize;
+        let d = &self.districts[di];
+        let customer = rng.below(DISTRICTS as u64 * CUSTOMERS_PER_DISTRICT);
+        let amount = 100 + rng.below(5_000) as i64;
+        rec.critical(WARE_YTD_LOCK, C_CNT, || {
+            *self.ytd.lock() += amount;
+        });
+        rec.critical(district_ytd_lock(di), C_CNT, || {
+            *d.ytd.lock() += amount;
+        });
+        rec.work(think);
+        rec.critical(CUSTOMER_LOCK, C_HASH, || {
+            *self.customers.lock().entry(customer).or_insert(0) -= amount;
+        });
+        let hid = rec.critical(HISTORY_UID_LOCK, C_CNT, || {
+            let mut n = self.history_uid.lock();
+            let id = *n;
+            *n += 1;
+            id
+        });
+        rec.work(think);
+        rec.critical(HISTORY_LOCK, C_HASH, || {
+            self.history_table.insert(hid, History { customer, amount });
+        });
+    }
+
+    fn order_status(&self, rec: &mut LockRecorder, rng: &mut TxnRng, think: u64) {
+        let customer = rng.below(DISTRICTS as u64 * CUSTOMERS_PER_DISTRICT);
+        rec.work(think);
+        let code = rec.critical(CUSTOMER_INDEX_LOCK, C_HASH, || {
+            self.customer_index.get(&(customer as i64))
+        });
+        if let Some(code) = code {
+            let di = (code / 1_000_000_000) as usize;
+            let id = code % 1_000_000_000;
+            let order = rec.critical(district_orders_lock(di), C_TREE, || {
+                self.districts[di].order_table.get(&id)
+            });
+            if let Some(order) = order {
+                rec.critical(CUSTOMER_LOCK, C_HASH, || {
+                    let _ = self.customers.lock().get(&order.customer).copied();
+                });
+            }
+        }
+    }
+
+    fn delivery(&self, rec: &mut LockRecorder, rng: &mut TxnRng, think: u64) {
+        let di = rng.below(DISTRICTS as u64) as usize;
+        let d = &self.districts[di];
+        rec.work(think);
+        // Java would hold the new-order lock across the dequeue.
+        let oldest = rec.critical(district_neworders_lock(di), C_TREE, || {
+            let k = d.new_order_table.first_key()?;
+            d.new_order_table.remove(&k).map(|c| (k, c))
+        });
+        if let Some((id, _)) = oldest {
+            let order = rec.critical(district_orders_lock(di), C_TREE, || {
+                if let Some(mut o) = d.order_table.get(&id) {
+                    o.delivered = true;
+                    let copy = o.clone();
+                    d.order_table.insert(id, o);
+                    Some(copy)
+                } else {
+                    None
+                }
+            });
+            if let Some(o) = order {
+                rec.critical(CUSTOMER_LOCK, C_HASH, || {
+                    *self.customers.lock().entry(o.customer).or_insert(0) -= o.total;
+                });
+            }
+        }
+    }
+
+    fn stock_level(&self, rec: &mut LockRecorder, rng: &mut TxnRng, think: u64) {
+        let di = rng.below(DISTRICTS as u64) as usize;
+        let d = &self.districts[di];
+        let next = rec.critical(district_counter_lock(di), C_CNT, || *d.next_order.lock());
+        rec.work(think);
+        let lo = (next - 8).max(0);
+        let recent = rec.critical(district_orders_lock(di), C_TREE * 4, || {
+            d.order_table
+                .range_entries(std::ops::Bound::Included(lo), std::ops::Bound::Excluded(next))
+        });
+        let mut low = 0;
+        for (_, order) in recent {
+            for item in order.items {
+                rec.critical(STOCK_LOCK, C_HASH, || {
+                    if self.stock.lock().get(&item).copied().unwrap_or(0)
+                        < self.initial_stock / 2
+                    {
+                        low += 1;
+                    }
+                });
+            }
+        }
+        std::hint::black_box(low);
+    }
+
+    /// Dispatch one operation by mix roll.
+    pub fn run_op(&self, rec: &mut LockRecorder, rng: &mut TxnRng, think: u64) {
+        match op_for(rng.next()) {
+            OpKind::NewOrder => self.new_order(rec, rng, think),
+            OpKind::Payment => self.payment(rec, rng, think),
+            OpKind::OrderStatus => self.order_status(rec, rng, think),
+            OpKind::Delivery => self.delivery(rec, rng, think),
+            OpKind::StockLevel => self.stock_level(rec, rng, think),
+        }
+    }
+}
+
+impl Default for LockWarehouse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The warehouse workload adapted to the simulator's lock engine.
+pub struct JbbLockWorkload {
+    /// The shared warehouse.
+    pub warehouse: LockWarehouse,
+    /// Transactions per CPU.
+    pub txns_per_cpu: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Think cycles inside each operation.
+    pub think: u64,
+}
+
+impl sim::LockWorkload for JbbLockWorkload {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns_per_cpu
+    }
+
+    fn run(&self, cpu: usize, seq: usize, rec: &mut LockRecorder) {
+        let mut rng = TxnRng::new(self.seed, cpu, seq);
+        self.warehouse.run_op(rec, &mut rng, self.think);
+    }
+}

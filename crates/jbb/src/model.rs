@@ -1,0 +1,126 @@
+//! Domain model for the high-contention SPECjbb2000-style workload: one
+//! shared warehouse of TPC-C-flavored records, serviced by all CPUs.
+
+/// Number of districts in the single shared warehouse (TPC-C uses 10).
+pub const DISTRICTS: usize = 10;
+/// Customers per district.
+pub const CUSTOMERS_PER_DISTRICT: u64 = 30;
+/// Item catalog size.
+pub const ITEMS: u64 = 200;
+/// Items referenced by one NewOrder.
+pub const LINES_PER_ORDER: u64 = 5;
+
+/// An order header stored in `District.orderTable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Order {
+    /// District-local order id (drawn from `District.nextOrder`).
+    pub id: i64,
+    /// Ordering customer.
+    pub customer: u64,
+    /// Item ids of the order lines.
+    pub items: Vec<u64>,
+    /// Total price in cents.
+    pub total: i64,
+    /// Whether Delivery has processed it.
+    pub delivered: bool,
+}
+
+/// A payment record stored in `Warehouse.historyTable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct History {
+    /// Paying customer.
+    pub customer: u64,
+    /// Amount in cents.
+    pub amount: i64,
+}
+
+/// The five TPC-C style operations of SPECjbb2000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Create an order: draw an order id, price items, decrement stock,
+    /// insert into order and new-order tables.
+    NewOrder,
+    /// Record a payment: warehouse/district year-to-date, customer balance,
+    /// history insert.
+    Payment,
+    /// Read a customer's most recent order.
+    OrderStatus,
+    /// Deliver the oldest undelivered order of a district.
+    Delivery,
+    /// Count low-stock items among recent orders of a district.
+    StockLevel,
+}
+
+/// SPECjbb/TPC-C operation mix (percent weights 43/43/5/5/4 scaled).
+pub fn op_for(roll: u64) -> OpKind {
+    match roll % 100 {
+        0..=42 => OpKind::NewOrder,
+        43..=85 => OpKind::Payment,
+        86..=90 => OpKind::OrderStatus,
+        91..=95 => OpKind::Delivery,
+        _ => OpKind::StockLevel,
+    }
+}
+
+/// Deterministic per-transaction RNG (SplitMix64). Seeded from
+/// `(seed, cpu, seq)` so a re-executed transaction replays identically.
+#[derive(Debug, Clone)]
+pub struct TxnRng(u64);
+
+impl TxnRng {
+    /// Create the RNG for transaction `seq` of `cpu`.
+    pub fn new(seed: u64, cpu: usize, seq: usize) -> Self {
+        let mut x = seed ^ (cpu as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = x.wrapping_add((seq as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        TxnRng(x)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_identity() {
+        let mut a = TxnRng::new(42, 3, 7);
+        let mut b = TxnRng::new(42, 3, 7);
+        for _ in 0..10 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = TxnRng::new(42, 3, 8);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn op_mix_covers_all_ops() {
+        let mut seen = std::collections::HashSet::new();
+        for roll in 0..100 {
+            seen.insert(op_for(roll));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn op_mix_weights_roughly_tpcc() {
+        let n = |kind: OpKind| (0..100).filter(|&r| op_for(r) == kind).count();
+        assert_eq!(n(OpKind::NewOrder), 43);
+        assert_eq!(n(OpKind::Payment), 43);
+        assert_eq!(n(OpKind::OrderStatus), 5);
+        assert_eq!(n(OpKind::Delivery), 5);
+        assert_eq!(n(OpKind::StockLevel), 4);
+    }
+}

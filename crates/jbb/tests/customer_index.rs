@@ -1,0 +1,47 @@
+//! Tests for the by-customer OrderStatus path (TPC-C style): the customer
+//! index always points at a real order of that customer, in every
+//! configuration, under simulated contention.
+
+use jbb::{JbbTmWorkload, TmConfig, TmWarehouse};
+
+#[test]
+fn customer_index_consistent_across_configs() {
+    for config in [TmConfig::Baseline, TmConfig::Open, TmConfig::Transactional] {
+        let w = JbbTmWorkload {
+            warehouse: TmWarehouse::new(config),
+            txns_per_cpu: 60,
+            seed: 21,
+            think: 100,
+        };
+        let r = sim::run_tm(8, &w);
+        assert_eq!(r.commits, 8 * 60);
+        w.warehouse
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("{config:?}: {e}"));
+    }
+}
+
+#[test]
+fn order_status_reads_latest_order() {
+    use jbb::TxnRng;
+    let w = TmWarehouse::new(TmConfig::Transactional);
+    // Run a few NewOrders for a fixed rng stream, then confirm the index
+    // resolves to an existing order for some customer.
+    stm::atomic(|tx| {
+        let mut rng = TxnRng::new(3, 0, 0);
+        for _ in 0..5 {
+            w.new_order(tx, &mut rng, 0);
+        }
+    });
+    w.check_invariants().unwrap();
+    // At least one customer has an indexed order.
+    let mut found = false;
+    for c in 0..(jbb::DISTRICTS as u64 * jbb::CUSTOMERS_PER_DISTRICT) {
+        let code = stm::atomic(|tx| w.customer_index.get(tx, &(c as i64)));
+        if code.is_some() {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "NewOrder must populate the customer index");
+}

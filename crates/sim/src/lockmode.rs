@@ -1,0 +1,211 @@
+//! Lock-mode engine: the "Java" baseline with `synchronized`-style critical
+//! sections, modeled as trace replay against per-lock availability.
+
+/// A lock-based workload: bodies execute once (locks never roll back),
+/// recording their time structure into a [`LockRecorder`].
+pub trait LockWorkload {
+    /// Number of transactions CPU `cpu` executes.
+    fn txn_count(&self, cpu: usize) -> usize;
+    /// Execute transaction `seq` of CPU `cpu`, recording segments.
+    fn run(&self, cpu: usize, seq: usize, rec: &mut LockRecorder);
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    /// Lock-free computation.
+    Work(u64),
+    /// A critical section on the given lock.
+    Critical { lock: u64, cycles: u64 },
+}
+
+/// Records the time structure of one lock-based transaction body.
+pub struct LockRecorder {
+    segments: Vec<Segment>,
+}
+
+impl LockRecorder {
+    fn new() -> Self {
+        LockRecorder {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Record lock-free computation.
+    pub fn work(&mut self, cycles: u64) {
+        self.segments.push(Segment::Work(cycles));
+    }
+
+    /// Execute `f` (against real shared state) as a critical section of
+    /// `cycles` virtual cycles on `lock`. The closure runs immediately —
+    /// host execution is sequential, so no host-level locking is needed;
+    /// `lock`/`cycles` drive the virtual-time replay.
+    pub fn critical<T>(&mut self, lock: u64, cycles: u64, f: impl FnOnce() -> T) -> T {
+        self.segments.push(Segment::Critical { lock, cycles });
+        f()
+    }
+}
+
+/// Outcome of a lock-mode simulation.
+#[derive(Debug, Clone, Default)]
+pub struct LockResult {
+    /// Virtual cycles until the last CPU finishes.
+    pub makespan: u64,
+    /// Completed transactions.
+    pub commits: u64,
+    /// Cycles spent blocked waiting for locks, summed over CPUs.
+    pub blocked_cycles: u64,
+    /// Cycles of actual work (critical + lock-free), summed over CPUs.
+    pub busy_cycles: u64,
+}
+
+/// Run `workload` on `cpus` virtual CPUs with blocking-lock semantics.
+///
+/// Bodies are executed (and traced) in a deterministic global order; the
+/// scheduler then advances whichever CPU has the smallest local clock,
+/// granting locks in virtual-time order (FIFO within equal times by CPU
+/// index).
+pub fn run_lock(cpus: usize, workload: &dyn LockWorkload) -> LockResult {
+    assert!(cpus > 0, "need at least one CPU");
+    let mut result = LockResult::default();
+
+    // Phase 1: trace every transaction. Interleave collection round-robin
+    // so shared-state evolution roughly matches concurrent execution.
+    let mut traces: Vec<Vec<Vec<Segment>>> = (0..cpus).map(|_| Vec::new()).collect();
+    let max_txns = (0..cpus).map(|c| workload.txn_count(c)).max().unwrap_or(0);
+    for seq in 0..max_txns {
+        for (cpu, trace) in traces.iter_mut().enumerate() {
+            if seq < workload.txn_count(cpu) {
+                let mut rec = LockRecorder::new();
+                workload.run(cpu, seq, &mut rec);
+                trace.push(rec.segments);
+                result.commits += 1;
+            }
+        }
+    }
+
+    // Phase 2: replay. Flatten per-CPU segments; advance the globally
+    // smallest CPU clock each step.
+    let mut flat: Vec<std::vec::IntoIter<Segment>> = traces
+        .into_iter()
+        .map(|txns| {
+            txns.into_iter()
+                .flatten()
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    let mut clock: Vec<u64> = vec![0; cpus];
+    let mut done: Vec<bool> = vec![false; cpus];
+    let mut lock_free_at: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+
+    loop {
+        // Pick the unfinished CPU with the smallest clock (ties: lowest id).
+        let Some(cpu) = (0..cpus)
+            .filter(|&c| !done[c])
+            .min_by_key(|&c| (clock[c], c))
+        else {
+            break;
+        };
+        match flat[cpu].next() {
+            None => done[cpu] = true,
+            Some(Segment::Work(c)) => {
+                clock[cpu] += c;
+                result.busy_cycles += c;
+            }
+            Some(Segment::Critical { lock, cycles }) => {
+                let free = lock_free_at.get(&lock).copied().unwrap_or(0);
+                let start = clock[cpu].max(free);
+                result.blocked_cycles += start - clock[cpu];
+                clock[cpu] = start + cycles;
+                lock_free_at.insert(lock, clock[cpu]);
+                result.busy_cycles += cycles;
+            }
+        }
+    }
+    result.makespan = clock.into_iter().max().unwrap_or(0);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mixed {
+        txns: usize,
+        think: u64,
+        crit: u64,
+        shared_lock: bool,
+    }
+
+    impl LockWorkload for Mixed {
+        fn txn_count(&self, _cpu: usize) -> usize {
+            self.txns
+        }
+        fn run(&self, cpu: usize, _seq: usize, rec: &mut LockRecorder) {
+            rec.work(self.think);
+            let lock = if self.shared_lock { 0 } else { cpu as u64 };
+            rec.critical(lock, self.crit, || ());
+        }
+    }
+
+    #[test]
+    fn short_critical_sections_scale() {
+        let mk = || Mixed {
+            txns: 50,
+            think: 1000,
+            crit: 10,
+            shared_lock: true,
+        };
+        let r1 = run_lock(1, &mk());
+        let r16 = run_lock(16, &mk());
+        let speedup = (16.0 * r1.makespan as f64) / r16.makespan as f64;
+        assert!(speedup > 12.0, "short critical sections should scale, got {speedup}");
+    }
+
+    #[test]
+    fn long_critical_sections_serialize() {
+        let mk = || Mixed {
+            txns: 50,
+            think: 10,
+            crit: 1000,
+            shared_lock: true,
+        };
+        let r1 = run_lock(1, &mk());
+        let r16 = run_lock(16, &mk());
+        let speedup = (16.0 * r1.makespan as f64) / r16.makespan as f64;
+        assert!(
+            speedup < 1.5,
+            "one big lock must serialize everything, got speedup {speedup}"
+        );
+        assert!(r16.blocked_cycles > 0);
+    }
+
+    #[test]
+    fn private_locks_scale_perfectly() {
+        let mk = || Mixed {
+            txns: 20,
+            think: 100,
+            crit: 100,
+            shared_lock: false,
+        };
+        let r1 = run_lock(1, &mk());
+        let r8 = run_lock(8, &mk());
+        let speedup = (8.0 * r1.makespan as f64) / r8.makespan as f64;
+        assert!((speedup - 8.0).abs() < 0.2, "got {speedup}");
+        assert_eq!(run_lock(8, &mk()).blocked_cycles, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || Mixed {
+            txns: 13,
+            think: 37,
+            crit: 91,
+            shared_lock: true,
+        };
+        let a = run_lock(6, &mk());
+        let b = run_lock(6, &mk());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.blocked_cycles, b.blocked_cycles);
+    }
+}

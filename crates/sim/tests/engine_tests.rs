@@ -1,0 +1,216 @@
+//! Cross-cutting simulator tests: the two engines' models behave sanely and
+//! consistently with the STM semantics they drive.
+
+use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use stm::TVar;
+use txcollections::{Channel, TransactionalMap, TransactionalQueue, TransactionalSortedMap};
+
+struct MapWorkload {
+    map: TransactionalMap<u64, u64>,
+    txns: usize,
+}
+
+impl sim::TmWorkload for MapWorkload {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns
+    }
+    fn run(&self, cpu: usize, seq: usize, tx: &mut stm::Txn) {
+        sim::think(500);
+        let k = (cpu * 1_000 + seq) as u64;
+        self.map.put_discard(tx, k, k);
+    }
+}
+
+#[test]
+fn wrapped_map_keeps_all_data_across_simulated_cpus() {
+    let w = MapWorkload {
+        map: TransactionalMap::with_capacity(8192),
+        txns: 100,
+    };
+    let r = sim::run_tm(16, &w);
+    assert_eq!(r.commits, 1600);
+    assert_eq!(
+        r.violations_memory + r.violations_semantic,
+        0,
+        "disjoint blind puts must not conflict"
+    );
+    assert_eq!(stm::atomic(|tx| w.map.size(tx)), 1600);
+}
+
+struct SortedScanWorkload {
+    map: TransactionalSortedMap<u64, u64>,
+    txns: usize,
+}
+
+impl sim::TmWorkload for SortedScanWorkload {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns
+    }
+    fn run(&self, cpu: usize, seq: usize, tx: &mut stm::Txn) {
+        sim::think(500);
+        if cpu % 2 == 0 {
+            // Writers append at the end.
+            let k = (cpu * 10_000 + seq) as u64 + 1_000_000;
+            self.map.put_discard(tx, k, k);
+        } else {
+            // Readers scan a fixed low range: never overlaps the appends.
+            let r = self
+                .map
+                .range_entries(tx, Bound::Included(0), Bound::Excluded(100));
+            std::hint::black_box(r);
+        }
+    }
+}
+
+#[test]
+fn non_overlapping_ranges_and_appends_coexist() {
+    let w = SortedScanWorkload {
+        map: TransactionalSortedMap::new(),
+        txns: 60,
+    };
+    stm::atomic(|tx| {
+        for k in 0..50u64 {
+            w.map.put_discard(tx, k, k);
+        }
+    });
+    let r = sim::run_tm(8, &w);
+    assert_eq!(r.commits, 480);
+    assert_eq!(
+        r.violations_semantic, 0,
+        "range [0,100) never overlaps appended keys >= 1M"
+    );
+}
+
+struct QueuePipeline {
+    queue: TransactionalQueue<u64>,
+    txns: usize,
+    produced: std::sync::Arc<AtomicUsize>,
+    consumed: std::sync::Arc<AtomicUsize>,
+}
+
+impl sim::TmWorkload for QueuePipeline {
+    fn txn_count(&self, _cpu: usize) -> usize {
+        self.txns
+    }
+    fn run(&self, cpu: usize, _seq: usize, tx: &mut stm::Txn) {
+        sim::think(300);
+        if cpu % 2 == 0 {
+            self.queue.put(tx, cpu as u64);
+            // Count only on the attempt that commits: commit handlers run
+            // exactly once per committed transaction.
+            let p = self.produced.clone();
+            tx.on_commit_top(move |_| {
+                p.fetch_add(1, Ordering::Relaxed);
+            });
+        } else if self.queue.poll(tx).is_some() {
+            let c = self.consumed.clone();
+            tx.on_commit_top(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    }
+}
+
+#[test]
+fn queue_pipeline_conserves_items_in_sim() {
+    let w = QueuePipeline {
+        queue: TransactionalQueue::new(),
+        txns: 80,
+        produced: std::sync::Arc::new(AtomicUsize::new(0)),
+        consumed: std::sync::Arc::new(AtomicUsize::new(0)),
+    };
+    let r = sim::run_tm(8, &w);
+    assert_eq!(r.commits, 8 * 80);
+    let produced = w.produced.load(Ordering::Relaxed);
+    let consumed = w.consumed.load(Ordering::Relaxed);
+    let left = stm::atomic(|tx| {
+        let mut n = 0;
+        while w.queue.poll(tx).is_some() {
+            n += 1;
+        }
+        n
+    });
+    assert_eq!(
+        produced,
+        consumed + left,
+        "queue items not conserved under simulation"
+    );
+}
+
+/// The timing model: a conflicting read performed EARLY in a long body must
+/// be violated; the same conflict would be a silent replay if it virtually
+/// happened after the writer's commit.
+#[test]
+fn early_reads_are_violated_late_reads_replay() {
+    struct Early {
+        hot: TVar<u64>,
+        txns: usize,
+    }
+    impl sim::TmWorkload for Early {
+        fn txn_count(&self, cpu: usize) -> usize {
+            if cpu == 0 {
+                self.txns
+            } else {
+                self.txns * 4 // writer spins faster
+            }
+        }
+        fn run(&self, cpu: usize, _seq: usize, tx: &mut stm::Txn) {
+            if cpu == 0 {
+                // Reader: read FIRST, then a long think.
+                let _ = self.hot.read(tx);
+                sim::think(50_000);
+            } else {
+                sim::think(500);
+                let v = self.hot.read(tx);
+                self.hot.write(tx, v + 1);
+            }
+        }
+    }
+    struct Late {
+        hot: TVar<u64>,
+        txns: usize,
+    }
+    impl sim::TmWorkload for Late {
+        fn txn_count(&self, cpu: usize) -> usize {
+            if cpu == 0 {
+                self.txns
+            } else {
+                self.txns * 4
+            }
+        }
+        fn run(&self, cpu: usize, _seq: usize, tx: &mut stm::Txn) {
+            if cpu == 0 {
+                // Reader: long think FIRST, read at the very end.
+                sim::think(50_000);
+                let _ = self.hot.read(tx);
+            } else {
+                sim::think(500);
+                let v = self.hot.read(tx);
+                self.hot.write(tx, v + 1);
+            }
+        }
+    }
+    let early = Early {
+        hot: TVar::new(0),
+        txns: 30,
+    };
+    let re = sim::run_tm(2, &early);
+    let late = Late {
+        hot: TVar::new(0),
+        txns: 30,
+    };
+    let rl = sim::run_tm(2, &late);
+    // Early reads sit in the conflict window for the whole body: nearly
+    // every writer commit during the overlap violates the reader. Late
+    // reads are exposed for only the final instants, so almost all writer
+    // commits become silent replays instead.
+    assert!(
+        re.violations_memory > 10 * rl.violations_memory.max(1),
+        "early reads must be violated far more often than late reads \
+         (early {} vs late {})",
+        re.violations_memory,
+        rl.violations_memory
+    );
+    assert!(rl.replays > 0, "late reads should be silent replays");
+}

@@ -1,0 +1,46 @@
+//! Global version clock and the global commit mutex.
+//!
+//! The STM uses a single monotonically increasing version clock. Every
+//! committed write stamps its `TVar` with a version drawn from this clock, and
+//! every transaction records the clock value at which it started (`rv`). A
+//! read observing a version newer than `rv` triggers timestamp extension or a
+//! retry, which is what gives transactions an opaque (always-consistent) view
+//! of memory.
+//!
+//! Commits are serialized by [`commit_lock`]. Holding it guarantees that no
+//! other transaction can publish writes, run commit/abort handlers, or doom a
+//! transaction concurrently — the invariant that makes the semantic-lock
+//! dooming protocol in `txcollections` race-free (see that crate's docs).
+
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
+static COMMIT_MUTEX: Mutex<()> = Mutex::new(());
+
+/// Current value of the global version clock.
+pub(crate) fn now() -> u64 {
+    GLOBAL_CLOCK.load(Ordering::Acquire)
+}
+
+/// The version the next commit will write. Call only while holding the
+/// commit mutex; pair with [`publish`] **after** all writes are applied.
+///
+/// Ordering matters for opacity: writes land with a version `> now()`, and
+/// the clock only advances once the whole write set is visible. A reader
+/// that sees a version above its read horizon therefore knows a commit is
+/// (or was) in flight and must synchronize (timestamp extension under the
+/// commit mutex) rather than mix old and new values.
+pub(crate) fn next_version() -> u64 {
+    GLOBAL_CLOCK.load(Ordering::Acquire) + 1
+}
+
+/// Publish a fully applied commit at version `v` (commit mutex held).
+pub(crate) fn publish(v: u64) {
+    GLOBAL_CLOCK.store(v, Ordering::Release);
+}
+
+/// Acquire the global commit mutex.
+pub(crate) fn commit_lock() -> MutexGuard<'static, ()> {
+    COMMIT_MUTEX.lock()
+}

@@ -1,0 +1,153 @@
+//! Top-level transaction handles and program-directed abort.
+//!
+//! The paper (§4, "Program-directed transaction abort") requires that "an
+//! open-nested transaction needs a way to request a reference to its top-level
+//! transaction that can be stored as the owner of a lock. Later if another
+//! transaction detects a conflict with that lock, the transaction reference
+//! can be used to abort the conflicting transaction." [`TxHandle`] is that
+//! reference: semantic lock tables store `Arc<TxHandle>` owners, and a
+//! committing transaction's commit handler calls [`TxHandle::doom`] on
+//! conflicting owners.
+//!
+//! A fresh handle is created for every top-level *attempt*, so a doom aimed at
+//! a previous attempt can never spuriously kill a retry.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+static NEXT_TX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Lifecycle state of a top-level transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TxState {
+    /// Still executing (or waiting to commit).
+    Active = 0,
+    /// Passed the point of no return; dooming it is a no-op.
+    Committed = 1,
+    /// Aborted (doomed, conflicted, or explicitly).
+    Aborted = 2,
+}
+
+/// Identity of one top-level transaction attempt.
+///
+/// Handles are the owners recorded in semantic lock tables and the target of
+/// program-directed abort. They are cheap to clone (`Arc`) and compare by
+/// [`TxHandle::id`].
+#[derive(Debug)]
+pub struct TxHandle {
+    id: u64,
+    state: AtomicU8,
+    doomed: std::sync::atomic::AtomicBool,
+    /// Number of prior aborted attempts of the same logical transaction;
+    /// contention managers use it as a priority hint.
+    retries: AtomicU32,
+}
+
+impl TxHandle {
+    /// Create a handle for a new top-level attempt. `retries` carries the
+    /// abort count of the logical transaction across attempts.
+    pub fn new(retries: u32) -> Arc<Self> {
+        Arc::new(TxHandle {
+            id: NEXT_TX_ID.fetch_add(1, Ordering::Relaxed),
+            state: AtomicU8::new(TxState::Active as u8),
+            doomed: std::sync::atomic::AtomicBool::new(false),
+            retries: AtomicU32::new(retries),
+        })
+    }
+
+    /// Unique id of this attempt.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of times the logical transaction behind this attempt has
+    /// already aborted.
+    pub fn retries(&self) -> u32 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TxState {
+        match self.state.load(Ordering::Acquire) {
+            0 => TxState::Active,
+            1 => TxState::Committed,
+            _ => TxState::Aborted,
+        }
+    }
+
+    /// Request that this transaction abort (program-directed abort).
+    ///
+    /// Returns `true` if the doom landed while the transaction was still
+    /// active. Dooming a committed transaction has no effect — the caller
+    /// already serialized after it. All dooming in this system happens from
+    /// commit/abort handlers running under the global commit mutex, so
+    /// doom-vs-commit races are excluded by construction.
+    pub fn doom(&self) -> bool {
+        if self.state() != TxState::Active {
+            return false;
+        }
+        self.doomed.store(true, Ordering::Release);
+        true
+    }
+
+    /// Whether a doom request has been posted.
+    #[inline]
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_committed(&self) {
+        self.state.store(TxState::Committed as u8, Ordering::Release);
+    }
+
+    pub(crate) fn mark_aborted(&self) {
+        self.state.store(TxState::Aborted as u8, Ordering::Release);
+    }
+}
+
+impl PartialEq for TxHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for TxHandle {}
+
+impl std::hash::Hash for TxHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = TxHandle::new(0);
+        let b = TxHandle::new(0);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn doom_only_lands_on_active() {
+        let h = TxHandle::new(0);
+        assert_eq!(h.state(), TxState::Active);
+        assert!(h.doom());
+        assert!(h.is_doomed());
+
+        let h2 = TxHandle::new(0);
+        h2.mark_committed();
+        assert!(!h2.doom());
+        assert!(!h2.is_doomed());
+    }
+
+    #[test]
+    fn handles_compare_by_id() {
+        let a = TxHandle::new(0);
+        let b = TxHandle::new(0);
+        assert_eq!(*a, *a);
+        assert_ne!(*a, *b);
+    }
+}

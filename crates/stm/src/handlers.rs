@@ -1,0 +1,40 @@
+//! Commit and abort handlers.
+//!
+//! Handlers are the cleanup/publication mechanism of multi-level transactions
+//! (paper §4, "Commit and abort handlers"). A handler receives the
+//! transaction context in **direct mode** ([`crate::TxnMode::Direct`]): reads
+//! return committed state and writes publish immediately, because handlers
+//! run while the global commit mutex is held — after the owning transaction's
+//! point of no return (commit handlers) or after its memory rollback (abort
+//! handlers). Running under the commit mutex means a handler's updates can
+//! never conflict with another transaction's commit, which subsumes the
+//! paper's "commit handlers run closed-nested so conflicts replay only the
+//! handler": under a global commit lock the replay case simply cannot arise.
+//!
+//! Handlers registered inside a nested frame are *discarded* if that frame
+//! aborts and *promoted to the parent frame* if it commits, exactly per the
+//! paper. The transactional collection classes register their single
+//! commit/abort handler pair directly on the top-level frame
+//! ([`crate::Txn::on_commit_top`]) because their lock owners are top-level
+//! handles.
+
+use crate::txn::Txn;
+
+/// A commit or abort handler. Runs exactly once, in direct mode, under the
+/// global commit mutex.
+pub type Handler = Box<dyn FnOnce(&mut Txn) + Send>;
+
+/// A compensation for *thread-local, non-transactional* state mutated inside
+/// a nesting frame (e.g. a collection's store buffer). Runs in reverse
+/// registration order when the registering frame aborts; dropped when the
+/// top-level transaction commits.
+///
+/// This is the encapsulated alternative to Moss's interleaved-undo semantics
+/// discussed (and rejected as unnecessary) in paper §5.1: because only the
+/// registering transaction can touch the buffered state, replaying local
+/// undos at frame-abort time is always safe.
+pub type LocalUndo = Box<dyn FnOnce() + Send>;
+
+/// Alias kept for API clarity: handlers receive the transaction in direct
+/// mode; the type is the same [`Txn`].
+pub type HandlerCtx = Txn;

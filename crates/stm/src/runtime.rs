@@ -1,0 +1,168 @@
+//! Execution drivers: the threaded retry loop and the simulator-facing
+//! prepared-transaction API.
+
+use crate::contention::{BackoffPolicy, ContentionManager};
+use crate::handle::TxHandle;
+use crate::interrupt::{self, AbortCause, TxInterrupt};
+use crate::tvar::VarId;
+use crate::txn::Txn;
+use std::sync::Arc;
+
+/// Options for [`atomic_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOpts {
+    /// Contention-management policy between attempts.
+    pub backoff: BackoffPolicy,
+    /// Abort the process-visible retry loop after this many attempts
+    /// (`None` = retry forever). Mostly for tests.
+    pub max_attempts: Option<u32>,
+}
+
+/// Run `f` as a top-level atomic transaction, retrying on conflict until it
+/// commits, and return its result.
+///
+/// `f` must be re-executable: it may run several times, and all its effects
+/// on transactional state are isolated until commit. Effects on
+/// *non*-transactional state should be compensated via
+/// [`Txn::on_local_undo`] / [`Txn::on_abort_top`] (this is what the
+/// transactional collection classes do internally).
+///
+/// Calling `atomic` from inside another `atomic` creates an *independent*
+/// transaction, not a nested one — use [`Txn::closed`] or [`Txn::open`] for
+/// nesting.
+pub fn atomic<T>(f: impl FnMut(&mut Txn) -> T) -> T {
+    atomic_with(RunOpts::default(), f)
+}
+
+/// [`atomic`] with explicit [`RunOpts`].
+pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
+    let cm = ContentionManager::new(opts.backoff);
+    let mut attempts: u32 = 0;
+    loop {
+        let handle = TxHandle::new(attempts);
+        let mut tx = Txn::new_top(handle);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
+        match outcome {
+            Ok(v) => match tx.try_commit_top() {
+                Ok(()) => return v,
+                Err(cause) => {
+                    tx.run_abort_path(cause);
+                }
+            },
+            Err(payload) => match interrupt::classify(payload) {
+                Ok(TxInterrupt::Retry(cause)) => {
+                    tx.run_abort_path(cause);
+                }
+                // A frame retry for the root frame degenerates to a full
+                // retry (the root is not closed-nested).
+                Ok(TxInterrupt::RetryFrame(_)) => {
+                    tx.run_abort_path(AbortCause::ReadInvalid);
+                }
+                Ok(TxInterrupt::UserAbort) => {
+                    tx.run_abort_path(AbortCause::Explicit);
+                    panic!("transaction aborted by user request");
+                }
+                Err(user_panic) => {
+                    // A genuine bug in user code: clean up transactional
+                    // state, then let the panic continue.
+                    tx.run_abort_path(AbortCause::Explicit);
+                    std::panic::resume_unwind(user_panic);
+                }
+            },
+        }
+        attempts += 1;
+        if let Some(max) = opts.max_attempts {
+            assert!(
+                attempts < max,
+                "transaction failed to commit within {max} attempts"
+            );
+        }
+        cm.pause(attempts);
+    }
+}
+
+/// A speculated-but-uncommitted transaction, produced by [`speculate`].
+///
+/// This is the simulator's unit of work: the body has already executed (its
+/// open-nested effects are visible, its top-level effects are buffered), and
+/// the simulator decides later — in virtual-time order — whether to
+/// [`commit`](PreparedTxn::commit) or [`abort`](PreparedTxn::abort) it.
+pub struct PreparedTxn {
+    tx: Txn,
+}
+
+impl PreparedTxn {
+    /// Handle of the speculated attempt (the simulator uses it to observe
+    /// dooms posted by other transactions' commit handlers).
+    pub fn handle(&self) -> Arc<TxHandle> {
+        self.tx.handle().clone()
+    }
+
+    /// Memory-level read footprint of the top-level transaction (open-nested
+    /// reads excluded — they already committed).
+    pub fn read_set(&self) -> Vec<VarId> {
+        self.tx.read_ids()
+    }
+
+    /// Memory-level write footprint of the top-level transaction.
+    pub fn write_set(&self) -> Vec<VarId> {
+        self.tx.write_ids()
+    }
+
+    /// Read footprint with body-cycle offsets (see [`Txn::read_offsets`]).
+    pub fn read_offsets(&self) -> Vec<(VarId, u64)> {
+        self.tx.read_offsets()
+    }
+
+    /// Publish the buffered writes and run commit handlers.
+    ///
+    /// The caller (the simulator) is responsible for the TCC invariant that
+    /// makes validation unnecessary: every earlier-committing conflicting
+    /// transaction must already have aborted this one. Debug builds assert
+    /// the read set is still valid.
+    pub fn commit(mut self) {
+        self.tx.commit_top_unchecked();
+    }
+
+    /// Discard the buffered writes, run local undos and abort handlers
+    /// (compensating any open-nested effects).
+    pub fn abort(mut self, cause: AbortCause) {
+        self.tx.run_abort_path(cause);
+    }
+}
+
+/// Execute `f` speculatively as a top-level transaction body, without
+/// committing. Returns the body's value and the [`PreparedTxn`].
+///
+/// `Err` is returned when the body aborts itself ([`crate::abort_and_retry`])
+/// or observes a doom; compensation has already run. The simulator decides
+/// when and whether to re-execute.
+pub fn speculate<T>(
+    f: impl FnOnce(&mut Txn) -> T,
+    prior_attempts: u32,
+) -> Result<(T, PreparedTxn), AbortCause> {
+    let handle = TxHandle::new(prior_attempts);
+    let mut tx = Txn::new_top(handle);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
+    match outcome {
+        Ok(v) => Ok((v, PreparedTxn { tx })),
+        Err(payload) => match interrupt::classify(payload) {
+            Ok(TxInterrupt::Retry(cause)) => {
+                tx.run_abort_path(cause);
+                Err(cause)
+            }
+            Ok(TxInterrupt::RetryFrame(_)) => {
+                tx.run_abort_path(AbortCause::ReadInvalid);
+                Err(AbortCause::ReadInvalid)
+            }
+            Ok(TxInterrupt::UserAbort) => {
+                tx.run_abort_path(AbortCause::Explicit);
+                Err(AbortCause::Explicit)
+            }
+            Err(user_panic) => {
+                tx.run_abort_path(AbortCause::Explicit);
+                std::panic::resume_unwind(user_panic);
+            }
+        },
+    }
+}

@@ -1,0 +1,132 @@
+//! Global transaction statistics.
+//!
+//! The benchmark harnesses and the conformance tests both reason about *why*
+//! transactions abort — memory-level read invalidation versus semantic dooms
+//! — so the runtime keeps cheap global counters. They are process-wide; the
+//! harnesses snapshot-and-diff around measured regions.
+
+use crate::interrupt::AbortCause;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+struct Counters {
+    commits: AtomicU64,
+    aborts_read_invalid: AtomicU64,
+    aborts_doomed: AtomicU64,
+    aborts_explicit: AtomicU64,
+    open_commits: AtomicU64,
+    open_retries: AtomicU64,
+    frame_retries: AtomicU64,
+    handler_runs: AtomicU64,
+}
+
+static COUNTERS: Counters = Counters {
+    commits: AtomicU64::new(0),
+    aborts_read_invalid: AtomicU64::new(0),
+    aborts_doomed: AtomicU64::new(0),
+    aborts_explicit: AtomicU64::new(0),
+    open_commits: AtomicU64::new(0),
+    open_retries: AtomicU64::new(0),
+    frame_retries: AtomicU64::new(0),
+    handler_runs: AtomicU64::new(0),
+};
+
+pub(crate) fn record_commit() {
+    COUNTERS.commits.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_abort(cause: AbortCause) {
+    let c = match cause {
+        AbortCause::ReadInvalid => &COUNTERS.aborts_read_invalid,
+        AbortCause::Doomed => &COUNTERS.aborts_doomed,
+        AbortCause::Explicit => &COUNTERS.aborts_explicit,
+    };
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_open_commit() {
+    COUNTERS.open_commits.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_open_retry() {
+    COUNTERS.open_retries.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_frame_retry() {
+    COUNTERS.frame_retries.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_handler_run() {
+    COUNTERS.handler_runs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time snapshot of the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Top-level commits.
+    pub commits: u64,
+    /// Aborts from read-set invalidation (memory-level conflicts).
+    pub aborts_read_invalid: u64,
+    /// Aborts from program-directed abort (semantic conflicts).
+    pub aborts_doomed: u64,
+    /// Aborts requested by the program itself.
+    pub aborts_explicit: u64,
+    /// Open-nested child commits.
+    pub open_commits: u64,
+    /// Open-nested child re-executions.
+    pub open_retries: u64,
+    /// Closed-nested partial rollbacks (frame re-executions).
+    pub frame_retries: u64,
+    /// Commit/abort handler invocations.
+    pub handler_runs: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts of top-level attempts.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_read_invalid + self.aborts_doomed + self.aborts_explicit
+    }
+
+    /// Counter-wise difference (`self - earlier`), saturating.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts_read_invalid: self
+                .aborts_read_invalid
+                .saturating_sub(earlier.aborts_read_invalid),
+            aborts_doomed: self.aborts_doomed.saturating_sub(earlier.aborts_doomed),
+            aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
+            open_commits: self.open_commits.saturating_sub(earlier.open_commits),
+            open_retries: self.open_retries.saturating_sub(earlier.open_retries),
+            frame_retries: self.frame_retries.saturating_sub(earlier.frame_retries),
+            handler_runs: self.handler_runs.saturating_sub(earlier.handler_runs),
+        }
+    }
+}
+
+/// Snapshot the global statistics counters.
+pub fn global_stats() -> StatsSnapshot {
+    StatsSnapshot {
+        commits: COUNTERS.commits.load(Ordering::Relaxed),
+        aborts_read_invalid: COUNTERS.aborts_read_invalid.load(Ordering::Relaxed),
+        aborts_doomed: COUNTERS.aborts_doomed.load(Ordering::Relaxed),
+        aborts_explicit: COUNTERS.aborts_explicit.load(Ordering::Relaxed),
+        open_commits: COUNTERS.open_commits.load(Ordering::Relaxed),
+        open_retries: COUNTERS.open_retries.load(Ordering::Relaxed),
+        frame_retries: COUNTERS.frame_retries.load(Ordering::Relaxed),
+        handler_runs: COUNTERS.handler_runs.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the global counters. Tests in the same process race on this; prefer
+/// snapshot-and-[`StatsSnapshot::since`] in concurrent tests.
+pub fn reset_global_stats() {
+    COUNTERS.commits.store(0, Ordering::Relaxed);
+    COUNTERS.aborts_read_invalid.store(0, Ordering::Relaxed);
+    COUNTERS.aborts_doomed.store(0, Ordering::Relaxed);
+    COUNTERS.aborts_explicit.store(0, Ordering::Relaxed);
+    COUNTERS.open_commits.store(0, Ordering::Relaxed);
+    COUNTERS.open_retries.store(0, Ordering::Relaxed);
+    COUNTERS.frame_retries.store(0, Ordering::Relaxed);
+    COUNTERS.handler_runs.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,199 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is a shared, versioned cell. All access from inside a
+//! transaction goes through [`TVar::read`] / [`TVar::write`], which log the
+//! access in the current nesting frame of the [`Txn`]. Values are stored and
+//! buffered by clone; in practice `T` is either small and `Copy`-like or an
+//! `Arc`-wrapped payload.
+
+use crate::cost;
+use crate::txn::Txn;
+use parking_lot::{Mutex, RwLock};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+static LABELS: Mutex<Option<HashMap<VarId, String>>> = Mutex::new(None);
+
+/// Attach a human-readable label to a variable, for conflict attribution
+/// (the TAPE-style profiling of paper §6.3: identifying which shared
+/// locations cause lost work).
+pub fn label_var(id: VarId, label: impl Into<String>) {
+    LABELS
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(id, label.into());
+}
+
+/// Look up a variable's label, if any.
+pub fn var_label(id: VarId) -> Option<String> {
+    LABELS.lock().as_ref().and_then(|m| m.get(&id).cloned())
+}
+
+/// Globally unique identifier of a [`TVar`]. The simulator intersects
+/// read/write sets by `VarId`.
+pub type VarId = u64;
+
+/// Type-erased view of a `TVar` used by read/write sets and the committer.
+pub(crate) trait AnyVar: Send + Sync {
+    #[allow(dead_code)]
+    fn id(&self) -> VarId;
+    /// Committed version stamp.
+    fn version(&self) -> u64;
+    /// Publish a buffered value with the given write version.
+    /// `val` must be the `T` of the underlying var (guaranteed by the logger).
+    fn apply(&self, val: &(dyn Any + Send + Sync), version: u64);
+}
+
+pub(crate) struct VarCore<T> {
+    id: VarId,
+    cell: RwLock<(u64, T)>,
+}
+
+impl<T: Clone + Send + Sync + 'static> AnyVar for VarCore<T> {
+    fn id(&self) -> VarId {
+        self.id
+    }
+
+    fn version(&self) -> u64 {
+        self.cell.read().0
+    }
+
+    fn apply(&self, val: &(dyn Any + Send + Sync), version: u64) {
+        let v = val
+            .downcast_ref::<T>()
+            .expect("write-set entry type mismatch");
+        let mut g = self.cell.write();
+        *g = (version, v.clone());
+    }
+}
+
+/// A transactional shared variable holding a `T`.
+///
+/// Cloning a `TVar` clones the *reference* (it is an `Arc` internally); both
+/// clones name the same cell.
+///
+/// ```
+/// use stm::{atomic, TVar};
+/// let v = TVar::new(1);
+/// atomic(|tx| { let x = v.read(tx); v.write(tx, x + 1); });
+/// assert_eq!(v.read_committed(), 2);
+/// ```
+pub struct TVar<T> {
+    pub(crate) core: Arc<VarCore<T>>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// Create a new variable with an initial committed value.
+    pub fn new(value: T) -> Self {
+        TVar {
+            core: Arc::new(VarCore {
+                id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
+                cell: RwLock::new((0, value)),
+            }),
+        }
+    }
+
+    /// Unique id of this variable.
+    pub fn id(&self) -> VarId {
+        self.core.id
+    }
+
+    /// Label this variable for conflict attribution (see [`label_var`]).
+    pub fn set_label(&self, label: impl Into<String>) {
+        label_var(self.core.id, label);
+    }
+
+    /// Transactional read. Returns the transaction's own buffered value if it
+    /// has written this var, otherwise a validated committed snapshot.
+    pub fn read(&self, tx: &mut Txn) -> T {
+        cost::add_cost(cost::MEM_ACCESS_COST);
+        tx.read_var(self)
+    }
+
+    /// Transactional write (buffered in the current frame's redo log until
+    /// commit).
+    pub fn write(&self, tx: &mut Txn, value: T) {
+        cost::add_cost(cost::MEM_ACCESS_COST);
+        tx.write_var(self, value);
+    }
+
+    /// Read the committed value directly, outside any transaction.
+    ///
+    /// Single reads are trivially atomic; use a transaction for anything that
+    /// must be consistent across multiple variables.
+    pub fn read_committed(&self) -> T {
+        self.core.cell.read().1.clone()
+    }
+
+    /// Committed version stamp (diagnostic).
+    pub fn version(&self) -> u64 {
+        self.core.version()
+    }
+
+    pub(crate) fn committed_pair(&self) -> (u64, T) {
+        let g = self.core.cell.read();
+        (g.0, g.1.clone())
+    }
+
+    pub(crate) fn any(&self) -> Arc<dyn AnyVar> {
+        self.core.clone()
+    }
+}
+
+impl<T: Clone + Send + Sync + Default + 'static> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug + Clone + Send + Sync + 'static> std::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (ver, val) = self.committed_pair();
+        f.debug_struct("TVar")
+            .field("id", &self.core.id)
+            .field("version", &ver)
+            .field("value", &val)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_var_has_version_zero() {
+        let v = TVar::new(7u32);
+        assert_eq!(v.version(), 0);
+        assert_eq!(v.read_committed(), 7);
+    }
+
+    #[test]
+    fn ids_unique_and_clone_shares_identity() {
+        let a = TVar::new(0u8);
+        let b = TVar::new(0u8);
+        assert_ne!(a.id(), b.id());
+        let a2 = a.clone();
+        assert_eq!(a.id(), a2.id());
+    }
+
+    #[test]
+    fn apply_updates_value_and_version() {
+        let v = TVar::new(1i32);
+        let any = v.any();
+        any.apply(&42i32, 9);
+        assert_eq!(v.read_committed(), 42);
+        assert_eq!(v.version(), 9);
+    }
+}

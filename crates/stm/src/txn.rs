@@ -1,0 +1,594 @@
+//! Transaction contexts, nesting frames, and the commit machinery.
+
+use crate::clock;
+use crate::handle::TxHandle;
+use crate::handlers::{Handler, LocalUndo};
+use crate::interrupt::{self, AbortCause, TxInterrupt};
+use crate::stats;
+use crate::tvar::{AnyVar, TVar, VarId};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How reads and writes behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnMode {
+    /// Normal execution: reads are logged and validated, writes are buffered
+    /// in a redo log until commit.
+    Speculative,
+    /// Handler execution under the global commit mutex: reads see committed
+    /// state, writes publish immediately. Nesting operations are flattened.
+    Direct,
+}
+
+struct ReadEntry {
+    var: Arc<dyn AnyVar>,
+    version: u64,
+    /// Virtual-cycle offset within the body at which the read first
+    /// happened (simulator timing; meaningless in threaded mode).
+    offset: u64,
+}
+
+struct WriteEntry {
+    var: Arc<dyn AnyVar>,
+    val: Arc<dyn Any + Send + Sync>,
+}
+
+/// Why a frame exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameKind {
+    /// The outermost frame of a top-level or open-nested transaction.
+    Root,
+    /// A closed-nested frame with partial-rollback support.
+    Closed,
+}
+
+pub(crate) struct Frame {
+    kind: FrameKind,
+    reads: HashMap<VarId, ReadEntry>,
+    writes: HashMap<VarId, WriteEntry>,
+    commit_handlers: Vec<Handler>,
+    abort_handlers: Vec<Handler>,
+    local_undos: Vec<LocalUndo>,
+}
+
+impl Frame {
+    fn new(kind: FrameKind) -> Self {
+        Frame {
+            kind,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            commit_handlers: Vec::new(),
+            abort_handlers: Vec::new(),
+            local_undos: Vec::new(),
+        }
+    }
+
+    /// Run this frame's local undos (reverse order) and drop its handlers —
+    /// the frame-abort protocol.
+    fn abort_locally(&mut self) {
+        while let Some(u) = self.local_undos.pop() {
+            u();
+        }
+        self.commit_handlers.clear();
+        self.abort_handlers.clear();
+    }
+}
+
+/// A transaction context. Obtained from [`crate::atomic`] (top-level),
+/// [`Txn::closed`] / [`Txn::open`] (nested), or handler invocation (direct
+/// mode).
+pub struct Txn {
+    mode: TxnMode,
+    handle: Arc<TxHandle>,
+    /// Read-validity horizon: all logged reads were consistent at this clock
+    /// value. Extended incrementally when a newer version is encountered.
+    rv: u64,
+    frames: Vec<Frame>,
+    /// True for the child context of [`Txn::open`].
+    is_open_child: bool,
+}
+
+impl Txn {
+    pub(crate) fn new_top(handle: Arc<TxHandle>) -> Self {
+        Txn {
+            mode: TxnMode::Speculative,
+            handle,
+            rv: clock::now(),
+            frames: vec![Frame::new(FrameKind::Root)],
+            is_open_child: false,
+        }
+    }
+
+    fn new_open_child(handle: Arc<TxHandle>) -> Self {
+        Txn {
+            mode: TxnMode::Speculative,
+            handle,
+            rv: clock::now(),
+            frames: vec![Frame::new(FrameKind::Root)],
+            is_open_child: true,
+        }
+    }
+
+    /// The top-level handle owning this transaction (also for open-nested
+    /// children: lock ownership is always top-level, paper §3.1).
+    pub fn handle(&self) -> &Arc<TxHandle> {
+        &self.handle
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> TxnMode {
+        self.mode
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn set_mode(&mut self, mode: TxnMode) {
+        self.mode = mode;
+    }
+
+    /// Abort immediately if another transaction has doomed this one.
+    #[inline]
+    fn check_doom(&self) {
+        if self.handle.is_doomed() {
+            interrupt::throw(TxInterrupt::Retry(AbortCause::Doomed));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read / write
+    // ------------------------------------------------------------------
+
+    pub(crate) fn read_var<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> T {
+        if self.mode == TxnMode::Direct {
+            return var.read_committed();
+        }
+        self.check_doom();
+        let id = var.id();
+        // Redo-log lookup, innermost frame first.
+        for frame in self.frames.iter().rev() {
+            if let Some(w) = frame.writes.get(&id) {
+                return w
+                    .val
+                    .downcast_ref::<T>()
+                    .expect("write-set type mismatch")
+                    .clone();
+            }
+        }
+        let (ver, val) = var.committed_pair();
+        // Repeated read: version unchanged implies value unchanged.
+        if let Some((fi, recorded)) = self.find_read(id) {
+            if ver == recorded {
+                return val;
+            }
+            // The var changed under us after we read it: unrecoverable for
+            // the frame that read it; partially recoverable if that frame is
+            // the innermost closed frame.
+            self.conflict_on_frames(&[fi]);
+        }
+        if ver > self.rv {
+            self.extend_or_abort();
+            // Re-read: the extension moved rv past the version we saw, unless
+            // the var changed yet again (extremely rare); loop via recursion
+            // depth 1 amortized — iterate instead.
+            let mut pair = var.committed_pair();
+            while pair.0 > self.rv {
+                self.extend_or_abort();
+                pair = var.committed_pair();
+            }
+            let (ver2, val2) = pair;
+            let offset = crate::cost::current_cost();
+            self.current_frame().reads.insert(
+                id,
+                ReadEntry {
+                    var: var.any(),
+                    version: ver2,
+                    offset,
+                },
+            );
+            return val2;
+        }
+        let offset = crate::cost::current_cost();
+        self.current_frame().reads.insert(
+            id,
+            ReadEntry {
+                var: var.any(),
+                version: ver,
+                offset,
+            },
+        );
+        val
+    }
+
+    pub(crate) fn write_var<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>, val: T) {
+        if self.mode == TxnMode::Direct {
+            // Handlers run under the commit mutex: apply, then publish.
+            let wv = clock::next_version();
+            var.core.as_ref().apply(&val, wv);
+            clock::publish(wv);
+            return;
+        }
+        self.check_doom();
+        self.current_frame().writes.insert(
+            var.id(),
+            WriteEntry {
+                var: var.any(),
+                val: Arc::new(val),
+            },
+        );
+    }
+
+    fn current_frame(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("transaction has no frames")
+    }
+
+    /// Locate an existing read entry; returns (frame index, recorded version).
+    fn find_read(&self, id: VarId) -> Option<(usize, u64)> {
+        for (fi, frame) in self.frames.iter().enumerate().rev() {
+            if let Some(r) = frame.reads.get(&id) {
+                return Some((fi, r.version));
+            }
+        }
+        None
+    }
+
+    /// Timestamp extension: re-validate every logged read against current
+    /// memory; on success, advance `rv`. On failure, abort — partially if all
+    /// invalid reads live in the innermost frame and it is closed-nested.
+    fn extend_or_abort(&mut self) {
+        // Hold the commit mutex so no commit is mid-apply: versions are
+        // stable during validation and `new_rv` covers complete commits only
+        // (opacity).
+        let _guard = clock::commit_lock();
+        let new_rv = clock::now();
+        let mut invalid_frames: Vec<usize> = Vec::new();
+        for (fi, frame) in self.frames.iter().enumerate() {
+            for r in frame.reads.values() {
+                if r.var.version() != r.version {
+                    invalid_frames.push(fi);
+                    break;
+                }
+            }
+        }
+        if invalid_frames.is_empty() {
+            self.rv = new_rv;
+            return;
+        }
+        self.conflict_on_frames(&invalid_frames);
+    }
+
+    /// Abort in response to invalidated reads in the given frames: a
+    /// frame-local retry if the damage is confined to the innermost closed
+    /// frame, otherwise a whole-transaction retry.
+    fn conflict_on_frames(&mut self, invalid_frames: &[usize]) -> ! {
+        let innermost = self.frames.len() - 1;
+        let confined = invalid_frames.iter().all(|&fi| fi == innermost);
+        if confined && self.frames[innermost].kind == FrameKind::Closed {
+            stats::record_frame_retry();
+            interrupt::throw(TxInterrupt::RetryFrame(innermost));
+        }
+        interrupt::throw(TxInterrupt::Retry(AbortCause::ReadInvalid));
+    }
+
+    // ------------------------------------------------------------------
+    // Handler / undo registration
+    // ------------------------------------------------------------------
+
+    /// Register a commit handler on the *current nesting frame* (paper
+    /// semantics: discarded if this frame aborts, promoted on commit).
+    pub fn on_commit(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.current_frame().commit_handlers.push(Box::new(h));
+    }
+
+    /// Register an abort handler on the current nesting frame.
+    pub fn on_abort(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.current_frame().abort_handlers.push(Box::new(h));
+    }
+
+    /// Register a commit handler on the **top-level** frame, surviving any
+    /// enclosing closed-nested aborts. Collection classes use this because
+    /// their semantic locks are owned by the top-level handle.
+    pub fn on_commit_top(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.frames[0].commit_handlers.push(Box::new(h));
+    }
+
+    /// Register an abort handler on the top-level frame.
+    pub fn on_abort_top(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.frames[0].abort_handlers.push(Box::new(h));
+    }
+
+    /// Register a compensation for thread-local state mutated in the current
+    /// frame; runs (in reverse order) if this frame aborts.
+    pub fn on_local_undo(&mut self, u: impl FnOnce() + Send + 'static) {
+        self.current_frame().local_undos.push(Box::new(u));
+    }
+
+    // ------------------------------------------------------------------
+    // Nesting
+    // ------------------------------------------------------------------
+
+    /// Run `f` as a closed-nested transaction: it sees the parent's state,
+    /// and a conflict confined to it rolls back and re-executes only `f`
+    /// (partial rollback, paper §4 "Nested transactions").
+    pub fn closed<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
+        if self.mode == TxnMode::Direct {
+            return f(self); // flat under the commit mutex
+        }
+        let my_index = self.frames.len();
+        loop {
+            self.frames.push(Frame::new(FrameKind::Closed));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+            match outcome {
+                Ok(v) => {
+                    self.merge_top_frame();
+                    return v;
+                }
+                Err(payload) => {
+                    // This frame is aborting no matter what the payload is.
+                    let mut frame = self.frames.pop().expect("frame stack underflow");
+                    frame.abort_locally();
+                    match interrupt::classify(payload) {
+                        Ok(TxInterrupt::RetryFrame(i)) if i == my_index => {
+                            // Damage was confined to us: re-extend over the
+                            // remaining frames and re-run the body.
+                            self.extend_or_abort();
+                            continue;
+                        }
+                        Ok(other) => interrupt::throw(other),
+                        Err(user) => std::panic::resume_unwind(user),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge the innermost frame into its parent (closed-nested commit).
+    fn merge_top_frame(&mut self) {
+        let child = self.frames.pop().expect("frame stack underflow");
+        let parent = self.current_frame();
+        for (id, r) in child.reads {
+            parent.reads.entry(id).or_insert(r);
+        }
+        for (id, w) in child.writes {
+            parent.writes.insert(id, w);
+        }
+        parent.commit_handlers.extend(child.commit_handlers);
+        parent.abort_handlers.extend(child.abort_handlers);
+        parent.local_undos.extend(child.local_undos);
+    }
+
+    /// Run `f` as an **open-nested** transaction: an independent transaction
+    /// that commits (and becomes visible to everyone) immediately, leaving no
+    /// read or write dependencies in the parent. Handlers it registers are
+    /// promoted to the parent's current frame on commit. A memory conflict
+    /// re-executes only `f`; a doom of the top-level handle propagates.
+    ///
+    /// Unlike Moss's formulation, the child does *not* see the parent's
+    /// uncommitted buffered writes: the collection classes keep their
+    /// uncommitted state in thread-local buffers precisely so that open
+    /// children never need it (paper §5 guidelines).
+    pub fn open<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
+        if self.mode == TxnMode::Direct {
+            return f(self); // handler context: effects are already immediate
+        }
+        loop {
+            self.check_doom();
+            let mut child = Txn::new_open_child(self.handle.clone());
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut child)));
+            match outcome {
+                Ok(v) => match child.try_commit_open() {
+                    Ok(committed) => {
+                        let parent = self.current_frame();
+                        parent.commit_handlers.extend(committed.commit_handlers);
+                        parent.abort_handlers.extend(committed.abort_handlers);
+                        parent.local_undos.extend(committed.local_undos);
+                        stats::record_open_commit();
+                        return v;
+                    }
+                    Err(()) => {
+                        stats::record_open_retry();
+                        continue;
+                    }
+                },
+                Err(payload) => match interrupt::classify(payload) {
+                    // A read conflict inside the child retries only the child.
+                    Ok(TxInterrupt::Retry(AbortCause::ReadInvalid))
+                    | Ok(TxInterrupt::RetryFrame(_)) => {
+                        stats::record_open_retry();
+                        continue;
+                    }
+                    // Doom / explicit abort concern the whole transaction.
+                    Ok(other) => interrupt::throw(other),
+                    Err(user) => std::panic::resume_unwind(user),
+                },
+            }
+        }
+    }
+
+    /// Commit an open-nested child: validate, publish, and surrender its
+    /// root frame (handlers and local undos) to the caller. `Err(())` means
+    /// validation failed and the child should re-execute.
+    fn try_commit_open(mut self) -> Result<Frame, ()> {
+        debug_assert!(self.is_open_child);
+        debug_assert_eq!(self.frames.len(), 1, "open child must end with one frame");
+        let guard = clock::commit_lock();
+        if self.handle.is_doomed() {
+            drop(guard);
+            interrupt::throw(TxInterrupt::Retry(AbortCause::Doomed));
+        }
+        let frame = &self.frames[0];
+        for r in frame.reads.values() {
+            if r.var.version() != r.version {
+                return Err(());
+            }
+        }
+        if !frame.writes.is_empty() {
+            let wv = clock::next_version();
+            for w in frame.writes.values() {
+                w.var.apply(w.val.as_ref(), wv);
+            }
+            clock::publish(wv);
+        }
+        drop(guard);
+        Ok(self.frames.pop().unwrap())
+    }
+
+    // ------------------------------------------------------------------
+    // Top-level commit / abort (driven by the runtime or the simulator)
+    // ------------------------------------------------------------------
+
+    /// Attempt the top-level commit: validate under the global commit mutex,
+    /// publish, then run commit handlers in direct mode (still under the
+    /// mutex — the two-phase-commit "commit phase" of paper §4).
+    pub(crate) fn try_commit_top(&mut self) -> Result<(), AbortCause> {
+        debug_assert!(!self.is_open_child);
+        debug_assert_eq!(self.frames.len(), 1, "unbalanced nesting at commit");
+        let guard = clock::commit_lock();
+        if self.handle.is_doomed() {
+            return Err(AbortCause::Doomed);
+        }
+        {
+            let frame = &self.frames[0];
+            for r in frame.reads.values() {
+                if r.var.version() != r.version {
+                    return Err(AbortCause::ReadInvalid);
+                }
+            }
+            if !frame.writes.is_empty() {
+                let wv = clock::next_version();
+                for w in frame.writes.values() {
+                    w.var.apply(w.val.as_ref(), wv);
+                }
+                clock::publish(wv);
+            }
+        }
+        // Point of no return.
+        self.handle.mark_committed();
+        self.run_commit_handlers();
+        drop(guard);
+        stats::record_commit();
+        Ok(())
+    }
+
+    /// Commit without read validation. Used by the simulator, whose eager
+    /// TCC-style violation maintains the invariant that a transaction
+    /// reaching its commit event has a valid read set (any conflicting commit
+    /// would already have violated it). Debug builds still assert validity.
+    pub(crate) fn commit_top_unchecked(&mut self) {
+        debug_assert!(!self.is_open_child);
+        debug_assert_eq!(self.frames.len(), 1, "unbalanced nesting at commit");
+        let guard = clock::commit_lock();
+        debug_assert!(
+            !self.handle.is_doomed(),
+            "simulator committed a doomed transaction"
+        );
+        {
+            let frame = &self.frames[0];
+            debug_assert!(
+                frame.reads.values().all(|r| r.var.version() == r.version),
+                "simulator invariant violated: stale read at commit"
+            );
+            if !frame.writes.is_empty() {
+                let wv = clock::next_version();
+                for w in frame.writes.values() {
+                    w.var.apply(w.val.as_ref(), wv);
+                }
+                clock::publish(wv);
+            }
+        }
+        self.handle.mark_committed();
+        self.run_commit_handlers();
+        drop(guard);
+        stats::record_commit();
+    }
+
+    fn run_commit_handlers(&mut self) {
+        self.mode = TxnMode::Direct;
+        // Drain iteratively so a handler that registers another handler
+        // still gets it run.
+        loop {
+            let hs: Vec<Handler> = std::mem::take(&mut self.frames[0].commit_handlers);
+            if hs.is_empty() {
+                break;
+            }
+            for h in hs {
+                stats::record_handler_run();
+                h(self);
+            }
+        }
+    }
+
+    /// The abort path: run local undos (innermost first, reverse order), then
+    /// abort handlers in direct mode under the commit mutex. Called by the
+    /// runtime after any failed attempt and by [`crate::PreparedTxn::abort`].
+    pub(crate) fn run_abort_path(&mut self, cause: AbortCause) {
+        let guard = clock::commit_lock();
+        // Undos: frames should already be collapsed to the root by unwinding,
+        // but be robust to aborts raised with frames still stacked.
+        while self.frames.len() > 1 {
+            let mut f = self.frames.pop().unwrap();
+            while let Some(u) = f.local_undos.pop() {
+                u();
+            }
+            // Handlers of un-merged frames are discarded per the paper.
+        }
+        while let Some(u) = self.frames[0].local_undos.pop() {
+            u();
+        }
+        self.mode = TxnMode::Direct;
+        loop {
+            let hs: Vec<Handler> = std::mem::take(&mut self.frames[0].abort_handlers);
+            if hs.is_empty() {
+                break;
+            }
+            for h in hs {
+                stats::record_handler_run();
+                h(self);
+            }
+        }
+        self.frames[0].commit_handlers.clear();
+        // Mark aborted only now: compensation (undo of any in-place effects,
+        // semantic-lock release) is complete, so observers that treat a
+        // non-Active owner's locks as stale can never see un-compensated
+        // state. (Marking before the handlers ran let a pessimistic writer's
+        // in-place value be read during the undo window.)
+        self.handle.mark_aborted();
+        drop(guard);
+        stats::record_abort(cause);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (simulator support)
+    // ------------------------------------------------------------------
+
+    /// Ids of every var read (and not overwritten before first read) by the
+    /// root frame. Only meaningful once nesting has collapsed.
+    pub fn read_ids(&self) -> Vec<VarId> {
+        self.frames[0].reads.keys().copied().collect()
+    }
+
+    /// `(var, body-cycle-offset)` of every root-frame read — the simulator
+    /// uses offsets to decide whether a read had already happened when a
+    /// conflicting commit broadcast arrived.
+    pub fn read_offsets(&self) -> Vec<(VarId, u64)> {
+        self.frames[0]
+            .reads
+            .iter()
+            .map(|(id, r)| (*id, r.offset))
+            .collect()
+    }
+
+    /// Ids of every var written by the root frame.
+    pub fn write_ids(&self) -> Vec<VarId> {
+        self.frames[0].writes.keys().copied().collect()
+    }
+
+    /// Number of logged reads (diagnostics).
+    pub fn read_set_len(&self) -> usize {
+        self.frames.iter().map(|f| f.reads.len()).sum()
+    }
+
+    /// Number of logged writes (diagnostics).
+    pub fn write_set_len(&self) -> usize {
+        self.frames.iter().map(|f| f.writes.len()).sum()
+    }
+}

@@ -1,0 +1,98 @@
+//! Contention-management behaviour (paper §5.1): optimistic control can
+//! starve long transactions; back-off policies restore progress. These
+//! tests pin the *liveness* properties the policies must provide.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use stm::{atomic_with, BackoffPolicy, RunOpts, TVar};
+
+/// A long reader against throttled short writers must eventually commit
+/// under every policy.
+fn long_reader_commits(policy: BackoffPolicy) {
+    let vars: Arc<Vec<TVar<u64>>> = Arc::new((0..8).map(|_| TVar::new(0)).collect());
+    let stop = Arc::new(AtomicU32::new(0));
+    let attempts = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Writer: touches one var at a time, with pauses.
+        {
+            let vars = vars.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut i = 0usize;
+                while stop.load(Ordering::SeqCst) == 0 {
+                    let v = &vars[i % 8];
+                    stm::atomic(|tx| {
+                        let x = v.read(tx);
+                        v.write(tx, x + 1);
+                    });
+                    i += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+            });
+        }
+        // Long reader: reads all vars with work in between.
+        {
+            let vars = vars.clone();
+            let stop = stop.clone();
+            let attempts = attempts.clone();
+            s.spawn(move || {
+                let sum = atomic_with(
+                    RunOpts {
+                        backoff: policy,
+                        max_attempts: Some(10_000),
+                    },
+                    |tx| {
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        let mut sum = 0u64;
+                        for v in vars.iter() {
+                            sum += v.read(tx);
+                            // Lengthen the transaction.
+                            std::hint::black_box((0..2_000).sum::<u64>());
+                        }
+                        sum
+                    },
+                );
+                std::hint::black_box(sum);
+                stop.store(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert!(
+        attempts.load(Ordering::SeqCst) >= 1,
+        "reader never even started"
+    );
+}
+
+#[test]
+fn long_reader_commits_with_exponential_backoff() {
+    long_reader_commits(BackoffPolicy::default());
+}
+
+#[test]
+fn long_reader_commits_with_karma_backoff() {
+    long_reader_commits(BackoffPolicy::Karma {
+        base_us: 2,
+        max_us: 2_000,
+    });
+}
+
+#[test]
+fn long_reader_commits_with_no_backoff() {
+    // Even without back-off, throttled writers leave commit windows.
+    long_reader_commits(BackoffPolicy::None);
+}
+
+#[test]
+fn max_attempts_panics_when_exhausted() {
+    let result = std::panic::catch_unwind(|| {
+        atomic_with(
+            RunOpts {
+                backoff: BackoffPolicy::None,
+                max_attempts: Some(3),
+            },
+            |_tx| -> () { stm::abort_and_retry() },
+        )
+    });
+    assert!(result.is_err(), "retry budget must be enforced");
+}

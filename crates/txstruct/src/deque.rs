@@ -1,0 +1,138 @@
+//! A transactional double-ended queue — the substrate wrapped by
+//! `txcollections::TransactionalQueue`.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use stm::{TVar, Txn};
+
+/// A transactional FIFO/deque backed by a single versioned cell.
+///
+/// Like a plain `java.util.LinkedList` used as a queue, *any* two operations
+/// from different transactions conflict at the memory level (they all touch
+/// the same cell). That is intentional: `TransactionalQueue` exists to hide
+/// exactly this behind open nesting.
+pub struct TxVecDeque<T> {
+    items: TVar<Arc<VecDeque<T>>>,
+}
+
+impl<T> Clone for TxVecDeque<T> {
+    fn clone(&self) -> Self {
+        TxVecDeque {
+            items: self.items.clone(),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TxVecDeque<T> {
+    /// Create an empty deque.
+    pub fn new() -> Self {
+        TxVecDeque {
+            items: TVar::new(Arc::new(VecDeque::new())),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self, tx: &mut Txn) -> usize {
+        self.items.read(tx).len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.items.read(tx).is_empty()
+    }
+
+    /// Enqueue at the back.
+    pub fn push_back(&self, tx: &mut Txn, item: T) {
+        let cur = self.items.read(tx);
+        let mut next = (*cur).clone();
+        next.push_back(item);
+        self.items.write(tx, Arc::new(next));
+    }
+
+    /// Enqueue at the front (used to "return" items on abort compensation).
+    pub fn push_front(&self, tx: &mut Txn, item: T) {
+        let cur = self.items.read(tx);
+        let mut next = (*cur).clone();
+        next.push_front(item);
+        self.items.write(tx, Arc::new(next));
+    }
+
+    /// Dequeue from the front.
+    pub fn pop_front(&self, tx: &mut Txn) -> Option<T> {
+        let cur = self.items.read(tx);
+        if cur.is_empty() {
+            return None;
+        }
+        let mut next = (*cur).clone();
+        let item = next.pop_front();
+        self.items.write(tx, Arc::new(next));
+        item
+    }
+
+    /// Front element without removing it.
+    pub fn peek_front(&self, tx: &mut Txn) -> Option<T> {
+        self.items.read(tx).front().cloned()
+    }
+
+    /// Snapshot of all elements, front to back.
+    pub fn to_vec(&self, tx: &mut Txn) -> Vec<T> {
+        self.items.read(tx).iter().cloned().collect()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Default for TxVecDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::atomic;
+
+    #[test]
+    fn fifo_order() {
+        let q = TxVecDeque::new();
+        atomic(|tx| {
+            q.push_back(tx, 1);
+            q.push_back(tx, 2);
+            q.push_back(tx, 3);
+        });
+        let drained = atomic(|tx| {
+            let mut v = Vec::new();
+            while let Some(x) = q.pop_front(tx) {
+                v.push(x);
+            }
+            v
+        });
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert!(atomic(|tx| q.is_empty(tx)));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let q = TxVecDeque::new();
+        atomic(|tx| {
+            q.push_back(tx, 9);
+            assert_eq!(q.peek_front(tx), Some(9));
+            assert_eq!(q.len(tx), 1);
+        });
+    }
+
+    #[test]
+    fn push_front_returns_items() {
+        let q = TxVecDeque::new();
+        atomic(|tx| {
+            q.push_back(tx, 2);
+            q.push_front(tx, 1);
+            assert_eq!(q.to_vec(tx), vec![1, 2]);
+        });
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let q: TxVecDeque<u8> = TxVecDeque::new();
+        assert_eq!(atomic(|tx| q.pop_front(tx)), None);
+    }
+}

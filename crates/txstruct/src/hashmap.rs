@@ -1,0 +1,386 @@
+//! A transactional chained hash map modeled on `java.util.HashMap`.
+//!
+//! Faithfully reproduces the conflict artifacts the paper attributes to a
+//! plain hash map used inside transactions (§2.4):
+//!
+//! * a shared **header** holding the `table` reference and the `size` field.
+//!   In the paper's HTM, conflicts are detected at cache-line granularity
+//!   and `java.util.HashMap`'s `table`, `size`, `modCount` and `threshold`
+//!   fields share the object's header line — so every lookup (which reads
+//!   `table`) conflicts with every committing insert/remove (which writes
+//!   `size`/`modCount`). The header here is a single [`stm::TVar`] for the
+//!   same reason: "semantically non-conflicting inserts of new keys will
+//!   cause a memory-level data dependency as both inserts will try and
+//!   increment the internal size field";
+//! * per-bucket state, so two keys hashing to the same bucket conflict;
+//! * load-factor resizing that rewrites the whole table inside whichever
+//!   transaction happens to trip it.
+//!
+//! The hash function is deterministic (`DefaultHasher` with the default
+//! keys) so simulator runs are reproducible.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use stm::{TVar, Txn};
+
+type Bucket<K, V> = Arc<Vec<(K, V)>>;
+type Table<K, V> = Arc<Vec<TVar<Bucket<K, V>>>>;
+
+/// The object-header line: table pointer + size, one conflict unit.
+struct Header<K, V> {
+    table: Table<K, V>,
+    size: usize,
+}
+
+impl<K, V> Clone for Header<K, V> {
+    fn clone(&self) -> Self {
+        Header {
+            table: self.table.clone(),
+            size: self.size,
+        }
+    }
+}
+
+/// Default number of buckets (mirrors `java.util.HashMap`).
+const DEFAULT_CAPACITY: usize = 16;
+/// Resize when `size > capacity * 3/4` (Java's default load factor).
+const LOAD_FACTOR_NUM: usize = 3;
+const LOAD_FACTOR_DEN: usize = 4;
+
+/// A transactional hash map. All operations must run inside a transaction
+/// (or a commit/abort handler, where they apply directly).
+pub struct TxHashMap<K, V> {
+    header: TVar<Header<K, V>>,
+}
+
+impl<K, V> Clone for TxHashMap<K, V> {
+    fn clone(&self) -> Self {
+        TxHashMap {
+            header: self.header.clone(),
+        }
+    }
+}
+
+fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+fn new_table<K, V>(capacity: usize) -> Table<K, V>
+where
+    K: Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    Arc::new(
+        (0..capacity.max(1))
+            .map(|_| TVar::new(Arc::new(Vec::new())))
+            .collect(),
+    )
+}
+
+impl<K, V> TxHashMap<K, V>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create an empty map with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Create an empty map with at least `capacity` buckets (rounded up to a
+    /// power of two). Pre-sizing avoids resize storms in benchmarks.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two();
+        TxHashMap {
+            header: TVar::new(Header {
+                table: new_table(cap),
+                size: 0,
+            }),
+        }
+    }
+
+    /// Number of entries (reads the shared header — the headline conflict
+    /// artifact).
+    pub fn len(&self, tx: &mut Txn) -> usize {
+        self.header.read(tx).size
+    }
+
+    /// Whether the map is empty (derived from `size`, as in Java).
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.len(tx) == 0
+    }
+
+    /// Look up a key. Reads the header (table pointer) plus one bucket.
+    pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        let h = self.header.read(tx);
+        let idx = (hash_of(key) as usize) & (h.table.len() - 1);
+        let bucket = h.table[idx].read(tx);
+        bucket
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+        self.get(tx, key).is_some()
+    }
+
+    /// Insert or replace; returns the previous value. A new key writes the
+    /// header (size increment) — conflicting with every concurrent reader
+    /// of the map, as in the paper.
+    pub fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        let h = self.header.read(tx);
+        let idx = (hash_of(&key) as usize) & (h.table.len() - 1);
+        let bucket = h.table[idx].read(tx);
+        let mut entries: Vec<(K, V)> = (*bucket).clone();
+        let prev = if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(std::mem::replace(&mut slot.1, value))
+        } else {
+            entries.push((key, value));
+            None
+        };
+        h.table[idx].write(tx, Arc::new(entries));
+        if prev.is_none() {
+            let size = h.size + 1;
+            if size * LOAD_FACTOR_DEN > h.table.len() * LOAD_FACTOR_NUM {
+                self.resize(tx, &h.table, size, h.table.len() * 2);
+            } else {
+                self.header.write(
+                    tx,
+                    Header {
+                        table: h.table.clone(),
+                        size,
+                    },
+                );
+            }
+        }
+        prev
+    }
+
+    /// Remove a key; returns the previous value.
+    pub fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        let h = self.header.read(tx);
+        let idx = (hash_of(key) as usize) & (h.table.len() - 1);
+        let bucket = h.table[idx].read(tx);
+        let pos = bucket.iter().position(|(k, _)| k == key)?;
+        let mut entries: Vec<(K, V)> = (*bucket).clone();
+        let (_, v) = entries.swap_remove(pos);
+        h.table[idx].write(tx, Arc::new(entries));
+        self.header.write(
+            tx,
+            Header {
+                table: h.table.clone(),
+                size: h.size - 1,
+            },
+        );
+        Some(v)
+    }
+
+    /// Rehash into a table of `new_cap` buckets. Touches every bucket — a
+    /// deliberate conflict storm, as in any in-place hash map.
+    fn resize(&self, tx: &mut Txn, old: &Table<K, V>, size: usize, new_cap: usize) {
+        let mut fresh = vec![Vec::new(); new_cap];
+        for b in old.iter() {
+            for (k, v) in b.read(tx).iter() {
+                let idx = (hash_of(k) as usize) & (new_cap - 1);
+                fresh[idx].push((k.clone(), v.clone()));
+            }
+        }
+        let table: Table<K, V> =
+            Arc::new(fresh.into_iter().map(|b| TVar::new(Arc::new(b))).collect());
+        self.header.write(tx, Header { table, size });
+    }
+
+    /// Snapshot all entries (bucket order; not sorted).
+    pub fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+        let h = self.header.read(tx);
+        let mut out = Vec::with_capacity(h.size);
+        for b in h.table.iter() {
+            out.extend(b.read(tx).iter().cloned());
+        }
+        out
+    }
+
+    /// Remove all entries.
+    pub fn clear(&self, tx: &mut Txn) {
+        let h = self.header.read(tx);
+        for b in h.table.iter() {
+            if !b.read(tx).is_empty() {
+                b.write(tx, Arc::new(Vec::new()));
+            }
+        }
+        self.header.write(
+            tx,
+            Header {
+                table: h.table.clone(),
+                size: 0,
+            },
+        );
+    }
+
+    /// Id of the header variable (the "size field" conflict unit), for
+    /// read/write-set introspection in tests and benches.
+    pub fn header_var_id(&self) -> stm::VarId {
+        self.header.id()
+    }
+
+    /// Label the header and every current bucket for conflict attribution
+    /// (buckets share one label so attribution reports aggregate them).
+    /// Buckets created by later resizes are not labeled.
+    pub fn set_label(&self, label: &str) {
+        stm::label_var(self.header.id(), label.to_string());
+        let h = self.header.read_committed();
+        for b in h.table.iter() {
+            stm::label_var(b.id(), format!("{label}.buckets"));
+        }
+    }
+}
+
+impl<K, V> Default for TxHashMap<K, V>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm::atomic;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let m: TxHashMap<u32, String> = TxHashMap::new();
+        atomic(|tx| {
+            assert_eq!(m.insert(tx, 1, "one".into()), None);
+            assert_eq!(m.insert(tx, 2, "two".into()), None);
+            assert_eq!(m.insert(tx, 1, "uno".into()), Some("one".into()));
+            assert_eq!(m.get(tx, &1), Some("uno".into()));
+            assert_eq!(m.len(tx), 2);
+            assert_eq!(m.remove(tx, &1), Some("uno".into()));
+            assert_eq!(m.get(tx, &1), None);
+            assert_eq!(m.len(tx), 1);
+        });
+    }
+
+    #[test]
+    fn survives_resize() {
+        let m: TxHashMap<u32, u32> = TxHashMap::with_capacity(2);
+        atomic(|tx| {
+            for i in 0..100 {
+                m.insert(tx, i, i * 10);
+            }
+        });
+        atomic(|tx| {
+            assert_eq!(m.len(tx), 100);
+            for i in 0..100 {
+                assert_eq!(m.get(tx, &i), Some(i * 10), "key {i} lost in resize");
+            }
+        });
+    }
+
+    #[test]
+    fn entries_sees_all() {
+        let m: TxHashMap<u32, u32> = TxHashMap::new();
+        atomic(|tx| {
+            for i in 0..20 {
+                m.insert(tx, i, i);
+            }
+        });
+        let mut e = atomic(|tx| m.entries(tx));
+        e.sort_unstable();
+        assert_eq!(e.len(), 20);
+        assert_eq!(e[0], (0, 0));
+        assert_eq!(e[19], (19, 19));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let m: TxHashMap<u32, u32> = TxHashMap::new();
+        atomic(|tx| {
+            m.insert(tx, 1, 1);
+            m.insert(tx, 2, 2);
+            m.clear(tx);
+            assert!(m.is_empty(tx));
+            assert_eq!(m.get(tx, &1), None);
+        });
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_preserve_all() {
+        let m: std::sync::Arc<TxHashMap<u64, u64>> =
+            std::sync::Arc::new(TxHashMap::with_capacity(1024));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = t * 1000 + i;
+                        atomic(|tx| {
+                            m.insert(tx, k, k);
+                        });
+                    }
+                });
+            }
+        });
+        atomic(|tx| {
+            assert_eq!(m.len(tx), 800);
+        });
+    }
+
+    #[test]
+    fn buffered_writes_invisible_until_commit() {
+        let m: std::sync::Arc<TxHashMap<u32, u32>> = std::sync::Arc::new(TxHashMap::new());
+        let m2 = m.clone();
+        atomic(|tx| {
+            m.insert(tx, 7, 7);
+            // Another (committed-state) observer does not see it yet.
+            let outside = std::thread::spawn({
+                let m3 = m2.clone();
+                move || atomic(|tx| m3.get(tx, &7))
+            })
+            .join()
+            .unwrap();
+            assert_eq!(outside, None);
+        });
+        assert_eq!(atomic(|tx| m.get(tx, &7)), Some(7));
+    }
+
+    #[test]
+    fn lookups_conflict_with_inserts_at_header_granularity() {
+        // The paper's Figure-1 artifact, as a read/write-set assertion: a
+        // get's read set and an insert's write set share the header var.
+        let m: TxHashMap<u32, u32> = TxHashMap::with_capacity(1024);
+        atomic(|tx| {
+            m.insert(tx, 1, 1);
+        });
+        let m1 = m.clone();
+        let (_, reader) = stm::speculate(
+            move |tx| {
+                m1.get(tx, &500);
+            },
+            0,
+        )
+        .unwrap();
+        let m2 = m.clone();
+        let (_, writer) = stm::speculate(
+            move |tx| {
+                m2.insert(tx, 999, 9);
+            },
+            0,
+        )
+        .unwrap();
+        let header = m.header_var_id();
+        assert!(reader.read_set().contains(&header));
+        assert!(writer.write_set().contains(&header));
+        reader.abort(stm::AbortCause::Explicit);
+        writer.abort(stm::AbortCause::Explicit);
+    }
+}

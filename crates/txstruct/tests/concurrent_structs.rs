@@ -1,0 +1,141 @@
+//! Concurrency stress for the substrates: the red-black tree keeps its
+//! invariants under real-thread transactional mutation, and the segmented
+//! map linearizes per segment.
+
+use std::sync::Arc;
+use stm::atomic;
+use txstruct::{SegmentedTxHashMap, TxTreeMap, TxVecDeque};
+
+#[test]
+fn treemap_invariants_survive_concurrent_mutation() {
+    let t: Arc<TxTreeMap<u64, u64>> = Arc::new(TxTreeMap::new());
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let t = t.clone();
+            s.spawn(move || {
+                let mut x = 0x1234_5678u64 ^ (w << 8);
+                for _ in 0..250 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 96;
+                    atomic(|tx| {
+                        if x % 3 == 0 {
+                            t.remove(tx, &k);
+                        } else {
+                            t.insert(tx, k, x);
+                        }
+                    });
+                }
+            });
+        }
+    });
+    atomic(|tx| t.check_invariants(tx)).expect("red-black invariants broken by concurrency");
+    // Ordered iteration is still sorted and duplicate-free.
+    let entries = atomic(|tx| t.entries(tx));
+    let keys: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted);
+    assert_eq!(atomic(|tx| t.len(tx)), keys.len());
+}
+
+#[test]
+fn treemap_multi_op_transactions_are_atomic() {
+    // Each transaction inserts a pair and removes a pair: the tree size is
+    // invariant at every commit point.
+    let t: Arc<TxTreeMap<u64, u64>> = Arc::new(TxTreeMap::new());
+    atomic(|tx| {
+        for k in 0..40 {
+            t.insert(tx, k, k);
+        }
+    });
+    std::thread::scope(|s| {
+        for w in 0..3u64 {
+            let t = t.clone();
+            s.spawn(move || {
+                for i in 0..150u64 {
+                    let base = 1000 + w * 10_000 + i;
+                    atomic(|tx| {
+                        t.insert(tx, base, i);
+                        t.insert(tx, base + 5000, i);
+                        t.remove(tx, &base);
+                        t.remove(tx, &(base + 5000));
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(atomic(|tx| t.len(tx)), 40, "net-zero transactions leaked size");
+    atomic(|tx| t.check_invariants(tx)).unwrap();
+}
+
+#[test]
+fn segmented_map_concurrent_counters_are_exact() {
+    let m: Arc<SegmentedTxHashMap<u64, u64>> = Arc::new(SegmentedTxHashMap::new(16));
+    let keys = 32u64;
+    atomic(|tx| {
+        for k in 0..keys {
+            m.insert(tx, k, 0);
+        }
+    });
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let m = m.clone();
+            s.spawn(move || {
+                for i in 0..300u64 {
+                    let k = (w * 300 + i) % keys;
+                    atomic(|tx| {
+                        let v = m.get(tx, &k).unwrap();
+                        m.insert(tx, k, v + 1);
+                    });
+                }
+            });
+        }
+    });
+    let total: u64 = atomic(|tx| m.entries(tx).into_iter().map(|(_, v)| v).sum());
+    assert_eq!(total, 4 * 300, "lost updates in segmented map");
+}
+
+#[test]
+fn deque_concurrent_producers_consumers_conserve() {
+    let q: Arc<TxVecDeque<u64>> = Arc::new(TxVecDeque::new());
+    let consumed = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let n = 500u64;
+    std::thread::scope(|s| {
+        for p in 0..2u64 {
+            let q = q.clone();
+            s.spawn(move || {
+                for i in 0..n / 2 {
+                    let item = p * (n / 2) + i;
+                    atomic(|tx| q.push_back(tx, item));
+                }
+            });
+        }
+        for _ in 0..2 {
+            let q = q.clone();
+            let consumed = consumed.clone();
+            s.spawn(move || {
+                let mut idle = 0;
+                while idle < 300 {
+                    match atomic(|tx| q.pop_front(tx)) {
+                        Some(x) => {
+                            consumed.lock().push(x);
+                            idle = 0;
+                        }
+                        None => {
+                            idle += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut got = consumed.lock().clone();
+    got.extend(atomic(|tx| q.to_vec(tx)));
+    got.sort_unstable();
+    let want: Vec<u64> = (0..n).collect();
+    assert_eq!(got, want, "deque lost or duplicated items");
+}

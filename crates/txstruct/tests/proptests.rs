@@ -1,0 +1,212 @@
+//! Property-based model tests: the transactional structures must behave
+//! exactly like their `std` models under arbitrary operation sequences, and
+//! the red–black tree must preserve its invariants at every step.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::ops::Bound;
+use stm::atomic;
+use txstruct::{TxHashMap, TxTreeMap, TxVecDeque};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Len,
+    Entries,
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MapOp::Insert(k % 128, v)),
+        any::<u16>().prop_map(|k| MapOp::Remove(k % 128)),
+        any::<u16>().prop_map(|k| MapOp::Get(k % 128)),
+        Just(MapOp::Len),
+        Just(MapOp::Entries),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tx_hashmap_matches_std_hashmap(ops in prop::collection::vec(map_op(), 1..200)) {
+        let sut: TxHashMap<u16, u32> = TxHashMap::with_capacity(4); // force resizes
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let got = atomic(|tx| sut.insert(tx, k, v));
+                    prop_assert_eq!(got, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let got = atomic(|tx| sut.remove(tx, &k));
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = atomic(|tx| sut.get(tx, &k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                MapOp::Len => {
+                    prop_assert_eq!(atomic(|tx| sut.len(tx)), model.len());
+                }
+                MapOp::Entries => {
+                    let mut got = atomic(|tx| sut.entries(tx));
+                    got.sort_unstable();
+                    let mut want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tx_treemap_matches_btreemap(ops in prop::collection::vec(map_op(), 1..200)) {
+        let sut: TxTreeMap<u16, u32> = TxTreeMap::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let got = atomic(|tx| sut.insert(tx, k, v));
+                    prop_assert_eq!(got, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let got = atomic(|tx| sut.remove(tx, &k));
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = atomic(|tx| sut.get(tx, &k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+                MapOp::Len => {
+                    prop_assert_eq!(atomic(|tx| sut.len(tx)), model.len());
+                }
+                MapOp::Entries => {
+                    let got = atomic(|tx| sut.entries(tx));
+                    let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            atomic(|tx| sut.check_invariants(tx)).map_err(TestCaseError::fail)?;
+        }
+        // Ordered navigation agrees with the model.
+        prop_assert_eq!(
+            atomic(|tx| sut.first_key(tx)),
+            model.keys().next().copied()
+        );
+        prop_assert_eq!(
+            atomic(|tx| sut.last_key(tx)),
+            model.keys().next_back().copied()
+        );
+    }
+
+    #[test]
+    fn tx_treemap_ranges_match_btreemap(
+        keys in prop::collection::btree_set(any::<u16>(), 0..60),
+        lo in any::<u16>(),
+        hi in any::<u16>(),
+    ) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let sut: TxTreeMap<u16, u16> = TxTreeMap::new();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            atomic(|tx| sut.insert(tx, k, k));
+            model.insert(k, k);
+        }
+        let got = atomic(|tx| sut.range_entries(tx, Bound::Included(&lo), Bound::Excluded(&hi)));
+        let want: Vec<(u16, u16)> = model
+            .range((Bound::Included(lo), Bound::Excluded(hi)))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tx_deque_matches_vecdeque(ops in prop::collection::vec(any::<Option<u8>>(), 1..100)) {
+        let sut: TxVecDeque<u8> = TxVecDeque::new();
+        let mut model: VecDeque<u8> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    atomic(|tx| sut.push_back(tx, x));
+                    model.push_back(x);
+                }
+                None => {
+                    let got = atomic(|tx| sut.pop_front(tx));
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(atomic(|tx| sut.len(tx)), model.len());
+            prop_assert_eq!(atomic(|tx| sut.peek_front(tx)), model.front().copied());
+        }
+    }
+
+    #[test]
+    fn treemap_all_ops_in_one_txn(ops in prop::collection::vec(map_op(), 1..100)) {
+        // Whole sequence inside a single transaction must also match.
+        let sut: TxTreeMap<u16, u32> = TxTreeMap::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        let final_entries = atomic(|tx| {
+            // Rebuild the model each attempt for re-execution safety.
+            model = BTreeMap::new();
+            for op in &ops {
+                match *op {
+                    MapOp::Insert(k, v) => {
+                        assert_eq!(sut.insert(tx, k, v), model.insert(k, v));
+                    }
+                    MapOp::Remove(k) => {
+                        assert_eq!(sut.remove(tx, &k), model.remove(&k));
+                    }
+                    MapOp::Get(k) => {
+                        assert_eq!(sut.get(tx, &k), model.get(&k).copied());
+                    }
+                    MapOp::Len => assert_eq!(sut.len(tx), model.len()),
+                    MapOp::Entries => {}
+                }
+            }
+            sut.check_invariants(tx).unwrap();
+            sut.entries(tx)
+        });
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(final_entries, want);
+    }
+}
+
+#[test]
+fn hashmap_concurrent_mixed_workload_linearizes() {
+    // Disjoint key ranges per thread plus a shared contended range: at the
+    // end every disjoint key must reflect its last write, and the map's size
+    // must equal the union of all present keys.
+    let sut: std::sync::Arc<TxHashMap<u32, u32>> = std::sync::Arc::new(TxHashMap::new());
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let sut = sut.clone();
+            s.spawn(move || {
+                for i in 0..300u32 {
+                    let private = 1000 * (t + 1) + (i % 50);
+                    let shared = i % 10;
+                    atomic(|tx| {
+                        sut.insert(tx, private, i);
+                        if i % 3 == 0 {
+                            sut.remove(tx, &shared);
+                        } else {
+                            sut.insert(tx, shared, i);
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let entries = atomic(|tx| sut.entries(tx));
+    let len = atomic(|tx| sut.len(tx));
+    assert_eq!(entries.len(), len, "size field out of sync with contents");
+    for t in 0..4u32 {
+        for k in 0..50u32 {
+            let key = 1000 * (t + 1) + k;
+            let v = entries.iter().find(|(ek, _)| *ek == key).map(|(_, v)| *v);
+            assert_eq!(v, Some(250 + k), "private key {key} has wrong final value");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Building your own transactional class with the paper's §5 guidelines.
+//!
+//! The paper closes: "we have shown a straightforward operational analysis
+//! and implementation guidelines that allow programmers to safely design
+//! their own concurrent classes." This example walks those guidelines for a
+//! `TransactionalHistogram` — shared counting bins with semantic
+//! concurrency control:
+//!
+//! * **Operational analysis**: `add(bin, n)` operations commute with each
+//!   other (blind additions); `count(bin)` conflicts with `add` to the same
+//!   bin; `total()` conflicts with any `add`.
+//! * **Semantic locks**: per-bin read locks and a total read lock.
+//! * **Guideline 1** — reads go through open-nested transactions after
+//!   taking the lock.
+//! * **Guideline 3** — writes accumulate in a transaction-local delta
+//!   buffer.
+//! * **Guidelines 4/5** — one abort handler releases locks and drops the
+//!   buffer; one commit handler applies the deltas, dooms conflicting
+//!   readers, and then cleans up like the abort handler.
+//!
+//! ```sh
+//! cargo run --release --example custom_class
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use stm::{atomic, TVar, TxHandle, Txn};
+
+const BINS: usize = 16;
+
+struct HistogramInner {
+    bins: Vec<TVar<u64>>,
+    // Shared transaction state: semantic lock tables (encapsulated).
+    bin_lockers: Mutex<HashMap<usize, HashSet<Arc<TxHandle>>>>,
+    total_lockers: Mutex<HashSet<Arc<TxHandle>>>,
+    // Local transaction state: per-transaction delta buffers.
+    locals: Mutex<HashMap<u64, HashMap<usize, u64>>>,
+}
+
+#[derive(Clone)]
+struct TransactionalHistogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl TransactionalHistogram {
+    fn new() -> Self {
+        TransactionalHistogram {
+            inner: Arc::new(HistogramInner {
+                bins: (0..BINS).map(|_| TVar::new(0)).collect(),
+                bin_lockers: Mutex::new(HashMap::new()),
+                total_lockers: Mutex::new(HashSet::new()),
+                locals: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Register the single commit/abort handler pair on first use
+    /// (guidelines 4 and 5).
+    fn ensure_registered(&self, tx: &mut Txn) {
+        let id = tx.handle().id();
+        let fresh = {
+            let mut locals = self.inner.locals.lock();
+            if locals.contains_key(&id) {
+                false
+            } else {
+                locals.insert(id, HashMap::new());
+                true
+            }
+        };
+        if !fresh {
+            return;
+        }
+        // Commit handler: apply buffered deltas to the underlying bins
+        // (direct mode), doom readers of the touched bins and of the total,
+        // release our locks.
+        let inner = self.inner.clone();
+        let h = tx.handle().clone();
+        tx.on_commit_top(move |htx| {
+            let deltas = inner.locals.lock().remove(&h.id()).unwrap_or_default();
+            let mut doomed = 0;
+            {
+                let mut lockers = inner.bin_lockers.lock();
+                for (&bin, &d) in &deltas {
+                    if d == 0 {
+                        continue;
+                    }
+                    let cur = inner.bins[bin].read(htx);
+                    inner.bins[bin].write(htx, cur + d);
+                    if let Some(owners) = lockers.get_mut(&bin) {
+                        owners.retain(|o| {
+                            if o.id() != h.id() && o.doom() {
+                                doomed += 1;
+                            }
+                            o.id() != h.id()
+                        });
+                    }
+                }
+                for owners in lockers.values_mut() {
+                    owners.retain(|o| o.id() != h.id());
+                }
+            }
+            if deltas.values().any(|&d| d > 0) {
+                let mut totals = inner.total_lockers.lock();
+                for o in totals.iter() {
+                    if o.id() != h.id() && o.doom() {
+                        doomed += 1;
+                    }
+                }
+                totals.retain(|o| o.id() != h.id());
+            }
+            std::hint::black_box(doomed);
+        });
+        // Abort handler: the compensating transaction — drop the buffer,
+        // release the locks.
+        let inner = self.inner.clone();
+        let h = tx.handle().clone();
+        tx.on_abort_top(move |_| {
+            inner.locals.lock().remove(&h.id());
+            for owners in inner.bin_lockers.lock().values_mut() {
+                owners.retain(|o| o.id() != h.id());
+            }
+            inner.total_lockers.lock().retain(|o| o.id() != h.id());
+        });
+    }
+
+    /// Blind addition: buffered locally, commutes with every other add
+    /// (guideline 3 — no semantic lock because nothing is read).
+    fn add(&self, tx: &mut Txn, bin: usize, n: u64) {
+        self.ensure_registered(tx);
+        let id = tx.handle().id();
+        let mut locals = self.inner.locals.lock();
+        *locals.get_mut(&id).unwrap().entry(bin).or_insert(0) += n;
+    }
+
+    /// Read one bin: take the bin lock, then read open-nested
+    /// (guideline 1), merging the local buffer.
+    fn count(&self, tx: &mut Txn, bin: usize) -> u64 {
+        self.ensure_registered(tx);
+        {
+            let mut lockers = self.inner.bin_lockers.lock();
+            lockers.entry(bin).or_default().insert(tx.handle().clone());
+        }
+        let var = self.inner.bins[bin].clone();
+        let committed = tx.open(move |otx| var.read(otx));
+        let id = tx.handle().id();
+        committed
+            + self
+                .inner
+                .locals
+                .lock()
+                .get(&id)
+                .and_then(|d| d.get(&bin))
+                .copied()
+                .unwrap_or(0)
+    }
+
+    /// Read the total: total lock + open-nested sweep.
+    fn total(&self, tx: &mut Txn) -> u64 {
+        self.ensure_registered(tx);
+        self.inner.total_lockers.lock().insert(tx.handle().clone());
+        let bins = self.inner.bins.clone();
+        let committed: u64 = tx.open(move |otx| bins.iter().map(|b| b.read(otx)).sum());
+        let id = tx.handle().id();
+        committed
+            + self
+                .inner
+                .locals
+                .lock()
+                .get(&id)
+                .map(|d| d.values().sum::<u64>())
+                .unwrap_or(0)
+    }
+}
+
+fn main() {
+    let hist = TransactionalHistogram::new();
+    let samples_per_thread = 5_000u64;
+    let before = stm::global_stats();
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let hist = hist.clone();
+            s.spawn(move || {
+                let mut x = 0x9E3779B97F4A7C15u64 ^ t;
+                for _ in 0..samples_per_thread {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let bin = (x % BINS as u64) as usize;
+                    // Long transaction: several adds composed atomically.
+                    atomic(|tx| {
+                        hist.add(tx, bin, 1);
+                        hist.add(tx, (bin + 1) % BINS, 1);
+                    });
+                }
+            });
+        }
+    });
+    let stats = stm::global_stats().since(&before);
+
+    let total = atomic(|tx| hist.total(tx));
+    assert_eq!(total, 4 * samples_per_thread * 2, "histogram lost counts!");
+    println!("histogram total = {total} (exact) across 4 threads");
+    println!(
+        "adds commute: {} commits, {} memory-conflict aborts, {} semantic dooms",
+        stats.commits, stats.aborts_read_invalid, stats.aborts_doomed
+    );
+    let spread: Vec<u64> = (0..BINS).map(|b| atomic(|tx| hist.count(tx, b))).collect();
+    println!("bin spread: {spread:?}");
+    println!(
+        "\nthe full recipe — operational analysis, semantic locks, open-nested \
+         reads, buffered writes, commit/abort handlers — in ~150 lines (§5)."
+    );
+}

@@ -1,0 +1,14 @@
+//! # txcc — Transactional Collection Classes (PPoPP 2007) in Rust
+//!
+//! Umbrella crate re-exporting the whole reproduction: the STM substrate,
+//! the STM-backed data structures, the transactional collection classes
+//! (the paper's contribution), the chip-multiprocessor simulator, and the
+//! SPECjbb2000-like workload.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use jbb;
+pub use sim;
+pub use stm;
+pub use txcollections;
+pub use txstruct;

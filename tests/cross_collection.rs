@@ -1,0 +1,178 @@
+//! Cross-collection integration tests: one transaction spanning several
+//! transactional collection classes must be atomic end to end — the
+//! composability property that undisciplined open nesting cannot provide.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use stm::atomic;
+use txcollections::{Channel, TransactionalMap, TransactionalQueue, TransactionalSortedMap, UidGenerator};
+
+/// Jobs move from a queue into a results map atomically, under injected
+/// aborts: at the end every job is in exactly one place.
+#[test]
+fn atomic_move_from_queue_to_map() {
+    let queue: Arc<TransactionalQueue<u64>> = Arc::new(TransactionalQueue::new());
+    let results: Arc<TransactionalMap<u64, u64>> = Arc::new(TransactionalMap::new());
+    let total = 300u64;
+    atomic(|tx| {
+        for j in 0..total {
+            queue.put(tx, j);
+        }
+    });
+
+    std::thread::scope(|s| {
+        for w in 0..3u64 {
+            let queue = queue.clone();
+            let results = results.clone();
+            s.spawn(move || {
+                let mut idle = 0;
+                let mut i = 0u64;
+                while idle < 150 {
+                    i += 1;
+                    let fail = AtomicU32::new(u32::from(i % 5 == 0));
+                    let moved = atomic(|tx| {
+                        let Some(job) = queue.poll(tx) else {
+                            return false;
+                        };
+                        results.put_discard(tx, job, w);
+                        // Abort after doing both halves: neither may stick.
+                        if fail.swap(0, Ordering::SeqCst) == 1 {
+                            stm::abort_and_retry();
+                        }
+                        true
+                    });
+                    if moved {
+                        idle = 0;
+                    } else {
+                        idle += 1;
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    let in_map = atomic(|tx| results.size(tx));
+    // Drain the queue (committed) and count the leftovers.
+    let drained = atomic(|tx| {
+        let mut v = Vec::new();
+        while let Some(j) = queue.poll(tx) {
+            v.push(j);
+        }
+        v
+    });
+    assert_eq!(
+        in_map as u64 + drained.len() as u64,
+        total,
+        "jobs lost or duplicated across queue->map move"
+    );
+    // No job appears in both places.
+    for j in drained {
+        let present = atomic(|tx| results.contains_key(tx, &j));
+        assert!(!present, "job {j} exists in both queue and map");
+    }
+}
+
+/// Entries migrate between two maps atomically; the union count is
+/// invariant at every audit.
+#[test]
+fn atomic_transfer_between_maps() {
+    let hot: Arc<TransactionalMap<u32, u32>> = Arc::new(TransactionalMap::new());
+    let cold: Arc<TransactionalSortedMap<u32, u32>> = Arc::new(TransactionalSortedMap::new());
+    let n = 80u32;
+    atomic(|tx| {
+        for k in 0..n {
+            hot.put_discard(tx, k, k);
+        }
+    });
+
+    let stop = Arc::new(AtomicU32::new(0));
+    std::thread::scope(|s| {
+        // Mover threads: hot -> cold and back, atomically.
+        for t in 0..2u32 {
+            let hot = hot.clone();
+            let cold = cold.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut k = t;
+                while stop.load(Ordering::SeqCst) == 0 {
+                    k = (k + 7) % n;
+                    atomic(|tx| {
+                        if let Some(v) = hot.remove(tx, &k) {
+                            cold.put(tx, k, v);
+                        } else if let Some(v) = cold.remove(tx, &k) {
+                            hot.put(tx, k, v);
+                        }
+                    });
+                }
+            });
+        }
+        // Auditor: the union size is always n. The guard sets `stop` even
+        // if an assertion panics, so the mover loops always terminate.
+        {
+            struct StopOnDrop(Arc<AtomicU32>);
+            impl Drop for StopOnDrop {
+                fn drop(&mut self) {
+                    self.0.store(1, Ordering::SeqCst);
+                }
+            }
+            let hot = hot.clone();
+            let cold = cold.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let _stop_guard = StopOnDrop(stop);
+                for _ in 0..40 {
+                    let (a, b) = atomic(|tx| (hot.size(tx), cold.size(tx)));
+                    assert_eq!(a + b, n as usize, "entries lost mid-transfer");
+                }
+            });
+        }
+    });
+
+    let (a, b) = atomic(|tx| (hot.size(tx), cold.size(tx)));
+    assert_eq!(a + b, n as usize);
+    // Every key is in exactly one map.
+    for k in 0..n {
+        let (h, c) = atomic(|tx| (hot.contains_key(tx, &k), cold.contains_key(tx, &k)));
+        assert!(h ^ c, "key {k} in {} maps", u32::from(h) + u32::from(c));
+    }
+}
+
+/// Drawing a UID and registering it in a sorted map in one transaction:
+/// committed ids are unique and the map matches exactly the committed draws.
+#[test]
+fn uid_plus_map_registration_is_atomic() {
+    let gen = Arc::new(UidGenerator::starting_at(0));
+    let registry: Arc<TransactionalSortedMap<i64, u64>> = Arc::new(TransactionalSortedMap::new());
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let gen = gen.clone();
+            let registry = registry.clone();
+            s.spawn(move || {
+                for i in 0..150u64 {
+                    let fail = AtomicU32::new(u32::from(i % 7 == 0));
+                    atomic(|tx| {
+                        let id = gen.next(tx);
+                        registry.put_discard(tx, id, w);
+                        // Aborted draws leave a gap but no registry entry.
+                        if fail.swap(0, Ordering::SeqCst) == 1 {
+                            stm::abort_and_retry();
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let entries = atomic(|tx| registry.entries(tx));
+    assert_eq!(entries.len(), 4 * 150, "committed draws must all register");
+    let ids: Vec<i64> = entries.iter().map(|(k, _)| *k).collect();
+    let mut dedup = ids.clone();
+    dedup.dedup();
+    assert_eq!(dedup.len(), ids.len(), "duplicate id registered");
+    // Ordered iteration sanity.
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted);
+    // Gaps exist (aborted draws) but the generator never went backwards.
+    assert!(gen.peek_committed() >= 600);
+}

@@ -1,0 +1,150 @@
+//! Interaction of closed-nested partial rollback with collection-class
+//! thread-local state: store buffers and queue buffers must be restored when
+//! a closed frame aborts (the `on_local_undo` machinery), and effects of the
+//! surviving attempt must be exactly once.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use stm::{atomic, TVar};
+use txcollections::{Channel, TransactionalMap, TransactionalQueue};
+
+/// Force one partial rollback of a closed frame by invalidating a TVar read
+/// from another thread, and check the map's store buffer rolled back with
+/// the frame.
+#[test]
+fn closed_frame_abort_rolls_back_map_buffer() {
+    let map: Arc<TransactionalMap<u32, String>> = Arc::new(TransactionalMap::new());
+    let probe = Arc::new(TVar::new(0u32));
+    let frame_runs = Arc::new(AtomicU32::new(0));
+
+    let (m, p, fr) = (map.clone(), probe.clone(), frame_runs.clone());
+    atomic(move |tx| {
+        m.put(tx, 1, "outer".into());
+        let m2 = m.clone();
+        let p2 = p.clone();
+        let fr2 = fr.clone();
+        tx.closed(move |tx| {
+            let attempt = fr2.fetch_add(1, Ordering::SeqCst);
+            // Buffered write inside the frame.
+            m2.put(tx, 2, format!("frame-attempt-{attempt}"));
+            let _ = p2.read(tx);
+            if attempt == 0 {
+                // Invalidate our probe read so the frame (only) retries.
+                let pp = p2.clone();
+                std::thread::spawn(move || {
+                    atomic(|tx| {
+                        let v = pp.read(tx);
+                        pp.write(tx, v + 1);
+                    });
+                })
+                .join()
+                .unwrap();
+                let _ = p2.read(tx); // triggers the frame retry
+            }
+        });
+        // Inside the transaction: exactly one buffered value for key 2 (the
+        // second attempt's), and the outer write is untouched.
+        assert_eq!(m.get(tx, &2).as_deref(), Some("frame-attempt-1"));
+        assert_eq!(m.get(tx, &1).as_deref(), Some("outer"));
+        assert_eq!(m.size(tx), 2, "store-buffer delta not rolled back");
+    });
+
+    assert_eq!(frame_runs.load(Ordering::SeqCst), 2, "frame must retry once");
+    let final_v = atomic(|tx| map.get(tx, &2));
+    assert_eq!(final_v.as_deref(), Some("frame-attempt-1"));
+    assert_eq!(atomic(|tx| map.size(tx)), 2);
+}
+
+/// Same exercise for the queue: a poll inside an aborted closed frame must
+/// not lose the item (it returns via the return buffer at commit).
+#[test]
+fn closed_frame_abort_returns_polled_item() {
+    let queue: Arc<TransactionalQueue<u32>> = Arc::new(TransactionalQueue::new());
+    atomic(|tx| queue.put(tx, 7));
+
+    let probe = Arc::new(TVar::new(0u32));
+    let frame_runs = Arc::new(AtomicU32::new(0));
+    let (q, p, fr) = (queue.clone(), probe.clone(), frame_runs.clone());
+    atomic(move |tx| {
+        let q2 = q.clone();
+        let p2 = p.clone();
+        let fr2 = fr.clone();
+        tx.closed(move |tx| {
+            let attempt = fr2.fetch_add(1, Ordering::SeqCst);
+            let item = q2.poll(tx);
+            let _ = p2.read(tx);
+            if attempt == 0 {
+                assert_eq!(item, Some(7), "first frame attempt takes the item");
+                let pp = p2.clone();
+                std::thread::spawn(move || {
+                    atomic(|tx| {
+                        let v = pp.read(tx);
+                        pp.write(tx, v + 1);
+                    });
+                })
+                .join()
+                .unwrap();
+                let _ = p2.read(tx); // frame retry
+            }
+        });
+    });
+    assert_eq!(frame_runs.load(Ordering::SeqCst), 2);
+    // The item consumed by the aborted frame attempt must be back: either
+    // the retry consumed it again (then commit consumed it — but the retry's
+    // poll found it via the return buffer) or it's still queued. Total must
+    // be conserved.
+    let remaining = atomic(|tx| {
+        let mut v = Vec::new();
+        while let Some(x) = queue.poll(tx) {
+            v.push(x);
+        }
+        v
+    });
+    // The second frame attempt re-polled: since the first attempt's item
+    // moved to the return buffer (published at commit), the retry got it
+    // from... the shared queue was empty, so the retry polled None; commit
+    // then returned the item. Hence it must still be present now.
+    assert_eq!(remaining, vec![7], "item lost across frame abort");
+}
+
+/// Handlers registered by collections inside aborted closed frames are
+/// discarded with the frame — no double application.
+#[test]
+fn no_double_application_after_frame_retry() {
+    // Repeat the map exercise but measure committed state changes globally:
+    // the committed map must gain exactly the surviving attempt's writes.
+    let map: Arc<TransactionalMap<u32, u32>> = Arc::new(TransactionalMap::new());
+    let probe = Arc::new(TVar::new(0u32));
+    let runs = Arc::new(AtomicU32::new(0));
+    let (m, p, r) = (map.clone(), probe.clone(), runs.clone());
+    atomic(move |tx| {
+        let m2 = m.clone();
+        let p2 = p.clone();
+        let r2 = r.clone();
+        tx.closed(move |tx| {
+            let attempt = r2.fetch_add(1, Ordering::SeqCst);
+            // This put's delta must be counted once in the commit.
+            m2.put(tx, 100 + attempt, attempt);
+            let _ = p2.read(tx);
+            if attempt == 0 {
+                let pp = p2.clone();
+                std::thread::spawn(move || {
+                    atomic(|tx| {
+                        let v = pp.read(tx);
+                        pp.write(tx, v + 1);
+                    });
+                })
+                .join()
+                .unwrap();
+                let _ = p2.read(tx);
+            }
+        });
+    });
+    assert_eq!(runs.load(Ordering::SeqCst), 2);
+    let entries = atomic(|tx| map.entries(tx));
+    assert_eq!(
+        entries,
+        vec![(101, 1)],
+        "aborted frame attempt's write leaked into the commit"
+    );
+}

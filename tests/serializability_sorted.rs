@@ -1,0 +1,243 @@
+//! Commit-order serializability checks for `TransactionalSortedMap` (range
+//! and endpoint observations included) and for the pessimistic
+//! `EagerTransactionalMap` — same methodology as
+//! `serializability_histories.rs`: log every observation with a commit-order
+//! stamp, replay serially, demand exact agreement.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use stm::atomic;
+use txcollections::{EagerPolicy, EagerTransactionalMap, TransactionalSortedMap};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u32, Option<u64>),
+    Write(u32, u64),
+    Remove(u32, Option<u64>),
+    Range(u32, u32, Vec<(u32, u64)>),
+    FirstKey(Option<u32>),
+    LastKey(Option<u32>),
+    Ceiling(u32, Option<u32>),
+}
+
+#[derive(Debug)]
+struct TxnLog {
+    stamp: u64,
+    ops: Vec<Op>,
+}
+
+#[test]
+fn sorted_map_histories_are_serializable() {
+    let map: Arc<TransactionalSortedMap<u32, u64>> = Arc::new(TransactionalSortedMap::new());
+    let seq = Arc::new(AtomicU64::new(0));
+    let logs: Arc<Mutex<Vec<TxnLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let key_space = 24u64;
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = map.clone();
+            let seq = seq.clone();
+            let logs = logs.clone();
+            s.spawn(move || {
+                let mut x = 0xFEED_BEEFu64 ^ (t << 40);
+                let mut rng = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for _ in 0..200 {
+                    let n_ops = 1 + (rng() % 3) as usize;
+                    let plan: Vec<(u64, u32, u64)> = (0..n_ops)
+                        .map(|_| (rng() % 100, (rng() % key_space) as u32, rng() % 1000))
+                        .collect();
+                    let stamp_cell = Arc::new(AtomicU64::new(u64::MAX));
+                    let sc = stamp_cell.clone();
+                    let sq = seq.clone();
+                    let m = map.clone();
+                    let ops = atomic(move |tx| {
+                        let mut ops = Vec::new();
+                        for &(roll, k, v) in &plan {
+                            match roll % 100 {
+                                0..=29 => ops.push(Op::Read(k, m.get(tx, &k))),
+                                30..=54 => {
+                                    m.put(tx, k, v);
+                                    ops.push(Op::Write(k, v));
+                                }
+                                55..=69 => ops.push(Op::Remove(k, m.remove(tx, &k))),
+                                70..=84 => {
+                                    let hi = k + 6;
+                                    let r = m.range_entries(
+                                        tx,
+                                        Bound::Included(k),
+                                        Bound::Excluded(hi),
+                                    );
+                                    ops.push(Op::Range(k, hi, r));
+                                }
+                                85..=89 => ops.push(Op::FirstKey(m.first_key(tx))),
+                                90..=94 => ops.push(Op::LastKey(m.last_key(tx))),
+                                _ => ops.push(Op::Ceiling(k, m.ceiling_key(tx, &k))),
+                            }
+                        }
+                        let sc2 = sc.clone();
+                        let sq2 = sq.clone();
+                        tx.on_commit_top(move |_| {
+                            sc2.store(sq2.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                        });
+                        ops
+                    });
+                    let stamp = stamp_cell.load(Ordering::SeqCst);
+                    assert_ne!(stamp, u64::MAX);
+                    logs.lock().push(TxnLog { stamp, ops });
+                }
+            });
+        }
+    });
+
+    let mut logs = Arc::try_unwrap(logs).unwrap().into_inner();
+    logs.sort_by_key(|l| l.stamp);
+    let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+    for (i, log) in logs.iter().enumerate() {
+        for op in &log.ops {
+            match op {
+                Op::Read(k, obs) => assert_eq!(
+                    model.get(k).copied(),
+                    *obs,
+                    "txn #{i}: read({k}) not serializable"
+                ),
+                Op::Write(k, v) => {
+                    model.insert(*k, *v);
+                }
+                Op::Remove(k, obs) => assert_eq!(
+                    model.remove(k),
+                    *obs,
+                    "txn #{i}: remove({k}) not serializable"
+                ),
+                Op::Range(lo, hi, obs) => {
+                    let want: Vec<(u32, u64)> = model
+                        .range((Bound::Included(*lo), Bound::Excluded(*hi)))
+                        .map(|(k, v)| (*k, *v))
+                        .collect();
+                    assert_eq!(&want, obs, "txn #{i}: range [{lo},{hi}) not serializable");
+                }
+                Op::FirstKey(obs) => assert_eq!(
+                    model.keys().next().copied(),
+                    *obs,
+                    "txn #{i}: firstKey not serializable"
+                ),
+                Op::LastKey(obs) => assert_eq!(
+                    model.keys().next_back().copied(),
+                    *obs,
+                    "txn #{i}: lastKey not serializable"
+                ),
+                Op::Ceiling(k, obs) => assert_eq!(
+                    model.range(*k..).next().map(|(k, _)| *k),
+                    *obs,
+                    "txn #{i}: ceiling({k}) not serializable"
+                ),
+            }
+        }
+    }
+    let final_entries = atomic(|tx| map.entries(tx));
+    let model_entries: Vec<(u32, u64)> = model.into_iter().collect();
+    assert_eq!(final_entries, model_entries, "final state diverged");
+}
+
+fn eager_history(policy: EagerPolicy) {
+    let map: Arc<EagerTransactionalMap<u32, u64>> =
+        Arc::new(EagerTransactionalMap::new(policy));
+    let seq = Arc::new(AtomicU64::new(0));
+    let logs: Arc<Mutex<Vec<TxnLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let key_space = 12u64;
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = map.clone();
+            let seq = seq.clone();
+            let logs = logs.clone();
+            s.spawn(move || {
+                let mut x = 0x5151_5151u64 ^ (t << 16);
+                let mut rng = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for _ in 0..150 {
+                    let n_ops = 1 + (rng() % 3) as usize;
+                    let plan: Vec<(u64, u32, u64)> = (0..n_ops)
+                        .map(|_| (rng() % 100, (rng() % key_space) as u32, rng() % 1000))
+                        .collect();
+                    let stamp_cell = Arc::new(AtomicU64::new(u64::MAX));
+                    let sc = stamp_cell.clone();
+                    let sq = seq.clone();
+                    let m = map.clone();
+                    let ops = atomic(move |tx| {
+                        let mut ops = Vec::new();
+                        for &(roll, k, v) in &plan {
+                            if roll < 40 {
+                                ops.push(Op::Read(k, m.get(tx, &k)));
+                            } else if roll < 80 {
+                                m.put(tx, k, v);
+                                ops.push(Op::Write(k, v));
+                            } else {
+                                ops.push(Op::Remove(k, m.remove(tx, &k)));
+                            }
+                        }
+                        let sc2 = sc.clone();
+                        let sq2 = sq.clone();
+                        tx.on_commit_top(move |_| {
+                            sc2.store(sq2.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                        });
+                        ops
+                    });
+                    let stamp = stamp_cell.load(Ordering::SeqCst);
+                    assert_ne!(stamp, u64::MAX);
+                    logs.lock().push(TxnLog { stamp, ops });
+                }
+            });
+        }
+    });
+
+    let mut logs = Arc::try_unwrap(logs).unwrap().into_inner();
+    logs.sort_by_key(|l| l.stamp);
+    let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+    for (i, log) in logs.iter().enumerate() {
+        for op in &log.ops {
+            match op {
+                Op::Read(k, obs) => assert_eq!(
+                    model.get(k).copied(),
+                    *obs,
+                    "eager txn #{i}: read({k}) not serializable"
+                ),
+                Op::Write(k, v) => {
+                    model.insert(*k, *v);
+                }
+                Op::Remove(k, obs) => assert_eq!(
+                    model.remove(k),
+                    *obs,
+                    "eager txn #{i}: remove({k}) not serializable"
+                ),
+                _ => unreachable!(),
+            }
+        }
+    }
+    // Final state: every key agrees.
+    for k in 0..key_space as u32 {
+        let got = atomic(|tx| map.get(tx, &k));
+        assert_eq!(got, model.get(&k).copied(), "eager final state: key {k}");
+    }
+}
+
+#[test]
+fn eager_writer_waits_histories_are_serializable() {
+    eager_history(EagerPolicy::WriterWaits);
+}
+
+#[test]
+fn eager_doom_readers_histories_are_serializable() {
+    eager_history(EagerPolicy::DoomReaders);
+}
