@@ -90,7 +90,10 @@ fn main() {
         ("hot keys, write-heavy", 16, 60),
     ] {
         let (m, v, s, l) = run(Flavor::Lazy(TransactionalMap::with_capacity(8192)), hot, wr);
-        println!("{name:>22} {:>14} {m:>10} {v:>10} {s:>12} {l:>10}", "lazy/redo");
+        println!(
+            "{name:>22} {:>14} {m:>10} {v:>10} {s:>12} {l:>10}",
+            "lazy/redo"
+        );
         let (m, v, s, l) = run(
             Flavor::Eager(EagerTransactionalMap::with_capacity(
                 8192,
@@ -99,7 +102,10 @@ fn main() {
             hot,
             wr,
         );
-        println!("{name:>22} {:>14} {m:>10} {v:>10} {s:>12} {l:>10}", "eager/waits");
+        println!(
+            "{name:>22} {:>14} {m:>10} {v:>10} {s:>12} {l:>10}",
+            "eager/waits"
+        );
         let (m, v, s, l) = run(
             Flavor::Eager(EagerTransactionalMap::with_capacity(
                 8192,
@@ -108,7 +114,10 @@ fn main() {
             hot,
             wr,
         );
-        println!("{name:>22} {:>14} {m:>10} {v:>10} {s:>12} {l:>10}", "eager/dooms");
+        println!(
+            "{name:>22} {:>14} {m:>10} {v:>10} {s:>12} {l:>10}",
+            "eager/dooms"
+        );
     }
     println!(
         "\npessimism trades aborted work (dooms/lost cycles) for waiting \

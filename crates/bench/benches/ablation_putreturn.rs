@@ -66,7 +66,5 @@ fn main() {
         "  put_discard : {c} commits, {v} violations, makespan {m} cycles ({:.3} viol/txn)",
         v as f64 / c as f64
     );
-    println!(
-        "\nblind writes to the same key commute (no read, no key lock, no ordering) — §5.1."
-    );
+    println!("\nblind writes to the same key commute (no read, no key lock, no ordering) — §5.1.");
 }

@@ -29,11 +29,7 @@ fn commit_latency(kind: RangeIndexKind, outstanding: usize) -> f64 {
         let (_, t) = stm::speculate(
             move |tx| {
                 let lo = (i % 1_900) * 10 + 1; // odd offsets: never hit below
-                black_box(m.range_entries(
-                    tx,
-                    Bound::Included(lo),
-                    Bound::Included(lo + 5),
-                ));
+                black_box(m.range_entries(tx, Bound::Included(lo), Bound::Included(lo + 5)));
             },
             0,
         )
@@ -67,14 +63,14 @@ fn main() {
 
     println!("Ablation: range-lock index — flat scan vs interval tree");
     println!("(writer commit latency in ns while N range locks are outstanding)");
-    println!("{:>12} {:>14} {:>14} {:>8}", "N ranges", "flat scan", "interval tree", "ratio");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "N ranges", "flat scan", "interval tree", "ratio"
+    );
     for n in [0usize, 10, 100, 1_000, 5_000] {
         let flat = commit_latency(RangeIndexKind::FlatScan, n);
         let tree = commit_latency(RangeIndexKind::IntervalTree, n);
-        println!(
-            "{n:>12} {flat:>12.0}ns {tree:>12.0}ns {:>8.2}",
-            flat / tree
-        );
+        println!("{n:>12} {flat:>12.0}ns {tree:>12.0}ns {:>8.2}", flat / tree);
     }
     println!(
         "\nthe paper's flat set wins for small N (the common case it argues);\n\

@@ -82,9 +82,7 @@ fn main() {
             ops,
         );
         let (wv, wr) = violations(Flavor::Wrapped(TransactionalMap::with_capacity(65536)), ops);
-        println!(
-            "{ops:>12} {pv:>12} ({pr:>6.3}) {sv:>12} ({sr:>6.3}) {wv:>12} ({wr:>6.3})"
-        );
+        println!("{ops:>12} {pv:>12} ({pr:>6.3}) {sv:>12} ({sr:>6.3}) {wv:>12} ({wr:>6.3})");
     }
     println!(
         "\nsegmentation helps single-op transactions but degrades as transactions \

@@ -26,7 +26,9 @@ fn run_java(cpus: usize) -> (u64, u64, u64) {
 
 fn run_bare(cpus: usize) -> (u64, u64, u64) {
     let w = TestMapTm {
-        map: TmMapFlavor::BareHash(TxHashMap::with_capacity(2 * bench::testmap::KEY_SPACE as usize)),
+        map: TmMapFlavor::BareHash(TxHashMap::with_capacity(
+            2 * bench::testmap::KEY_SPACE as usize,
+        )),
         txns_per_cpu: TXNS_PER_CPU,
         seed: SEED,
     };

@@ -58,13 +58,17 @@ fn main() {
 
     let series = vec![
         to_series("Java", base, sweep(&run_java)),
-        to_series("Atomos Baseline", base, sweep(&|p| {
-            run_tm(TmConfig::Baseline, p)
-        })),
+        to_series(
+            "Atomos Baseline",
+            base,
+            sweep(&|p| run_tm(TmConfig::Baseline, p)),
+        ),
         to_series("Atomos Open", base, sweep(&|p| run_tm(TmConfig::Open, p))),
-        to_series("Atomos Transactional", base, sweep(&|p| {
-            run_tm(TmConfig::Transactional, p)
-        })),
+        to_series(
+            "Atomos Transactional",
+            base,
+            sweep(&|p| run_tm(TmConfig::Transactional, p)),
+        ),
     ];
     print_figure(
         "Figure 4: SPECjbb2000, single warehouse (speedup vs 1-CPU Java; cf = violations/blocked-kcycles)",

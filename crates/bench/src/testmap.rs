@@ -295,7 +295,9 @@ impl LockWorkload for TestMapLock {
         if roll < 80 {
             rec.critical(MAP_LOCK, self.map.lookup_cost(), || self.map.lookup(key));
         } else if roll < 90 {
-            rec.critical(MAP_LOCK, self.map.update_cost(), || self.map.insert(key, roll));
+            rec.critical(MAP_LOCK, self.map.update_cost(), || {
+                self.map.insert(key, roll)
+            });
         } else {
             rec.critical(MAP_LOCK, self.map.update_cost(), || self.map.remove(key));
         }

@@ -50,7 +50,10 @@ fn figure1_shape() {
     let bare_s = bare16 / java1;
     let wrapped_s = wrapped16 / java1;
     // Java scales nearly linearly.
-    assert!(java_s > 13.0, "Java HashMap speedup at 16 CPUs: {java_s:.1}");
+    assert!(
+        java_s > 13.0,
+        "Java HashMap speedup at 16 CPUs: {java_s:.1}"
+    );
     // The bare map plateaus far below.
     assert!(
         bare_s < java_s * 0.7,
@@ -68,14 +71,14 @@ fn figure2_shape() {
     let java1 = lock_throughput(LockMapFlavor::Tree(LockTreeMap::new()), 1);
     let java16 = lock_throughput(LockMapFlavor::Tree(LockTreeMap::new()), 16);
     let bare16 = tm_throughput(TmMapFlavor::BareTree(TxTreeMap::new()), 16);
-    let wrapped16 = tm_throughput(
-        TmMapFlavor::WrappedTree(TransactionalSortedMap::new()),
-        16,
-    );
+    let wrapped16 = tm_throughput(TmMapFlavor::WrappedTree(TransactionalSortedMap::new()), 16);
     let java_s = java16 / java1;
     let bare_s = bare16 / java1;
     let wrapped_s = wrapped16 / java1;
-    assert!(java_s > 13.0, "Java TreeMap speedup at 16 CPUs: {java_s:.1}");
+    assert!(
+        java_s > 13.0,
+        "Java TreeMap speedup at 16 CPUs: {java_s:.1}"
+    );
     assert!(
         bare_s < java_s * 0.6,
         "bare TxTreeMap should fail to scale (bare {bare_s:.1} vs java {java_s:.1})"

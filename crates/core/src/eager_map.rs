@@ -286,7 +286,9 @@ where
                 EagerPolicy::DoomReaders => {
                     if let Some(rs) = t.readers.get_mut(key) {
                         let doomed = doom_others(rs, self_id);
-                        self.inner.stats.bump(&self.inner.stats.key_conflicts, doomed);
+                        self.inner
+                            .stats
+                            .bump(&self.inner.stats.key_conflicts, doomed);
                     }
                 }
             }
@@ -305,7 +307,9 @@ where
         let mut t = self.inner.tables.lock();
         t.pending_delta += change;
         let doomed = doom_others(&mut t.size_lockers, self_id);
-        self.inner.stats.bump(&self.inner.stats.size_conflicts, doomed);
+        self.inner
+            .stats
+            .bump(&self.inner.stats.size_conflicts, doomed);
         drop(t);
         self.with_local(tx, |l| l.delta += change);
     }
@@ -502,7 +506,10 @@ mod tests {
             },
             0,
         );
-        assert!(writer.is_err(), "writer must abort while a reader holds the key");
+        assert!(
+            writer.is_err(),
+            "writer must abort while a reader holds the key"
+        );
         assert!(!reader.handle().is_doomed());
         reader.abort(stm::AbortCause::Explicit);
         // Reader gone: writer succeeds.

@@ -123,7 +123,6 @@ impl<K: Clone + Ord, T> Node<K, T> {
         }
         self.max_upper = m;
     }
-
 }
 
 /// An interval tree (augmented treap) mapping intervals to payloads.
@@ -198,7 +197,9 @@ impl<K: Clone + Ord, T> IntervalTree<K, T> {
         tree: Option<Box<Node<K, T>>>,
         key: &(LowerEnd<K>, u64),
     ) -> (Option<Box<Node<K, T>>>, Option<Box<Node<K, T>>>) {
-        let Some(mut t) = tree else { return (None, None) };
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
         if t.key_owned() < *key {
             let (l, r) = Self::split(t.right.take(), key);
             t.right = l;
@@ -212,10 +213,7 @@ impl<K: Clone + Ord, T> IntervalTree<K, T> {
         }
     }
 
-    fn merge(
-        a: Option<Box<Node<K, T>>>,
-        b: Option<Box<Node<K, T>>>,
-    ) -> Option<Box<Node<K, T>>> {
+    fn merge(a: Option<Box<Node<K, T>>>, b: Option<Box<Node<K, T>>>) -> Option<Box<Node<K, T>>> {
         match (a, b) {
             (None, b) => b,
             (a, None) => a,
@@ -253,7 +251,9 @@ impl<K: Clone + Ord, T> IntervalTree<K, T> {
         lower: &Bound<K>,
         id: u64,
     ) -> (Option<Box<Node<K, T>>>, Option<T>) {
-        let Some(mut t) = tree else { return (None, None) };
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
         let target = (LowerEnd(lower.clone()), id);
         match t.key_owned().cmp(&target) {
             Ordering::Equal => {
@@ -326,11 +326,7 @@ impl<K: Clone + Ord, T> IntervalTree<K, T> {
             }
             found
         }
-        go(
-            &mut self.root,
-            &(LowerEnd(lower.clone()), id),
-            &upper,
-        );
+        go(&mut self.root, &(LowerEnd(lower.clone()), id), &upper);
     }
 
     /// Remove every interval whose payload fails `keep`; returns removed
@@ -472,7 +468,7 @@ mod tests {
                 1 => Included(lo + len),
                 _ => Excluded(lo + len),
             };
-            let id = tree.insert(lower.clone(), upper.clone(), i);
+            let id = tree.insert(lower, upper, i);
             flat.push((id, lower, upper));
         }
         // Random removals.

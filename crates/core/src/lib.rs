@@ -86,7 +86,7 @@ mod sorted_map;
 
 pub use backend::{MapBackend, QueueBackend, SortedMapBackend};
 pub use eager_map::{EagerPolicy, EagerTransactionalMap};
-pub use locks::{RangeIndexKind, SemanticStats};
+pub use locks::{mode_compatible, ObsMode, Owner, RangeIndexKind, SemanticStats, UpdateEffect};
 pub use map::{TransactionalMap, TxMapIter};
 pub use queue::{Channel, TransactionalQueue};
 pub use set::{TransactionalSet, TransactionalSortedSet};

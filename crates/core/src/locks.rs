@@ -44,6 +44,121 @@ pub enum RangeIndexKind {
 /// The owner of a semantic lock: a top-level transaction attempt.
 pub type Owner = Arc<TxHandle>;
 
+// ----------------------------------------------------------------------
+// Mode-compatibility oracle (paper Tables 1–8, distilled)
+// ----------------------------------------------------------------------
+
+/// Abstract observation modes — what one semantic lock records about a
+/// collection (paper Tables 2, 5, 8). Every read-side operation of the
+/// collection classes maps to a set of `(ObsMode, target)` locks; e.g.
+/// `get(k)` takes `Key` on `k`, a full iteration takes `Key` on every
+/// returned key plus `Size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObsMode {
+    /// Presence/absence/value of one key observed (`get`, `containsKey`,
+    /// `iterator.next`, queue head consumption).
+    Key,
+    /// Exact element count observed (`size`, exhausted iteration).
+    Size,
+    /// Emptiness observed as a primitive (§5.1 `isEmpty`, queue
+    /// `peek`/`poll` returning nothing).
+    Empty,
+    /// Identity of the least key observed (`firstKey`).
+    First,
+    /// Identity of the greatest key observed (`lastKey`).
+    Last,
+    /// Every key inside an interval observed (sorted iteration, subMap).
+    Range,
+    /// Fullness of a bounded queue observed (`offer` returning false,
+    /// blocking `put` on a full queue).
+    Full,
+}
+
+impl ObsMode {
+    /// All observation modes, for exhaustive matrix checks.
+    pub const ALL: [ObsMode; 7] = [
+        ObsMode::Key,
+        ObsMode::Size,
+        ObsMode::Empty,
+        ObsMode::First,
+        ObsMode::Last,
+        ObsMode::Range,
+        ObsMode::Full,
+    ];
+}
+
+/// Abstract effects a committing writer publishes (the write-side axis of
+/// paper Tables 1, 4, 7). Every update operation maps to a set of effects;
+/// e.g. `put` of a brand-new key is `KeyWrite + SizeChange` (plus
+/// `ZeroCross` when the map was empty, plus `FirstChange`/`LastChange` when
+/// it moves an endpoint of a sorted map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateEffect {
+    /// A key was added, removed, or its value replaced.
+    KeyWrite,
+    /// The element count changed.
+    SizeChange,
+    /// The count crossed zero in either direction (§5.1 `isEmpty` lock;
+    /// queue emptiness invalidated by a producing commit).
+    ZeroCross,
+    /// The least key changed.
+    FirstChange,
+    /// The greatest key changed.
+    LastChange,
+    /// Elements were permanently consumed (frees capacity in a bounded
+    /// queue, invalidating fullness observations).
+    Consume,
+}
+
+impl UpdateEffect {
+    /// All update effects, for exhaustive matrix checks.
+    pub const ALL: [UpdateEffect; 6] = [
+        UpdateEffect::KeyWrite,
+        UpdateEffect::SizeChange,
+        UpdateEffect::ZeroCross,
+        UpdateEffect::FirstChange,
+        UpdateEffect::LastChange,
+        UpdateEffect::Consume,
+    ];
+}
+
+/// The mode-compatibility function: `true` iff a semantic lock in mode
+/// `obs` survives a committing update that publishes `effect` — i.e. the
+/// two operations commute and the observer is *not* doomed.
+///
+/// `overlap` is whether the update's key equals the observed key
+/// (`ObsMode::Key`) or falls inside the observed interval
+/// (`ObsMode::Range`); it is ignored for the whole-collection modes.
+///
+/// This single function is the repo's machine-checkable distillation of
+/// paper Tables 1–8. It is validated two ways: statically by `txlint`'s
+/// conflict-matrix oracle (`cargo run -p txlint -- --oracle`), which
+/// replays every table row against it, and dynamically by the exhaustive
+/// pairwise suite in `crates/core/tests/oracle_matrix.rs`, which drives
+/// real two-transaction executions and asserts the doom protocol agrees.
+pub fn mode_compatible(obs: ObsMode, effect: UpdateEffect, overlap: bool) -> bool {
+    match (obs, effect) {
+        // A key observation conflicts exactly with a write of that key.
+        (ObsMode::Key, UpdateEffect::KeyWrite) => !overlap,
+        // A range observation conflicts with writes landing inside it.
+        (ObsMode::Range, UpdateEffect::KeyWrite) => !overlap,
+        // Size observers are doomed by any size change — but NOT by a
+        // value-replacing put (which publishes KeyWrite without
+        // SizeChange): that asymmetry is the point of semantic locks.
+        (ObsMode::Size, UpdateEffect::SizeChange) => false,
+        // Emptiness-as-primitive observers survive size changes that do
+        // not cross zero (§5.1).
+        (ObsMode::Empty, UpdateEffect::ZeroCross) => false,
+        // Endpoint observers are doomed only when their endpoint moves.
+        (ObsMode::First, UpdateEffect::FirstChange) => false,
+        (ObsMode::Last, UpdateEffect::LastChange) => false,
+        // Fullness observers are doomed when capacity is freed.
+        (ObsMode::Full, UpdateEffect::Consume) => false,
+        // Everything else commutes.
+        _ => true,
+    }
+}
+
 /// Counters of semantic conflict detections, per collection instance.
 ///
 /// Every increment corresponds to at least one transaction doomed because a
@@ -85,6 +200,9 @@ impl SemanticStats {
 
 /// Doom every *other*, still-active owner in `owners`; prune finished ones.
 /// Returns how many dooms landed.
+// `Owner` hashes by `TxHandle` id, which never changes after creation; the
+// handle's atomics do not participate in Hash/Eq.
+#[allow(clippy::mutable_key_type)]
 pub(crate) fn doom_others(owners: &mut HashSet<Owner>, self_id: u64) -> u64 {
     let mut doomed = 0;
     owners.retain(|o| {
@@ -126,20 +244,20 @@ impl<K> Default for MapLockTables<K> {
 }
 
 impl<K: Clone + Eq + std::hash::Hash> MapLockTables<K> {
-    pub fn take_key_lock(&mut self, key: K, owner: Owner) {
+    pub(crate) fn take_key_lock(&mut self, key: K, owner: Owner) {
         self.key2lockers.entry(key).or_default().insert(owner);
     }
 
-    pub fn take_size_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_size_lock(&mut self, owner: Owner) {
         self.size_lockers.insert(owner);
     }
 
-    pub fn take_empty_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_empty_lock(&mut self, owner: Owner) {
         self.empty_lockers.insert(owner);
     }
 
     /// A committing writer is adding/removing/replacing `key`: doom readers.
-    pub fn doom_key_lockers(&mut self, key: &K, self_id: u64) -> u64 {
+    pub(crate) fn doom_key_lockers(&mut self, key: &K, self_id: u64) -> u64 {
         match self.key2lockers.get_mut(key) {
             None => 0,
             Some(owners) => {
@@ -153,20 +271,20 @@ impl<K: Clone + Eq + std::hash::Hash> MapLockTables<K> {
     }
 
     /// A committing writer changed the size: doom size observers.
-    pub fn doom_size_lockers(&mut self, self_id: u64) -> u64 {
+    pub(crate) fn doom_size_lockers(&mut self, self_id: u64) -> u64 {
         doom_others(&mut self.size_lockers, self_id)
     }
 
     /// A committing writer made the size cross zero: doom emptiness
     /// observers (the `isEmpty`-as-primitive lock).
-    pub fn doom_empty_lockers(&mut self, self_id: u64) -> u64 {
+    pub(crate) fn doom_empty_lockers(&mut self, self_id: u64) -> u64 {
         doom_others(&mut self.empty_lockers, self_id)
     }
 
     /// Release every lock held on behalf of `owner_id`. `keys` is the
     /// owner's thread-local `keyLocks` set — kept precisely so release does
     /// not have to enumerate `key2lockers` (paper §3.1).
-    pub fn release_owner<'a>(&mut self, owner_id: u64, keys: impl Iterator<Item = &'a K>)
+    pub(crate) fn release_owner<'a>(&mut self, owner_id: u64, keys: impl Iterator<Item = &'a K>)
     where
         K: 'a,
     {
@@ -183,8 +301,39 @@ impl<K: Clone + Eq + std::hash::Hash> MapLockTables<K> {
     }
 
     /// Number of distinct keys currently locked (diagnostics).
-    pub fn locked_key_count(&self) -> usize {
+    pub(crate) fn locked_key_count(&self) -> usize {
         self.key2lockers.len()
+    }
+
+    /// Doom every observer whose mode is incompatible with `effect`
+    /// according to [`mode_compatible`] — the single dispatch point of the
+    /// map-side doom protocol. `key` is the update's key, when it has one.
+    ///
+    /// Returns `(key_doomed, size_doomed, empty_doomed)` so callers can
+    /// attribute the dooms to per-mode [`SemanticStats`] counters.
+    pub(crate) fn doom_update(
+        &mut self,
+        effect: UpdateEffect,
+        key: Option<&K>,
+        self_id: u64,
+    ) -> (u64, u64, u64) {
+        let mut by_key = 0;
+        if let Some(k) = key {
+            if !mode_compatible(ObsMode::Key, effect, true) {
+                by_key = self.doom_key_lockers(k, self_id);
+            }
+        }
+        let by_size = if !mode_compatible(ObsMode::Size, effect, false) {
+            self.doom_size_lockers(self_id)
+        } else {
+            0
+        };
+        let by_empty = if !mode_compatible(ObsMode::Empty, effect, false) {
+            self.doom_empty_lockers(self_id)
+        } else {
+            0
+        };
+        (by_key, by_size, by_empty)
     }
 }
 
@@ -260,7 +409,7 @@ impl<K: Clone + Ord> Default for SortedLockTables<K> {
 }
 
 impl<K: Clone + Ord> SortedLockTables<K> {
-    pub fn with_kind(kind: RangeIndexKind) -> Self {
+    pub(crate) fn with_kind(kind: RangeIndexKind) -> Self {
         SortedLockTables {
             first_lockers: HashSet::new(),
             last_lockers: HashSet::new(),
@@ -268,17 +417,17 @@ impl<K: Clone + Ord> SortedLockTables<K> {
         }
     }
 
-    pub fn take_first_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_first_lock(&mut self, owner: Owner) {
         self.first_lockers.insert(owner);
     }
 
-    pub fn take_last_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_last_lock(&mut self, owner: Owner) {
         self.last_lockers.insert(owner);
     }
 
     /// Register a range lock and return its stable id so an iterator can
     /// grow it as it advances.
-    pub fn add_range_lock(&mut self, owner: Owner, lower: Bound<K>, upper: Bound<K>) -> u64 {
+    pub(crate) fn add_range_lock(&mut self, owner: Owner, lower: Bound<K>, upper: Bound<K>) -> u64 {
         match &mut self.ranges {
             RangeStore::Flat { locks, next_id } => {
                 let id = *next_id;
@@ -309,7 +458,7 @@ impl<K: Clone + Ord> SortedLockTables<K> {
     }
 
     /// Extend the upper bound of a previously registered range lock.
-    pub fn extend_range_upper(&mut self, id: u64, upper: Bound<K>) {
+    pub(crate) fn extend_range_upper(&mut self, id: u64, upper: Bound<K>) {
         match &mut self.ranges {
             RangeStore::Flat { locks, .. } => {
                 if let Some(r) = locks.iter_mut().find(|r| r.id == id) {
@@ -325,7 +474,7 @@ impl<K: Clone + Ord> SortedLockTables<K> {
     }
 
     /// A committing writer touched `key`: doom owners of covering ranges.
-    pub fn doom_range_lockers(&mut self, key: &K, self_id: u64) -> u64 {
+    pub(crate) fn doom_range_lockers(&mut self, key: &K, self_id: u64) -> u64 {
         let mut doomed = 0;
         match &mut self.ranges {
             RangeStore::Flat { locks, .. } => {
@@ -346,10 +495,7 @@ impl<K: Clone + Ord> SortedLockTables<K> {
             }
             RangeStore::Tree { tree, .. } => {
                 tree.stab(key, &mut |_, owner| {
-                    if owner.id() != self_id
-                        && owner.state() == TxState::Active
-                        && owner.doom()
-                    {
+                    if owner.id() != self_id && owner.state() == TxState::Active && owner.doom() {
                         doomed += 1;
                     }
                 });
@@ -358,15 +504,47 @@ impl<K: Clone + Ord> SortedLockTables<K> {
         doomed
     }
 
-    pub fn doom_first_lockers(&mut self, self_id: u64) -> u64 {
+    pub(crate) fn doom_first_lockers(&mut self, self_id: u64) -> u64 {
         doom_others(&mut self.first_lockers, self_id)
     }
 
-    pub fn doom_last_lockers(&mut self, self_id: u64) -> u64 {
+    pub(crate) fn doom_last_lockers(&mut self, self_id: u64) -> u64 {
         doom_others(&mut self.last_lockers, self_id)
     }
 
-    pub fn release_owner(&mut self, owner_id: u64) {
+    /// Sorted-side counterpart of [`MapLockTables::doom_update`]: dooms
+    /// range/first/last observers incompatible with `effect` per
+    /// [`mode_compatible`]. Returns `(range_doomed, first_doomed,
+    /// last_doomed)`.
+    pub(crate) fn doom_update(
+        &mut self,
+        effect: UpdateEffect,
+        key: Option<&K>,
+        self_id: u64,
+    ) -> (u64, u64, u64) {
+        let mut by_range = 0;
+        if let Some(k) = key {
+            // Overlap for Range mode is evaluated per lock inside
+            // doom_range_lockers; mode_compatible gates whether the effect
+            // class can invalidate ranges at all.
+            if !mode_compatible(ObsMode::Range, effect, true) {
+                by_range = self.doom_range_lockers(k, self_id);
+            }
+        }
+        let by_first = if !mode_compatible(ObsMode::First, effect, false) {
+            self.doom_first_lockers(self_id)
+        } else {
+            0
+        };
+        let by_last = if !mode_compatible(ObsMode::Last, effect, false) {
+            self.doom_last_lockers(self_id)
+        } else {
+            0
+        };
+        (by_range, by_first, by_last)
+    }
+
+    pub(crate) fn release_owner(&mut self, owner_id: u64) {
         self.first_lockers.retain(|o| o.id() != owner_id);
         self.last_lockers.retain(|o| o.id() != owner_id);
         match &mut self.ranges {
@@ -430,6 +608,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::mutable_key_type)]
     fn finished_owners_are_pruned_not_doomed() {
         let mut t: MapLockTables<u32> = MapLockTables::default();
         let dead = owner();
@@ -470,6 +649,72 @@ mod tests {
         t.add_range_lock(me.clone(), Bound::Unbounded, Bound::Unbounded);
         assert_eq!(t.doom_range_lockers(&1, me.id()), 0);
         assert!(!me.is_doomed());
+    }
+
+    #[test]
+    fn mode_compatibility_matrix_spot_checks() {
+        use {ObsMode as O, UpdateEffect as E};
+        // Table 1/2: get(k) vs put(k) conflicts; vs put(k') commutes.
+        assert!(!mode_compatible(O::Key, E::KeyWrite, true));
+        assert!(mode_compatible(O::Key, E::KeyWrite, false));
+        // Table 1: size vs value-replacing put (KeyWrite, no SizeChange).
+        assert!(mode_compatible(O::Size, E::KeyWrite, true));
+        assert!(!mode_compatible(O::Size, E::SizeChange, false));
+        // §5.1: isEmpty-as-primitive survives non-crossing size changes.
+        assert!(mode_compatible(O::Empty, E::SizeChange, false));
+        assert!(!mode_compatible(O::Empty, E::ZeroCross, false));
+        // Tables 4/5: range iteration vs in/out-of-range writes.
+        assert!(!mode_compatible(O::Range, E::KeyWrite, true));
+        assert!(mode_compatible(O::Range, E::KeyWrite, false));
+        // Tables 7/8: queue fullness freed only by consumption.
+        assert!(!mode_compatible(O::Full, E::Consume, false));
+        assert!(mode_compatible(O::Full, E::KeyWrite, false));
+    }
+
+    #[test]
+    fn doom_update_routes_through_mode_compatibility() {
+        let mut t: MapLockTables<u32> = MapLockTables::default();
+        let me = owner();
+        let key_watcher = owner();
+        let size_watcher = owner();
+        let empty_watcher = owner();
+        t.take_key_lock(7, key_watcher.clone());
+        t.take_size_lock(size_watcher.clone());
+        t.take_empty_lock(empty_watcher.clone());
+
+        // A value-replacing put: dooms the key watcher only.
+        let (k, s, e) = t.doom_update(UpdateEffect::KeyWrite, Some(&7), me.id());
+        assert_eq!((k, s, e), (1, 0, 0));
+        assert!(key_watcher.is_doomed());
+        assert!(!size_watcher.is_doomed() && !empty_watcher.is_doomed());
+
+        // A size change without zero crossing: dooms the size watcher only.
+        let (k, s, e) = t.doom_update(UpdateEffect::SizeChange, None, me.id());
+        assert_eq!((k, s, e), (0, 1, 0));
+        assert!(!empty_watcher.is_doomed());
+
+        // Zero crossing: dooms the emptiness watcher.
+        let (_, _, e) = t.doom_update(UpdateEffect::ZeroCross, None, me.id());
+        assert_eq!(e, 1);
+        assert!(empty_watcher.is_doomed());
+    }
+
+    #[test]
+    fn sorted_doom_update_endpoints_and_ranges() {
+        let mut t: SortedLockTables<u32> = SortedLockTables::default();
+        let me = owner();
+        let ranger = owner();
+        let firster = owner();
+        t.add_range_lock(ranger.clone(), Bound::Included(10), Bound::Included(20));
+        t.take_first_lock(firster.clone());
+
+        let (r, f, l) = t.doom_update(UpdateEffect::KeyWrite, Some(&15), me.id());
+        assert_eq!((r, f, l), (1, 0, 0));
+        assert!(ranger.is_doomed() && !firster.is_doomed());
+
+        let (r, f, _) = t.doom_update(UpdateEffect::FirstChange, None, me.id());
+        assert_eq!((r, f), (0, 1));
+        assert!(firster.is_doomed());
     }
 
     #[test]

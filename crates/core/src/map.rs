@@ -32,7 +32,7 @@
 //! value — either way the reader is serializable.
 
 use crate::backend::MapBackend;
-use crate::locks::{MapLockTables, SemanticStats};
+use crate::locks::{MapLockTables, SemanticStats, UpdateEffect};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -309,8 +309,7 @@ where
             let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
             self.with_local(tx, |l| {
                 if l.blind.remove(&k) {
-                    let buffered_present =
-                        matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
+                    let buffered_present = matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
                     l.delta += buffered_present as isize - committed_present as isize;
                 }
             });
@@ -612,9 +611,8 @@ where
                 // success the enumeration equals the committed state at this
                 // instant — a valid serialization point.
                 let backend = &self.map.inner.backend;
-                let live: HashSet<K> = tx.open(|otx| {
-                    backend.entries(otx).into_iter().map(|(k, _)| k).collect()
-                });
+                let live: HashSet<K> =
+                    tx.open(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
                 if live != self.confirmed {
                     stm::abort_and_retry();
                 }
@@ -647,7 +645,7 @@ where
                     size_after += 1;
                 }
                 // put conflicts with any reader of this key (Table 2).
-                let doomed = tables.doom_key_lockers(k, id);
+                let (doomed, _, _) = tables.doom_update(UpdateEffect::KeyWrite, Some(k), id);
                 inner.stats.bump(&inner.stats.key_conflicts, doomed);
             }
             BufWrite::Remove => {
@@ -655,17 +653,17 @@ where
                 if old.is_some() {
                     size_after -= 1;
                     // Removing nothing conflicts with nobody (Table 1).
-                    let doomed = tables.doom_key_lockers(k, id);
+                    let (doomed, _, _) = tables.doom_update(UpdateEffect::KeyWrite, Some(k), id);
                     inner.stats.bump(&inner.stats.key_conflicts, doomed);
                 }
             }
         }
     }
     if size_after != size_before {
-        let doomed = tables.doom_size_lockers(id);
+        let (_, doomed, _) = tables.doom_update(UpdateEffect::SizeChange, None, id);
         inner.stats.bump(&inner.stats.size_conflicts, doomed);
         if (size_before == 0) != (size_after == 0) {
-            let doomed = tables.doom_empty_lockers(id);
+            let (_, _, doomed) = tables.doom_update(UpdateEffect::ZeroCross, None, id);
             inner.stats.bump(&inner.stats.empty_conflicts, doomed);
         }
     }

@@ -24,7 +24,7 @@
 //! or abort that makes the queue non-empty (Tables 7–8).
 
 use crate::backend::QueueBackend;
-use crate::locks::{doom_others, Owner, SemanticStats};
+use crate::locks::{doom_others, mode_compatible, ObsMode, Owner, SemanticStats, UpdateEffect};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -387,11 +387,14 @@ where
         inner.backend.push_back(htx, item);
     }
     let mut tables = inner.tables.lock();
-    if made_nonempty {
+    // Route the dooms through the Tables 7–8 oracle: an emptiness
+    // observation is invalidated exactly by a zero-crossing publish, a
+    // fullness observation exactly by permanent consumption.
+    if made_nonempty && !mode_compatible(ObsMode::Empty, UpdateEffect::ZeroCross, false) {
         let doomed = doom_others(&mut tables.empty_lockers, id);
         inner.stats.bump(&inner.stats.empty_conflicts, doomed);
     }
-    if consumed {
+    if consumed && !mode_compatible(ObsMode::Full, UpdateEffect::Consume, false) {
         let doomed = doom_others(&mut tables.full_lockers, id);
         inner.stats.bump(&inner.stats.empty_conflicts, doomed);
     }

@@ -22,7 +22,7 @@
 //! buffer in key order.
 
 use crate::backend::SortedMapBackend;
-use crate::locks::{MapLockTables, RangeIndexKind, SemanticStats, SortedLockTables};
+use crate::locks::{MapLockTables, RangeIndexKind, SemanticStats, SortedLockTables, UpdateEffect};
 use crate::map::{BufWrite, MapLocal};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -364,8 +364,7 @@ where
             let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
             self.with_local(tx, |l| {
                 if l.blind.remove(&k) {
-                    let buffered_present =
-                        matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
+                    let buffered_present = matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
                     l.delta += buffered_present as isize - committed_present as isize;
                 }
             });
@@ -414,12 +413,7 @@ where
 
     /// Committed next entry after `from`, skipping keys the buffer removes,
     /// staying under `upper`. Each step is one open-nested descent.
-    fn committed_next(
-        &self,
-        tx: &mut Txn,
-        from: &Bound<K>,
-        upper: &Bound<K>,
-    ) -> Option<(K, V)> {
+    fn committed_next(&self, tx: &mut Txn, from: &Bound<K>, upper: &Bound<K>) -> Option<(K, V)> {
         let backend = &self.inner.backend;
         let mut cur = match from {
             Bound::Unbounded => tx.open(|otx| backend.first_entry(otx)),
@@ -446,9 +440,7 @@ where
             l.store_buffer
                 .iter()
                 .filter_map(|(k, w)| match w {
-                    BufWrite::Put(v)
-                        if above_lower(k, from) && below_upper(k, upper) =>
-                    {
+                    BufWrite::Put(v) if above_lower(k, from) && below_upper(k, upper) => {
                         Some((k.clone(), v.clone()))
                     }
                     _ => None,
@@ -459,12 +451,7 @@ where
 
     /// Largest committed entry at or below `upper`, skipping keys the buffer
     /// removes, staying above `lower` (the mirror of [`Self::committed_next`]).
-    fn committed_prev(
-        &self,
-        tx: &mut Txn,
-        upper: &Bound<K>,
-        lower: &Bound<K>,
-    ) -> Option<(K, V)> {
+    fn committed_prev(&self, tx: &mut Txn, upper: &Bound<K>, lower: &Bound<K>) -> Option<(K, V)> {
         let backend = &self.inner.backend;
         let mut cur = match upper {
             Bound::Unbounded => tx.open(|otx| backend.last_entry(otx)),
@@ -494,12 +481,7 @@ where
     /// If the verify disagrees, the world changed between probe and lock and
     /// the query restarts — the returned observation is therefore always
     /// covered by a lock that predates it (lock-then-read soundness).
-    pub fn first_in_range(
-        &self,
-        tx: &mut Txn,
-        lower: Bound<K>,
-        upper: Bound<K>,
-    ) -> Option<(K, V)> {
+    pub fn first_in_range(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) -> Option<(K, V)> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         if matches!(lower, Bound::Unbounded) {
@@ -513,7 +495,9 @@ where
                 (None, None) => None,
                 (Some((ck, _)), None) => Some(ck.clone()),
                 (None, Some((bk, _))) => Some(bk.clone()),
-                (Some((ck, _)), Some((bk, _))) => Some(if bk <= ck { bk.clone() } else { ck.clone() }),
+                (Some((ck, _)), Some((bk, _))) => {
+                    Some(if bk <= ck { bk.clone() } else { ck.clone() })
+                }
             };
             // Lock the observed prefix (or the whole empty range).
             let lock_upper = match &candidate {
@@ -522,9 +506,11 @@ where
             };
             {
                 let mut tables = self.inner.tables.lock();
-                tables
-                    .sorted
-                    .add_range_lock(tx.handle().clone(), lower.clone(), lock_upper.clone());
+                tables.sorted.add_range_lock(
+                    tx.handle().clone(),
+                    lower.clone(),
+                    lock_upper.clone(),
+                );
             }
             // Verify under the lock.
             let verify = self.committed_next(tx, &lower, &lock_upper);
@@ -578,12 +564,7 @@ where
     /// [`Self::first_in_range`], with the same probe → lock → verify
     /// protocol (the last lock when `upper` is unbounded, a range lock
     /// `[candidate, upper]` otherwise).
-    pub fn last_in_range(
-        &self,
-        tx: &mut Txn,
-        lower: Bound<K>,
-        upper: Bound<K>,
-    ) -> Option<(K, V)> {
+    pub fn last_in_range(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) -> Option<(K, V)> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         if matches!(upper, Bound::Unbounded) {
@@ -597,7 +578,9 @@ where
                 (None, None) => None,
                 (Some((ck, _)), None) => Some(ck.clone()),
                 (None, Some((bk, _))) => Some(bk.clone()),
-                (Some((ck, _)), Some((bk, _))) => Some(if bk >= ck { bk.clone() } else { ck.clone() }),
+                (Some((ck, _)), Some((bk, _))) => {
+                    Some(if bk >= ck { bk.clone() } else { ck.clone() })
+                }
             };
             let lock_lower = match &candidate {
                 Some(k) => Bound::Included(k.clone()),
@@ -605,9 +588,11 @@ where
             };
             {
                 let mut tables = self.inner.tables.lock();
-                tables
-                    .sorted
-                    .add_range_lock(tx.handle().clone(), lock_lower.clone(), upper.clone());
+                tables.sorted.add_range_lock(
+                    tx.handle().clone(),
+                    lock_lower.clone(),
+                    upper.clone(),
+                );
             }
             let verify = self.committed_prev(tx, &upper, &lock_lower);
             match (&candidate, verify) {
@@ -953,18 +938,24 @@ where
                 if old.is_none() {
                     size_after += 1;
                 }
-                let doomed = tables.map.doom_key_lockers(k, id);
+                let (doomed, _, _) = tables.map.doom_update(UpdateEffect::KeyWrite, Some(k), id);
                 inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                let doomed = tables.sorted.doom_range_lockers(k, id);
+                let (doomed, _, _) = tables
+                    .sorted
+                    .doom_update(UpdateEffect::KeyWrite, Some(k), id);
                 inner.stats.bump(&inner.stats.range_conflicts, doomed);
             }
             BufWrite::Remove => {
                 let old = inner.backend.remove(htx, k);
                 if old.is_some() {
                     size_after -= 1;
-                    let doomed = tables.map.doom_key_lockers(k, id);
+                    let (doomed, _, _) =
+                        tables.map.doom_update(UpdateEffect::KeyWrite, Some(k), id);
                     inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                    let doomed = tables.sorted.doom_range_lockers(k, id);
+                    let (doomed, _, _) =
+                        tables
+                            .sorted
+                            .doom_update(UpdateEffect::KeyWrite, Some(k), id);
                     inner.stats.bump(&inner.stats.range_conflicts, doomed);
                 }
             }
@@ -974,18 +965,22 @@ where
     let first_after = inner.backend.first_entry(htx).map(|(k, _)| k);
     let last_after = inner.backend.last_entry(htx).map(|(k, _)| k);
     if first_before != first_after {
-        let doomed = tables.sorted.doom_first_lockers(id);
+        let (_, doomed, _) = tables
+            .sorted
+            .doom_update(UpdateEffect::FirstChange, None, id);
         inner.stats.bump(&inner.stats.first_conflicts, doomed);
     }
     if last_before != last_after {
-        let doomed = tables.sorted.doom_last_lockers(id);
+        let (_, _, doomed) = tables
+            .sorted
+            .doom_update(UpdateEffect::LastChange, None, id);
         inner.stats.bump(&inner.stats.last_conflicts, doomed);
     }
     if size_after != size_before {
-        let doomed = tables.map.doom_size_lockers(id);
+        let (_, doomed, _) = tables.map.doom_update(UpdateEffect::SizeChange, None, id);
         inner.stats.bump(&inner.stats.size_conflicts, doomed);
         if (size_before == 0) != (size_after == 0) {
-            let doomed = tables.map.doom_empty_lockers(id);
+            let (_, _, doomed) = tables.map.doom_update(UpdateEffect::ZeroCross, None, id);
             inner.stats.bump(&inner.stats.empty_conflicts, doomed);
         }
     }

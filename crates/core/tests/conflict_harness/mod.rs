@@ -5,11 +5,14 @@
 //! commits. The cell's condition holds iff T1 ends up doomed (program-
 //! directed abort through the semantic locks).
 
+// Shared by several test binaries; each uses a subset of the helpers.
+#![allow(dead_code)]
+
 use stm::{AbortCause, Txn};
 
 /// Run `reader` in a live transaction, then commit `writer` in another.
 /// Returns whether the reader was doomed by the writer's commit.
-pub fn writer_dooms_reader(
+pub(crate) fn writer_dooms_reader(
     reader: impl FnOnce(&mut Txn),
     writer: impl FnOnce(&mut Txn),
 ) -> bool {
@@ -25,7 +28,7 @@ pub fn writer_dooms_reader(
 /// Assert a table cell: `expected == true` means the operations must
 /// conflict (reader doomed), `false` means they must commute (no doom).
 #[track_caller]
-pub fn assert_cell(
+pub(crate) fn assert_cell(
     expected: bool,
     what: &str,
     reader: impl FnOnce(&mut Txn),

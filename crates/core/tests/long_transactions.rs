@@ -166,7 +166,10 @@ fn compound_operations_are_atomic() {
     let total: i64 = atomic(|tx| accounts.entries(tx).iter().map(|(_, v)| *v).sum());
     assert_eq!(total, 1_000 * n_accounts as i64, "money not conserved");
     let negative = atomic(|tx| accounts.entries(tx).iter().any(|(_, v)| *v < 0));
-    assert!(!negative, "balance went negative: check-then-act not atomic");
+    assert!(
+        !negative,
+        "balance went negative: check-then-act not atomic"
+    );
 }
 
 /// A long audit transaction (full iteration) runs concurrently with
@@ -357,5 +360,8 @@ fn uid_generator_scales_and_stays_unique() {
     assert_eq!(v.len(), 1000, "duplicate ids");
     // The parent transactions carry no dependency on the counter; aborts can
     // only come from the open-nested child retry, never the parents.
-    assert_eq!(diff.aborts_read_invalid, 0, "UID parents conflicted: {diff:?}");
+    assert_eq!(
+        diff.aborts_read_invalid, 0,
+        "UID parents conflicted: {diff:?}"
+    );
 }

@@ -1,0 +1,311 @@
+//! Three-layer validation of the conflict-matrix oracle (paper Tables 1–8).
+//!
+//! Layer 1 (static): txlint's machine-readable table rows agree with
+//! `mode_compatible`, the function the production doom protocol dispatches
+//! through.
+//!
+//! Layer 2 (exhaustive + property): every `(ObsMode, UpdateEffect, overlap)`
+//! triple — all 7 × 6 × 2 = 84 cells — matches an independently coded
+//! reference predicate, checked both by exhaustive enumeration and by a
+//! proptest sweep over random cells.
+//!
+//! Layer 3 (dynamic): for each oracle row that maps onto a collection
+//! operation pair, drive a real two-transaction execution and assert the
+//! doom protocol delivers the row's verdict.
+
+mod conflict_harness;
+
+use conflict_harness::writer_dooms_reader;
+use proptest::prelude::*;
+use std::ops::Bound;
+use std::sync::Arc;
+use txcollections::{
+    mode_compatible, Channel, ObsMode, TransactionalMap, TransactionalQueue,
+    TransactionalSortedMap, UpdateEffect,
+};
+
+/// Independent re-statement of the paper's compatibility matrix: the only
+/// conflicting cells are each observation mode against the one effect class
+/// that invalidates it — key/range observations only under overlap.
+fn reference(obs: ObsMode, effect: UpdateEffect, overlap: bool) -> bool {
+    let conflicting = match (obs, effect) {
+        (ObsMode::Key, UpdateEffect::KeyWrite) | (ObsMode::Range, UpdateEffect::KeyWrite) => {
+            overlap
+        }
+        (ObsMode::Size, UpdateEffect::SizeChange)
+        | (ObsMode::Empty, UpdateEffect::ZeroCross)
+        | (ObsMode::First, UpdateEffect::FirstChange)
+        | (ObsMode::Last, UpdateEffect::LastChange)
+        | (ObsMode::Full, UpdateEffect::Consume) => true,
+        _ => false,
+    };
+    !conflicting
+}
+
+// ---------------------------------------------------------------------
+// Layer 1: static agreement with txlint's table rows
+// ---------------------------------------------------------------------
+
+#[test]
+fn txlint_oracle_rows_agree_with_mode_compatible() {
+    let errors = txlint::oracle::check();
+    assert!(
+        errors.is_empty(),
+        "paper tables diverge from mode_compatible:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn txlint_oracle_rows_agree_with_reference() {
+    for r in txlint::oracle::ROWS {
+        assert_eq!(
+            !r.conflicts,
+            reference(r.obs, r.effect, r.overlap),
+            "{}: `{}` vs `{}`",
+            r.table,
+            r.observer,
+            r.update
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: exhaustive + property-based pairwise sweep
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhaustive_mode_by_effect_matrix() {
+    for obs in ObsMode::ALL {
+        for effect in UpdateEffect::ALL {
+            for overlap in [false, true] {
+                assert_eq!(
+                    mode_compatible(obs, effect, overlap),
+                    reference(obs, effect, overlap),
+                    "cell ({obs:?}, {effect:?}, overlap={overlap})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pairwise_cells_match_reference(oi in 0usize..7, ei in 0usize..6, overlap in any::<bool>()) {
+        let obs = ObsMode::ALL[oi];
+        let effect = UpdateEffect::ALL[ei];
+        prop_assert_eq!(
+            mode_compatible(obs, effect, overlap),
+            reference(obs, effect, overlap)
+        );
+    }
+
+    #[test]
+    fn overlap_only_matters_for_keyed_modes(oi in 0usize..7, ei in 0usize..6) {
+        let obs = ObsMode::ALL[oi];
+        let effect = UpdateEffect::ALL[ei];
+        let differs = mode_compatible(obs, effect, true) != mode_compatible(obs, effect, false);
+        if differs {
+            prop_assert!(
+                matches!(obs, ObsMode::Key | ObsMode::Range),
+                "only key/range observations are overlap-sensitive, got {:?}",
+                obs
+            );
+            prop_assert_eq!(effect, UpdateEffect::KeyWrite);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer 3: the live collections deliver each row's verdict
+// ---------------------------------------------------------------------
+
+fn seeded_map(pairs: &[(u32, &str)]) -> Arc<TransactionalMap<u32, String>> {
+    let m = Arc::new(TransactionalMap::new());
+    let m2 = m.clone();
+    let pairs: Vec<(u32, String)> = pairs.iter().map(|(k, v)| (*k, v.to_string())).collect();
+    stm::atomic(move |tx| {
+        for (k, v) in &pairs {
+            m2.put_discard(tx, *k, v.clone());
+        }
+    });
+    m
+}
+
+fn seeded_sorted(keys: &[u32]) -> Arc<TransactionalSortedMap<u32, u32>> {
+    let m = Arc::new(TransactionalSortedMap::new());
+    let (m2, keys) = (m.clone(), keys.to_vec());
+    stm::atomic(move |tx| {
+        for k in &keys {
+            m2.put_discard(tx, *k, *k);
+        }
+    });
+    m
+}
+
+/// Drive one `(ObsMode, UpdateEffect, overlap)` cell through a real
+/// two-transaction execution and return whether the reader was doomed.
+/// Each arm performs a reader op that takes exactly the row's observation
+/// lock and a writer op that publishes (at least) the row's effect.
+fn drive_cell(obs: ObsMode, effect: UpdateEffect, overlap: bool) -> Option<bool> {
+    match (obs, effect) {
+        (ObsMode::Key, UpdateEffect::KeyWrite) => {
+            let m = seeded_map(&[(1, "a"), (2, "b")]);
+            let (r, w) = (m.clone(), m);
+            let wkey = if overlap { 1 } else { 2 };
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.get(tx, &1);
+                },
+                move |tx| w.put_discard(tx, wkey, "new".into()),
+            ))
+        }
+        (ObsMode::Size, UpdateEffect::SizeChange) => {
+            let m = seeded_map(&[(1, "a")]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.size(tx);
+                },
+                move |tx| w.put_discard(tx, 9, "new".into()),
+            ))
+        }
+        (ObsMode::Size, UpdateEffect::KeyWrite) => {
+            // Value-replacing put: KeyWrite without SizeChange.
+            let m = seeded_map(&[(1, "a")]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.size(tx);
+                },
+                move |tx| w.put_discard(tx, 1, "replaced".into()),
+            ))
+        }
+        (ObsMode::Empty, UpdateEffect::ZeroCross) => {
+            let m = seeded_map(&[]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.is_empty_primitive(tx);
+                },
+                move |tx| w.put_discard(tx, 1, "first".into()),
+            ))
+        }
+        (ObsMode::Empty, UpdateEffect::SizeChange) => {
+            // Size changes without crossing zero leave §5.1 observers alone.
+            let m = seeded_map(&[(1, "a")]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.is_empty_primitive(tx);
+                },
+                move |tx| w.put_discard(tx, 2, "second".into()),
+            ))
+        }
+        (ObsMode::First, UpdateEffect::FirstChange) => {
+            let m = seeded_sorted(&[10, 20, 30]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.first_key(tx);
+                },
+                move |tx| w.put_discard(tx, 5, 5),
+            ))
+        }
+        (ObsMode::First, UpdateEffect::KeyWrite) => {
+            let m = seeded_sorted(&[10, 20, 30]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.first_key(tx);
+                },
+                move |tx| w.put_discard(tx, 20, 99),
+            ))
+        }
+        (ObsMode::Last, UpdateEffect::LastChange) => {
+            let m = seeded_sorted(&[10, 20, 30]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.last_key(tx);
+                },
+                move |tx| w.put_discard(tx, 40, 40),
+            ))
+        }
+        (ObsMode::Last, UpdateEffect::KeyWrite) => {
+            let m = seeded_sorted(&[10, 20, 30]);
+            let (r, w) = (m.clone(), m);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.last_key(tx);
+                },
+                move |tx| w.put_discard(tx, 20, 99),
+            ))
+        }
+        (ObsMode::Range, UpdateEffect::KeyWrite) => {
+            let m = seeded_sorted(&[10, 20, 30, 40]);
+            let (r, w) = (m.clone(), m);
+            let wkey = if overlap { 15 } else { 35 };
+            Some(writer_dooms_reader(
+                move |tx| {
+                    let _ = r.range_entries(tx, Bound::Included(10), Bound::Included(20));
+                },
+                move |tx| w.put_discard(tx, wkey, wkey),
+            ))
+        }
+        (ObsMode::Full, UpdateEffect::Consume) => {
+            let q = Arc::new(TransactionalQueue::bounded(1));
+            let q2 = q.clone();
+            stm::atomic(move |tx| q2.put(tx, 7u32));
+            let (r, w) = (q.clone(), q);
+            Some(writer_dooms_reader(
+                move |tx| {
+                    assert!(!r.offer(tx, 8), "bounded queue at capacity");
+                },
+                move |tx| {
+                    let _ = w.poll(tx);
+                },
+            ))
+        }
+        (ObsMode::Full, UpdateEffect::ZeroCross) => {
+            // A put onto a queue that is not at capacity leaves fullness
+            // observers of *another* full queue alone; fullness on the
+            // observed queue is only freed by consumption, so an unrelated
+            // producing commit must not doom the observer.
+            let q = Arc::new(TransactionalQueue::bounded(1));
+            let q2 = q.clone();
+            stm::atomic(move |tx| q2.put(tx, 7u32));
+            let other: Arc<TransactionalQueue<u32>> = Arc::new(TransactionalQueue::new());
+            let r = q;
+            Some(writer_dooms_reader(
+                move |tx| {
+                    assert!(!r.offer(tx, 8));
+                },
+                move |tx| other.put(tx, 1),
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[test]
+fn live_collections_deliver_each_cell_verdict() {
+    let mut driven = 0;
+    for obs in ObsMode::ALL {
+        for effect in UpdateEffect::ALL {
+            for overlap in [false, true] {
+                if let Some(doomed) = drive_cell(obs, effect, overlap) {
+                    driven += 1;
+                    assert_eq!(
+                        doomed,
+                        !mode_compatible(obs, effect, overlap),
+                        "live execution disagrees with oracle at \
+                         ({obs:?}, {effect:?}, overlap={overlap})"
+                    );
+                }
+            }
+        }
+    }
+    // Every observation mode must be exercised by at least one live cell.
+    assert!(driven >= 12, "only {driven} live cells driven");
+}

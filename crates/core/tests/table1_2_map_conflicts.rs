@@ -287,25 +287,22 @@ fn partial_iteration_vs_remove_of_unvisited_key_can_commute() {
     // from the unvisited remainder at runtime.)
     let m = seeded(&[(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
     let (r, w) = (m.clone(), m.clone());
-    let visited = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let v2 = visited.clone();
-    let (_, t1) = stm::speculate(
+    let (visited, t1) = stm::speculate(
         move |tx| {
             let mut it = r.iter(tx);
             // Visit exactly two of the four entries.
+            let mut seen = Vec::new();
             for _ in 0..2 {
                 if let Some((k, _)) = it.next(tx) {
-                    v2.lock().push(k);
+                    seen.push(k);
                 }
             }
+            seen
         },
         0,
     )
     .unwrap();
-    let unvisited = {
-        let vis = visited.lock();
-        (1..=4u32).find(|k| !vis.contains(k)).unwrap()
-    };
+    let unvisited = (1..=4u32).find(|k| !visited.contains(k)).unwrap();
     let (_, t2) = stm::speculate(
         move |tx| {
             w.remove(tx, &unvisited);

@@ -254,7 +254,7 @@ fn no_element_lost_or_duplicated_under_abort_storm() {
                         q.put(tx, item);
                         // Every producer transaction aborts once before
                         // committing: buffered adds must not leak.
-                        if item % 3 == 0 && fail_once.swap(0, Ordering::SeqCst) == 1 {
+                        if item.is_multiple_of(3) && fail_once.swap(0, Ordering::SeqCst) == 1 {
                             stm::abort_and_retry();
                         }
                     });

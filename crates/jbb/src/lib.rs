@@ -109,8 +109,13 @@ mod tests {
         assert_eq!(r.commits, 800);
         assert!(r.makespan > 0);
         // The same op mix ran: history table non-empty, orders exist.
-        assert!(w.warehouse.history_table.len() > 0);
-        let orders: usize = w.warehouse.districts.iter().map(|d| d.order_table.len()).sum();
+        assert!(!w.warehouse.history_table.is_empty());
+        let orders: usize = w
+            .warehouse
+            .districts
+            .iter()
+            .map(|d| d.order_table.len())
+            .sum();
         assert!(orders > 0);
     }
 

@@ -229,16 +229,16 @@ impl LockWarehouse {
         rec.work(think);
         let lo = (next - 8).max(0);
         let recent = rec.critical(district_orders_lock(di), C_TREE * 4, || {
-            d.order_table
-                .range_entries(std::ops::Bound::Included(lo), std::ops::Bound::Excluded(next))
+            d.order_table.range_entries(
+                std::ops::Bound::Included(lo),
+                std::ops::Bound::Excluded(next),
+            )
         });
         let mut low = 0;
         for (_, order) in recent {
             for item in order.items {
                 rec.critical(STOCK_LOCK, C_HASH, || {
-                    if self.stock.lock().get(&item).copied().unwrap_or(0)
-                        < self.initial_stock / 2
-                    {
+                    if self.stock.lock().get(&item).copied().unwrap_or(0) < self.initial_stock / 2 {
                         low += 1;
                     }
                 });

@@ -76,6 +76,7 @@ impl TxnRng {
     }
 
     /// Next raw 64-bit value.
+    #[allow(clippy::should_implement_trait)] // an RNG step, not an Iterator
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;

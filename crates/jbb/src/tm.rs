@@ -469,12 +469,13 @@ impl TmWarehouse {
         let w_ytd = self.ytd.get_committed();
         let d_ytd: i64 = self.districts.iter().map(|d| d.ytd.get_committed()).sum();
         if w_ytd != d_ytd {
-            return Err(format!("warehouse ytd {w_ytd} != sum of district ytds {d_ytd}"));
+            return Err(format!(
+                "warehouse ytd {w_ytd} != sum of district ytds {d_ytd}"
+            ));
         }
         // Stock decrements match order lines.
-        let stock_total: i64 = stm::atomic(|tx| {
-            self.stock.entries(tx).into_iter().map(|(_, q)| q).sum()
-        });
+        let stock_total: i64 =
+            stm::atomic(|tx| self.stock.entries(tx).into_iter().map(|(_, q)| q).sum());
         let lines: i64 = self
             .districts
             .iter()
@@ -503,9 +504,7 @@ impl TmWarehouse {
                     return Err(format!("customer {c}: bad district in index"));
                 }
                 match stm::atomic(|tx| self.districts[di].order_table.get(tx, &id)) {
-                    None => {
-                        return Err(format!("customer {c}: dangling order index {di}/{id}"))
-                    }
+                    None => return Err(format!("customer {c}: dangling order index {di}/{id}")),
                     Some(o) if o.customer != c => {
                         return Err(format!(
                             "customer {c}: index points at order of customer {}",

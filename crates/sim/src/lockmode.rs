@@ -87,25 +87,17 @@ pub fn run_lock(cpus: usize, workload: &dyn LockWorkload) -> LockResult {
     // smallest CPU clock each step.
     let mut flat: Vec<std::vec::IntoIter<Segment>> = traces
         .into_iter()
-        .map(|txns| {
-            txns.into_iter()
-                .flatten()
-                .collect::<Vec<_>>()
-                .into_iter()
-        })
+        .map(|txns| txns.into_iter().flatten().collect::<Vec<_>>().into_iter())
         .collect();
     let mut clock: Vec<u64> = vec![0; cpus];
     let mut done: Vec<bool> = vec![false; cpus];
     let mut lock_free_at: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
 
-    loop {
-        // Pick the unfinished CPU with the smallest clock (ties: lowest id).
-        let Some(cpu) = (0..cpus)
-            .filter(|&c| !done[c])
-            .min_by_key(|&c| (clock[c], c))
-        else {
-            break;
-        };
+    // Advance the unfinished CPU with the smallest clock (ties: lowest id).
+    while let Some(cpu) = (0..cpus)
+        .filter(|&c| !done[c])
+        .min_by_key(|&c| (clock[c], c))
+    {
         match flat[cpu].next() {
             None => done[cpu] = true,
             Some(Segment::Work(c)) => {
@@ -159,7 +151,10 @@ mod tests {
         let r1 = run_lock(1, &mk());
         let r16 = run_lock(16, &mk());
         let speedup = (16.0 * r1.makespan as f64) / r16.makespan as f64;
-        assert!(speedup > 12.0, "short critical sections should scale, got {speedup}");
+        assert!(
+            speedup > 12.0,
+            "short critical sections should scale, got {speedup}"
+        );
     }
 
     #[test]

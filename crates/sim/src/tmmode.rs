@@ -2,9 +2,9 @@
 
 use crate::{ABORT_PENALTY, TXN_OVERHEAD};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 #[allow(unused_imports)]
 use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashSet};
 use stm::{AbortCause, PreparedTxn, VarId};
 
 /// A transactional workload driven by the TM engine.
@@ -145,7 +145,9 @@ pub fn run_tm(cpus: usize, workload: &dyn TmWorkload) -> TmResult {
 
     while let Some(Reverse((t, cpu))) = events.pop() {
         // The event may be stale (the txn was violated and rescheduled).
-        let Some(inf) = slots[cpu].take() else { continue };
+        let Some(inf) = slots[cpu].take() else {
+            continue;
+        };
         if inf.commit_at != t {
             slots[cpu] = Some(inf);
             continue;
@@ -172,7 +174,9 @@ pub fn run_tm(cpus: usize, workload: &dyn TmWorkload) -> TmResult {
             if other == cpu {
                 continue;
             }
-            let Some(u) = slots[other].take() else { continue };
+            let Some(u) = slots[other].take() else {
+                continue;
+            };
             let touches = u.reads.iter().any(|(v, _)| writes.contains(v));
             let performed_conflict = u
                 .reads

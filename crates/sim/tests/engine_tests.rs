@@ -49,7 +49,7 @@ impl sim::TmWorkload for SortedScanWorkload {
     }
     fn run(&self, cpu: usize, seq: usize, tx: &mut stm::Txn) {
         sim::think(500);
-        if cpu % 2 == 0 {
+        if cpu.is_multiple_of(2) {
             // Writers append at the end.
             let k = (cpu * 10_000 + seq) as u64 + 1_000_000;
             self.map.put_discard(tx, k, k);
@@ -95,7 +95,7 @@ impl sim::TmWorkload for QueuePipeline {
     }
     fn run(&self, cpu: usize, _seq: usize, tx: &mut stm::Txn) {
         sim::think(300);
-        if cpu % 2 == 0 {
+        if cpu.is_multiple_of(2) {
             self.queue.put(tx, cpu as u64);
             // Count only on the attempt that commits: commit handlers run
             // exactly once per committed transaction.

@@ -83,6 +83,7 @@ impl TxHandle {
     /// already serialized after it. All dooming in this system happens from
     /// commit/abort handlers running under the global commit mutex, so
     /// doom-vs-commit races are excluded by construction.
+    #[must_use = "whether the doom landed; a false return means the target already finished"]
     pub fn doom(&self) -> bool {
         if self.state() != TxState::Active {
             return false;
@@ -93,12 +94,14 @@ impl TxHandle {
 
     /// Whether a doom request has been posted.
     #[inline]
+    #[must_use]
     pub fn is_doomed(&self) -> bool {
         self.doomed.load(Ordering::Relaxed)
     }
 
     pub(crate) fn mark_committed(&self) {
-        self.state.store(TxState::Committed as u8, Ordering::Release);
+        self.state
+            .store(TxState::Committed as u8, Ordering::Release);
     }
 
     pub(crate) fn mark_aborted(&self) {

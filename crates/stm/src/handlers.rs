@@ -22,7 +22,7 @@ use crate::txn::Txn;
 
 /// A commit or abort handler. Runs exactly once, in direct mode, under the
 /// global commit mutex.
-pub type Handler = Box<dyn FnOnce(&mut Txn) + Send>;
+pub(crate) type Handler = Box<dyn FnOnce(&mut Txn) + Send>;
 
 /// A compensation for *thread-local, non-transactional* state mutated inside
 /// a nesting frame (e.g. a collection's store buffer). Runs in reverse
@@ -33,7 +33,7 @@ pub type Handler = Box<dyn FnOnce(&mut Txn) + Send>;
 /// discussed (and rejected as unnecessary) in paper §5.1: because only the
 /// registering transaction can touch the buffered state, replaying local
 /// undos at frame-abort time is always safe.
-pub type LocalUndo = Box<dyn FnOnce() + Send>;
+pub(crate) type LocalUndo = Box<dyn FnOnce() + Send>;
 
 /// Alias kept for API clarity: handlers receive the transaction in direct
 /// mode; the type is the same [`Txn`].

@@ -87,6 +87,7 @@ pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
 /// open-nested effects are visible, its top-level effects are buffered), and
 /// the simulator decides later — in virtual-time order — whether to
 /// [`commit`](PreparedTxn::commit) or [`abort`](PreparedTxn::abort) it.
+#[must_use = "a speculated transaction holds buffered writes and semantic locks until committed or aborted"]
 pub struct PreparedTxn {
     tx: Txn,
 }
@@ -137,6 +138,7 @@ impl PreparedTxn {
 /// `Err` is returned when the body aborts itself ([`crate::abort_and_retry`])
 /// or observes a doom; compensation has already run. The simulator decides
 /// when and whether to re-execute.
+#[must_use = "dropping the PreparedTxn leaks its semantic locks; commit or abort it"]
 pub fn speculate<T>(
     f: impl FnOnce(&mut Txn) -> T,
     prior_attempts: u32,

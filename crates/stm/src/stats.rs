@@ -88,6 +88,7 @@ impl StatsSnapshot {
     }
 
     /// Counter-wise difference (`self - earlier`), saturating.
+    #[must_use]
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
@@ -105,6 +106,7 @@ impl StatsSnapshot {
 }
 
 /// Snapshot the global statistics counters.
+#[must_use]
 pub fn global_stats() -> StatsSnapshot {
     StatsSnapshot {
         commits: COUNTERS.commits.load(Ordering::Relaxed),

@@ -116,6 +116,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
 
     /// Transactional read. Returns the transaction's own buffered value if it
     /// has written this var, otherwise a validated committed snapshot.
+    #[must_use = "a read both yields the value and records a dependency; use `let _ =` when only the dependency is wanted"]
     pub fn read(&self, tx: &mut Txn) -> T {
         cost::add_cost(cost::MEM_ACCESS_COST);
         tx.read_var(self)
@@ -132,6 +133,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     ///
     /// Single reads are trivially atomic; use a transaction for anything that
     /// must be consistent across multiple variables.
+    #[must_use]
     pub fn read_committed(&self) -> T {
         self.core.cell.read().1.clone()
     }

@@ -1,0 +1,37 @@
+//! Seeded TX001 violations: irrevocable side effects inside transactions.
+//! This file is NOT compiled — it is input for `txlint --self-test`.
+
+fn console_io_in_txn() {
+    atomic(|tx| {
+        let v = counter.read(tx);
+        println!("value is {v}"); // TX001: console I/O
+        counter.write(tx, v + 1);
+    });
+}
+
+fn file_io_in_txn() {
+    atomic(|tx| {
+        let log = File::create("audit.log"); // TX001: file constructor
+        fs::write("state.bin", encode(tx)); // TX001: fs module
+    });
+}
+
+fn lock_in_txn() {
+    atomic(|tx| {
+        let guard = shared.lock(); // TX001: mutex acquisition
+        guard.push(tx.id());
+    });
+}
+
+fn channel_send_in_txn() {
+    speculate(|tx| {
+        results_tx.send(compute(tx)); // TX001: channel send
+    });
+}
+
+fn sleep_in_txn() {
+    atomic(|tx| {
+        sleep(Duration::from_millis(10)); // TX001: blocking sleep
+        tick.write(tx, now);
+    });
+}

@@ -1,0 +1,13 @@
+//! Seeded TX003 violation: swallowing abort/retry control flow.
+//! NOT compiled — input for `txlint --self-test`.
+
+fn swallow_doom() {
+    atomic(|tx| {
+        // A doomed transaction unwinds; catching the unwind turns
+        // program-directed abort into a silent commit.
+        let r = std::panic::catch_unwind(|| risky_update(tx)); // TX003
+        if r.is_err() {
+            fallback.write(tx, true);
+        }
+    });
+}

@@ -1,0 +1,12 @@
+//! Seeded TX004 violation: commit handler with no paired abort handler.
+//! NOT compiled — input for `txlint --self-test`.
+
+fn unpaired_commit_handler() {
+    atomic(|tx| {
+        let removed = work.poll(tx);
+        tx.on_commit(move |h| {
+            // Publishes open-nested state at commit...
+            publish(h, removed);
+        }); // TX004: ...but nothing compensates on abort
+    });
+}

@@ -1,0 +1,15 @@
+//! Seeded TX005 violation: nested top-level transaction entry.
+//! NOT compiled — input for `txlint --self-test`.
+
+fn nested_atomic() {
+    atomic(|tx| {
+        let v = cell.read(tx);
+        // Should be tx.closed(..) or tx.open(..): a nested top-level
+        // atomic would contend for the commit mutex the outer commit
+        // already plans to take.
+        atomic(|tx2| {
+            // TX005
+            audit.write(tx2, v);
+        });
+    });
+}

@@ -1,0 +1,363 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for txlint's
+//! lexical analyses (identifiers, punctuation, bracket structure), with
+//! comments and string/char contents stripped so that nothing inside them
+//! can fake a call site. Line/column positions are 1-based, matching rustc
+//! diagnostics.
+
+/// Kinds of tokens txlint distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`(`, `.`, `!`, `|`, ...).
+    Punct,
+    /// String, raw-string, byte-string, or char literal (contents dropped).
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text; for `Literal` this is a placeholder, not the contents.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's single punctuation char, if it is punctuation.
+    pub fn punct(&self) -> Option<char> {
+        if self.kind == TokKind::Punct {
+            self.text.chars().next()
+        } else {
+            None
+        }
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Consume a `"`-delimited string body (opening quote already consumed).
+fn skip_string(c: &mut Cursor) {
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a raw string `r##"..."##` (the `r` already consumed; `c` sits on
+/// the first `#` or `"`).
+fn skip_raw_string(c: &mut Cursor) {
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        c.bump();
+        hashes += 1;
+    }
+    if c.peek() != Some(b'"') {
+        return; // not actually a raw string; give up gracefully
+    }
+    c.bump();
+    loop {
+        match c.bump() {
+            None => return,
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && c.peek() == Some(b'#') {
+                    c.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lex `src` into tokens, skipping whitespace and comments.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek2() == Some(b'/') => {
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+            }
+            b'/' if c.peek2() == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek2()) {
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                c.bump();
+                skip_string(&mut c);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"..\"".into(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                c.bump();
+                if c.peek().is_some_and(is_ident_start) && c.peek() != Some(b'\\') {
+                    let mut name = String::new();
+                    while c.peek().is_some_and(is_ident_cont) {
+                        name.push(c.bump().unwrap() as char);
+                    }
+                    if c.peek() == Some(b'\'') {
+                        // Single-char literal like 'a'.
+                        c.bump();
+                        toks.push(Tok {
+                            kind: TokKind::Literal,
+                            text: "'.'".into(),
+                            line,
+                            col,
+                        });
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: name,
+                            line,
+                            col,
+                        });
+                    }
+                } else {
+                    // Escaped or symbolic char literal.
+                    if c.peek() == Some(b'\\') {
+                        c.bump();
+                    }
+                    c.bump();
+                    if c.peek() == Some(b'\'') {
+                        c.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: "'.'".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            b'r' | b'b'
+                if matches!(c.peek2(), Some(b'"') | Some(b'#'))
+                    && (b == b'r' || c.peek2() == Some(b'"')) =>
+            {
+                // r"..", r#".."#, b".." raw/byte strings. `b#` is not a
+                // string start, hence the guard above.
+                let first = c.bump().unwrap();
+                if first == b'b' && c.peek() == Some(b'"') {
+                    c.bump();
+                    skip_string(&mut c);
+                } else if first == b'r' {
+                    skip_raw_string(&mut c);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"..\"".into(),
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let mut text = String::new();
+                while c.peek().is_some_and(is_ident_cont) {
+                    text.push(c.bump().unwrap() as char);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let mut text = String::new();
+                while c.peek().is_some_and(is_ident_cont) {
+                    text.push(c.bump().unwrap() as char);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                c.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// For every opening bracket token index, the index of its matching closer.
+/// Unbalanced brackets are simply absent from the map.
+pub fn match_brackets(toks: &[Tok]) -> std::collections::HashMap<usize, usize> {
+    let mut map = std::collections::HashMap::new();
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.punct() {
+            Some(open @ ('(' | '[' | '{')) => stack.push((open, i)),
+            Some(close @ (')' | ']' | '}')) => {
+                let want = match close {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                // Pop until we find the matching opener (tolerates stray
+                // closers from lexing approximations).
+                while let Some((open, oi)) = stack.pop() {
+                    if open == want {
+                        map.insert(oi, i);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_and_puncts() {
+        let toks = lex("tx.atomic(|tx| x + 1)");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["tx", ".", "atomic", "(", "|", "tx", "|", "x", "+", "1", ")"]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = lex("a // atomic(\n b /* atomic( */ c \"atomic(\" 'x' r#\"atomic(\"#");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("&'a str 'x' '\\n'");
+        assert_eq!(toks[1].kind, TokKind::Lifetime);
+        assert_eq!(toks[1].text, "a");
+        assert_eq!(toks[3].kind, TokKind::Literal);
+        assert_eq!(toks[4].kind, TokKind::Literal);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bracket_matching_nests() {
+        let toks = lex("f(a, (b), [c{d}])");
+        let m = match_brackets(&toks);
+        // f ( a , ( b ) , [ c { d } ] )
+        // 0 1 2 3 4 5 6 7 8 9 ...
+        assert_eq!(m[&1], toks.len() - 1);
+        assert_eq!(m[&4], 6);
+    }
+}

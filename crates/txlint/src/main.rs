@@ -1,0 +1,183 @@
+//! txlint CLI.
+//!
+//! ```text
+//! cargo run -p txlint --               # lint the workspace + oracle check
+//! cargo run -p txlint -- path/ file.rs # lint specific paths
+//! cargo run -p txlint -- --self-test   # run the seeded-violation fixtures
+//! cargo run -p txlint -- --oracle      # conflict-matrix oracle only
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings/oracle mismatch/self-test failure,
+//! 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use txlint::{check_file, collect_rs_files, Finding, ALL_CODES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut self_test = false;
+    let mut oracle_only = false;
+    let mut skip_oracle = false;
+    for a in &args {
+        match a.as_str() {
+            "--self-test" => self_test = true,
+            "--oracle" => oracle_only = true,
+            "--no-oracle" => skip_oracle = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("txlint: unknown flag `{flag}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    if self_test {
+        return run_self_test();
+    }
+
+    let mut failed = false;
+    if !skip_oracle {
+        let errors = txlint::oracle::check();
+        if errors.is_empty() {
+            eprintln!(
+                "txlint: conflict-matrix oracle OK ({} table rows agree with mode_compatible)",
+                txlint::oracle::ROWS.len()
+            );
+        } else {
+            for e in &errors {
+                eprintln!("error[oracle]: {e}");
+            }
+            failed = true;
+        }
+        if oracle_only {
+            return if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+    }
+
+    if paths.is_empty() {
+        paths.push(PathBuf::from("."));
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &paths {
+        if p.is_dir() {
+            files.extend(collect_rs_files(p));
+        } else if p.is_file() {
+            files.push(p.clone());
+        } else {
+            eprintln!("txlint: no such path: {}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let nfiles = files.len();
+    for f in files {
+        match check_file(&f) {
+            Ok(mut fs) => findings.append(&mut fs),
+            Err(e) => {
+                eprintln!("txlint: {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "txlint: {} file(s) checked, {} finding(s)",
+        nfiles,
+        findings.len()
+    );
+    if failed || !findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: txlint [--self-test | --oracle | --no-oracle] [paths...]");
+}
+
+/// Run the analyzer over the seeded-violation fixtures and assert each rule
+/// fires where expected (and nowhere on the clean fixture).
+fn run_self_test() -> ExitCode {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut ok = true;
+
+    for code in ALL_CODES {
+        let path = fixtures.join(format!("{}.rs", code.to_lowercase()));
+        match check_file(&path) {
+            Ok(findings) => {
+                let hit = findings.iter().filter(|f| f.code == code).count();
+                let other: Vec<&Finding> = findings.iter().filter(|f| f.code != code).collect();
+                if hit == 0 {
+                    eprintln!(
+                        "self-test FAIL: {} produced no {code} finding",
+                        path.display()
+                    );
+                    ok = false;
+                } else if !other.is_empty() {
+                    for f in other {
+                        eprintln!(
+                            "self-test FAIL: unexpected finding in {}:\n{f}",
+                            path.display()
+                        );
+                    }
+                    ok = false;
+                } else {
+                    eprintln!("self-test ok: {code} fires {hit}x on {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("self-test FAIL: {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+
+    // The clean fixture contains the same shapes with allow annotations or
+    // the sanctioned alternatives: zero findings expected.
+    let clean = fixtures.join("clean.rs");
+    match check_file(&clean) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("self-test ok: clean fixture produces no findings");
+        }
+        Ok(findings) => {
+            for f in findings {
+                eprintln!("self-test FAIL: clean fixture flagged:\n{f}");
+            }
+            ok = false;
+        }
+        Err(e) => {
+            eprintln!("self-test FAIL: {}: {e}", clean.display());
+            ok = false;
+        }
+    }
+
+    let oracle_errors = txlint::oracle::check();
+    if !oracle_errors.is_empty() {
+        for e in oracle_errors {
+            eprintln!("self-test FAIL: oracle: {e}");
+        }
+        ok = false;
+    }
+
+    if ok {
+        eprintln!("txlint self-test: all rules verified");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

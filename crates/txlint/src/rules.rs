@@ -1,0 +1,582 @@
+//! The TXxxx rules, implemented over the token stream from [`crate::lexer`].
+//!
+//! The central abstraction is the *region*: the argument span of a call
+//! that introduces transactional context. A token is "inside a transaction"
+//! iff its index falls strictly inside some transaction region and outside
+//! every handler region (handlers run under the commit mutex after the
+//! transaction's fate is decided, so the discipline is relaxed there by
+//! design — that is where the collection classes themselves take locks and
+//! mutate shared structures).
+
+use crate::lexer::{lex, match_brackets, Tok, TokKind};
+use crate::Finding;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// Call names whose argument span is a transaction region.
+const TXN_ENTRY_FNS: [&str; 3] = ["atomic", "atomic_with", "speculate"];
+/// Method names (after `.`) whose argument span is a nested-transaction
+/// region.
+const TXN_NEST_METHODS: [&str; 2] = ["closed", "open"];
+/// Method names whose argument span is a handler region.
+const HANDLER_METHODS: [&str; 5] = [
+    "on_commit",
+    "on_commit_top",
+    "on_abort",
+    "on_abort_top",
+    "on_local_undo",
+];
+/// Handler methods that register commit-side effects (TX004 trigger).
+const COMMIT_HANDLERS: [&str; 2] = ["on_commit", "on_commit_top"];
+/// Handler methods that give the transaction an abort/undo path (TX004
+/// pairing).
+const ABORT_HANDLERS: [&str; 3] = ["on_abort", "on_abort_top", "on_local_undo"];
+
+/// Output macros whose expansion performs irrevocable console I/O.
+const IO_MACROS: [&str; 5] = ["print", "println", "eprint", "eprintln", "dbg"];
+/// Type paths whose associated functions open files, sockets, or processes.
+const IO_TYPES: [&str; 6] = [
+    "File",
+    "OpenOptions",
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "Command",
+];
+/// Free functions performing irrevocable effects when called inside a
+/// transaction.
+const IO_FNS: [&str; 4] = ["stdin", "stdout", "stderr", "sleep"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    /// `atomic(..)` / `atomic_with(..)` / `speculate(..)` — a top-level
+    /// transaction entry point.
+    Entry,
+    /// `.closed(..)` / `.open(..)` — a nested transaction.
+    Nested,
+}
+
+#[derive(Debug)]
+struct Region {
+    /// Token index of the opening `(`.
+    open: usize,
+    /// Token index of the matching `)`.
+    close: usize,
+    kind: RegionKind,
+    /// Token index of the call name (for TX005 reporting).
+    name_idx: usize,
+}
+
+struct FileModel<'a> {
+    toks: &'a [Tok],
+    txn_regions: Vec<Region>,
+    handler_regions: Vec<(usize, usize)>,
+    /// Argument spans of `spawn(..)` calls: the closure runs on a fresh
+    /// thread, outside any transaction lexically enclosing the call.
+    escape_regions: Vec<(usize, usize)>,
+    /// Body spans of `fn`s that take a `Txn` parameter — transactional
+    /// context for TX002 purposes.
+    txn_fn_bodies: Vec<(usize, usize)>,
+    /// Names of locals bound to `TVar::new(..)` or typed `: TVar<..>`.
+    tvar_locals: HashSet<String>,
+}
+
+impl FileModel<'_> {
+    fn in_txn(&self, i: usize) -> bool {
+        self.txn_regions.iter().any(|r| {
+            r.open < i
+                && i < r.close
+                // A spawn(..) opened inside this region and containing the
+                // token moves it to another thread: not this transaction.
+                && !self
+                    .escape_regions
+                    .iter()
+                    .any(|&(eo, ec)| r.open < eo && eo < i && i < ec)
+        })
+    }
+
+    fn in_handler(&self, i: usize) -> bool {
+        self.handler_regions.iter().any(|&(o, c)| o < i && i < c)
+    }
+
+    fn in_txn_fn(&self, i: usize) -> bool {
+        self.txn_fn_bodies.iter().any(|&(o, c)| o < i && i < c)
+    }
+
+    /// Inside a transaction region and not inside a handler region: the
+    /// span where the irrevocability discipline applies.
+    fn in_strict_txn(&self, i: usize) -> bool {
+        self.in_txn(i) && !self.in_handler(i)
+    }
+}
+
+fn build_model<'a>(toks: &'a [Tok], brackets: &HashMap<usize, usize>) -> FileModel<'a> {
+    let mut txn_regions = Vec::new();
+    let mut handler_regions = Vec::new();
+    let mut escape_regions = Vec::new();
+    let mut txn_fn_bodies = Vec::new();
+    let mut tvar_locals = HashSet::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is_open = toks.get(i + 1).and_then(Tok::punct) == Some('(');
+        let prev_punct = i.checked_sub(1).and_then(|p| toks[p].punct());
+        let prev_is_fn_kw = i >= 1 && toks[i - 1].is_ident("fn");
+
+        // Transaction entry calls: `atomic(..)` but not `fn atomic(..)`.
+        if TXN_ENTRY_FNS.contains(&t.text.as_str()) && next_is_open && !prev_is_fn_kw {
+            if let Some(&close) = brackets.get(&(i + 1)) {
+                txn_regions.push(Region {
+                    open: i + 1,
+                    close,
+                    kind: RegionKind::Entry,
+                    name_idx: i,
+                });
+            }
+        }
+        // `thread::spawn(..)` / `scope.spawn(..)`: the closure runs on a
+        // different thread.
+        if t.is_ident("spawn") && next_is_open {
+            if let Some(&close) = brackets.get(&(i + 1)) {
+                escape_regions.push((i + 1, close));
+            }
+        }
+
+        // Nested transactions and handler registrations are method calls.
+        if prev_punct == Some('.') && next_is_open {
+            if let Some(&close) = brackets.get(&(i + 1)) {
+                if TXN_NEST_METHODS.contains(&t.text.as_str()) {
+                    txn_regions.push(Region {
+                        open: i + 1,
+                        close,
+                        kind: RegionKind::Nested,
+                        name_idx: i,
+                    });
+                } else if HANDLER_METHODS.contains(&t.text.as_str()) {
+                    handler_regions.push((i + 1, close));
+                }
+            }
+        }
+
+        // `fn name(... Txn ...) { body }` — body is transactional context.
+        if t.is_ident("fn") {
+            if let Some(params_open) =
+                (i + 1..toks.len().min(i + 4)).find(|&j| toks[j].punct() == Some('('))
+            {
+                if let Some(&params_close) = brackets.get(&params_open) {
+                    let takes_txn = toks[params_open..=params_close]
+                        .iter()
+                        .any(|t| t.is_ident("Txn"));
+                    if takes_txn {
+                        if let Some(body_open) = (params_close + 1..toks.len())
+                            .find(|&j| matches!(toks[j].punct(), Some('{') | Some(';')))
+                        {
+                            if toks[body_open].punct() == Some('{') {
+                                if let Some(&body_close) = brackets.get(&body_open) {
+                                    txn_fn_bodies.push((body_open, body_close));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // TVar bindings: `let x = TVar::new(..)`, `x: TVar<..>`.
+        if t.is_ident("TVar") {
+            // `name = TVar :: new` — name is 2 tokens back past `=`.
+            if i >= 2 && toks[i - 1].punct() == Some('=') && toks[i - 2].kind == TokKind::Ident {
+                tvar_locals.insert(toks[i - 2].text.clone());
+            }
+            // `name : TVar <` — struct fields and typed lets alike.
+            if i >= 2 && toks[i - 1].punct() == Some(':') && toks[i - 2].kind == TokKind::Ident {
+                tvar_locals.insert(toks[i - 2].text.clone());
+            }
+        }
+    }
+
+    FileModel {
+        toks,
+        txn_regions,
+        handler_regions,
+        escape_regions,
+        txn_fn_bodies,
+        tvar_locals,
+    }
+}
+
+fn finding(
+    path: &Path,
+    t: &Tok,
+    code: &'static str,
+    message: String,
+    help: &'static str,
+) -> Finding {
+    Finding {
+        file: path.to_path_buf(),
+        line: t.line,
+        col: t.col,
+        code,
+        message,
+        help,
+    }
+}
+
+/// Run all TXxxx rules over one file's source. Allowlist annotations are
+/// NOT applied here — see [`crate::apply_allowlist`].
+pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
+    let toks = lex(src);
+    let brackets = match_brackets(&toks);
+    let m = build_model(&toks, &brackets);
+    let mut out = Vec::new();
+
+    tx001_irrevocable_effects(path, &m, &mut out);
+    tx002_tvar_context(path, &m, &mut out);
+    tx003_swallowed_abort(path, &m, &mut out);
+    tx004_unpaired_commit_handler(path, &m, &mut out);
+    tx005_nested_atomic(path, &m, &mut out);
+
+    out.sort_by_key(|f| (f.line, f.col));
+    out
+}
+
+fn tx001_irrevocable_effects(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !m.in_strict_txn(i) {
+            continue;
+        }
+        let next = toks.get(i + 1);
+        let next2 = toks.get(i + 2);
+        let prev_punct = i.checked_sub(1).and_then(|p| toks[p].punct());
+        let name = t.text.as_str();
+
+        // Console output macros: `println!(..)`.
+        if IO_MACROS.contains(&name) && next.and_then(Tok::punct) == Some('!') {
+            out.push(finding(
+                path,
+                t,
+                "TX001",
+                format!("irrevocable console I/O `{name}!` inside a transaction"),
+                "buffer output and emit it from an on_commit handler, or move it outside atomic()",
+            ));
+            continue;
+        }
+        // File/socket/process constructors: `File::open(..)` etc.
+        let is_path_head =
+            next.and_then(Tok::punct) == Some(':') && next2.and_then(Tok::punct) == Some(':');
+        if IO_TYPES.contains(&name) && is_path_head {
+            out.push(finding(
+                path,
+                t,
+                "TX001",
+                format!("irrevocable side effect: `{name}::..` inside a transaction"),
+                "perform file/network/process effects in an on_commit handler",
+            ));
+            continue;
+        }
+        // `fs::..` module path (std::fs::write and friends).
+        if name == "fs" && is_path_head {
+            out.push(finding(
+                path,
+                t,
+                "TX001",
+                "irrevocable filesystem effect `fs::..` inside a transaction".to_string(),
+                "perform file effects in an on_commit handler",
+            ));
+            continue;
+        }
+        // Free functions: stdin()/stdout()/stderr()/sleep(..).
+        if IO_FNS.contains(&name)
+            && next.and_then(Tok::punct) == Some('(')
+            && prev_punct != Some('.')
+        {
+            out.push(finding(
+                path,
+                t,
+                "TX001",
+                format!("irrevocable effect `{name}(..)` inside a transaction"),
+                "transactions may re-execute after a doom; move this outside atomic() or into a handler",
+            ));
+            continue;
+        }
+        // Blocking lock acquisition: `.lock()` / `.try_lock()` with no
+        // arguments (TVar accessors always take a txn argument, so the
+        // empty argument list is the mutex signature).
+        if (name == "lock" || name == "try_lock")
+            && prev_punct == Some('.')
+            && next.and_then(Tok::punct) == Some('(')
+            && next2.and_then(Tok::punct) == Some(')')
+        {
+            out.push(finding(
+                path,
+                t,
+                "TX001",
+                format!("lock acquisition `.{name}()` inside a transaction"),
+                "a doomed transaction unwinds without running drop-order guarantees you may expect; take locks in commit/abort handlers (they run under the commit mutex)",
+            ));
+            continue;
+        }
+        // Channel sends: `.send(..)` — the receiver observes the value even
+        // if this transaction later aborts.
+        if name == "send" && prev_punct == Some('.') && next.and_then(Tok::punct) == Some('(') {
+            out.push(finding(
+                path,
+                t,
+                "TX001",
+                "channel `.send(..)` inside a transaction leaks uncommitted state".to_string(),
+                "buffer the message and send from an on_commit handler (or use TransactionalQueue::put)",
+            ));
+        }
+    }
+}
+
+fn tx002_tvar_context(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_punct = i.checked_sub(1).and_then(|p| toks[p].punct());
+        let next_is_open = toks.get(i + 1).and_then(Tok::punct) == Some('(');
+
+        // `.read_committed(..)` inside a transaction bypasses isolation:
+        // the transaction acts on a value its read set will never validate.
+        if t.is_ident("read_committed")
+            && prev_punct == Some('.')
+            && next_is_open
+            && m.in_strict_txn(i)
+        {
+            out.push(finding(
+                path,
+                t,
+                "TX002",
+                "`read_committed` inside a transaction reads around isolation".to_string(),
+                "use TVar::read(tx) inside transactions; read_committed is for non-transactional observers only",
+            ));
+            continue;
+        }
+
+        // `tvar_local.read(..)` / `.write(..)` outside any transactional
+        // context: the Txn handle must have escaped its atomic() scope.
+        if (t.is_ident("read") || t.is_ident("write")) && prev_punct == Some('.') && next_is_open {
+            let recv_is_tvar = i
+                .checked_sub(2)
+                .map(|p| toks[p].kind == TokKind::Ident && m.tvar_locals.contains(&toks[p].text))
+                .unwrap_or(false);
+            if recv_is_tvar && !m.in_txn(i) && !m.in_handler(i) && !m.in_txn_fn(i) {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX002",
+                    format!(
+                        "TVar `.{}(..)` outside any transaction context",
+                        t.text
+                    ),
+                    "TVar accesses must run inside atomic()/speculate() or a fn taking &mut Txn; a Txn handle used here has escaped its transaction",
+                ));
+            }
+        }
+    }
+}
+
+fn tx003_swallowed_abort(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
+    for (i, t) in m.toks.iter().enumerate() {
+        if t.is_ident("catch_unwind") && m.in_strict_txn(i) {
+            out.push(finding(
+                path,
+                t,
+                "TX003",
+                "`catch_unwind` inside a transaction swallows doom/retry control flow".to_string(),
+                "this runtime propagates program-directed aborts by unwinding; catching them turns a doomed transaction into a silently committed one",
+            ));
+        }
+    }
+}
+
+fn tx004_unpaired_commit_handler(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
+    for region in &m.txn_regions {
+        let mut first_commit: Option<&Tok> = None;
+        let mut commit_name = "";
+        let mut has_abort = false;
+        for i in region.open + 1..region.close {
+            let t = &m.toks[i];
+            if t.kind != TokKind::Ident
+                || m.toks[i - 1].punct() != Some('.')
+                || m.toks.get(i + 1).and_then(Tok::punct) != Some('(')
+            {
+                continue;
+            }
+            // Only consider handlers registered directly in this region,
+            // not in a nested transaction region (which is checked itself).
+            let in_deeper = m.txn_regions.iter().any(|r| {
+                r.open > region.open && r.close < region.close && r.open < i && i < r.close
+            });
+            if in_deeper {
+                continue;
+            }
+            if COMMIT_HANDLERS.contains(&t.text.as_str()) && first_commit.is_none() {
+                first_commit = Some(t);
+                commit_name = match t.text.as_str() {
+                    "on_commit" => "on_commit",
+                    _ => "on_commit_top",
+                };
+            }
+            if ABORT_HANDLERS.contains(&t.text.as_str()) {
+                has_abort = true;
+            }
+        }
+        if let Some(t) = first_commit {
+            if !has_abort {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX004",
+                    format!(
+                        "`{commit_name}` registered with no paired abort handler in this transaction"
+                    ),
+                    "open-nested effects need compensation: register on_abort/on_abort_top/on_local_undo alongside every commit handler",
+                ));
+            }
+        }
+    }
+}
+
+fn tx005_nested_atomic(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
+    for region in &m.txn_regions {
+        if region.kind != RegionKind::Entry {
+            continue;
+        }
+        let i = region.name_idx;
+        if m.in_txn(i) && !m.in_handler(i) {
+            let name = &m.toks[i].text;
+            out.push(finding(
+                path,
+                &m.toks[i],
+                "TX005",
+                format!("nested top-level `{name}(..)` inside a transaction"),
+                "for nesting use tx.closed(..) (subsumption/partial rollback) or tx.open(..) (open nesting); a nested atomic() would deadlock on the commit mutex or flatten semantics",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        analyze_source(Path::new("t.rs"), src)
+            .iter()
+            .map(|f| f.code)
+            .collect()
+    }
+
+    #[test]
+    fn tx001_println_in_txn() {
+        assert_eq!(
+            codes("fn f() { atomic(|tx| { println!(\"hi\"); }); }"),
+            vec!["TX001"]
+        );
+    }
+
+    #[test]
+    fn tx001_ok_outside_txn() {
+        assert!(codes("fn f() { println!(\"hi\"); }").is_empty());
+    }
+
+    #[test]
+    fn tx001_ok_inside_commit_handler() {
+        let src = "fn f() { atomic(|tx| { tx.on_commit(|h| { println!(\"hi\"); }); tx.on_abort(|h| {}); }); }";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn tx001_lock_in_txn_but_not_tvar_read() {
+        assert_eq!(
+            codes("fn f() { atomic(|tx| { m.lock(); }); }"),
+            vec!["TX001"]
+        );
+        // TVar::read takes an argument: not a mutex acquisition.
+        assert!(codes("fn f() { atomic(|tx| { v.read(tx); }); }").is_empty());
+    }
+
+    #[test]
+    fn tx002_read_committed_in_txn() {
+        assert_eq!(
+            codes("fn f() { atomic(|tx| { v.read_committed(); }); }"),
+            vec!["TX002"]
+        );
+        assert!(codes("fn f() { v.read_committed(); }").is_empty());
+    }
+
+    #[test]
+    fn tx002_tvar_access_outside_context() {
+        let src = "fn f() { let v = TVar::new(1); v.read(stale); }";
+        assert_eq!(codes(src), vec!["TX002"]);
+        // Inside a Txn-taking fn it is fine.
+        let src = "fn f(tx: &mut Txn) { let v = TVar::new(1); v.read(tx); }";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn tx003_catch_unwind() {
+        assert_eq!(
+            codes("fn f() { atomic(|tx| { std::panic::catch_unwind(|| g()); }); }"),
+            vec!["TX003"]
+        );
+        assert!(codes("fn f() { std::panic::catch_unwind(|| g()); }").is_empty());
+    }
+
+    #[test]
+    fn tx004_commit_without_abort() {
+        assert_eq!(
+            codes("fn f() { atomic(|tx| { tx.on_commit(|h| {}); }); }"),
+            vec!["TX004"]
+        );
+        let paired = "fn f() { atomic(|tx| { tx.on_commit(|h| {}); tx.on_abort(|h| {}); }); }";
+        assert!(codes(paired).is_empty());
+        let undo =
+            "fn f() { atomic(|tx| { tx.on_commit_top(|h| {}); tx.on_local_undo(|| {}); }); }";
+        assert!(codes(undo).is_empty());
+    }
+
+    #[test]
+    fn tx004_nested_region_scopes_independently() {
+        // The outer region's commit handler is paired; the nested closed()
+        // region registers only a commit handler -> one finding.
+        let src = "fn f() { atomic(|tx| { tx.on_commit(|h| {}); tx.on_abort(|h| {}); \
+                   tx.closed(|tx2| { tx2.on_commit(|h| {}); }); }); }";
+        assert_eq!(codes(src), vec!["TX004"]);
+    }
+
+    #[test]
+    fn tx005_nested_atomic() {
+        assert_eq!(
+            codes("fn f() { atomic(|tx| { atomic(|tx2| { g(); }); }); }"),
+            vec!["TX005"]
+        );
+        // closed/open nesting is the sanctioned form.
+        assert!(codes("fn f() { atomic(|tx| { tx.closed(|tx2| { g(); }); }); }").is_empty());
+    }
+
+    #[test]
+    fn fn_named_atomic_is_not_a_region() {
+        assert!(codes("fn atomic(f: impl FnOnce()) { f(); println!(\"x\"); }").is_empty());
+    }
+
+    #[test]
+    fn spawned_thread_escapes_the_transaction() {
+        // The spawned closure's atomic() runs on a fresh thread: not TX005,
+        // and its body is a transaction region of its own.
+        let src = "fn f() { atomic(|tx| { std::thread::spawn(move || { \
+                   atomic(|tx2| { g(tx2); }); }).join(); v.read(tx); }); }";
+        assert!(codes(src).is_empty());
+        // But irrevocable effects inside the *spawned* atomic still count.
+        let src = "fn f() { atomic(|tx| { std::thread::spawn(move || { \
+                   atomic(|tx2| { println!(\"x\"); }); }); }); }";
+        assert_eq!(codes(src), vec!["TX001"]);
+    }
+}

@@ -118,6 +118,11 @@ impl<K: Ord + Clone, V: Clone> LockTreeMap<K, V> {
         self.inner.lock().len()
     }
 
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
     /// Smallest key.
     pub fn first_key(&self) -> Option<K> {
         self.inner.lock().keys().next().cloned()

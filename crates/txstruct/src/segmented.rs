@@ -177,6 +177,10 @@ mod tests {
             let seg = m.segment_for(&k) as *const _ as usize;
             touched.insert(seg);
         }
-        assert!(touched.len() >= 8, "only {} segments touched", touched.len());
+        assert!(
+            touched.len() >= 8,
+            "only {} segments touched",
+            touched.len()
+        );
     }
 }

@@ -18,7 +18,7 @@ use stm::{TVar, Txn};
 
 /// Node color.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Color {
+pub(crate) enum Color {
     /// Red node.
     Red,
     /// Black node (absent children are black).
@@ -214,7 +214,13 @@ where
         let root = self.root_of(tx);
         let Some(mut t) = root else {
             let n = new_node(key, value);
-            self.header.write(tx, TreeHeader { root: Some(n), size: 1 });
+            self.header.write(
+                tx,
+                TreeHeader {
+                    root: Some(n),
+                    size: 1,
+                },
+            );
             return None;
         };
         loop {
@@ -255,7 +261,10 @@ where
 
     fn rotate_left(&self, tx: &mut Txn, p: &Link<K, V>) {
         let Some(p_node) = p else { return };
-        let r = p_node.right.read(tx).expect("rotate_left without right child");
+        let r = p_node
+            .right
+            .read(tx)
+            .expect("rotate_left without right child");
         let r_left = r.left.read(tx);
         p_node.right.write(tx, r_left.clone());
         Self::set_parent(tx, &r_left, p);
@@ -278,7 +287,10 @@ where
 
     fn rotate_right(&self, tx: &mut Txn, p: &Link<K, V>) {
         let Some(p_node) = p else { return };
-        let l = p_node.left.read(tx).expect("rotate_right without left child");
+        let l = p_node
+            .left
+            .read(tx)
+            .expect("rotate_right without left child");
         let l_right = l.right.read(tx);
         p_node.left.write(tx, l_right.clone());
         Self::set_parent(tx, &l_right, p);
@@ -402,7 +414,11 @@ where
 
         let p_link: Link<K, V> = Some(p.clone());
         let left = p.left.read(tx);
-        let replacement = if left.is_some() { left } else { p.right.read(tx) };
+        let replacement = if left.is_some() {
+            left
+        } else {
+            p.right.read(tx)
+        };
 
         if let Some(repl) = replacement {
             // Splice out p.
@@ -639,12 +655,7 @@ where
     }
 
     /// Entries within the given key bounds, in order.
-    pub fn range_entries(
-        &self,
-        tx: &mut Txn,
-        lower: Bound<&K>,
-        upper: Bound<&K>,
-    ) -> Vec<(K, V)> {
+    pub fn range_entries(&self, tx: &mut Txn, lower: Bound<&K>, upper: Bound<&K>) -> Vec<(K, V)> {
         let mut out = Vec::new();
         let mut cur = match lower {
             Bound::Unbounded => self.first_entry(tx),
@@ -668,7 +679,13 @@ where
 
     /// Remove all entries.
     pub fn clear(&self, tx: &mut Txn) {
-        self.header.write(tx, TreeHeader { root: None, size: 0 });
+        self.header.write(
+            tx,
+            TreeHeader {
+                root: None,
+                size: 0,
+            },
+        );
     }
 
     /// Id of the header variable (the root+size conflict unit), for
@@ -722,18 +739,15 @@ where
         let color = node.color.read(tx);
         let left = node.left.read(tx);
         let right = node.right.read(tx);
-        if color == Color::Red {
-            if Self::color_of(tx, &left) == Color::Red || Self::color_of(tx, &right) == Color::Red
-            {
-                return Err(format!("red-red violation at key position {count}"));
-            }
+        if color == Color::Red
+            && (Self::color_of(tx, &left) == Color::Red || Self::color_of(tx, &right) == Color::Red)
+        {
+            return Err(format!("red-red violation at key position {count}"));
         }
-        for child in [&left, &right] {
-            if let Some(c) = child {
-                let cp = Self::parent_of(tx, &Some(c.clone()));
-                if !Self::same(&cp, &Some(node.clone())) {
-                    return Err("parent link inconsistent".into());
-                }
+        for c in [&left, &right].into_iter().flatten() {
+            let cp = Self::parent_of(tx, &Some(c.clone()));
+            if !Self::same(&cp, &Some(node.clone())) {
+                return Err("parent link inconsistent".into());
             }
         }
         let lh = self.check_node(tx, &left, lo, Some(&k), count)?;

@@ -20,7 +20,7 @@ fn treemap_invariants_survive_concurrent_mutation() {
                     x ^= x << 17;
                     let k = x % 96;
                     atomic(|tx| {
-                        if x % 3 == 0 {
+                        if x.is_multiple_of(3) {
                             t.remove(tx, &k);
                         } else {
                             t.insert(tx, k, x);
@@ -67,7 +67,11 @@ fn treemap_multi_op_transactions_are_atomic() {
             });
         }
     });
-    assert_eq!(atomic(|tx| t.len(tx)), 40, "net-zero transactions leaked size");
+    assert_eq!(
+        atomic(|tx| t.len(tx)),
+        40,
+        "net-zero transactions leaked size"
+    );
     atomic(|tx| t.check_invariants(tx)).unwrap();
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full lint gate, same as CI: clippy, rustfmt, txlint self-test,
+# then the workspace txlint scan + conflict-matrix oracle.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --tests --benches -- -D warnings"
+cargo clippy --workspace --tests --benches -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> txlint --self-test"
+cargo run -q -p txlint -- --self-test
+
+echo "==> txlint workspace scan + oracle"
+cargo run -q -p txlint --
+
+echo "lint gate: all clean"

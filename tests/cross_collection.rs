@@ -5,7 +5,9 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use stm::atomic;
-use txcollections::{Channel, TransactionalMap, TransactionalQueue, TransactionalSortedMap, UidGenerator};
+use txcollections::{
+    Channel, TransactionalMap, TransactionalQueue, TransactionalSortedMap, UidGenerator,
+};
 
 /// Jobs move from a queue into a results map atomically, under injected
 /// aborts: at the end every job is in exactly one place.
@@ -29,7 +31,7 @@ fn atomic_move_from_queue_to_map() {
                 let mut i = 0u64;
                 while idle < 150 {
                     i += 1;
-                    let fail = AtomicU32::new(u32::from(i % 5 == 0));
+                    let fail = AtomicU32::new(u32::from(i.is_multiple_of(5)));
                     let moved = atomic(|tx| {
                         let Some(job) = queue.poll(tx) else {
                             return false;

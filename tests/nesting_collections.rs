@@ -49,7 +49,11 @@ fn closed_frame_abort_rolls_back_map_buffer() {
         assert_eq!(m.size(tx), 2, "store-buffer delta not rolled back");
     });
 
-    assert_eq!(frame_runs.load(Ordering::SeqCst), 2, "frame must retry once");
+    assert_eq!(
+        frame_runs.load(Ordering::SeqCst),
+        2,
+        "frame must retry once"
+    );
     let final_v = atomic(|tx| map.get(tx, &2));
     assert_eq!(final_v.as_deref(), Some("frame-attempt-1"));
     assert_eq!(atomic(|tx| map.size(tx)), 2);

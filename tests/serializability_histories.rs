@@ -76,6 +76,8 @@ fn run_history(threads: u64, txns_per_thread: u64, key_space: u64, with_size_ops
                         // global commit mutex.
                         let sc2 = sc.clone();
                         let sq2 = sq.clone();
+                        // Commit-order stamp; aborted attempts must leave no
+                        // stamp, hence no abort pairing. // txlint: allow(TX004)
                         tx.on_commit_top(move |_| {
                             sc2.store(sq2.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
                         });
@@ -132,7 +134,10 @@ fn run_history(threads: u64, txns_per_thread: u64, key_space: u64, with_size_ops
     final_entries.sort_unstable();
     let mut model_entries: Vec<(u32, u64)> = model.into_iter().collect();
     model_entries.sort_unstable();
-    assert_eq!(final_entries, model_entries, "final state diverged from replay");
+    assert_eq!(
+        final_entries, model_entries,
+        "final state diverged from replay"
+    );
 }
 
 #[test]

@@ -84,6 +84,8 @@ fn sorted_map_histories_are_serializable() {
                         }
                         let sc2 = sc.clone();
                         let sq2 = sq.clone();
+                        // Commit-order stamp; aborted attempts must leave no
+                        // stamp, hence no abort pairing. // txlint: allow(TX004)
                         tx.on_commit_top(move |_| {
                             sc2.store(sq2.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
                         });
@@ -147,8 +149,7 @@ fn sorted_map_histories_are_serializable() {
 }
 
 fn eager_history(policy: EagerPolicy) {
-    let map: Arc<EagerTransactionalMap<u32, u64>> =
-        Arc::new(EagerTransactionalMap::new(policy));
+    let map: Arc<EagerTransactionalMap<u32, u64>> = Arc::new(EagerTransactionalMap::new(policy));
     let seq = Arc::new(AtomicU64::new(0));
     let logs: Arc<Mutex<Vec<TxnLog>>> = Arc::new(Mutex::new(Vec::new()));
     let key_space = 12u64;
@@ -189,6 +190,8 @@ fn eager_history(policy: EagerPolicy) {
                         }
                         let sc2 = sc.clone();
                         let sq2 = sq.clone();
+                        // Commit-order stamp; aborted attempts must leave no
+                        // stamp, hence no abort pairing. // txlint: allow(TX004)
                         tx.on_commit_top(move |_| {
                             sc2.store(sq2.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
                         });

@@ -1,0 +1,117 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::ops::Range;
+
+fn draw_len(rng: &mut TestRng, size: &Range<usize>) -> usize {
+    assert!(size.start < size.end, "empty collection size range");
+    size.start + rng.below((size.end - size.start) as u64) as usize
+}
+
+/// Vectors of `size.start..size.end` elements drawn from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = draw_len(rng, &self.size);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Maps of up to `size.end - 1` entries (duplicate keys collapse, exactly as
+/// in real proptest, so the final length may undershoot the draw).
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// Output of [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord + Debug,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = draw_len(rng, &self.size);
+        (0..n)
+            .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+            .collect()
+    }
+}
+
+/// Sets of up to `size.end - 1` elements (duplicates collapse).
+pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { elem, size }
+}
+
+/// Output of [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = draw_len(rng, &self.size);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_span_range() {
+        let mut rng = TestRng::deterministic("veclen", 0);
+        let s = vec(any::<u8>(), 2..6);
+        let mut lens = BTreeSet::new();
+        for _ in 0..200 {
+            lens.insert(s.generate(&mut rng).len());
+        }
+        assert_eq!(lens, BTreeSet::from([2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn map_len_bounded() {
+        let mut rng = TestRng::deterministic("maplen", 0);
+        let s = btree_map(any::<u8>(), any::<u8>(), 0..10);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng).len() < 10);
+        }
+    }
+}

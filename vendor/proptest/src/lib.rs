@@ -1,0 +1,221 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this workspace vendors a
+//! small, deterministic property-testing engine exposing the slice of the
+//! proptest API the test suites use: [`strategy::Strategy`] with `prop_map`,
+//! [`arbitrary::any`], [`strategy::Just`], integer-range strategies, tuple
+//! strategies, [`collection`] generators (`vec`, `btree_map`, `btree_set`),
+//! and the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//! [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (via
+//!   `Debug`) and the case index, but is not minimized.
+//! * **Deterministic seeding.** The RNG is seeded from the test's module
+//!   path, name, and case index, so failures reproduce exactly across runs
+//!   with no persistence files (`*.proptest-regressions` files are ignored).
+//! * **No `prop_flat_map`/recursive strategies** — nothing here needs them.
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body, failing the test case (with
+/// its inputs echoed) rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}` {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body runs for
+/// `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default();
+            $(#[$meta])* fn $($rest)*);
+    };
+    (@impl $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let mut case_desc = ::std::string::String::new();
+                    $(
+                        let value = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                        case_desc.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), value,
+                        ));
+                        let $arg = value;
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            case + 1, config.cases, e, case_desc,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(1u8), Just(2u8), 10u8..20]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..9usize, y in -5i64..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(xs in prop::collection::vec(small(), 64..65)) {
+            prop_assert_eq!(xs.len(), 64);
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2 || (10..20).contains(&x)));
+        }
+
+        #[test]
+        fn maps_and_sets_respect_size(
+            m in prop::collection::btree_map(any::<u16>(), any::<u32>(), 0..20),
+            s in prop::collection::btree_set(any::<u16>(), 5..10),
+        ) {
+            prop_assert!(m.len() < 20);
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn question_mark_propagates(v in any::<bool>()) {
+            let r: Result<(), String> = Ok(());
+            r.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(v, v);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        let s = any::<u64>();
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0..10u32) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

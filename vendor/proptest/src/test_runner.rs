@@ -1,0 +1,124 @@
+//! Test configuration, the deterministic RNG, and case-failure plumbing.
+
+use std::fmt;
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this shim trades a little coverage
+        // for tier-1 wall clock. Suites that care pass `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case (carries the reason; no shrinking metadata).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with the given reason.
+    pub fn fail<M: fmt::Display>(reason: M) -> Self {
+        TestCaseError {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Alias for [`TestCaseError::fail`] (real proptest distinguishes
+    /// rejections from failures; the shim treats both as failures).
+    pub fn reject<M: fmt::Display>(reason: M) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic xorshift64* RNG, seeded per (test, case).
+///
+/// Seeding from the fully qualified test name plus the case index makes every
+/// failure reproducible from its panic message alone — no regression files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `name`.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Never allow the all-zero state.
+        TestRng {
+            state: if h == 0 { 0x853c_49e6_748f_ea9b } else { h },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping is fine at test quality.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_bounds_and_covers() {
+        let mut rng = TestRng::deterministic("below", 0);
+        let mut seen = [false; 7];
+        for _ in 0..300 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn different_cases_diverge() {
+        let a = TestRng::deterministic("x", 0).next_u64();
+        let b = TestRng::deterministic("x", 1).next_u64();
+        assert_ne!(a, b);
+    }
+}
