@@ -44,7 +44,7 @@
 //!    take the appropriate semantic locks ([`stm::Txn::open`]).
 //! 2. Write underlying state only from the commit handler
 //!    ([`stm::Txn::on_commit_top`], which `stm` runs in direct mode under
-//!    the commit mutex).
+//!    the handler lane, serialized with every other handler).
 //! 3. Buffer writes in transaction-local state; if a write logically reads
 //!    too (e.g. returns the old value), take the read's semantic lock.
 //! 4. The abort handler must release semantic locks and clear local buffers

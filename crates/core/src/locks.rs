@@ -13,12 +13,40 @@
 //! which the underlying structure is read open-nested — lock-then-read
 //! order is what makes the doom protocol sound); conflict *detection* and
 //! lock *release* happen inside commit/abort handlers, which the `stm` crate
-//! runs under the global commit mutex. The mutex order is always
-//! commit-mutex → table-mutex, so there is no deadlock, and a reader that
-//! takes its lock after a committer's scan is guaranteed to observe the
-//! fully applied post-commit state (its open-nested read must validate
-//! under the commit mutex, which the committer holds until its handlers
-//! finish).
+//! runs under the **handler lane** (the commit path itself is sharded over
+//! per-`TVar` versioned locks; see `stm`'s `clock.rs` and
+//! `docs/PROTOCOL.md`).
+//!
+//! Why the doom protocol stays sound without a global commit mutex:
+//!
+//! * Every transaction that touches a collection registers handlers, and a
+//!   handler-bearing transaction holds the lane from before its memory
+//!   validation until after its last handler returns. Among such
+//!   transactions the lane *is* the old commit mutex: handler execution —
+//!   apply-buffer, doom-scan, lock-release — is totally ordered, and a
+//!   committer's doom-vs-commit decision point (the `TxHandle` state CAS)
+//!   lies inside its lane hold, so "the doom failed" still implies "the
+//!   victim's commit, including its handlers, serialized before mine".
+//! * Writing open-nested commits (the queue's eager `poll`, the pessimistic
+//!   map's in-place writes) also take the lane, so handlers' direct-mode
+//!   reads and writes never interleave with them.
+//! * Handler-free memory transactions never touch semantic state; they
+//!   interact with collections only through `TVar`s, where per-var commit
+//!   locks plus read validation (and the doom CAS, for body-time dooms by
+//!   the pessimistic map) already give serializability.
+//!
+//! Lock order: **handler lane → table mutex → var locks**, in the
+//! may-hold-while-acquiring sense; the clock is a wait-free `fetch_add`
+//! drawn while var locks are held. A committer's own write-set var locks
+//! are acquired after the lane but fully released (publishing releases
+//! them) before its handlers take any table mutex, and nobody ever waits
+//! for the lane or a table mutex while holding a var lock — so the
+//! lane-holder's direct writes, which spin on var locks, always terminate
+//! and there is no deadlock. A reader that takes its semantic lock after a
+//! committer's doom-scan is guaranteed to observe the fully applied
+//! post-commit state: the apply precedes the scan, both run under the same
+//! table-mutex hold, and the reader's subsequent open-nested read validates
+//! against the already-published versions.
 
 use crate::interval::IntervalTree;
 use std::collections::{HashMap, HashSet};

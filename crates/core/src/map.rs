@@ -24,12 +24,17 @@
 //! # Why lock-then-read is sound
 //!
 //! A reader takes its key lock *before* reading the committed value; a
-//! committing writer applies its changes and *then* scans lockers, all under
-//! the global commit mutex (handlers run there). If the reader saw the old
-//! value, its lock was in the table before the writer's scan, so the writer
-//! dooms it; if the reader's lock arrived after the scan, its open-nested
-//! read is forced (by commit-mutex ordering) to see the fully applied new
-//! value — either way the reader is serializable.
+//! committing writer applies its changes and *then* scans lockers, with the
+//! per-key apply and the doom-scan under one hold of this instance's table
+//! mutex (and all handler execution serialized by the stm crate's handler
+//! lane). If the reader saw the old value, its lock was in the table before
+//! the writer's scan, so the writer dooms it — and the doom lands, because a
+//! handler-bearing reader's point of no return sits inside its own lane
+//! hold, which cannot overlap the writer's. If the reader's lock arrived
+//! after the scan, the table-mutex ordering means the apply already
+//! happened, so its open-nested read validates against the fully applied
+//! new value — either way the reader is serializable. See
+//! `docs/PROTOCOL.md` for the full argument under the sharded commit path.
 
 use crate::backend::MapBackend;
 use crate::locks::{MapLockTables, SemanticStats, UpdateEffect};
@@ -623,7 +628,7 @@ where
 }
 
 // ----------------------------------------------------------------------
-// Handlers (run in direct mode under the global commit mutex)
+// Handlers (run in direct mode under the stm handler lane)
 // ----------------------------------------------------------------------
 
 pub(crate) fn commit_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, htx: &mut Txn, id: u64)

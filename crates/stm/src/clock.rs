@@ -1,46 +1,179 @@
-//! Global version clock and the global commit mutex.
+//! Global version clock, per-`TVar` commit locking, and the handler lane.
+//!
+//! txlint: commit-internals — everything here is `pub(crate)`: the only way
+//! to publish writes is through [`CommitGuard`] / [`publish_direct`], so no
+//! collection-layer code can bypass the commit protocol.
 //!
 //! The STM uses a single monotonically increasing version clock. Every
-//! committed write stamps its `TVar` with a version drawn from this clock, and
-//! every transaction records the clock value at which it started (`rv`). A
-//! read observing a version newer than `rv` triggers timestamp extension or a
-//! retry, which is what gives transactions an opaque (always-consistent) view
-//! of memory.
+//! committed write stamps its `TVar` with a version drawn from this clock
+//! (one atomic `fetch_add` per writing commit), and every transaction records
+//! the clock value at which it started (`rv`). A read observing a version
+//! newer than `rv` triggers timestamp extension or a retry, which is what
+//! gives transactions an opaque (always-consistent) view of memory.
 //!
-//! Commits are serialized by [`commit_lock`]. Holding it guarantees that no
-//! other transaction can publish writes, run commit/abort handlers, or doom a
-//! transaction concurrently — the invariant that makes the semantic-lock
-//! dooming protocol in `txcollections` race-free (see that crate's docs).
+//! ## The sharded commit protocol (TL2-style two-phase commit)
+//!
+//! There is no global commit mutex. A writing commit instead:
+//!
+//! 1. acquires the per-var versioned **commit locks** of its entire write set
+//!    in `VarId` order (globally consistent order ⇒ deadlock-free) via
+//!    [`CommitGuard::lock_write_set`];
+//! 2. validates its read set against the per-var version stamps with
+//!    [`read_valid`] — failing fast (no spinning) if a read-set var is locked
+//!    by another committer, which both avoids hold-and-wait cycles between
+//!    committers and is almost always the right call (a held lock means the
+//!    version is about to change);
+//! 3. wins the doom-vs-commit race (`TxHandle::begin_commit`, top-level
+//!    only);
+//! 4. draws a fresh write version with one clock `fetch_add` and applies the
+//!    write set ([`CommitGuard::publish`]); each `apply` releases that var's
+//!    commit lock as it stamps the new version.
+//!
+//! Transactions with disjoint write sets therefore commit fully in parallel.
+//! The **lock-all, then validate, then `fetch_add`** order is load-bearing
+//! for opacity: any commit that invalidates a read after our validation must
+//! have locked the var after we checked it, hence drawn its write version
+//! after our `fetch_add`-free validation point, hence published with a
+//! version above any reader's current horizon — readers catch it via the
+//! version check (plus the locked-bit spin in the read path) and extend.
+//!
+//! ## The handler lane
+//!
+//! Commit/abort *handlers* — the part of the system the collections' doom
+//! protocol needs serialized — run under a dedicated mutex, the [`lane_lock`]
+//! **handler lane**. Only transactions that actually registered handlers (and
+//! open-nested commits that publish writes, which are the other source of
+//! direct-mode-visible mutation) ever take it; a plain memory transaction
+//! commits without touching any shared lock except its own write set's.
+//!
+//! Lock order (see `docs/PROTOCOL.md` for the full proof):
+//! **var locks → clock → handler lane → table mutex**, with the release
+//! discipline that a top-level committer fully releases its var locks
+//! (publishing is what releases them) *before* acquiring the lane, and a
+//! writing open-nested commit acquires the lane *before* its var locks.
+//! Nobody ever waits for the lane while holding a var lock, and var locks
+//! are only ever held for bounded, non-blocking critical sections, so the
+//! lane-holder's direct writes (which spin on var locks) always terminate.
 
+use crate::stats;
+use crate::tvar::AnyVar;
 use parking_lot::{Mutex, MutexGuard};
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
-static COMMIT_MUTEX: Mutex<()> = Mutex::new(());
+static HANDLER_LANE: Mutex<()> = Mutex::new(());
 
 /// Current value of the global version clock.
 pub(crate) fn now() -> u64 {
     GLOBAL_CLOCK.load(Ordering::Acquire)
 }
 
-/// The version the next commit will write. Call only while holding the
-/// commit mutex; pair with [`publish`] **after** all writes are applied.
+/// Draw a fresh, globally unique write version (atomic `fetch_add`).
 ///
-/// Ordering matters for opacity: writes land with a version `> now()`, and
-/// the clock only advances once the whole write set is visible. A reader
-/// that sees a version above its read horizon therefore knows a commit is
-/// (or was) in flight and must synchronize (timestamp extension under the
-/// commit mutex) rather than mix old and new values.
-pub(crate) fn next_version() -> u64 {
-    GLOBAL_CLOCK.load(Ordering::Acquire) + 1
+/// Call only while holding the commit locks of every var about to be stamped
+/// with it: a reader that observes a version above its horizon must be able
+/// to rely on lock-then-validate to resynchronize.
+pub(crate) fn fresh_version() -> u64 {
+    GLOBAL_CLOCK.fetch_add(1, Ordering::AcqRel) + 1
 }
 
-/// Publish a fully applied commit at version `v` (commit mutex held).
-pub(crate) fn publish(v: u64) {
-    GLOBAL_CLOCK.store(v, Ordering::Release);
+/// Acquire the handler lane. Taken by commit/abort handler execution and by
+/// writing open-nested commits; never while holding any var commit lock.
+pub(crate) fn lane_lock() -> MutexGuard<'static, ()> {
+    stats::record_lane_entry();
+    HANDLER_LANE.lock()
 }
 
-/// Acquire the global commit mutex.
-pub(crate) fn commit_lock() -> MutexGuard<'static, ()> {
-    COMMIT_MUTEX.lock()
+/// Spin until `var`'s commit lock is acquired, yielding so single-CPU hosts
+/// make progress. Holders release in bounded time (publish or validation
+/// failure), so this terminates.
+pub(crate) fn lock_var_spin(var: &dyn AnyVar) {
+    if var.try_lock_commit() {
+        return;
+    }
+    stats::record_var_lock_spin();
+    loop {
+        std::hint::spin_loop();
+        std::thread::yield_now();
+        if var.try_lock_commit() {
+            return;
+        }
+    }
+}
+
+/// Commit-time read validation against a var's `(version, locked)` stamp,
+/// loaded as one word so a concurrent publish cannot slip between a version
+/// check and a lock check.
+///
+/// Valid iff the version still matches the recorded one **and** the var is
+/// not commit-locked by another transaction. `locked_by_self` is true when
+/// the var is in the caller's own (already locked) write set.
+pub(crate) fn read_valid(var: &dyn AnyVar, recorded: u64, locked_by_self: bool) -> bool {
+    let stamp = var.stamp();
+    (stamp >> 1) == recorded && (stamp & 1 == 0 || locked_by_self)
+}
+
+/// A var's committed version, waiting out any in-flight publish. Used by
+/// timestamp extension, which holds no locks and therefore may spin.
+pub(crate) fn stable_version(var: &dyn AnyVar) -> u64 {
+    let mut stamp = var.stamp();
+    while stamp & 1 != 0 {
+        std::hint::spin_loop();
+        std::thread::yield_now();
+        stamp = var.stamp();
+    }
+    stamp >> 1
+}
+
+/// A direct-mode (handler) write: lock the var, draw a fresh version, apply.
+/// The apply releases the lock. Callers hold the handler lane, never any var
+/// commit lock, so the spin cannot deadlock.
+pub(crate) fn publish_direct(var: &dyn AnyVar, val: &(dyn Any + Send + Sync)) {
+    lock_var_spin(var);
+    let wv = fresh_version();
+    var.apply(val, wv);
+}
+
+/// Ownership of a write set's commit locks: phase one of the two-phase
+/// commit. Dropping the guard before [`publish`](Self::publish) (validation
+/// failure, doom) releases every lock with versions unchanged.
+pub(crate) struct CommitGuard {
+    locked: Vec<Arc<dyn AnyVar>>,
+    armed: bool,
+}
+
+impl CommitGuard {
+    /// Acquire the commit locks of `vars` in `VarId` order (the globally
+    /// consistent order that makes concurrent committers deadlock-free).
+    pub(crate) fn lock_write_set(mut vars: Vec<Arc<dyn AnyVar>>) -> CommitGuard {
+        vars.sort_unstable_by_key(|v| v.id());
+        for v in &vars {
+            lock_var_spin(v.as_ref());
+        }
+        CommitGuard {
+            locked: vars,
+            armed: true,
+        }
+    }
+
+    /// Phase two: draw the write version and apply the write set.
+    /// `apply_all` must stamp every locked var with the version it is given
+    /// (each `apply` releases that var's lock).
+    pub(crate) fn publish(mut self, apply_all: impl FnOnce(u64)) {
+        let wv = fresh_version();
+        apply_all(wv);
+        self.armed = false;
+    }
+}
+
+impl Drop for CommitGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            for v in &self.locked {
+                v.unlock_commit();
+            }
+        }
+    }
 }

@@ -11,11 +11,33 @@
 //!
 //! A fresh handle is created for every top-level *attempt*, so a doom aimed at
 //! a previous attempt can never spuriously kill a retry.
+//!
+//! ## Doom vs. commit
+//!
+//! Since the commit path was sharded (per-`TVar` versioned locks instead of a
+//! global commit mutex), a doom can race with the victim's own commit. The
+//! race is decided by a single atomic word holding both the lifecycle state
+//! and the doom bit: [`TxHandle::doom`] is a CAS that only succeeds while the
+//! state is `Active`, and the committer's first irrevocable step is a CAS from
+//! `Active` (with the doom bit clear) to an internal *committing* state. One
+//! of the two CASes wins; a doomed transaction can never publish, and a
+//! transaction that has started publishing can never be doomed.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 static NEXT_TX_ID: AtomicU64 = AtomicU64::new(1);
+
+// Layout of `TxHandle::word`: low two bits are the lifecycle state, bit 2 is
+// the doom request. Committing is an internal fourth state (reported as
+// `Active` to observers: the transaction has not finished, it merely can no
+// longer be doomed).
+const STATE_ACTIVE: u32 = 0;
+const STATE_COMMITTED: u32 = 1;
+const STATE_ABORTED: u32 = 2;
+const STATE_COMMITTING: u32 = 3;
+const STATE_MASK: u32 = 0b011;
+const DOOM_BIT: u32 = 0b100;
 
 /// Lifecycle state of a top-level transaction attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +59,8 @@ pub enum TxState {
 #[derive(Debug)]
 pub struct TxHandle {
     id: u64,
-    state: AtomicU8,
-    doomed: std::sync::atomic::AtomicBool,
+    /// `(doom bit | lifecycle state)` in one word — see the module docs.
+    word: AtomicU32,
     /// Number of prior aborted attempts of the same logical transaction;
     /// contention managers use it as a priority hint.
     retries: AtomicU32,
@@ -50,8 +72,7 @@ impl TxHandle {
     pub fn new(retries: u32) -> Arc<Self> {
         Arc::new(TxHandle {
             id: NEXT_TX_ID.fetch_add(1, Ordering::Relaxed),
-            state: AtomicU8::new(TxState::Active as u8),
-            doomed: std::sync::atomic::AtomicBool::new(false),
+            word: AtomicU32::new(STATE_ACTIVE),
             retries: AtomicU32::new(retries),
         })
     }
@@ -67,12 +88,14 @@ impl TxHandle {
         self.retries.load(Ordering::Relaxed)
     }
 
-    /// Current lifecycle state.
+    /// Current lifecycle state. The internal committing phase reports as
+    /// [`TxState::Active`]: the transaction has not finished, and observers
+    /// (lock tables pruning finished owners) must keep treating it as live.
     pub fn state(&self) -> TxState {
-        match self.state.load(Ordering::Acquire) {
-            0 => TxState::Active,
-            1 => TxState::Committed,
-            _ => TxState::Aborted,
+        match self.word.load(Ordering::Acquire) & STATE_MASK {
+            STATE_COMMITTED => TxState::Committed,
+            STATE_ABORTED => TxState::Aborted,
+            _ => TxState::Active,
         }
     }
 
@@ -80,32 +103,69 @@ impl TxHandle {
     ///
     /// Returns `true` if the doom landed while the transaction was still
     /// active. Dooming a committed transaction has no effect — the caller
-    /// already serialized after it. All dooming in this system happens from
-    /// commit/abort handlers running under the global commit mutex, so
-    /// doom-vs-commit races are excluded by construction.
+    /// already serialized after it. The CAS loop races against the victim's
+    /// own [`begin_commit`](Self::begin_commit): once the victim has entered
+    /// its committing phase the doom fails, so "doomed" and "published" are
+    /// mutually exclusive outcomes of a single atomic word.
     #[must_use = "whether the doom landed; a false return means the target already finished"]
     pub fn doom(&self) -> bool {
-        if self.state() != TxState::Active {
-            return false;
+        let mut w = self.word.load(Ordering::Acquire);
+        loop {
+            if w & STATE_MASK != STATE_ACTIVE {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                w,
+                w | DOOM_BIT,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(cur) => w = cur,
+            }
         }
-        self.doomed.store(true, Ordering::Release);
-        true
     }
 
     /// Whether a doom request has been posted.
     #[inline]
     #[must_use]
     pub fn is_doomed(&self) -> bool {
-        self.doomed.load(Ordering::Relaxed)
+        self.word.load(Ordering::Acquire) & DOOM_BIT != 0
+    }
+
+    /// Enter the committing phase: the point of no return with respect to
+    /// dooming. Fails iff a doom landed first (or the state is not active).
+    /// Call after read validation succeeds and before the first write is
+    /// published.
+    pub(crate) fn begin_commit(&self) -> Result<(), ()> {
+        match self.word.compare_exchange(
+            STATE_ACTIVE,
+            STATE_COMMITTING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(()),
+        }
+    }
+
+    /// Committing-phase entry for the simulator's unchecked commit: the
+    /// simulator's eager violation protocol guarantees no doom is pending at
+    /// a commit event, so this asserts instead of failing.
+    pub(crate) fn begin_commit_unchecked(&self) {
+        debug_assert!(
+            !self.is_doomed(),
+            "simulator committed a doomed transaction"
+        );
+        self.word.store(STATE_COMMITTING, Ordering::Release);
     }
 
     pub(crate) fn mark_committed(&self) {
-        self.state
-            .store(TxState::Committed as u8, Ordering::Release);
+        self.word.store(STATE_COMMITTED, Ordering::Release);
     }
 
     pub(crate) fn mark_aborted(&self) {
-        self.state.store(TxState::Aborted as u8, Ordering::Release);
+        self.word.store(STATE_ABORTED, Ordering::Release);
     }
 }
 
@@ -144,6 +204,25 @@ mod tests {
         h2.mark_committed();
         assert!(!h2.doom());
         assert!(!h2.is_doomed());
+    }
+
+    #[test]
+    fn doom_and_begin_commit_are_mutually_exclusive() {
+        // Doom first: the commit CAS must fail.
+        let h = TxHandle::new(0);
+        assert!(h.doom());
+        assert!(h.begin_commit().is_err());
+        assert_eq!(h.state(), TxState::Active);
+
+        // Commit first: the doom must fail, and the handle still reads as
+        // Active (it has not finished) until mark_committed.
+        let h2 = TxHandle::new(0);
+        assert!(h2.begin_commit().is_ok());
+        assert!(!h2.doom());
+        assert!(!h2.is_doomed());
+        assert_eq!(h2.state(), TxState::Active);
+        h2.mark_committed();
+        assert_eq!(h2.state(), TxState::Committed);
     }
 
     #[test]

@@ -3,13 +3,17 @@
 //! Handlers are the cleanup/publication mechanism of multi-level transactions
 //! (paper §4, "Commit and abort handlers"). A handler receives the
 //! transaction context in **direct mode** ([`crate::TxnMode::Direct`]): reads
-//! return committed state and writes publish immediately, because handlers
-//! run while the global commit mutex is held — after the owning transaction's
-//! point of no return (commit handlers) or after its memory rollback (abort
-//! handlers). Running under the commit mutex means a handler's updates can
-//! never conflict with another transaction's commit, which subsumes the
-//! paper's "commit handlers run closed-nested so conflicts replay only the
-//! handler": under a global commit lock the replay case simply cannot arise.
+//! return committed state (each read is per-var atomic and waits out
+//! in-flight publishes) and writes publish immediately (per-var commit lock
+//! plus a fresh clock version each), because handlers run while the **handler
+//! lane** is held — after the owning transaction's point of no return (commit
+//! handlers) or after its memory rollback (abort handlers). The lane
+//! serializes all handler execution and all writing open-nested commits, so a
+//! handler's updates can never conflict with another transaction's handlers,
+//! which subsumes the paper's "commit handlers run closed-nested so conflicts
+//! replay only the handler": under the lane the replay case simply cannot
+//! arise. Plain memory commits do *not* take the lane — they publish in
+//! parallel under their own write set's var locks.
 //!
 //! Handlers registered inside a nested frame are *discarded* if that frame
 //! aborts and *promoted to the parent frame* if it commits, exactly per the
@@ -21,7 +25,7 @@
 use crate::txn::Txn;
 
 /// A commit or abort handler. Runs exactly once, in direct mode, under the
-/// global commit mutex.
+/// handler lane.
 pub(crate) type Handler = Box<dyn FnOnce(&mut Txn) + Send>;
 
 /// A compensation for *thread-local, non-transactional* state mutated inside

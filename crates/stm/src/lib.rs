@@ -23,15 +23,20 @@
 //!   [`TxHandle::doom`] to abort it, which is how semantic lock conflicts are
 //!   enforced.
 //! * **Two-phase commit** — validation happens before the point of no return;
-//!   commit handlers run in the commit phase, serialized under the global
-//!   commit lock so that their direct updates can never themselves conflict
-//!   ("the commit handler ... can be replayed without rolling back the
-//!   parent" degenerates to conflict-freedom under the commit lock).
+//!   commit handlers run in the commit phase, serialized under a dedicated
+//!   **handler lane** so that their direct updates can never conflict with
+//!   another transaction's handlers ("the commit handler ... can be replayed
+//!   without rolling back the parent" degenerates to conflict-freedom under
+//!   the lane).
 //!
-//! The concurrency-control algorithm is TL2-flavored: a global version clock,
-//! per-[`TVar`] versions, a read-set validated at commit time, and a redo-log
-//! write-set applied under a global commit mutex. Reads perform incremental
-//! timestamp extension so long-running transactions do not abort spuriously.
+//! The concurrency-control algorithm is TL2-flavored: a global fetch-and-add
+//! version clock, a per-[`TVar`] versioned commit lock, a read-set validated
+//! at commit time, and a redo-log write-set published under the write set's
+//! own per-var locks (acquired in `VarId` order) — transactions with disjoint
+//! write sets commit fully in parallel; there is no global commit mutex.
+//! Reads perform incremental timestamp extension so long-running transactions
+//! do not abort spuriously. See `docs/PROTOCOL.md` for the commit protocol
+//! and the lock-order proof.
 //!
 //! Two execution drivers share this machinery:
 //!

@@ -115,12 +115,15 @@ impl PreparedTxn {
         self.tx.read_offsets()
     }
 
-    /// Publish the buffered writes and run commit handlers.
+    /// Publish the buffered writes (through the same per-var `CommitGuard`
+    /// locking as the threaded runtime) and run commit handlers under the
+    /// handler lane.
     ///
     /// The caller (the simulator) is responsible for the TCC invariant that
-    /// makes validation unnecessary: every earlier-committing conflicting
-    /// transaction must already have aborted this one. Debug builds assert
-    /// the read set is still valid.
+    /// makes validation and the doom-vs-commit CAS unnecessary: every
+    /// earlier-committing conflicting transaction must already have aborted
+    /// this one, and the simulator never interleaves a doom with a commit
+    /// event. Debug builds assert both (valid read set, no pending doom).
     pub fn commit(mut self) {
         self.tx.commit_top_unchecked();
     }

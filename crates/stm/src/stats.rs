@@ -18,6 +18,9 @@ struct Counters {
     open_retries: AtomicU64,
     frame_retries: AtomicU64,
     handler_runs: AtomicU64,
+    var_lock_spins: AtomicU64,
+    lane_entries: AtomicU64,
+    lane_free_commits: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -29,6 +32,9 @@ static COUNTERS: Counters = Counters {
     open_retries: AtomicU64::new(0),
     frame_retries: AtomicU64::new(0),
     handler_runs: AtomicU64::new(0),
+    var_lock_spins: AtomicU64::new(0),
+    lane_entries: AtomicU64::new(0),
+    lane_free_commits: AtomicU64::new(0),
 };
 
 pub(crate) fn record_commit() {
@@ -60,6 +66,18 @@ pub(crate) fn record_handler_run() {
     COUNTERS.handler_runs.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn record_var_lock_spin() {
+    COUNTERS.var_lock_spins.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_lane_entry() {
+    COUNTERS.lane_entries.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_lane_free_commit() {
+    COUNTERS.lane_free_commits.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A point-in-time snapshot of the global counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -79,6 +97,15 @@ pub struct StatsSnapshot {
     pub frame_retries: u64,
     /// Commit/abort handler invocations.
     pub handler_runs: u64,
+    /// Commit-path contention: per-var commit-lock acquisitions that found
+    /// the lock held and had to spin.
+    pub var_lock_spins: u64,
+    /// Handler-lane acquisitions (handler execution and writing open-nested
+    /// commits).
+    pub lane_entries: u64,
+    /// Top-level commits that never touched the handler lane — the fully
+    /// parallel fast path.
+    pub lane_free_commits: u64,
 }
 
 impl StatsSnapshot {
@@ -101,6 +128,11 @@ impl StatsSnapshot {
             open_retries: self.open_retries.saturating_sub(earlier.open_retries),
             frame_retries: self.frame_retries.saturating_sub(earlier.frame_retries),
             handler_runs: self.handler_runs.saturating_sub(earlier.handler_runs),
+            var_lock_spins: self.var_lock_spins.saturating_sub(earlier.var_lock_spins),
+            lane_entries: self.lane_entries.saturating_sub(earlier.lane_entries),
+            lane_free_commits: self
+                .lane_free_commits
+                .saturating_sub(earlier.lane_free_commits),
         }
     }
 }
@@ -117,6 +149,9 @@ pub fn global_stats() -> StatsSnapshot {
         open_retries: COUNTERS.open_retries.load(Ordering::Relaxed),
         frame_retries: COUNTERS.frame_retries.load(Ordering::Relaxed),
         handler_runs: COUNTERS.handler_runs.load(Ordering::Relaxed),
+        var_lock_spins: COUNTERS.var_lock_spins.load(Ordering::Relaxed),
+        lane_entries: COUNTERS.lane_entries.load(Ordering::Relaxed),
+        lane_free_commits: COUNTERS.lane_free_commits.load(Ordering::Relaxed),
     }
 }
 
@@ -131,4 +166,7 @@ pub fn reset_global_stats() {
     COUNTERS.open_retries.store(0, Ordering::Relaxed);
     COUNTERS.frame_retries.store(0, Ordering::Relaxed);
     COUNTERS.handler_runs.store(0, Ordering::Relaxed);
+    COUNTERS.var_lock_spins.store(0, Ordering::Relaxed);
+    COUNTERS.lane_entries.store(0, Ordering::Relaxed);
+    COUNTERS.lane_free_commits.store(0, Ordering::Relaxed);
 }

@@ -5,30 +5,49 @@
 //! access in the current nesting frame of the [`Txn`]. Values are stored and
 //! buffered by clone; in practice `T` is either small and `Copy`-like or an
 //! `Arc`-wrapped payload.
+//!
+//! Each var additionally carries a **versioned commit lock** (`vlock`): one
+//! atomic word holding `(version << 1) | locked`. Committers acquire the lock
+//! bit (in `VarId` order across their write set), and publishing a value
+//! stores the new version with the bit clear — so releasing the lock and
+//! stamping the version are a single atomic store, and validators read
+//! version + lock state as one word. See `clock.rs` for the protocol.
 
 use crate::cost;
 use crate::txn::Txn;
 use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
 static LABELS: Mutex<Option<HashMap<VarId, String>>> = Mutex::new(None);
+/// Lock-free gate for the common no-label case: [`var_label`] sits on abort
+/// paths, and most programs never label anything, so they should not take a
+/// global mutex just to learn the table is empty.
+static LABELS_USED: AtomicBool = AtomicBool::new(false);
 
 /// Attach a human-readable label to a variable, for conflict attribution
 /// (the TAPE-style profiling of paper §6.3: identifying which shared
 /// locations cause lost work).
 pub fn label_var(id: VarId, label: impl Into<String>) {
+    // Publish the gate before the entry: a reader that sees the flag clear
+    // may miss this label (it raced the registration), but a reader that
+    // looks up after we return always takes the slow path.
+    LABELS_USED.store(true, Ordering::Release);
     LABELS
         .lock()
         .get_or_insert_with(HashMap::new)
         .insert(id, label.into());
 }
 
-/// Look up a variable's label, if any.
+/// Look up a variable's label, if any. Lock-free when no label was ever
+/// registered.
 pub fn var_label(id: VarId) -> Option<String> {
+    if !LABELS_USED.load(Ordering::Acquire) {
+        return None;
+    }
     LABELS.lock().as_ref().and_then(|m| m.get(&id).cloned())
 }
 
@@ -38,18 +57,40 @@ pub type VarId = u64;
 
 /// Type-erased view of a `TVar` used by read/write sets and the committer.
 pub(crate) trait AnyVar: Send + Sync {
-    #[allow(dead_code)]
     fn id(&self) -> VarId;
-    /// Committed version stamp.
+    /// Committed version stamp (ignores the lock bit).
     fn version(&self) -> u64;
-    /// Publish a buffered value with the given write version.
+    /// Raw `(version << 1) | locked` word, loaded once — the unit of
+    /// commit-time validation.
+    fn stamp(&self) -> u64;
+    /// Try to acquire the commit lock; `false` if another committer holds it.
+    fn try_lock_commit(&self) -> bool;
+    /// Release the commit lock without publishing (failed commit).
+    fn unlock_commit(&self);
+    /// Publish a buffered value with the given write version, releasing the
+    /// commit lock in the same store.
     /// `val` must be the `T` of the underlying var (guaranteed by the logger).
     fn apply(&self, val: &(dyn Any + Send + Sync), version: u64);
 }
 
 pub(crate) struct VarCore<T> {
     id: VarId,
+    /// `(version << 1) | locked` — see the module docs.
+    vlock: AtomicU64,
     cell: RwLock<(u64, T)>,
+}
+
+impl<T: Clone + Send + Sync + 'static> VarCore<T> {
+    /// Wait out an in-flight publish on this var (reads must not accept a
+    /// value another committer is about to replace without noticing: the
+    /// subsequent version check plus this spin is what keeps the transaction
+    /// body's view opaque).
+    fn await_unlocked(&self) {
+        while self.vlock.load(Ordering::Acquire) & 1 != 0 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
 }
 
 impl<T: Clone + Send + Sync + 'static> AnyVar for VarCore<T> {
@@ -58,15 +99,39 @@ impl<T: Clone + Send + Sync + 'static> AnyVar for VarCore<T> {
     }
 
     fn version(&self) -> u64 {
-        self.cell.read().0
+        self.vlock.load(Ordering::Acquire) >> 1
+    }
+
+    fn stamp(&self) -> u64 {
+        self.vlock.load(Ordering::Acquire)
+    }
+
+    fn try_lock_commit(&self) -> bool {
+        let w = self.vlock.load(Ordering::Acquire);
+        if w & 1 != 0 {
+            return false;
+        }
+        self.vlock
+            .compare_exchange(w, w | 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    fn unlock_commit(&self) {
+        let w = self.vlock.load(Ordering::Acquire);
+        debug_assert!(w & 1 != 0, "unlock_commit on an unlocked var");
+        self.vlock.store(w & !1, Ordering::Release);
     }
 
     fn apply(&self, val: &(dyn Any + Send + Sync), version: u64) {
         let v = val
             .downcast_ref::<T>()
             .expect("write-set entry type mismatch");
-        let mut g = self.cell.write();
-        *g = (version, v.clone());
+        {
+            let mut g = self.cell.write();
+            *g = (version, v.clone());
+        }
+        // Stamp + release in one store.
+        self.vlock.store(version << 1, Ordering::Release);
     }
 }
 
@@ -99,6 +164,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
         TVar {
             core: Arc::new(VarCore {
                 id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
+                vlock: AtomicU64::new(0),
                 cell: RwLock::new((0, value)),
             }),
         }
@@ -131,10 +197,12 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
 
     /// Read the committed value directly, outside any transaction.
     ///
-    /// Single reads are trivially atomic; use a transaction for anything that
-    /// must be consistent across multiple variables.
+    /// Single reads are trivially atomic (and wait out an in-flight publish);
+    /// use a transaction for anything that must be consistent across multiple
+    /// variables.
     #[must_use]
     pub fn read_committed(&self) -> T {
+        self.core.await_unlocked();
         self.core.cell.read().1.clone()
     }
 
@@ -144,6 +212,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     }
 
     pub(crate) fn committed_pair(&self) -> (u64, T) {
+        self.core.await_unlocked();
         let g = self.core.cell.read();
         (g.0, g.1.clone())
     }
@@ -197,5 +266,31 @@ mod tests {
         any.apply(&42i32, 9);
         assert_eq!(v.read_committed(), 42);
         assert_eq!(v.version(), 9);
+    }
+
+    #[test]
+    fn commit_lock_roundtrip_preserves_version() {
+        let v = TVar::new(5u8);
+        let any = v.any();
+        assert!(any.try_lock_commit());
+        assert!(!any.try_lock_commit(), "lock is exclusive");
+        assert_eq!(any.stamp() & 1, 1);
+        assert_eq!(any.version(), 0, "version unchanged while locked");
+        any.unlock_commit();
+        assert_eq!(any.stamp(), 0);
+        // A publish through apply releases and stamps in one store.
+        assert!(any.try_lock_commit());
+        any.apply(&9u8, 3);
+        assert_eq!(any.stamp(), 3 << 1);
+        assert_eq!(v.read_committed(), 9);
+    }
+
+    #[test]
+    fn labels_fast_path_and_registration() {
+        let v = TVar::new(0u8);
+        // Whether or not another test registered a label, this id has none.
+        assert_eq!(var_label(v.id()), None);
+        v.set_label("counter");
+        assert_eq!(var_label(v.id()).as_deref(), Some("counter"));
     }
 }

@@ -16,8 +16,9 @@ pub enum TxnMode {
     /// Normal execution: reads are logged and validated, writes are buffered
     /// in a redo log until commit.
     Speculative,
-    /// Handler execution under the global commit mutex: reads see committed
-    /// state, writes publish immediately. Nesting operations are flattened.
+    /// Handler execution under the handler lane: reads see committed state,
+    /// writes publish immediately (per-var commit lock + a fresh clock
+    /// version each). Nesting operations are flattened.
     Direct,
 }
 
@@ -201,10 +202,9 @@ impl Txn {
 
     pub(crate) fn write_var<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>, val: T) {
         if self.mode == TxnMode::Direct {
-            // Handlers run under the commit mutex: apply, then publish.
-            let wv = clock::next_version();
-            var.core.as_ref().apply(&val, wv);
-            clock::publish(wv);
+            // Handler context (holding the handler lane): lock the var, draw
+            // a fresh version, apply-and-release.
+            clock::publish_direct(var.core.as_ref(), &val);
             return;
         }
         self.check_doom();
@@ -235,15 +235,18 @@ impl Txn {
     /// memory; on success, advance `rv`. On failure, abort — partially if all
     /// invalid reads live in the innermost frame and it is closed-nested.
     fn extend_or_abort(&mut self) {
-        // Hold the commit mutex so no commit is mid-apply: versions are
-        // stable during validation and `new_rv` covers complete commits only
-        // (opacity).
-        let _guard = clock::commit_lock();
+        // Read the clock *before* validating: any commit that changes a
+        // validated var after this point locked it after we checked it, and
+        // (lock-all before fetch-add) therefore published with a version
+        // above `new_rv` — a later read of that var re-triggers extension.
+        // `stable_version` waits out in-flight publishes, so each validated
+        // read reflects a complete commit; we hold no locks, so the wait
+        // cannot deadlock.
         let new_rv = clock::now();
         let mut invalid_frames: Vec<usize> = Vec::new();
         for (fi, frame) in self.frames.iter().enumerate() {
             for r in frame.reads.values() {
-                if r.var.version() != r.version {
+                if clock::stable_version(r.var.as_ref()) != r.version {
                     invalid_frames.push(fi);
                     break;
                 }
@@ -311,7 +314,7 @@ impl Txn {
     /// (partial rollback, paper §4 "Nested transactions").
     pub fn closed<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
         if self.mode == TxnMode::Direct {
-            return f(self); // flat under the commit mutex
+            return f(self); // flat in handler context (holding the lane)
         }
         let my_index = self.frames.len();
         loop {
@@ -410,25 +413,44 @@ impl Txn {
     fn try_commit_open(mut self) -> Result<Frame, ()> {
         debug_assert!(self.is_open_child);
         debug_assert_eq!(self.frames.len(), 1, "open child must end with one frame");
-        let guard = clock::commit_lock();
+        // Advisory doom check (cheap early exit). The authoritative
+        // doom-vs-commit decision for the *top-level* transaction is its own
+        // `begin_commit` CAS; an open child that slips past a doom here only
+        // publishes effects the abort handlers will compensate.
         if self.handle.is_doomed() {
-            drop(guard);
             interrupt::throw(TxInterrupt::Retry(AbortCause::Doomed));
         }
         let frame = &self.frames[0];
-        for r in frame.reads.values() {
-            if r.var.version() != r.version {
-                return Err(());
+        if frame.writes.is_empty() {
+            // Read-only child: validate against per-var stamps; no locks, no
+            // lane, no clock traffic.
+            for r in frame.reads.values() {
+                if !clock::read_valid(r.var.as_ref(), r.version, false) {
+                    return Err(());
+                }
+            }
+            return Ok(self.frames.pop().unwrap());
+        }
+        // A *writing* open commit publishes direct-mode-visible state, so it
+        // serializes with handler execution: lane first, then var locks (a
+        // lane-holder's direct writes spin on var locks, so the lane must
+        // never be awaited while var locks are held).
+        let lane = clock::lane_lock();
+        let guard = clock::CommitGuard::lock_write_set(
+            frame.writes.values().map(|w| w.var.clone()).collect(),
+        );
+        for (id, r) in frame.reads.iter() {
+            let own = frame.writes.contains_key(id);
+            if !clock::read_valid(r.var.as_ref(), r.version, own) {
+                return Err(()); // guard + lane drop: locks released, versions unchanged
             }
         }
-        if !frame.writes.is_empty() {
-            let wv = clock::next_version();
+        guard.publish(|wv| {
             for w in frame.writes.values() {
                 w.var.apply(w.val.as_ref(), wv);
             }
-            clock::publish(wv);
-        }
-        drop(guard);
+        });
+        drop(lane);
         Ok(self.frames.pop().unwrap())
     }
 
@@ -436,36 +458,71 @@ impl Txn {
     // Top-level commit / abort (driven by the runtime or the simulator)
     // ------------------------------------------------------------------
 
-    /// Attempt the top-level commit: validate under the global commit mutex,
-    /// publish, then run commit handlers in direct mode (still under the
-    /// mutex — the two-phase-commit "commit phase" of paper §4).
+    /// Attempt the top-level commit — the sharded two-phase commit:
+    ///
+    /// 1. a transaction with commit handlers first acquires the **handler
+    ///    lane** and holds it through step 6 — such transactions (every
+    ///    collection-touching transaction is one) therefore serialize their
+    ///    whole commit exactly as under the old global mutex, which is what
+    ///    keeps the doom protocol's decision point (step 4) ordered
+    ///    consistently with handler execution order;
+    /// 2. lock the write set in `VarId` order ([`clock::CommitGuard`]);
+    /// 3. validate the read set against per-var version stamps, failing fast
+    ///    if a read var is locked by another committer;
+    /// 4. win the doom-vs-commit race (`TxHandle::begin_commit` — the point
+    ///    of no return);
+    /// 5. draw one clock `fetch_add` and publish-and-release;
+    /// 6. run commit handlers in direct mode (still under the lane).
+    ///
+    /// Handler-free transactions — plain memory transactions, the fast path
+    /// this refactor shards — skip steps 1 and 6 and execute the rest fully
+    /// in parallel with every other disjoint-write-set committer.
     pub(crate) fn try_commit_top(&mut self) -> Result<(), AbortCause> {
         debug_assert!(!self.is_open_child);
         debug_assert_eq!(self.frames.len(), 1, "unbalanced nesting at commit");
-        let guard = clock::commit_lock();
-        if self.handle.is_doomed() {
+        let frame = &self.frames[0];
+        let has_handlers = !frame.commit_handlers.is_empty();
+        // Lane before var locks, never the reverse: a lane-holder's direct
+        // writes spin on var locks, so waiting for the lane while holding a
+        // var lock could deadlock.
+        let lane = if has_handlers {
+            Some(clock::lane_lock())
+        } else {
+            None
+        };
+        let guard = if frame.writes.is_empty() {
+            None
+        } else {
+            Some(clock::CommitGuard::lock_write_set(
+                frame.writes.values().map(|w| w.var.clone()).collect(),
+            ))
+        };
+        for (id, r) in frame.reads.iter() {
+            let own = frame.writes.contains_key(id);
+            if !clock::read_valid(r.var.as_ref(), r.version, own) {
+                return Err(AbortCause::ReadInvalid); // guard + lane drop release everything
+            }
+        }
+        if self.handle.begin_commit().is_err() {
             return Err(AbortCause::Doomed);
         }
-        {
-            let frame = &self.frames[0];
-            for r in frame.reads.values() {
-                if r.var.version() != r.version {
-                    return Err(AbortCause::ReadInvalid);
-                }
-            }
-            if !frame.writes.is_empty() {
-                let wv = clock::next_version();
+        // Point of no return: a doom can no longer land.
+        if let Some(guard) = guard {
+            guard.publish(|wv| {
                 for w in frame.writes.values() {
                     w.var.apply(w.val.as_ref(), wv);
                 }
-                clock::publish(wv);
-            }
+            });
         }
-        // Point of no return.
         self.handle.mark_committed();
-        self.run_commit_handlers();
-        drop(guard);
+        if has_handlers {
+            self.run_commit_handlers();
+        }
+        drop(lane);
         stats::record_commit();
+        if !has_handlers {
+            stats::record_lane_free_commit();
+        }
         Ok(())
     }
 
@@ -476,31 +533,46 @@ impl Txn {
     pub(crate) fn commit_top_unchecked(&mut self) {
         debug_assert!(!self.is_open_child);
         debug_assert_eq!(self.frames.len(), 1, "unbalanced nesting at commit");
-        let guard = clock::commit_lock();
+        let frame = &self.frames[0];
         debug_assert!(
-            !self.handle.is_doomed(),
-            "simulator committed a doomed transaction"
+            frame.reads.values().all(|r| r.var.version() == r.version),
+            "simulator invariant violated: stale read at commit"
         );
-        {
-            let frame = &self.frames[0];
-            debug_assert!(
-                frame.reads.values().all(|r| r.var.version() == r.version),
-                "simulator invariant violated: stale read at commit"
+        let has_handlers = !frame.commit_handlers.is_empty();
+        let lane = if has_handlers {
+            Some(clock::lane_lock())
+        } else {
+            None
+        };
+        // Same two-phase publish as `try_commit_top`, minus validation and
+        // the doom CAS (the simulator's eager violation protocol already
+        // guarantees both; `begin_commit_unchecked` debug-asserts it).
+        self.handle.begin_commit_unchecked();
+        if !frame.writes.is_empty() {
+            let guard = clock::CommitGuard::lock_write_set(
+                frame.writes.values().map(|w| w.var.clone()).collect(),
             );
-            if !frame.writes.is_empty() {
-                let wv = clock::next_version();
+            guard.publish(|wv| {
                 for w in frame.writes.values() {
                     w.var.apply(w.val.as_ref(), wv);
                 }
-                clock::publish(wv);
-            }
+            });
         }
         self.handle.mark_committed();
-        self.run_commit_handlers();
-        drop(guard);
+        if has_handlers {
+            self.run_commit_handlers();
+        }
+        drop(lane);
         stats::record_commit();
+        if !has_handlers {
+            stats::record_lane_free_commit();
+        }
     }
 
+    /// Drain commit handlers in direct mode. The caller holds the handler
+    /// lane (committer-holds-lane-through-handlers), so the collections'
+    /// apply-buffer-then-doom-scan protocol never interleaves with another
+    /// transaction's handlers.
     fn run_commit_handlers(&mut self) {
         self.mode = TxnMode::Direct;
         // Drain iteratively so a handler that registers another handler
@@ -518,12 +590,13 @@ impl Txn {
     }
 
     /// The abort path: run local undos (innermost first, reverse order), then
-    /// abort handlers in direct mode under the commit mutex. Called by the
+    /// abort handlers in direct mode under the handler lane. Called by the
     /// runtime after any failed attempt and by [`crate::PreparedTxn::abort`].
     pub(crate) fn run_abort_path(&mut self, cause: AbortCause) {
-        let guard = clock::commit_lock();
-        // Undos: frames should already be collapsed to the root by unwinding,
-        // but be robust to aborts raised with frames still stacked.
+        // Undos touch only this transaction's thread-local buffers (behind
+        // each collection's own mutex), so they need no lane. Frames should
+        // already be collapsed to the root by unwinding, but be robust to
+        // aborts raised with frames still stacked.
         while self.frames.len() > 1 {
             let mut f = self.frames.pop().unwrap();
             while let Some(u) = f.local_undos.pop() {
@@ -534,25 +607,33 @@ impl Txn {
         while let Some(u) = self.frames[0].local_undos.pop() {
             u();
         }
-        self.mode = TxnMode::Direct;
-        loop {
-            let hs: Vec<Handler> = std::mem::take(&mut self.frames[0].abort_handlers);
-            if hs.is_empty() {
-                break;
+        if !self.frames[0].abort_handlers.is_empty() {
+            // Compensation runs under the handler lane, serialized with all
+            // other handler execution and writing open commits.
+            let _lane = clock::lane_lock();
+            self.mode = TxnMode::Direct;
+            loop {
+                let hs: Vec<Handler> = std::mem::take(&mut self.frames[0].abort_handlers);
+                if hs.is_empty() {
+                    break;
+                }
+                for h in hs {
+                    stats::record_handler_run();
+                    h(self);
+                }
             }
-            for h in hs {
-                stats::record_handler_run();
-                h(self);
-            }
+            self.frames[0].commit_handlers.clear();
+            // Mark aborted only now, still holding the lane: compensation
+            // (undo of any in-place effects, semantic-lock release) is
+            // complete, so observers that treat a non-Active owner's locks as
+            // stale can never see un-compensated state. (Marking before the
+            // handlers ran let a pessimistic writer's in-place value be read
+            // during the undo window.)
+            self.handle.mark_aborted();
+        } else {
+            self.frames[0].commit_handlers.clear();
+            self.handle.mark_aborted();
         }
-        self.frames[0].commit_handlers.clear();
-        // Mark aborted only now: compensation (undo of any in-place effects,
-        // semantic-lock release) is complete, so observers that treat a
-        // non-Active owner's locks as stale can never see un-compensated
-        // state. (Marking before the handlers ran let a pessimistic writer's
-        // in-place value be read during the undo window.)
-        self.handle.mark_aborted();
-        drop(guard);
         stats::record_abort(cause);
     }
 

@@ -5,7 +5,7 @@ fn nested_atomic() {
     atomic(|tx| {
         let v = cell.read(tx);
         // Should be tx.closed(..) or tx.open(..): a nested top-level
-        // atomic would contend for the commit mutex the outer commit
+        // atomic would contend for the handler lane the outer commit
         // already plans to take.
         atomic(|tx2| {
             // TX005

@@ -1,0 +1,19 @@
+//! Seeded TX006 violation: exported commit-path internal.
+//! NOT compiled — input for `txlint --self-test`.
+//!
+//! txlint: commit-internals
+
+// Bare `pub` leaks the commit protocol's surface out of the crate.
+pub fn fresh_version() -> u64 {
+    // TX006
+    0
+}
+
+// Crate-private is the sanctioned visibility for commit internals.
+pub(crate) fn now() -> u64 {
+    0
+}
+
+fn lane_width() -> usize {
+    1
+}

@@ -20,6 +20,7 @@
 //! | TX003 | swallowing abort/retry control flow (`catch_unwind` inside a transaction region) |
 //! | TX004 | commit handler registered with no paired abort handler in the same transaction region |
 //! | TX005 | nested top-level `atomic`/`atomic_with`/`speculate` inside a transaction region (use `.closed(..)` / `.open(..)`) |
+//! | TX006 | non-`pub(crate)` visibility in a file carrying the commit-internals marker comment (the sharded commit protocol's surface — `stm`'s clock/var-lock/handler-lane module — must stay crate-private) |
 //!
 //! Findings are suppressed by `// txlint: allow(TXnnn)` on the finding's
 //! line or the line above, or `// txlint: allow-file(TXnnn)` anywhere in
@@ -63,7 +64,7 @@ impl fmt::Display for Finding {
 }
 
 /// All rule codes, for `--explain` style listings and self-tests.
-pub const ALL_CODES: [&str; 5] = ["TX001", "TX002", "TX003", "TX004", "TX005"];
+pub const ALL_CODES: [&str; 6] = ["TX001", "TX002", "TX003", "TX004", "TX005", "TX006"];
 
 /// Apply `// txlint: allow(..)` / `allow-file(..)` annotations: drop every
 /// finding whose code is allowed on its own line, the line above, or

@@ -3,7 +3,7 @@
 //! The central abstraction is the *region*: the argument span of a call
 //! that introduces transactional context. A token is "inside a transaction"
 //! iff its index falls strictly inside some transaction region and outside
-//! every handler region (handlers run under the commit mutex after the
+//! every handler region (handlers run under the handler lane after the
 //! transaction's fate is decided, so the discipline is relaxed there by
 //! design — that is where the collection classes themselves take locks and
 //! mutate shared structures).
@@ -237,6 +237,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx003_swallowed_abort(path, &m, &mut out);
     tx004_unpaired_commit_handler(path, &m, &mut out);
     tx005_nested_atomic(path, &m, &mut out);
+    tx006_commit_internals_visibility(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -315,7 +316,7 @@ fn tx001_irrevocable_effects(path: &Path, m: &FileModel, out: &mut Vec<Finding>)
                 t,
                 "TX001",
                 format!("lock acquisition `.{name}()` inside a transaction"),
-                "a doomed transaction unwinds without running drop-order guarantees you may expect; take locks in commit/abort handlers (they run under the commit mutex)",
+                "a doomed transaction unwinds without running drop-order guarantees you may expect; take locks in commit/abort handlers (they run under the handler lane)",
             ));
             continue;
         }
@@ -457,7 +458,45 @@ fn tx005_nested_atomic(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
                 &m.toks[i],
                 "TX005",
                 format!("nested top-level `{name}(..)` inside a transaction"),
-                "for nesting use tx.closed(..) (subsumption/partial rollback) or tx.open(..) (open nesting); a nested atomic() would deadlock on the commit mutex or flatten semantics",
+                "for nesting use tx.closed(..) (subsumption/partial rollback) or tx.open(..) (open nesting); a nested atomic() would deadlock on the handler lane or flatten semantics",
+            ));
+        }
+    }
+}
+
+/// Marker comment (assembled at runtime so txlint's own sources do not
+/// carry the contiguous marker text) declaring a file to be commit-path
+/// internals: everything in it must stay crate-private.
+fn commit_internals_marker() -> String {
+    format!("txlint: {}", "commit-internals")
+}
+
+fn tx006_commit_internals_visibility(
+    path: &Path,
+    src: &str,
+    m: &FileModel,
+    out: &mut Vec<Finding>,
+) {
+    if !src.contains(&commit_internals_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") {
+            continue;
+        }
+        // `pub(crate)` is the only sanctioned visibility; bare `pub`,
+        // `pub(super)`, `pub(in ..)` all leak commit internals.
+        let crate_restricted = toks.get(i + 1).and_then(Tok::punct) == Some('(')
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("crate"))
+            && toks.get(i + 3).and_then(Tok::punct) == Some(')');
+        if !crate_restricted {
+            out.push(finding(
+                path,
+                t,
+                "TX006",
+                "non-`pub(crate)` visibility in a commit-internals file".to_string(),
+                "the sharded commit protocol (clock, per-var locks, handler lane) is an internal invariant surface; keep it pub(crate) and export behavior through Txn/TVar",
             ));
         }
     }
@@ -560,6 +599,23 @@ mod tests {
         );
         // closed/open nesting is the sanctioned form.
         assert!(codes("fn f() { atomic(|tx| { tx.closed(|tx2| { g(); }); }); }").is_empty());
+    }
+
+    #[test]
+    fn tx006_marker_file_rejects_bare_pub() {
+        let marked = |body: &str| format!("// {}\n{body}\n", commit_internals_marker());
+        assert_eq!(
+            codes(&marked("pub fn fresh_version() -> u64 { 0 }")),
+            vec!["TX006"]
+        );
+        assert_eq!(
+            codes(&marked("pub(super) fn now() -> u64 { 0 }")),
+            vec!["TX006"]
+        );
+        assert!(codes(&marked("pub(crate) fn now() -> u64 { 0 }")).is_empty());
+        assert!(codes(&marked("fn private() {}")).is_empty());
+        // Without the marker, visibility is none of txlint's business.
+        assert!(codes("pub fn api() {}").is_empty());
     }
 
     #[test]

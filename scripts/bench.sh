@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Commit-path scaling bench (PR 2): sharded per-TVar commit vs the
+# reconstructed serialized baseline. Writes the JSON report to
+# BENCH_PR2.json at the repo root (checked in alongside the code so the
+# numbers travel with the PR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -q -p bench --bench commit_scaling >BENCH_PR2.json
+cat BENCH_PR2.json

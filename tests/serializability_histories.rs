@@ -3,8 +3,10 @@
 //!
 //! Every transaction logs its operations (reads with the value observed,
 //! writes with the value written) and obtains a **commit-order stamp** from
-//! a commit handler — handlers run under the STM's global commit mutex, so
-//! the stamps are exactly the serialization order the system claims.
+//! a commit handler — handlers run under the STM's handler lane, which a
+//! handler-bearing transaction holds from before its point of no return
+//! through handler completion, so the stamps are exactly the serialization
+//! order the system claims.
 //!
 //! Afterwards we replay all committed transactions in stamp order against a
 //! sequential model map. If every logged read matches the replayed state,
@@ -73,7 +75,7 @@ fn run_history(threads: u64, txns_per_thread: u64, key_space: u64, with_size_ops
                             }
                         }
                         // Commit-order stamp: handlers are serialized by the
-                        // global commit mutex.
+                        // handler lane.
                         let sc2 = sc.clone();
                         let sq2 = sq.clone();
                         // Commit-order stamp; aborted attempts must leave no
