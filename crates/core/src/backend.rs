@@ -8,6 +8,14 @@
 //! structure. Any structure whose operations are transactional (take a
 //! `&mut Txn`) can be wrapped — the reproduction wraps [`txstruct::TxHashMap`],
 //! [`txstruct::SegmentedTxHashMap`] and [`txstruct::TxTreeMap`].
+//!
+//! Backends are deliberately ignorant of the semantic lock tables: the
+//! wrapper stripes its lock table by key hash (`locks::StripedTables`) and
+//! serializes every committed mutation through the handler lane, so a
+//! backend only ever sees body-side open-nested reads and handler-side
+//! direct-mode applies — no stripe, and no stripe count, is visible at this
+//! interface. Wrapping the same backend with 1 stripe or 16 yields
+//! identical committed histories.
 
 use std::ops::Bound;
 use stm::Txn;

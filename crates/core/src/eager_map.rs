@@ -18,6 +18,12 @@
 //!   loop converts to livelock-free waiting) or dooms them (aggressive
 //!   contention management).
 //!
+//! The reader/writer key tables are striped like the optimistic map's:
+//! each key's reader set and writer slot live in the key's stripe, so the
+//! entire reader-vs-writer negotiation for a key is one short stripe hold;
+//! the size-lock set and the pending in-place size delta live in the global
+//! stripe.
+//!
 //! The class preserves the same external semantics (atomicity, isolation,
 //! abstract-datatype serializability) — the `eager_vs_lazy` test suite and
 //! the `ablation_eager` bench compare the two strategies under contention.
@@ -26,10 +32,10 @@
 //! optimistic wrapper (an eager iterator would have to write-lock every
 //! visited key, which §5.1's performance framing argues against).
 
+// txlint: semantic-tables
 use crate::backend::MapBackend;
-use crate::locks::{doom_others, Owner, SemanticStats};
-use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use crate::locks::{doom_others, LocalTable, Owner, SemanticStats, StripedTables, DEFAULT_STRIPES};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::Arc;
 use stm::{TxState, Txn, TxnMode};
@@ -75,31 +81,37 @@ impl<K, V> Default for EagerLocal<K, V> {
     }
 }
 
-struct EagerTables<K> {
+/// One stripe of the eager map's key tables: reader sets and exclusive
+/// writer slots for the keys hashing to this stripe.
+struct EagerShard<K> {
     readers: HashMap<K, HashSet<Owner>>,
     writers: HashMap<K, Owner>,
+}
+
+impl<K> Default for EagerShard<K> {
+    fn default() -> Self {
+        EagerShard {
+            readers: HashMap::new(),
+            writers: HashMap::new(),
+        }
+    }
+}
+
+/// Global-stripe payload: size observers and the uncommitted in-place
+/// size delta.
+#[derive(Default)]
+struct EagerGlobal {
     size_lockers: HashSet<Owner>,
     /// Sum of uncommitted in-place size changes; subtracted from the
     /// backend's length so readers see the committed size.
     pending_delta: i64,
 }
 
-impl<K> Default for EagerTables<K> {
-    fn default() -> Self {
-        EagerTables {
-            readers: HashMap::new(),
-            writers: HashMap::new(),
-            size_lockers: HashSet::new(),
-            pending_delta: 0,
-        }
-    }
-}
-
 struct EagerInner<K, V, B> {
     backend: B,
     policy: EagerPolicy,
-    tables: Mutex<EagerTables<K>>,
-    locals: Mutex<HashMap<u64, EagerLocal<K, V>>>,
+    tables: StripedTables<EagerShard<K>, EagerGlobal>,
+    locals: LocalTable<EagerLocal<K, V>>,
     stats: SemanticStats,
 }
 
@@ -138,14 +150,19 @@ where
     V: Clone + Send + Sync + 'static,
     B: MapBackend<K, V>,
 {
-    /// Wrap an existing map implementation.
+    /// Wrap an existing map implementation ([`DEFAULT_STRIPES`] stripes).
     pub fn wrap(backend: B, policy: EagerPolicy) -> Self {
+        Self::wrap_with_stripes(backend, policy, DEFAULT_STRIPES)
+    }
+
+    /// Wrap with an explicit stripe count for the reader/writer key tables.
+    pub fn wrap_with_stripes(backend: B, policy: EagerPolicy, nstripes: usize) -> Self {
         EagerTransactionalMap {
             inner: Arc::new(EagerInner {
                 backend,
                 policy,
-                tables: Mutex::new(EagerTables::default()),
-                locals: Mutex::new(HashMap::new()),
+                tables: StripedTables::new(nstripes, EagerGlobal::default()),
+                locals: LocalTable::new(nstripes),
                 stats: SemanticStats::default(),
             }),
         }
@@ -163,32 +180,23 @@ where
         );
     }
 
+    /// Register handlers before creating the locals entry (see the
+    /// optimistic map's `ensure_registered` for why this order is
+    /// unwind-safe).
     fn ensure_registered(&self, tx: &mut Txn) {
         let id = tx.handle().id();
-        let fresh = {
-            let mut locals = self.inner.locals.lock();
-            match locals.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(EagerLocal::default());
-                    true
-                }
-                std::collections::hash_map::Entry::Occupied(_) => false,
-            }
-        };
-        if fresh {
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_commit_top(move |_htx| eager_commit_handler(&inner, h.id()));
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_abort_top(move |htx| eager_abort_handler(&inner, htx, h.id()));
+        if self.inner.locals.contains(id) {
+            return;
         }
+        let inner = self.inner.clone();
+        tx.on_commit_top(move |_htx| eager_commit_handler(&inner, id));
+        let inner = self.inner.clone();
+        tx.on_abort_top(move |htx| eager_abort_handler(&inner, htx, id));
+        self.inner.locals.with(id, |_| {});
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut EagerLocal<K, V>) -> R) -> R {
-        let id = tx.handle().id();
-        let mut locals = self.inner.locals.lock();
-        f(locals.entry(id).or_default())
+        self.inner.locals.with(tx.handle().id(), f)
     }
 
     /// Is this owner (by id) an *other, still-active* transaction?
@@ -207,18 +215,21 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         let self_id = tx.handle().id();
-        {
-            let mut t = self.inner.tables.lock();
-            if let Some(w) = t.writers.get(key) {
-                if Self::is_other_active(w, self_id) {
-                    drop(t);
-                    stm::abort_and_retry();
+        let owner = tx.handle().clone();
+        let blocked = self
+            .inner
+            .tables
+            .with_stripe_for(key, &self.inner.stats, |s| {
+                if let Some(w) = s.writers.get(key) {
+                    if Self::is_other_active(w, self_id) {
+                        return true;
+                    }
                 }
-            }
-            t.readers
-                .entry(key.clone())
-                .or_default()
-                .insert(tx.handle().clone());
+                s.readers.entry(key.clone()).or_default().insert(owner);
+                false
+            });
+        if blocked {
+            stm::abort_and_retry();
         }
         self.with_local(tx, |l| {
             l.read_keys.insert(key.clone());
@@ -233,19 +244,20 @@ where
     }
 
     /// Committed size: the backend length minus all pending in-place deltas,
-    /// plus this transaction's own delta. Takes the size lock.
+    /// plus this transaction's own delta. Takes the size lock (global
+    /// stripe).
     pub fn size(&self, tx: &mut Txn) -> usize {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        let (pending, own) = {
-            let mut t = self.inner.tables.lock();
-            t.size_lockers.insert(tx.handle().clone());
-            let own = self.with_local(tx, |l| {
-                l.holds_size_lock = true;
-                l.delta
-            });
-            (t.pending_delta, own)
-        };
+        let own = self.with_local(tx, |l| {
+            l.holds_size_lock = true;
+            l.delta
+        });
+        let owner = tx.handle().clone();
+        let pending = self.inner.tables.with_global(&self.inner.stats, |g| {
+            g.size_lockers.insert(owner);
+            g.pending_delta
+        });
         let backend = &self.inner.backend;
         let raw = tx.open(|otx| backend.len(otx)) as i64;
         (raw - pending + own).max(0) as usize
@@ -264,37 +276,38 @@ where
     /// policy. Returns without the lock only by unwinding (abort & retry).
     fn acquire_write_lock(&self, tx: &mut Txn, key: &K) {
         let self_id = tx.handle().id();
-        let mut t = self.inner.tables.lock();
-        if let Some(w) = t.writers.get(key) {
-            if Self::is_other_active(w, self_id) {
-                // Two in-place writers on one key can never coexist.
-                drop(t);
-                stm::abort_and_retry();
-            }
-        }
-        let readers_present = t
-            .readers
-            .get(key)
-            .map(|rs| rs.iter().any(|o| Self::is_other_active(o, self_id)))
-            .unwrap_or(false);
-        if readers_present {
-            match self.inner.policy {
-                EagerPolicy::WriterWaits => {
-                    drop(t);
-                    stm::abort_and_retry();
+        let owner = tx.handle().clone();
+        let policy = self.inner.policy;
+        let stats = &self.inner.stats;
+        let blocked = self.inner.tables.with_stripe_for(key, stats, |s| {
+            if let Some(w) = s.writers.get(key) {
+                if Self::is_other_active(w, self_id) {
+                    // Two in-place writers on one key can never coexist.
+                    return true;
                 }
-                EagerPolicy::DoomReaders => {
-                    if let Some(rs) = t.readers.get_mut(key) {
-                        let doomed = doom_others(rs, self_id);
-                        self.inner
-                            .stats
-                            .bump(&self.inner.stats.key_conflicts, doomed);
+            }
+            let readers_present = s
+                .readers
+                .get(key)
+                .map(|rs| rs.iter().any(|o| Self::is_other_active(o, self_id)))
+                .unwrap_or(false);
+            if readers_present {
+                match policy {
+                    EagerPolicy::WriterWaits => return true,
+                    EagerPolicy::DoomReaders => {
+                        if let Some(rs) = s.readers.get_mut(key) {
+                            let doomed = doom_others(rs, self_id);
+                            stats.bump(&stats.key_conflicts, doomed);
+                        }
                     }
                 }
             }
+            s.writers.insert(key.clone(), owner);
+            false
+        });
+        if blocked {
+            stm::abort_and_retry();
         }
-        t.writers.insert(key.clone(), tx.handle().clone());
-        drop(t);
         self.with_local(tx, |l| {
             l.write_keys.insert(key.clone());
         });
@@ -304,13 +317,13 @@ where
     /// size observers (early, pessimistic).
     fn size_changed(&self, tx: &mut Txn, change: i64) {
         let self_id = tx.handle().id();
-        let mut t = self.inner.tables.lock();
-        t.pending_delta += change;
-        let doomed = doom_others(&mut t.size_lockers, self_id);
-        self.inner
-            .stats
-            .bump(&self.inner.stats.size_conflicts, doomed);
-        drop(t);
+        self.inner.tables.with_global(&self.inner.stats, |g| {
+            g.pending_delta += change;
+            let doomed = doom_others(&mut g.size_lockers, self_id);
+            self.inner
+                .stats
+                .bump(&self.inner.stats.size_conflicts, doomed);
+        });
         self.with_local(tx, |l| l.delta += change);
     }
 
@@ -373,26 +386,61 @@ where
 // Handlers
 // ----------------------------------------------------------------------
 
-fn release_owner<K: Clone + Eq + Hash, V>(
-    tables: &mut EagerTables<K>,
+/// Release every lock `id` holds: per-stripe reader/writer entries (stripes
+/// ascending, one at a time), then the global stripe's size lock and
+/// pending delta. `doom_write_key_readers` additionally dooms remaining
+/// readers of the written keys (commit path only).
+fn release_owner<K, V, B>(
+    inner: &EagerInner<K, V, B>,
     local: &EagerLocal<K, V>,
     id: u64,
-) {
+    doom_write_key_readers: bool,
+) where
+    K: Clone + Eq + Hash,
+{
+    let mut by_stripe: BTreeMap<usize, (Vec<&K>, Vec<&K>)> = BTreeMap::new();
     for k in &local.read_keys {
-        if let Some(rs) = tables.readers.get_mut(k) {
-            rs.retain(|o| o.id() != id);
-            if rs.is_empty() {
-                tables.readers.remove(k);
-            }
-        }
+        by_stripe
+            .entry(inner.tables.stripe_of(k))
+            .or_default()
+            .0
+            .push(k);
     }
     for k in &local.write_keys {
-        if tables.writers.get(k).map(|o| o.id() == id).unwrap_or(false) {
-            tables.writers.remove(k);
-        }
+        by_stripe
+            .entry(inner.tables.stripe_of(k))
+            .or_default()
+            .1
+            .push(k);
     }
-    tables.size_lockers.retain(|o| o.id() != id);
-    tables.pending_delta -= local.delta;
+    inner
+        .tables
+        .for_stripes_ascending(by_stripe.keys().copied(), &inner.stats, |si, s| {
+            let (reads, writes) = &by_stripe[&si];
+            for k in writes {
+                if doom_write_key_readers {
+                    if let Some(rs) = s.readers.get_mut(*k) {
+                        let doomed = doom_others(rs, id);
+                        inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                    }
+                }
+                if s.writers.get(*k).map(|o| o.id() == id).unwrap_or(false) {
+                    s.writers.remove(*k);
+                }
+            }
+            for k in reads {
+                if let Some(rs) = s.readers.get_mut(*k) {
+                    rs.retain(|o| o.id() != id);
+                    if rs.is_empty() {
+                        s.readers.remove(*k);
+                    }
+                }
+            }
+        });
+    inner.tables.with_global(&inner.stats, |g| {
+        g.size_lockers.retain(|o| o.id() != id);
+        g.pending_delta -= local.delta;
+    });
 }
 
 fn eager_commit_handler<K, V, B>(inner: &Arc<EagerInner<K, V, B>>, id: u64)
@@ -405,15 +453,8 @@ where
     // our written keys that appeared after our write lock (none can exist —
     // they abort on seeing the write lock — but a doomed-then-revived
     // bookkeeping race is cheap to close), and release everything.
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
-    let mut t = inner.tables.lock();
-    for k in &local.write_keys {
-        if let Some(rs) = t.readers.get_mut(k) {
-            let doomed = doom_others(rs, id);
-            inner.stats.bump(&inner.stats.key_conflicts, doomed);
-        }
-    }
-    release_owner(&mut t, &local, id);
+    let local = inner.locals.remove(id).unwrap_or_default();
+    release_owner(inner, &local, id, true);
 }
 
 fn eager_abort_handler<K, V, B>(inner: &Arc<EagerInner<K, V, B>>, htx: &mut Txn, id: u64)
@@ -423,7 +464,7 @@ where
     B: MapBackend<K, V>,
 {
     // Compensate: apply the undo log in reverse (direct mode), then release.
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let local = inner.locals.remove(id).unwrap_or_default();
     for op in local.undo.iter().rev() {
         match op {
             UndoOp::Restore(k, v) => {
@@ -434,8 +475,7 @@ where
             }
         }
     }
-    let mut t = inner.tables.lock();
-    release_owner(&mut t, &local, id);
+    release_owner(inner, &local, id, false);
 }
 
 #[cfg(test)]

@@ -86,7 +86,10 @@ mod sorted_map;
 
 pub use backend::{MapBackend, QueueBackend, SortedMapBackend};
 pub use eager_map::{EagerPolicy, EagerTransactionalMap};
-pub use locks::{mode_compatible, ObsMode, Owner, RangeIndexKind, SemanticStats, UpdateEffect};
+pub use locks::{
+    mode_compatible, stripe_index, ObsMode, Owner, RangeIndexKind, SemanticStats, StripeHasher,
+    UpdateEffect, DEFAULT_STRIPES,
+};
 pub use map::{TransactionalMap, TxMapIter};
 pub use queue::{Channel, TransactionalQueue};
 pub use set::{TransactionalSet, TransactionalSortedSet};

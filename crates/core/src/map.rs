@@ -1,6 +1,10 @@
 //! `TransactionalMap` — semantic concurrency control for the `Map` abstract
 //! data type (paper §3.1).
 //!
+//! This file carries the semantic-tables marker (txlint TX007): stripe
+//! mutexes are acquired exclusively through the ordered-acquisition surface
+//! of `locks::StripedTables`, never by indexing a stripe array directly.
+//!
 //! # Protocol
 //!
 //! Following the paper's three-step recipe (§2.4):
@@ -8,10 +12,11 @@
 //! 1. **Take semantic locks on read operations.** `get`/`contains_key` take a
 //!    key lock on their argument; `size` takes the size lock; the iterator
 //!    takes key locks on returned keys and the size lock once exhausted
-//!    (Table 2). Lock acquisition is a short critical section on the
-//!    instance's lock-table mutex, after which the committed value is read in
-//!    an **open-nested** transaction — so the parent transaction carries *no
-//!    memory dependency* on the underlying structure.
+//!    (Table 2). Lock acquisition is a short critical section on one stripe
+//!    of the instance's striped lock table (point locks live in the global
+//!    stripe), after which the committed value is read in an **open-nested**
+//!    transaction — so the parent transaction carries *no memory dependency*
+//!    on the underlying structure.
 //! 2. **Check for semantic conflicts while writing during commit.** Writes
 //!    (`put`/`remove`) are buffered in transaction-local state (`storeBuffer`,
 //!    `delta` — Table 3). The commit handler applies the buffer to the
@@ -21,24 +26,30 @@
 //!    transaction's locks and discard its local state; the abort handler is
 //!    the compensating transaction for the open-nested lock acquisitions.
 //!
-//! # Why lock-then-read is sound
+//! # Why lock-then-read is sound under striping
 //!
 //! A reader takes its key lock *before* reading the committed value; a
 //! committing writer applies its changes and *then* scans lockers, with the
-//! per-key apply and the doom-scan under one hold of this instance's table
-//! mutex (and all handler execution serialized by the stm crate's handler
-//! lane). If the reader saw the old value, its lock was in the table before
-//! the writer's scan, so the writer dooms it — and the doom lands, because a
-//! handler-bearing reader's point of no return sits inside its own lane
-//! hold, which cannot overlap the writer's. If the reader's lock arrived
-//! after the scan, the table-mutex ordering means the apply already
-//! happened, so its open-nested read validates against the fully applied
-//! new value — either way the reader is serializable. See
+//! per-key apply and the doom-scan for that key under one hold of the
+//! stripe the key hashes to (and all handler execution serialized by the
+//! stm crate's handler lane). If the reader saw the old value, its lock was
+//! in the stripe before the writer's scan, so the writer dooms it — and the
+//! doom lands, because a handler-bearing reader's point of no return sits
+//! inside its own lane hold, which cannot overlap the writer's. If the
+//! reader's lock arrived after the scan, the stripe-mutex ordering means
+//! the apply already happened, so its open-nested read validates against
+//! the fully applied new value — either way the reader is serializable.
+//! Size/empty observers take their locks in the global stripe, which the
+//! writer's handler enters only **after** applying every buffered write, so
+//! the same two-case argument holds for them against the whole commit. See
 //! `docs/PROTOCOL.md` for the full argument under the sharded commit path.
 
+// txlint: semantic-tables
 use crate::backend::MapBackend;
-use crate::locks::{MapLockTables, SemanticStats, UpdateEffect};
-use parking_lot::Mutex;
+use crate::locks::{
+    bucket_order, LocalTable, MapTables, PointLocks, SemanticStats, StripedTables, UpdateEffect,
+    DEFAULT_STRIPES,
+};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::Arc;
@@ -81,8 +92,8 @@ impl<K, V> Default for MapLocal<K, V> {
 
 pub(crate) struct MapInner<K, V, B> {
     pub backend: B,
-    pub tables: Mutex<MapLockTables<K>>,
-    pub locals: Mutex<HashMap<u64, MapLocal<K, V>>>,
+    pub tables: MapTables<K>,
+    pub locals: LocalTable<MapLocal<K, V>>,
     pub stats: SemanticStats,
 }
 
@@ -121,6 +132,13 @@ where
         Self::wrap(TxHashMap::new())
     }
 
+    /// Create over a fresh [`TxHashMap`] with an explicit stripe count for
+    /// the semantic lock table (rounded up to a power of two; `1` recovers
+    /// the single-table behavior of the unstriped design).
+    pub fn with_stripes(nstripes: usize) -> Self {
+        Self::wrap_with_stripes(TxHashMap::new(), nstripes)
+    }
+
     /// Create over a fresh, pre-sized [`TxHashMap`].
     pub fn with_capacity(capacity: usize) -> Self {
         Self::wrap(TxHashMap::with_capacity(capacity))
@@ -145,12 +163,18 @@ where
 {
     /// Wrap an existing map implementation (the paper's drop-in-replacement
     /// use: "they can serve as drop-in replacements in existing programs").
+    /// Uses [`DEFAULT_STRIPES`] key stripes.
     pub fn wrap(backend: B) -> Self {
+        Self::wrap_with_stripes(backend, DEFAULT_STRIPES)
+    }
+
+    /// Wrap an existing map implementation with an explicit stripe count.
+    pub fn wrap_with_stripes(backend: B, nstripes: usize) -> Self {
         TransactionalMap {
             inner: Arc::new(MapInner {
                 backend,
-                tables: Mutex::new(MapLockTables::default()),
-                locals: Mutex::new(HashMap::new()),
+                tables: StripedTables::new(nstripes, PointLocks::default()),
+                locals: LocalTable::new(nstripes),
                 stats: SemanticStats::default(),
             }),
         }
@@ -159,6 +183,11 @@ where
     /// Semantic-conflict counters for this instance.
     pub fn semantic_stats(&self) -> &SemanticStats {
         &self.inner.stats
+    }
+
+    /// Number of key stripes in this instance's semantic lock table.
+    pub fn stripe_count(&self) -> usize {
+        self.inner.tables.stripe_count()
     }
 
     fn assert_usable(tx: &Txn) {
@@ -170,41 +199,36 @@ where
 
     /// Create local state and register the single commit/abort handler pair
     /// on first use by this top-level transaction (paper §5 guidelines).
+    ///
+    /// Handlers are registered **before** the locals entry is created: only
+    /// this transaction's own thread ever creates its entry, so the
+    /// `contains` probe is stable, and an unwind during registration then
+    /// cannot leave an orphaned entry with no abort handler to remove it.
     fn ensure_registered(&self, tx: &mut Txn) {
         let id = tx.handle().id();
-        let fresh = {
-            let mut locals = self.inner.locals.lock();
-            match locals.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(MapLocal::default());
-                    true
-                }
-                std::collections::hash_map::Entry::Occupied(_) => false,
-            }
-        };
-        if fresh {
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_commit_top(move |htx| commit_handler(&inner, htx, h.id()));
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_abort_top(move |_htx| abort_handler(&inner, h.id()));
+        if self.inner.locals.contains(id) {
+            return;
         }
+        let inner = self.inner.clone();
+        tx.on_commit_top(move |htx| commit_handler(&inner, htx, id));
+        let inner = self.inner.clone();
+        tx.on_abort_top(move |_htx| abort_handler(&inner, id));
+        self.inner.locals.with(id, |_| {});
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut MapLocal<K, V>) -> R) -> R {
-        let id = tx.handle().id();
-        let mut locals = self.inner.locals.lock();
-        f(locals.entry(id).or_default())
+        self.inner.locals.with(tx.handle().id(), f)
     }
 
-    /// Take a key read lock and remember it locally for cheap release.
+    /// Take a key read lock (in the key's stripe) and remember it locally
+    /// for cheap release.
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
         let owner = tx.handle().clone();
-        {
-            let mut tables = self.inner.tables.lock();
-            tables.take_key_lock(key.clone(), owner);
-        }
+        self.inner
+            .tables
+            .with_stripe_for(key, &self.inner.stats, |s| {
+                s.take_key_lock(key.clone(), owner);
+            });
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
         });
@@ -227,7 +251,9 @@ where
     /// Buffer a write, maintaining `delta`/`blind`, and register a local
     /// undo so the mutation rolls back if an enclosing closed-nested frame
     /// aborts (the encapsulated alternative to Moss-style interleaved undo,
-    /// paper §5.1).
+    /// paper §5.1). The undo goes through the non-creating
+    /// `LocalTable::update`, so it can never resurrect local state that a
+    /// handler already removed.
     fn buffer_write(
         &self,
         tx: &mut Txn,
@@ -250,8 +276,7 @@ where
         let inner = self.inner.clone();
         let key2 = key.clone();
         tx.on_local_undo(move || {
-            let mut locals = inner.locals.lock();
-            if let Some(l) = locals.get_mut(&id) {
+            inner.locals.update(id, |l| {
                 match prev_entry {
                     Some(w) => {
                         l.store_buffer.insert(key2.clone(), w);
@@ -264,7 +289,7 @@ where
                     l.blind.remove(&key2);
                 }
                 l.delta -= delta_change;
-            }
+            });
         });
     }
 
@@ -322,15 +347,16 @@ where
     }
 
     /// Number of entries as seen by this transaction. Takes the **size
-    /// lock**: any committing transaction that changes the size dooms us.
+    /// lock** (global stripe): any committing transaction that changes the
+    /// size dooms us.
     pub fn size(&self, tx: &mut Txn) -> usize {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        {
-            let mut tables = self.inner.tables.lock();
-            tables.take_size_lock(tx.handle().clone());
-        }
+        let owner = tx.handle().clone();
+        self.inner
+            .tables
+            .with_global(&self.inner.stats, |g| g.take_size_lock(owner));
         let backend = &self.inner.backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
@@ -352,10 +378,10 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        {
-            let mut tables = self.inner.tables.lock();
-            tables.take_empty_lock(tx.handle().clone());
-        }
+        let owner = tx.handle().clone();
+        self.inner
+            .tables
+            .with_global(&self.inner.stats, |g| g.take_empty_lock(owner));
         let backend = &self.inner.backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
@@ -546,9 +572,23 @@ where
         self.entries(tx).into_iter().map(|(k, _)| k).collect()
     }
 
-    /// Number of semantic locks currently outstanding (diagnostics).
+    /// Number of semantic key locks currently outstanding across all
+    /// stripes (diagnostics).
     pub fn locked_key_count(&self) -> usize {
-        self.inner.tables.lock().locked_key_count()
+        let mut n = 0;
+        self.inner.tables.for_stripes_ascending(
+            0..self.inner.tables.stripe_count(),
+            &self.inner.stats,
+            |_, s| n += s.locked_key_count(),
+        );
+        n
+    }
+
+    /// Number of per-transaction local-state entries currently live across
+    /// all shards (diagnostics: nonzero with no transaction in flight means
+    /// a handler leaked an entry).
+    pub fn resident_local_count(&self) -> usize {
+        self.inner.locals.len()
     }
 }
 
@@ -605,10 +645,11 @@ where
             }
             if !self.exhausted {
                 self.exhausted = true;
-                {
-                    let mut tables = self.map.inner.tables.lock();
-                    tables.take_size_lock(tx.handle().clone());
-                }
+                let owner = tx.handle().clone();
+                self.map
+                    .inner
+                    .tables
+                    .with_global(&self.map.inner.stats, |g| g.take_size_lock(owner));
                 // Completeness check: keys committed after our snapshot would
                 // silently be missed. Verify the set of confirmed keys equals
                 // the live committed key set; otherwise abort and retry. Every
@@ -631,48 +672,105 @@ where
 // Handlers (run in direct mode under the stm handler lane)
 // ----------------------------------------------------------------------
 
+/// One entry of a committing transaction's footprint: a buffered write to
+/// apply or a key lock to release. Discriminant order makes a stripe-major
+/// sort put every apply before every release within one stripe visit.
+enum FootprintOp<'a, K, V> {
+    Write(&'a K, &'a BufWrite<V>),
+    Unlock(&'a K),
+}
+
 pub(crate) fn commit_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, htx: &mut Txn, id: u64)
 where
     K: Clone + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
     B: MapBackend<K, V>,
 {
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
-    let mut tables = inner.tables.lock();
+    let local = inner.locals.remove(id).unwrap_or_default();
+
+    // Flatten the buffered writes and held key locks into ONE footprint
+    // vec grouped by stripe via a comparison-free counting sort (handlers
+    // run on every commit, so this path avoids per-stripe containers and
+    // branchy sorts on random stripe ids), then visit the touched stripes
+    // strictly in ascending index order (the striped lock-order
+    // invariant). The per-key apply and the doom-scan for that key happen
+    // under one hold of its stripe, applies before releases (each stripe
+    // has two buckets: even = applies, odd = releases).
+    let mut foot: Vec<(u32, FootprintOp<K, V>)> =
+        Vec::with_capacity(local.store_buffer.len() + local.key_locks.len());
+    for (k, w) in &local.store_buffer {
+        foot.push((
+            (inner.tables.stripe_of(k) * 2) as u32,
+            FootprintOp::Write(k, w),
+        ));
+    }
+    for k in &local.key_locks {
+        foot.push((
+            (inner.tables.stripe_of(k) * 2 + 1) as u32,
+            FootprintOp::Unlock(k),
+        ));
+    }
+    let order = bucket_order(foot.len(), inner.tables.stripe_count() * 2, |i| foot[i].0);
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = (foot[i as usize].0 >> 1) as usize;
+        if touched.last() != Some(&s) {
+            touched.push(s);
+        }
+    }
 
     let size_before = inner.backend.len(htx) as isize;
     let mut size_after = size_before;
-    for (k, w) in &local.store_buffer {
-        match w {
-            BufWrite::Put(v) => {
-                let old = inner.backend.insert(htx, k.clone(), v.clone());
-                if old.is_none() {
-                    size_after += 1;
+    let mut cursor = 0;
+    inner
+        .tables
+        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
+            while let Some(&i) = order.get(cursor) {
+                let (b, op) = &foot[i as usize];
+                if (*b >> 1) as usize != si {
+                    break;
                 }
-                // put conflicts with any reader of this key (Table 2).
-                let (doomed, _, _) = tables.doom_update(UpdateEffect::KeyWrite, Some(k), id);
-                inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                cursor += 1;
+                match op {
+                    FootprintOp::Write(k, BufWrite::Put(v)) => {
+                        let old = inner.backend.insert(htx, (*k).clone(), v.clone());
+                        if old.is_none() {
+                            size_after += 1;
+                        }
+                        // put conflicts with any reader of this key (Table 2).
+                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                        inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                    }
+                    FootprintOp::Write(k, BufWrite::Remove) => {
+                        let old = inner.backend.remove(htx, k);
+                        if old.is_some() {
+                            size_after -= 1;
+                            // Removing nothing conflicts with nobody (Table 1).
+                            let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                            inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                        }
+                    }
+                    FootprintOp::Unlock(k) => {
+                        shard.release_keys(id, std::iter::once(*k));
+                    }
+                }
             }
-            BufWrite::Remove => {
-                let old = inner.backend.remove(htx, k);
-                if old.is_some() {
-                    size_after -= 1;
-                    // Removing nothing conflicts with nobody (Table 1).
-                    let (doomed, _, _) = tables.doom_update(UpdateEffect::KeyWrite, Some(k), id);
-                    inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                }
+        });
+
+    // Global stripe last: every key apply above happens-before this hold,
+    // so a size/empty observer locking after this scan reads the fully
+    // applied post-commit state.
+    inner.tables.with_global(&inner.stats, |g| {
+        if size_after != size_before {
+            let (by_size, _) = g.doom_update(UpdateEffect::SizeChange, id);
+            inner.stats.bump(&inner.stats.size_conflicts, by_size);
+            if (size_before == 0) != (size_after == 0) {
+                let (_, by_empty) = g.doom_update(UpdateEffect::ZeroCross, id);
+                inner.stats.bump(&inner.stats.empty_conflicts, by_empty);
             }
         }
-    }
-    if size_after != size_before {
-        let (_, doomed, _) = tables.doom_update(UpdateEffect::SizeChange, None, id);
-        inner.stats.bump(&inner.stats.size_conflicts, doomed);
-        if (size_before == 0) != (size_after == 0) {
-            let (_, _, doomed) = tables.doom_update(UpdateEffect::ZeroCross, None, id);
-            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-        }
-    }
-    tables.release_owner(id, local.key_locks.iter());
+        g.release_owner(id);
+    });
 }
 
 pub(crate) fn abort_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, id: u64)
@@ -680,8 +778,33 @@ where
     K: Clone + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
-    // Compensating transaction: discard buffered state, release locks.
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
-    let mut tables = inner.tables.lock();
-    tables.release_owner(id, local.key_locks.iter());
+    // Compensating transaction: discard buffered state, release locks —
+    // stripes ascending, global stripe last (same order as commit).
+    let local = inner.locals.remove(id).unwrap_or_default();
+    let keys: Vec<(u32, &K)> = local
+        .key_locks
+        .iter()
+        .map(|k| (inner.tables.stripe_of(k) as u32, k))
+        .collect();
+    let order = bucket_order(keys.len(), inner.tables.stripe_count(), |i| keys[i].0);
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = keys[i as usize].0 as usize;
+        if touched.last() != Some(&s) {
+            touched.push(s);
+        }
+    }
+    let mut cursor = 0;
+    inner
+        .tables
+        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
+            let start = cursor;
+            while cursor < order.len() && keys[order[cursor] as usize].0 as usize == si {
+                cursor += 1;
+            }
+            shard.release_keys(id, order[start..cursor].iter().map(|&i| keys[i as usize].1));
+        });
+    inner
+        .tables
+        .with_global(&inner.stats, |g| g.release_owner(id));
 }

@@ -22,11 +22,19 @@
 //! conflict is emptiness: a transaction that observed an empty queue
 //! (null `peek`/`poll`) holds the **empty lock** and is doomed by any commit
 //! or abort that makes the queue non-empty (Tables 7–8).
+//!
+//! The queue has no per-key locks, so its whole semantic table (the empty
+//! and full locker sets) *is* a global stripe — one counted mutex — while
+//! the per-transaction `locals` buffers are sharded by transaction id like
+//! every other collection.
 
+// txlint: semantic-tables
 use crate::backend::QueueBackend;
-use crate::locks::{doom_others, mode_compatible, ObsMode, Owner, SemanticStats, UpdateEffect};
-use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use crate::locks::{
+    doom_others, mode_compatible, GlobalStripe, LocalTable, ObsMode, Owner, SemanticStats,
+    UpdateEffect, DEFAULT_STRIPES,
+};
+use std::collections::HashSet;
 use std::sync::Arc;
 use stm::{Txn, TxnMode};
 use txstruct::TxVecDeque;
@@ -86,8 +94,8 @@ struct QueueInner<T, B> {
     /// `None` = unbounded (the paper's queue); `Some(n)` = bounded Channel
     /// with full-lock semantics symmetric to the empty lock.
     capacity: Option<usize>,
-    tables: Mutex<QueueTables>,
-    locals: Mutex<HashMap<u64, QueueLocal<T>>>,
+    tables: GlobalStripe<QueueTables>,
+    locals: LocalTable<QueueLocal<T>>,
     stats: SemanticStats,
 }
 
@@ -138,36 +146,29 @@ where
     T: Clone + Send + Sync + 'static,
     B: QueueBackend<T>,
 {
-    /// Wrap an existing queue implementation (unbounded).
-    pub fn wrap(backend: B) -> Self {
+    fn build(backend: B, capacity: Option<usize>) -> Self {
         TransactionalQueue {
             inner: Arc::new(QueueInner {
                 backend,
-                capacity: None,
-                tables: Mutex::new(QueueTables {
+                capacity,
+                tables: GlobalStripe::new(QueueTables {
                     empty_lockers: HashSet::new(),
                     full_lockers: HashSet::new(),
                 }),
-                locals: Mutex::new(HashMap::new()),
+                locals: LocalTable::new(DEFAULT_STRIPES),
                 stats: SemanticStats::default(),
             }),
         }
     }
 
+    /// Wrap an existing queue implementation (unbounded).
+    pub fn wrap(backend: B) -> Self {
+        Self::build(backend, None)
+    }
+
     /// Wrap an existing queue implementation with a capacity bound.
     pub fn wrap_bounded(backend: B, capacity: usize) -> Self {
-        TransactionalQueue {
-            inner: Arc::new(QueueInner {
-                backend,
-                capacity: Some(capacity),
-                tables: Mutex::new(QueueTables {
-                    empty_lockers: HashSet::new(),
-                    full_lockers: HashSet::new(),
-                }),
-                locals: Mutex::new(HashMap::new()),
-                stats: SemanticStats::default(),
-            }),
-        }
+        Self::build(backend, Some(capacity))
     }
 
     /// Semantic-conflict counters (only `empty_conflicts` is used here).
@@ -182,48 +183,36 @@ where
         );
     }
 
+    /// Register handlers before creating the locals entry (see the map's
+    /// `ensure_registered` for why this order is unwind-safe).
     fn ensure_registered(&self, tx: &mut Txn) {
         let id = tx.handle().id();
-        let fresh = {
-            let mut locals = self.inner.locals.lock();
-            match locals.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(QueueLocal::default());
-                    true
-                }
-                std::collections::hash_map::Entry::Occupied(_) => false,
-            }
-        };
-        if fresh {
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_commit_top(move |htx| queue_commit_handler(&inner, htx, h.id()));
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_abort_top(move |htx| queue_abort_handler(&inner, htx, h.id()));
+        if self.inner.locals.contains(id) {
+            return;
         }
+        let inner = self.inner.clone();
+        tx.on_commit_top(move |htx| queue_commit_handler(&inner, htx, id));
+        let inner = self.inner.clone();
+        tx.on_abort_top(move |htx| queue_abort_handler(&inner, htx, id));
+        self.inner.locals.with(id, |_| {});
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut QueueLocal<T>) -> R) -> R {
-        let id = tx.handle().id();
-        let mut locals = self.inner.locals.lock();
-        f(locals.entry(id).or_default())
+        self.inner.locals.with(tx.handle().id(), f)
     }
 
     fn take_empty_lock(&self, tx: &Txn) {
-        self.inner
-            .tables
-            .lock()
-            .empty_lockers
-            .insert(tx.handle().clone());
+        let owner = tx.handle().clone();
+        self.inner.tables.with(&self.inner.stats, |t| {
+            t.empty_lockers.insert(owner);
+        });
     }
 
     fn take_full_lock(&self, tx: &Txn) {
-        self.inner
-            .tables
-            .lock()
-            .full_lockers
-            .insert(tx.handle().clone());
+        let owner = tx.handle().clone();
+        self.inner.tables.with(&self.inner.stats, |t| {
+            t.full_lockers.insert(owner);
+        });
     }
 
     /// The number of items this transaction would see: committed queue plus
@@ -276,10 +265,9 @@ where
         });
         let inner = self.inner.clone();
         tx.on_local_undo(move || {
-            let mut locals = inner.locals.lock();
-            if let Some(l) = locals.get_mut(&id) {
+            inner.locals.update(id, |l| {
                 l.add_buffer.truncate(index);
-            }
+            });
         });
     }
 
@@ -312,13 +300,12 @@ where
             // the queue again: move it to the unconditional return buffer.
             let inner = self.inner.clone();
             tx.on_local_undo(move || {
-                let mut locals = inner.locals.lock();
-                if let Some(l) = locals.get_mut(&id) {
+                inner.locals.update(id, |l| {
                     if index < l.remove_buffer.len() {
                         let it = l.remove_buffer.remove(index);
                         l.return_buffer.push(it);
                     }
-                }
+                });
             });
             return Some(item);
         }
@@ -334,10 +321,9 @@ where
             let inner = self.inner.clone();
             let item2 = item.clone();
             tx.on_local_undo(move || {
-                let mut locals = inner.locals.lock();
-                if let Some(l) = locals.get_mut(&id) {
+                inner.locals.update(id, |l| {
                     l.add_buffer.insert(0, item2.clone());
-                }
+                });
             });
             return Some(item);
         }
@@ -374,7 +360,7 @@ where
     T: Clone + Send + Sync + 'static,
     B: QueueBackend<T>,
 {
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let local = inner.locals.remove(id).unwrap_or_default();
     let made_nonempty = !local.add_buffer.is_empty() || !local.return_buffer.is_empty();
     // Items permanently consumed: fullness observations are invalidated.
     let consumed = !local.remove_buffer.is_empty();
@@ -386,20 +372,21 @@ where
     for item in local.add_buffer {
         inner.backend.push_back(htx, item);
     }
-    let mut tables = inner.tables.lock();
-    // Route the dooms through the Tables 7–8 oracle: an emptiness
-    // observation is invalidated exactly by a zero-crossing publish, a
-    // fullness observation exactly by permanent consumption.
-    if made_nonempty && !mode_compatible(ObsMode::Empty, UpdateEffect::ZeroCross, false) {
-        let doomed = doom_others(&mut tables.empty_lockers, id);
-        inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-    }
-    if consumed && !mode_compatible(ObsMode::Full, UpdateEffect::Consume, false) {
-        let doomed = doom_others(&mut tables.full_lockers, id);
-        inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-    }
-    tables.empty_lockers.retain(|o| o.id() != id);
-    tables.full_lockers.retain(|o| o.id() != id);
+    inner.tables.with(&inner.stats, |tables| {
+        // Route the dooms through the Tables 7–8 oracle: an emptiness
+        // observation is invalidated exactly by a zero-crossing publish, a
+        // fullness observation exactly by permanent consumption.
+        if made_nonempty && !mode_compatible(ObsMode::Empty, UpdateEffect::ZeroCross, false) {
+            let doomed = doom_others(&mut tables.empty_lockers, id);
+            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+        }
+        if consumed && !mode_compatible(ObsMode::Full, UpdateEffect::Consume, false) {
+            let doomed = doom_others(&mut tables.full_lockers, id);
+            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+        }
+        tables.empty_lockers.retain(|o| o.id() != id);
+        tables.full_lockers.retain(|o| o.id() != id);
+    });
 }
 
 fn queue_abort_handler<T, B>(inner: &Arc<QueueInner<T, B>>, htx: &mut Txn, id: u64)
@@ -407,7 +394,7 @@ where
     T: Clone + Send + Sync + 'static,
     B: QueueBackend<T>,
 {
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
+    let local = inner.locals.remove(id).unwrap_or_default();
     let restored = !local.remove_buffer.is_empty() || !local.return_buffer.is_empty();
     // Compensation: return everything we dequeued; drop everything we only
     // buffered for addition.
@@ -417,13 +404,14 @@ where
     for item in local.return_buffer {
         inner.backend.push_front(htx, item);
     }
-    let mut tables = inner.tables.lock();
-    if restored {
-        // The queue may have gone from empty back to non-empty: emptiness
-        // observers are no longer serializable.
-        let doomed = doom_others(&mut tables.empty_lockers, id);
-        inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-    }
-    tables.empty_lockers.retain(|o| o.id() != id);
-    tables.full_lockers.retain(|o| o.id() != id);
+    inner.tables.with(&inner.stats, |tables| {
+        if restored {
+            // The queue may have gone from empty back to non-empty: emptiness
+            // observers are no longer serializable.
+            let doomed = doom_others(&mut tables.empty_lockers, id);
+            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+        }
+        tables.empty_lockers.retain(|o| o.id() != id);
+        tables.full_lockers.retain(|o| o.id() != id);
+    });
 }

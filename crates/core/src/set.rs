@@ -58,6 +58,14 @@ where
         }
     }
 
+    /// Wrap with an explicit semantic-lock stripe count (forwarded to
+    /// [`TransactionalMap::wrap_with_stripes`]).
+    pub fn wrap_with_stripes(backend: B, nstripes: usize) -> Self {
+        TransactionalSet {
+            map: TransactionalMap::wrap_with_stripes(backend, nstripes),
+        }
+    }
+
     /// Add an element; `true` if it was not already present (reads the
     /// element's presence, so it takes a key lock).
     pub fn add(&self, tx: &mut Txn, value: K) -> bool {
@@ -145,6 +153,14 @@ where
     pub fn wrap(backend: B) -> Self {
         TransactionalSortedSet {
             map: TransactionalSortedMap::wrap(backend),
+        }
+    }
+
+    /// Wrap with an explicit semantic-lock stripe count (forwarded to
+    /// [`TransactionalSortedMap::wrap_with_stripes`]).
+    pub fn wrap_with_stripes(backend: B, nstripes: usize) -> Self {
+        TransactionalSortedSet {
+            map: TransactionalSortedMap::wrap_with_stripes(backend, nstripes),
         }
     }
 

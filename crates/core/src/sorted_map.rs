@@ -13,6 +13,15 @@
 //! touched. The range lock covers the whole interval, so such inserts doom
 //! the iterator's transaction at the writer's commit.
 //!
+//! Key locks live in the striped table (one stripe per key-hash shard);
+//! the order-based tables — endpoint locks and range locks — live in the
+//! **global stripe** together with the size/empty point locks, because a
+//! range or endpoint observation concerns the whole ordered structure and
+//! cannot be attributed to one key shard. A committing writer's handler
+//! applies and dooms per key under the key's stripe (ascending order), then
+//! enters the global stripe once for the range/endpoint/size dooms — so
+//! order-based observers still see a totally ordered table.
+//!
 //! Range locks live, by default, in a flat scanned list — the paper's
 //! complexity-vs-overhead call — or in an interval tree
 //! ([`crate::RangeIndexKind::IntervalTree`], the alternative §3.2 mentions;
@@ -21,35 +30,23 @@
 //! each in its own open-nested transaction), merging the thread-local store
 //! buffer in key order.
 
+// txlint: semantic-tables
 use crate::backend::SortedMapBackend;
-use crate::locks::{MapLockTables, RangeIndexKind, SemanticStats, SortedLockTables, UpdateEffect};
+use crate::locks::{
+    bucket_order, LocalTable, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables,
+    StripedTables, UpdateEffect, DEFAULT_STRIPES,
+};
 use crate::map::{BufWrite, MapLocal};
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::ops::Bound;
 use std::sync::Arc;
 use stm::{Txn, TxnMode};
 use txstruct::TxTreeMap;
 
-pub(crate) struct AllTables<K> {
-    pub map: MapLockTables<K>,
-    pub sorted: SortedLockTables<K>,
-}
-
-impl<K: Clone + Ord> Default for AllTables<K> {
-    fn default() -> Self {
-        AllTables {
-            map: MapLockTables::default(),
-            sorted: SortedLockTables::default(),
-        }
-    }
-}
-
 pub(crate) struct SortedInner<K, V, B> {
     pub backend: B,
-    pub tables: Mutex<AllTables<K>>,
-    pub locals: Mutex<HashMap<u64, MapLocal<K, V>>>,
+    pub tables: SortedTables<K>,
+    pub locals: LocalTable<MapLocal<K, V>>,
     pub stats: SemanticStats,
 }
 
@@ -93,6 +90,13 @@ where
     pub fn new() -> Self {
         Self::wrap(TxTreeMap::new())
     }
+
+    /// Create over a fresh [`TxTreeMap`] with an explicit stripe count for
+    /// the key-lock table (rounded up to a power of two; `1` recovers the
+    /// single-table behavior).
+    pub fn with_stripes(nstripes: usize) -> Self {
+        Self::wrap_with_stripes(TxTreeMap::new(), nstripes)
+    }
 }
 
 impl<K, V> Default for TransactionalSortedMap<K, V, TxTreeMap<K, V>>
@@ -111,7 +115,8 @@ where
     V: Clone + Send + Sync + 'static,
     B: SortedMapBackend<K, V>,
 {
-    /// Wrap an existing sorted map implementation.
+    /// Wrap an existing sorted map implementation ([`DEFAULT_STRIPES`] key
+    /// stripes, flat-scan range index).
     pub fn wrap(backend: B) -> Self {
         Self::wrap_with_range_index(backend, RangeIndexKind::FlatScan)
     }
@@ -119,14 +124,21 @@ where
     /// Wrap with an explicit range-lock index (paper §3.2 discusses the
     /// flat-scan default vs an interval tree; see `RangeIndexKind`).
     pub fn wrap_with_range_index(backend: B, kind: RangeIndexKind) -> Self {
+        Self::wrap_full(backend, kind, DEFAULT_STRIPES)
+    }
+
+    /// Wrap with an explicit key-stripe count (flat-scan range index).
+    pub fn wrap_with_stripes(backend: B, nstripes: usize) -> Self {
+        Self::wrap_full(backend, RangeIndexKind::FlatScan, nstripes)
+    }
+
+    /// Wrap with both knobs explicit.
+    pub fn wrap_full(backend: B, kind: RangeIndexKind, nstripes: usize) -> Self {
         TransactionalSortedMap {
             inner: Arc::new(SortedInner {
                 backend,
-                tables: Mutex::new(AllTables {
-                    map: MapLockTables::default(),
-                    sorted: SortedLockTables::with_kind(kind),
-                }),
-                locals: Mutex::new(HashMap::new()),
+                tables: StripedTables::new(nstripes, SortedGlobal::with_kind(kind)),
+                locals: LocalTable::new(nstripes),
                 stats: SemanticStats::default(),
             }),
         }
@@ -137,6 +149,11 @@ where
         &self.inner.stats
     }
 
+    /// Number of key stripes in this instance's semantic lock table.
+    pub fn stripe_count(&self) -> usize {
+        self.inner.tables.stripe_count()
+    }
+
     fn assert_usable(tx: &Txn) {
         assert!(
             tx.mode() == TxnMode::Speculative,
@@ -144,40 +161,31 @@ where
         );
     }
 
+    /// Register handlers before creating the locals entry (see the map's
+    /// `ensure_registered` for why this order is unwind-safe).
     fn ensure_registered(&self, tx: &mut Txn) {
         let id = tx.handle().id();
-        let fresh = {
-            let mut locals = self.inner.locals.lock();
-            match locals.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(MapLocal::default());
-                    true
-                }
-                std::collections::hash_map::Entry::Occupied(_) => false,
-            }
-        };
-        if fresh {
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_commit_top(move |htx| sorted_commit_handler(&inner, htx, h.id()));
-            let inner = self.inner.clone();
-            let h = tx.handle().clone();
-            tx.on_abort_top(move |_htx| sorted_abort_handler(&inner, h.id()));
+        if self.inner.locals.contains(id) {
+            return;
         }
+        let inner = self.inner.clone();
+        tx.on_commit_top(move |htx| sorted_commit_handler(&inner, htx, id));
+        let inner = self.inner.clone();
+        tx.on_abort_top(move |_htx| sorted_abort_handler(&inner, id));
+        self.inner.locals.with(id, |_| {});
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut MapLocal<K, V>) -> R) -> R {
-        let id = tx.handle().id();
-        let mut locals = self.inner.locals.lock();
-        f(locals.entry(id).or_default())
+        self.inner.locals.with(tx.handle().id(), f)
     }
 
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
         let owner = tx.handle().clone();
-        {
-            let mut tables = self.inner.tables.lock();
-            tables.map.take_key_lock(key.clone(), owner);
-        }
+        self.inner
+            .tables
+            .with_stripe_for(key, &self.inner.stats, |s| {
+                s.take_key_lock(key.clone(), owner);
+            });
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
         });
@@ -219,8 +227,7 @@ where
         let inner = self.inner.clone();
         let key2 = key.clone();
         tx.on_local_undo(move || {
-            let mut locals = inner.locals.lock();
-            if let Some(l) = locals.get_mut(&id) {
+            inner.locals.update(id, |l| {
                 match prev_entry {
                     Some(w) => {
                         l.store_buffer.insert(key2.clone(), w);
@@ -233,7 +240,7 @@ where
                     l.blind.remove(&key2);
                 }
                 l.delta -= delta_change;
-            }
+            });
         });
     }
 
@@ -371,15 +378,15 @@ where
         }
     }
 
-    /// Number of entries (size lock).
+    /// Number of entries (size lock, global stripe).
     pub fn size(&self, tx: &mut Txn) -> usize {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        {
-            let mut tables = self.inner.tables.lock();
-            tables.map.take_size_lock(tx.handle().clone());
-        }
+        let owner = tx.handle().clone();
+        self.inner
+            .tables
+            .with_global(&self.inner.stats, |g| g.points.take_size_lock(owner));
         let backend = &self.inner.backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
@@ -397,10 +404,10 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        {
-            let mut tables = self.inner.tables.lock();
-            tables.map.take_empty_lock(tx.handle().clone());
-        }
+        let owner = tx.handle().clone();
+        self.inner
+            .tables
+            .with_global(&self.inner.stats, |g| g.points.take_empty_lock(owner));
         let backend = &self.inner.backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
@@ -485,8 +492,10 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         if matches!(lower, Bound::Unbounded) {
-            let mut tables = self.inner.tables.lock();
-            tables.sorted.take_first_lock(tx.handle().clone());
+            let owner = tx.handle().clone();
+            self.inner
+                .tables
+                .with_global(&self.inner.stats, |g| g.sorted.take_first_lock(owner));
         }
         for _attempt in 0..64 {
             let committed = self.committed_next(tx, &lower, &upper);
@@ -505,12 +514,12 @@ where
                 None => upper.clone(),
             };
             {
-                let mut tables = self.inner.tables.lock();
-                tables.sorted.add_range_lock(
-                    tx.handle().clone(),
-                    lower.clone(),
-                    lock_upper.clone(),
-                );
+                let owner = tx.handle().clone();
+                let lo = lower.clone();
+                let up = lock_upper.clone();
+                self.inner.tables.with_global(&self.inner.stats, |g| {
+                    g.sorted.add_range_lock(owner, lo, up);
+                });
             }
             // Verify under the lock.
             let verify = self.committed_next(tx, &lower, &lock_upper);
@@ -568,8 +577,10 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         if matches!(upper, Bound::Unbounded) {
-            let mut tables = self.inner.tables.lock();
-            tables.sorted.take_last_lock(tx.handle().clone());
+            let owner = tx.handle().clone();
+            self.inner
+                .tables
+                .with_global(&self.inner.stats, |g| g.sorted.take_last_lock(owner));
         }
         for _attempt in 0..64 {
             let committed = self.committed_prev(tx, &upper, &lower);
@@ -587,12 +598,12 @@ where
                 None => lower.clone(),
             };
             {
-                let mut tables = self.inner.tables.lock();
-                tables.sorted.add_range_lock(
-                    tx.handle().clone(),
-                    lock_lower.clone(),
-                    upper.clone(),
-                );
+                let owner = tx.handle().clone();
+                let lo = lock_lower.clone();
+                let up = upper.clone();
+                self.inner.tables.with_global(&self.inner.stats, |g| {
+                    g.sorted.add_range_lock(owner, lo, up);
+                });
             }
             let verify = self.committed_prev(tx, &upper, &lock_lower);
             match (&candidate, verify) {
@@ -749,16 +760,17 @@ where
     B: SortedMapBackend<K, V>,
 {
     fn extend_lock(&mut self, tx: &Txn, upper: Bound<K>) {
-        let mut tables = self.map.inner.tables.lock();
+        let inner = &self.map.inner;
         match self.range_id {
-            Some(id) => tables.sorted.extend_range_upper(id, upper),
+            Some(id) => inner.tables.with_global(&inner.stats, |g| {
+                g.sorted.extend_range_upper(id, upper);
+            }),
             None => {
                 let owner = tx.handle().clone();
-                self.range_id = Some(tables.sorted.add_range_lock(
-                    owner,
-                    self.lower.clone(),
-                    upper,
-                ));
+                let lower = self.lower.clone();
+                self.range_id = Some(inner.tables.with_global(&inner.stats, |g| {
+                    g.sorted.add_range_lock(owner, lower, upper)
+                }));
             }
         }
     }
@@ -829,8 +841,11 @@ where
                     if matches!(self.upper, Bound::Unbounded) {
                         // Observed that nothing follows: the last-key lock
                         // of Table 5's `hasNext == false` row.
-                        let mut tables = self.map.inner.tables.lock();
-                        tables.sorted.take_last_lock(tx.handle().clone());
+                        let owner = tx.handle().clone();
+                        let inner = &self.map.inner;
+                        inner
+                            .tables
+                            .with_global(&inner.stats, |g| g.sorted.take_last_lock(owner));
                     }
                     let verify = self.map.committed_next(tx, &from, &self.upper);
                     if verify.is_some() {
@@ -917,76 +932,127 @@ where
 // Handlers
 // ----------------------------------------------------------------------
 
+/// One entry of a committing transaction's footprint: a buffered write to
+/// apply or a key lock to release. Discriminant order makes a stripe-major
+/// sort put every apply before every release within one stripe visit.
+enum FootprintOp<'a, K, V> {
+    Write(&'a K, &'a BufWrite<V>),
+    Unlock(&'a K),
+}
+
 fn sorted_commit_handler<K, V, B>(inner: &Arc<SortedInner<K, V, B>>, htx: &mut Txn, id: u64)
 where
     K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
     B: SortedMapBackend<K, V>,
 {
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
-    let mut tables = inner.tables.lock();
+    let local = inner.locals.remove(id).unwrap_or_default();
 
+    // The handler lane serializes every handler and every writing
+    // open-nested commit, so these pre-apply endpoint/size reads are stable
+    // without holding any table lock.
     let first_before = inner.backend.first_entry(htx).map(|(k, _)| k);
     let last_before = inner.backend.last_entry(htx).map(|(k, _)| k);
     let size_before = inner.backend.len(htx) as isize;
     let mut size_after = size_before;
 
+    // Phase 1 — key stripes, ascending: apply each buffered write and doom
+    // key-lock observers under the key's stripe; release own key locks.
+    // The footprint is one flat vec grouped by stripe via a comparison-free
+    // counting sort (applies in even buckets before releases in odd ones) —
+    // handlers run on every commit, so this path avoids per-stripe
+    // containers and branchy sorts on random stripe ids. Keys whose
+    // committed state actually changed are collected for the global-stripe
+    // range scan (phase 2).
+    let mut foot: Vec<(u32, FootprintOp<K, V>)> =
+        Vec::with_capacity(local.store_buffer.len() + local.key_locks.len());
     for (k, w) in &local.store_buffer {
-        match w {
-            BufWrite::Put(v) => {
-                let old = inner.backend.insert(htx, k.clone(), v.clone());
-                if old.is_none() {
-                    size_after += 1;
-                }
-                let (doomed, _, _) = tables.map.doom_update(UpdateEffect::KeyWrite, Some(k), id);
-                inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                let (doomed, _, _) = tables
-                    .sorted
-                    .doom_update(UpdateEffect::KeyWrite, Some(k), id);
-                inner.stats.bump(&inner.stats.range_conflicts, doomed);
-            }
-            BufWrite::Remove => {
-                let old = inner.backend.remove(htx, k);
-                if old.is_some() {
-                    size_after -= 1;
-                    let (doomed, _, _) =
-                        tables.map.doom_update(UpdateEffect::KeyWrite, Some(k), id);
-                    inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                    let (doomed, _, _) =
-                        tables
-                            .sorted
-                            .doom_update(UpdateEffect::KeyWrite, Some(k), id);
-                    inner.stats.bump(&inner.stats.range_conflicts, doomed);
-                }
-            }
+        foot.push((
+            (inner.tables.stripe_of(k) * 2) as u32,
+            FootprintOp::Write(k, w),
+        ));
+    }
+    for k in &local.key_locks {
+        foot.push((
+            (inner.tables.stripe_of(k) * 2 + 1) as u32,
+            FootprintOp::Unlock(k),
+        ));
+    }
+    let order = bucket_order(foot.len(), inner.tables.stripe_count() * 2, |i| foot[i].0);
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = (foot[i as usize].0 >> 1) as usize;
+        if touched.last() != Some(&s) {
+            touched.push(s);
         }
     }
 
+    let mut changed_keys: Vec<&K> = Vec::new();
+    let mut cursor = 0;
+    inner
+        .tables
+        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
+            while let Some(&i) = order.get(cursor) {
+                let (b, op) = &foot[i as usize];
+                if (*b >> 1) as usize != si {
+                    break;
+                }
+                cursor += 1;
+                match op {
+                    FootprintOp::Write(k, BufWrite::Put(v)) => {
+                        let old = inner.backend.insert(htx, (*k).clone(), v.clone());
+                        if old.is_none() {
+                            size_after += 1;
+                        }
+                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                        inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                        changed_keys.push(k);
+                    }
+                    FootprintOp::Write(k, BufWrite::Remove) => {
+                        let old = inner.backend.remove(htx, k);
+                        if old.is_some() {
+                            size_after -= 1;
+                            let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                            inner.stats.bump(&inner.stats.key_conflicts, doomed);
+                            changed_keys.push(k);
+                        }
+                    }
+                    FootprintOp::Unlock(k) => {
+                        shard.release_keys(id, std::iter::once(*k));
+                    }
+                }
+            }
+        });
+
+    // Phase 2 — global stripe, last: every apply above happens-before this
+    // hold, so range/endpoint/size observers locking after this scan read
+    // the fully applied post-commit state.
     let first_after = inner.backend.first_entry(htx).map(|(k, _)| k);
     let last_after = inner.backend.last_entry(htx).map(|(k, _)| k);
-    if first_before != first_after {
-        let (_, doomed, _) = tables
-            .sorted
-            .doom_update(UpdateEffect::FirstChange, None, id);
-        inner.stats.bump(&inner.stats.first_conflicts, doomed);
-    }
-    if last_before != last_after {
-        let (_, _, doomed) = tables
-            .sorted
-            .doom_update(UpdateEffect::LastChange, None, id);
-        inner.stats.bump(&inner.stats.last_conflicts, doomed);
-    }
-    if size_after != size_before {
-        let (_, doomed, _) = tables.map.doom_update(UpdateEffect::SizeChange, None, id);
-        inner.stats.bump(&inner.stats.size_conflicts, doomed);
-        if (size_before == 0) != (size_after == 0) {
-            let (_, _, doomed) = tables.map.doom_update(UpdateEffect::ZeroCross, None, id);
-            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
+    inner.tables.with_global(&inner.stats, |g| {
+        for k in &changed_keys {
+            let (by_range, _, _) = g.sorted.doom_update(UpdateEffect::KeyWrite, Some(k), id);
+            inner.stats.bump(&inner.stats.range_conflicts, by_range);
         }
-    }
-
-    tables.map.release_owner(id, local.key_locks.iter());
-    tables.sorted.release_owner(id);
+        if first_before != first_after {
+            let (_, by_first, _) = g.sorted.doom_update(UpdateEffect::FirstChange, None, id);
+            inner.stats.bump(&inner.stats.first_conflicts, by_first);
+        }
+        if last_before != last_after {
+            let (_, _, by_last) = g.sorted.doom_update(UpdateEffect::LastChange, None, id);
+            inner.stats.bump(&inner.stats.last_conflicts, by_last);
+        }
+        if size_after != size_before {
+            let (by_size, _) = g.points.doom_update(UpdateEffect::SizeChange, id);
+            inner.stats.bump(&inner.stats.size_conflicts, by_size);
+            if (size_before == 0) != (size_after == 0) {
+                let (_, by_empty) = g.points.doom_update(UpdateEffect::ZeroCross, id);
+                inner.stats.bump(&inner.stats.empty_conflicts, by_empty);
+            }
+        }
+        g.points.release_owner(id);
+        g.sorted.release_owner(id);
+    });
 }
 
 fn sorted_abort_handler<K, V, B>(inner: &Arc<SortedInner<K, V, B>>, id: u64)
@@ -994,8 +1060,32 @@ where
     K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
-    let local = inner.locals.lock().remove(&id).unwrap_or_default();
-    let mut tables = inner.tables.lock();
-    tables.map.release_owner(id, local.key_locks.iter());
-    tables.sorted.release_owner(id);
+    let local = inner.locals.remove(id).unwrap_or_default();
+    let keys: Vec<(u32, &K)> = local
+        .key_locks
+        .iter()
+        .map(|k| (inner.tables.stripe_of(k) as u32, k))
+        .collect();
+    let order = bucket_order(keys.len(), inner.tables.stripe_count(), |i| keys[i].0);
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = keys[i as usize].0 as usize;
+        if touched.last() != Some(&s) {
+            touched.push(s);
+        }
+    }
+    let mut cursor = 0;
+    inner
+        .tables
+        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
+            let start = cursor;
+            while cursor < order.len() && keys[order[cursor] as usize].0 as usize == si {
+                cursor += 1;
+            }
+            shard.release_keys(id, order[start..cursor].iter().map(|&i| keys[i as usize].1));
+        });
+    inner.tables.with_global(&inner.stats, |g| {
+        g.points.release_owner(id);
+        g.sorted.release_owner(id);
+    });
 }

@@ -60,7 +60,6 @@ use crate::tvar::AnyVar;
 use parking_lot::{Mutex, MutexGuard};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
 static HANDLER_LANE: Mutex<()> = Mutex::new(());
@@ -139,18 +138,22 @@ pub(crate) fn publish_direct(var: &dyn AnyVar, val: &(dyn Any + Send + Sync)) {
 /// Ownership of a write set's commit locks: phase one of the two-phase
 /// commit. Dropping the guard before [`publish`](Self::publish) (validation
 /// failure, doom) releases every lock with versions unchanged.
-pub(crate) struct CommitGuard {
-    locked: Vec<Arc<dyn AnyVar>>,
+///
+/// The guard *borrows* the write set's vars from the committing frame — the
+/// frame outlives every commit attempt, so taking an `Arc` refcount per var
+/// per attempt would be pure overhead on the commit hot path.
+pub(crate) struct CommitGuard<'a> {
+    locked: Vec<&'a dyn AnyVar>,
     armed: bool,
 }
 
-impl CommitGuard {
+impl<'a> CommitGuard<'a> {
     /// Acquire the commit locks of `vars` in `VarId` order (the globally
     /// consistent order that makes concurrent committers deadlock-free).
-    pub(crate) fn lock_write_set(mut vars: Vec<Arc<dyn AnyVar>>) -> CommitGuard {
+    pub(crate) fn lock_write_set(mut vars: Vec<&'a dyn AnyVar>) -> CommitGuard<'a> {
         vars.sort_unstable_by_key(|v| v.id());
         for v in &vars {
-            lock_var_spin(v.as_ref());
+            lock_var_spin(*v);
         }
         CommitGuard {
             locked: vars,
@@ -168,7 +171,7 @@ impl CommitGuard {
     }
 }
 
-impl Drop for CommitGuard {
+impl Drop for CommitGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
             for v in &self.locked {

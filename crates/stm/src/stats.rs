@@ -21,6 +21,8 @@ struct Counters {
     var_lock_spins: AtomicU64,
     lane_entries: AtomicU64,
     lane_free_commits: AtomicU64,
+    stripe_lock_spins: AtomicU64,
+    global_stripe_entries: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -35,6 +37,8 @@ static COUNTERS: Counters = Counters {
     var_lock_spins: AtomicU64::new(0),
     lane_entries: AtomicU64::new(0),
     lane_free_commits: AtomicU64::new(0),
+    stripe_lock_spins: AtomicU64::new(0),
+    global_stripe_entries: AtomicU64::new(0),
 };
 
 pub(crate) fn record_commit() {
@@ -78,6 +82,21 @@ pub(crate) fn record_lane_free_commit() {
     COUNTERS.lane_free_commits.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Record a contended semantic-stripe acquisition (a key stripe or the
+/// global stripe found held). Public: the striped lock tables live in the
+/// collection layer, above this crate.
+pub fn record_stripe_lock_spin() {
+    COUNTERS.stripe_lock_spins.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record an acquisition of a collection's global stripe (point locks:
+/// size/empty/endpoint/range). Public for the collection layer.
+pub fn record_global_stripe_entry() {
+    COUNTERS
+        .global_stripe_entries
+        .fetch_add(1, Ordering::Relaxed);
+}
+
 /// A point-in-time snapshot of the global counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -106,6 +125,12 @@ pub struct StatsSnapshot {
     /// Top-level commits that never touched the handler lane — the fully
     /// parallel fast path.
     pub lane_free_commits: u64,
+    /// Semantic-table contention: stripe acquisitions (key stripe or global
+    /// stripe) that found the mutex held and had to block.
+    pub stripe_lock_spins: u64,
+    /// Acquisitions of a collection's global stripe (size/empty/endpoint/
+    /// range point locks) — the serialized residue of semantic locking.
+    pub global_stripe_entries: u64,
 }
 
 impl StatsSnapshot {
@@ -133,6 +158,12 @@ impl StatsSnapshot {
             lane_free_commits: self
                 .lane_free_commits
                 .saturating_sub(earlier.lane_free_commits),
+            stripe_lock_spins: self
+                .stripe_lock_spins
+                .saturating_sub(earlier.stripe_lock_spins),
+            global_stripe_entries: self
+                .global_stripe_entries
+                .saturating_sub(earlier.global_stripe_entries),
         }
     }
 }
@@ -152,6 +183,8 @@ pub fn global_stats() -> StatsSnapshot {
         var_lock_spins: COUNTERS.var_lock_spins.load(Ordering::Relaxed),
         lane_entries: COUNTERS.lane_entries.load(Ordering::Relaxed),
         lane_free_commits: COUNTERS.lane_free_commits.load(Ordering::Relaxed),
+        stripe_lock_spins: COUNTERS.stripe_lock_spins.load(Ordering::Relaxed),
+        global_stripe_entries: COUNTERS.global_stripe_entries.load(Ordering::Relaxed),
     }
 }
 
@@ -169,4 +202,6 @@ pub fn reset_global_stats() {
     COUNTERS.var_lock_spins.store(0, Ordering::Relaxed);
     COUNTERS.lane_entries.store(0, Ordering::Relaxed);
     COUNTERS.lane_free_commits.store(0, Ordering::Relaxed);
+    COUNTERS.stripe_lock_spins.store(0, Ordering::Relaxed);
+    COUNTERS.global_stripe_entries.store(0, Ordering::Relaxed);
 }

@@ -65,6 +65,14 @@ impl Frame {
         }
     }
 
+    /// Borrowed view of the write set's vars for commit locking. One Vec is
+    /// unavoidable (the locks must be sorted by `VarId`), but borrowing
+    /// avoids an `Arc` refcount bump per written var per commit attempt —
+    /// the frame outlives the [`clock::CommitGuard`] on every path.
+    fn write_vars(&self) -> Vec<&dyn AnyVar> {
+        self.writes.values().map(|w| w.var.as_ref()).collect()
+    }
+
     /// Run this frame's local undos (reverse order) and drop its handlers —
     /// the frame-abort protocol.
     fn abort_locally(&mut self) {
@@ -436,9 +444,7 @@ impl Txn {
         // lane-holder's direct writes spin on var locks, so the lane must
         // never be awaited while var locks are held).
         let lane = clock::lane_lock();
-        let guard = clock::CommitGuard::lock_write_set(
-            frame.writes.values().map(|w| w.var.clone()).collect(),
-        );
+        let guard = clock::CommitGuard::lock_write_set(frame.write_vars());
         for (id, r) in frame.reads.iter() {
             let own = frame.writes.contains_key(id);
             if !clock::read_valid(r.var.as_ref(), r.version, own) {
@@ -490,29 +496,31 @@ impl Txn {
         } else {
             None
         };
-        let guard = if frame.writes.is_empty() {
-            None
-        } else {
-            Some(clock::CommitGuard::lock_write_set(
-                frame.writes.values().map(|w| w.var.clone()).collect(),
-            ))
-        };
-        for (id, r) in frame.reads.iter() {
-            let own = frame.writes.contains_key(id);
-            if !clock::read_valid(r.var.as_ref(), r.version, own) {
-                return Err(AbortCause::ReadInvalid); // guard + lane drop release everything
-            }
-        }
-        if self.handle.begin_commit().is_err() {
-            return Err(AbortCause::Doomed);
-        }
-        // Point of no return: a doom can no longer land.
-        if let Some(guard) = guard {
-            guard.publish(|wv| {
-                for w in frame.writes.values() {
-                    w.var.apply(w.val.as_ref(), wv);
+        {
+            // Scope the guard (it borrows the frame) so the frame borrow is
+            // provably dead before the handlers need `&mut self`.
+            let guard = if frame.writes.is_empty() {
+                None
+            } else {
+                Some(clock::CommitGuard::lock_write_set(frame.write_vars()))
+            };
+            for (id, r) in frame.reads.iter() {
+                let own = frame.writes.contains_key(id);
+                if !clock::read_valid(r.var.as_ref(), r.version, own) {
+                    return Err(AbortCause::ReadInvalid); // guard + lane drop release everything
                 }
-            });
+            }
+            if self.handle.begin_commit().is_err() {
+                return Err(AbortCause::Doomed);
+            }
+            // Point of no return: a doom can no longer land.
+            if let Some(guard) = guard {
+                guard.publish(|wv| {
+                    for w in frame.writes.values() {
+                        w.var.apply(w.val.as_ref(), wv);
+                    }
+                });
+            }
         }
         self.handle.mark_committed();
         if has_handlers {
@@ -549,9 +557,7 @@ impl Txn {
         // guarantees both; `begin_commit_unchecked` debug-asserts it).
         self.handle.begin_commit_unchecked();
         if !frame.writes.is_empty() {
-            let guard = clock::CommitGuard::lock_write_set(
-                frame.writes.values().map(|w| w.var.clone()).collect(),
-            );
+            let guard = clock::CommitGuard::lock_write_set(frame.write_vars());
             guard.publish(|wv| {
                 for w in frame.writes.values() {
                     w.var.apply(w.val.as_ref(), wv);
@@ -644,18 +650,25 @@ impl Txn {
     /// Ids of every var read (and not overwritten before first read) by the
     /// root frame. Only meaningful once nesting has collapsed.
     pub fn read_ids(&self) -> Vec<VarId> {
-        self.frames[0].reads.keys().copied().collect()
+        self.read_ids_iter().collect()
+    }
+
+    /// Non-allocating form of [`Txn::read_ids`] for validation-style sweeps
+    /// that only need to walk the footprint once.
+    pub fn read_ids_iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.frames[0].reads.keys().copied()
     }
 
     /// `(var, body-cycle-offset)` of every root-frame read — the simulator
     /// uses offsets to decide whether a read had already happened when a
     /// conflicting commit broadcast arrived.
     pub fn read_offsets(&self) -> Vec<(VarId, u64)> {
-        self.frames[0]
-            .reads
-            .iter()
-            .map(|(id, r)| (*id, r.offset))
-            .collect()
+        self.read_offsets_iter().collect()
+    }
+
+    /// Non-allocating form of [`Txn::read_offsets`].
+    pub fn read_offsets_iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.frames[0].reads.iter().map(|(id, r)| (*id, r.offset))
     }
 
     /// Ids of every var written by the root frame.

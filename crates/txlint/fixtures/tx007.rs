@@ -1,0 +1,29 @@
+//! Seeded TX007 violation: raw stripe acquisition in a semantic-tables file.
+//! NOT compiled — input for `txlint --self-test`.
+//!
+//! txlint: semantic-tables
+
+struct Table {
+    stripes: Vec<std::sync::Mutex<u64>>,
+}
+
+impl Table {
+    // Raw indexing bypasses the stripes-ascending acquisition order.
+    fn bad_direct(&self, idx: usize) -> u64 {
+        *self.stripes[idx].lock().unwrap() // TX007
+    }
+
+    // Indexing in disguise.
+    fn bad_get(&self, idx: usize) -> bool {
+        self.stripes.get(idx).is_some() // TX007
+    }
+
+    // The sanctioned path names no stripe index at the call site.
+    fn good(&self) -> usize {
+        self.with_stripe_for(&7u64, |n| *n as usize)
+    }
+
+    fn with_stripe_for<R>(&self, _key: &u64, f: impl FnOnce(&u64) -> R) -> R {
+        f(&0)
+    }
+}

@@ -21,6 +21,7 @@
 //! | TX004 | commit handler registered with no paired abort handler in the same transaction region |
 //! | TX005 | nested top-level `atomic`/`atomic_with`/`speculate` inside a transaction region (use `.closed(..)` / `.open(..)`) |
 //! | TX006 | non-`pub(crate)` visibility in a file carrying the commit-internals marker comment (the sharded commit protocol's surface — `stm`'s clock/var-lock/handler-lane module — must stay crate-private) |
+//! | TX007 | raw stripe access (`stripes[i]` indexing or a `.lock()` on a `stripes` element) in a file carrying the semantic-tables marker comment — stripes must be acquired through the ordered helpers (`with_stripe_for` / `for_stripes_ascending` / `with_global`), which preserve the stripes-ascending lock order the doom-protocol proof depends on |
 //!
 //! Findings are suppressed by `// txlint: allow(TXnnn)` on the finding's
 //! line or the line above, or `// txlint: allow-file(TXnnn)` anywhere in
@@ -64,7 +65,9 @@ impl fmt::Display for Finding {
 }
 
 /// All rule codes, for `--explain` style listings and self-tests.
-pub const ALL_CODES: [&str; 6] = ["TX001", "TX002", "TX003", "TX004", "TX005", "TX006"];
+pub const ALL_CODES: [&str; 7] = [
+    "TX001", "TX002", "TX003", "TX004", "TX005", "TX006", "TX007",
+];
 
 /// Apply `// txlint: allow(..)` / `allow-file(..)` annotations: drop every
 /// finding whose code is allowed on its own line, the line above, or

@@ -238,6 +238,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx004_unpaired_commit_handler(path, &m, &mut out);
     tx005_nested_atomic(path, &m, &mut out);
     tx006_commit_internals_visibility(path, src, &m, &mut out);
+    tx007_raw_stripe_access(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -502,6 +503,57 @@ fn tx006_commit_internals_visibility(
     }
 }
 
+/// Marker comment (assembled at runtime like the commit-internals one)
+/// declaring a file to be a semantic-lock-table *consumer*: it may only
+/// acquire stripes through the ordered-acquisition helpers.
+fn semantic_tables_marker() -> String {
+    format!("txlint: {}", "semantic-tables")
+}
+
+fn tx007_raw_stripe_access(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Finding>) {
+    if !src.contains(&semantic_tables_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("stripes") {
+            continue;
+        }
+        // `stripes[i]` — raw indexing into the stripe array. Everything
+        // downstream of it (`.lock()`, `.try_lock()`, passing the mutex
+        // around) bypasses the stripes-ascending acquisition order, so the
+        // indexing itself is the violation.
+        if toks.get(i + 1).and_then(Tok::punct) == Some('[') {
+            out.push(finding(
+                path,
+                t,
+                "TX007",
+                "raw stripe indexing `stripes[..]` in a semantic-tables file".to_string(),
+                "acquire stripes only through the ordered helpers (with_stripe_for / for_stripes_ascending / with_global); raw indexing bypasses the stripes-ascending lock order the doom-protocol proof depends on",
+            ));
+            continue;
+        }
+        // `stripes.get(..)` / `stripes.get_mut(..)` — indexing in disguise.
+        if toks.get(i + 1).and_then(Tok::punct) == Some('.')
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("get") || t.is_ident("get_mut"))
+            && toks.get(i + 3).and_then(Tok::punct) == Some('(')
+        {
+            out.push(finding(
+                path,
+                &toks[i + 2],
+                "TX007",
+                format!(
+                    "raw stripe access `stripes.{}(..)` in a semantic-tables file",
+                    toks[i + 2].text
+                ),
+                "acquire stripes only through the ordered helpers (with_stripe_for / for_stripes_ascending / with_global); raw indexing bypasses the stripes-ascending lock order the doom-protocol proof depends on",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +668,27 @@ mod tests {
         assert!(codes(&marked("fn private() {}")).is_empty());
         // Without the marker, visibility is none of txlint's business.
         assert!(codes("pub fn api() {}").is_empty());
+    }
+
+    #[test]
+    fn tx007_marker_file_rejects_raw_stripe_access() {
+        let marked = |body: &str| format!("// {}\n{body}\n", semantic_tables_marker());
+        assert_eq!(
+            codes(&marked("fn f(&self) { let g = self.stripes[3].lock(); }")),
+            vec!["TX007"]
+        );
+        assert_eq!(
+            codes(&marked("fn f(&self) { let g = self.stripes.get(3); }")),
+            vec!["TX007"]
+        );
+        // The sanctioned helpers do not index the array at the call site.
+        assert!(codes(&marked(
+            "fn f(&self) { self.tables.with_stripe_for(&k, &self.stats, |s| s.len()); }"
+        ))
+        .is_empty());
+        // Without the marker, stripe indexing is none of txlint's business
+        // (locks.rs itself implements the helpers).
+        assert!(codes("fn f(&self) { let g = self.stripes[3].lock(); }").is_empty());
     }
 
     #[test]

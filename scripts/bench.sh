@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Commit-path scaling bench (PR 2): sharded per-TVar commit vs the
-# reconstructed serialized baseline. Writes the JSON report to
-# BENCH_PR2.json at the repo root (checked in alongside the code so the
-# numbers travel with the PR).
+# Checked-in scaling benches. Each writes its JSON report to the repo root
+# (checked in alongside the code so the numbers travel with the PR):
+#   BENCH_PR2.json — commit-path scaling (PR 2): sharded per-TVar commit vs
+#                    the reconstructed serialized baseline.
+#   BENCH_PR3.json — collection hot-path scaling (PR 3): striped semantic
+#                    lock tables vs the single-table baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench -q -p bench --bench commit_scaling >BENCH_PR2.json
 cat BENCH_PR2.json
+
+cargo bench -q -p bench --bench collection_scaling >BENCH_PR3.json
+cat BENCH_PR3.json
