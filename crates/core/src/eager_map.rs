@@ -34,10 +34,11 @@
 
 // txlint: semantic-tables
 use crate::backend::MapBackend;
-use crate::locks::{doom_others, LocalTable, Owner, SemanticStats, StripedTables, DEFAULT_STRIPES};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use crate::kernel::{sweep_commit_footprint, FootprintOp, SemanticClass, SemanticCore};
+use crate::locks::{doom_others, Owner, SemanticStats, StripedTables, DEFAULT_STRIPES};
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
-use std::sync::Arc;
+use std::marker::PhantomData;
 use stm::{TxState, Txn, TxnMode};
 use txstruct::TxHashMap;
 
@@ -107,23 +108,118 @@ struct EagerGlobal {
     pending_delta: i64,
 }
 
-struct EagerInner<K, V, B> {
+/// The variant half of the eager map (kernel [`SemanticClass`]): the wrapped
+/// backend, the contention policy, and the striped reader/writer tables.
+struct EagerClass<K, V, B> {
     backend: B,
     policy: EagerPolicy,
     tables: StripedTables<EagerShard<K>, EagerGlobal>,
-    locals: LocalTable<EagerLocal<K, V>>,
-    stats: SemanticStats,
+    _value: PhantomData<fn() -> V>,
+}
+
+impl<K, V, B> EagerClass<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    /// Release every lock `id` holds: per-stripe reader/writer entries
+    /// (stripes ascending via the kernel sweep, writer slots handled before
+    /// reader sets within each stripe), then the global stripe's size lock
+    /// and pending delta, last. `doom_write_key_readers` additionally dooms
+    /// remaining readers of the written keys (commit path only).
+    fn release_owner(
+        &self,
+        local: &EagerLocal<K, V>,
+        id: u64,
+        stats: &SemanticStats,
+        doom_write_key_readers: bool,
+    ) {
+        sweep_commit_footprint(
+            &self.tables,
+            stats,
+            local.write_keys.iter().map(|k| (k, &())),
+            local.read_keys.iter(),
+            |s, op| match op {
+                FootprintOp::Apply(k, _) => {
+                    if doom_write_key_readers {
+                        if let Some(rs) = s.readers.get_mut(k) {
+                            let doomed = doom_others(rs, id);
+                            stats.bump(&stats.key_conflicts, doomed);
+                        }
+                    }
+                    if s.writers.get(k).map(|o| o.id() == id).unwrap_or(false) {
+                        s.writers.remove(k);
+                    }
+                }
+                FootprintOp::Release(k) => {
+                    if let Some(rs) = s.readers.get_mut(k) {
+                        rs.retain(|o| o.id() != id);
+                        if rs.is_empty() {
+                            s.readers.remove(k);
+                        }
+                    }
+                }
+            },
+        );
+        self.tables.with_global(stats, |g| {
+            g.size_lockers.retain(|o| o.id() != id);
+            g.pending_delta -= local.delta;
+        });
+    }
+}
+
+impl<K, V, B> SemanticClass for EagerClass<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    type Local = EagerLocal<K, V>;
+
+    /// Commit handler. Changes are already in place: drop the undo log, doom
+    /// the readers of our written keys that appeared after our write lock
+    /// (none can exist — they abort on seeing the write lock — but a
+    /// doomed-then-revived bookkeeping race is cheap to close), and release
+    /// everything.
+    fn apply(&self, local: EagerLocal<K, V>, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        self.release_owner(&local, id, stats, true);
+    }
+
+    /// Abort handler: apply the undo log in reverse (direct mode), then
+    /// release.
+    fn release(&self, local: EagerLocal<K, V>, htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        for op in local.undo.iter().rev() {
+            match op {
+                UndoOp::Restore(k, v) => {
+                    self.backend.insert(htx, k.clone(), v.clone());
+                }
+                UndoOp::Delete(k) => {
+                    self.backend.remove(htx, k);
+                }
+            }
+        }
+        self.release_owner(&local, id, stats, false);
+    }
 }
 
 /// Pessimistic, undo-logging transactional map; see the module docs.
-pub struct EagerTransactionalMap<K, V, B = TxHashMap<K, V>> {
-    inner: Arc<EagerInner<K, V, B>>,
+pub struct EagerTransactionalMap<K, V, B = TxHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    core: SemanticCore<EagerClass<K, V, B>>,
 }
 
-impl<K, V, B> Clone for EagerTransactionalMap<K, V, B> {
+impl<K, V, B> Clone for EagerTransactionalMap<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
     fn clone(&self) -> Self {
         EagerTransactionalMap {
-            inner: self.inner.clone(),
+            core: self.core.clone(),
         }
     }
 }
@@ -158,19 +254,21 @@ where
     /// Wrap with an explicit stripe count for the reader/writer key tables.
     pub fn wrap_with_stripes(backend: B, policy: EagerPolicy, nstripes: usize) -> Self {
         EagerTransactionalMap {
-            inner: Arc::new(EagerInner {
-                backend,
-                policy,
-                tables: StripedTables::new(nstripes, EagerGlobal::default()),
-                locals: LocalTable::new(nstripes),
-                stats: SemanticStats::default(),
-            }),
+            core: SemanticCore::new(
+                EagerClass {
+                    backend,
+                    policy,
+                    tables: StripedTables::new(nstripes, EagerGlobal::default()),
+                    _value: PhantomData,
+                },
+                nstripes,
+            ),
         }
     }
 
     /// Semantic-conflict counters for this instance.
     pub fn semantic_stats(&self) -> &SemanticStats {
-        &self.inner.stats
+        self.core.stats()
     }
 
     fn assert_usable(tx: &Txn) {
@@ -180,23 +278,14 @@ where
         );
     }
 
-    /// Register handlers before creating the locals entry (see the
-    /// optimistic map's `ensure_registered` for why this order is
-    /// unwind-safe).
+    /// First-touch registration, discharged by the kernel (probe, then the
+    /// paired handlers, then the locals entry — in exactly that order).
     fn ensure_registered(&self, tx: &mut Txn) {
-        let id = tx.handle().id();
-        if self.inner.locals.contains(id) {
-            return;
-        }
-        let inner = self.inner.clone();
-        tx.on_commit_top(move |_htx| eager_commit_handler(&inner, id));
-        let inner = self.inner.clone();
-        tx.on_abort_top(move |htx| eager_abort_handler(&inner, htx, id));
-        self.inner.locals.with(id, |_| {});
+        self.core.ensure_registered(tx);
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut EagerLocal<K, V>) -> R) -> R {
-        self.inner.locals.with(tx.handle().id(), f)
+        self.core.with_local(tx, f)
     }
 
     /// Is this owner (by id) an *other, still-active* transaction?
@@ -216,25 +305,23 @@ where
         self.ensure_registered(tx);
         let self_id = tx.handle().id();
         let owner = tx.handle().clone();
-        let blocked = self
-            .inner
-            .tables
-            .with_stripe_for(key, &self.inner.stats, |s| {
-                if let Some(w) = s.writers.get(key) {
-                    if Self::is_other_active(w, self_id) {
-                        return true;
-                    }
+        let class = self.core.class();
+        let blocked = class.tables.with_stripe_for(key, self.core.stats(), |s| {
+            if let Some(w) = s.writers.get(key) {
+                if Self::is_other_active(w, self_id) {
+                    return true;
                 }
-                s.readers.entry(key.clone()).or_default().insert(owner);
-                false
-            });
+            }
+            s.readers.entry(key.clone()).or_default().insert(owner);
+            false
+        });
         if blocked {
             stm::abort_and_retry();
         }
         self.with_local(tx, |l| {
             l.read_keys.insert(key.clone());
         });
-        let backend = &self.inner.backend;
+        let backend = &class.backend;
         tx.open(|otx| backend.get(otx, key))
     }
 
@@ -254,11 +341,12 @@ where
             l.delta
         });
         let owner = tx.handle().clone();
-        let pending = self.inner.tables.with_global(&self.inner.stats, |g| {
+        let class = self.core.class();
+        let pending = class.tables.with_global(self.core.stats(), |g| {
             g.size_lockers.insert(owner);
             g.pending_delta
         });
-        let backend = &self.inner.backend;
+        let backend = &class.backend;
         let raw = tx.open(|otx| backend.len(otx)) as i64;
         (raw - pending + own).max(0) as usize
     }
@@ -277,9 +365,10 @@ where
     fn acquire_write_lock(&self, tx: &mut Txn, key: &K) {
         let self_id = tx.handle().id();
         let owner = tx.handle().clone();
-        let policy = self.inner.policy;
-        let stats = &self.inner.stats;
-        let blocked = self.inner.tables.with_stripe_for(key, stats, |s| {
+        let class = self.core.class();
+        let policy = class.policy;
+        let stats = self.core.stats();
+        let blocked = class.tables.with_stripe_for(key, stats, |s| {
             if let Some(w) = s.writers.get(key) {
                 if Self::is_other_active(w, self_id) {
                     // Two in-place writers on one key can never coexist.
@@ -317,12 +406,11 @@ where
     /// size observers (early, pessimistic).
     fn size_changed(&self, tx: &mut Txn, change: i64) {
         let self_id = tx.handle().id();
-        self.inner.tables.with_global(&self.inner.stats, |g| {
+        let stats = self.core.stats();
+        self.core.class().tables.with_global(stats, |g| {
             g.pending_delta += change;
             let doomed = doom_others(&mut g.size_lockers, self_id);
-            self.inner
-                .stats
-                .bump(&self.inner.stats.size_conflicts, doomed);
+            stats.bump(&stats.size_conflicts, doomed);
         });
         self.with_local(tx, |l| l.delta += change);
     }
@@ -333,7 +421,7 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.acquire_write_lock(tx, &key);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         let k2 = key.clone();
         let old = tx.open(move |otx| backend.insert(otx, k2.clone(), value.clone()));
         let first_write = self.with_local(tx, |l| {
@@ -363,7 +451,7 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.acquire_write_lock(tx, key);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         let k2 = key.clone();
         let old = tx.open(move |otx| backend.remove(otx, &k2));
         if let Some(v) = &old {
@@ -382,105 +470,10 @@ where
     }
 }
 
-// ----------------------------------------------------------------------
-// Handlers
-// ----------------------------------------------------------------------
-
-/// Release every lock `id` holds: per-stripe reader/writer entries (stripes
-/// ascending, one at a time), then the global stripe's size lock and
-/// pending delta. `doom_write_key_readers` additionally dooms remaining
-/// readers of the written keys (commit path only).
-fn release_owner<K, V, B>(
-    inner: &EagerInner<K, V, B>,
-    local: &EagerLocal<K, V>,
-    id: u64,
-    doom_write_key_readers: bool,
-) where
-    K: Clone + Eq + Hash,
-{
-    let mut by_stripe: BTreeMap<usize, (Vec<&K>, Vec<&K>)> = BTreeMap::new();
-    for k in &local.read_keys {
-        by_stripe
-            .entry(inner.tables.stripe_of(k))
-            .or_default()
-            .0
-            .push(k);
-    }
-    for k in &local.write_keys {
-        by_stripe
-            .entry(inner.tables.stripe_of(k))
-            .or_default()
-            .1
-            .push(k);
-    }
-    inner
-        .tables
-        .for_stripes_ascending(by_stripe.keys().copied(), &inner.stats, |si, s| {
-            let (reads, writes) = &by_stripe[&si];
-            for k in writes {
-                if doom_write_key_readers {
-                    if let Some(rs) = s.readers.get_mut(*k) {
-                        let doomed = doom_others(rs, id);
-                        inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                    }
-                }
-                if s.writers.get(*k).map(|o| o.id() == id).unwrap_or(false) {
-                    s.writers.remove(*k);
-                }
-            }
-            for k in reads {
-                if let Some(rs) = s.readers.get_mut(*k) {
-                    rs.retain(|o| o.id() != id);
-                    if rs.is_empty() {
-                        s.readers.remove(*k);
-                    }
-                }
-            }
-        });
-    inner.tables.with_global(&inner.stats, |g| {
-        g.size_lockers.retain(|o| o.id() != id);
-        g.pending_delta -= local.delta;
-    });
-}
-
-fn eager_commit_handler<K, V, B>(inner: &Arc<EagerInner<K, V, B>>, id: u64)
-where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    B: MapBackend<K, V>,
-{
-    // Changes are already in place: drop the undo log, doom the readers of
-    // our written keys that appeared after our write lock (none can exist —
-    // they abort on seeing the write lock — but a doomed-then-revived
-    // bookkeeping race is cheap to close), and release everything.
-    let local = inner.locals.remove(id).unwrap_or_default();
-    release_owner(inner, &local, id, true);
-}
-
-fn eager_abort_handler<K, V, B>(inner: &Arc<EagerInner<K, V, B>>, htx: &mut Txn, id: u64)
-where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    B: MapBackend<K, V>,
-{
-    // Compensate: apply the undo log in reverse (direct mode), then release.
-    let local = inner.locals.remove(id).unwrap_or_default();
-    for op in local.undo.iter().rev() {
-        match op {
-            UndoOp::Restore(k, v) => {
-                inner.backend.insert(htx, k.clone(), v.clone());
-            }
-            UndoOp::Delete(k) => {
-                inner.backend.remove(htx, k);
-            }
-        }
-    }
-    release_owner(inner, &local, id, false);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use stm::atomic;
 
     #[test]

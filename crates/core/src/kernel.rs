@@ -1,0 +1,654 @@
+//! The semantic-class kernel: one protocol engine under every collection.
+//!
+//! Every transactional collection in this crate follows the same recipe
+//! (paper §2.4): take semantic locks in open-nested reads, buffer writes in
+//! transaction-local state, apply the buffer and doom conflicting lock
+//! holders in a commit handler, and compensate in an abort handler. The
+//! recipe used to be restated per collection; this module is the single
+//! copy. A collection — or a user-defined class, which is the paper's §5
+//! punchline ("guidelines any programmer can follow to build their own
+//! transactional class"; see `examples/custom_class.rs`) — supplies only
+//! what genuinely varies, through [`SemanticClass`]:
+//!
+//! * the `Local` buffer type (the paper's Table 3 state: held locks plus
+//!   buffered writes),
+//! * [`SemanticClass::apply`], run inside the commit handler: write the
+//!   underlying structure and doom every holder of a semantic lock the
+//!   update invalidates,
+//! * [`SemanticClass::release`], run inside the abort handler: the
+//!   compensating transaction — undo any in-place effects and release the
+//!   footprint.
+//!
+//! [`SemanticCore`] owns everything invariant:
+//!
+//! * **Idempotent first-touch registration.** On the first operation a
+//!   top-level transaction performs on an instance, the core registers one
+//!   commit/abort handler pair and creates the transaction's local-state
+//!   entry — in exactly the order `locals.contains` probe → commit handler
+//!   → abort handler → locals insert. Only the transaction's own thread
+//!   ever creates its entry, so the probe is stable; and because the
+//!   handlers are registered *before* the entry exists, an unwind between
+//!   the two steps cannot leave an orphaned entry with no abort handler to
+//!   remove it. Collections used to restate this obligation each; now it is
+//!   discharged here once (and txlint TX008 rejects any direct handler
+//!   registration outside this file).
+//! * **The sharded [`LocalTable`].** Locals are keyed by top-level
+//!   transaction id; handlers drain an attempt's entry exactly once via
+//!   `remove`, and local-undo compensation goes through the non-creating
+//!   [`SemanticCore::update_local`] so it can never resurrect state a
+//!   handler already removed.
+//! * **The sweep discipline.** Commit and abort handlers visit the striped
+//!   lock tables in the proved order: touched key stripes strictly
+//!   ascending (grouped by a comparison-free [`bucket_order`] counting
+//!   sort, one stripe held at a time, applies before releases within a
+//!   stripe), then the global point-lock stripe **last**, with the owner's
+//!   point locks released at the very end. [`ClassTables::commit_sweep`]
+//!   returns a [`GlobalPhase`] token that the type system forces the class
+//!   to `finish` — the global phase cannot be skipped or run early.
+//! * **The doom-protocol case analysis.** [`KeyCtx::doom`] and
+//!   [`PointCtx::doom`] route an [`UpdateEffect`] through the paper's
+//!   observation-mode compatibility table (`mode_compatible`) and charge
+//!   the right [`SemanticStats`] counter, so classes state *what* an update
+//!   does, never *who* to doom.
+//!
+//! # Mapping of the paper's §5 guidelines onto this API
+//!
+//! 1. *Keep transaction-local state encapsulated* — define a `Local` type
+//!    and reach it only through [`SemanticCore::with_local`] /
+//!    [`SemanticCore::update_local`].
+//! 2. *Register one handler pair on first touch* — call
+//!    [`SemanticCore::ensure_registered`] at the top of every operation;
+//!    the core makes it idempotent and ordering-safe.
+//! 3. *Take semantic locks before reading committed state* — lock through
+//!    [`ClassTables`] (or your own tables), then read inside `Txn::open`
+//!    so the parent carries no memory dependency on the structure.
+//! 4. *Write underlying state only at commit* — mutate the backend inside
+//!    [`SemanticClass::apply`]; body-side operations only buffer.
+//! 5. *Compensate on abort* — [`SemanticClass::release`] undoes in-place
+//!    effects and releases every lock the footprint acquired.
+
+// txlint: semantic-tables
+// txlint: semantic-kernel
+
+use crate::locks::{
+    bucket_order, KeyLockShard, LocalTable, MapTables, Owner, PointLocks, SemanticStats,
+    StripedTables, UpdateEffect,
+};
+use std::hash::Hash;
+use std::sync::Arc;
+use stm::{Txn, TxnMode};
+
+// ----------------------------------------------------------------------
+// The per-class surface
+// ----------------------------------------------------------------------
+
+/// What varies between transactional collection classes: the buffer type
+/// and the two handler bodies. Everything else — registration, local-state
+/// sharding, sweep order, doom dispatch — is [`SemanticCore`]'s.
+///
+/// `apply` and `release` run in **direct mode** under the stm handler lane
+/// (serialized against all other handlers), with the attempt's drained
+/// `Local` passed by value. They must uphold the sweep discipline: touched
+/// key stripes ascending, global stripe last, own locks released last —
+/// which [`ClassTables::commit_sweep`] / [`ClassTables::release_sweep`]
+/// do structurally for keyed classes.
+pub trait SemanticClass: Send + Sync + 'static {
+    /// Per-transaction buffered state (paper Table 3): held semantic locks
+    /// plus pending writes. Created implicitly at `Default` on first touch.
+    type Local: Default + Send + 'static;
+
+    /// Commit handler body: apply `local`'s buffered writes to the
+    /// underlying structure through `htx` (direct mode) and doom every
+    /// transaction holding a semantic lock the update invalidates, then
+    /// release transaction `id`'s own locks.
+    fn apply(&self, local: Self::Local, htx: &mut Txn, id: u64, stats: &SemanticStats);
+
+    /// Abort handler body (the compensating transaction): undo any
+    /// in-place effects recorded in `local` and release transaction `id`'s
+    /// locks. Buffered-update classes have nothing to undo and only
+    /// release.
+    fn release(&self, local: Self::Local, htx: &mut Txn, id: u64, stats: &SemanticStats);
+}
+
+struct CoreInner<C: SemanticClass> {
+    class: C,
+    locals: LocalTable<C::Local>,
+    stats: SemanticStats,
+}
+
+/// The invariant half of every transactional class: first-touch handler
+/// registration, the sharded local-state table, and the per-instance
+/// conflict counters. Cheap to clone (one `Arc`).
+pub struct SemanticCore<C: SemanticClass> {
+    inner: Arc<CoreInner<C>>,
+}
+
+impl<C: SemanticClass> Clone for SemanticCore<C> {
+    fn clone(&self) -> Self {
+        SemanticCore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<C: SemanticClass> SemanticCore<C> {
+    /// Build a core around `class`, sharding the local-state table
+    /// `nshards` ways (rounded up to a power of two).
+    pub fn new(class: C, nshards: usize) -> Self {
+        SemanticCore {
+            inner: Arc::new(CoreInner {
+                class,
+                locals: LocalTable::new(nshards),
+                stats: SemanticStats::default(),
+            }),
+        }
+    }
+
+    /// The class half (backend + lock tables) this core drives.
+    pub fn class(&self) -> &C {
+        &self.inner.class
+    }
+
+    /// Semantic-conflict counters for this instance.
+    pub fn stats(&self) -> &SemanticStats {
+        &self.inner.stats
+    }
+
+    /// Create local state and register the single commit/abort handler
+    /// pair on first use by this top-level transaction (paper §5
+    /// guideline 2). Call at the top of every operation; idempotent.
+    ///
+    /// Handlers are registered **before** the locals entry is created:
+    /// only this transaction's own thread ever creates its entry, so the
+    /// `contains` probe is stable, and an unwind during registration then
+    /// cannot leave an orphaned entry with no abort handler to remove it.
+    /// This ordering obligation lives here and nowhere else — txlint TX008
+    /// rejects direct handler registration in any other semantic-tables
+    /// file.
+    pub fn ensure_registered(&self, tx: &mut Txn) {
+        assert!(
+            tx.mode() == TxnMode::Speculative,
+            "semantic-class operations cannot run inside commit/abort handlers"
+        );
+        let id = tx.handle().id();
+        if self.inner.locals.contains(id) {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        tx.on_commit_top(move |htx| {
+            let local = inner.locals.remove(id).unwrap_or_default();
+            inner.class.apply(local, htx, id, &inner.stats);
+        });
+        let inner = Arc::clone(&self.inner);
+        tx.on_abort_top(move |htx| {
+            let local = inner.locals.remove(id).unwrap_or_default();
+            inner.class.release(local, htx, id, &inner.stats);
+        });
+        self.inner.locals.with(id, |_| {});
+    }
+
+    /// Run `f` on the calling transaction's local state (creating it at
+    /// `Default` if absent — call [`Self::ensure_registered`] first so the
+    /// handlers that will drain it exist).
+    pub fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut C::Local) -> R) -> R {
+        self.inner.locals.with(tx.handle().id(), f)
+    }
+
+    /// Run `f` on transaction `id`'s local state **only if it still
+    /// exists** — the non-creating variant for local-undo closures, so a
+    /// compensation racing a completed handler can never resurrect an
+    /// entry the handler already drained (the stale-local hazard).
+    pub fn update_local<R>(&self, id: u64, f: impl FnOnce(&mut C::Local) -> R) -> Option<R> {
+        self.inner.locals.update(id, f)
+    }
+
+    /// Live local-state entries across all shards (diagnostics: nonzero
+    /// with no transaction in flight means a handler leaked an entry).
+    pub fn resident_locals(&self) -> usize {
+        self.inner.locals.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Keyed lock tables with the sweep discipline built in
+// ----------------------------------------------------------------------
+
+/// The striped semantic-lock tables of a keyed collection class: key-lock
+/// shards for per-key read locks plus one global stripe of point locks
+/// (size and emptiness). Wraps the crate's [`StripedTables`] so the
+/// handler-side sweep order — touched stripes ascending, global last,
+/// release last — is supplied by the kernel instead of restated per class.
+pub struct ClassTables<K> {
+    tables: MapTables<K>,
+}
+
+impl<K: Clone + Eq + Hash> ClassTables<K> {
+    /// Create with `nstripes` key stripes (rounded up to a power of two;
+    /// `1` recovers the single-table behavior of the unstriped design).
+    pub fn new(nstripes: usize) -> Self {
+        ClassTables {
+            tables: StripedTables::new(nstripes, PointLocks::default()),
+        }
+    }
+
+    /// Number of key stripes (always a power of two).
+    pub fn stripe_count(&self) -> usize {
+        self.tables.stripe_count()
+    }
+
+    /// Body-side: take a key read lock in the stripe `key` hashes to
+    /// (guideline 3 — lock, then read the committed value open-nested).
+    pub fn take_key_lock(&self, stats: &SemanticStats, key: K, owner: Owner) {
+        self.tables
+            .with_stripe_for(&key, stats, |s| s.take_key_lock(key.clone(), owner));
+    }
+
+    /// Body-side: take the size lock (global stripe) — conflicts with any
+    /// committing size change.
+    pub fn take_size_lock(&self, stats: &SemanticStats, owner: Owner) {
+        self.tables.with_global(stats, |g| g.take_size_lock(owner));
+    }
+
+    /// Body-side: take the zero-crossing emptiness lock (global stripe,
+    /// paper §5.1) — conflicts only when the size moves to or from zero.
+    pub fn take_empty_lock(&self, stats: &SemanticStats, owner: Owner) {
+        self.tables.with_global(stats, |g| g.take_empty_lock(owner));
+    }
+
+    /// Semantic key locks currently outstanding across all stripes
+    /// (diagnostics).
+    pub fn locked_key_count(&self, stats: &SemanticStats) -> usize {
+        let mut n = 0;
+        self.tables
+            .for_stripes_ascending(0..self.tables.stripe_count(), stats, |_, s| {
+                n += s.locked_key_count()
+            });
+        n
+    }
+
+    /// Commit-handler sweep over transaction `id`'s footprint: `writes`
+    /// (buffered writes to apply) and `key_locks` (held key locks to
+    /// release). Touched stripes are visited strictly ascending, one held
+    /// at a time, with every apply before every release within a stripe —
+    /// `apply` runs under the key's stripe with a [`KeyCtx`] for dooming,
+    /// and the same hold releases that stripe's own locks. The returned
+    /// [`GlobalPhase`] **must** be [`finish`](GlobalPhase::finish)ed: the
+    /// global stripe ranks after every key stripe in the lock order, and
+    /// the token is how the kernel guarantees a class cannot run it early,
+    /// skip it, or forget to release its point locks.
+    pub fn commit_sweep<'t, 'a, W>(
+        &'t self,
+        stats: &'t SemanticStats,
+        id: u64,
+        writes: impl IntoIterator<Item = (&'a K, &'a W)>,
+        key_locks: impl IntoIterator<Item = &'a K>,
+        mut apply: impl FnMut(&'a K, &'a W, &mut KeyCtx<'_, K>),
+    ) -> GlobalPhase<'t, K>
+    where
+        K: 'a,
+        W: 'a,
+    {
+        sweep_commit_footprint(
+            &self.tables,
+            stats,
+            writes,
+            key_locks,
+            |shard, op| match op {
+                FootprintOp::Apply(k, w) => {
+                    let mut cx = KeyCtx { shard, stats, id };
+                    apply(k, w, &mut cx);
+                }
+                FootprintOp::Release(k) => shard.release_keys(id, std::iter::once(k)),
+            },
+        );
+        GlobalPhase {
+            tables: &self.tables,
+            stats,
+            id,
+        }
+    }
+
+    /// Abort-handler sweep: release transaction `id`'s key locks (touched
+    /// stripes ascending, one held at a time), then its point locks in the
+    /// global stripe, last. The compensating half of guideline 5 for
+    /// buffered-update classes, which have no in-place effects to undo.
+    pub fn release_sweep<'a>(
+        &self,
+        stats: &SemanticStats,
+        id: u64,
+        key_locks: impl IntoIterator<Item = &'a K>,
+    ) where
+        K: 'a,
+    {
+        sweep_release_footprint(&self.tables, stats, key_locks, |shard, keys| {
+            shard.release_keys(id, keys.iter().copied())
+        });
+        self.tables.with_global(stats, |g| g.release_owner(id));
+    }
+}
+
+/// Per-key doom context handed to [`ClassTables::commit_sweep`]'s apply
+/// callback: the key's stripe is held, and dooms route through the paper's
+/// compatibility table with stats charged automatically.
+pub struct KeyCtx<'s, K> {
+    shard: &'s mut KeyLockShard<K>,
+    stats: &'s SemanticStats,
+    id: u64,
+}
+
+impl<K: Clone + Eq + Hash> KeyCtx<'_, K> {
+    /// Doom every other active holder of a `key` lock that `effect` is
+    /// incompatible with (charged to `key_conflicts`). Returns how many
+    /// dooms landed.
+    pub fn doom(&mut self, effect: UpdateEffect, key: &K) -> u64 {
+        let doomed = self.shard.doom_update(effect, key, self.id);
+        self.stats.bump(&self.stats.key_conflicts, doomed);
+        doomed
+    }
+}
+
+/// Proof token for the global-stripe phase of a commit sweep: returned by
+/// [`ClassTables::commit_sweep`] after every key stripe has been applied
+/// and released, and consumed by [`Self::finish`]. Holding it is holding
+/// the obligation "global stripe last, own point locks released last" —
+/// the compiler will not let a class drop it on the floor.
+#[must_use = "the commit sweep's global phase must run: call .finish(..) so \
+              point-lock dooms happen after every key apply and the owner's \
+              point locks are released"]
+pub struct GlobalPhase<'t, K> {
+    tables: &'t MapTables<K>,
+    stats: &'t SemanticStats,
+    id: u64,
+}
+
+impl<K> GlobalPhase<'_, K> {
+    /// Enter the global stripe (strictly after every key-stripe hold —
+    /// a size/empty observer locking after this scan reads the fully
+    /// applied post-commit state), run `point` to doom point-lock holders,
+    /// then release the owner's point locks, last.
+    pub fn finish(self, point: impl FnOnce(&mut PointCtx<'_>)) {
+        self.tables.with_global(self.stats, |g| {
+            let mut cx = PointCtx {
+                points: g,
+                stats: self.stats,
+                id: self.id,
+            };
+            point(&mut cx);
+            g.release_owner(self.id);
+        });
+    }
+}
+
+/// Point-lock doom context for the global phase of a commit sweep: dooms
+/// route through the compatibility table ([`UpdateEffect::SizeChange`]
+/// reaches size lockers, [`UpdateEffect::ZeroCross`] reaches both size and
+/// emptiness lockers) with stats charged automatically.
+pub struct PointCtx<'g> {
+    points: &'g mut PointLocks,
+    stats: &'g SemanticStats,
+    id: u64,
+}
+
+impl PointCtx<'_> {
+    /// Doom every other active point-lock holder `effect` is incompatible
+    /// with (charged to `size_conflicts`/`empty_conflicts`). Returns how
+    /// many dooms landed.
+    pub fn doom(&mut self, effect: UpdateEffect) -> u64 {
+        let (by_size, by_empty) = self.points.doom_update(effect, self.id);
+        self.stats.bump(&self.stats.size_conflicts, by_size);
+        self.stats.bump(&self.stats.empty_conflicts, by_empty);
+        by_size + by_empty
+    }
+}
+
+// ----------------------------------------------------------------------
+// The generic stripe-sweep engine (crate-internal: classes with bespoke
+// global payloads — sorted maps, eager maps — drive it directly)
+// ----------------------------------------------------------------------
+
+/// One entry of a committing transaction's footprint: a buffered write to
+/// apply or a lock to release. Bucket parity (`stripe*2` for applies,
+/// `stripe*2+1` for releases) makes a stripe-major counting sort put every
+/// apply before every release within one stripe visit.
+pub(crate) enum FootprintOp<'a, K, W> {
+    /// Apply a buffered write to `K` under its stripe.
+    Apply(&'a K, &'a W),
+    /// Release the owner's lock on `K` under its stripe.
+    Release(&'a K),
+}
+
+// Manual impls: the derive would demand `K: Copy`/`W: Copy`, but only
+// references are stored.
+impl<K, W> Clone for FootprintOp<'_, K, W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K, W> Copy for FootprintOp<'_, K, W> {}
+
+/// Flatten `writes` + `unlocks` into one footprint grouped by stripe via a
+/// comparison-free [`bucket_order`] counting sort (handlers run on every
+/// commit, so this path avoids per-stripe containers and branchy sorts on
+/// random stripe ids), then visit the touched stripes strictly ascending,
+/// one held at a time, calling `visit` for each op under its stripe —
+/// applies before releases within a stripe.
+pub(crate) fn sweep_commit_footprint<'a, K, W, S, G>(
+    tables: &StripedTables<S, G>,
+    stats: &SemanticStats,
+    writes: impl IntoIterator<Item = (&'a K, &'a W)>,
+    unlocks: impl IntoIterator<Item = &'a K>,
+    mut visit: impl FnMut(&mut S, FootprintOp<'a, K, W>),
+) where
+    K: Hash + 'a,
+    W: 'a,
+{
+    let mut foot: Vec<(u32, FootprintOp<'a, K, W>)> = Vec::new();
+    for (k, w) in writes {
+        foot.push(((tables.stripe_of(k) * 2) as u32, FootprintOp::Apply(k, w)));
+    }
+    for k in unlocks {
+        foot.push((
+            (tables.stripe_of(k) * 2 + 1) as u32,
+            FootprintOp::Release(k),
+        ));
+    }
+    let order = bucket_order(foot.len(), tables.stripe_count() * 2, |i| foot[i].0);
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = (foot[i as usize].0 >> 1) as usize;
+        if touched.last() != Some(&s) {
+            touched.push(s);
+        }
+    }
+    let mut cursor = 0;
+    tables.for_stripes_ascending(touched.iter().copied(), stats, |si, shard| {
+        while let Some(&i) = order.get(cursor) {
+            let (b, op) = foot[i as usize];
+            if (b >> 1) as usize != si {
+                break;
+            }
+            cursor += 1;
+            visit(shard, op);
+        }
+    });
+}
+
+/// Abort-side counterpart: group `keys` by stripe and hand `visit` each
+/// stripe's batch under that stripe, touched stripes strictly ascending.
+/// The caller runs its own global-stripe release afterwards (last).
+pub(crate) fn sweep_release_footprint<'a, K, S, G>(
+    tables: &StripedTables<S, G>,
+    stats: &SemanticStats,
+    keys: impl IntoIterator<Item = &'a K>,
+    mut visit: impl FnMut(&mut S, &[&'a K]),
+) where
+    K: Hash + 'a,
+{
+    let keyed: Vec<(u32, &'a K)> = keys
+        .into_iter()
+        .map(|k| (tables.stripe_of(k) as u32, k))
+        .collect();
+    let order = bucket_order(keyed.len(), tables.stripe_count(), |i| keyed[i].0);
+    let sorted: Vec<&'a K> = order.iter().map(|&i| keyed[i as usize].1).collect();
+    let mut touched: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = keyed[i as usize].0 as usize;
+        if touched.last() != Some(&s) {
+            touched.push(s);
+        }
+    }
+    let mut cursor = 0;
+    tables.for_stripes_ascending(touched.iter().copied(), stats, |si, shard| {
+        let start = cursor;
+        while cursor < order.len() && keyed[order[cursor] as usize].0 as usize == si {
+            cursor += 1;
+        }
+        visit(shard, &sorted[start..cursor]);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Minimal probe class: counts handler invocations and buffered ops.
+    struct ProbeClass {
+        applies: Arc<AtomicU64>,
+        releases: Arc<AtomicU64>,
+        applied_ops: Arc<AtomicU64>,
+    }
+
+    impl SemanticClass for ProbeClass {
+        type Local = Vec<u64>;
+
+        fn apply(&self, local: Vec<u64>, _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
+            self.applies.fetch_add(1, Ordering::SeqCst);
+            self.applied_ops
+                .fetch_add(local.len() as u64, Ordering::SeqCst);
+        }
+
+        fn release(&self, _local: Vec<u64>, _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
+            self.releases.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn probe_core() -> (
+        SemanticCore<ProbeClass>,
+        Arc<AtomicU64>,
+        Arc<AtomicU64>,
+        Arc<AtomicU64>,
+    ) {
+        let applies = Arc::new(AtomicU64::new(0));
+        let releases = Arc::new(AtomicU64::new(0));
+        let applied_ops = Arc::new(AtomicU64::new(0));
+        let core = SemanticCore::new(
+            ProbeClass {
+                applies: applies.clone(),
+                releases: releases.clone(),
+                applied_ops: applied_ops.clone(),
+            },
+            4,
+        );
+        (core, applies, releases, applied_ops)
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_commit_drains_locals() {
+        let (core, applies, releases, applied_ops) = probe_core();
+        let c = core.clone();
+        let (_, t) = stm::speculate(
+            move |tx| {
+                c.ensure_registered(tx);
+                c.ensure_registered(tx);
+                c.with_local(tx, |l| l.push(1));
+                c.ensure_registered(tx);
+                c.with_local(tx, |l| l.push(2));
+            },
+            0,
+        )
+        .unwrap();
+        t.commit();
+        assert_eq!(applies.load(Ordering::SeqCst), 1);
+        assert_eq!(releases.load(Ordering::SeqCst), 0);
+        assert_eq!(applied_ops.load(Ordering::SeqCst), 2);
+        assert_eq!(core.resident_locals(), 0);
+    }
+
+    #[test]
+    fn abort_runs_release_exactly_once_and_drains_locals() {
+        let (core, applies, releases, _) = probe_core();
+        let c = core.clone();
+        let (_, t) = stm::speculate(
+            move |tx| {
+                c.ensure_registered(tx);
+                c.with_local(tx, |l| l.push(7));
+            },
+            0,
+        )
+        .unwrap();
+        t.abort(stm::AbortCause::Explicit);
+        assert_eq!(applies.load(Ordering::SeqCst), 0);
+        assert_eq!(releases.load(Ordering::SeqCst), 1);
+        assert_eq!(core.resident_locals(), 0);
+    }
+
+    #[test]
+    fn update_local_cannot_resurrect_a_drained_entry() {
+        let (core, ..) = probe_core();
+        let c = core.clone();
+        let (id, t) = stm::speculate(
+            move |tx| {
+                c.ensure_registered(tx);
+                tx.handle().id()
+            },
+            0,
+        )
+        .unwrap();
+        t.commit();
+        // The commit handler drained the entry; a stale undo must be a no-op.
+        assert_eq!(core.update_local(id, |l| l.push(9)), None);
+        assert_eq!(core.resident_locals(), 0);
+    }
+
+    #[test]
+    fn class_tables_sweep_releases_all_locks() {
+        // Drive ClassTables directly: take key + size locks as one txn,
+        // commit-sweep as that txn, and verify everything is released.
+        let tables: ClassTables<u64> = ClassTables::new(4);
+        let stats = SemanticStats::default();
+        let (_, t) = stm::speculate(
+            |tx| {
+                let owner = tx.handle().clone();
+                for k in 0..32u64 {
+                    tables.take_key_lock(&stats, k, owner.clone());
+                }
+                tables.take_size_lock(&stats, owner);
+            },
+            0,
+        )
+        .unwrap();
+        let id = t.handle().id();
+        assert_eq!(tables.locked_key_count(&stats), 32);
+        let keys: Vec<u64> = (0..32).collect();
+        let writes: Vec<(u64, u32)> = vec![(1, 10), (2, 20)];
+        let mut applied = 0;
+        let global = tables.commit_sweep(
+            &stats,
+            id,
+            writes.iter().map(|(k, w)| (k, w)),
+            keys.iter(),
+            |_k, _w, cx| {
+                applied += 1;
+                cx.doom(UpdateEffect::KeyWrite, _k);
+            },
+        );
+        global.finish(|g| {
+            g.doom(UpdateEffect::SizeChange);
+        });
+        assert_eq!(applied, 2);
+        assert_eq!(tables.locked_key_count(&stats), 0);
+        t.commit();
+    }
+}

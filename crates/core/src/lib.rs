@@ -38,17 +38,20 @@
 //!
 //! ## Serializability guidelines (paper §5)
 //!
-//! When building your own transactional class on these primitives:
+//! When building your own transactional class on these primitives (the
+//! [`SemanticClass`] kernel discharges the registration/ordering
+//! obligations for you — see that trait and `examples/custom_class.rs`):
 //!
 //! 1. Read underlying state only inside open-nested transactions that also
 //!    take the appropriate semantic locks ([`stm::Txn::open`]).
-//! 2. Write underlying state only from the commit handler
-//!    ([`stm::Txn::on_commit_top`], which `stm` runs in direct mode under
-//!    the handler lane, serialized with every other handler).
+//! 2. Write underlying state only from the commit handler — implement
+//!    [`SemanticClass::apply`], which [`SemanticCore`] runs in direct mode
+//!    under the handler lane, serialized with every other handler.
 //! 3. Buffer writes in transaction-local state; if a write logically reads
 //!    too (e.g. returns the old value), take the read's semantic lock.
 //! 4. The abort handler must release semantic locks and clear local buffers
-//!    (register it on first use).
+//!    — implement [`SemanticClass::release`]; [`SemanticCore`] registers
+//!    the pair on first use.
 //! 5. The commit handler must apply the buffer, doom conflicting lock
 //!    holders, then behave like the abort handler (clear and release).
 //!
@@ -78,6 +81,7 @@
 mod backend;
 mod eager_map;
 pub mod interval;
+mod kernel;
 mod locks;
 mod map;
 mod queue;
@@ -86,6 +90,7 @@ mod sorted_map;
 
 pub use backend::{MapBackend, QueueBackend, SortedMapBackend};
 pub use eager_map::{EagerPolicy, EagerTransactionalMap};
+pub use kernel::{ClassTables, GlobalPhase, KeyCtx, PointCtx, SemanticClass, SemanticCore};
 pub use locks::{
     mode_compatible, stripe_index, ObsMode, Owner, RangeIndexKind, SemanticStats, StripeHasher,
     UpdateEffect, DEFAULT_STRIPES,

@@ -46,13 +46,11 @@
 
 // txlint: semantic-tables
 use crate::backend::MapBackend;
-use crate::locks::{
-    bucket_order, LocalTable, MapTables, PointLocks, SemanticStats, StripedTables, UpdateEffect,
-    DEFAULT_STRIPES,
-};
+use crate::kernel::{ClassTables, SemanticClass, SemanticCore};
+use crate::locks::{SemanticStats, UpdateEffect, DEFAULT_STRIPES};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
-use std::sync::Arc;
+use std::marker::PhantomData;
 use stm::{Txn, TxnMode};
 use txstruct::TxHashMap;
 
@@ -90,11 +88,72 @@ impl<K, V> Default for MapLocal<K, V> {
     }
 }
 
-pub(crate) struct MapInner<K, V, B> {
-    pub backend: B,
-    pub tables: MapTables<K>,
-    pub locals: LocalTable<MapLocal<K, V>>,
-    pub stats: SemanticStats,
+/// The variant half of the map class (kernel [`SemanticClass`]): the
+/// wrapped backend plus the striped key/size/empty lock tables. Everything
+/// invariant — registration, locals, sweep order — is [`SemanticCore`]'s.
+pub(crate) struct MapClass<K, V, B> {
+    pub(crate) backend: B,
+    pub(crate) tables: ClassTables<K>,
+    _value: PhantomData<fn() -> V>,
+}
+
+impl<K, V, B> SemanticClass for MapClass<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    type Local = MapLocal<K, V>;
+
+    /// Commit handler: apply the store buffer and doom conflicting lock
+    /// holders, per-key applies and dooms under one hold of the key's
+    /// stripe, size/empty dooms in the global stripe last (the kernel's
+    /// sweep discipline).
+    fn apply(&self, local: MapLocal<K, V>, htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        let size_before = self.backend.len(htx) as isize;
+        let mut size_after = size_before;
+        let global = self.tables.commit_sweep(
+            stats,
+            id,
+            local.store_buffer.iter(),
+            local.key_locks.iter(),
+            |k, w, cx| match w {
+                BufWrite::Put(v) => {
+                    let old = self.backend.insert(htx, k.clone(), v.clone());
+                    if old.is_none() {
+                        size_after += 1;
+                    }
+                    // put conflicts with any reader of this key (Table 2).
+                    cx.doom(UpdateEffect::KeyWrite, k);
+                }
+                BufWrite::Remove => {
+                    let old = self.backend.remove(htx, k);
+                    if old.is_some() {
+                        size_after -= 1;
+                        // Removing nothing conflicts with nobody (Table 1).
+                        cx.doom(UpdateEffect::KeyWrite, k);
+                    }
+                }
+            },
+        );
+        // Global stripe last: every key apply above happens-before this
+        // hold, so a size/empty observer locking after this scan reads the
+        // fully applied post-commit state.
+        global.finish(|g| {
+            if size_after != size_before {
+                g.doom(UpdateEffect::SizeChange);
+                if (size_before == 0) != (size_after == 0) {
+                    g.doom(UpdateEffect::ZeroCross);
+                }
+            }
+        });
+    }
+
+    /// Abort handler (compensating transaction): discard buffered state,
+    /// release locks — stripes ascending, global stripe last.
+    fn release(&self, local: MapLocal<K, V>, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        self.tables.release_sweep(stats, id, local.key_locks.iter());
+    }
 }
 
 /// A transactional wrapper making any [`MapBackend`] safe and scalable to use
@@ -110,14 +169,24 @@ pub(crate) struct MapInner<K, V, B> {
 ///     assert_eq!(map.get(tx, &1).as_deref(), Some("one"));
 /// });
 /// ```
-pub struct TransactionalMap<K, V, B = TxHashMap<K, V>> {
-    pub(crate) inner: Arc<MapInner<K, V, B>>,
+pub struct TransactionalMap<K, V, B = TxHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    pub(crate) core: SemanticCore<MapClass<K, V, B>>,
 }
 
-impl<K, V, B> Clone for TransactionalMap<K, V, B> {
+impl<K, V, B> Clone for TransactionalMap<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
     fn clone(&self) -> Self {
         TransactionalMap {
-            inner: self.inner.clone(),
+            core: self.core.clone(),
         }
     }
 }
@@ -171,23 +240,25 @@ where
     /// Wrap an existing map implementation with an explicit stripe count.
     pub fn wrap_with_stripes(backend: B, nstripes: usize) -> Self {
         TransactionalMap {
-            inner: Arc::new(MapInner {
-                backend,
-                tables: StripedTables::new(nstripes, PointLocks::default()),
-                locals: LocalTable::new(nstripes),
-                stats: SemanticStats::default(),
-            }),
+            core: SemanticCore::new(
+                MapClass {
+                    backend,
+                    tables: ClassTables::new(nstripes),
+                    _value: PhantomData,
+                },
+                nstripes,
+            ),
         }
     }
 
     /// Semantic-conflict counters for this instance.
     pub fn semantic_stats(&self) -> &SemanticStats {
-        &self.inner.stats
+        self.core.stats()
     }
 
     /// Number of key stripes in this instance's semantic lock table.
     pub fn stripe_count(&self) -> usize {
-        self.inner.tables.stripe_count()
+        self.core.class().tables.stripe_count()
     }
 
     fn assert_usable(tx: &Txn) {
@@ -197,38 +268,25 @@ where
         );
     }
 
-    /// Create local state and register the single commit/abort handler pair
-    /// on first use by this top-level transaction (paper §5 guidelines).
-    ///
-    /// Handlers are registered **before** the locals entry is created: only
-    /// this transaction's own thread ever creates its entry, so the
-    /// `contains` probe is stable, and an unwind during registration then
-    /// cannot leave an orphaned entry with no abort handler to remove it.
+    /// First-touch registration and handler ordering are the kernel's
+    /// obligation now: [`SemanticCore::ensure_registered`] is the single
+    /// place the commit/abort handler pair is wired up (txlint TX008).
     fn ensure_registered(&self, tx: &mut Txn) {
-        let id = tx.handle().id();
-        if self.inner.locals.contains(id) {
-            return;
-        }
-        let inner = self.inner.clone();
-        tx.on_commit_top(move |htx| commit_handler(&inner, htx, id));
-        let inner = self.inner.clone();
-        tx.on_abort_top(move |_htx| abort_handler(&inner, id));
-        self.inner.locals.with(id, |_| {});
+        self.core.ensure_registered(tx);
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut MapLocal<K, V>) -> R) -> R {
-        self.inner.locals.with(tx.handle().id(), f)
+        self.core.with_local(tx, f)
     }
 
     /// Take a key read lock (in the key's stripe) and remember it locally
     /// for cheap release.
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
         let owner = tx.handle().clone();
-        self.inner
+        self.core
+            .class()
             .tables
-            .with_stripe_for(key, &self.inner.stats, |s| {
-                s.take_key_lock(key.clone(), owner);
-            });
+            .take_key_lock(self.core.stats(), key.clone(), owner);
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
         });
@@ -273,10 +331,10 @@ where
             l.delta += delta_change;
             (prev, was_blind)
         });
-        let inner = self.inner.clone();
+        let core = self.core.clone();
         let key2 = key.clone();
         tx.on_local_undo(move || {
-            inner.locals.update(id, |l| {
+            core.update_local(id, |l| {
                 match prev_entry {
                     Some(w) => {
                         l.store_buffer.insert(key2.clone(), w);
@@ -308,7 +366,7 @@ where
             None => {}
         }
         self.take_key_lock(tx, key);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         tx.open(|otx| backend.get(otx, key))
     }
 
@@ -324,7 +382,7 @@ where
             None => {}
         }
         self.take_key_lock(tx, key);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         tx.open(|otx| backend.contains_key(otx, key))
     }
 
@@ -335,7 +393,7 @@ where
         let blind: Vec<K> = self.with_local(tx, |l| l.blind.iter().cloned().collect());
         for k in blind {
             self.take_key_lock(tx, &k);
-            let backend = &self.inner.backend;
+            let backend = &self.core.class().backend;
             let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
             self.with_local(tx, |l| {
                 if l.blind.remove(&k) {
@@ -354,10 +412,11 @@ where
         self.ensure_registered(tx);
         self.resolve_blind(tx);
         let owner = tx.handle().clone();
-        self.inner
+        self.core
+            .class()
             .tables
-            .with_global(&self.inner.stats, |g| g.take_size_lock(owner));
-        let backend = &self.inner.backend;
+            .take_size_lock(self.core.stats(), owner);
+        let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
         (committed as isize + delta).max(0) as usize
@@ -379,10 +438,11 @@ where
         self.ensure_registered(tx);
         self.resolve_blind(tx);
         let owner = tx.handle().clone();
-        self.inner
+        self.core
+            .class()
             .tables
-            .with_global(&self.inner.stats, |g| g.take_empty_lock(owner));
-        let backend = &self.inner.backend;
+            .take_empty_lock(self.core.stats(), owner);
+        let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
         (committed as isize + delta) <= 0
@@ -407,7 +467,7 @@ where
             Some(BufWrite::Remove) => None,
             None => {
                 self.take_key_lock(tx, &key);
-                let backend = &self.inner.backend;
+                let backend = &self.core.class().backend;
                 tx.open(|otx| backend.get(otx, &key))
             }
         };
@@ -445,7 +505,7 @@ where
                 let known_lock = self.with_local(tx, |l| l.key_locks.contains(&key));
                 if known_lock {
                     // We already read this key earlier: presence is known.
-                    let backend = &self.inner.backend;
+                    let backend = &self.core.class().backend;
                     let present = tx.open(|otx| backend.contains_key(otx, &key));
                     self.buffer_write(
                         tx,
@@ -472,7 +532,7 @@ where
             Some(BufWrite::Remove) => None,
             None => {
                 self.take_key_lock(tx, key);
-                let backend = &self.inner.backend;
+                let backend = &self.core.class().backend;
                 tx.open(|otx| backend.get(otx, key))
             }
         };
@@ -501,7 +561,7 @@ where
             (None, _) => {
                 let known_lock = self.with_local(tx, |l| l.key_locks.contains(key));
                 if known_lock {
-                    let backend = &self.inner.backend;
+                    let backend = &self.core.class().backend;
                     let present = tx.open(|otx| backend.contains_key(otx, key));
                     self.buffer_write(
                         tx,
@@ -532,7 +592,7 @@ where
     pub fn iter(&self, tx: &mut Txn) -> TxMapIter<K, V, B> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         let committed_keys: Vec<K> =
             tx.open(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
         let key_set: HashSet<K> = committed_keys.iter().cloned().collect();
@@ -575,20 +635,14 @@ where
     /// Number of semantic key locks currently outstanding across all
     /// stripes (diagnostics).
     pub fn locked_key_count(&self) -> usize {
-        let mut n = 0;
-        self.inner.tables.for_stripes_ascending(
-            0..self.inner.tables.stripe_count(),
-            &self.inner.stats,
-            |_, s| n += s.locked_key_count(),
-        );
-        n
+        self.core.class().tables.locked_key_count(self.core.stats())
     }
 
     /// Number of per-transaction local-state entries currently live across
     /// all shards (diagnostics: nonzero with no transaction in flight means
     /// a handler leaked an entry).
     pub fn resident_local_count(&self) -> usize {
-        self.inner.locals.len()
+        self.core.resident_locals()
     }
 }
 
@@ -597,7 +651,12 @@ where
 /// Unlike a std iterator this is a *transactional cursor*: `next` needs the
 /// transaction context to take locks, so it is a method taking `&mut Txn`
 /// rather than an `Iterator` impl.
-pub struct TxMapIter<K, V, B> {
+pub struct TxMapIter<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
     map: TransactionalMap<K, V, B>,
     keys: Vec<K>,
     pos: usize,
@@ -623,7 +682,7 @@ where
                 self.pos += 1;
                 // Lock, then read live (lock-then-read soundness).
                 self.map.take_key_lock(tx, &k);
-                let backend = &self.map.inner.backend;
+                let backend = &self.map.core.class().backend;
                 let committed = tx.open(|otx| backend.get(otx, &k));
                 if committed.is_some() {
                     self.confirmed.insert(k.clone());
@@ -647,16 +706,17 @@ where
                 self.exhausted = true;
                 let owner = tx.handle().clone();
                 self.map
-                    .inner
+                    .core
+                    .class()
                     .tables
-                    .with_global(&self.map.inner.stats, |g| g.take_size_lock(owner));
+                    .take_size_lock(self.map.core.stats(), owner);
                 // Completeness check: keys committed after our snapshot would
                 // silently be missed. Verify the set of confirmed keys equals
                 // the live committed key set; otherwise abort and retry. Every
                 // confirmed key is lock-protected against later change, so on
                 // success the enumeration equals the committed state at this
                 // instant — a valid serialization point.
-                let backend = &self.map.inner.backend;
+                let backend = &self.map.core.class().backend;
                 let live: HashSet<K> =
                     tx.open(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
                 if live != self.confirmed {
@@ -666,145 +726,4 @@ where
             return None;
         }
     }
-}
-
-// ----------------------------------------------------------------------
-// Handlers (run in direct mode under the stm handler lane)
-// ----------------------------------------------------------------------
-
-/// One entry of a committing transaction's footprint: a buffered write to
-/// apply or a key lock to release. Discriminant order makes a stripe-major
-/// sort put every apply before every release within one stripe visit.
-enum FootprintOp<'a, K, V> {
-    Write(&'a K, &'a BufWrite<V>),
-    Unlock(&'a K),
-}
-
-pub(crate) fn commit_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, htx: &mut Txn, id: u64)
-where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    B: MapBackend<K, V>,
-{
-    let local = inner.locals.remove(id).unwrap_or_default();
-
-    // Flatten the buffered writes and held key locks into ONE footprint
-    // vec grouped by stripe via a comparison-free counting sort (handlers
-    // run on every commit, so this path avoids per-stripe containers and
-    // branchy sorts on random stripe ids), then visit the touched stripes
-    // strictly in ascending index order (the striped lock-order
-    // invariant). The per-key apply and the doom-scan for that key happen
-    // under one hold of its stripe, applies before releases (each stripe
-    // has two buckets: even = applies, odd = releases).
-    let mut foot: Vec<(u32, FootprintOp<K, V>)> =
-        Vec::with_capacity(local.store_buffer.len() + local.key_locks.len());
-    for (k, w) in &local.store_buffer {
-        foot.push((
-            (inner.tables.stripe_of(k) * 2) as u32,
-            FootprintOp::Write(k, w),
-        ));
-    }
-    for k in &local.key_locks {
-        foot.push((
-            (inner.tables.stripe_of(k) * 2 + 1) as u32,
-            FootprintOp::Unlock(k),
-        ));
-    }
-    let order = bucket_order(foot.len(), inner.tables.stripe_count() * 2, |i| foot[i].0);
-    let mut touched: Vec<usize> = Vec::new();
-    for &i in &order {
-        let s = (foot[i as usize].0 >> 1) as usize;
-        if touched.last() != Some(&s) {
-            touched.push(s);
-        }
-    }
-
-    let size_before = inner.backend.len(htx) as isize;
-    let mut size_after = size_before;
-    let mut cursor = 0;
-    inner
-        .tables
-        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
-            while let Some(&i) = order.get(cursor) {
-                let (b, op) = &foot[i as usize];
-                if (*b >> 1) as usize != si {
-                    break;
-                }
-                cursor += 1;
-                match op {
-                    FootprintOp::Write(k, BufWrite::Put(v)) => {
-                        let old = inner.backend.insert(htx, (*k).clone(), v.clone());
-                        if old.is_none() {
-                            size_after += 1;
-                        }
-                        // put conflicts with any reader of this key (Table 2).
-                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
-                        inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                    }
-                    FootprintOp::Write(k, BufWrite::Remove) => {
-                        let old = inner.backend.remove(htx, k);
-                        if old.is_some() {
-                            size_after -= 1;
-                            // Removing nothing conflicts with nobody (Table 1).
-                            let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
-                            inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                        }
-                    }
-                    FootprintOp::Unlock(k) => {
-                        shard.release_keys(id, std::iter::once(*k));
-                    }
-                }
-            }
-        });
-
-    // Global stripe last: every key apply above happens-before this hold,
-    // so a size/empty observer locking after this scan reads the fully
-    // applied post-commit state.
-    inner.tables.with_global(&inner.stats, |g| {
-        if size_after != size_before {
-            let (by_size, _) = g.doom_update(UpdateEffect::SizeChange, id);
-            inner.stats.bump(&inner.stats.size_conflicts, by_size);
-            if (size_before == 0) != (size_after == 0) {
-                let (_, by_empty) = g.doom_update(UpdateEffect::ZeroCross, id);
-                inner.stats.bump(&inner.stats.empty_conflicts, by_empty);
-            }
-        }
-        g.release_owner(id);
-    });
-}
-
-pub(crate) fn abort_handler<K, V, B>(inner: &Arc<MapInner<K, V, B>>, id: u64)
-where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-{
-    // Compensating transaction: discard buffered state, release locks —
-    // stripes ascending, global stripe last (same order as commit).
-    let local = inner.locals.remove(id).unwrap_or_default();
-    let keys: Vec<(u32, &K)> = local
-        .key_locks
-        .iter()
-        .map(|k| (inner.tables.stripe_of(k) as u32, k))
-        .collect();
-    let order = bucket_order(keys.len(), inner.tables.stripe_count(), |i| keys[i].0);
-    let mut touched: Vec<usize> = Vec::new();
-    for &i in &order {
-        let s = keys[i as usize].0 as usize;
-        if touched.last() != Some(&s) {
-            touched.push(s);
-        }
-    }
-    let mut cursor = 0;
-    inner
-        .tables
-        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
-            let start = cursor;
-            while cursor < order.len() && keys[order[cursor] as usize].0 as usize == si {
-                cursor += 1;
-            }
-            shard.release_keys(id, order[start..cursor].iter().map(|&i| keys[i as usize].1));
-        });
-    inner
-        .tables
-        .with_global(&inner.stats, |g| g.release_owner(id));
 }

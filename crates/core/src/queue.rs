@@ -30,12 +30,13 @@
 
 // txlint: semantic-tables
 use crate::backend::QueueBackend;
+use crate::kernel::{SemanticClass, SemanticCore};
 use crate::locks::{
-    doom_others, mode_compatible, GlobalStripe, LocalTable, ObsMode, Owner, SemanticStats,
-    UpdateEffect, DEFAULT_STRIPES,
+    doom_others, mode_compatible, GlobalStripe, ObsMode, Owner, SemanticStats, UpdateEffect,
+    DEFAULT_STRIPES,
 };
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::marker::PhantomData;
 use stm::{Txn, TxnMode};
 use txstruct::TxVecDeque;
 
@@ -89,26 +90,99 @@ struct QueueTables {
     full_lockers: HashSet<Owner>,
 }
 
-struct QueueInner<T, B> {
+/// The variant half of the queue class (kernel [`SemanticClass`]): the
+/// wrapped backend, the optional capacity bound, and the queue's whole
+/// semantic table — the empty/full locker sets behind one counted mutex
+/// (the queue has no per-key locks, so its table *is* a global stripe).
+struct QueueClass<T, B> {
     backend: B,
     /// `None` = unbounded (the paper's queue); `Some(n)` = bounded Channel
     /// with full-lock semantics symmetric to the empty lock.
     capacity: Option<usize>,
     tables: GlobalStripe<QueueTables>,
-    locals: LocalTable<QueueLocal<T>>,
-    stats: SemanticStats,
+    _item: PhantomData<fn() -> T>,
+}
+
+impl<T, B> SemanticClass for QueueClass<T, B>
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    type Local = QueueLocal<T>;
+
+    /// Commit handler: publish the add/return buffers, then doom emptiness
+    /// observers on a zero-crossing publish and fullness observers on a
+    /// permanent consume (Tables 7-8).
+    fn apply(&self, local: QueueLocal<T>, htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        let made_nonempty = !local.add_buffer.is_empty() || !local.return_buffer.is_empty();
+        // Items permanently consumed: fullness observations are invalidated.
+        let consumed = !local.remove_buffer.is_empty();
+        // Items un-consumed by aborted frames go back near the front; new
+        // work appends at the back.
+        for item in local.return_buffer {
+            self.backend.push_front(htx, item);
+        }
+        for item in local.add_buffer {
+            self.backend.push_back(htx, item);
+        }
+        self.tables.with(stats, |tables| {
+            // Route the dooms through the Tables 7-8 oracle: an emptiness
+            // observation is invalidated exactly by a zero-crossing publish,
+            // a fullness observation exactly by permanent consumption.
+            if made_nonempty && !mode_compatible(ObsMode::Empty, UpdateEffect::ZeroCross, false) {
+                let doomed = doom_others(&mut tables.empty_lockers, id);
+                stats.bump(&stats.empty_conflicts, doomed);
+            }
+            if consumed && !mode_compatible(ObsMode::Full, UpdateEffect::Consume, false) {
+                let doomed = doom_others(&mut tables.full_lockers, id);
+                stats.bump(&stats.empty_conflicts, doomed);
+            }
+            tables.empty_lockers.retain(|o| o.id() != id);
+            tables.full_lockers.retain(|o| o.id() != id);
+        });
+    }
+
+    /// Abort handler (compensation): return everything we dequeued, drop
+    /// everything we only buffered, and release our empty/full locks.
+    fn release(&self, local: QueueLocal<T>, htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        let restored = !local.remove_buffer.is_empty() || !local.return_buffer.is_empty();
+        for item in local.remove_buffer.into_iter().rev() {
+            self.backend.push_front(htx, item);
+        }
+        for item in local.return_buffer {
+            self.backend.push_front(htx, item);
+        }
+        self.tables.with(stats, |tables| {
+            if restored {
+                // The queue may have gone from empty back to non-empty:
+                // emptiness observers are no longer serializable.
+                let doomed = doom_others(&mut tables.empty_lockers, id);
+                stats.bump(&stats.empty_conflicts, doomed);
+            }
+            tables.empty_lockers.retain(|o| o.id() != id);
+            tables.full_lockers.retain(|o| o.id() != id);
+        });
+    }
 }
 
 /// A transactional work queue wrapping any [`QueueBackend`]; see the module
 /// docs for the isolation contract.
-pub struct TransactionalQueue<T, B = TxVecDeque<T>> {
-    inner: Arc<QueueInner<T, B>>,
+pub struct TransactionalQueue<T, B = TxVecDeque<T>>
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    core: SemanticCore<QueueClass<T, B>>,
 }
 
-impl<T, B> Clone for TransactionalQueue<T, B> {
+impl<T, B> Clone for TransactionalQueue<T, B>
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
     fn clone(&self) -> Self {
         TransactionalQueue {
-            inner: self.inner.clone(),
+            core: self.core.clone(),
         }
     }
 }
@@ -148,16 +222,18 @@ where
 {
     fn build(backend: B, capacity: Option<usize>) -> Self {
         TransactionalQueue {
-            inner: Arc::new(QueueInner {
-                backend,
-                capacity,
-                tables: GlobalStripe::new(QueueTables {
-                    empty_lockers: HashSet::new(),
-                    full_lockers: HashSet::new(),
-                }),
-                locals: LocalTable::new(DEFAULT_STRIPES),
-                stats: SemanticStats::default(),
-            }),
+            core: SemanticCore::new(
+                QueueClass {
+                    backend,
+                    capacity,
+                    tables: GlobalStripe::new(QueueTables {
+                        empty_lockers: HashSet::new(),
+                        full_lockers: HashSet::new(),
+                    }),
+                    _item: PhantomData,
+                },
+                DEFAULT_STRIPES,
+            ),
         }
     }
 
@@ -173,7 +249,7 @@ where
 
     /// Semantic-conflict counters (only `empty_conflicts` is used here).
     pub fn semantic_stats(&self) -> &SemanticStats {
-        &self.inner.stats
+        self.core.stats()
     }
 
     fn assert_usable(tx: &Txn) {
@@ -183,34 +259,26 @@ where
         );
     }
 
-    /// Register handlers before creating the locals entry (see the map's
-    /// `ensure_registered` for why this order is unwind-safe).
+    /// First-touch registration, discharged by the kernel (probe, then the
+    /// paired handlers, then the locals entry — in exactly that order).
     fn ensure_registered(&self, tx: &mut Txn) {
-        let id = tx.handle().id();
-        if self.inner.locals.contains(id) {
-            return;
-        }
-        let inner = self.inner.clone();
-        tx.on_commit_top(move |htx| queue_commit_handler(&inner, htx, id));
-        let inner = self.inner.clone();
-        tx.on_abort_top(move |htx| queue_abort_handler(&inner, htx, id));
-        self.inner.locals.with(id, |_| {});
+        self.core.ensure_registered(tx);
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut QueueLocal<T>) -> R) -> R {
-        self.inner.locals.with(tx.handle().id(), f)
+        self.core.with_local(tx, f)
     }
 
     fn take_empty_lock(&self, tx: &Txn) {
         let owner = tx.handle().clone();
-        self.inner.tables.with(&self.inner.stats, |t| {
+        self.core.class().tables.with(self.core.stats(), |t| {
             t.empty_lockers.insert(owner);
         });
     }
 
     fn take_full_lock(&self, tx: &Txn) {
         let owner = tx.handle().clone();
-        self.inner.tables.with(&self.inner.stats, |t| {
+        self.core.class().tables.with(self.core.stats(), |t| {
             t.full_lockers.insert(owner);
         });
     }
@@ -218,7 +286,7 @@ where
     /// The number of items this transaction would see: committed queue plus
     /// everything it will publish at commit.
     fn visible_len(&self, tx: &mut Txn) -> usize {
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         committed + self.with_local(tx, |l| l.add_buffer.len() + l.return_buffer.len())
     }
@@ -236,7 +304,7 @@ where
     /// Number of committed items currently in the underlying queue
     /// (diagnostic; takes no semantic locks).
     pub fn committed_len(&self, tx: &mut Txn) -> usize {
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         tx.open(|otx| backend.len(otx))
     }
 }
@@ -249,7 +317,7 @@ where
     fn put(&self, tx: &mut Txn, item: T) {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        if let Some(cap) = self.inner.capacity {
+        if let Some(cap) = self.core.class().capacity {
             if self.visible_len(tx) >= cap {
                 // Blocking semantics in the threaded runtime: observe
                 // fullness (full lock) and retry the whole transaction; a
@@ -263,9 +331,9 @@ where
             l.add_buffer.push(item);
             l.add_buffer.len() - 1
         });
-        let inner = self.inner.clone();
+        let core = self.core.clone();
         tx.on_local_undo(move || {
-            inner.locals.update(id, |l| {
+            core.update_local(id, |l| {
                 l.add_buffer.truncate(index);
             });
         });
@@ -274,7 +342,7 @@ where
     fn offer(&self, tx: &mut Txn, item: T) -> bool {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        if let Some(cap) = self.inner.capacity {
+        if let Some(cap) = self.core.class().capacity {
             if self.visible_len(tx) >= cap {
                 // Observed fullness: semantic read of the "full" property.
                 self.take_full_lock(tx);
@@ -290,7 +358,7 @@ where
         self.ensure_registered(tx);
         let id = tx.handle().id();
         // Reduced isolation: remove from the shared queue immediately.
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         if let Some(item) = tx.open(|otx| backend.pop_front(otx)) {
             let index = self.with_local(tx, |l| {
                 l.remove_buffer.push(item.clone());
@@ -298,9 +366,9 @@ where
             });
             // If an enclosing closed frame aborts, the item must still reach
             // the queue again: move it to the unconditional return buffer.
-            let inner = self.inner.clone();
+            let core = self.core.clone();
             tx.on_local_undo(move || {
-                inner.locals.update(id, |l| {
+                core.update_local(id, |l| {
                     if index < l.remove_buffer.len() {
                         let it = l.remove_buffer.remove(index);
                         l.return_buffer.push(it);
@@ -318,10 +386,10 @@ where
             }
         });
         if let Some(item) = own {
-            let inner = self.inner.clone();
+            let core = self.core.clone();
             let item2 = item.clone();
             tx.on_local_undo(move || {
-                inner.locals.update(id, |l| {
+                core.update_local(id, |l| {
                     l.add_buffer.insert(0, item2.clone());
                 });
             });
@@ -335,7 +403,7 @@ where
     fn peek(&self, tx: &mut Txn) -> Option<T> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         if let Some(item) = tx.open(|otx| backend.peek_front(otx)) {
             // A non-null peek never conflicts (Table 7: the queue is
             // unordered, so observing *an* element commutes with puts and
@@ -349,69 +417,4 @@ where
         self.take_empty_lock(tx);
         None
     }
-}
-
-// ----------------------------------------------------------------------
-// Handlers
-// ----------------------------------------------------------------------
-
-fn queue_commit_handler<T, B>(inner: &Arc<QueueInner<T, B>>, htx: &mut Txn, id: u64)
-where
-    T: Clone + Send + Sync + 'static,
-    B: QueueBackend<T>,
-{
-    let local = inner.locals.remove(id).unwrap_or_default();
-    let made_nonempty = !local.add_buffer.is_empty() || !local.return_buffer.is_empty();
-    // Items permanently consumed: fullness observations are invalidated.
-    let consumed = !local.remove_buffer.is_empty();
-    // Items un-consumed by aborted frames go back near the front; new work
-    // appends at the back.
-    for item in local.return_buffer {
-        inner.backend.push_front(htx, item);
-    }
-    for item in local.add_buffer {
-        inner.backend.push_back(htx, item);
-    }
-    inner.tables.with(&inner.stats, |tables| {
-        // Route the dooms through the Tables 7–8 oracle: an emptiness
-        // observation is invalidated exactly by a zero-crossing publish, a
-        // fullness observation exactly by permanent consumption.
-        if made_nonempty && !mode_compatible(ObsMode::Empty, UpdateEffect::ZeroCross, false) {
-            let doomed = doom_others(&mut tables.empty_lockers, id);
-            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-        }
-        if consumed && !mode_compatible(ObsMode::Full, UpdateEffect::Consume, false) {
-            let doomed = doom_others(&mut tables.full_lockers, id);
-            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-        }
-        tables.empty_lockers.retain(|o| o.id() != id);
-        tables.full_lockers.retain(|o| o.id() != id);
-    });
-}
-
-fn queue_abort_handler<T, B>(inner: &Arc<QueueInner<T, B>>, htx: &mut Txn, id: u64)
-where
-    T: Clone + Send + Sync + 'static,
-    B: QueueBackend<T>,
-{
-    let local = inner.locals.remove(id).unwrap_or_default();
-    let restored = !local.remove_buffer.is_empty() || !local.return_buffer.is_empty();
-    // Compensation: return everything we dequeued; drop everything we only
-    // buffered for addition.
-    for item in local.remove_buffer.into_iter().rev() {
-        inner.backend.push_front(htx, item);
-    }
-    for item in local.return_buffer {
-        inner.backend.push_front(htx, item);
-    }
-    inner.tables.with(&inner.stats, |tables| {
-        if restored {
-            // The queue may have gone from empty back to non-empty: emptiness
-            // observers are no longer serializable.
-            let doomed = doom_others(&mut tables.empty_lockers, id);
-            inner.stats.bump(&inner.stats.empty_conflicts, doomed);
-        }
-        tables.empty_lockers.retain(|o| o.id() != id);
-        tables.full_lockers.retain(|o| o.id() != id);
-    });
 }

@@ -1,6 +1,10 @@
 //! `TransactionalSet` / `TransactionalSortedSet` — thin wrappers over the
 //! transactional maps, "as has been done similarly for ConcurrentHashSet
 //! implementations built on top of ConcurrentHashMap" (paper §5.1).
+//!
+//! The sets carry no protocol code of their own: they ride the maps'
+//! [`crate::SemanticCore`], so the kernel's registration/sweep obligations
+//! are discharged for them too.
 
 use crate::backend::{MapBackend, SortedMapBackend};
 use crate::locks::SemanticStats;
@@ -13,11 +17,19 @@ use txstruct::{TxHashMap, TxTreeMap};
 
 /// A transactional set with semantic concurrency control, backed by a
 /// [`TransactionalMap`] with unit values.
-pub struct TransactionalSet<K, B = TxHashMap<K, ()>> {
+pub struct TransactionalSet<K, B = TxHashMap<K, ()>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    B: MapBackend<K, ()>,
+{
     map: TransactionalMap<K, (), B>,
 }
 
-impl<K, B> Clone for TransactionalSet<K, B> {
+impl<K, B> Clone for TransactionalSet<K, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    B: MapBackend<K, ()>,
+{
     fn clone(&self) -> Self {
         TransactionalSet {
             map: self.map.clone(),
@@ -111,11 +123,19 @@ where
 }
 
 /// A transactional sorted set backed by a [`TransactionalSortedMap`].
-pub struct TransactionalSortedSet<K, B = TxTreeMap<K, ()>> {
+pub struct TransactionalSortedSet<K, B = TxTreeMap<K, ()>>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    B: SortedMapBackend<K, ()>,
+{
     map: TransactionalSortedMap<K, (), B>,
 }
 
-impl<K, B> Clone for TransactionalSortedSet<K, B> {
+impl<K, B> Clone for TransactionalSortedSet<K, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    B: SortedMapBackend<K, ()>,
+{
     fn clone(&self) -> Self {
         TransactionalSortedSet {
             map: self.map.clone(),

@@ -32,35 +32,155 @@
 
 // txlint: semantic-tables
 use crate::backend::SortedMapBackend;
+use crate::kernel::{
+    sweep_commit_footprint, sweep_release_footprint, FootprintOp, SemanticClass, SemanticCore,
+};
 use crate::locks::{
-    bucket_order, LocalTable, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables,
-    StripedTables, UpdateEffect, DEFAULT_STRIPES,
+    RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables, UpdateEffect,
+    DEFAULT_STRIPES,
 };
 use crate::map::{BufWrite, MapLocal};
 use std::hash::Hash;
+use std::marker::PhantomData;
 use std::ops::Bound;
-use std::sync::Arc;
 use stm::{Txn, TxnMode};
 use txstruct::TxTreeMap;
 
-pub(crate) struct SortedInner<K, V, B> {
-    pub backend: B,
-    pub tables: SortedTables<K>,
-    pub locals: LocalTable<MapLocal<K, V>>,
-    pub stats: SemanticStats,
+/// The variant half of the sorted-map class (kernel [`SemanticClass`]): the
+/// wrapped backend plus the striped key-lock table whose global stripe also
+/// carries the order-based range/endpoint locks.
+pub(crate) struct SortedClass<K, V, B> {
+    pub(crate) backend: B,
+    pub(crate) tables: SortedTables<K>,
+    _value: PhantomData<fn() -> V>,
+}
+
+impl<K, V, B> SemanticClass for SortedClass<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    type Local = MapLocal<K, V>;
+
+    /// Commit handler: apply the store buffer and doom conflicting
+    /// observers — per-key applies and key dooms under each key's stripe
+    /// (ascending, the kernel's sweep), then the global stripe **last** for
+    /// the range/endpoint/size dooms and the point-lock release.
+    fn apply(&self, local: MapLocal<K, V>, htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        // The handler lane serializes every handler and every writing
+        // open-nested commit, so these pre-apply endpoint/size reads are
+        // stable without holding any table lock.
+        let first_before = self.backend.first_entry(htx).map(|(k, _)| k);
+        let last_before = self.backend.last_entry(htx).map(|(k, _)| k);
+        let size_before = self.backend.len(htx) as isize;
+        let mut size_after = size_before;
+
+        // Phase 1 — key stripes, ascending (kernel sweep): apply each
+        // buffered write and doom key-lock observers under the key's
+        // stripe; release own key locks. Keys whose committed state
+        // actually changed are collected for the global-stripe range scan
+        // (phase 2).
+        let mut changed_keys: Vec<&K> = Vec::new();
+        sweep_commit_footprint(
+            &self.tables,
+            stats,
+            local.store_buffer.iter(),
+            local.key_locks.iter(),
+            |shard, op| match op {
+                FootprintOp::Apply(k, BufWrite::Put(v)) => {
+                    let old = self.backend.insert(htx, k.clone(), v.clone());
+                    if old.is_none() {
+                        size_after += 1;
+                    }
+                    let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                    stats.bump(&stats.key_conflicts, doomed);
+                    changed_keys.push(k);
+                }
+                FootprintOp::Apply(k, BufWrite::Remove) => {
+                    let old = self.backend.remove(htx, k);
+                    if old.is_some() {
+                        size_after -= 1;
+                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                        stats.bump(&stats.key_conflicts, doomed);
+                        changed_keys.push(k);
+                    }
+                }
+                FootprintOp::Release(k) => {
+                    shard.release_keys(id, std::iter::once(k));
+                }
+            },
+        );
+
+        // Phase 2 — global stripe, last: every apply above happens-before
+        // this hold, so range/endpoint/size observers locking after this
+        // scan read the fully applied post-commit state.
+        let first_after = self.backend.first_entry(htx).map(|(k, _)| k);
+        let last_after = self.backend.last_entry(htx).map(|(k, _)| k);
+        self.tables.with_global(stats, |g| {
+            for k in &changed_keys {
+                let (by_range, _, _) = g.sorted.doom_update(UpdateEffect::KeyWrite, Some(k), id);
+                stats.bump(&stats.range_conflicts, by_range);
+            }
+            if first_before != first_after {
+                let (_, by_first, _) = g.sorted.doom_update(UpdateEffect::FirstChange, None, id);
+                stats.bump(&stats.first_conflicts, by_first);
+            }
+            if last_before != last_after {
+                let (_, _, by_last) = g.sorted.doom_update(UpdateEffect::LastChange, None, id);
+                stats.bump(&stats.last_conflicts, by_last);
+            }
+            if size_after != size_before {
+                let (by_size, _) = g.points.doom_update(UpdateEffect::SizeChange, id);
+                stats.bump(&stats.size_conflicts, by_size);
+                if (size_before == 0) != (size_after == 0) {
+                    let (_, by_empty) = g.points.doom_update(UpdateEffect::ZeroCross, id);
+                    stats.bump(&stats.empty_conflicts, by_empty);
+                }
+            }
+            g.points.release_owner(id);
+            g.sorted.release_owner(id);
+        });
+    }
+
+    /// Abort handler (compensating transaction): release key locks stripe
+    /// by stripe ascending (kernel sweep), then every point/range/endpoint
+    /// lock in the global stripe, last.
+    fn release(&self, local: MapLocal<K, V>, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        sweep_release_footprint(
+            &self.tables,
+            stats,
+            local.key_locks.iter(),
+            |shard, keys| shard.release_keys(id, keys.iter().copied()),
+        );
+        self.tables.with_global(stats, |g| {
+            g.points.release_owner(id);
+            g.sorted.release_owner(id);
+        });
+    }
 }
 
 /// A transactional wrapper making any [`SortedMapBackend`] safe and scalable
 /// to use from long-running transactions, including ordered iteration and
 /// range views.
-pub struct TransactionalSortedMap<K, V, B = TxTreeMap<K, V>> {
-    inner: Arc<SortedInner<K, V, B>>,
+pub struct TransactionalSortedMap<K, V, B = TxTreeMap<K, V>>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    core: SemanticCore<SortedClass<K, V, B>>,
 }
 
-impl<K, V, B> Clone for TransactionalSortedMap<K, V, B> {
+impl<K, V, B> Clone for TransactionalSortedMap<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
     fn clone(&self) -> Self {
         TransactionalSortedMap {
-            inner: self.inner.clone(),
+            core: self.core.clone(),
         }
     }
 }
@@ -135,23 +255,25 @@ where
     /// Wrap with both knobs explicit.
     pub fn wrap_full(backend: B, kind: RangeIndexKind, nstripes: usize) -> Self {
         TransactionalSortedMap {
-            inner: Arc::new(SortedInner {
-                backend,
-                tables: StripedTables::new(nstripes, SortedGlobal::with_kind(kind)),
-                locals: LocalTable::new(nstripes),
-                stats: SemanticStats::default(),
-            }),
+            core: SemanticCore::new(
+                SortedClass {
+                    backend,
+                    tables: StripedTables::new(nstripes, SortedGlobal::with_kind(kind)),
+                    _value: PhantomData,
+                },
+                nstripes,
+            ),
         }
     }
 
     /// Semantic-conflict counters for this instance.
     pub fn semantic_stats(&self) -> &SemanticStats {
-        &self.inner.stats
+        self.core.stats()
     }
 
     /// Number of key stripes in this instance's semantic lock table.
     pub fn stripe_count(&self) -> usize {
-        self.inner.tables.stripe_count()
+        self.core.class().tables.stripe_count()
     }
 
     fn assert_usable(tx: &Txn) {
@@ -161,31 +283,23 @@ where
         );
     }
 
-    /// Register handlers before creating the locals entry (see the map's
-    /// `ensure_registered` for why this order is unwind-safe).
+    /// First-touch registration and handler ordering are the kernel's
+    /// obligation: [`SemanticCore::ensure_registered`] wires the handler
+    /// pair (txlint TX008 forbids doing it here).
     fn ensure_registered(&self, tx: &mut Txn) {
-        let id = tx.handle().id();
-        if self.inner.locals.contains(id) {
-            return;
-        }
-        let inner = self.inner.clone();
-        tx.on_commit_top(move |htx| sorted_commit_handler(&inner, htx, id));
-        let inner = self.inner.clone();
-        tx.on_abort_top(move |_htx| sorted_abort_handler(&inner, id));
-        self.inner.locals.with(id, |_| {});
+        self.core.ensure_registered(tx);
     }
 
     fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut MapLocal<K, V>) -> R) -> R {
-        self.inner.locals.with(tx.handle().id(), f)
+        self.core.with_local(tx, f)
     }
 
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
         let owner = tx.handle().clone();
-        self.inner
-            .tables
-            .with_stripe_for(key, &self.inner.stats, |s| {
-                s.take_key_lock(key.clone(), owner);
-            });
+        let class = self.core.class();
+        class.tables.with_stripe_for(key, self.core.stats(), |s| {
+            s.take_key_lock(key.clone(), owner);
+        });
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
         });
@@ -224,10 +338,10 @@ where
             l.delta += delta_change;
             (prev, was_blind)
         });
-        let inner = self.inner.clone();
+        let core = self.core.clone();
         let key2 = key.clone();
         tx.on_local_undo(move || {
-            inner.locals.update(id, |l| {
+            core.update_local(id, |l| {
                 match prev_entry {
                     Some(w) => {
                         l.store_buffer.insert(key2.clone(), w);
@@ -258,7 +372,7 @@ where
             None => {}
         }
         self.take_key_lock(tx, key);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         tx.open(|otx| backend.get(otx, key))
     }
 
@@ -272,7 +386,7 @@ where
             None => {}
         }
         self.take_key_lock(tx, key);
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         tx.open(|otx| backend.contains_key(otx, key))
     }
 
@@ -286,7 +400,7 @@ where
             Some(BufWrite::Remove) => None,
             None => {
                 self.take_key_lock(tx, &key);
-                let backend = &self.inner.backend;
+                let backend = &self.core.class().backend;
                 tx.open(|otx| backend.get(otx, &key))
             }
         };
@@ -331,7 +445,7 @@ where
             Some(BufWrite::Remove) => None,
             None => {
                 self.take_key_lock(tx, key);
-                let backend = &self.inner.backend;
+                let backend = &self.core.class().backend;
                 tx.open(|otx| backend.get(otx, key))
             }
         };
@@ -367,7 +481,7 @@ where
         let blind: Vec<K> = self.with_local(tx, |l| l.blind.iter().cloned().collect());
         for k in blind {
             self.take_key_lock(tx, &k);
-            let backend = &self.inner.backend;
+            let backend = &self.core.class().backend;
             let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
             self.with_local(tx, |l| {
                 if l.blind.remove(&k) {
@@ -384,10 +498,11 @@ where
         self.ensure_registered(tx);
         self.resolve_blind(tx);
         let owner = tx.handle().clone();
-        self.inner
+        self.core
+            .class()
             .tables
-            .with_global(&self.inner.stats, |g| g.points.take_size_lock(owner));
-        let backend = &self.inner.backend;
+            .with_global(self.core.stats(), |g| g.points.take_size_lock(owner));
+        let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
         (committed as isize + delta).max(0) as usize
@@ -405,10 +520,11 @@ where
         self.ensure_registered(tx);
         self.resolve_blind(tx);
         let owner = tx.handle().clone();
-        self.inner
+        self.core
+            .class()
             .tables
-            .with_global(&self.inner.stats, |g| g.points.take_empty_lock(owner));
-        let backend = &self.inner.backend;
+            .with_global(self.core.stats(), |g| g.points.take_empty_lock(owner));
+        let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
         (committed as isize + delta) <= 0
@@ -421,7 +537,7 @@ where
     /// Committed next entry after `from`, skipping keys the buffer removes,
     /// staying under `upper`. Each step is one open-nested descent.
     fn committed_next(&self, tx: &mut Txn, from: &Bound<K>, upper: &Bound<K>) -> Option<(K, V)> {
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         let mut cur = match from {
             Bound::Unbounded => tx.open(|otx| backend.first_entry(otx)),
             Bound::Included(k) => tx.open(|otx| backend.ceiling_entry(otx, k)),
@@ -459,7 +575,7 @@ where
     /// Largest committed entry at or below `upper`, skipping keys the buffer
     /// removes, staying above `lower` (the mirror of [`Self::committed_next`]).
     fn committed_prev(&self, tx: &mut Txn, upper: &Bound<K>, lower: &Bound<K>) -> Option<(K, V)> {
-        let backend = &self.inner.backend;
+        let backend = &self.core.class().backend;
         let mut cur = match upper {
             Bound::Unbounded => tx.open(|otx| backend.last_entry(otx)),
             Bound::Included(k) => tx.open(|otx| backend.floor_entry(otx, k)),
@@ -493,9 +609,10 @@ where
         self.ensure_registered(tx);
         if matches!(lower, Bound::Unbounded) {
             let owner = tx.handle().clone();
-            self.inner
+            self.core
+                .class()
                 .tables
-                .with_global(&self.inner.stats, |g| g.sorted.take_first_lock(owner));
+                .with_global(self.core.stats(), |g| g.sorted.take_first_lock(owner));
         }
         for _attempt in 0..64 {
             let committed = self.committed_next(tx, &lower, &upper);
@@ -517,9 +634,12 @@ where
                 let owner = tx.handle().clone();
                 let lo = lower.clone();
                 let up = lock_upper.clone();
-                self.inner.tables.with_global(&self.inner.stats, |g| {
-                    g.sorted.add_range_lock(owner, lo, up);
-                });
+                self.core
+                    .class()
+                    .tables
+                    .with_global(self.core.stats(), |g| {
+                        g.sorted.add_range_lock(owner, lo, up);
+                    });
             }
             // Verify under the lock.
             let verify = self.committed_next(tx, &lower, &lock_upper);
@@ -578,9 +698,10 @@ where
         self.ensure_registered(tx);
         if matches!(upper, Bound::Unbounded) {
             let owner = tx.handle().clone();
-            self.inner
+            self.core
+                .class()
                 .tables
-                .with_global(&self.inner.stats, |g| g.sorted.take_last_lock(owner));
+                .with_global(self.core.stats(), |g| g.sorted.take_last_lock(owner));
         }
         for _attempt in 0..64 {
             let committed = self.committed_prev(tx, &upper, &lower);
@@ -601,9 +722,12 @@ where
                 let owner = tx.handle().clone();
                 let lo = lock_lower.clone();
                 let up = upper.clone();
-                self.inner.tables.with_global(&self.inner.stats, |g| {
-                    g.sorted.add_range_lock(owner, lo, up);
-                });
+                self.core
+                    .class()
+                    .tables
+                    .with_global(self.core.stats(), |g| {
+                        g.sorted.add_range_lock(owner, lo, up);
+                    });
             }
             let verify = self.committed_prev(tx, &upper, &lock_lower);
             match (&candidate, verify) {
@@ -744,7 +868,12 @@ where
 }
 
 /// Ordered transactional cursor; see [`TransactionalSortedMap::range_iter`].
-pub struct TxSortedIter<K, V, B> {
+pub struct TxSortedIter<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
     map: TransactionalSortedMap<K, V, B>,
     lower: Bound<K>,
     upper: Bound<K>,
@@ -760,17 +889,20 @@ where
     B: SortedMapBackend<K, V>,
 {
     fn extend_lock(&mut self, tx: &Txn, upper: Bound<K>) {
-        let inner = &self.map.inner;
+        let class = self.map.core.class();
+        let stats = self.map.core.stats();
         match self.range_id {
-            Some(id) => inner.tables.with_global(&inner.stats, |g| {
+            Some(id) => class.tables.with_global(stats, |g| {
                 g.sorted.extend_range_upper(id, upper);
             }),
             None => {
                 let owner = tx.handle().clone();
                 let lower = self.lower.clone();
-                self.range_id = Some(inner.tables.with_global(&inner.stats, |g| {
-                    g.sorted.add_range_lock(owner, lower, upper)
-                }));
+                self.range_id = Some(
+                    class
+                        .tables
+                        .with_global(stats, |g| g.sorted.add_range_lock(owner, lower, upper)),
+                );
             }
         }
     }
@@ -842,10 +974,10 @@ where
                         // Observed that nothing follows: the last-key lock
                         // of Table 5's `hasNext == false` row.
                         let owner = tx.handle().clone();
-                        let inner = &self.map.inner;
-                        inner
+                        let class = self.map.core.class();
+                        class
                             .tables
-                            .with_global(&inner.stats, |g| g.sorted.take_last_lock(owner));
+                            .with_global(self.map.core.stats(), |g| g.sorted.take_last_lock(owner));
                     }
                     let verify = self.map.committed_next(tx, &from, &self.upper);
                     if verify.is_some() {
@@ -862,7 +994,12 @@ where
 
 /// A live range view over a [`TransactionalSortedMap`] (`subMap`/`headMap`/
 /// `tailMap`). Mutations through the view are bounds-checked.
-pub struct SortedMapView<K, V, B> {
+pub struct SortedMapView<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
     map: TransactionalSortedMap<K, V, B>,
     lower: Bound<K>,
     upper: Bound<K>,
@@ -926,166 +1063,4 @@ where
         }
         out
     }
-}
-
-// ----------------------------------------------------------------------
-// Handlers
-// ----------------------------------------------------------------------
-
-/// One entry of a committing transaction's footprint: a buffered write to
-/// apply or a key lock to release. Discriminant order makes a stripe-major
-/// sort put every apply before every release within one stripe visit.
-enum FootprintOp<'a, K, V> {
-    Write(&'a K, &'a BufWrite<V>),
-    Unlock(&'a K),
-}
-
-fn sorted_commit_handler<K, V, B>(inner: &Arc<SortedInner<K, V, B>>, htx: &mut Txn, id: u64)
-where
-    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    B: SortedMapBackend<K, V>,
-{
-    let local = inner.locals.remove(id).unwrap_or_default();
-
-    // The handler lane serializes every handler and every writing
-    // open-nested commit, so these pre-apply endpoint/size reads are stable
-    // without holding any table lock.
-    let first_before = inner.backend.first_entry(htx).map(|(k, _)| k);
-    let last_before = inner.backend.last_entry(htx).map(|(k, _)| k);
-    let size_before = inner.backend.len(htx) as isize;
-    let mut size_after = size_before;
-
-    // Phase 1 — key stripes, ascending: apply each buffered write and doom
-    // key-lock observers under the key's stripe; release own key locks.
-    // The footprint is one flat vec grouped by stripe via a comparison-free
-    // counting sort (applies in even buckets before releases in odd ones) —
-    // handlers run on every commit, so this path avoids per-stripe
-    // containers and branchy sorts on random stripe ids. Keys whose
-    // committed state actually changed are collected for the global-stripe
-    // range scan (phase 2).
-    let mut foot: Vec<(u32, FootprintOp<K, V>)> =
-        Vec::with_capacity(local.store_buffer.len() + local.key_locks.len());
-    for (k, w) in &local.store_buffer {
-        foot.push((
-            (inner.tables.stripe_of(k) * 2) as u32,
-            FootprintOp::Write(k, w),
-        ));
-    }
-    for k in &local.key_locks {
-        foot.push((
-            (inner.tables.stripe_of(k) * 2 + 1) as u32,
-            FootprintOp::Unlock(k),
-        ));
-    }
-    let order = bucket_order(foot.len(), inner.tables.stripe_count() * 2, |i| foot[i].0);
-    let mut touched: Vec<usize> = Vec::new();
-    for &i in &order {
-        let s = (foot[i as usize].0 >> 1) as usize;
-        if touched.last() != Some(&s) {
-            touched.push(s);
-        }
-    }
-
-    let mut changed_keys: Vec<&K> = Vec::new();
-    let mut cursor = 0;
-    inner
-        .tables
-        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
-            while let Some(&i) = order.get(cursor) {
-                let (b, op) = &foot[i as usize];
-                if (*b >> 1) as usize != si {
-                    break;
-                }
-                cursor += 1;
-                match op {
-                    FootprintOp::Write(k, BufWrite::Put(v)) => {
-                        let old = inner.backend.insert(htx, (*k).clone(), v.clone());
-                        if old.is_none() {
-                            size_after += 1;
-                        }
-                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
-                        inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                        changed_keys.push(k);
-                    }
-                    FootprintOp::Write(k, BufWrite::Remove) => {
-                        let old = inner.backend.remove(htx, k);
-                        if old.is_some() {
-                            size_after -= 1;
-                            let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
-                            inner.stats.bump(&inner.stats.key_conflicts, doomed);
-                            changed_keys.push(k);
-                        }
-                    }
-                    FootprintOp::Unlock(k) => {
-                        shard.release_keys(id, std::iter::once(*k));
-                    }
-                }
-            }
-        });
-
-    // Phase 2 — global stripe, last: every apply above happens-before this
-    // hold, so range/endpoint/size observers locking after this scan read
-    // the fully applied post-commit state.
-    let first_after = inner.backend.first_entry(htx).map(|(k, _)| k);
-    let last_after = inner.backend.last_entry(htx).map(|(k, _)| k);
-    inner.tables.with_global(&inner.stats, |g| {
-        for k in &changed_keys {
-            let (by_range, _, _) = g.sorted.doom_update(UpdateEffect::KeyWrite, Some(k), id);
-            inner.stats.bump(&inner.stats.range_conflicts, by_range);
-        }
-        if first_before != first_after {
-            let (_, by_first, _) = g.sorted.doom_update(UpdateEffect::FirstChange, None, id);
-            inner.stats.bump(&inner.stats.first_conflicts, by_first);
-        }
-        if last_before != last_after {
-            let (_, _, by_last) = g.sorted.doom_update(UpdateEffect::LastChange, None, id);
-            inner.stats.bump(&inner.stats.last_conflicts, by_last);
-        }
-        if size_after != size_before {
-            let (by_size, _) = g.points.doom_update(UpdateEffect::SizeChange, id);
-            inner.stats.bump(&inner.stats.size_conflicts, by_size);
-            if (size_before == 0) != (size_after == 0) {
-                let (_, by_empty) = g.points.doom_update(UpdateEffect::ZeroCross, id);
-                inner.stats.bump(&inner.stats.empty_conflicts, by_empty);
-            }
-        }
-        g.points.release_owner(id);
-        g.sorted.release_owner(id);
-    });
-}
-
-fn sorted_abort_handler<K, V, B>(inner: &Arc<SortedInner<K, V, B>>, id: u64)
-where
-    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-{
-    let local = inner.locals.remove(id).unwrap_or_default();
-    let keys: Vec<(u32, &K)> = local
-        .key_locks
-        .iter()
-        .map(|k| (inner.tables.stripe_of(k) as u32, k))
-        .collect();
-    let order = bucket_order(keys.len(), inner.tables.stripe_count(), |i| keys[i].0);
-    let mut touched: Vec<usize> = Vec::new();
-    for &i in &order {
-        let s = keys[i as usize].0 as usize;
-        if touched.last() != Some(&s) {
-            touched.push(s);
-        }
-    }
-    let mut cursor = 0;
-    inner
-        .tables
-        .for_stripes_ascending(touched.iter().copied(), &inner.stats, |si, shard| {
-            let start = cursor;
-            while cursor < order.len() && keys[order[cursor] as usize].0 as usize == si {
-                cursor += 1;
-            }
-            shard.release_keys(id, order[start..cursor].iter().map(|&i| keys[i as usize].1));
-        });
-    inner.tables.with_global(&inner.stats, |g| {
-        g.points.release_owner(id);
-        g.sorted.release_owner(id);
-    });
 }

@@ -1,0 +1,141 @@
+//! Kernel-level invariance: the protocol obligations [`SemanticCore`]
+//! discharges for every collection class, exercised through the public
+//! kernel API directly (no collection in the loop).
+//!
+//! The companion suites pin the *observable* protocol: `oracle_matrix`
+//! checks the 84-cell conflict matrix and `stripe_invariance` checks that
+//! behavior is identical at 1, 2 and 16 stripes. Those must pass unchanged
+//! before and after the kernel extraction. This file pins the kernel's own
+//! contract: first-touch registration is idempotent and race-free, each
+//! attempt's handlers fire exactly once, and locals always drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use stm::{atomic, Txn};
+use txcollections::{SemanticClass, SemanticCore, SemanticStats};
+
+/// Probe class: counts handler invocations and the ops they drained.
+struct ProbeClass {
+    applies: AtomicU64,
+    releases: AtomicU64,
+    drained_ops: AtomicU64,
+}
+
+impl SemanticClass for ProbeClass {
+    type Local = Vec<u64>;
+
+    fn apply(&self, local: Vec<u64>, _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
+        self.applies.fetch_add(1, Ordering::SeqCst);
+        self.drained_ops
+            .fetch_add(local.len() as u64, Ordering::SeqCst);
+    }
+
+    fn release(&self, local: Vec<u64>, _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
+        self.releases.fetch_add(1, Ordering::SeqCst);
+        self.drained_ops
+            .fetch_add(local.len() as u64, Ordering::SeqCst);
+    }
+}
+
+fn probe_core(nshards: usize) -> SemanticCore<ProbeClass> {
+    SemanticCore::new(
+        ProbeClass {
+            applies: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            drained_ops: AtomicU64::new(0),
+        },
+        nshards,
+    )
+}
+
+/// First-touch registration raced from many threads: every transaction
+/// calls `ensure_registered` repeatedly (first touch plus re-touches) and
+/// buffers a few ops; each transaction must get exactly one commit-handler
+/// invocation, every buffered op must be drained exactly once, and the
+/// sharded local table must end empty.
+#[test]
+fn first_touch_registration_race_registers_exactly_once() {
+    const THREADS: u64 = 8;
+    const TXNS: u64 = 200;
+    const OPS: u64 = 3;
+    let core = Arc::new(probe_core(4));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let core = core.clone();
+            s.spawn(move || {
+                for i in 0..TXNS {
+                    atomic(|tx| {
+                        for j in 0..OPS {
+                            // Re-registration on every op, as collection
+                            // operations do: must stay idempotent.
+                            core.ensure_registered(tx);
+                            core.with_local(tx, |l| l.push(t * 1_000_000 + i * OPS + j));
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let class = core.class();
+    assert_eq!(
+        class.applies.load(Ordering::SeqCst),
+        THREADS * TXNS,
+        "each committed transaction must run its commit handler exactly once"
+    );
+    assert_eq!(class.releases.load(Ordering::SeqCst), 0);
+    assert_eq!(
+        class.drained_ops.load(Ordering::SeqCst),
+        THREADS * TXNS * OPS,
+        "every buffered op must be drained exactly once"
+    );
+    assert_eq!(
+        core.resident_locals(),
+        0,
+        "handlers must drain the local table"
+    );
+}
+
+/// Aborted attempts run the abort handler exactly once, and never the
+/// commit handler; locals drain either way.
+#[test]
+fn aborts_run_release_exactly_once() {
+    let core = probe_core(2);
+    const N: usize = 50;
+    for _ in 0..N {
+        let c = core.clone();
+        let (_, t) = stm::speculate(
+            move |tx| {
+                c.ensure_registered(tx);
+                c.with_local(tx, |l| l.push(1));
+            },
+            0,
+        )
+        .unwrap();
+        t.abort(stm::AbortCause::Explicit);
+    }
+    let class = core.class();
+    assert_eq!(class.applies.load(Ordering::SeqCst), 0);
+    assert_eq!(class.releases.load(Ordering::SeqCst), N as u64);
+    assert_eq!(class.drained_ops.load(Ordering::SeqCst), N as u64);
+    assert_eq!(core.resident_locals(), 0);
+}
+
+/// A stale local-undo compensation racing a completed handler must not
+/// resurrect the drained entry (the kernel's non-creating `update_local`).
+#[test]
+fn stale_undo_cannot_resurrect_drained_locals() {
+    let core = probe_core(2);
+    let c = core.clone();
+    let (id, t) = stm::speculate(
+        move |tx| {
+            c.ensure_registered(tx);
+            c.with_local(tx, |l| l.push(42));
+            tx.handle().id()
+        },
+        0,
+    )
+    .unwrap();
+    t.commit();
+    assert_eq!(core.update_local(id, |l| l.push(7)), None);
+    assert_eq!(core.resident_locals(), 0);
+}

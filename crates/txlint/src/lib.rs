@@ -22,6 +22,7 @@
 //! | TX005 | nested top-level `atomic`/`atomic_with`/`speculate` inside a transaction region (use `.closed(..)` / `.open(..)`) |
 //! | TX006 | non-`pub(crate)` visibility in a file carrying the commit-internals marker comment (the sharded commit protocol's surface — `stm`'s clock/var-lock/handler-lane module — must stay crate-private) |
 //! | TX007 | raw stripe access (`stripes[i]` indexing or a `.lock()` on a `stripes` element) in a file carrying the semantic-tables marker comment — stripes must be acquired through the ordered helpers (`with_stripe_for` / `for_stripes_ascending` / `with_global`), which preserve the stripes-ascending lock order the doom-protocol proof depends on |
+//! | TX008 | direct `.on_commit_top(..)` / `.on_abort_top(..)` handler registration in a file carrying the semantic-tables marker but not the semantic-kernel marker — collection classes must register through `SemanticCore::ensure_registered`, so the probe → commit handler → abort handler → locals-insert ordering lives in exactly one place (the kernel file) |
 //!
 //! Findings are suppressed by `// txlint: allow(TXnnn)` on the finding's
 //! line or the line above, or `// txlint: allow-file(TXnnn)` anywhere in
@@ -65,8 +66,8 @@ impl fmt::Display for Finding {
 }
 
 /// All rule codes, for `--explain` style listings and self-tests.
-pub const ALL_CODES: [&str; 7] = [
-    "TX001", "TX002", "TX003", "TX004", "TX005", "TX006", "TX007",
+pub const ALL_CODES: [&str; 8] = [
+    "TX001", "TX002", "TX003", "TX004", "TX005", "TX006", "TX007", "TX008",
 ];
 
 /// Apply `// txlint: allow(..)` / `allow-file(..)` annotations: drop every

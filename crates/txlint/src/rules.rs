@@ -239,6 +239,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx005_nested_atomic(path, &m, &mut out);
     tx006_commit_internals_visibility(path, src, &m, &mut out);
     tx007_raw_stripe_access(path, src, &m, &mut out);
+    tx008_direct_handler_registration(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -554,6 +555,48 @@ fn tx007_raw_stripe_access(path: &Path, src: &str, m: &FileModel, out: &mut Vec<
     }
 }
 
+/// Marker comment (assembled at runtime like the others) declaring a file
+/// to be *the* semantic-class kernel — the one semantic-tables file allowed
+/// to register top-level commit/abort handlers directly.
+fn semantic_kernel_marker() -> String {
+    format!("txlint: {}", "semantic-kernel")
+}
+
+fn tx008_direct_handler_registration(
+    path: &Path,
+    src: &str,
+    m: &FileModel,
+    out: &mut Vec<Finding>,
+) {
+    // Scope: semantic-tables files (collection classes). The kernel file
+    // carries the semantic-kernel marker too and is the sanctioned home of
+    // the registration protocol.
+    if !src.contains(&semantic_tables_marker()) || src.contains(&semantic_kernel_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.is_ident("on_commit_top") || t.is_ident("on_abort_top"))
+            && i.checked_sub(1).and_then(|p| toks[p].punct()) == Some('.')
+            && toks.get(i + 1).and_then(Tok::punct) == Some('(')
+        {
+            out.push(finding(
+                path,
+                t,
+                "TX008",
+                format!(
+                    "direct `.{}(..)` handler registration in a semantic-tables file",
+                    t.text
+                ),
+                "collection classes must register handlers through SemanticCore::ensure_registered, which discharges the probe -> commit handler -> abort handler -> locals-insert ordering once; only the kernel file (semantic-kernel marker) registers on_commit_top/on_abort_top directly",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +732,29 @@ mod tests {
         // Without the marker, stripe indexing is none of txlint's business
         // (locks.rs itself implements the helpers).
         assert!(codes("fn f(&self) { let g = self.stripes[3].lock(); }").is_empty());
+    }
+
+    #[test]
+    fn tx008_semantic_tables_file_rejects_direct_registration() {
+        let marked = |body: &str| format!("// {}\n{body}\n", semantic_tables_marker());
+        let direct = "fn reg(tbl: &T, tx: &mut Txn) { \
+                      tx.on_commit_top(|h| tbl.apply(h)); \
+                      tx.on_abort_top(|h| tbl.release(h)); }";
+        assert_eq!(codes(&marked(direct)), vec!["TX008", "TX008"]);
+        // Routing through the kernel is the sanctioned form.
+        let via_core =
+            "fn reg(core: &SemanticCore<C>, tx: &mut Txn) { core.ensure_registered(tx); }";
+        assert!(codes(&marked(via_core)).is_empty());
+        // The kernel file itself carries both markers and is exempt.
+        let kernel = format!(
+            "// {}\n// {}\n{direct}\n",
+            semantic_tables_marker(),
+            semantic_kernel_marker()
+        );
+        assert!(codes(&kernel).is_empty());
+        // Without the semantic-tables marker, registration is unrestricted
+        // (user code registers its own handlers freely).
+        assert!(codes(direct).is_empty());
     }
 
     #[test]

@@ -1,175 +1,150 @@
-//! Building your own transactional class with the paper's §5 guidelines.
+//! Building your own transactional class with the paper's §5 guidelines —
+//! on the crate's semantic-class kernel.
 //!
 //! The paper closes: "we have shown a straightforward operational analysis
 //! and implementation guidelines that allow programmers to safely design
 //! their own concurrent classes." This example walks those guidelines for a
 //! `TransactionalHistogram` — shared counting bins with semantic
-//! concurrency control:
+//! concurrency control — and shows what the kernel leaves for you to write:
 //!
-//! * **Operational analysis**: `add(bin, n)` operations commute with each
-//!   other (blind additions); `count(bin)` conflicts with `add` to the same
-//!   bin; `total()` conflicts with any `add`.
-//! * **Semantic locks**: per-bin read locks and a total read lock.
-//! * **Guideline 1** — reads go through open-nested transactions after
-//!   taking the lock.
-//! * **Guideline 3** — writes accumulate in a transaction-local delta
-//!   buffer.
-//! * **Guidelines 4/5** — one abort handler releases locks and drops the
-//!   buffer; one commit handler applies the deltas, dooms conflicting
-//!   readers, and then cleans up like the abort handler.
+//! * **Operational analysis** (yours): `add(bin, n)` operations commute
+//!   with each other (blind additions); `count(bin)` conflicts with `add`
+//!   to the same bin; `total()` conflicts with any `add`. That maps to
+//!   per-bin key locks and the size lock of [`ClassTables`].
+//! * **Guideline 1** — keep transaction-local state encapsulated: the
+//!   `HistLocal` buffer, reached only via [`SemanticCore::with_local`].
+//! * **Guideline 2** — register one commit/abort handler pair on first
+//!   touch: [`SemanticCore::ensure_registered`], one call per operation;
+//!   the kernel makes it idempotent and ordering-safe.
+//! * **Guideline 3** — take semantic locks before reading committed state,
+//!   then read open-nested: `count`/`total` below.
+//! * **Guideline 5-commit** — [`SemanticClass::apply`]: the kernel hands
+//!   you the drained buffer inside the commit handler; you apply it and
+//!   state what each update *does* ([`UpdateEffect`]); the sweep order and
+//!   the who-to-doom case analysis are the kernel's.
+//! * **Guideline 4/5-abort** — [`SemanticClass::release`]: drop the buffer
+//!   (already drained) and release the lock footprint.
+//!
+//! Everything the pre-kernel version of this example re-implemented by hand
+//! — first-touch registration ordering, locals sharding and draining,
+//! stripe sweep order, doom dispatch — is gone: the class is the ~60 lines
+//! below.
 //!
 //! ```sh
 //! cargo run --release --example custom_class
 //! ```
 
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
-use stm::{atomic, TVar, TxHandle, Txn};
+use stm::{atomic, TVar, Txn};
+use txcollections::{ClassTables, SemanticClass, SemanticCore, SemanticStats, UpdateEffect};
 
 const BINS: usize = 16;
 
-struct HistogramInner {
+/// Per-transaction state (guideline 1): buffered deltas plus the bin locks
+/// this transaction holds (so `release`/`apply` know the footprint).
+#[derive(Default)]
+struct HistLocal {
+    deltas: HashMap<usize, u64>,
+    bin_locks: HashSet<usize>,
+}
+
+/// The variant half: the underlying bins and the semantic-lock tables.
+struct HistClass {
     bins: Vec<TVar<u64>>,
-    // Shared transaction state: semantic lock tables (encapsulated).
-    bin_lockers: Mutex<HashMap<usize, HashSet<Arc<TxHandle>>>>,
-    total_lockers: Mutex<HashSet<Arc<TxHandle>>>,
-    // Local transaction state: per-transaction delta buffers.
-    locals: Mutex<HashMap<u64, HashMap<usize, u64>>>,
+    tables: ClassTables<usize>,
+}
+
+impl SemanticClass for HistClass {
+    type Local = HistLocal;
+
+    /// Commit handler body (guideline 5): apply the buffered deltas to the
+    /// underlying bins in direct mode, dooming readers of each touched bin;
+    /// then, in the global phase the kernel forces to run last, doom
+    /// `total()` observers (size-lock holders). The sweep order — touched
+    /// stripes ascending, global stripe last, own locks released last — is
+    /// the kernel's, not ours.
+    fn apply(&self, local: HistLocal, htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        let grew = local.deltas.values().any(|&d| d > 0);
+        let global = self.tables.commit_sweep(
+            stats,
+            id,
+            local.deltas.iter(),
+            local.bin_locks.iter(),
+            |&bin, &d, cx| {
+                if d != 0 {
+                    let cur = self.bins[bin].read(htx);
+                    self.bins[bin].write(htx, cur + d);
+                    cx.doom(UpdateEffect::KeyWrite, &bin);
+                }
+            },
+        );
+        global.finish(|g| {
+            if grew {
+                g.doom(UpdateEffect::SizeChange);
+            }
+        });
+    }
+
+    /// Abort handler body (guideline 4): writes were only buffered, so the
+    /// compensation is pure release — the kernel already drained the buffer.
+    fn release(&self, local: HistLocal, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
+        self.tables.release_sweep(stats, id, local.bin_locks.iter());
+    }
 }
 
 #[derive(Clone)]
 struct TransactionalHistogram {
-    inner: Arc<HistogramInner>,
+    core: SemanticCore<HistClass>,
 }
 
 impl TransactionalHistogram {
     fn new() -> Self {
         TransactionalHistogram {
-            inner: Arc::new(HistogramInner {
-                bins: (0..BINS).map(|_| TVar::new(0)).collect(),
-                bin_lockers: Mutex::new(HashMap::new()),
-                total_lockers: Mutex::new(HashSet::new()),
-                locals: Mutex::new(HashMap::new()),
-            }),
+            core: SemanticCore::new(
+                HistClass {
+                    bins: (0..BINS).map(|_| TVar::new(0)).collect(),
+                    tables: ClassTables::new(4),
+                },
+                4,
+            ),
         }
-    }
-
-    /// Register the single commit/abort handler pair on first use
-    /// (guidelines 4 and 5).
-    fn ensure_registered(&self, tx: &mut Txn) {
-        let id = tx.handle().id();
-        let fresh = {
-            let mut locals = self.inner.locals.lock();
-            if locals.contains_key(&id) {
-                false
-            } else {
-                locals.insert(id, HashMap::new());
-                true
-            }
-        };
-        if !fresh {
-            return;
-        }
-        // Commit handler: apply buffered deltas to the underlying bins
-        // (direct mode), doom readers of the touched bins and of the total,
-        // release our locks.
-        let inner = self.inner.clone();
-        let h = tx.handle().clone();
-        tx.on_commit_top(move |htx| {
-            let deltas = inner.locals.lock().remove(&h.id()).unwrap_or_default();
-            let mut doomed = 0;
-            {
-                let mut lockers = inner.bin_lockers.lock();
-                for (&bin, &d) in &deltas {
-                    if d == 0 {
-                        continue;
-                    }
-                    let cur = inner.bins[bin].read(htx);
-                    inner.bins[bin].write(htx, cur + d);
-                    if let Some(owners) = lockers.get_mut(&bin) {
-                        owners.retain(|o| {
-                            if o.id() != h.id() && o.doom() {
-                                doomed += 1;
-                            }
-                            o.id() != h.id()
-                        });
-                    }
-                }
-                for owners in lockers.values_mut() {
-                    owners.retain(|o| o.id() != h.id());
-                }
-            }
-            if deltas.values().any(|&d| d > 0) {
-                let mut totals = inner.total_lockers.lock();
-                for o in totals.iter() {
-                    if o.id() != h.id() && o.doom() {
-                        doomed += 1;
-                    }
-                }
-                totals.retain(|o| o.id() != h.id());
-            }
-            std::hint::black_box(doomed);
-        });
-        // Abort handler: the compensating transaction — drop the buffer,
-        // release the locks.
-        let inner = self.inner.clone();
-        let h = tx.handle().clone();
-        tx.on_abort_top(move |_| {
-            inner.locals.lock().remove(&h.id());
-            for owners in inner.bin_lockers.lock().values_mut() {
-                owners.retain(|o| o.id() != h.id());
-            }
-            inner.total_lockers.lock().retain(|o| o.id() != h.id());
-        });
     }
 
     /// Blind addition: buffered locally, commutes with every other add
     /// (guideline 3 — no semantic lock because nothing is read).
     fn add(&self, tx: &mut Txn, bin: usize, n: u64) {
-        self.ensure_registered(tx);
-        let id = tx.handle().id();
-        let mut locals = self.inner.locals.lock();
-        *locals.get_mut(&id).unwrap().entry(bin).or_insert(0) += n;
+        self.core.ensure_registered(tx);
+        self.core
+            .with_local(tx, |l| *l.deltas.entry(bin).or_insert(0) += n);
     }
 
-    /// Read one bin: take the bin lock, then read open-nested
-    /// (guideline 1), merging the local buffer.
+    /// Read one bin: take the bin's key lock, then read open-nested
+    /// (guideline 1/3), merging the local buffer.
     fn count(&self, tx: &mut Txn, bin: usize) -> u64 {
-        self.ensure_registered(tx);
-        {
-            let mut lockers = self.inner.bin_lockers.lock();
-            lockers.entry(bin).or_default().insert(tx.handle().clone());
-        }
-        let var = self.inner.bins[bin].clone();
+        self.core.ensure_registered(tx);
+        let class = self.core.class();
+        class
+            .tables
+            .take_key_lock(self.core.stats(), bin, tx.handle().clone());
+        let var = class.bins[bin].clone();
         let committed = tx.open(move |otx| var.read(otx));
-        let id = tx.handle().id();
         committed
-            + self
-                .inner
-                .locals
-                .lock()
-                .get(&id)
-                .and_then(|d| d.get(&bin))
-                .copied()
-                .unwrap_or(0)
+            + self.core.with_local(tx, |l| {
+                l.bin_locks.insert(bin);
+                l.deltas.get(&bin).copied().unwrap_or(0)
+            })
     }
 
-    /// Read the total: total lock + open-nested sweep.
+    /// Read the total: size lock + open-nested sweep.
     fn total(&self, tx: &mut Txn) -> u64 {
-        self.ensure_registered(tx);
-        self.inner.total_lockers.lock().insert(tx.handle().clone());
-        let bins = self.inner.bins.clone();
+        self.core.ensure_registered(tx);
+        let class = self.core.class();
+        class
+            .tables
+            .take_size_lock(self.core.stats(), tx.handle().clone());
+        let bins = class.bins.clone();
         let committed: u64 = tx.open(move |otx| bins.iter().map(|b| b.read(otx)).sum());
-        let id = tx.handle().id();
-        committed
-            + self
-                .inner
-                .locals
-                .lock()
-                .get(&id)
-                .map(|d| d.values().sum::<u64>())
-                .unwrap_or(0)
+        committed + self.core.with_local(tx, |l| l.deltas.values().sum::<u64>())
     }
 }
 
@@ -209,7 +184,7 @@ fn main() {
     let spread: Vec<u64> = (0..BINS).map(|b| atomic(|tx| hist.count(tx, b))).collect();
     println!("bin spread: {spread:?}");
     println!(
-        "\nthe full recipe — operational analysis, semantic locks, open-nested \
-         reads, buffered writes, commit/abort handlers — in ~150 lines (§5)."
+        "\nthe §5 recipe on the kernel: operational analysis + two handler \
+         bodies; registration, sweep order and doom dispatch come for free."
     );
 }

@@ -12,3 +12,15 @@ pub use sim;
 pub use stm;
 pub use txcollections;
 pub use txstruct;
+
+/// The semantic-class kernel, re-exported at the top level: implement
+/// [`SemanticClass`] (the buffer type plus the commit/abort handler bodies)
+/// and wrap it in a [`SemanticCore`] to get the paper's §5 protocol —
+/// first-touch registration, sharded local state, stripe-sweep ordering and
+/// doom dispatch — without re-implementing any of it. [`ClassTables`] adds
+/// ready-made key/size/empty lock tables for keyed classes; dooms raised
+/// during [`ClassTables::commit_sweep`] go through [`KeyCtx`], and the
+/// global phase that the [`GlobalPhase`] token forces to run last dooms
+/// point-lock holders through [`PointCtx`]. See `examples/custom_class.rs`
+/// for the full walkthrough.
+pub use txcollections::{ClassTables, GlobalPhase, KeyCtx, PointCtx, SemanticClass, SemanticCore};
