@@ -1,0 +1,106 @@
+//! Tracing-overhead microbench: proves the conflict-provenance trace layer
+//! is free when off and bounded when on.
+//!
+//! The workload is `commit_scaling`'s sharded configuration verbatim —
+//! disjoint single-var read-modify-writes at 1/2/4/8 threads, best of 3
+//! samples — so the `traced_off` column is directly comparable to the
+//! `sharded_ns_per_txn` column of `BENCH_PR4.json`. Three configurations:
+//!
+//! * **off** — no [`stm::trace::TraceGuard`] live: every emission site is
+//!   one relaxed atomic load. This must sit within host noise of the PR4
+//!   sharded baseline (this single-CPU container shows up to ~38%
+//!   run-to-run spread at 1 thread; see the PR4 caveat).
+//! * **on** — a guard live with default rings: begin/commit events are
+//!   packed and pushed into the per-thread seqlock ring.
+//! * **on, tiny rings** — constant overflow, exercising the drop-oldest
+//!   path on every push.
+//!
+//! Run via `scripts/bench.sh`, which captures the report as
+//! `BENCH_PR5.json`.
+
+use std::time::Instant;
+use stm::trace::TraceConfig;
+use stm::{atomic, global_stats, TVar};
+
+const TXNS_PER_THREAD: u64 = 2000;
+const SAMPLES: usize = 3;
+
+#[derive(Clone, Copy)]
+enum Tracing {
+    Off,
+    On,
+    OnTinyRings,
+}
+
+/// ns/txn, best of [`SAMPLES`], for `threads` workers committing disjoint
+/// single-var read-modify-writes under the given tracing configuration.
+fn run(threads: usize, tracing: Tracing) -> f64 {
+    let guard = match tracing {
+        Tracing::Off => None,
+        Tracing::On => Some(TraceConfig::default().enable()),
+        Tracing::OnTinyRings => Some(TraceConfig { ring_slots: 16 }.enable()),
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let vars: Vec<TVar<u64>> = (0..threads).map(|_| TVar::new(0)).collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for v in &vars {
+                s.spawn(move || {
+                    for _ in 0..TXNS_PER_THREAD {
+                        atomic(|tx| {
+                            let x = v.read(tx);
+                            v.write(tx, x + 1);
+                        });
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_nanos() as f64;
+        for v in &vars {
+            assert_eq!(v.read_committed(), TXNS_PER_THREAD, "lost update");
+        }
+        best = best.min(elapsed / (threads as u64 * TXNS_PER_THREAD) as f64);
+    }
+    drop(guard);
+    best
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up (first-touch allocation, lazy statics, ring registration).
+    let _ = run(2, Tracing::Off);
+    let _ = run(2, Tracing::On);
+
+    let before = global_stats();
+    let mut rows = Vec::new();
+    for &t in &[1usize, 2, 4, 8] {
+        let off = run(t, Tracing::Off);
+        let on = run(t, Tracing::On);
+        let tiny = run(t, Tracing::OnTinyRings);
+        rows.push(format!(
+            "    {{\"threads\": {t}, \"traced_off_ns_per_txn\": {off:.1}, \
+             \"traced_on_ns_per_txn\": {on:.1}, \
+             \"traced_on_tiny_rings_ns_per_txn\": {tiny:.1}, \
+             \"on_off_ratio\": {:.3}}}",
+            on / off
+        ));
+    }
+    let d = global_stats().since(&before);
+
+    println!("{{");
+    println!("  \"bench\": \"trace_overhead\",");
+    println!("  \"cpus\": {cpus},");
+    println!("  \"txns_per_thread\": {TXNS_PER_THREAD},");
+    println!("  \"samples\": {SAMPLES},");
+    println!("  \"workload\": \"disjoint single-var read-modify-write (commit_scaling's sharded config)\",");
+    println!("  \"baseline\": \"tracing off; compare traced_off to BENCH_PR4.json commit_scaling sharded_ns_per_txn\",");
+    println!("  \"results\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"trace_events_dropped\": {}", d.trace_events_dropped);
+    println!("}}");
+}

@@ -35,10 +35,14 @@
 // txlint: semantic-tables
 use crate::backend::MapBackend;
 use crate::kernel::{sweep_commit_footprint, FootprintOp, SemanticClass, SemanticCore};
-use crate::locks::{doom_others, Owner, SemanticStats, StripedTables, DEFAULT_STRIPES};
+use crate::locks::{
+    doom_others, key_hash64, DoomCtx, ObsMode, Owner, SemanticStats, StripedTables, UpdateEffect,
+    DEFAULT_STRIPES,
+};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::marker::PhantomData;
+use stm::trace::{self, LockKind};
 use stm::{TxState, Txn, TxnMode};
 use txstruct::TxHashMap;
 
@@ -142,7 +146,13 @@ where
                 FootprintOp::Apply(k, _) => {
                     if doom_write_key_readers {
                         if let Some(rs) = s.readers.get_mut(k) {
-                            let doomed = doom_others(rs, id);
+                            let ctx = DoomCtx {
+                                stats,
+                                obs: ObsMode::Key,
+                                effect: UpdateEffect::KeyWrite,
+                                key_hash: key_hash64(k),
+                            };
+                            let doomed = doom_others(rs, id, &ctx);
                             stats.bump(&stats.key_conflicts, doomed);
                         }
                     }
@@ -174,6 +184,10 @@ where
     B: MapBackend<K, V>,
 {
     type Local = EagerLocal<K, V>;
+
+    fn name(&self) -> &'static str {
+        "eager_map"
+    }
 
     /// Commit handler. Changes are already in place: drop the undo log, doom
     /// the readers of our written keys that appeared after our write lock
@@ -306,12 +320,19 @@ where
         let self_id = tx.handle().id();
         let owner = tx.handle().clone();
         let class = self.core.class();
-        let blocked = class.tables.with_stripe_for(key, self.core.stats(), |s| {
+        let stats = self.core.stats();
+        let blocked = class.tables.with_stripe_for(key, stats, |s| {
             if let Some(w) = s.writers.get(key) {
                 if Self::is_other_active(w, self_id) {
                     return true;
                 }
             }
+            trace::sem_lock_acquired(
+                owner.id(),
+                stats.class_sym(),
+                LockKind::Key,
+                key_hash64(key),
+            );
             s.readers.entry(key.clone()).or_default().insert(owner);
             false
         });
@@ -342,7 +363,9 @@ where
         });
         let owner = tx.handle().clone();
         let class = self.core.class();
-        let pending = class.tables.with_global(self.core.stats(), |g| {
+        let stats = self.core.stats();
+        let pending = class.tables.with_global(stats, |g| {
+            trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Size, 0);
             g.size_lockers.insert(owner);
             g.pending_delta
         });
@@ -385,12 +408,24 @@ where
                     EagerPolicy::WriterWaits => return true,
                     EagerPolicy::DoomReaders => {
                         if let Some(rs) = s.readers.get_mut(key) {
-                            let doomed = doom_others(rs, self_id);
+                            let ctx = DoomCtx {
+                                stats,
+                                obs: ObsMode::Key,
+                                effect: UpdateEffect::KeyWrite,
+                                key_hash: key_hash64(key),
+                            };
+                            let doomed = doom_others(rs, self_id, &ctx);
                             stats.bump(&stats.key_conflicts, doomed);
                         }
                     }
                 }
             }
+            trace::sem_lock_acquired(
+                owner.id(),
+                stats.class_sym(),
+                LockKind::Key,
+                key_hash64(key),
+            );
             s.writers.insert(key.clone(), owner);
             false
         });
@@ -409,7 +444,13 @@ where
         let stats = self.core.stats();
         self.core.class().tables.with_global(stats, |g| {
             g.pending_delta += change;
-            let doomed = doom_others(&mut g.size_lockers, self_id);
+            let ctx = DoomCtx {
+                stats,
+                obs: ObsMode::Size,
+                effect: UpdateEffect::SizeChange,
+                key_hash: 0,
+            };
+            let doomed = doom_others(&mut g.size_lockers, self_id, &ctx);
             stats.bump(&stats.size_conflicts, doomed);
         });
         self.with_local(tx, |l| l.delta += change);

@@ -97,6 +97,14 @@ pub trait SemanticClass: Send + Sync + 'static {
     /// plus pending writes. Created implicitly at `Default` on first touch.
     type Local: Default + Send + 'static;
 
+    /// Short, stable class name ("map", "queue", ...) stamped on every
+    /// trace event this instance emits, so `txtop` can attribute semantic
+    /// conflicts to a collection class. Interned once at core construction;
+    /// override the default for any class you want to see in traces.
+    fn name(&self) -> &'static str {
+        "anon"
+    }
+
     /// Commit handler body: apply `local`'s buffered writes to the
     /// underlying structure through `htx` (direct mode) and doom every
     /// transaction holding a semantic lock the update invalidates, then
@@ -135,11 +143,13 @@ impl<C: SemanticClass> SemanticCore<C> {
     /// Build a core around `class`, sharding the local-state table
     /// `nshards` ways (rounded up to a power of two).
     pub fn new(class: C, nshards: usize) -> Self {
+        let stats = SemanticStats::default();
+        stats.set_class(class.name());
         SemanticCore {
             inner: Arc::new(CoreInner {
                 class,
                 locals: LocalTable::new(nshards),
-                stats: SemanticStats::default(),
+                stats,
             }),
         }
     }
@@ -240,19 +250,21 @@ impl<K: Clone + Eq + Hash> ClassTables<K> {
     /// (guideline 3 — lock, then read the committed value open-nested).
     pub fn take_key_lock(&self, stats: &SemanticStats, key: K, owner: Owner) {
         self.tables
-            .with_stripe_for(&key, stats, |s| s.take_key_lock(key.clone(), owner));
+            .with_stripe_for(&key, stats, |s| s.take_key_lock(key.clone(), owner, stats));
     }
 
     /// Body-side: take the size lock (global stripe) — conflicts with any
     /// committing size change.
     pub fn take_size_lock(&self, stats: &SemanticStats, owner: Owner) {
-        self.tables.with_global(stats, |g| g.take_size_lock(owner));
+        self.tables
+            .with_global(stats, |g| g.take_size_lock(owner, stats));
     }
 
     /// Body-side: take the zero-crossing emptiness lock (global stripe,
     /// paper §5.1) — conflicts only when the size moves to or from zero.
     pub fn take_empty_lock(&self, stats: &SemanticStats, owner: Owner) {
-        self.tables.with_global(stats, |g| g.take_empty_lock(owner));
+        self.tables
+            .with_global(stats, |g| g.take_empty_lock(owner, stats));
     }
 
     /// Semantic key locks currently outstanding across all stripes
@@ -298,7 +310,7 @@ impl<K: Clone + Eq + Hash> ClassTables<K> {
                     let mut cx = KeyCtx { shard, stats, id };
                     apply(k, w, &mut cx);
                 }
-                FootprintOp::Release(k) => shard.release_keys(id, std::iter::once(k)),
+                FootprintOp::Release(k) => shard.release_keys(id, std::iter::once(k), stats),
             },
         );
         GlobalPhase {
@@ -321,9 +333,10 @@ impl<K: Clone + Eq + Hash> ClassTables<K> {
         K: 'a,
     {
         sweep_release_footprint(&self.tables, stats, key_locks, |shard, keys| {
-            shard.release_keys(id, keys.iter().copied())
+            shard.release_keys(id, keys.iter().copied(), stats)
         });
-        self.tables.with_global(stats, |g| g.release_owner(id));
+        self.tables
+            .with_global(stats, |g| g.release_owner(id, stats));
     }
 }
 
@@ -341,7 +354,7 @@ impl<K: Clone + Eq + Hash> KeyCtx<'_, K> {
     /// incompatible with (charged to `key_conflicts`). Returns how many
     /// dooms landed.
     pub fn doom(&mut self, effect: UpdateEffect, key: &K) -> u64 {
-        let doomed = self.shard.doom_update(effect, key, self.id);
+        let doomed = self.shard.doom_update(effect, key, self.id, self.stats);
         self.stats.bump(&self.stats.key_conflicts, doomed);
         doomed
     }
@@ -374,7 +387,7 @@ impl<K> GlobalPhase<'_, K> {
                 id: self.id,
             };
             point(&mut cx);
-            g.release_owner(self.id);
+            g.release_owner(self.id, self.stats);
         });
     }
 }
@@ -394,7 +407,7 @@ impl PointCtx<'_> {
     /// with (charged to `size_conflicts`/`empty_conflicts`). Returns how
     /// many dooms landed.
     pub fn doom(&mut self, effect: UpdateEffect) -> u64 {
-        let (by_size, by_empty) = self.points.doom_update(effect, self.id);
+        let (by_size, by_empty) = self.points.doom_update(effect, self.id, self.stats);
         self.stats.bump(&self.stats.size_conflicts, by_size);
         self.stats.bump(&self.stats.empty_conflicts, by_empty);
         by_size + by_empty

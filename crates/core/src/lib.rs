@@ -92,8 +92,8 @@ pub use backend::{MapBackend, QueueBackend, SortedMapBackend};
 pub use eager_map::{EagerPolicy, EagerTransactionalMap};
 pub use kernel::{ClassTables, GlobalPhase, KeyCtx, PointCtx, SemanticClass, SemanticCore};
 pub use locks::{
-    mode_compatible, stripe_index, ObsMode, Owner, RangeIndexKind, SemanticStats, StripeHasher,
-    UpdateEffect, DEFAULT_STRIPES,
+    key_hash64, mode_compatible, stripe_index, ObsMode, Owner, RangeIndexKind, SemanticStats,
+    StripeHasher, UpdateEffect, DEFAULT_STRIPES,
 };
 pub use map::{TransactionalMap, TxMapIter};
 pub use queue::{Channel, TransactionalQueue};

@@ -88,8 +88,9 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use stm::trace::{self, LockKind};
 use stm::{TxHandle, TxState};
 
 /// Default number of key stripes in a collection's semantic lock table
@@ -162,10 +163,18 @@ impl Hasher for StripeHasher {
 /// so tests and diagnostics can predict stripe placement — this is the one
 /// definition of the key→stripe map.
 pub fn stripe_index<K: Hash + ?Sized>(key: &K, nstripes: usize) -> usize {
-    let h = BuildHasherDefault::<StripeHasher>::default().hash_one(key);
+    let h = key_hash64(key);
     // Fold the high half down: the multiply mixes bits upward only, so the
     // raw low bits of an integer key's hash depend only on its low bits.
     ((h ^ (h >> 32)) & (nstripes as u64 - 1)) as usize
+}
+
+/// The full 64-bit stripe hash of a key — the value [`stripe_index`] folds
+/// and masks, and the `key_hash` recorded on trace events (a stable,
+/// deterministic key fingerprint that avoids formatting keys on the
+/// emission path).
+pub fn key_hash64<K: Hash + ?Sized>(key: &K) -> u64 {
+    BuildHasherDefault::<StripeHasher>::default().hash_one(key)
 }
 
 /// How a `TransactionalSortedMap` indexes its range locks (paper §3.2: the
@@ -226,6 +235,33 @@ impl ObsMode {
         ObsMode::Range,
         ObsMode::Full,
     ];
+
+    /// Stable wire code of this mode in trace events (the index into
+    /// [`stm::trace::OBS_NAMES`]).
+    pub fn code(self) -> u8 {
+        match self {
+            ObsMode::Key => 0,
+            ObsMode::Size => 1,
+            ObsMode::Empty => 2,
+            ObsMode::First => 3,
+            ObsMode::Last => 4,
+            ObsMode::Range => 5,
+            ObsMode::Full => 6,
+        }
+    }
+
+    /// The trace-layer lock-kind a lock in this mode lives in: one lock
+    /// table per mode, with both endpoints sharing the endpoint table.
+    pub fn lock_kind(self) -> LockKind {
+        match self {
+            ObsMode::Key => LockKind::Key,
+            ObsMode::Size => LockKind::Size,
+            ObsMode::Empty => LockKind::Empty,
+            ObsMode::First | ObsMode::Last => LockKind::Endpoint,
+            ObsMode::Range => LockKind::Range,
+            ObsMode::Full => LockKind::Full,
+        }
+    }
 }
 
 /// Abstract effects a committing writer publishes (the write-side axis of
@@ -261,6 +297,19 @@ impl UpdateEffect {
         UpdateEffect::LastChange,
         UpdateEffect::Consume,
     ];
+
+    /// Stable wire code of this effect in trace events (the index into
+    /// [`stm::trace::EFFECT_NAMES`]).
+    pub fn code(self) -> u8 {
+        match self {
+            UpdateEffect::KeyWrite => 0,
+            UpdateEffect::SizeChange => 1,
+            UpdateEffect::ZeroCross => 2,
+            UpdateEffect::FirstChange => 3,
+            UpdateEffect::LastChange => 4,
+            UpdateEffect::Consume => 5,
+        }
+    }
 }
 
 /// The mode-compatibility function: `true` iff a semantic lock in mode
@@ -331,6 +380,10 @@ pub struct SemanticStats {
     /// Acquisitions of the global stripe (size/empty/endpoint/range point
     /// locks) — the residual serialized fraction of semantic-lock traffic.
     pub global_stripe_entries: AtomicU64,
+    /// Interned class-name symbol for the trace layer (0 until
+    /// [`SemanticStats::set_class`] runs — the kernel sets it once at
+    /// collection construction).
+    class: AtomicU32,
 }
 
 impl SemanticStats {
@@ -349,14 +402,65 @@ impl SemanticStats {
             which.fetch_add(n, Ordering::Relaxed);
         }
     }
+
+    /// Intern `name` and attach it to this instance so every trace event the
+    /// lock tables emit carries the collection's class name. Called once by
+    /// `SemanticCore::new`; not on any hot path.
+    pub fn set_class(&self, name: &'static str) {
+        self.class
+            .store(trace::intern(name).0 as u32, Ordering::Relaxed);
+    }
+
+    /// The interned class-name symbol ([`stm::trace::Sym::UNKNOWN`] when
+    /// [`SemanticStats::set_class`] never ran).
+    pub fn class_sym(&self) -> trace::Sym {
+        trace::Sym(self.class.load(Ordering::Relaxed) as u16)
+    }
+}
+
+/// Provenance of a doom sweep: which class/mode-pair/key a batch of dooms is
+/// about, threaded into [`doom_others`] so every landed doom emits one trace
+/// `DoomEdge` with the conflicting mode pair. Carries no allocation; built
+/// on the stack at each doom dispatch point.
+#[derive(Clone, Copy)]
+pub(crate) struct DoomCtx<'a> {
+    pub stats: &'a SemanticStats,
+    pub obs: ObsMode,
+    pub effect: UpdateEffect,
+    /// [`key_hash64`] of the conflicting key; 0 for whole-collection locks.
+    pub key_hash: u64,
+}
+
+impl DoomCtx<'_> {
+    /// Record the edge `doomer → victim` in the trace. The `compatible`
+    /// field re-evaluates [`mode_compatible`] for the pair (with overlap
+    /// true for the keyed modes, matching how the dispatch points gate) so
+    /// the trace is self-certifying: a doom edge always carries the verdict
+    /// that justified it.
+    pub(crate) fn emit(&self, doomer: u64, victim: u64) {
+        let overlap = matches!(self.obs, ObsMode::Key | ObsMode::Range);
+        trace::doom_edge(
+            doomer,
+            victim,
+            self.stats.class_sym(),
+            self.obs.lock_kind(),
+            self.key_hash,
+            self.obs.code(),
+            self.effect.code(),
+            mode_compatible(self.obs, self.effect, overlap),
+        );
+    }
 }
 
 /// Doom every *other*, still-active owner in `owners`; prune finished ones.
-/// Returns how many dooms landed.
+/// Returns how many dooms landed. This is the single doom-landing point for
+/// set-shaped lock tables (ranges have their own in
+/// [`SortedLockTables::doom_range_lockers`]): each landed doom records the
+/// `doomer → victim` edge described by `ctx` in the trace.
 // `Owner` hashes by `TxHandle` id, which never changes after creation; the
 // handle's atomics do not participate in Hash/Eq.
 #[allow(clippy::mutable_key_type)]
-pub(crate) fn doom_others(owners: &mut HashSet<Owner>, self_id: u64) -> u64 {
+pub(crate) fn doom_others(owners: &mut HashSet<Owner>, self_id: u64, ctx: &DoomCtx) -> u64 {
     let mut doomed = 0;
     owners.retain(|o| {
         if o.id() == self_id {
@@ -364,8 +468,9 @@ pub(crate) fn doom_others(owners: &mut HashSet<Owner>, self_id: u64) -> u64 {
         }
         match o.state() {
             TxState::Active => {
-                if o.doom() {
+                if o.doom_from(self_id) {
                     doomed += 1;
+                    ctx.emit(self_id, o.id());
                 }
                 true
             }
@@ -398,16 +503,22 @@ impl<K> Default for KeyLockShard<K> {
 }
 
 impl<K: Clone + Eq + Hash> KeyLockShard<K> {
-    pub(crate) fn take_key_lock(&mut self, key: K, owner: Owner) {
+    pub(crate) fn take_key_lock(&mut self, key: K, owner: Owner, stats: &SemanticStats) {
+        trace::sem_lock_acquired(
+            owner.id(),
+            stats.class_sym(),
+            LockKind::Key,
+            key_hash64(&key),
+        );
         self.key2lockers.entry(key).or_default().insert(owner);
     }
 
     /// A committing writer is adding/removing/replacing `key`: doom readers.
-    pub(crate) fn doom_key_lockers(&mut self, key: &K, self_id: u64) -> u64 {
+    pub(crate) fn doom_key_lockers(&mut self, key: &K, self_id: u64, ctx: &DoomCtx) -> u64 {
         match self.key2lockers.get_mut(key) {
             None => 0,
             Some(owners) => {
-                let n = doom_others(owners, self_id);
+                let n = doom_others(owners, self_id, ctx);
                 if owners.is_empty() {
                     self.key2lockers.remove(key);
                 }
@@ -419,9 +530,21 @@ impl<K: Clone + Eq + Hash> KeyLockShard<K> {
     /// Doom every key observer of `key` whose mode is incompatible with
     /// `effect` per [`mode_compatible`] — the key-side dispatch point of
     /// the doom protocol. Returns how many dooms landed.
-    pub(crate) fn doom_update(&mut self, effect: UpdateEffect, key: &K, self_id: u64) -> u64 {
+    pub(crate) fn doom_update(
+        &mut self,
+        effect: UpdateEffect,
+        key: &K,
+        self_id: u64,
+        stats: &SemanticStats,
+    ) -> u64 {
         if !mode_compatible(ObsMode::Key, effect, true) {
-            self.doom_key_lockers(key, self_id)
+            let ctx = DoomCtx {
+                stats,
+                obs: ObsMode::Key,
+                effect,
+                key_hash: key_hash64(key),
+            };
+            self.doom_key_lockers(key, self_id, &ctx)
         } else {
             0
         }
@@ -431,18 +554,25 @@ impl<K: Clone + Eq + Hash> KeyLockShard<K> {
     /// owner's thread-local `keyLocks` set filtered to this stripe — kept
     /// precisely so release does not have to enumerate `key2lockers`
     /// (paper §3.1).
-    pub(crate) fn release_keys<'a>(&mut self, owner_id: u64, keys: impl Iterator<Item = &'a K>)
-    where
+    pub(crate) fn release_keys<'a>(
+        &mut self,
+        owner_id: u64,
+        keys: impl Iterator<Item = &'a K>,
+        stats: &SemanticStats,
+    ) where
         K: 'a,
     {
+        let mut released = 0u64;
         for k in keys {
             if let Some(owners) = self.key2lockers.get_mut(k) {
                 owners.retain(|o| o.id() != owner_id);
                 if owners.is_empty() {
                     self.key2lockers.remove(k);
                 }
+                released += 1;
             }
         }
+        trace::sem_lock_released(owner_id, stats.class_sym(), LockKind::Key, released);
     }
 
     /// Number of distinct keys currently locked in this stripe.
@@ -461,37 +591,56 @@ pub(crate) struct PointLocks {
 }
 
 impl PointLocks {
-    pub(crate) fn take_size_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_size_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Size, 0);
         self.size_lockers.insert(owner);
     }
 
-    pub(crate) fn take_empty_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_empty_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Empty, 0);
         self.empty_lockers.insert(owner);
     }
 
     /// A committing writer changed the size: doom size observers.
-    pub(crate) fn doom_size_lockers(&mut self, self_id: u64) -> u64 {
-        doom_others(&mut self.size_lockers, self_id)
+    pub(crate) fn doom_size_lockers(&mut self, self_id: u64, ctx: &DoomCtx) -> u64 {
+        doom_others(&mut self.size_lockers, self_id, ctx)
     }
 
     /// A committing writer made the size cross zero: doom emptiness
     /// observers (the `isEmpty`-as-primitive lock).
-    pub(crate) fn doom_empty_lockers(&mut self, self_id: u64) -> u64 {
-        doom_others(&mut self.empty_lockers, self_id)
+    pub(crate) fn doom_empty_lockers(&mut self, self_id: u64, ctx: &DoomCtx) -> u64 {
+        doom_others(&mut self.empty_lockers, self_id, ctx)
     }
 
     /// Doom every point-lock observer whose mode is incompatible with
     /// `effect` per [`mode_compatible`]. Returns `(size_doomed,
     /// empty_doomed)` so callers can attribute the dooms to per-mode
     /// [`SemanticStats`] counters.
-    pub(crate) fn doom_update(&mut self, effect: UpdateEffect, self_id: u64) -> (u64, u64) {
+    pub(crate) fn doom_update(
+        &mut self,
+        effect: UpdateEffect,
+        self_id: u64,
+        stats: &SemanticStats,
+    ) -> (u64, u64) {
         let by_size = if !mode_compatible(ObsMode::Size, effect, false) {
-            self.doom_size_lockers(self_id)
+            let ctx = DoomCtx {
+                stats,
+                obs: ObsMode::Size,
+                effect,
+                key_hash: 0,
+            };
+            self.doom_size_lockers(self_id, &ctx)
         } else {
             0
         };
         let by_empty = if !mode_compatible(ObsMode::Empty, effect, false) {
-            self.doom_empty_lockers(self_id)
+            let ctx = DoomCtx {
+                stats,
+                obs: ObsMode::Empty,
+                effect,
+                key_hash: 0,
+            };
+            self.doom_empty_lockers(self_id, &ctx)
         } else {
             0
         };
@@ -499,9 +648,24 @@ impl PointLocks {
     }
 
     /// Release every point lock held on behalf of `owner_id`.
-    pub(crate) fn release_owner(&mut self, owner_id: u64) {
+    pub(crate) fn release_owner(&mut self, owner_id: u64, stats: &SemanticStats) {
+        let sizes = self.size_lockers.len();
+        let empties = self.empty_lockers.len();
         self.size_lockers.retain(|o| o.id() != owner_id);
         self.empty_lockers.retain(|o| o.id() != owner_id);
+        let sym = stats.class_sym();
+        trace::sem_lock_released(
+            owner_id,
+            sym,
+            LockKind::Size,
+            (sizes - self.size_lockers.len()) as u64,
+        );
+        trace::sem_lock_released(
+            owner_id,
+            sym,
+            LockKind::Empty,
+            (empties - self.empty_lockers.len()) as u64,
+        );
     }
 }
 
@@ -538,6 +702,9 @@ impl<G> GlobalStripe<G> {
             None => {
                 stats.stripe_lock_spins.fetch_add(1, Ordering::Relaxed);
                 stm::record_stripe_lock_spin();
+                // Global-stripe contention: stripe index u64::MAX by
+                // convention (see `trace::TraceEvent::SemLockBlocked`).
+                trace::sem_lock_blocked(stats.class_sym(), u64::MAX);
                 self.inner.lock()
             }
         };
@@ -622,6 +789,7 @@ impl<S, G> StripedTables<S, G> {
             None => {
                 stats.stripe_lock_spins.fetch_add(1, Ordering::Relaxed);
                 stm::record_stripe_lock_spin();
+                trace::sem_lock_blocked(stats.class_sym(), idx as u64);
                 self.stripes[idx].lock()
             }
         }
@@ -839,17 +1007,26 @@ impl<K: Clone + Ord> SortedLockTables<K> {
         }
     }
 
-    pub(crate) fn take_first_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_first_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Endpoint, 0);
         self.first_lockers.insert(owner);
     }
 
-    pub(crate) fn take_last_lock(&mut self, owner: Owner) {
+    pub(crate) fn take_last_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Endpoint, 0);
         self.last_lockers.insert(owner);
     }
 
     /// Register a range lock and return its stable id so an iterator can
     /// grow it as it advances.
-    pub(crate) fn add_range_lock(&mut self, owner: Owner, lower: Bound<K>, upper: Bound<K>) -> u64 {
+    pub(crate) fn add_range_lock(
+        &mut self,
+        owner: Owner,
+        lower: Bound<K>,
+        upper: Bound<K>,
+        stats: &SemanticStats,
+    ) -> u64 {
+        trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Range, 0);
         match &mut self.ranges {
             RangeStore::Flat { locks, next_id } => {
                 let id = *next_id;
@@ -896,7 +1073,10 @@ impl<K: Clone + Ord> SortedLockTables<K> {
     }
 
     /// A committing writer touched `key`: doom owners of covering ranges.
-    pub(crate) fn doom_range_lockers(&mut self, key: &K, self_id: u64) -> u64 {
+    /// The range store is the one lock table whose dooms do not go through
+    /// [`doom_others`] (overlap is per-lock), so it lands dooms and emits
+    /// edges itself via `ctx`.
+    pub(crate) fn doom_range_lockers(&mut self, key: &K, self_id: u64, ctx: &DoomCtx) -> u64 {
         let mut doomed = 0;
         match &mut self.ranges {
             RangeStore::Flat { locks, .. } => {
@@ -906,8 +1086,9 @@ impl<K: Clone + Ord> SortedLockTables<K> {
                     }
                     match r.owner.state() {
                         TxState::Active => {
-                            if in_range(key, &r.lower, &r.upper) && r.owner.doom() {
+                            if in_range(key, &r.lower, &r.upper) && r.owner.doom_from(self_id) {
                                 doomed += 1;
+                                ctx.emit(self_id, r.owner.id());
                             }
                             true
                         }
@@ -917,8 +1098,12 @@ impl<K: Clone + Ord> SortedLockTables<K> {
             }
             RangeStore::Tree { tree, .. } => {
                 tree.stab(key, &mut |_, owner| {
-                    if owner.id() != self_id && owner.state() == TxState::Active && owner.doom() {
+                    if owner.id() != self_id
+                        && owner.state() == TxState::Active
+                        && owner.doom_from(self_id)
+                    {
                         doomed += 1;
+                        ctx.emit(self_id, owner.id());
                     }
                 });
             }
@@ -926,23 +1111,26 @@ impl<K: Clone + Ord> SortedLockTables<K> {
         doomed
     }
 
-    pub(crate) fn doom_first_lockers(&mut self, self_id: u64) -> u64 {
-        doom_others(&mut self.first_lockers, self_id)
+    pub(crate) fn doom_first_lockers(&mut self, self_id: u64, ctx: &DoomCtx) -> u64 {
+        doom_others(&mut self.first_lockers, self_id, ctx)
     }
 
-    pub(crate) fn doom_last_lockers(&mut self, self_id: u64) -> u64 {
-        doom_others(&mut self.last_lockers, self_id)
+    pub(crate) fn doom_last_lockers(&mut self, self_id: u64, ctx: &DoomCtx) -> u64 {
+        doom_others(&mut self.last_lockers, self_id, ctx)
     }
 
     /// Sorted-side counterpart of [`KeyLockShard::doom_update`]: dooms
     /// range/first/last observers incompatible with `effect` per
     /// [`mode_compatible`]. Returns `(range_doomed, first_doomed,
-    /// last_doomed)`.
+    /// last_doomed)`. `key_hash` is [`key_hash64`] of `key`, computed by
+    /// the caller — `K` is only `Ord` here.
     pub(crate) fn doom_update(
         &mut self,
         effect: UpdateEffect,
         key: Option<&K>,
+        key_hash: u64,
         self_id: u64,
+        stats: &SemanticStats,
     ) -> (u64, u64, u64) {
         let mut by_range = 0;
         if let Some(k) = key {
@@ -950,28 +1138,55 @@ impl<K: Clone + Ord> SortedLockTables<K> {
             // doom_range_lockers; mode_compatible gates whether the effect
             // class can invalidate ranges at all.
             if !mode_compatible(ObsMode::Range, effect, true) {
-                by_range = self.doom_range_lockers(k, self_id);
+                let ctx = DoomCtx {
+                    stats,
+                    obs: ObsMode::Range,
+                    effect,
+                    key_hash,
+                };
+                by_range = self.doom_range_lockers(k, self_id, &ctx);
             }
         }
         let by_first = if !mode_compatible(ObsMode::First, effect, false) {
-            self.doom_first_lockers(self_id)
+            let ctx = DoomCtx {
+                stats,
+                obs: ObsMode::First,
+                effect,
+                key_hash: 0,
+            };
+            self.doom_first_lockers(self_id, &ctx)
         } else {
             0
         };
         let by_last = if !mode_compatible(ObsMode::Last, effect, false) {
-            self.doom_last_lockers(self_id)
+            let ctx = DoomCtx {
+                stats,
+                obs: ObsMode::Last,
+                effect,
+                key_hash: 0,
+            };
+            self.doom_last_lockers(self_id, &ctx)
         } else {
             0
         };
         (by_range, by_first, by_last)
     }
 
-    pub(crate) fn release_owner(&mut self, owner_id: u64) {
+    pub(crate) fn release_owner(&mut self, owner_id: u64, stats: &SemanticStats) {
+        let endpoints = self.first_lockers.len() + self.last_lockers.len();
         self.first_lockers.retain(|o| o.id() != owner_id);
         self.last_lockers.retain(|o| o.id() != owner_id);
+        let endpoints_released = endpoints - self.first_lockers.len() - self.last_lockers.len();
+        let mut ranges_released = 0u64;
         match &mut self.ranges {
             RangeStore::Flat { locks, .. } => {
-                locks.retain(|r| r.owner.id() != owner_id);
+                locks.retain(|r| {
+                    let keep = r.owner.id() != owner_id;
+                    if !keep {
+                        ranges_released += 1;
+                    }
+                    keep
+                });
             }
             RangeStore::Tree {
                 tree,
@@ -982,10 +1197,14 @@ impl<K: Clone + Ord> SortedLockTables<K> {
                     for (lower, id) in mine {
                         tree.remove(&lower, id);
                         by_id.remove(&id);
+                        ranges_released += 1;
                     }
                 }
             }
         }
+        let sym = stats.class_sym();
+        trace::sem_lock_released(owner_id, sym, LockKind::Endpoint, endpoints_released as u64);
+        trace::sem_lock_released(owner_id, sym, LockKind::Range, ranges_released);
     }
 }
 
@@ -997,14 +1216,30 @@ mod tests {
         TxHandle::new(0)
     }
 
+    /// Build a doom context for unit tests (tracing is off here, so the
+    /// emission side is inert; `trace_provenance.rs` covers it live).
+    fn ctx<'a>(stats: &'a SemanticStats, obs: ObsMode, effect: UpdateEffect) -> DoomCtx<'a> {
+        DoomCtx {
+            stats,
+            obs,
+            effect,
+            key_hash: 0,
+        }
+    }
+
     #[test]
     fn key_lock_doom_hits_only_other_active_owners() {
+        let stats = SemanticStats::default();
         let mut t: KeyLockShard<u32> = KeyLockShard::default();
         let me = owner();
         let victim = owner();
-        t.take_key_lock(7, me.clone());
-        t.take_key_lock(7, victim.clone());
-        let doomed = t.doom_key_lockers(&7, me.id());
+        t.take_key_lock(7, me.clone(), &stats);
+        t.take_key_lock(7, victim.clone(), &stats);
+        let doomed = t.doom_key_lockers(
+            &7,
+            me.id(),
+            &ctx(&stats, ObsMode::Key, UpdateEffect::KeyWrite),
+        );
         assert_eq!(doomed, 1);
         assert!(victim.is_doomed());
         assert!(!me.is_doomed());
@@ -1012,28 +1247,40 @@ mod tests {
 
     #[test]
     fn doom_missing_key_is_zero() {
+        let stats = SemanticStats::default();
         let mut t: KeyLockShard<u32> = KeyLockShard::default();
-        assert_eq!(t.doom_key_lockers(&1, 0), 0);
+        assert_eq!(
+            t.doom_key_lockers(&1, 0, &ctx(&stats, ObsMode::Key, UpdateEffect::KeyWrite)),
+            0
+        );
     }
 
     #[test]
     fn release_removes_all_owner_locks() {
+        let stats = SemanticStats::default();
         let mut shard: KeyLockShard<u32> = KeyLockShard::default();
         let mut points = PointLocks::default();
         let me = owner();
-        shard.take_key_lock(1, me.clone());
-        shard.take_key_lock(2, me.clone());
-        points.take_size_lock(me.clone());
+        shard.take_key_lock(1, me.clone(), &stats);
+        shard.take_key_lock(2, me.clone(), &stats);
+        points.take_size_lock(me.clone(), &stats);
         let keys: Vec<u32> = vec![1, 2];
-        shard.release_keys(me.id(), keys.iter());
-        points.release_owner(me.id());
+        shard.release_keys(me.id(), keys.iter(), &stats);
+        points.release_owner(me.id(), &stats);
         assert_eq!(shard.locked_key_count(), 0);
-        assert_eq!(points.doom_size_lockers(u64::MAX), 0);
+        assert_eq!(
+            points.doom_size_lockers(
+                u64::MAX,
+                &ctx(&stats, ObsMode::Size, UpdateEffect::SizeChange)
+            ),
+            0
+        );
     }
 
     #[test]
     #[allow(clippy::mutable_key_type)]
     fn finished_owners_are_pruned_not_doomed() {
+        let stats = SemanticStats::default();
         let mut t = PointLocks::default();
         let dead = owner();
         // Simulate a completed transaction lingering in the table.
@@ -1044,34 +1291,57 @@ mod tests {
         // is not possible here, so use an Active owner and verify doom, then
         // check pruning with the doomed-but-aborted state is covered by the
         // integration tests.
-        let n = t.doom_size_lockers(u64::MAX);
+        let n = t.doom_size_lockers(
+            u64::MAX,
+            &ctx(&stats, ObsMode::Size, UpdateEffect::SizeChange),
+        );
         assert_eq!(n, 1);
     }
 
     #[test]
     fn range_lock_covers_and_grows() {
+        let stats = SemanticStats::default();
+        let rctx = ctx(&stats, ObsMode::Range, UpdateEffect::KeyWrite);
         let mut t: SortedLockTables<u32> = SortedLockTables::default();
         let me = owner();
         let victim = owner();
-        let idx = t.add_range_lock(victim.clone(), Bound::Included(10), Bound::Included(20));
-        assert_eq!(t.doom_range_lockers(&5, me.id()), 0);
-        assert_eq!(t.doom_range_lockers(&15, me.id()), 1);
+        let idx = t.add_range_lock(
+            victim.clone(),
+            Bound::Included(10),
+            Bound::Included(20),
+            &stats,
+        );
+        assert_eq!(t.doom_range_lockers(&5, me.id(), &rctx), 0);
+        assert_eq!(t.doom_range_lockers(&15, me.id(), &rctx), 1);
         assert!(victim.is_doomed());
 
         let victim2 = owner();
-        let id2 = t.add_range_lock(victim2.clone(), Bound::Included(30), Bound::Excluded(31));
+        let id2 = t.add_range_lock(
+            victim2.clone(),
+            Bound::Included(30),
+            Bound::Excluded(31),
+            &stats,
+        );
         t.extend_range_upper(id2, Bound::Included(40));
-        assert_eq!(t.doom_range_lockers(&40, me.id()), 1);
+        assert_eq!(t.doom_range_lockers(&40, me.id(), &rctx), 1);
         assert!(victim2.is_doomed());
         let _ = idx;
     }
 
     #[test]
     fn range_owner_not_self_doomed() {
+        let stats = SemanticStats::default();
         let mut t: SortedLockTables<u32> = SortedLockTables::default();
         let me = owner();
-        t.add_range_lock(me.clone(), Bound::Unbounded, Bound::Unbounded);
-        assert_eq!(t.doom_range_lockers(&1, me.id()), 0);
+        t.add_range_lock(me.clone(), Bound::Unbounded, Bound::Unbounded, &stats);
+        assert_eq!(
+            t.doom_range_lockers(
+                &1,
+                me.id(),
+                &ctx(&stats, ObsMode::Range, UpdateEffect::KeyWrite)
+            ),
+            0
+        );
         assert!(!me.is_doomed());
     }
 
@@ -1097,48 +1367,61 @@ mod tests {
 
     #[test]
     fn doom_update_routes_through_mode_compatibility() {
+        let stats = SemanticStats::default();
         let mut shard: KeyLockShard<u32> = KeyLockShard::default();
         let mut points = PointLocks::default();
         let me = owner();
         let key_watcher = owner();
         let size_watcher = owner();
         let empty_watcher = owner();
-        shard.take_key_lock(7, key_watcher.clone());
-        points.take_size_lock(size_watcher.clone());
-        points.take_empty_lock(empty_watcher.clone());
+        shard.take_key_lock(7, key_watcher.clone(), &stats);
+        points.take_size_lock(size_watcher.clone(), &stats);
+        points.take_empty_lock(empty_watcher.clone(), &stats);
 
         // A value-replacing put: dooms the key watcher only.
-        let k = shard.doom_update(UpdateEffect::KeyWrite, &7, me.id());
-        let (s, e) = points.doom_update(UpdateEffect::KeyWrite, me.id());
+        let k = shard.doom_update(UpdateEffect::KeyWrite, &7, me.id(), &stats);
+        let (s, e) = points.doom_update(UpdateEffect::KeyWrite, me.id(), &stats);
         assert_eq!((k, s, e), (1, 0, 0));
         assert!(key_watcher.is_doomed());
         assert!(!size_watcher.is_doomed() && !empty_watcher.is_doomed());
 
         // A size change without zero crossing: dooms the size watcher only.
-        let (s, e) = points.doom_update(UpdateEffect::SizeChange, me.id());
+        let (s, e) = points.doom_update(UpdateEffect::SizeChange, me.id(), &stats);
         assert_eq!((s, e), (1, 0));
         assert!(!empty_watcher.is_doomed());
 
         // Zero crossing: dooms the emptiness watcher.
-        let (_, e) = points.doom_update(UpdateEffect::ZeroCross, me.id());
+        let (_, e) = points.doom_update(UpdateEffect::ZeroCross, me.id(), &stats);
         assert_eq!(e, 1);
         assert!(empty_watcher.is_doomed());
     }
 
     #[test]
     fn sorted_doom_update_endpoints_and_ranges() {
+        let stats = SemanticStats::default();
         let mut t: SortedLockTables<u32> = SortedLockTables::default();
         let me = owner();
         let ranger = owner();
         let firster = owner();
-        t.add_range_lock(ranger.clone(), Bound::Included(10), Bound::Included(20));
-        t.take_first_lock(firster.clone());
+        t.add_range_lock(
+            ranger.clone(),
+            Bound::Included(10),
+            Bound::Included(20),
+            &stats,
+        );
+        t.take_first_lock(firster.clone(), &stats);
 
-        let (r, f, l) = t.doom_update(UpdateEffect::KeyWrite, Some(&15), me.id());
+        let (r, f, l) = t.doom_update(
+            UpdateEffect::KeyWrite,
+            Some(&15),
+            key_hash64(&15),
+            me.id(),
+            &stats,
+        );
         assert_eq!((r, f, l), (1, 0, 0));
         assert!(ranger.is_doomed() && !firster.is_doomed());
 
-        let (r, f, _) = t.doom_update(UpdateEffect::FirstChange, None, me.id());
+        let (r, f, _) = t.doom_update(UpdateEffect::FirstChange, None, 0, me.id(), &stats);
         assert_eq!((r, f), (0, 1));
         assert!(firster.is_doomed());
     }
@@ -1194,9 +1477,9 @@ mod tests {
         let t: MapTables<u32> = StripedTables::new(4, PointLocks::default());
         let me = owner();
         let victim = owner();
-        t.with_stripe_for(&9, &stats, |s| s.take_key_lock(9, victim.clone()));
+        t.with_stripe_for(&9, &stats, |s| s.take_key_lock(9, victim.clone(), &stats));
         let doomed = t.with_stripe_for(&9, &stats, |s| {
-            s.doom_update(UpdateEffect::KeyWrite, &9, me.id())
+            s.doom_update(UpdateEffect::KeyWrite, &9, me.id(), &stats)
         });
         assert_eq!(doomed, 1);
         assert!(victim.is_doomed());
@@ -1207,8 +1490,8 @@ mod tests {
         let stats = SemanticStats::default();
         let t: MapTables<u32> = StripedTables::new(4, PointLocks::default());
         let me = owner();
-        t.with_global(&stats, |g| g.take_size_lock(me.clone()));
-        t.with_global(&stats, |g| g.release_owner(me.id()));
+        t.with_global(&stats, |g| g.take_size_lock(me.clone(), &stats));
+        t.with_global(&stats, |g| g.release_owner(me.id(), &stats));
         assert_eq!(stats.global_stripe_entries.load(Ordering::Relaxed), 2);
     }
 

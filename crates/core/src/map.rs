@@ -105,6 +105,10 @@ where
 {
     type Local = MapLocal<K, V>;
 
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
     /// Commit handler: apply the store buffer and doom conflicting lock
     /// holders, per-key applies and dooms under one hold of the key's
     /// stripe, size/empty dooms in the global stripe last (the kernel's

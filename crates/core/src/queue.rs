@@ -32,11 +32,12 @@
 use crate::backend::QueueBackend;
 use crate::kernel::{SemanticClass, SemanticCore};
 use crate::locks::{
-    doom_others, mode_compatible, GlobalStripe, ObsMode, Owner, SemanticStats, UpdateEffect,
-    DEFAULT_STRIPES,
+    doom_others, mode_compatible, DoomCtx, GlobalStripe, ObsMode, Owner, SemanticStats,
+    UpdateEffect, DEFAULT_STRIPES,
 };
 use std::collections::HashSet;
 use std::marker::PhantomData;
+use stm::trace::{self, LockKind};
 use stm::{Txn, TxnMode};
 use txstruct::TxVecDeque;
 
@@ -110,6 +111,10 @@ where
 {
     type Local = QueueLocal<T>;
 
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
     /// Commit handler: publish the add/return buffers, then doom emptiness
     /// observers on a zero-crossing publish and fullness observers on a
     /// permanent consume (Tables 7-8).
@@ -130,15 +135,26 @@ where
             // observation is invalidated exactly by a zero-crossing publish,
             // a fullness observation exactly by permanent consumption.
             if made_nonempty && !mode_compatible(ObsMode::Empty, UpdateEffect::ZeroCross, false) {
-                let doomed = doom_others(&mut tables.empty_lockers, id);
+                let ctx = DoomCtx {
+                    stats,
+                    obs: ObsMode::Empty,
+                    effect: UpdateEffect::ZeroCross,
+                    key_hash: 0,
+                };
+                let doomed = doom_others(&mut tables.empty_lockers, id, &ctx);
                 stats.bump(&stats.empty_conflicts, doomed);
             }
             if consumed && !mode_compatible(ObsMode::Full, UpdateEffect::Consume, false) {
-                let doomed = doom_others(&mut tables.full_lockers, id);
+                let ctx = DoomCtx {
+                    stats,
+                    obs: ObsMode::Full,
+                    effect: UpdateEffect::Consume,
+                    key_hash: 0,
+                };
+                let doomed = doom_others(&mut tables.full_lockers, id, &ctx);
                 stats.bump(&stats.empty_conflicts, doomed);
             }
-            tables.empty_lockers.retain(|o| o.id() != id);
-            tables.full_lockers.retain(|o| o.id() != id);
+            release_queue_locks(tables, id, stats);
         });
     }
 
@@ -156,13 +172,41 @@ where
             if restored {
                 // The queue may have gone from empty back to non-empty:
                 // emptiness observers are no longer serializable.
-                let doomed = doom_others(&mut tables.empty_lockers, id);
+                let ctx = DoomCtx {
+                    stats,
+                    obs: ObsMode::Empty,
+                    effect: UpdateEffect::ZeroCross,
+                    key_hash: 0,
+                };
+                let doomed = doom_others(&mut tables.empty_lockers, id, &ctx);
                 stats.bump(&stats.empty_conflicts, doomed);
             }
-            tables.empty_lockers.retain(|o| o.id() != id);
-            tables.full_lockers.retain(|o| o.id() != id);
+            release_queue_locks(tables, id, stats);
         });
     }
+}
+
+/// Drop transaction `id`'s empty/full locks, emitting the trace release
+/// events with per-kind counts (the queue's bespoke table does not go
+/// through [`PointLocks`](crate::locks::PointLocks), so it emits its own).
+fn release_queue_locks(tables: &mut QueueTables, id: u64, stats: &SemanticStats) {
+    let empties = tables.empty_lockers.len();
+    let fulls = tables.full_lockers.len();
+    tables.empty_lockers.retain(|o| o.id() != id);
+    tables.full_lockers.retain(|o| o.id() != id);
+    let sym = stats.class_sym();
+    trace::sem_lock_released(
+        id,
+        sym,
+        LockKind::Empty,
+        (empties - tables.empty_lockers.len()) as u64,
+    );
+    trace::sem_lock_released(
+        id,
+        sym,
+        LockKind::Full,
+        (fulls - tables.full_lockers.len()) as u64,
+    );
 }
 
 /// A transactional work queue wrapping any [`QueueBackend`]; see the module
@@ -271,14 +315,18 @@ where
 
     fn take_empty_lock(&self, tx: &Txn) {
         let owner = tx.handle().clone();
-        self.core.class().tables.with(self.core.stats(), |t| {
+        let stats = self.core.stats();
+        self.core.class().tables.with(stats, |t| {
+            trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Empty, 0);
             t.empty_lockers.insert(owner);
         });
     }
 
     fn take_full_lock(&self, tx: &Txn) {
         let owner = tx.handle().clone();
-        self.core.class().tables.with(self.core.stats(), |t| {
+        let stats = self.core.stats();
+        self.core.class().tables.with(stats, |t| {
+            trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Full, 0);
             t.full_lockers.insert(owner);
         });
     }

@@ -36,8 +36,8 @@ use crate::kernel::{
     sweep_commit_footprint, sweep_release_footprint, FootprintOp, SemanticClass, SemanticCore,
 };
 use crate::locks::{
-    RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables, UpdateEffect,
-    DEFAULT_STRIPES,
+    key_hash64, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables,
+    UpdateEffect, DEFAULT_STRIPES,
 };
 use crate::map::{BufWrite, MapLocal};
 use std::hash::Hash;
@@ -62,6 +62,10 @@ where
     B: SortedMapBackend<K, V>,
 {
     type Local = MapLocal<K, V>;
+
+    fn name(&self) -> &'static str {
+        "sorted_map"
+    }
 
     /// Commit handler: apply the store buffer and doom conflicting
     /// observers — per-key applies and key dooms under each key's stripe
@@ -93,7 +97,7 @@ where
                     if old.is_none() {
                         size_after += 1;
                     }
-                    let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                    let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id, stats);
                     stats.bump(&stats.key_conflicts, doomed);
                     changed_keys.push(k);
                 }
@@ -101,13 +105,13 @@ where
                     let old = self.backend.remove(htx, k);
                     if old.is_some() {
                         size_after -= 1;
-                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id);
+                        let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id, stats);
                         stats.bump(&stats.key_conflicts, doomed);
                         changed_keys.push(k);
                     }
                 }
                 FootprintOp::Release(k) => {
-                    shard.release_keys(id, std::iter::once(k));
+                    shard.release_keys(id, std::iter::once(k), stats);
                 }
             },
         );
@@ -119,27 +123,33 @@ where
         let last_after = self.backend.last_entry(htx).map(|(k, _)| k);
         self.tables.with_global(stats, |g| {
             for k in &changed_keys {
-                let (by_range, _, _) = g.sorted.doom_update(UpdateEffect::KeyWrite, Some(k), id);
+                let (by_range, _, _) =
+                    g.sorted
+                        .doom_update(UpdateEffect::KeyWrite, Some(k), key_hash64(k), id, stats);
                 stats.bump(&stats.range_conflicts, by_range);
             }
             if first_before != first_after {
-                let (_, by_first, _) = g.sorted.doom_update(UpdateEffect::FirstChange, None, id);
+                let (_, by_first, _) =
+                    g.sorted
+                        .doom_update(UpdateEffect::FirstChange, None, 0, id, stats);
                 stats.bump(&stats.first_conflicts, by_first);
             }
             if last_before != last_after {
-                let (_, _, by_last) = g.sorted.doom_update(UpdateEffect::LastChange, None, id);
+                let (_, _, by_last) =
+                    g.sorted
+                        .doom_update(UpdateEffect::LastChange, None, 0, id, stats);
                 stats.bump(&stats.last_conflicts, by_last);
             }
             if size_after != size_before {
-                let (by_size, _) = g.points.doom_update(UpdateEffect::SizeChange, id);
+                let (by_size, _) = g.points.doom_update(UpdateEffect::SizeChange, id, stats);
                 stats.bump(&stats.size_conflicts, by_size);
                 if (size_before == 0) != (size_after == 0) {
-                    let (_, by_empty) = g.points.doom_update(UpdateEffect::ZeroCross, id);
+                    let (_, by_empty) = g.points.doom_update(UpdateEffect::ZeroCross, id, stats);
                     stats.bump(&stats.empty_conflicts, by_empty);
                 }
             }
-            g.points.release_owner(id);
-            g.sorted.release_owner(id);
+            g.points.release_owner(id, stats);
+            g.sorted.release_owner(id, stats);
         });
     }
 
@@ -151,11 +161,11 @@ where
             &self.tables,
             stats,
             local.key_locks.iter(),
-            |shard, keys| shard.release_keys(id, keys.iter().copied()),
+            |shard, keys| shard.release_keys(id, keys.iter().copied(), stats),
         );
         self.tables.with_global(stats, |g| {
-            g.points.release_owner(id);
-            g.sorted.release_owner(id);
+            g.points.release_owner(id, stats);
+            g.sorted.release_owner(id, stats);
         });
     }
 }
@@ -297,8 +307,9 @@ where
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
         let owner = tx.handle().clone();
         let class = self.core.class();
-        class.tables.with_stripe_for(key, self.core.stats(), |s| {
-            s.take_key_lock(key.clone(), owner);
+        let stats = self.core.stats();
+        class.tables.with_stripe_for(key, stats, |s| {
+            s.take_key_lock(key.clone(), owner, stats);
         });
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
@@ -498,10 +509,11 @@ where
         self.ensure_registered(tx);
         self.resolve_blind(tx);
         let owner = tx.handle().clone();
+        let stats = self.core.stats();
         self.core
             .class()
             .tables
-            .with_global(self.core.stats(), |g| g.points.take_size_lock(owner));
+            .with_global(stats, |g| g.points.take_size_lock(owner, stats));
         let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
@@ -520,10 +532,11 @@ where
         self.ensure_registered(tx);
         self.resolve_blind(tx);
         let owner = tx.handle().clone();
+        let stats = self.core.stats();
         self.core
             .class()
             .tables
-            .with_global(self.core.stats(), |g| g.points.take_empty_lock(owner));
+            .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
         let backend = &self.core.class().backend;
         let committed = tx.open(|otx| backend.len(otx));
         let delta = self.with_local(tx, |l| l.delta);
@@ -609,10 +622,11 @@ where
         self.ensure_registered(tx);
         if matches!(lower, Bound::Unbounded) {
             let owner = tx.handle().clone();
+            let stats = self.core.stats();
             self.core
                 .class()
                 .tables
-                .with_global(self.core.stats(), |g| g.sorted.take_first_lock(owner));
+                .with_global(stats, |g| g.sorted.take_first_lock(owner, stats));
         }
         for _attempt in 0..64 {
             let committed = self.committed_next(tx, &lower, &upper);
@@ -634,12 +648,10 @@ where
                 let owner = tx.handle().clone();
                 let lo = lower.clone();
                 let up = lock_upper.clone();
-                self.core
-                    .class()
-                    .tables
-                    .with_global(self.core.stats(), |g| {
-                        g.sorted.add_range_lock(owner, lo, up);
-                    });
+                let stats = self.core.stats();
+                self.core.class().tables.with_global(stats, |g| {
+                    g.sorted.add_range_lock(owner, lo, up, stats);
+                });
             }
             // Verify under the lock.
             let verify = self.committed_next(tx, &lower, &lock_upper);
@@ -698,10 +710,11 @@ where
         self.ensure_registered(tx);
         if matches!(upper, Bound::Unbounded) {
             let owner = tx.handle().clone();
+            let stats = self.core.stats();
             self.core
                 .class()
                 .tables
-                .with_global(self.core.stats(), |g| g.sorted.take_last_lock(owner));
+                .with_global(stats, |g| g.sorted.take_last_lock(owner, stats));
         }
         for _attempt in 0..64 {
             let committed = self.committed_prev(tx, &upper, &lower);
@@ -722,12 +735,10 @@ where
                 let owner = tx.handle().clone();
                 let lo = lock_lower.clone();
                 let up = upper.clone();
-                self.core
-                    .class()
-                    .tables
-                    .with_global(self.core.stats(), |g| {
-                        g.sorted.add_range_lock(owner, lo, up);
-                    });
+                let stats = self.core.stats();
+                self.core.class().tables.with_global(stats, |g| {
+                    g.sorted.add_range_lock(owner, lo, up, stats);
+                });
             }
             let verify = self.committed_prev(tx, &upper, &lock_lower);
             match (&candidate, verify) {
@@ -898,11 +909,9 @@ where
             None => {
                 let owner = tx.handle().clone();
                 let lower = self.lower.clone();
-                self.range_id = Some(
-                    class
-                        .tables
-                        .with_global(stats, |g| g.sorted.add_range_lock(owner, lower, upper)),
-                );
+                self.range_id = Some(class.tables.with_global(stats, |g| {
+                    g.sorted.add_range_lock(owner, lower, upper, stats)
+                }));
             }
         }
     }
@@ -975,9 +984,10 @@ where
                         // of Table 5's `hasNext == false` row.
                         let owner = tx.handle().clone();
                         let class = self.map.core.class();
+                        let stats = self.map.core.stats();
                         class
                             .tables
-                            .with_global(self.map.core.stats(), |g| g.sorted.take_last_lock(owner));
+                            .with_global(stats, |g| g.sorted.take_last_lock(owner, stats));
                     }
                     let verify = self.map.committed_next(tx, &from, &self.upper);
                     if verify.is_some() {

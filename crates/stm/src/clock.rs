@@ -56,6 +56,7 @@
 //! lane-holder's direct writes (which spin on var locks) always terminate.
 
 use crate::stats;
+use crate::trace;
 use crate::tvar::AnyVar;
 use parking_lot::{Mutex, MutexGuard};
 use std::any::Any;
@@ -80,9 +81,26 @@ pub(crate) fn fresh_version() -> u64 {
 
 /// Acquire the handler lane. Taken by commit/abort handler execution and by
 /// writing open-nested commits; never while holding any var commit lock.
-pub(crate) fn lane_lock() -> MutexGuard<'static, ()> {
+/// `txn` is the holding attempt's id, recorded on the trace lane-occupancy
+/// events (enter after acquisition, exit on drop).
+pub(crate) fn lane_lock(txn: u64) -> LaneGuard {
     stats::record_lane_entry();
-    HANDLER_LANE.lock()
+    let inner = HANDLER_LANE.lock();
+    trace::lane_enter(txn);
+    LaneGuard { txn, _inner: inner }
+}
+
+/// RAII ownership of the handler lane; emits the trace lane-exit event when
+/// released so `txtop` can compute lane occupancy.
+pub(crate) struct LaneGuard {
+    txn: u64,
+    _inner: MutexGuard<'static, ()>,
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        trace::lane_exit(self.txn);
+    }
 }
 
 /// Spin until `var`'s commit lock is acquired, yielding so single-CPU hosts
@@ -93,6 +111,7 @@ pub(crate) fn lock_var_spin(var: &dyn AnyVar) {
         return;
     }
     stats::record_var_lock_spin();
+    trace::var_lock_spin(var.id());
     loop {
         std::hint::spin_loop();
         std::thread::yield_now();

@@ -23,6 +23,7 @@
 //! of the two CASes wins; a doomed transaction can never publish, and a
 //! transaction that has started publishing can never be doomed.
 
+use crate::stats;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -64,6 +65,11 @@ pub struct TxHandle {
     /// Number of prior aborted attempts of the same logical transaction;
     /// contention managers use it as a priority hint.
     retries: AtomicU32,
+    /// Attempt id of the transaction whose doom landed on this one (0 when
+    /// never doomed or doomed without attribution). Written before the doom
+    /// CAS, so any observer of the doom bit sees it; racing doomers may
+    /// overwrite each other, which is benign — each was a real conflict.
+    culprit: AtomicU64,
 }
 
 impl TxHandle {
@@ -74,6 +80,7 @@ impl TxHandle {
             id: NEXT_TX_ID.fetch_add(1, Ordering::Relaxed),
             word: AtomicU32::new(STATE_ACTIVE),
             retries: AtomicU32::new(retries),
+            culprit: AtomicU64::new(0),
         })
     }
 
@@ -109,21 +116,47 @@ impl TxHandle {
     /// mutually exclusive outcomes of a single atomic word.
     #[must_use = "whether the doom landed; a false return means the target already finished"]
     pub fn doom(&self) -> bool {
+        self.doom_from(0)
+    }
+
+    /// [`doom`](Self::doom) with provenance: `doomer` is the attempt id of
+    /// the committing transaction issuing the doom, recorded as this
+    /// victim's [`culprit`](Self::culprit) so the abort path (and the trace
+    /// layer) can attribute the abort. Pass 0 for an unattributed doom.
+    #[must_use = "whether the doom landed; a false return means the target already finished"]
+    pub fn doom_from(&self, doomer: u64) -> bool {
         let mut w = self.word.load(Ordering::Acquire);
         loop {
             if w & STATE_MASK != STATE_ACTIVE {
                 return false;
             }
+            if w & DOOM_BIT != 0 {
+                // Already doomed: the first doomer keeps the attribution.
+                return true;
+            }
+            // Store the culprit before the CAS so the release on a
+            // successful CAS publishes it to whoever observes the doom bit.
+            self.culprit.store(doomer, Ordering::Relaxed);
             match self.word.compare_exchange_weak(
                 w,
                 w | DOOM_BIT,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    stats::record_doom_issued();
+                    return true;
+                }
                 Err(cur) => w = cur,
             }
         }
+    }
+
+    /// Attempt id of the transaction that doomed this one (0 when never
+    /// doomed or doomed without attribution). Meaningful only after
+    /// [`is_doomed`](Self::is_doomed) returns true.
+    pub fn culprit(&self) -> u64 {
+        self.culprit.load(Ordering::Relaxed)
     }
 
     /// Whether a doom request has been posted.
@@ -223,6 +256,17 @@ mod tests {
         assert_eq!(h2.state(), TxState::Active);
         h2.mark_committed();
         assert_eq!(h2.state(), TxState::Committed);
+    }
+
+    #[test]
+    fn doom_from_records_first_culprit() {
+        let victim = TxHandle::new(0);
+        assert_eq!(victim.culprit(), 0);
+        assert!(victim.doom_from(42));
+        assert_eq!(victim.culprit(), 42);
+        // A second doom still reports success but keeps the attribution.
+        assert!(victim.doom_from(99));
+        assert_eq!(victim.culprit(), 42);
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod handlers;
 mod interrupt;
 mod runtime;
 mod stats;
+pub mod trace;
 mod tvar;
 mod txn;
 

@@ -23,6 +23,8 @@ struct Counters {
     lane_free_commits: AtomicU64,
     stripe_lock_spins: AtomicU64,
     global_stripe_entries: AtomicU64,
+    dooms_issued: AtomicU64,
+    trace_events_dropped: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -39,6 +41,8 @@ static COUNTERS: Counters = Counters {
     lane_free_commits: AtomicU64::new(0),
     stripe_lock_spins: AtomicU64::new(0),
     global_stripe_entries: AtomicU64::new(0),
+    dooms_issued: AtomicU64::new(0),
+    trace_events_dropped: AtomicU64::new(0),
 };
 
 pub(crate) fn record_commit() {
@@ -80,6 +84,16 @@ pub(crate) fn record_lane_entry() {
 
 pub(crate) fn record_lane_free_commit() {
     COUNTERS.lane_free_commits.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_doom_issued() {
+    COUNTERS.dooms_issued.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_trace_dropped() {
+    COUNTERS
+        .trace_events_dropped
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 /// Record a contended semantic-stripe acquisition (a key stripe or the
@@ -131,6 +145,15 @@ pub struct StatsSnapshot {
     /// Acquisitions of a collection's global stripe (size/empty/endpoint/
     /// range point locks) — the serialized residue of semantic locking.
     pub global_stripe_entries: u64,
+    /// Program-directed dooms *issued*: successful [`crate::TxHandle::doom`]
+    /// calls that transitioned a victim to the doomed state. Cross-checks
+    /// against `aborts_doomed` (dooms *absorbed*) and the trace layer's
+    /// `DoomEdge` events — issued ≥ absorbed, because a doomed attempt
+    /// observes its doom exactly once but may be doomed by several commits.
+    pub dooms_issued: u64,
+    /// Trace events lost to ring-buffer overflow (drop-oldest) in
+    /// [`crate::trace`]. Zero whenever tracing is off.
+    pub trace_events_dropped: u64,
 }
 
 impl StatsSnapshot {
@@ -139,9 +162,17 @@ impl StatsSnapshot {
         self.aborts_read_invalid + self.aborts_doomed + self.aborts_explicit
     }
 
-    /// Counter-wise difference (`self - earlier`), saturating.
+    /// Program-directed dooms *absorbed*: top-level aborts whose cause was a
+    /// doom. Alias of `aborts_doomed`, named to pair with
+    /// [`StatsSnapshot::dooms_issued`] for counter/trace cross-checks.
+    pub fn dooms_absorbed(&self) -> u64 {
+        self.aborts_doomed
+    }
+
+    /// Counter-wise difference (`self - earlier`), saturating. The harness
+    /// idiom is snapshot-before, run, snapshot-after, `after.diff(&before)`.
     #[must_use]
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts_read_invalid: self
@@ -164,7 +195,18 @@ impl StatsSnapshot {
             global_stripe_entries: self
                 .global_stripe_entries
                 .saturating_sub(earlier.global_stripe_entries),
+            dooms_issued: self.dooms_issued.saturating_sub(earlier.dooms_issued),
+            trace_events_dropped: self
+                .trace_events_dropped
+                .saturating_sub(earlier.trace_events_dropped),
         }
+    }
+
+    /// Counter-wise difference (`self - earlier`), saturating. Alias of
+    /// [`StatsSnapshot::diff`], kept for existing call sites.
+    #[must_use]
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.diff(earlier)
     }
 }
 
@@ -185,6 +227,8 @@ pub fn global_stats() -> StatsSnapshot {
         lane_free_commits: COUNTERS.lane_free_commits.load(Ordering::Relaxed),
         stripe_lock_spins: COUNTERS.stripe_lock_spins.load(Ordering::Relaxed),
         global_stripe_entries: COUNTERS.global_stripe_entries.load(Ordering::Relaxed),
+        dooms_issued: COUNTERS.dooms_issued.load(Ordering::Relaxed),
+        trace_events_dropped: COUNTERS.trace_events_dropped.load(Ordering::Relaxed),
     }
 }
 
@@ -204,4 +248,54 @@ pub fn reset_global_stats() {
     COUNTERS.lane_free_commits.store(0, Ordering::Relaxed);
     COUNTERS.stripe_lock_spins.store(0, Ordering::Relaxed);
     COUNTERS.global_stripe_entries.store(0, Ordering::Relaxed);
+    COUNTERS.dooms_issued.store(0, Ordering::Relaxed);
+    COUNTERS.trace_events_dropped.store(0, Ordering::Relaxed);
+}
+
+/// Zero the global counters for a deterministic unit test. Test-only on
+/// purpose: production code must use snapshot-and-[`StatsSnapshot::diff`],
+/// which tolerates concurrent activity.
+#[cfg(test)]
+pub(crate) fn reset_for_test() {
+    reset_global_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_is_fieldwise_and_saturating() {
+        let earlier = StatsSnapshot {
+            commits: 10,
+            aborts_doomed: 2,
+            dooms_issued: 3,
+            ..StatsSnapshot::default()
+        };
+        let later = StatsSnapshot {
+            commits: 15,
+            aborts_doomed: 6,
+            dooms_issued: 1, // went backwards (reset raced): saturates to 0
+            ..StatsSnapshot::default()
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.commits, 5);
+        assert_eq!(d.aborts_doomed, 4);
+        assert_eq!(d.dooms_absorbed(), 4);
+        assert_eq!(d.dooms_issued, 0);
+        // `since` is an exact alias.
+        assert_eq!(later.since(&earlier), d);
+    }
+
+    #[test]
+    fn reset_for_test_zeroes_counters() {
+        // Other tests in this binary bump counters concurrently, so hold the
+        // trace test lock (the only other trace-drop source) and check only
+        // the counter this test owns.
+        let _g = crate::trace::TEST_LOCK.lock();
+        record_trace_dropped();
+        assert!(global_stats().trace_events_dropped >= 1);
+        reset_for_test();
+        assert_eq!(global_stats().trace_events_dropped, 0);
+    }
 }

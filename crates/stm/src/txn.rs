@@ -5,6 +5,7 @@ use crate::handle::TxHandle;
 use crate::handlers::{Handler, LocalUndo};
 use crate::interrupt::{self, AbortCause, TxInterrupt};
 use crate::stats;
+use crate::trace;
 use crate::tvar::{AnyVar, TVar, VarId};
 use std::any::Any;
 use std::collections::HashMap;
@@ -100,6 +101,7 @@ pub struct Txn {
 
 impl Txn {
     pub(crate) fn new_top(handle: Arc<TxHandle>) -> Self {
+        trace::txn_begin(handle.id());
         Txn {
             mode: TxnMode::Speculative,
             handle,
@@ -275,6 +277,7 @@ impl Txn {
         let confined = invalid_frames.iter().all(|&fi| fi == innermost);
         if confined && self.frames[innermost].kind == FrameKind::Closed {
             stats::record_frame_retry();
+            trace::frame_retry(self.handle.id());
             interrupt::throw(TxInterrupt::RetryFrame(innermost));
         }
         interrupt::throw(TxInterrupt::Retry(AbortCause::ReadInvalid));
@@ -393,10 +396,12 @@ impl Txn {
                         parent.abort_handlers.extend(committed.abort_handlers);
                         parent.local_undos.extend(committed.local_undos);
                         stats::record_open_commit();
+                        trace::open_commit(self.handle.id());
                         return v;
                     }
                     Err(()) => {
                         stats::record_open_retry();
+                        trace::open_retry(self.handle.id());
                         continue;
                     }
                 },
@@ -405,6 +410,7 @@ impl Txn {
                     Ok(TxInterrupt::Retry(AbortCause::ReadInvalid))
                     | Ok(TxInterrupt::RetryFrame(_)) => {
                         stats::record_open_retry();
+                        trace::open_retry(self.handle.id());
                         continue;
                     }
                     // Doom / explicit abort concern the whole transaction.
@@ -443,7 +449,7 @@ impl Txn {
         // serializes with handler execution: lane first, then var locks (a
         // lane-holder's direct writes spin on var locks, so the lane must
         // never be awaited while var locks are held).
-        let lane = clock::lane_lock();
+        let lane = clock::lane_lock(self.handle.id());
         let guard = clock::CommitGuard::lock_write_set(frame.write_vars());
         for (id, r) in frame.reads.iter() {
             let own = frame.writes.contains_key(id);
@@ -492,7 +498,7 @@ impl Txn {
         // writes spin on var locks, so waiting for the lane while holding a
         // var lock could deadlock.
         let lane = if has_handlers {
-            Some(clock::lane_lock())
+            Some(clock::lane_lock(self.handle.id()))
         } else {
             None
         };
@@ -528,6 +534,7 @@ impl Txn {
         }
         drop(lane);
         stats::record_commit();
+        trace::txn_commit(self.handle.id());
         if !has_handlers {
             stats::record_lane_free_commit();
         }
@@ -548,7 +555,7 @@ impl Txn {
         );
         let has_handlers = !frame.commit_handlers.is_empty();
         let lane = if has_handlers {
-            Some(clock::lane_lock())
+            Some(clock::lane_lock(self.handle.id()))
         } else {
             None
         };
@@ -570,6 +577,7 @@ impl Txn {
         }
         drop(lane);
         stats::record_commit();
+        trace::txn_commit(self.handle.id());
         if !has_handlers {
             stats::record_lane_free_commit();
         }
@@ -616,7 +624,7 @@ impl Txn {
         if !self.frames[0].abort_handlers.is_empty() {
             // Compensation runs under the handler lane, serialized with all
             // other handler execution and writing open commits.
-            let _lane = clock::lane_lock();
+            let _lane = clock::lane_lock(self.handle.id());
             self.mode = TxnMode::Direct;
             loop {
                 let hs: Vec<Handler> = std::mem::take(&mut self.frames[0].abort_handlers);
@@ -641,6 +649,14 @@ impl Txn {
             self.handle.mark_aborted();
         }
         stats::record_abort(cause);
+        // Every begun attempt reaches exactly one of `trace::txn_commit` /
+        // this emission, so a trace never holds a dangling begin.
+        let culprit = if cause == AbortCause::Doomed {
+            self.handle.culprit()
+        } else {
+            0
+        };
+        trace::txn_abort(self.handle.id(), cause, culprit);
     }
 
     // ------------------------------------------------------------------

@@ -36,6 +36,16 @@ fn paired_handlers(tx: &mut Txn) {
     tx.on_local_undo(move || restore(taken));
 }
 
+fn allocation_free_trace_emission(owner: &TxHandle, stats: &ClassStats, key: &K) {
+    // Integers and the class's pre-interned Sym: the sanctioned payloads.
+    trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Key, key_hash64(key));
+}
+
+fn construction_time_interning() -> Sym {
+    // intern() once, at class construction — not per event.
+    intern("histogram")
+}
+
 fn non_transactional_observer() {
     // read_committed outside any transaction is the sanctioned use.
     let snapshot = stats_cell.read_committed();

@@ -47,6 +47,26 @@ const IO_TYPES: [&str; 6] = [
 /// transaction.
 const IO_FNS: [&str; 4] = ["stdin", "stdout", "stderr", "sleep"];
 
+/// The `stm::trace` emission entry points. Their argument spans must stay
+/// allocation-free: events are fixed-width word-packed records pushed from
+/// commit/abort/lock hot paths, and class names are interned to [`Sym`]s
+/// once at collection construction, never per event (TX009).
+const TRACE_EMITTERS: [&str; 13] = [
+    "txn_begin",
+    "txn_commit",
+    "txn_abort",
+    "frame_retry",
+    "open_commit",
+    "open_retry",
+    "lane_enter",
+    "lane_exit",
+    "var_lock_spin",
+    "sem_lock_blocked",
+    "sem_lock_acquired",
+    "sem_lock_released",
+    "doom_edge",
+];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RegionKind {
     /// `atomic(..)` / `atomic_with(..)` / `speculate(..)` — a top-level
@@ -240,6 +260,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx006_commit_internals_visibility(path, src, &m, &mut out);
     tx007_raw_stripe_access(path, src, &m, &mut out);
     tx008_direct_handler_registration(path, src, &m, &mut out);
+    tx009_alloc_in_trace_emission(path, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -597,6 +618,90 @@ fn tx008_direct_handler_registration(
     }
 }
 
+fn tx009_alloc_in_trace_emission(path: &Path, m: &FileModel, out: &mut Vec<Finding>) {
+    let toks = m.toks;
+    let brackets = match_brackets(toks);
+    // Argument spans of trace-emitter *calls* (their `fn` declarations in
+    // trace.rs are not call sites).
+    let mut spans: Vec<(usize, usize, &str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !TRACE_EMITTERS.contains(&t.text.as_str())
+            || (i >= 1 && toks[i - 1].is_ident("fn"))
+            || toks.get(i + 1).and_then(Tok::punct) != Some('(')
+        {
+            continue;
+        }
+        if let Some(&close) = brackets.get(&(i + 1)) {
+            spans.push((i + 1, close, t.text.as_str()));
+        }
+    }
+    if spans.is_empty() {
+        return;
+    }
+    const HELP: &str = "trace events are fixed-width word-packed records pushed from hot paths; pass integers and pre-interned Sym values (intern the class name once at collection construction, not per event)";
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(&(_, _, emitter)) = spans.iter().find(|&&(o, c, _)| o < i && i < c) else {
+            continue;
+        };
+        let prev_punct = i.checked_sub(1).and_then(|p| toks[p].punct());
+        let next_punct = toks.get(i + 1).and_then(Tok::punct);
+        let next2_punct = toks.get(i + 2).and_then(Tok::punct);
+        let name = t.text.as_str();
+
+        // `format!(..)` allocates a String per emission.
+        if name == "format" && next_punct == Some('!') {
+            out.push(finding(
+                path,
+                t,
+                "TX009",
+                format!("allocating `format!` in `{emitter}(..)` trace emission"),
+                HELP,
+            ));
+            continue;
+        }
+        // `String::from(..)` / `String::new()` and friends.
+        if name == "String" && next_punct == Some(':') && next2_punct == Some(':') {
+            out.push(finding(
+                path,
+                t,
+                "TX009",
+                format!("`String::..` construction in `{emitter}(..)` trace emission"),
+                HELP,
+            ));
+            continue;
+        }
+        // `.to_string()` / `.to_owned()` on a payload expression.
+        if (name == "to_string" || name == "to_owned")
+            && prev_punct == Some('.')
+            && next_punct == Some('(')
+        {
+            out.push(finding(
+                path,
+                t,
+                "TX009",
+                format!("allocating `.{name}()` in `{emitter}(..)` trace emission"),
+                HELP,
+            ));
+            continue;
+        }
+        // `intern(..)` per event: interning takes the global symbol-table
+        // mutex and is meant to run once per class, at construction.
+        if name == "intern" && next_punct == Some('(') {
+            out.push(finding(
+                path,
+                t,
+                "TX009",
+                format!("per-event `intern(..)` in `{emitter}(..)` trace emission"),
+                HELP,
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,6 +860,41 @@ mod tests {
         // Without the semantic-tables marker, registration is unrestricted
         // (user code registers its own handlers freely).
         assert!(codes(direct).is_empty());
+    }
+
+    #[test]
+    fn tx009_allocation_in_trace_emission() {
+        assert_eq!(
+            codes("fn f() { trace::sem_lock_blocked(intern(class_name), stripe); }"),
+            vec!["TX009"]
+        );
+        assert_eq!(
+            codes("fn f() { trace::txn_abort(id, cause, format!(\"{who}\")); }"),
+            vec!["TX009"]
+        );
+        assert_eq!(
+            codes("fn f() { trace::lane_enter(label.to_string()); }"),
+            vec!["TX009"]
+        );
+        assert_eq!(
+            codes("fn f() { trace::doom_edge(d, v, String::from(\"map\"), k, h, o, e, c); }"),
+            vec!["TX009"]
+        );
+        // Integers and pre-interned syms are the sanctioned payloads.
+        assert!(codes(
+            "fn f() { trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Key, key_hash64(&key)); }"
+        )
+        .is_empty());
+        // The emitters' own declarations are not call sites.
+        assert!(
+            codes("pub fn doom_edge(doomer: u64, victim: u64) { push(doomer, victim); }")
+                .is_empty()
+        );
+        // Allocation outside an emitter span is none of TX009's business.
+        assert!(codes("fn f() { let s = format!(\"x\"); trace::txn_begin(id); }").is_empty());
+        // Construction-time interning (outside any emission span) is the
+        // sanctioned pattern.
+        assert!(codes("fn new() -> Self { Self { class: intern(\"map\") } }").is_empty());
     }
 
     #[test]

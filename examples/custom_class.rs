@@ -57,6 +57,10 @@ struct HistClass {
 impl SemanticClass for HistClass {
     type Local = HistLocal;
 
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
     /// Commit handler body (guideline 5): apply the buffered deltas to the
     /// underlying bins in direct mode, dooming readers of each touched bin;
     /// then, in the global phase the kernel forces to run last, doom

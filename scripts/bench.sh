@@ -5,6 +5,9 @@
 #                    the reconstructed serialized baseline.
 #   BENCH_PR3.json — collection hot-path scaling (PR 3): striped semantic
 #                    lock tables vs the single-table baseline.
+#   BENCH_PR5.json — tracing overhead (PR 5): the conflict-provenance trace
+#                    layer off (must match PR4's sharded commit numbers
+#                    within host noise) vs on vs on-with-overflowing-rings.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,3 +16,12 @@ cat BENCH_PR2.json
 
 cargo bench -q -p bench --bench collection_scaling >BENCH_PR3.json
 cat BENCH_PR3.json
+
+cargo bench -q -p bench --bench trace_overhead >BENCH_PR5.json
+cat BENCH_PR5.json
+
+# Smoke the provenance reporter end to end: traced contended-map soak,
+# export, re-parse and structurally validate the exported trace.
+cargo build -q --release -p bench --bin txtop
+./target/release/txtop --soak --threads 4 --txns 300 --export-json target/txtop_trace.json
+./target/release/txtop --validate target/txtop_trace.json
