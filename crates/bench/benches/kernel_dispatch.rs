@@ -1,0 +1,116 @@
+//! Kernel-dispatch microbench: the cost of the compatibility check the
+//! doom protocol runs on every (held lock, committed effect) pair.
+//!
+//! PR 6 made the production dispatch matrix **generated** from the
+//! per-class conflict-graph declarations (`mode_compatible`, a
+//! const-indexed cube lookup), keeping the hand-written paper table as
+//! the oracle spec (`mode_compatible_spec`, a `match` over
+//! `(mode, effect, overlap)`). This bench prices both on the identical
+//! cell stream and proves the declarative refactor did not slow the
+//! hot path; a third column checks the whole-matrix sweep used by the
+//! construction-time cross-check (`SemanticCore::new`) stays trivial.
+//!
+//! The cell stream cycles all 84 `(mode, effect, overlap)` cells via an
+//! LCG so the branch predictor sees the mixed pattern a real commit
+//! sweep produces, not one hot cell. Best of 3 samples after a warm-up
+//! pass; results as hand-rolled JSON on stdout (captured into
+//! `BENCH_PR6.json` with the 1-CPU caveat).
+
+use std::hint::black_box;
+use std::time::Instant;
+use txcollections::{mode_compatible, mode_compatible_spec, ObsMode, UpdateEffect};
+
+const LOOKUPS: u64 = 20_000_000;
+const SAMPLES: usize = 3;
+
+/// All 84 dispatch cells, fixed order.
+fn cells() -> Vec<(ObsMode, UpdateEffect, bool)> {
+    let mut out = Vec::new();
+    for m in ObsMode::ALL {
+        for e in UpdateEffect::ALL {
+            for ov in [false, true] {
+                out.push((m, e, ov));
+            }
+        }
+    }
+    out
+}
+
+/// ns per call, best of [`SAMPLES`], streaming LCG-shuffled cells through
+/// `f`. The running XOR of verdicts is black-boxed so the loop cannot be
+/// folded away.
+fn run(
+    cells: &[(ObsMode, UpdateEffect, bool)],
+    f: impl Fn(ObsMode, UpdateEffect, bool) -> bool,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let mut acc = false;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let start = Instant::now();
+        for _ in 0..LOOKUPS {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let (m, e, ov) = cells[(state >> 33) as usize % cells.len()];
+            acc ^= f(black_box(m), black_box(e), black_box(ov));
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        black_box(acc);
+        best = best.min(elapsed / LOOKUPS as f64);
+    }
+    best
+}
+
+/// ns per full 84-cell agreement sweep (the shape `SemanticCore::new`
+/// and the oracle run), best of [`SAMPLES`].
+fn run_sweep(cells: &[(ObsMode, UpdateEffect, bool)]) -> f64 {
+    const SWEEPS: u64 = 200_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let mut agree = true;
+        let start = Instant::now();
+        for _ in 0..SWEEPS {
+            for &(m, e, ov) in cells {
+                agree &= mode_compatible(black_box(m), black_box(e), black_box(ov))
+                    == mode_compatible_spec(black_box(m), black_box(e), black_box(ov));
+            }
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        assert!(agree, "generated matrix diverged from the spec");
+        best = best.min(elapsed / SWEEPS as f64);
+    }
+    best
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cells = cells();
+
+    // Warm-up.
+    let _ = run(&cells, mode_compatible);
+    let _ = run(&cells, mode_compatible_spec);
+
+    let generated = run(&cells, mode_compatible);
+    let spec = run(&cells, mode_compatible_spec);
+    let sweep = run_sweep(&cells);
+
+    println!("{{");
+    println!("  \"bench\": \"kernel_dispatch\",");
+    println!("  \"cpus\": {cpus},");
+    println!("  \"lookups\": {LOOKUPS},");
+    println!("  \"samples\": {SAMPLES},");
+    println!("  \"workload\": \"LCG-shuffled stream over all 84 (mode, effect, overlap) cells\",");
+    println!("  \"results\": {{");
+    println!("    \"generated_mode_compatible_ns_per_lookup\": {generated:.3},");
+    println!("    \"handwritten_spec_ns_per_lookup\": {spec:.3},");
+    println!(
+        "    \"generated_over_spec_ratio\": {:.3},",
+        generated / spec
+    );
+    println!("    \"full_84_cell_agreement_sweep_ns\": {sweep:.1}");
+    println!("  }}");
+    println!("}}");
+}

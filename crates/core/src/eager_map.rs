@@ -34,6 +34,7 @@
 
 // txlint: semantic-tables
 use crate::backend::MapBackend;
+use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{sweep_commit_footprint, FootprintOp, SemanticClass, SemanticCore};
 use crate::locks::{
     doom_others, key_hash64, DoomCtx, ObsMode, Owner, SemanticStats, StripedTables, UpdateEffect,
@@ -45,6 +46,87 @@ use std::marker::PhantomData;
 use stm::trace::{self, LockKind};
 use stm::{TxState, Txn, TxnMode};
 use txstruct::TxHashMap;
+
+// txlint: conflict-graph
+/// The eager (encounter-time) map's declared conflict graph: the same
+/// Tables 1–2 key/size semantics as the buffered map, minus the emptiness
+/// primitive and zero-crossing effect (the eager map updates in place and
+/// publishes only key writes and size changes at commit).
+pub static EAGER_MAP_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "eager_map",
+    ops: &[
+        op("get", &[ObsMode::Key], &[]),
+        op(
+            "put",
+            &[ObsMode::Key],
+            &[UpdateEffect::KeyWrite, UpdateEffect::SizeChange],
+        ),
+        op(
+            "remove",
+            &[ObsMode::Key],
+            &[UpdateEffect::KeyWrite, UpdateEffect::SizeChange],
+        ),
+        op("size", &[ObsMode::Size], &[]),
+    ],
+    edges: &[
+        edge(
+            "get",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "get",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "size",
+            "put",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+    ],
+};
 
 /// What a writer does when it meets readers of the key it wants to update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +269,10 @@ where
 
     fn name(&self) -> &'static str {
         "eager_map"
+    }
+
+    fn conflict_graph(&self) -> Option<&'static ConflictGraph<'static>> {
+        Some(&EAGER_MAP_CONFLICT_GRAPH)
     }
 
     /// Commit handler. Changes are already in place: drop the undo log, doom

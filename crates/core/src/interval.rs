@@ -81,6 +81,21 @@ fn upper_admits<K: Ord>(upper: &Bound<K>, point: &K) -> bool {
     }
 }
 
+/// Whether a lower bound starts at or before an upper bound ends —
+/// i.e. the interval `[lo, hi]` they delimit is nonempty. Conservative for
+/// `(Excluded, Excluded)` pairs on non-dense key types (see
+/// `bounds_overlap` in `locks.rs`).
+fn lower_below_upper<K: Ord>(lo: &Bound<K>, hi: &Bound<K>) -> bool {
+    match (lo, hi) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+        (Bound::Included(a), Bound::Included(b)) => a <= b,
+        (Bound::Included(a), Bound::Excluded(b))
+        | (Bound::Excluded(a), Bound::Included(b))
+        | (Bound::Excluded(a), Bound::Excluded(b)) => a < b,
+    }
+}
+
+#[derive(Clone)]
 struct Node<K, T> {
     id: u64,
     lower: Bound<K>,
@@ -126,6 +141,7 @@ impl<K: Clone + Ord, T> Node<K, T> {
 }
 
 /// An interval tree (augmented treap) mapping intervals to payloads.
+#[derive(Clone)]
 pub struct IntervalTree<K, T> {
     root: Option<Box<Node<K, T>>>,
     len: usize,
@@ -302,6 +318,69 @@ impl<K: Clone + Ord, T> IntervalTree<K, T> {
         }
         // If our lower is beyond the point, every right descendant's lower
         // is too: pruned by not recursing.
+    }
+
+    /// Visit every interval that *intersects* `[lower, upper]` (an
+    /// interval-vs-interval query; the interval-map class dooms range
+    /// lockers with this when a committing writer publishes a whole span).
+    pub fn intersecting<'a>(
+        &'a self,
+        lower: &Bound<K>,
+        upper: &Bound<K>,
+        visit: &mut impl FnMut(u64, &'a T),
+    ) {
+        Self::intersecting_node(&self.root, lower, upper, visit);
+    }
+
+    fn intersecting_node<'a>(
+        node: &'a Option<Box<Node<K, T>>>,
+        lower: &Bound<K>,
+        upper: &Bound<K>,
+        visit: &mut impl FnMut(u64, &'a T),
+    ) {
+        let Some(n) = node else { return };
+        // Prune: nothing in this subtree ends at or after the query start.
+        if !lower_below_upper(lower, &n.max_upper) {
+            return;
+        }
+        Self::intersecting_node(&n.left, lower, upper, visit);
+        if lower_below_upper(&n.lower, upper) {
+            if lower_below_upper(lower, &n.upper) {
+                visit(n.id, &n.payload);
+            }
+            // Right subtree starts at or after our lower: may still begin
+            // before the query end.
+            Self::intersecting_node(&n.right, lower, upper, visit);
+        }
+        // If our lower is beyond the query end, every right descendant's
+        // lower is too: pruned by not recursing.
+    }
+
+    /// Remove every interval whose payload matches `pred`; returns the
+    /// removed `(lower, upper, payload)` triples.
+    pub fn remove_by(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(Bound<K>, Bound<K>, T)> {
+        fn collect<K: Clone + Ord, T>(
+            node: &Option<Box<Node<K, T>>>,
+            pred: &mut impl FnMut(&T) -> bool,
+            out: &mut Vec<(Bound<K>, Bound<K>, u64)>,
+        ) {
+            if let Some(n) = node {
+                collect(&n.left, pred, out);
+                if pred(&n.payload) {
+                    out.push((n.lower.clone(), n.upper.clone(), n.id));
+                }
+                collect(&n.right, pred, out);
+            }
+        }
+        let mut hits = Vec::new();
+        collect(&self.root, &mut pred, &mut hits);
+        let mut out = Vec::with_capacity(hits.len());
+        for (lower, upper, id) in hits {
+            if let Some(payload) = self.remove(&lower, id) {
+                out.push((lower, upper, payload));
+            }
+        }
+        out
     }
 
     /// Update the upper bound of interval `id` (its lower bound is the
@@ -490,5 +569,98 @@ mod tests {
             want.sort_unstable();
             assert_eq!(got, want, "stab mismatch at point {p}");
         }
+    }
+
+    #[test]
+    fn intersecting_finds_overlapping_intervals() {
+        let mut t = IntervalTree::new();
+        let a = t.insert(Included(0), Excluded(10), ());
+        let b = t.insert(Included(5), Excluded(15), ());
+        let c = t.insert(Included(20), Unbounded, ());
+        let hits = |lo: Bound<i32>, hi: Bound<i32>| {
+            let mut v = Vec::new();
+            t.intersecting(&lo, &hi, &mut |id, _| v.push(id));
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(hits(Included(2), Excluded(4)), vec![a]);
+        // A query range strictly inside an interval must hit it — the case
+        // a point-stab of the endpoints would miss.
+        assert_eq!(hits(Included(6), Excluded(9)), vec![a, b]);
+        assert_eq!(hits(Included(12), Included(25)), vec![b, c]);
+        assert_eq!(hits(Included(15), Excluded(20)), Vec::<u64>::new());
+        assert_eq!(hits(Unbounded, Unbounded), vec![a, b, c]);
+    }
+
+    #[test]
+    fn intersecting_matches_flat_scan_on_random_intervals() {
+        let mut x = 0xC0FFEEu64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut tree: IntervalTree<i64, usize> = IntervalTree::new();
+        let mut flat: Vec<(u64, Bound<i64>, Bound<i64>)> = Vec::new();
+        for i in 0..200 {
+            let lo = (rng() % 1000) as i64;
+            let len = (rng() % 60) as i64;
+            let id = tree.insert(Included(lo), Excluded(lo + len + 1), i);
+            flat.push((id, Included(lo), Excluded(lo + len + 1)));
+        }
+        for _ in 0..200 {
+            let qlo = (rng() % 1100) as i64 - 50;
+            let qlen = (rng() % 80) as i64;
+            let (ql, qh) = (Included(qlo), Excluded(qlo + qlen + 1));
+            let mut got = Vec::new();
+            tree.intersecting(&ql, &qh, &mut |id, _| got.push(id));
+            got.sort_unstable();
+            let mut want: Vec<u64> = flat
+                .iter()
+                .filter(|(_, lo, hi)| lower_below_upper(lo, &qh) && lower_below_upper(&ql, hi))
+                .map(|(id, _, _)| *id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(
+                got,
+                want,
+                "intersecting mismatch at [{qlo}, {})",
+                qlo + qlen + 1
+            );
+        }
+    }
+
+    #[test]
+    fn remove_by_returns_spans_and_payloads() {
+        let mut t: IntervalTree<i32, u32> = IntervalTree::new();
+        for i in 0..6 {
+            t.insert(Included(i), Excluded(i + 10), i as u32);
+        }
+        let removed = t.remove_by(|p| p % 2 == 1);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(t.len(), 3);
+        for (lo, hi, p) in &removed {
+            assert!(p % 2 == 1);
+            assert_eq!(*lo, Included(*p as i32));
+            assert_eq!(*hi, Excluded(*p as i32 + 10));
+        }
+        assert!(t.remove_by(|p| *p > 100).is_empty());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut t: IntervalTree<i32, u32> = IntervalTree::new();
+        t.insert(Included(0), Excluded(10), 1);
+        t.insert(Included(5), Excluded(15), 2);
+        let snapshot = t.clone();
+        t.remove_by(|_| true);
+        assert_eq!(t.len(), 0);
+        assert_eq!(snapshot.len(), 2);
+        let mut v = Vec::new();
+        snapshot.intersecting(&Included(6), &Excluded(7), &mut |_, p| v.push(*p));
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2]);
     }
 }

@@ -116,6 +116,20 @@ pub trait SemanticClass: Send + Sync + 'static {
     /// locks. Buffered-update classes have nothing to undo and only
     /// release.
     fn release(&self, local: Self::Local, htx: &mut Txn, id: u64, stats: &SemanticStats);
+
+    /// The class's declared operation conflict graph, if it has one.
+    ///
+    /// A class that declares its graph gets its lock modes *synthesized*
+    /// and validated: [`SemanticCore::new`] soundness-checks the
+    /// declaration (symmetry, reflexivity, commutativity closure) and
+    /// verifies that on every cell the class's operations can reach, the
+    /// synthesized matrix agrees with the production dispatch matrix —
+    /// panicking at construction on any mismatch, so an ill-formed class
+    /// cannot run. In-tree classes all declare graphs; txlint's TX010 pass
+    /// additionally checks the declarations lexically.
+    fn conflict_graph(&self) -> Option<&'static crate::conflict_graph::ConflictGraph<'static>> {
+        None
+    }
 }
 
 struct CoreInner<C: SemanticClass> {
@@ -145,12 +159,42 @@ impl<C: SemanticClass> SemanticCore<C> {
     pub fn new(class: C, nshards: usize) -> Self {
         let stats = SemanticStats::default();
         stats.set_class(class.name());
+        if let Some(graph) = class.conflict_graph() {
+            Self::validate_graph(graph);
+        }
         SemanticCore {
             inner: Arc::new(CoreInner {
                 class,
                 locals: LocalTable::new(nshards),
                 stats,
             }),
+        }
+    }
+
+    /// Synthesize and cross-check a declared conflict graph at core
+    /// construction: the declaration must be sound, and on every
+    /// `(mode, effect, overlap)` cell the class's declared operations can
+    /// reach, the synthesized matrix must agree with the production
+    /// dispatch matrix ([`mode_compatible`](crate::mode_compatible)).
+    /// Panics on any violation — an ill-formed class never runs.
+    fn validate_graph(graph: &crate::conflict_graph::ConflictGraph<'_>) {
+        use crate::conflict_graph::{reachable_cells, synthesize};
+        let synthesis = synthesize(graph).unwrap_or_else(|errs| {
+            panic!(
+                "ill-formed conflict graph for class `{}`:\n{}",
+                graph.class,
+                errs.join("\n")
+            )
+        });
+        for (m, e, ov) in reachable_cells(graph) {
+            let declared = synthesis.matrix.compatible(m, e, ov);
+            let dispatch = crate::locks::mode_compatible(m, e, ov);
+            assert_eq!(
+                declared, dispatch,
+                "class `{}`: declared graph says compatible({m:?}, {e:?}, overlap={ov}) = \
+                 {declared}, but the dispatch matrix says {dispatch}",
+                graph.class
+            );
         }
     }
 

@@ -34,7 +34,27 @@
 //! | [`TransactionalSortedMap`] | §3.2 | + range locks, first/last endpoint locks |
 //! | [`TransactionalQueue`] | §3.3 | empty lock only (reduced isolation by design) |
 //! | [`TransactionalSet`] / [`TransactionalSortedSet`] | §5.1 | via the maps |
+//! | [`TransactionalMultiset`] | §5.1 extension | key locks, size lock, empty lock — **synthesized** |
+//! | [`TransactionalPriorityQueue`] | §3.2 extension | key locks, first lock, size/empty locks — **synthesized** |
+//! | [`TransactionalIntervalMap`] | §3.2 extension | range locks (span-valued), size/empty locks — **synthesized** |
 //! | [`OpenNestedCounter`] / [`UidGenerator`] | §6.3 | none (isolation deliberately forgone) |
+//!
+//! ## Declarative conflict graphs
+//!
+//! Every class declares its operation-level conflict graph as plain data
+//! ([`ConflictGraph`]): which abstract properties each operation observes
+//! ([`ObsMode`]), which it updates ([`UpdateEffect`]), and which
+//! observer/updater pairs conflict — point-wise ([`Overlap::OnOverlap`])
+//! or unconditionally ([`Overlap::Always`]). The kernel *synthesizes* the
+//! lock-mode compatibility matrix from these declarations
+//! ([`synthesize`], [`generated_matrix`]) — [`mode_compatible`], the
+//! single dispatch point for every doom decision, is now generated data,
+//! while the original hand-written table survives as the oracle
+//! ([`mode_compatible_spec`]) that the synthesized matrix is checked
+//! against exhaustively (all 84 cells) in CI and at every core
+//! construction. The three newest classes (multiset, priority queue,
+//! interval map) never had a hand-written table at all: their locks exist
+//! *only* because their declarations synthesize them.
 //!
 //! ## Serializability guidelines (paper §5)
 //!
@@ -79,26 +99,39 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod conflict_graph;
 mod eager_map;
 pub mod interval;
+mod interval_map;
 mod kernel;
 mod locks;
 mod map;
+mod multiset;
+mod priority_queue;
 mod queue;
 mod set;
 mod sorted_map;
 
 pub use backend::{MapBackend, QueueBackend, SortedMapBackend};
-pub use eager_map::{EagerPolicy, EagerTransactionalMap};
+pub use conflict_graph::{
+    declared_graphs, derive_edges, edge, generated_matrix, keyed_mode, op, reachable_cells,
+    synthesize, validate, ConflictGraph, EdgeDecl, OpDecl, Overlap, Synthesis, SynthesizedMatrix,
+};
+pub use eager_map::{EagerPolicy, EagerTransactionalMap, EAGER_MAP_CONFLICT_GRAPH};
+pub use interval_map::{TransactionalIntervalMap, INTERVAL_MAP_CONFLICT_GRAPH};
 pub use kernel::{ClassTables, GlobalPhase, KeyCtx, PointCtx, SemanticClass, SemanticCore};
 pub use locks::{
-    key_hash64, mode_compatible, stripe_index, ObsMode, Owner, RangeIndexKind, SemanticStats,
-    StripeHasher, UpdateEffect, DEFAULT_STRIPES,
+    key_hash64, mode_compatible, mode_compatible_spec, stripe_index, ObsMode, Owner,
+    RangeIndexKind, SemanticStats, StripeHasher, UpdateEffect, DEFAULT_STRIPES,
 };
-pub use map::{TransactionalMap, TxMapIter};
-pub use queue::{Channel, TransactionalQueue};
-pub use set::{TransactionalSet, TransactionalSortedSet};
-pub use sorted_map::{SortedMapView, TransactionalSortedMap, TxSortedIter};
+pub use map::{TransactionalMap, TxMapIter, MAP_CONFLICT_GRAPH};
+pub use multiset::{TransactionalMultiset, MULTISET_CONFLICT_GRAPH};
+pub use priority_queue::{TransactionalPriorityQueue, PRIORITY_QUEUE_CONFLICT_GRAPH};
+pub use queue::{Channel, TransactionalQueue, QUEUE_CONFLICT_GRAPH};
+pub use set::{TransactionalSet, TransactionalSortedSet, SET_CONFLICT_GRAPH};
+pub use sorted_map::{
+    SortedMapView, TransactionalSortedMap, TxSortedIter, SORTED_MAP_CONFLICT_GRAPH,
+};
 
 use stm::Txn;
 

@@ -320,13 +320,29 @@ impl UpdateEffect {
 /// (`ObsMode::Key`) or falls inside the observed interval
 /// (`ObsMode::Range`); it is ignored for the whole-collection modes.
 ///
-/// This single function is the repo's machine-checkable distillation of
-/// paper Tables 1–8. It is validated two ways: statically by `txlint`'s
-/// conflict-matrix oracle (`cargo run -p txlint -- --oracle`), which
-/// replays every table row against it, and dynamically by the exhaustive
-/// pairwise suite in `crates/core/tests/oracle_matrix.rs`, which drives
-/// real two-transaction executions and asserts the doom protocol agrees.
+/// Since the declarative-conflict-graph refactor this function is
+/// *generated*: it looks the cell up in
+/// [`generated_matrix`](crate::conflict_graph::generated_matrix), the union
+/// of every in-tree class's synthesized matrix. The historic hand-written
+/// table survives below as [`mode_compatible_spec`] — the oracle the
+/// synthesis is checked against. The two are validated identical three
+/// ways: statically by `txlint`'s conflict-matrix oracle
+/// (`cargo run -p txlint -- --oracle`), which replays every table row and
+/// all 84 cells, exhaustively by `crates/core/tests/oracle_matrix.rs` and
+/// `conflict_graph_synthesis.rs`, and dynamically by real two-transaction
+/// executions asserting the doom protocol agrees.
 pub fn mode_compatible(obs: ObsMode, effect: UpdateEffect, overlap: bool) -> bool {
+    crate::conflict_graph::generated_matrix().compatible(obs, effect, overlap)
+}
+
+/// The hand-written specification matrix: paper Tables 1–8 as a `match`.
+///
+/// This is the *oracle* the synthesized dispatch matrix
+/// ([`mode_compatible`]) is checked against — it is no longer on the doom
+/// protocol's dispatch path, but any drift between it and the declared
+/// conflict graphs fails txlint's oracle pass and the exhaustive test
+/// suites.
+pub fn mode_compatible_spec(obs: ObsMode, effect: UpdateEffect, overlap: bool) -> bool {
     match (obs, effect) {
         // A key observation conflicts exactly with a write of that key.
         (ObsMode::Key, UpdateEffect::KeyWrite) => !overlap,
@@ -952,6 +968,29 @@ fn in_range<K: Ord>(key: &K, lower: &Bound<K>, upper: &Bound<K>) -> bool {
     lo_ok && hi_ok
 }
 
+/// Whether two intervals intersect. Conservative on the one ambiguous
+/// case — an open interval like `(3, 4)` counts as nonempty even when the
+/// key type has no value strictly between the bounds — which is safe for
+/// lock dooming (a spurious doom costs a retry, never soundness) and exact
+/// for the half-open `[lo, hi)` intervals the interval map uses.
+pub(crate) fn bounds_overlap<K: Ord>(
+    lo1: &Bound<K>,
+    hi1: &Bound<K>,
+    lo2: &Bound<K>,
+    hi2: &Bound<K>,
+) -> bool {
+    fn lower_below_upper<K: Ord>(lo: &Bound<K>, hi: &Bound<K>) -> bool {
+        match (lo, hi) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+            (Bound::Included(a), Bound::Included(b)) => a <= b,
+            (Bound::Included(a), Bound::Excluded(b))
+            | (Bound::Excluded(a), Bound::Included(b))
+            | (Bound::Excluded(a), Bound::Excluded(b)) => a < b,
+        }
+    }
+    lower_below_upper(lo1, hi2) && lower_below_upper(lo2, hi1)
+}
+
 /// The range-lock store: flat scanned list (paper default) or interval
 /// tree (the §3.2 alternative).
 pub(crate) enum RangeStore<K> {
@@ -1108,6 +1147,80 @@ impl<K: Clone + Ord> SortedLockTables<K> {
                 });
             }
         }
+        doomed
+    }
+
+    /// A committing writer touched every key in `[lower, upper]`: doom
+    /// owners of range locks that *intersect* the written span. The
+    /// interval-map class publishes interval-valued writes, for which the
+    /// point-stab of [`doom_range_lockers`] is unsound (a reader's range
+    /// strictly inside the written interval would never be stabbed).
+    pub(crate) fn doom_span(
+        &mut self,
+        lower: &Bound<K>,
+        upper: &Bound<K>,
+        self_id: u64,
+        ctx: &DoomCtx,
+    ) -> u64 {
+        let mut doomed = 0;
+        match &mut self.ranges {
+            RangeStore::Flat { locks, .. } => {
+                locks.retain(|r| {
+                    if r.owner.id() == self_id {
+                        return true;
+                    }
+                    match r.owner.state() {
+                        TxState::Active => {
+                            if bounds_overlap(&r.lower, &r.upper, lower, upper)
+                                && r.owner.doom_from(self_id)
+                            {
+                                doomed += 1;
+                                ctx.emit(self_id, r.owner.id());
+                            }
+                            true
+                        }
+                        _ => false,
+                    }
+                });
+            }
+            RangeStore::Tree { tree, .. } => {
+                tree.intersecting(lower, upper, &mut |_, owner| {
+                    if owner.id() != self_id
+                        && owner.state() == TxState::Active
+                        && owner.doom_from(self_id)
+                    {
+                        doomed += 1;
+                        ctx.emit(self_id, owner.id());
+                    }
+                });
+            }
+        }
+        doomed
+    }
+
+    /// Span-valued counterpart of [`SortedLockTables::doom_update`] for the
+    /// `Range`-mode slice only: gate the intersection dooms on
+    /// [`mode_compatible`] and charge them to the range-conflict counter.
+    pub(crate) fn doom_update_span(
+        &mut self,
+        effect: UpdateEffect,
+        lower: &Bound<K>,
+        upper: &Bound<K>,
+        span_hash: u64,
+        self_id: u64,
+        stats: &SemanticStats,
+    ) -> u64 {
+        if mode_compatible(ObsMode::Range, effect, true) {
+            return 0;
+        }
+        let ctx = DoomCtx {
+            stats,
+            obs: ObsMode::Range,
+            effect,
+            key_hash: span_hash,
+        };
+        let doomed = self.doom_span(lower, upper, self_id, &ctx);
+        stats.bump(&stats.range_conflicts, doomed);
         doomed
     }
 

@@ -46,13 +46,212 @@
 
 // txlint: semantic-tables
 use crate::backend::MapBackend;
+use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{ClassTables, SemanticClass, SemanticCore};
-use crate::locks::{SemanticStats, UpdateEffect, DEFAULT_STRIPES};
+use crate::locks::{ObsMode, SemanticStats, UpdateEffect, DEFAULT_STRIPES};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::marker::PhantomData;
 use stm::{Txn, TxnMode};
 use txstruct::TxHashMap;
+
+// txlint: conflict-graph
+/// Paper Tables 1–2 as a declared conflict graph: the map's operations,
+/// the modes they observe, the effects they publish, and the conflicting
+/// pairs. The lock modes the class dispatches with are *synthesized* from
+/// this declaration ([`SemanticCore::new`] validates it against the
+/// dispatch matrix; txlint TX010 checks it lexically).
+pub static MAP_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "map",
+    ops: &[
+        op("get", &[ObsMode::Key], &[]),
+        op(
+            "put",
+            &[ObsMode::Key],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+            ],
+        ),
+        op(
+            "remove",
+            &[ObsMode::Key],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+            ],
+        ),
+        op(
+            "put_blind",
+            &[],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+            ],
+        ),
+        op("size", &[ObsMode::Size], &[]),
+        op("is_empty_primitive", &[ObsMode::Empty], &[]),
+        op("iter", &[ObsMode::Key, ObsMode::Size], &[]),
+    ],
+    edges: &[
+        // get/put/remove/iter observe keys; any key write to the same key
+        // invalidates them (Table 1: same-key cells conflict, distinct-key
+        // cells commute).
+        edge(
+            "get",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "get",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "get",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "iter",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "iter",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "iter",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        // size() (and exhausted iteration) is doomed by any size change —
+        // but NOT by a value-replacing put (KeyWrite without SizeChange).
+        edge(
+            "size",
+            "put",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "put_blind",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "iter",
+            "put",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "iter",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "iter",
+            "put_blind",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        // isEmpty as a primitive (§5.1): only zero-crossings conflict.
+        edge(
+            "is_empty_primitive",
+            "put",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "is_empty_primitive",
+            "remove",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "is_empty_primitive",
+            "put_blind",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+    ],
+};
 
 /// A buffered write in the thread-local store buffer (the paper's "special
 /// value for removed keys" is the `Remove` variant).
@@ -107,6 +306,10 @@ where
 
     fn name(&self) -> &'static str {
         "map"
+    }
+
+    fn conflict_graph(&self) -> Option<&'static ConflictGraph<'static>> {
+        Some(&MAP_CONFLICT_GRAPH)
     }
 
     /// Commit handler: apply the store buffer and doom conflicting lock

@@ -30,6 +30,7 @@
 
 // txlint: semantic-tables
 use crate::backend::QueueBackend;
+use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{SemanticClass, SemanticCore};
 use crate::locks::{
     doom_others, mode_compatible, DoomCtx, GlobalStripe, ObsMode, Owner, SemanticStats,
@@ -40,6 +41,102 @@ use std::marker::PhantomData;
 use stm::trace::{self, LockKind};
 use stm::{Txn, TxnMode};
 use txstruct::TxVecDeque;
+
+// txlint: conflict-graph
+/// Paper Tables 7–8 as a declared conflict graph. The queue is
+/// deliberately unordered (§3.3) — element observations take no key locks,
+/// so the graph has only the whole-collection emptiness and fullness
+/// modes: `poll`/`peek` returning null observe `Empty` and are doomed by
+/// zero-crossing commits; `offer` returning false (and a blocking `put` on
+/// a full queue) observes `Full` and is doomed by consuming commits.
+pub static QUEUE_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "queue",
+    ops: &[
+        op(
+            "put",
+            &[ObsMode::Full],
+            &[UpdateEffect::SizeChange, UpdateEffect::ZeroCross],
+        ),
+        op(
+            "offer",
+            &[ObsMode::Full],
+            &[UpdateEffect::SizeChange, UpdateEffect::ZeroCross],
+        ),
+        op(
+            "poll",
+            &[ObsMode::Empty],
+            &[
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+                UpdateEffect::Consume,
+            ],
+        ),
+        op("peek", &[ObsMode::Empty], &[]),
+    ],
+    edges: &[
+        // Emptiness observers vs zero-crossing commits (Table 7): a put
+        // making the queue non-empty (or a poll abort restoring items)
+        // dooms null-observers; non-crossing size changes commute.
+        edge(
+            "poll",
+            "put",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "poll",
+            "offer",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "poll",
+            "poll",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "peek",
+            "put",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "peek",
+            "offer",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "peek",
+            "poll",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        // Fullness observers vs consuming commits (Table 8): freed
+        // capacity dooms `offer() -> false` / a blocked `put`.
+        edge(
+            "put",
+            "poll",
+            ObsMode::Full,
+            UpdateEffect::Consume,
+            Overlap::Always,
+        ),
+        edge(
+            "offer",
+            "poll",
+            ObsMode::Full,
+            UpdateEffect::Consume,
+            Overlap::Always,
+        ),
+    ],
+};
 
 /// The `Channel` interface from `util.concurrent` (paper §3.3): the minimal
 /// enqueue/dequeue surface of a concurrent work queue, deliberately omitting
@@ -113,6 +210,10 @@ where
 
     fn name(&self) -> &'static str {
         "queue"
+    }
+
+    fn conflict_graph(&self) -> Option<&'static ConflictGraph<'static>> {
+        Some(&QUEUE_CONFLICT_GRAPH)
     }
 
     /// Commit handler: publish the add/return buffers, then doom emptiness

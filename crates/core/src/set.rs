@@ -7,13 +7,188 @@
 //! are discharged for them too.
 
 use crate::backend::{MapBackend, SortedMapBackend};
-use crate::locks::SemanticStats;
+use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
+use crate::locks::{ObsMode, SemanticStats, UpdateEffect};
 use crate::map::TransactionalMap;
 use crate::sorted_map::TransactionalSortedMap;
 use std::hash::Hash;
 use std::ops::Bound;
 use stm::Txn;
 use txstruct::{TxHashMap, TxTreeMap};
+
+// txlint: conflict-graph
+/// The set abstraction's declared conflict graph (paper §3.2: the set is
+/// the map with unit values, so its graph is the map graph restricted to
+/// the element-keyed operations). The set classes dispatch through the
+/// underlying map cores — this declaration exists so the set's conflict
+/// semantics are checkable data like every other class's, and it is
+/// registered in [`declared_graphs`](crate::conflict_graph::declared_graphs).
+pub static SET_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "set",
+    ops: &[
+        op("contains", &[ObsMode::Key], &[]),
+        op(
+            "add",
+            &[ObsMode::Key],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+            ],
+        ),
+        op(
+            "remove",
+            &[ObsMode::Key],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+            ],
+        ),
+        op(
+            "add_blind",
+            &[],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+            ],
+        ),
+        op("size", &[ObsMode::Size], &[]),
+        op("elements", &[ObsMode::Key, ObsMode::Size], &[]),
+    ],
+    edges: &[
+        // Element observers vs same-element writes; distinct elements
+        // commute.
+        edge(
+            "contains",
+            "add",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "contains",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "contains",
+            "add_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "add",
+            "add",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "add",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "add",
+            "add_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "add",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "add_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "elements",
+            "add",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "elements",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "elements",
+            "add_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        // Cardinality observers vs membership changes.
+        edge(
+            "size",
+            "add",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "add_blind",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "elements",
+            "add",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "elements",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "elements",
+            "add_blind",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+    ],
+};
 
 /// A transactional set with semantic concurrency control, backed by a
 /// [`TransactionalMap`] with unit values.

@@ -32,11 +32,12 @@
 
 // txlint: semantic-tables
 use crate::backend::SortedMapBackend;
+use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{
     sweep_commit_footprint, sweep_release_footprint, FootprintOp, SemanticClass, SemanticCore,
 };
 use crate::locks::{
-    key_hash64, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables,
+    key_hash64, ObsMode, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables,
     UpdateEffect, DEFAULT_STRIPES,
 };
 use crate::map::{BufWrite, MapLocal};
@@ -45,6 +46,322 @@ use std::marker::PhantomData;
 use std::ops::Bound;
 use stm::{Txn, TxnMode};
 use txstruct::TxTreeMap;
+
+// txlint: conflict-graph
+/// Paper Tables 4–5 as a declared conflict graph: the sorted map adds the
+/// endpoint (`First`/`Last`) and `Range` observation modes plus the
+/// endpoint-moving effects to the plain map's graph. Lock modes are
+/// synthesized from this declaration and validated against the dispatch
+/// matrix at core construction; txlint TX010 checks it lexically.
+pub static SORTED_MAP_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "sorted_map",
+    ops: &[
+        op("get", &[ObsMode::Key], &[]),
+        op(
+            "put",
+            &[ObsMode::Key],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+                UpdateEffect::FirstChange,
+                UpdateEffect::LastChange,
+            ],
+        ),
+        op(
+            "remove",
+            &[ObsMode::Key],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+                UpdateEffect::FirstChange,
+                UpdateEffect::LastChange,
+            ],
+        ),
+        op(
+            "put_blind",
+            &[],
+            &[
+                UpdateEffect::KeyWrite,
+                UpdateEffect::SizeChange,
+                UpdateEffect::ZeroCross,
+                UpdateEffect::FirstChange,
+                UpdateEffect::LastChange,
+            ],
+        ),
+        op("size", &[ObsMode::Size], &[]),
+        op("is_empty_primitive", &[ObsMode::Empty], &[]),
+        op("first_key", &[ObsMode::First, ObsMode::Key], &[]),
+        op("last_key", &[ObsMode::Last, ObsMode::Key], &[]),
+        op(
+            "range_iter",
+            &[ObsMode::Range, ObsMode::Key, ObsMode::Size],
+            &[],
+        ),
+    ],
+    edges: &[
+        // Same-key writes doom key observers (Table 4 interior cells:
+        // distinct keys commute).
+        edge(
+            "get",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "get",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "get",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "put",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "remove",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "first_key",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "first_key",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "first_key",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "last_key",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "last_key",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "last_key",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "range_iter",
+            "put",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "range_iter",
+            "remove",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "range_iter",
+            "put_blind",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        // Range observers are doomed by writes landing inside their
+        // interval (Table 5).
+        edge(
+            "range_iter",
+            "put",
+            ObsMode::Range,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "range_iter",
+            "remove",
+            ObsMode::Range,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "range_iter",
+            "put_blind",
+            ObsMode::Range,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        // size() and exhausted iteration vs any size change.
+        edge(
+            "size",
+            "put",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "size",
+            "put_blind",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "range_iter",
+            "put",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "range_iter",
+            "remove",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        edge(
+            "range_iter",
+            "put_blind",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+        // §5.1 emptiness primitive vs zero-crossings.
+        edge(
+            "is_empty_primitive",
+            "put",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "is_empty_primitive",
+            "remove",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        edge(
+            "is_empty_primitive",
+            "put_blind",
+            ObsMode::Empty,
+            UpdateEffect::ZeroCross,
+            Overlap::Always,
+        ),
+        // Endpoint observers vs endpoint-moving updates (Table 4).
+        edge(
+            "first_key",
+            "put",
+            ObsMode::First,
+            UpdateEffect::FirstChange,
+            Overlap::Always,
+        ),
+        edge(
+            "first_key",
+            "remove",
+            ObsMode::First,
+            UpdateEffect::FirstChange,
+            Overlap::Always,
+        ),
+        edge(
+            "first_key",
+            "put_blind",
+            ObsMode::First,
+            UpdateEffect::FirstChange,
+            Overlap::Always,
+        ),
+        edge(
+            "last_key",
+            "put",
+            ObsMode::Last,
+            UpdateEffect::LastChange,
+            Overlap::Always,
+        ),
+        edge(
+            "last_key",
+            "remove",
+            ObsMode::Last,
+            UpdateEffect::LastChange,
+            Overlap::Always,
+        ),
+        edge(
+            "last_key",
+            "put_blind",
+            ObsMode::Last,
+            UpdateEffect::LastChange,
+            Overlap::Always,
+        ),
+    ],
+};
 
 /// The variant half of the sorted-map class (kernel [`SemanticClass`]): the
 /// wrapped backend plus the striped key-lock table whose global stripe also
@@ -65,6 +382,10 @@ where
 
     fn name(&self) -> &'static str {
         "sorted_map"
+    }
+
+    fn conflict_graph(&self) -> Option<&'static ConflictGraph<'static>> {
+        Some(&SORTED_MAP_CONFLICT_GRAPH)
     }
 
     /// Commit handler: apply the store buffer and doom conflicting

@@ -1,0 +1,288 @@
+//! The declarative conflict-graph pipeline, checked end to end (PR 6):
+//!
+//! * every in-tree declaration validates and synthesizes;
+//! * each synthesized matrix agrees with the hand-written oracle
+//!   [`mode_compatible_spec`] on every cell the graph reaches;
+//! * the generated production [`mode_compatible`] is *identical* to the
+//!   oracle on all 84 `(mode, effect, overlap)` cells;
+//! * property tests over random well-formed graphs: synthesis marks exactly
+//!   the declared cells, and `synthesize -> derive_edges -> synthesize`
+//!   round-trips to the same matrix.
+
+use proptest::prelude::*;
+use txcollections::{
+    declared_graphs, derive_edges, edge, keyed_mode, mode_compatible, mode_compatible_spec, op,
+    reachable_cells, synthesize, validate, ConflictGraph, EdgeDecl, ObsMode, OpDecl, Overlap,
+    UpdateEffect,
+};
+
+#[test]
+fn all_84_cells_of_the_generated_matrix_match_the_spec() {
+    for o in ObsMode::ALL {
+        for e in UpdateEffect::ALL {
+            for overlap in [false, true] {
+                assert_eq!(
+                    mode_compatible(o, e, overlap),
+                    mode_compatible_spec(o, e, overlap),
+                    "generated mode_compatible diverges from the hand-written \
+                     spec at ({o:?}, {e:?}, overlap={overlap})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_declared_graph_validates_and_matches_the_spec_on_reachable_cells() {
+    for graph in declared_graphs() {
+        let errs = validate(graph);
+        assert!(
+            errs.is_empty(),
+            "{}: declaration rejected:\n{}",
+            graph.class,
+            errs.join("\n")
+        );
+        let synth = synthesize(graph).expect("validated graph must synthesize");
+        assert!(
+            !synth.lock_kinds.is_empty(),
+            "{}: synthesis derived no lock kinds",
+            graph.class
+        );
+        for (obs, effect, overlap) in reachable_cells(graph) {
+            assert_eq!(
+                synth.matrix.compatible(obs, effect, overlap),
+                mode_compatible_spec(obs, effect, overlap),
+                "{}: synthesized matrix disagrees with the spec at \
+                 ({obs:?}, {effect:?}, overlap={overlap})",
+                graph.class
+            );
+        }
+    }
+}
+
+#[test]
+fn synthesized_matrices_never_admit_a_declared_conflict() {
+    for graph in declared_graphs() {
+        let synth = synthesize(graph).expect("in-tree graph must synthesize");
+        for e in graph.edges {
+            assert!(
+                !synth.matrix.compatible(e.obs, e.effect, true),
+                "{}: declared edge ({}, {}) on ({:?}, {:?}) still compatible under overlap",
+                graph.class,
+                e.observer,
+                e.updater,
+                e.obs,
+                e.effect
+            );
+            if e.when == Overlap::Always {
+                assert!(
+                    !synth.matrix.compatible(e.obs, e.effect, false),
+                    "{}: Always edge ({}, {}) on ({:?}, {:?}) compatible without overlap",
+                    graph.class,
+                    e.observer,
+                    e.updater,
+                    e.obs,
+                    e.effect
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn in_tree_graphs_round_trip_through_derive_edges() {
+    for graph in declared_graphs() {
+        let synth = synthesize(graph).expect("in-tree graph must synthesize");
+        let derived = derive_edges(&synth.matrix, graph.ops);
+        let g2 = ConflictGraph {
+            class: graph.class,
+            ops: graph.ops,
+            edges: &derived,
+        };
+        let errs = validate(&g2);
+        assert!(
+            errs.is_empty(),
+            "{}: re-derived graph rejected:\n{}",
+            graph.class,
+            errs.join("\n")
+        );
+        let s2 = synthesize(&g2).expect("re-derived graph must synthesize");
+        assert_eq!(
+            s2.matrix, synth.matrix,
+            "{}: derive_edges lost or invented cells",
+            graph.class
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random well-formed graphs.
+//
+// A graph is generated as (a) per-op subsets of observation modes and
+// update effects over a fixed name pool, and (b) a subset of *declarable*
+// conflicting cells — keyed modes only pair with KeyWrite (gated on
+// overlap), whole-collection modes conflict unconditionally. Declaring an
+// edge for EVERY (observer, updater) pair that realizes a chosen cell
+// makes symmetry and reflexivity hold by construction, so `validate` must
+// accept the result.
+// ---------------------------------------------------------------------
+
+const NAME_POOL: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// The `(mode, effect)` cells a well-formed graph may declare conflicting.
+fn declarable_cells() -> Vec<(ObsMode, UpdateEffect)> {
+    let mut out = Vec::new();
+    for m in ObsMode::ALL {
+        for e in UpdateEffect::ALL {
+            if keyed_mode(m) {
+                if e == UpdateEffect::KeyWrite {
+                    out.push((m, e));
+                }
+            } else {
+                out.push((m, e));
+            }
+        }
+    }
+    out
+}
+
+/// Owned backing storage for a generated graph (the declaration types
+/// borrow slices, mirroring their `static` production form). Decoded from
+/// per-op bitmasks over `ObsMode::ALL` / `UpdateEffect::ALL`.
+struct GraphArena {
+    observes: Vec<Vec<ObsMode>>,
+    effects: Vec<Vec<UpdateEffect>>,
+}
+
+impl GraphArena {
+    fn decode(obs_masks: &[u32], eff_masks: &[u32]) -> GraphArena {
+        let pick_modes = |mask: u32| {
+            ObsMode::ALL
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, m)| *m)
+                .collect::<Vec<_>>()
+        };
+        let pick_effects = |mask: u32| {
+            UpdateEffect::ALL
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, e)| *e)
+                .collect::<Vec<_>>()
+        };
+        GraphArena {
+            observes: obs_masks.iter().map(|&m| pick_modes(m)).collect(),
+            effects: eff_masks.iter().map(|&m| pick_effects(m)).collect(),
+        }
+    }
+}
+
+fn build_ops(arena: &GraphArena) -> Vec<OpDecl<'_>> {
+    (0..arena.observes.len())
+        .map(|i| op(NAME_POOL[i], &arena.observes[i], &arena.effects[i]))
+        .collect()
+}
+
+/// Decode a conflicting-cell subset from a bitmask over the declarable
+/// cells.
+fn decode_cells(mask: u64) -> Vec<(ObsMode, UpdateEffect)> {
+    declarable_cells()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, c)| c)
+        .collect()
+}
+
+/// Declare every edge realizing one of the chosen conflicting cells: all
+/// (observer, updater) pairs where the observer holds the mode and the
+/// updater publishes the effect.
+fn closure_edges<'a>(ops: &[OpDecl<'a>], cells: &[(ObsMode, UpdateEffect)]) -> Vec<EdgeDecl<'a>> {
+    let mut out = Vec::new();
+    for &(m, e) in cells {
+        let when = if keyed_mode(m) {
+            Overlap::OnOverlap
+        } else {
+            Overlap::Always
+        };
+        for obs_op in ops {
+            if !obs_op.observes.contains(&m) {
+                continue;
+            }
+            for upd_op in ops {
+                if upd_op.effects.contains(&e) {
+                    out.push(edge(obs_op.name, upd_op.name, m, e, when));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closure-constructed graphs are well-formed, and synthesis marks a
+    /// cell conflicting iff some declared edge realizes it.
+    #[test]
+    fn random_well_formed_graphs_synthesize_exactly_their_declarations(
+        obs_masks in proptest::collection::vec(0u32..128, 4..5),
+        eff_masks in proptest::collection::vec(0u32..64, 4..5),
+        cells_mask in 0u64..(1u64 << 32),
+    ) {
+        let arena = GraphArena::decode(&obs_masks, &eff_masks);
+        let cells = decode_cells(cells_mask);
+        let ops = build_ops(&arena);
+        let edges = closure_edges(&ops, &cells);
+        let g = ConflictGraph { class: "prop", ops: &ops, edges: &edges };
+        let errs = validate(&g);
+        prop_assert!(errs.is_empty(), "closure construction rejected:\n{}", errs.join("\n"));
+        let synth = synthesize(&g).expect("validated graph must synthesize");
+
+        for m in ObsMode::ALL {
+            for e in UpdateEffect::ALL {
+                let declared = edges.iter().any(|d| d.obs == m && d.effect == e);
+                let declared_always = edges
+                    .iter()
+                    .any(|d| d.obs == m && d.effect == e && d.when == Overlap::Always);
+                // Overlap=true: conflicting iff declared at all.
+                prop_assert_eq!(
+                    !synth.matrix.compatible(m, e, true),
+                    declared,
+                    "cell ({:?}, {:?}, overlap) vs declarations", m, e
+                );
+                // Overlap=false: conflicting iff declared unconditionally.
+                prop_assert_eq!(
+                    !synth.matrix.compatible(m, e, false),
+                    declared_always,
+                    "cell ({:?}, {:?}, no-overlap) vs declarations", m, e
+                );
+            }
+        }
+    }
+
+    /// `synthesize -> derive_edges -> synthesize` is a fixed point: the
+    /// re-derived graph validates and reproduces the same matrix.
+    #[test]
+    fn random_graphs_round_trip_through_derive_edges(
+        obs_masks in proptest::collection::vec(0u32..128, 4..5),
+        eff_masks in proptest::collection::vec(0u32..64, 4..5),
+        cells_mask in 0u64..(1u64 << 32),
+    ) {
+        let arena = GraphArena::decode(&obs_masks, &eff_masks);
+        let cells = decode_cells(cells_mask);
+        let ops = build_ops(&arena);
+        let edges = closure_edges(&ops, &cells);
+        let g = ConflictGraph { class: "prop", ops: &ops, edges: &edges };
+        let synth = synthesize(&g).expect("closure-constructed graph must synthesize");
+
+        let derived = derive_edges(&synth.matrix, &ops);
+        let g2 = ConflictGraph { class: "prop2", ops: &ops, edges: &derived };
+        let errs = validate(&g2);
+        prop_assert!(errs.is_empty(), "derived graph rejected:\n{}", errs.join("\n"));
+        let s2 = synthesize(&g2).expect("derived graph must synthesize");
+        prop_assert_eq!(s2.matrix, synth.matrix, "round trip changed the matrix");
+    }
+}

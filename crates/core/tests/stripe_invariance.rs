@@ -16,7 +16,8 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use txcollections::{
-    mode_compatible, stripe_index, ObsMode, TransactionalMap, TransactionalSortedMap, UpdateEffect,
+    mode_compatible, stripe_index, ObsMode, TransactionalIntervalMap, TransactionalMap,
+    TransactionalMultiset, TransactionalPriorityQueue, TransactionalSortedMap, UpdateEffect,
 };
 
 const STRIPE_COUNTS: [usize; 3] = [1, 2, 16];
@@ -161,6 +162,99 @@ fn oracle_cells_hold_at_every_stripe_count() {
                 move |tx| w.put_discard(tx, 35, 35),
             ),
             "range observer must survive an out-of-range insert at {n} stripes"
+        );
+    }
+}
+
+/// The three synthesized-lock classes (PR 6) must give identical verdicts
+/// at every stripe count, exactly like the hand-tabled classes: stripe
+/// count is a parallelism knob, never a semantics knob.
+#[test]
+fn synthesized_class_verdicts_are_stripe_invariant() {
+    for n in STRIPE_COUNTS {
+        // Multiset: same-element conflict, distinct-element commute.
+        let ms = Arc::new(TransactionalMultiset::with_stripes(n));
+        let m2 = ms.clone();
+        stm::atomic(move |tx| {
+            m2.add(tx, 1u32);
+            m2.add(tx, 2u32);
+        });
+        let (r, w) = (ms.clone(), ms.clone());
+        assert!(
+            writer_dooms_reader(
+                move |tx| {
+                    let _ = r.count(tx, &1);
+                },
+                move |tx| w.add(tx, 1),
+            ),
+            "multiset same-element conflict lost at {n} stripes"
+        );
+        let (r, w) = (ms.clone(), ms);
+        assert!(
+            !writer_dooms_reader(
+                move |tx| {
+                    let _ = r.count(tx, &1);
+                },
+                move |tx| w.add(tx, 2),
+            ),
+            "multiset distinct elements conflicted at {n} stripes"
+        );
+
+        // Priority queue: endpoint movement conflicts, interior insert
+        // commutes with the min observer.
+        let pq = Arc::new(TransactionalPriorityQueue::with_stripes(n));
+        let q2 = pq.clone();
+        stm::atomic(move |tx| q2.insert(tx, 50u64));
+        let (r, w) = (pq.clone(), pq.clone());
+        assert!(
+            writer_dooms_reader(
+                move |tx| {
+                    let _ = r.peek_min(tx);
+                },
+                move |tx| w.insert(tx, 10),
+            ),
+            "priority-queue min movement missed at {n} stripes"
+        );
+        let (r, w) = (pq.clone(), pq);
+        assert!(
+            !writer_dooms_reader(
+                move |tx| {
+                    let _ = r.peek_min(tx);
+                },
+                move |tx| w.insert(tx, 90),
+            ),
+            "priority-queue interior insert conflicted at {n} stripes"
+        );
+
+        // Interval map: span overlap conflicts, disjoint spans commute.
+        let im = Arc::new(TransactionalIntervalMap::with_stripes(n));
+        let i2 = im.clone();
+        stm::atomic(move |tx| {
+            i2.insert(tx, 10u32, 20u32, "seed");
+        });
+        let (r, w) = (im.clone(), im.clone());
+        assert!(
+            writer_dooms_reader(
+                move |tx| {
+                    let _ = r.stab(tx, &15);
+                },
+                move |tx| {
+                    w.insert(tx, 12, 18, "overlap");
+                },
+            ),
+            "interval-map span overlap missed at {n} stripes"
+        );
+        let (r, w) = (im.clone(), im);
+        assert!(
+            !writer_dooms_reader(
+                move |tx| {
+                    let _ = r.stab(tx, &15);
+                },
+                move |tx| {
+                    w.insert(tx, 40, 50, "disjoint");
+                },
+            ),
+            "interval-map disjoint spans conflicted at {n} stripes"
         );
     }
 }

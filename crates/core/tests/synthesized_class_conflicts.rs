@@ -1,0 +1,551 @@
+//! Conformance suite for the three classes whose lock tables exist *only*
+//! by synthesis from their declared conflict graphs (PR 6):
+//! [`TransactionalMultiset`], [`TransactionalPriorityQueue`],
+//! [`TransactionalIntervalMap`].
+//!
+//! Two layers, mirroring the paper-table suites:
+//!
+//! * a cell-driven sweep: for every `(mode, effect, overlap)` cell the
+//!   class's declared graph reaches, run a live two-transaction execution
+//!   realizing that cell and assert the doom verdict matches
+//!   [`mode_compatible_spec`]. Cells a class cannot realize in isolation
+//!   (its commits bundle the effect with another) must be compatible per
+//!   the spec — a conflicting cell with no live scenario is a test bug.
+//! * named table-style rows for the interesting pairs, matching the
+//!   `table1_2_map_conflicts` idiom.
+
+mod conflict_harness;
+
+use conflict_harness::{assert_cell, writer_dooms_reader};
+use std::sync::Arc;
+use txcollections::{
+    mode_compatible_spec, reachable_cells, ConflictGraph, ObsMode, TransactionalIntervalMap,
+    TransactionalMultiset, TransactionalPriorityQueue, UpdateEffect, INTERVAL_MAP_CONFLICT_GRAPH,
+    MULTISET_CONFLICT_GRAPH, PRIORITY_QUEUE_CONFLICT_GRAPH,
+};
+
+// ---------------------------------------------------------------------
+// Cell-driven sweeps.
+// ---------------------------------------------------------------------
+
+/// Assert every reachable cell of `graph`: live verdict where a scenario
+/// exists, and no conflicting cell left without one.
+fn check_cells(
+    graph: &ConflictGraph<'_>,
+    live: impl Fn(ObsMode, UpdateEffect, bool) -> Option<bool>,
+) {
+    let class = graph.class;
+    for (obs, effect, overlap) in reachable_cells(graph) {
+        let expect_conflict = !mode_compatible_spec(obs, effect, overlap);
+        match live(obs, effect, overlap) {
+            Some(doomed) => assert_eq!(
+                doomed, expect_conflict,
+                "{class}: live verdict for cell ({obs:?}, {effect:?}, overlap={overlap})"
+            ),
+            None => assert!(
+                !expect_conflict,
+                "{class}: conflicting cell ({obs:?}, {effect:?}, overlap={overlap}) \
+                 has no live scenario"
+            ),
+        }
+    }
+}
+
+fn seeded_multiset(values: &[u32]) -> Arc<TransactionalMultiset<u32>> {
+    let m = Arc::new(TransactionalMultiset::new());
+    let (m2, values) = (m.clone(), values.to_vec());
+    stm::atomic(move |tx| {
+        for v in &values {
+            m2.add(tx, *v);
+        }
+    });
+    m
+}
+
+#[test]
+fn multiset_every_reachable_cell_has_the_spec_verdict() {
+    use ObsMode::*;
+    use UpdateEffect::*;
+    check_cells(&MULTISET_CONFLICT_GRAPH, |obs, effect, overlap| {
+        match (obs, effect, overlap) {
+            // count(v) vs add(v): same element.
+            (Key, KeyWrite, true) => {
+                let m = seeded_multiset(&[1]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.count(tx, &1);
+                    },
+                    move |tx| w.add(tx, 1),
+                ))
+            }
+            // count(v) vs add(v'): distinct elements (SizeChange rides
+            // along; the Key holder must ignore it).
+            (Key, KeyWrite, false) | (Key, SizeChange, _) => {
+                let m = seeded_multiset(&[1, 2]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.count(tx, &1);
+                    },
+                    move |tx| w.add(tx, 2),
+                ))
+            }
+            // count(v) on an empty multiset vs the zero-crossing first add
+            // of a different element.
+            (Key, ZeroCross, _) => {
+                let m = seeded_multiset(&[]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.count(tx, &1);
+                    },
+                    move |tx| w.add(tx, 2),
+                ))
+            }
+            // len() vs any count change.
+            (Size, SizeChange, _) => {
+                let m = seeded_multiset(&[1]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.len(tx);
+                    },
+                    move |tx| w.add(tx, 2),
+                ))
+            }
+            // Every multiset commit that writes an element also changes the
+            // total count, so KeyWrite/ZeroCross cannot reach a Size holder
+            // in isolation — compatible per spec, checked by the matrix.
+            (Size, KeyWrite, _) | (Size, ZeroCross, _) => None,
+            // isEmpty() vs the zero-crossing first add.
+            (Empty, ZeroCross, _) => {
+                let m = seeded_multiset(&[]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.is_empty_primitive(tx);
+                    },
+                    move |tx| w.add(tx, 1),
+                ))
+            }
+            // isEmpty() vs a non-crossing add (KeyWrite + SizeChange ride
+            // along and must not doom the Empty holder).
+            (Empty, SizeChange, _) | (Empty, KeyWrite, _) => {
+                let m = seeded_multiset(&[1]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.is_empty_primitive(tx);
+                    },
+                    move |tx| w.add(tx, 2),
+                ))
+            }
+            _ => None,
+        }
+    });
+}
+
+fn seeded_pq(values: &[u64]) -> Arc<TransactionalPriorityQueue<u64>> {
+    let q = Arc::new(TransactionalPriorityQueue::new());
+    let (q2, values) = (q.clone(), values.to_vec());
+    stm::atomic(move |tx| {
+        for v in &values {
+            q2.insert(tx, *v);
+        }
+    });
+    q
+}
+
+#[test]
+fn priority_queue_every_reachable_cell_has_the_spec_verdict() {
+    use ObsMode::*;
+    use UpdateEffect::*;
+    check_cells(&PRIORITY_QUEUE_CONFLICT_GRAPH, |obs, effect, overlap| {
+        match (obs, effect, overlap) {
+            // peek_min()=5 vs insert(5): duplicate of the observed minimum
+            // — a key overlap with no endpoint movement.
+            (Key, KeyWrite, true) => {
+                let q = seeded_pq(&[5]);
+                let (r, w) = (q.clone(), q);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.peek_min(tx);
+                    },
+                    move |tx| w.insert(tx, 5),
+                ))
+            }
+            // peek_min()=5 vs insert(7): different key, minimum unmoved
+            // (SizeChange rides along; First and Key holders ignore it).
+            (Key, KeyWrite, false)
+            | (Key, SizeChange, _)
+            | (First, KeyWrite, _)
+            | (First, SizeChange, _) => {
+                let q = seeded_pq(&[5]);
+                let (r, w) = (q.clone(), q);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.peek_min(tx);
+                    },
+                    move |tx| w.insert(tx, 7),
+                ))
+            }
+            // peek_min()=5 vs insert(3): the minimum moves.
+            (First, FirstChange, _) => {
+                let q = seeded_pq(&[5]);
+                let (r, w) = (q.clone(), q);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.peek_min(tx);
+                    },
+                    move |tx| w.insert(tx, 3),
+                ))
+            }
+            // No queue operation observes Key without also holding First,
+            // and every commit changes the size — these bundles cannot be
+            // isolated live; all compatible per spec.
+            (Key, FirstChange, _)
+            | (Key, ZeroCross, _)
+            | (First, ZeroCross, _)
+            | (Size, KeyWrite, _)
+            | (Size, ZeroCross, _)
+            | (Size, FirstChange, _)
+            | (Empty, FirstChange, _) => None,
+            // len() vs any size change.
+            (Size, SizeChange, _) => {
+                let q = seeded_pq(&[5]);
+                let (r, w) = (q.clone(), q);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.len(tx);
+                    },
+                    move |tx| w.insert(tx, 9),
+                ))
+            }
+            // isEmpty() vs the zero-crossing first insert.
+            (Empty, ZeroCross, _) => {
+                let q = seeded_pq(&[]);
+                let (r, w) = (q.clone(), q);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.is_empty_primitive(tx);
+                    },
+                    move |tx| w.insert(tx, 1),
+                ))
+            }
+            // isEmpty() vs a non-crossing insert (even one that moves the
+            // minimum: FirstChange must not doom an Empty holder).
+            (Empty, SizeChange, _) | (Empty, KeyWrite, _) => {
+                let q = seeded_pq(&[5]);
+                let (r, w) = (q.clone(), q);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.is_empty_primitive(tx);
+                    },
+                    move |tx| w.insert(tx, 3),
+                ))
+            }
+            _ => None,
+        }
+    });
+}
+
+fn seeded_intervals(spans: &[(u32, u32)]) -> Arc<TransactionalIntervalMap<u32, &'static str>> {
+    let m = Arc::new(TransactionalIntervalMap::new());
+    let (m2, spans) = (m.clone(), spans.to_vec());
+    stm::atomic(move |tx| {
+        for (lo, hi) in &spans {
+            m2.insert(tx, *lo, *hi, "seed");
+        }
+    });
+    m
+}
+
+#[test]
+fn interval_map_every_reachable_cell_has_the_spec_verdict() {
+    use ObsMode::*;
+    use UpdateEffect::*;
+    check_cells(&INTERVAL_MAP_CONFLICT_GRAPH, |obs, effect, overlap| {
+        match (obs, effect, overlap) {
+            // stab(5) vs an insert whose span covers 5.
+            (Range, KeyWrite, true) => {
+                let m = seeded_intervals(&[(1, 10)]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.stab(tx, &5);
+                    },
+                    move |tx| {
+                        w.insert(tx, 4, 6, "overlapping");
+                    },
+                ))
+            }
+            // stab(5) vs a disjoint insert (SizeChange rides along).
+            (Range, KeyWrite, false) | (Range, SizeChange, _) => {
+                let m = seeded_intervals(&[(1, 10)]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.stab(tx, &5);
+                    },
+                    move |tx| {
+                        w.insert(tx, 20, 30, "disjoint");
+                    },
+                ))
+            }
+            // stab(5) on an empty map vs the zero-crossing first insert of
+            // a disjoint span.
+            (Range, ZeroCross, _) => {
+                let m = seeded_intervals(&[]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.stab(tx, &5);
+                    },
+                    move |tx| {
+                        w.insert(tx, 20, 30, "first");
+                    },
+                ))
+            }
+            // len() vs any interval-count change.
+            (Size, SizeChange, _) => {
+                let m = seeded_intervals(&[(1, 10)]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.len(tx);
+                    },
+                    move |tx| {
+                        w.insert(tx, 20, 30, "new");
+                    },
+                ))
+            }
+            // Inserts and removals always change the interval count, so
+            // KeyWrite/ZeroCross never reach a Size holder alone.
+            (Size, KeyWrite, _) | (Size, ZeroCross, _) => None,
+            // isEmpty() vs the zero-crossing first insert.
+            (Empty, ZeroCross, _) => {
+                let m = seeded_intervals(&[]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.is_empty_primitive(tx);
+                    },
+                    move |tx| {
+                        w.insert(tx, 1, 10, "first");
+                    },
+                ))
+            }
+            // isEmpty() vs a non-crossing insert.
+            (Empty, SizeChange, _) | (Empty, KeyWrite, _) => {
+                let m = seeded_intervals(&[(1, 10)]);
+                let (r, w) = (m.clone(), m);
+                Some(writer_dooms_reader(
+                    move |tx| {
+                        let _ = r.is_empty_primitive(tx);
+                    },
+                    move |tx| {
+                        w.insert(tx, 20, 30, "second");
+                    },
+                ))
+            }
+            _ => None,
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Named table-style rows: the pairs worth calling out by name.
+// ---------------------------------------------------------------------
+
+#[test]
+fn multiset_remove_one_conflicts_with_concurrent_remove_of_same_element() {
+    let m = seeded_multiset(&[1, 1]);
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        true,
+        "remove_one(v) reads the count it decrements: the declared reflexive \
+         self-edge must doom it under a racing remove_one(v)",
+        move |tx| {
+            assert!(r.remove_one(tx, &1));
+        },
+        move |tx| {
+            assert!(w.remove_one(tx, &1));
+        },
+    );
+}
+
+#[test]
+fn multiset_remove_one_of_distinct_elements_commutes() {
+    let m = seeded_multiset(&[1, 2]);
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        false,
+        "remove_one(v1) vs remove_one(v2) — distinct elements commute",
+        move |tx| {
+            assert!(r.remove_one(tx, &1));
+        },
+        move |tx| {
+            assert!(w.remove_one(tx, &2));
+        },
+    );
+}
+
+#[test]
+fn multiset_count_survives_add_of_other_element_but_not_own() {
+    let m = seeded_multiset(&[7]);
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        true,
+        "count(v) vs remove_one(v) — the observed count changes",
+        move |tx| {
+            assert_eq!(r.count(tx, &7), 1);
+        },
+        move |tx| {
+            assert!(w.remove_one(tx, &7));
+        },
+    );
+}
+
+#[test]
+fn priority_queue_peek_min_doomed_by_concurrent_pop_of_the_min() {
+    let q = seeded_pq(&[5, 8]);
+    let (r, w) = (q.clone(), q);
+    assert_cell(
+        true,
+        "peek_min()=5 vs pop_min() removing 5 — key overlap plus endpoint move",
+        move |tx| {
+            assert_eq!(r.peek_min(tx), Some(5));
+        },
+        move |tx| {
+            assert_eq!(w.pop_min(tx), Some(5));
+        },
+    );
+}
+
+#[test]
+fn priority_queue_pop_min_self_conflicts() {
+    let q = seeded_pq(&[5, 8]);
+    let (r, w) = (q.clone(), q);
+    assert_cell(
+        true,
+        "pop_min() vs pop_min() — both target the same minimum (reflexive edge)",
+        move |tx| {
+            assert_eq!(r.pop_min(tx), Some(5));
+        },
+        move |tx| {
+            assert_eq!(w.pop_min(tx), Some(5));
+        },
+    );
+}
+
+#[test]
+fn priority_queue_empty_peek_doomed_by_first_insert() {
+    let q = seeded_pq(&[]);
+    let (r, w) = (q.clone(), q);
+    assert_cell(
+        true,
+        "peek_min()=None holds the empty lock; the first insert crosses zero",
+        move |tx| {
+            assert_eq!(r.peek_min(tx), None);
+        },
+        move |tx| {
+            w.insert(tx, 1);
+        },
+    );
+}
+
+#[test]
+fn interval_map_stab_doomed_by_removal_of_covering_interval() {
+    let m = seeded_intervals(&[(1, 10), (20, 30)]);
+    let covering = stm::atomic({
+        let m = m.clone();
+        move |tx| m.stab(tx, &5)
+    });
+    let id = covering[0].0;
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        true,
+        "stab(5) vs remove of the covering [1,10) interval",
+        move |tx| {
+            assert_eq!(r.stab(tx, &5).len(), 1);
+        },
+        move |tx| {
+            assert!(w.remove(tx, id));
+        },
+    );
+}
+
+#[test]
+fn interval_map_stab_survives_removal_of_disjoint_interval() {
+    let m = seeded_intervals(&[(1, 10), (20, 30)]);
+    let disjoint = stm::atomic({
+        let m = m.clone();
+        move |tx| m.stab(tx, &25)
+    });
+    let id = disjoint[0].0;
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        false,
+        "stab(5) vs remove of the disjoint [20,30) interval",
+        move |tx| {
+            assert_eq!(r.stab(tx, &5).len(), 1);
+        },
+        move |tx| {
+            assert!(w.remove(tx, id));
+        },
+    );
+}
+
+#[test]
+fn interval_map_overlapping_query_doomed_by_intersecting_insert() {
+    let m = seeded_intervals(&[(1, 10)]);
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        true,
+        "overlapping(0,15) vs insert(12,14) inside the queried window",
+        move |tx| {
+            assert_eq!(r.overlapping(tx, 0, 15).len(), 1);
+        },
+        move |tx| {
+            w.insert(tx, 12, 14, "inside");
+        },
+    );
+}
+
+#[test]
+fn interval_map_overlapping_query_survives_disjoint_insert() {
+    let m = seeded_intervals(&[(1, 10)]);
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        false,
+        "overlapping(0,15) vs insert(40,50) outside the queried window",
+        move |tx| {
+            assert_eq!(r.overlapping(tx, 0, 15).len(), 1);
+        },
+        move |tx| {
+            w.insert(tx, 40, 50, "outside");
+        },
+    );
+}
+
+#[test]
+fn interval_map_len_doomed_by_removal() {
+    let m = seeded_intervals(&[(1, 10), (20, 30)]);
+    let covering = stm::atomic({
+        let m = m.clone();
+        move |tx| m.stab(tx, &5)
+    });
+    let id = covering[0].0;
+    let (r, w) = (m.clone(), m);
+    assert_cell(
+        true,
+        "len() vs remove — the interval count changes",
+        move |tx| {
+            assert_eq!(r.len(tx), 2);
+        },
+        move |tx| {
+            assert!(w.remove(tx, id));
+        },
+    );
+}

@@ -1,0 +1,8 @@
+//! Fixture for the `--format json` self-test: exactly one known finding
+//! (TX001 on line 7) whose JSON rendering is asserted against the stable
+//! `{"file","line","col","code","message","help"}` schema.
+//! NOT compiled — input for `txlint --self-test`.
+
+fn report(v: &TVar<u64>) {
+    atomic(|tx| { println!("value = {}", v.read(tx)); }); // line 7: TX001
+}

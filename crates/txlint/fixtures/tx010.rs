@@ -1,0 +1,19 @@
+//! Seeded TX010 violation: a conflict-graph declaration with asymmetric
+//! compatibility — `peek` conflicts with `poke`'s key writes, `poke` both
+//! observes the key and publishes the write, but the mirrored edge
+//! (`poke` doomed by `peek`'s writes) is missing.
+//! NOT compiled — input for `txlint --self-test`.
+
+// txlint: conflict-graph
+pub static BROKEN_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "broken",
+    ops: &[
+        op("peek", &[ObsMode::Key], &[UpdateEffect::KeyWrite]),
+        op("poke", &[ObsMode::Key], &[UpdateEffect::KeyWrite]),
+    ],
+    edges: &[
+        edge("peek", "poke", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::OnOverlap), // TX010: no mirror
+        edge("peek", "peek", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::OnOverlap),
+        edge("poke", "poke", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::OnOverlap),
+    ],
+};

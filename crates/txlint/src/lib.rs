@@ -24,10 +24,14 @@
 //! | TX007 | raw stripe access (`stripes[i]` indexing or a `.lock()` on a `stripes` element) in a file carrying the semantic-tables marker comment — stripes must be acquired through the ordered helpers (`with_stripe_for` / `for_stripes_ascending` / `with_global`), which preserve the stripes-ascending lock order the doom-protocol proof depends on |
 //! | TX008 | direct `.on_commit_top(..)` / `.on_abort_top(..)` handler registration in a file carrying the semantic-tables marker but not the semantic-kernel marker — collection classes must register through `SemanticCore::ensure_registered`, so the probe → commit handler → abort handler → locals-insert ordering lives in exactly one place (the kernel file) |
 //! | TX009 | allocation inside a trace-emission call (`format!`, `String::..`, `.to_string()`/`.to_owned()`, or per-event `intern(..)` in the argument span of an `stm::trace` emitter) — trace events are fixed-width word-packed records pushed from commit/abort/lock hot paths; class names are interned once at collection construction |
+//! | TX010 | ill-formed conflict-graph declaration in a file carrying the conflict-graph marker comment — `ConflictGraph` initializers are checked for referential integrity (edges reference declared ops, modes/effects the ops declare), commutativity closure (overlap-gated edges only on keyed modes with `KeyWrite`; `Always` never on keyed modes), symmetry (no asymmetric compatibility: a conflicting pair whose roles both hold in reverse needs the mirrored edge), and reflexivity (a mutating observer needs its self-edge on every cell the graph declares conflicting). The same rules run semantically via `synthesize()` at core construction; TX010 catches them at lint time, before anything runs |
 //!
 //! Findings are suppressed by `// txlint: allow(TXnnn)` on the finding's
 //! line or the line above, or `// txlint: allow-file(TXnnn)` anywhere in
 //! the file. See `docs/ANALYSIS.md`.
+//!
+//! Output is rustc-style by default; `--format json` emits the same
+//! findings as a JSON array (see [`to_json`]) for editor/CI integration.
 
 pub mod lexer;
 pub mod oracle;
@@ -67,9 +71,53 @@ impl fmt::Display for Finding {
 }
 
 /// All rule codes, for `--explain` style listings and self-tests.
-pub const ALL_CODES: [&str; 9] = [
-    "TX001", "TX002", "TX003", "TX004", "TX005", "TX006", "TX007", "TX008", "TX009",
+pub const ALL_CODES: [&str; 10] = [
+    "TX001", "TX002", "TX003", "TX004", "TX005", "TX006", "TX007", "TX008", "TX009", "TX010",
 ];
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (the `--format json` output mode). The
+/// schema is one object per finding:
+/// `{"file", "line", "col", "code", "message", "help"}` — stable and
+/// machine-parseable, unlike the rustc-style text.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"col\":{},\"code\":\"{}\",\"message\":\"{}\",\"help\":\"{}\"}}",
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            f.col,
+            f.code,
+            json_escape(&f.message),
+            json_escape(f.help)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
 
 /// Apply `// txlint: allow(..)` / `allow-file(..)` annotations: drop every
 /// finding whose code is allowed on its own line, the line above, or

@@ -1,10 +1,11 @@
 //! txlint CLI.
 //!
 //! ```text
-//! cargo run -p txlint --               # lint the workspace + oracle check
-//! cargo run -p txlint -- path/ file.rs # lint specific paths
-//! cargo run -p txlint -- --self-test   # run the seeded-violation fixtures
-//! cargo run -p txlint -- --oracle      # conflict-matrix oracle only
+//! cargo run -p txlint --                 # lint the workspace + oracle check
+//! cargo run -p txlint -- path/ file.rs   # lint specific paths
+//! cargo run -p txlint -- --self-test     # run the seeded-violation fixtures
+//! cargo run -p txlint -- --oracle        # conflict-matrix oracle only
+//! cargo run -p txlint -- --format json . # findings as a JSON array
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/oracle mismatch/self-test failure,
@@ -12,7 +13,7 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use txlint::{check_file, collect_rs_files, Finding, ALL_CODES};
+use txlint::{check_file, collect_rs_files, to_json, Finding, ALL_CODES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,11 +21,30 @@ fn main() -> ExitCode {
     let mut self_test = false;
     let mut oracle_only = false;
     let mut skip_oracle = false;
-    for a in &args {
-        match a.as_str() {
+    let mut format_json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--self-test" => self_test = true,
             "--oracle" => oracle_only = true,
             "--no-oracle" => skip_oracle = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("rustc") => format_json = false,
+                    other => {
+                        eprintln!(
+                            "txlint: --format expects `json` or `rustc`, got {:?}",
+                            other.unwrap_or("<nothing>")
+                        );
+                        print_usage();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--format=json" => format_json = true,
+            "--format=rustc" => format_json = false,
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -36,6 +56,7 @@ fn main() -> ExitCode {
             }
             p => paths.push(PathBuf::from(p)),
         }
+        i += 1;
     }
 
     if self_test {
@@ -47,8 +68,9 @@ fn main() -> ExitCode {
         let errors = txlint::oracle::check();
         if errors.is_empty() {
             eprintln!(
-                "txlint: conflict-matrix oracle OK ({} table rows agree with mode_compatible)",
-                txlint::oracle::ROWS.len()
+                "txlint: conflict-matrix oracle OK ({} table rows + {} declared graphs agree with mode_compatible)",
+                txlint::oracle::ROWS.len(),
+                txlint::oracle::declared_graph_classes().len()
             );
         } else {
             for e in &errors {
@@ -91,8 +113,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    for f in &findings {
-        println!("{f}");
+    if format_json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
     eprintln!(
         "txlint: {} file(s) checked, {} finding(s)",
@@ -107,7 +133,9 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: txlint [--self-test | --oracle | --no-oracle] [paths...]");
+    eprintln!(
+        "usage: txlint [--self-test | --oracle | --no-oracle] [--format json|rustc] [paths...]"
+    );
 }
 
 /// Run the analyzer over the seeded-violation fixtures and assert each rule
@@ -162,6 +190,38 @@ fn run_self_test() -> ExitCode {
         }
         Err(e) => {
             eprintln!("self-test FAIL: {}: {e}", clean.display());
+            ok = false;
+        }
+    }
+
+    // The JSON output mode must render the fixture's known findings with
+    // the stable schema (and escape the message text correctly).
+    let json_fixture = fixtures.join("json_format.rs");
+    match check_file(&json_fixture) {
+        Ok(findings) => {
+            let json = to_json(&findings);
+            let expected = [
+                "\"code\":\"TX001\"",
+                "\"line\":7",
+                "\"message\":\"irrevocable console I/O `println!` inside a transaction\"",
+                "\"help\":",
+            ];
+            let shape_ok = json.starts_with('[')
+                && json.ends_with(']')
+                && findings.len() == 1
+                && expected.iter().all(|s| json.contains(s));
+            if shape_ok {
+                eprintln!("self-test ok: --format json renders the expected schema");
+            } else {
+                eprintln!(
+                    "self-test FAIL: JSON output for {} malformed:\n{json}",
+                    json_fixture.display()
+                );
+                ok = false;
+            }
+        }
+        Err(e) => {
+            eprintln!("self-test FAIL: {}: {e}", json_fixture.display());
             ok = false;
         }
     }

@@ -12,8 +12,19 @@
 //! The same rows are checked *dynamically* by
 //! `crates/core/tests/oracle_matrix.rs`, which drives real two-transaction
 //! executions through the collections and asserts the doom protocol agrees.
+//!
+//! Since the lock matrices became *synthesized* from declared conflict
+//! graphs, the oracle also validates the synthesis pipeline
+//! ([`check_declared_graphs`]): every in-tree [`ConflictGraph`] declaration
+//! must be well-formed, its synthesized matrix must agree with the
+//! hand-written [`mode_compatible_spec`] on every cell the graph reaches,
+//! and the generated production [`mode_compatible`] must equal the spec on
+//! all 84 `(mode, effect, overlap)` cells.
 
-use txcollections::{mode_compatible, ObsMode, UpdateEffect};
+use txcollections::{
+    declared_graphs, mode_compatible, mode_compatible_spec, reachable_cells, synthesize, validate,
+    ObsMode, UpdateEffect,
+};
 
 /// One cell of paper Tables 1–8.
 #[derive(Debug, Clone, Copy)]
@@ -389,7 +400,69 @@ pub fn check() -> Vec<String> {
             "matrix shape: expected 5 conflicting (mode, effect) pairs without overlap, got {conflicting_no_overlap}"
         ));
     }
+    errors.extend(check_declared_graphs());
     errors
+}
+
+/// Validate every in-tree conflict-graph declaration and the matrices
+/// synthesized from them, three ways:
+///
+/// 1. each declared graph passes [`validate`] (symmetry, reflexivity,
+///    commutativity closure, referential integrity);
+/// 2. each graph's synthesized matrix agrees with the hand-written
+///    [`mode_compatible_spec`] on every `(mode, effect, overlap)` cell the
+///    graph's declarations reach;
+/// 3. the generated production [`mode_compatible`] (the union of all
+///    synthesized matrices) equals the spec on all 84 cells — exhaustively,
+///    including cells no single graph reaches.
+pub fn check_declared_graphs() -> Vec<String> {
+    let mut errors = Vec::new();
+    for graph in declared_graphs() {
+        let class = graph.class;
+        let declaration_errors = validate(graph);
+        if !declaration_errors.is_empty() {
+            errors.extend(declaration_errors);
+            continue;
+        }
+        match synthesize(graph) {
+            Ok(synth) => {
+                for (obs, effect, overlap) in reachable_cells(graph) {
+                    let got = synth.matrix.compatible(obs, effect, overlap);
+                    let want = mode_compatible_spec(obs, effect, overlap);
+                    if got != want {
+                        errors.push(format!(
+                            "{class}: synthesized matrix disagrees with spec on \
+                             ({obs:?}, {effect:?}, overlap={overlap}): synthesized={got}, spec={want}"
+                        ));
+                    }
+                }
+            }
+            Err(es) => errors.extend(es),
+        }
+    }
+    // The production dispatch function is generated from the union of the
+    // declarations; it must be *identical* to the historic hand-written
+    // table — all 7 modes x 6 effects x 2 overlap values.
+    for o in ObsMode::ALL {
+        for e in UpdateEffect::ALL {
+            for overlap in [false, true] {
+                let generated = mode_compatible(o, e, overlap);
+                let spec = mode_compatible_spec(o, e, overlap);
+                if generated != spec {
+                    errors.push(format!(
+                        "generated mode_compatible({o:?}, {e:?}, {overlap}) = {generated}, \
+                         but mode_compatible_spec says {spec}"
+                    ));
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// The class names of the declared graphs the oracle covers.
+pub fn declared_graph_classes() -> Vec<&'static str> {
+    declared_graphs().iter().map(|g| g.class).collect()
 }
 
 #[cfg(test)]
@@ -419,6 +492,33 @@ mod tests {
                 ROWS.iter().any(|r| r.effect == e),
                 "no table row exercises {e:?}"
             );
+        }
+    }
+
+    #[test]
+    fn every_declared_graph_synthesizes_to_the_spec() {
+        let errors = check_declared_graphs();
+        assert!(
+            errors.is_empty(),
+            "synthesis mismatches:\n{}",
+            errors.join("\n")
+        );
+    }
+
+    #[test]
+    fn every_collection_class_declares_a_graph() {
+        let classes = declared_graph_classes();
+        for c in [
+            "map",
+            "sorted_map",
+            "queue",
+            "set",
+            "eager_map",
+            "multiset",
+            "priority_queue",
+            "interval_map",
+        ] {
+            assert!(classes.contains(&c), "no declared conflict graph for {c}");
         }
     }
 

@@ -261,6 +261,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx007_raw_stripe_access(path, src, &m, &mut out);
     tx008_direct_handler_registration(path, src, &m, &mut out);
     tx009_alloc_in_trace_emission(path, &m, &mut out);
+    tx010_conflict_graph(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -702,6 +703,351 @@ fn tx009_alloc_in_trace_emission(path: &Path, m: &FileModel, out: &mut Vec<Findi
     }
 }
 
+/// Marker comment (assembled at runtime like the others) declaring a file
+/// to contain `ConflictGraph` declarations that must be well-formed.
+fn conflict_graph_marker() -> String {
+    format!("txlint: {}", "conflict-graph")
+}
+
+/// One `op("name", &[modes..], &[effects..])` declaration, recovered
+/// lexically. Modes/effects are kept as the enum variant names.
+struct CgOp {
+    name: String,
+    observes: Vec<String>,
+    effects: Vec<String>,
+    /// Token index of the `op` call name, for reporting.
+    tok_idx: usize,
+}
+
+/// One `edge("observer", "updater", ObsMode::M, UpdateEffect::E,
+/// Overlap::W)` declaration, recovered lexically.
+struct CgEdge {
+    observer: String,
+    updater: String,
+    obs: String,
+    effect: String,
+    when: String,
+    tok_idx: usize,
+}
+
+/// Recover the contents of a string literal from the raw source: the lexer
+/// replaces literal text with a placeholder, but records the token's exact
+/// 1-based (line, col), so the original can be sliced back out.
+fn literal_str(lines: &[&str], t: &Tok) -> Option<String> {
+    let line = lines.get(t.line as usize - 1)?;
+    let bytes = line.as_bytes();
+    let start = t.col as usize - 1;
+    if bytes.get(start) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                out.push(*bytes.get(i + 1)? as char);
+                i += 2;
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Collect `Enum::Variant` qualified idents for `enum_name` in the token
+/// span `(open, close)`.
+fn qualified_variants(toks: &[Tok], open: usize, close: usize, enum_name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        if toks[i].is_ident(enum_name)
+            && toks.get(i + 1).and_then(Tok::punct) == Some(':')
+            && toks.get(i + 2).and_then(Tok::punct) == Some(':')
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            out.push(toks[i + 3].text.clone());
+        }
+    }
+    out
+}
+
+/// Whether an observation mode (by variant name) is keyed — i.e. names a
+/// specific key or key range, so overlap can gate its conflicts.
+fn cg_keyed(mode: &str) -> bool {
+    mode == "Key" || mode == "Range"
+}
+
+/// TX010: lexical well-formedness of `ConflictGraph { .. }` declarations in
+/// files carrying the conflict-graph marker. Mirrors the semantic
+/// `validate()` in the core crate — referential integrity, commutativity
+/// closure, symmetry, reflexivity — so an ill-formed declaration is a lint
+/// error before anything runs.
+fn tx010_conflict_graph(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Finding>) {
+    if !src.contains(&conflict_graph_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    let brackets = match_brackets(toks);
+    let lines: Vec<&str> = src.lines().collect();
+
+    for (gi, gt) in toks.iter().enumerate() {
+        // `ConflictGraph {` is an initializer; `ConflictGraph<'static>` /
+        // `ConflictGraph<'a>` occurrences are type ascriptions — skip them.
+        if !gt.is_ident("ConflictGraph") || toks.get(gi + 1).and_then(Tok::punct) != Some('{') {
+            continue;
+        }
+        let Some(&gclose) = brackets.get(&(gi + 1)) else {
+            continue;
+        };
+
+        // Recover the op and edge declarations in this initializer.
+        let mut ops: Vec<CgOp> = Vec::new();
+        let mut edges: Vec<CgEdge> = Vec::new();
+        let mut i = gi + 2;
+        while i < gclose {
+            let t = &toks[i];
+            let call_open = i + 1;
+            if t.kind == TokKind::Ident && toks.get(call_open).and_then(Tok::punct) == Some('(') {
+                if let Some(&call_close) = brackets.get(&call_open) {
+                    let lits: Vec<&Tok> = toks[call_open + 1..call_close]
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Literal)
+                        .collect();
+                    if t.is_ident("op") {
+                        if let Some(name) = lits.first().and_then(|l| literal_str(&lines, l)) {
+                            ops.push(CgOp {
+                                name,
+                                observes: qualified_variants(
+                                    toks, call_open, call_close, "ObsMode",
+                                ),
+                                effects: qualified_variants(
+                                    toks,
+                                    call_open,
+                                    call_close,
+                                    "UpdateEffect",
+                                ),
+                                tok_idx: i,
+                            });
+                        }
+                        i = call_close + 1;
+                        continue;
+                    }
+                    if t.is_ident("edge") && lits.len() >= 2 {
+                        let observer = literal_str(&lines, lits[0]);
+                        let updater = literal_str(&lines, lits[1]);
+                        let obs = qualified_variants(toks, call_open, call_close, "ObsMode");
+                        let effect =
+                            qualified_variants(toks, call_open, call_close, "UpdateEffect");
+                        let when = qualified_variants(toks, call_open, call_close, "Overlap");
+                        if let (
+                            Some(observer),
+                            Some(updater),
+                            Some(obs),
+                            Some(effect),
+                            Some(when),
+                        ) = (
+                            observer,
+                            updater,
+                            obs.first().cloned(),
+                            effect.first().cloned(),
+                            when.first().cloned(),
+                        ) {
+                            edges.push(CgEdge {
+                                observer,
+                                updater,
+                                obs,
+                                effect,
+                                when,
+                                tok_idx: i,
+                            });
+                        }
+                        i = call_close + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        cg_check(path, toks, &ops, &edges, gi, out);
+    }
+}
+
+/// The well-formedness rules, applied to one recovered graph. Kept in the
+/// same order as the semantic validator so the two stay diffable.
+fn cg_check(
+    path: &Path,
+    toks: &[Tok],
+    ops: &[CgOp],
+    edges: &[CgEdge],
+    graph_tok: usize,
+    out: &mut Vec<Finding>,
+) {
+    const HELP: &str = "conflict-graph declarations must satisfy the same rules synthesize() enforces at core construction: edges reference declared ops/modes/effects, overlap-gating only on keyed modes with KeyWrite, the compatibility relation is symmetric, and mutating observers carry their reflexive self-edges";
+    let op_by_name = |name: &str| ops.iter().find(|o| o.name == name);
+    let has_edge = |observer: &str, updater: &str, obs: &str, effect: &str| {
+        edges.iter().any(|e| {
+            e.observer == observer && e.updater == updater && e.obs == obs && e.effect == effect
+        })
+    };
+
+    // Duplicate op names make every by-name reference ambiguous.
+    for (i, o) in ops.iter().enumerate() {
+        if ops[..i].iter().any(|p| p.name == o.name) {
+            out.push(finding(
+                path,
+                &toks[o.tok_idx],
+                "TX010",
+                format!("duplicate op declaration `{}` in conflict graph", o.name),
+                HELP,
+            ));
+        }
+    }
+
+    for e in edges {
+        let t = &toks[e.tok_idx];
+        // Referential integrity: both endpoints declared, and the edge's
+        // cell is one the endpoints actually declare.
+        let obs_op = op_by_name(&e.observer);
+        let upd_op = op_by_name(&e.updater);
+        if obs_op.is_none() {
+            out.push(finding(
+                path,
+                t,
+                "TX010",
+                format!("edge references undeclared observer `{}`", e.observer),
+                HELP,
+            ));
+        }
+        if upd_op.is_none() {
+            out.push(finding(
+                path,
+                t,
+                "TX010",
+                format!("edge references undeclared updater `{}`", e.updater),
+                HELP,
+            ));
+        }
+        if let Some(o) = obs_op {
+            if !o.observes.contains(&e.obs) {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX010",
+                    format!(
+                        "edge observer `{}` does not declare mode {}",
+                        e.observer, e.obs
+                    ),
+                    HELP,
+                ));
+            }
+        }
+        if let Some(u) = upd_op {
+            if !u.effects.contains(&e.effect) {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX010",
+                    format!(
+                        "edge updater `{}` does not declare effect {}",
+                        e.updater, e.effect
+                    ),
+                    HELP,
+                ));
+            }
+        }
+
+        // Commutativity closure: overlap can only gate conflicts on keyed
+        // modes hit by key writes; whole-collection modes conflict always.
+        match e.when.as_str() {
+            "OnOverlap" if !cg_keyed(&e.obs) || e.effect != "KeyWrite" => {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX010",
+                    format!(
+                        "edge ({}, {}) on cell ({}, {}): overlap cannot gate the conflict (use Always)",
+                        e.observer, e.updater, e.obs, e.effect
+                    ),
+                    HELP,
+                ));
+            }
+            "Always" if cg_keyed(&e.obs) => {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX010",
+                    format!(
+                        "edge ({}, {}) on keyed cell ({}, {}): Always is ill-formed (use OnOverlap)",
+                        e.observer, e.updater, e.obs, e.effect
+                    ),
+                    HELP,
+                ));
+            }
+            _ => {}
+        }
+
+        // Symmetry: if the roles also hold in reverse (the observer itself
+        // publishes the effect and the updater itself observes the mode),
+        // the conflict relation must declare the mirrored edge too.
+        if let (Some(o), Some(u)) = (obs_op, upd_op) {
+            if o.effects.contains(&e.effect)
+                && u.observes.contains(&e.obs)
+                && !has_edge(&e.updater, &e.observer, &e.obs, &e.effect)
+            {
+                out.push(finding(
+                    path,
+                    t,
+                    "TX010",
+                    format!(
+                        "asymmetric compatibility: edge ({}, {}) on cell ({}, {}) has no mirror ({}, {})",
+                        e.observer, e.updater, e.obs, e.effect, e.updater, e.observer
+                    ),
+                    HELP,
+                ));
+            }
+        }
+    }
+
+    // Reflexivity: an op that both observes a mode and publishes an effect
+    // the graph declares conflicting must conflict with itself on that cell
+    // (two instances of the op race exactly like any observer/updater pair).
+    for o in ops {
+        for mode in &o.observes {
+            for eff in &o.effects {
+                let cell_declared = edges.iter().any(|e| e.obs == *mode && e.effect == *eff);
+                if cell_declared && !has_edge(&o.name, &o.name, mode, eff) {
+                    out.push(finding(
+                        path,
+                        &toks[o.tok_idx],
+                        "TX010",
+                        format!(
+                            "op `{}` observes {} and publishes {} but declares no reflexive self-edge on that cell",
+                            o.name, mode, eff
+                        ),
+                        HELP,
+                    ));
+                }
+            }
+        }
+    }
+
+    // An initializer with no ops at all is a broken recovery or an empty
+    // graph — either way the marker promised a checkable declaration.
+    if ops.is_empty() {
+        out.push(finding(
+            path,
+            &toks[graph_tok],
+            "TX010",
+            "ConflictGraph initializer declares no ops".to_string(),
+            HELP,
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -895,6 +1241,117 @@ mod tests {
         // Construction-time interning (outside any emission span) is the
         // sanctioned pattern.
         assert!(codes("fn new() -> Self { Self { class: intern(\"map\") } }").is_empty());
+    }
+
+    fn cg_marked(body: &str) -> String {
+        format!("// {}\n{body}\n", conflict_graph_marker())
+    }
+
+    const CG_VALID: &str = r#"static G: ConflictGraph<'static> = ConflictGraph {
+        class: "t",
+        ops: &[
+            op("get", &[ObsMode::Key], &[]),
+            op("put", &[ObsMode::Key], &[UpdateEffect::KeyWrite]),
+            op("size", &[ObsMode::Size], &[]),
+        ],
+        edges: &[
+            edge("get", "put", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::OnOverlap),
+            edge("put", "put", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::OnOverlap),
+        ],
+    };"#;
+
+    #[test]
+    fn tx010_well_formed_graph_is_clean() {
+        assert!(codes(&cg_marked(CG_VALID)).is_empty());
+        // Without the marker the rule does not run at all.
+        assert!(codes(CG_VALID).is_empty());
+    }
+
+    #[test]
+    fn tx010_missing_mirror_edge() {
+        // Both ops observe Key and publish KeyWrite; the (b, a) mirror and
+        // both self-edges are missing -> asymmetric + 2x reflexivity.
+        let src = cg_marked(
+            r#"static G: ConflictGraph<'static> = ConflictGraph {
+                class: "t",
+                ops: &[
+                    op("a", &[ObsMode::Key], &[UpdateEffect::KeyWrite]),
+                    op("b", &[ObsMode::Key], &[UpdateEffect::KeyWrite]),
+                ],
+                edges: &[
+                    edge("a", "b", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::OnOverlap),
+                ],
+            };"#,
+        );
+        let cs = codes(&src);
+        assert_eq!(cs, vec!["TX010"; 3], "asymmetric + two missing self-edges");
+        let msgs: Vec<String> = analyze_source(Path::new("t.rs"), &src)
+            .iter()
+            .map(|f| f.message.clone())
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains("asymmetric compatibility")));
+        assert!(msgs.iter().any(|m| m.contains("no reflexive self-edge")));
+    }
+
+    #[test]
+    fn tx010_overlap_gating_rules() {
+        // Overlap cannot gate a whole-collection mode.
+        let src = cg_marked(
+            r#"static G: ConflictGraph<'static> = ConflictGraph {
+                class: "t",
+                ops: &[
+                    op("size", &[ObsMode::Size], &[]),
+                    op("put", &[], &[UpdateEffect::SizeChange]),
+                ],
+                edges: &[
+                    edge("size", "put", ObsMode::Size, UpdateEffect::SizeChange, Overlap::OnOverlap),
+                ],
+            };"#,
+        );
+        let cs = codes(&src);
+        assert!(!cs.is_empty() && cs.iter().all(|c| *c == "TX010"));
+        // Always on a keyed mode is the dual violation.
+        let src = cg_marked(
+            r#"static G: ConflictGraph<'static> = ConflictGraph {
+                class: "t",
+                ops: &[
+                    op("get", &[ObsMode::Key], &[]),
+                    op("put", &[], &[UpdateEffect::KeyWrite]),
+                ],
+                edges: &[
+                    edge("get", "put", ObsMode::Key, UpdateEffect::KeyWrite, Overlap::Always),
+                ],
+            };"#,
+        );
+        let cs = codes(&src);
+        assert!(!cs.is_empty() && cs.iter().all(|c| *c == "TX010"));
+    }
+
+    #[test]
+    fn tx010_referential_integrity() {
+        let src = cg_marked(
+            r#"static G: ConflictGraph<'static> = ConflictGraph {
+                class: "t",
+                ops: &[
+                    op("size", &[ObsMode::Size], &[]),
+                    op("put", &[], &[UpdateEffect::SizeChange]),
+                ],
+                edges: &[
+                    edge("ghost", "put", ObsMode::Size, UpdateEffect::SizeChange, Overlap::Always),
+                    edge("size", "put", ObsMode::Empty, UpdateEffect::SizeChange, Overlap::Always),
+                ],
+            };"#,
+        );
+        let msgs: Vec<String> = analyze_source(Path::new("t.rs"), &src)
+            .iter()
+            .map(|f| f.message.clone())
+            .collect();
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("undeclared observer `ghost`")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("does not declare mode Empty")));
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //!
 //! * **Operational analysis** (yours): `add(bin, n)` operations commute
 //!   with each other (blind additions); `count(bin)` conflicts with `add`
-//!   to the same bin; `total()` conflicts with any `add`. That maps to
-//!   per-bin key locks and the size lock of [`ClassTables`].
+//!   to the same bin; `total()` conflicts with any `add`. Since PR 6 that
+//!   analysis is *data*, not prose: `HIST_CONFLICT_GRAPH` below declares
+//!   the operations and their conflict edges, [`SemanticCore::new`]
+//!   synthesizes the lock modes from it and panics at construction if the
+//!   declaration is unsound or disagrees with the dispatch matrix, and
+//!   txlint's TX010 pass re-checks the declaration without running code.
 //! * **Guideline 1** — keep transaction-local state encapsulated: the
 //!   `HistLocal` buffer, reached only via [`SemanticCore::with_local`].
 //! * **Guideline 2** — register one commit/abort handler pair on first
@@ -36,9 +40,46 @@
 
 use std::collections::{HashMap, HashSet};
 use stm::{atomic, TVar, Txn};
-use txcollections::{ClassTables, SemanticClass, SemanticCore, SemanticStats, UpdateEffect};
+use txcollections::{
+    edge, op, ClassTables, ConflictGraph, ObsMode, Overlap, SemanticClass, SemanticCore,
+    SemanticStats, UpdateEffect,
+};
 
 const BINS: usize = 16;
+
+// txlint: conflict-graph
+/// The histogram's operational analysis as data. `add` is blind (no
+/// observation modes) and publishes a per-bin write plus a total change;
+/// `count` observes one bin (conflicts with `add` only on the same bin);
+/// `total` observes the whole histogram (conflicts with every `add`).
+static HIST_CONFLICT_GRAPH: ConflictGraph<'static> = ConflictGraph {
+    class: "histogram",
+    ops: &[
+        op(
+            "add",
+            &[],
+            &[UpdateEffect::KeyWrite, UpdateEffect::SizeChange],
+        ),
+        op("count", &[ObsMode::Key], &[]),
+        op("total", &[ObsMode::Size], &[]),
+    ],
+    edges: &[
+        edge(
+            "count",
+            "add",
+            ObsMode::Key,
+            UpdateEffect::KeyWrite,
+            Overlap::OnOverlap,
+        ),
+        edge(
+            "total",
+            "add",
+            ObsMode::Size,
+            UpdateEffect::SizeChange,
+            Overlap::Always,
+        ),
+    ],
+};
 
 /// Per-transaction state (guideline 1): buffered deltas plus the bin locks
 /// this transaction holds (so `release`/`apply` know the footprint).
@@ -59,6 +100,13 @@ impl SemanticClass for HistClass {
 
     fn name(&self) -> &'static str {
         "histogram"
+    }
+
+    /// Declaring the graph makes `SemanticCore::new` synthesize the lock
+    /// modes and cross-check them against the dispatch matrix before the
+    /// class can run (try removing an edge: construction panics).
+    fn conflict_graph(&self) -> Option<&'static ConflictGraph<'static>> {
+        Some(&HIST_CONFLICT_GRAPH)
     }
 
     /// Commit handler body (guideline 5): apply the buffered deltas to the
@@ -188,7 +236,8 @@ fn main() {
     let spread: Vec<u64> = (0..BINS).map(|b| atomic(|tx| hist.count(tx, b))).collect();
     println!("bin spread: {spread:?}");
     println!(
-        "\nthe §5 recipe on the kernel: operational analysis + two handler \
-         bodies; registration, sweep order and doom dispatch come for free."
+        "\nthe §5 recipe on the kernel: a declared conflict graph + two \
+         handler bodies; lock synthesis, registration, sweep order and doom \
+         dispatch come for free."
     );
 }
