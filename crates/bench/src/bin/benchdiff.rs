@@ -1,0 +1,146 @@
+//! benchdiff — counter-based regression gate between two checked-in BENCH
+//! JSON files (`benchdiff OLD.json NEW.json`).
+//!
+//! Every `BENCH_PRn.json` in this repo is hand-printed JSON whose leaves
+//! are `"name": number` pairs. Rather than vendoring a JSON parser for a
+//! CI gate, this bin lexically collects those pairs (summing duplicates,
+//! so per-row counters aggregate across thread counts and workloads) and
+//! compares the **protocol counters** that appear in both files.
+//!
+//! ns/op numbers are deliberately NOT gated: the bench hosts are 1-CPU
+//! containers where run-to-run spread has been measured at ~38%, so a
+//! wall-clock gate would be a coin flip. Counters — commits, lock spins,
+//! lane entries, dooms — are deterministic for a fixed workload shape and
+//! are where a protocol regression actually shows up.
+//!
+//! Rules:
+//! * A contention counter present in both files may not grow past
+//!   `old * RATIO_LIMIT + ABS_SLACK` (slack absorbs 0 → tiny-number noise).
+//! * Successive PRs often measure *different* benches; if the files share
+//!   no counter keys the gate passes with a note — it is a ratchet where
+//!   comparable, not a straitjacket.
+//!
+//! Exit status: 0 clean or incomparable, 1 regression, 2 usage/IO error.
+
+use std::process::ExitCode;
+
+/// Counters gated when present in both files. Throughput counters like
+/// `commits` are reported but not gated (workload sizes differ across PRs).
+const GATED: [&str; 4] = [
+    "var_lock_spins",
+    "stripe_lock_spins",
+    "global_stripe_entries",
+    "dooms_issued",
+];
+const REPORTED: [&str; 3] = ["commits", "lane_entries", "lane_free_commits"];
+const RATIO_LIMIT: f64 = 2.0;
+const ABS_SLACK: f64 = 100.0;
+
+/// Collect every `"key": <number>` pair in `src`, summing repeats.
+fn numeric_leaves(src: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let Some(close) = src[i + 1..].find('"') else {
+            break;
+        };
+        let key = &src[i + 1..i + 1 + close];
+        i += close + 2;
+        // Skip whitespace; a key is a string followed by ':'.
+        let rest = src[i..].trim_start();
+        let Some(after_colon) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let val = after_colon.trim_start();
+        let end = val
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+            .unwrap_or(val.len());
+        if end == 0 {
+            continue;
+        }
+        if let Ok(n) = val[..end].parse::<f64>() {
+            match out.iter_mut().find(|(k, _)| k == key) {
+                Some((_, sum)) => *sum += n,
+                None => out.push((key.to_string(), n)),
+            }
+        }
+    }
+    out
+}
+
+fn lookup(leaves: &[(String, f64)], key: &str) -> Option<f64> {
+    leaves.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, old_path, new_path] = &args[..] else {
+        eprintln!("usage: benchdiff OLD.json NEW.json");
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("benchdiff: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(old_src), Some(new_src)) = (read(old_path), read(new_path)) else {
+        return ExitCode::from(2);
+    };
+    let old = numeric_leaves(&old_src);
+    let new = numeric_leaves(&new_src);
+
+    println!("benchdiff: {old_path} -> {new_path}");
+    let mut compared = 0;
+    let mut regressions = 0;
+    for key in GATED {
+        let (Some(o), Some(n)) = (lookup(&old, key), lookup(&new, key)) else {
+            continue;
+        };
+        compared += 1;
+        let limit = o * RATIO_LIMIT + ABS_SLACK;
+        let verdict = if n > limit { "REGRESSION" } else { "ok" };
+        if n > limit {
+            regressions += 1;
+        }
+        println!("  [gated]    {key}: {o} -> {n} (limit {limit:.0}) {verdict}");
+    }
+    for key in REPORTED {
+        if let (Some(o), Some(n)) = (lookup(&old, key), lookup(&new, key)) {
+            println!("  [reported] {key}: {o} -> {n}");
+        }
+    }
+    if compared == 0 {
+        println!(
+            "  no shared protocol counters (the two PRs measured different benches); \
+             nothing to gate — pass"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if regressions > 0 {
+        eprintln!("benchdiff: {regressions} counter regression(s)");
+        return ExitCode::from(1);
+    }
+    println!("  {compared} gated counter(s) within limits");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_sum_duplicates_and_skip_strings() {
+        let src = r#"{"a": 1, "note": "x: 9", "nested": {"a": 2.5, "b": -3}}"#;
+        let leaves = numeric_leaves(src);
+        assert_eq!(lookup(&leaves, "a"), Some(3.5));
+        assert_eq!(lookup(&leaves, "b"), Some(-3.0));
+        assert_eq!(lookup(&leaves, "note"), None);
+    }
+}

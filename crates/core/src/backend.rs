@@ -1,205 +1,353 @@
 //! Backend traits: the "underlying Map/Queue instance" slot of the paper's
-//! collection classes.
+//! collection classes, split into explicit **layers**.
 //!
 //! `TransactionalMap` et al. are *wrappers*: "transactional collection
 //! classes wrap existing data structures, without the need for custom
 //! implementations or knowledge of data structure internals" (paper
 //! abstract). These traits are the wrapper's only view of the wrapped
-//! structure. Any structure whose operations are transactional (take a
-//! `&mut Txn`) can be wrapped — the reproduction wraps [`txstruct::TxHashMap`],
-//! [`txstruct::SegmentedTxHashMap`] and [`txstruct::TxTreeMap`].
+//! structure, and they mirror the three ways the wrapper ever touches it:
+//!
+//! 1. **Speculative reads** ([`MapReadOps`], [`SortedReadOps`],
+//!    [`QueueReadOps`]) — body-side observations, performed inside
+//!    `Txn::open` after the appropriate semantic lock is taken. A TVar
+//!    backend validates these reads through the open-nested commit; a
+//!    boosted backend ignores the transaction entirely, because isolation
+//!    for it comes from the semantic locks alone.
+//! 2. **Direct applies** ([`MapApplyOps`], [`QueueApplyOps`]) — mutations,
+//!    run from commit handlers in direct mode under the handler lane (or,
+//!    for eager classes, from the body with logged compensation). A TVar
+//!    backend publishes these through the direct-mode write path; a boosted
+//!    backend mutates its own concurrent structure in place.
+//! 3. **Undo** ([`MapUndo`]) — the compensation surface: an eager class
+//!    logs one [`UndoOp`] per first in-place write and the abort path
+//!    replays the log in reverse through [`MapUndo::compensate`]. TVar
+//!    backends get undo for free (speculative rollback discards buffered
+//!    state), which is why only eagerly-applied mutations ever log.
+//!
+//! The umbrella aliases [`MapBackend`], [`SortedMapBackend`] and
+//! [`QueueBackend`] are blanket-implemented from the layers, so a concrete
+//! structure only implements the layer traits (via the `delegate_*_backend!`
+//! macros below) and every collection keeps its single-bound signature.
+//!
+//! Two backend families implement the seam:
+//!
+//! * `Tx*` ([`txstruct::TxHashMap`], [`txstruct::SegmentedTxHashMap`],
+//!   [`txstruct::TxTreeMap`], [`txstruct::TxVecDeque`]) — TVar-based,
+//!   every operation threads the transaction; kept verbatim for the paper
+//!   figures.
+//! * **Boosted** ([`txstruct::BoostedHashMap`]) — a genuinely concurrent
+//!   sharded hash map with no TVars on the hot path (the design point of
+//!   transactional boosting: open-nested operations against a concurrent
+//!   structure, isolation entirely from semantic locks plus commit/abort
+//!   handlers). Its delegations drop the transaction on the floor.
 //!
 //! Backends are deliberately ignorant of the semantic lock tables: the
 //! wrapper stripes its lock table by key hash (`locks::StripedTables`) and
 //! serializes every committed mutation through the handler lane, so a
-//! backend only ever sees body-side open-nested reads and handler-side
-//! direct-mode applies — no stripe, and no stripe count, is visible at this
-//! interface. Wrapping the same backend with 1 stripe or 16 yields
-//! identical committed histories.
+//! backend only ever sees the three surfaces above — no stripe, and no
+//! stripe count, is visible at this interface. Wrapping the same backend
+//! with 1 stripe or 16 yields identical committed histories.
 
 use std::ops::Bound;
 use stm::Txn;
-use txstruct::{SegmentedTxHashMap, TxHashMap, TxTreeMap, TxVecDeque};
+use txstruct::{BoostedHashMap, SegmentedTxHashMap, TxHashMap, TxTreeMap, TxVecDeque};
 
-/// An unordered transactional map usable as the committed store of a
-/// `TransactionalMap`.
-pub trait MapBackend<K, V>: Send + Sync + 'static {
+// ----------------------------------------------------------------------
+// Layer 1: speculative reads
+// ----------------------------------------------------------------------
+
+/// Body-side observation surface of an unordered map backend. Called inside
+/// `Txn::open` after the semantic lock covering the observation is held
+/// (and from handlers in direct mode, where `open` is a pass-through).
+pub trait MapReadOps<K, V>: Send + Sync + 'static {
     /// Look up a key.
+    #[must_use]
     fn get(&self, tx: &mut Txn, key: &K) -> Option<V>;
     /// Whether a key is present.
+    #[must_use]
     fn contains_key(&self, tx: &mut Txn, key: &K) -> bool;
-    /// Insert or replace; returns the previous value.
-    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V>;
-    /// Remove a key; returns the previous value.
-    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V>;
     /// Number of entries.
+    #[must_use]
     fn len(&self, tx: &mut Txn) -> usize;
     /// Whether empty.
+    #[must_use]
     fn is_empty(&self, tx: &mut Txn) -> bool {
         self.len(tx) == 0
     }
     /// Snapshot of all entries (arbitrary order).
+    #[must_use]
     fn entries(&self, tx: &mut Txn) -> Vec<(K, V)>;
 }
 
-/// An ordered transactional map usable as the committed store of a
-/// `TransactionalSortedMap`.
-pub trait SortedMapBackend<K, V>: MapBackend<K, V> {
+/// Body-side observation surface of an ordered map backend (the stepwise
+/// iteration and endpoint primitives of `TransactionalSortedMap`).
+pub trait SortedReadOps<K, V>: MapReadOps<K, V> {
     /// Smallest entry.
+    #[must_use]
     fn first_entry(&self, tx: &mut Txn) -> Option<(K, V)>;
     /// Largest entry.
+    #[must_use]
     fn last_entry(&self, tx: &mut Txn) -> Option<(K, V)>;
     /// Smallest entry with key `>= key`.
+    #[must_use]
     fn ceiling_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
     /// Largest entry with key `<= key`.
+    #[must_use]
     fn floor_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
     /// Smallest entry with key `> key` (the stepwise iteration primitive).
+    #[must_use]
     fn next_entry_after(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
     /// Largest entry with key `< key`.
+    #[must_use]
     fn prev_entry_before(&self, tx: &mut Txn, key: &K) -> Option<(K, V)>;
     /// Entries within bounds, in key order.
+    #[must_use]
     fn range_entries(&self, tx: &mut Txn, lower: Bound<&K>, upper: Bound<&K>) -> Vec<(K, V)>;
 }
 
-/// A transactional FIFO usable as the committed store of a
-/// `TransactionalQueue`.
-pub trait QueueBackend<T>: Send + Sync + 'static {
+/// Body-side observation surface of a FIFO backend.
+pub trait QueueReadOps<T>: Send + Sync + 'static {
+    /// Front element without removal.
+    #[must_use]
+    fn peek_front(&self, tx: &mut Txn) -> Option<T>;
+    /// Number of elements.
+    #[must_use]
+    fn len(&self, tx: &mut Txn) -> usize;
+    /// Whether empty.
+    #[must_use]
+    fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.len(tx) == 0
+    }
+}
+
+// ----------------------------------------------------------------------
+// Layer 2: direct applies
+// ----------------------------------------------------------------------
+
+/// Handler-side mutation surface of an unordered map backend: run from
+/// commit handlers in direct mode under the handler lane, or eagerly from
+/// the body with a logged [`UndoOp`] per first write (txlint TX011).
+pub trait MapApplyOps<K, V>: MapReadOps<K, V> {
+    /// Insert or replace; returns the previous value.
+    #[must_use]
+    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V>;
+    /// Remove a key; returns the previous value.
+    #[must_use]
+    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V>;
+}
+
+/// Handler-side mutation surface of a FIFO backend. `push_front` is the
+/// queue's undo surface: it returns a consumed item for abort compensation.
+pub trait QueueApplyOps<T>: QueueReadOps<T> {
     /// Enqueue at the back.
     fn push_back(&self, tx: &mut Txn, item: T);
     /// Return an item to the front (abort compensation).
     fn push_front(&self, tx: &mut Txn, item: T);
     /// Dequeue from the front.
+    #[must_use]
     fn pop_front(&self, tx: &mut Txn) -> Option<T>;
-    /// Front element without removal.
-    fn peek_front(&self, tx: &mut Txn) -> Option<T>;
-    /// Number of elements.
-    fn len(&self, tx: &mut Txn) -> usize;
-    /// Whether empty.
-    fn is_empty(&self, tx: &mut Txn) -> bool {
-        self.len(tx) == 0
+}
+
+// ----------------------------------------------------------------------
+// Layer 3: undo
+// ----------------------------------------------------------------------
+
+/// One logged compensation entry for an eagerly-applied map mutation: what
+/// to do on abort to restore the committed state the mutation clobbered.
+/// Only the *first* in-place write of a key needs an entry; later writes
+/// are undone by the same restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoOp<K, V> {
+    /// The key held this value before the first in-place update.
+    Restore(K, V),
+    /// The key was absent before the first in-place insert.
+    Delete(K),
+}
+
+/// The compensation surface of a map backend: replay an [`UndoOp`] against
+/// the structure. The abort path drains the transaction's undo log in
+/// **reverse** through this method, before any semantic lock is released
+/// and under the handler lane (see `docs/PROTOCOL.md`).
+///
+/// The default body compensates through the apply layer, which is correct
+/// for any backend whose `insert`/`remove` are their own inverses at the
+/// entry level; a backend with cheaper internal restoration may override.
+pub trait MapUndo<K, V>: MapApplyOps<K, V> {
+    /// Apply one compensation entry.
+    fn compensate(&self, tx: &mut Txn, op: UndoOp<K, V>) {
+        match op {
+            UndoOp::Restore(k, v) => {
+                let _ = self.insert(tx, k, v);
+            }
+            UndoOp::Delete(k) => {
+                let _ = self.remove(tx, &k);
+            }
+        }
     }
 }
 
-impl<K, V> MapBackend<K, V> for TxHashMap<K, V>
-where
-    K: Clone + Eq + std::hash::Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-{
-    fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
-        TxHashMap::get(self, tx, key)
-    }
-    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
-        TxHashMap::contains_key(self, tx, key)
-    }
-    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
-        TxHashMap::insert(self, tx, key, value)
-    }
-    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
-        TxHashMap::remove(self, tx, key)
-    }
-    fn len(&self, tx: &mut Txn) -> usize {
-        TxHashMap::len(self, tx)
-    }
-    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
-        TxHashMap::entries(self, tx)
-    }
+// ----------------------------------------------------------------------
+// Umbrella aliases (blanket-implemented; collections bound on these)
+// ----------------------------------------------------------------------
+
+/// An unordered map usable as the committed store of a `TransactionalMap`:
+/// the three layers combined. Blanket-implemented — concrete backends
+/// implement the layer traits only.
+pub trait MapBackend<K, V>: MapUndo<K, V> {}
+
+impl<B, K, V> MapBackend<K, V> for B where B: MapUndo<K, V> {}
+
+/// An ordered map usable as the committed store of a
+/// `TransactionalSortedMap`: the map layers plus the ordered read surface.
+pub trait SortedMapBackend<K, V>: MapBackend<K, V> + SortedReadOps<K, V> {}
+
+impl<B, K, V> SortedMapBackend<K, V> for B where B: MapBackend<K, V> + SortedReadOps<K, V> {}
+
+/// A FIFO usable as the committed store of a `TransactionalQueue`.
+pub trait QueueBackend<T>: QueueApplyOps<T> {}
+
+impl<B, T> QueueBackend<T> for B where B: QueueApplyOps<T> {}
+
+// ----------------------------------------------------------------------
+// Declarative delegation: one line per (structure, seam) pair
+// ----------------------------------------------------------------------
+
+/// Implement the map layers ([`MapReadOps`] + [`MapApplyOps`] + [`MapUndo`])
+/// for a concrete structure by delegating each operation to the inherent
+/// method of the same name.
+///
+/// The leading mode token says how the transaction is threaded:
+/// * `tx` — the structure is transactional (TVar-based); every delegation
+///   passes `tx` through.
+/// * `direct` — the structure is a boosted concurrent map; the transaction
+///   is discarded, because the structure's own synchronization (shard
+///   locks) is all it needs and isolation comes from the semantic layer.
+macro_rules! delegate_map_backend {
+    ($mode:tt $backend:ident, K: [$($kb:tt)*], V: [$($vb:tt)*]) => {
+        impl<K, V> MapReadOps<K, V> for $backend<K, V>
+        where
+            K: $($kb)* + Send + Sync + 'static,
+            V: $($vb)* + Send + Sync + 'static,
+        {
+            fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+                delegate_map_backend!(@call $mode, $backend::get, self, tx, key)
+            }
+            fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
+                delegate_map_backend!(@call $mode, $backend::contains_key, self, tx, key)
+            }
+            fn len(&self, tx: &mut Txn) -> usize {
+                delegate_map_backend!(@call $mode, $backend::len, self, tx)
+            }
+            fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::entries, self, tx)
+            }
+        }
+        impl<K, V> MapApplyOps<K, V> for $backend<K, V>
+        where
+            K: $($kb)* + Send + Sync + 'static,
+            V: $($vb)* + Send + Sync + 'static,
+        {
+            fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+                delegate_map_backend!(@call $mode, $backend::insert, self, tx, key, value)
+            }
+            fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+                delegate_map_backend!(@call $mode, $backend::remove, self, tx, key)
+            }
+        }
+        impl<K, V> MapUndo<K, V> for $backend<K, V>
+        where
+            K: $($kb)* + Send + Sync + 'static,
+            V: $($vb)* + Send + Sync + 'static,
+        {
+        }
+    };
+    (@call tx, $f:path, $self:expr, $tx:expr $(, $arg:expr)*) => {
+        $f($self, $tx $(, $arg)*)
+    };
+    (@call direct, $f:path, $self:expr, $tx:expr $(, $arg:expr)*) => {{
+        let _ = $tx;
+        $f($self $(, $arg)*)
+    }};
 }
 
-impl<K, V> MapBackend<K, V> for SegmentedTxHashMap<K, V>
-where
-    K: Clone + Eq + std::hash::Hash + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-{
-    fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
-        SegmentedTxHashMap::get(self, tx, key)
-    }
-    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
-        SegmentedTxHashMap::contains_key(self, tx, key)
-    }
-    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
-        SegmentedTxHashMap::insert(self, tx, key, value)
-    }
-    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
-        SegmentedTxHashMap::remove(self, tx, key)
-    }
-    fn len(&self, tx: &mut Txn) -> usize {
-        SegmentedTxHashMap::len(self, tx)
-    }
-    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
-        SegmentedTxHashMap::entries(self, tx)
-    }
+/// Implement [`SortedReadOps`] by delegation; same mode tokens as
+/// [`delegate_map_backend!`].
+macro_rules! delegate_sorted_backend {
+    ($mode:tt $backend:ident, K: [$($kb:tt)*], V: [$($vb:tt)*]) => {
+        impl<K, V> SortedReadOps<K, V> for $backend<K, V>
+        where
+            K: $($kb)* + Send + Sync + 'static,
+            V: $($vb)* + Send + Sync + 'static,
+        {
+            fn first_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::first_entry, self, tx)
+            }
+            fn last_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::last_entry, self, tx)
+            }
+            fn ceiling_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::ceiling_entry, self, tx, key)
+            }
+            fn floor_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::floor_entry, self, tx, key)
+            }
+            fn next_entry_after(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::next_entry_after, self, tx, key)
+            }
+            fn prev_entry_before(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::prev_entry_before, self, tx, key)
+            }
+            fn range_entries(
+                &self,
+                tx: &mut Txn,
+                lower: Bound<&K>,
+                upper: Bound<&K>,
+            ) -> Vec<(K, V)> {
+                delegate_map_backend!(@call $mode, $backend::range_entries, self, tx, lower, upper)
+            }
+        }
+    };
 }
 
-impl<K, V> MapBackend<K, V> for TxTreeMap<K, V>
-where
-    K: Clone + Ord + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-{
-    fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
-        TxTreeMap::get(self, tx, key)
-    }
-    fn contains_key(&self, tx: &mut Txn, key: &K) -> bool {
-        TxTreeMap::contains_key(self, tx, key)
-    }
-    fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
-        TxTreeMap::insert(self, tx, key, value)
-    }
-    fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
-        TxTreeMap::remove(self, tx, key)
-    }
-    fn len(&self, tx: &mut Txn) -> usize {
-        TxTreeMap::len(self, tx)
-    }
-    fn entries(&self, tx: &mut Txn) -> Vec<(K, V)> {
-        TxTreeMap::entries(self, tx)
-    }
+/// Implement the queue layers ([`QueueReadOps`] + [`QueueApplyOps`]) by
+/// delegation; same mode tokens as [`delegate_map_backend!`].
+macro_rules! delegate_queue_backend {
+    ($mode:tt $backend:ident, T: [$($tb:tt)*]) => {
+        impl<T> QueueReadOps<T> for $backend<T>
+        where
+            T: $($tb)* + Send + Sync + 'static,
+        {
+            fn peek_front(&self, tx: &mut Txn) -> Option<T> {
+                delegate_map_backend!(@call $mode, $backend::peek_front, self, tx)
+            }
+            fn len(&self, tx: &mut Txn) -> usize {
+                delegate_map_backend!(@call $mode, $backend::len, self, tx)
+            }
+        }
+        impl<T> QueueApplyOps<T> for $backend<T>
+        where
+            T: $($tb)* + Send + Sync + 'static,
+        {
+            fn push_back(&self, tx: &mut Txn, item: T) {
+                delegate_map_backend!(@call $mode, $backend::push_back, self, tx, item)
+            }
+            fn push_front(&self, tx: &mut Txn, item: T) {
+                delegate_map_backend!(@call $mode, $backend::push_front, self, tx, item)
+            }
+            fn pop_front(&self, tx: &mut Txn) -> Option<T> {
+                delegate_map_backend!(@call $mode, $backend::pop_front, self, tx)
+            }
+        }
+    };
 }
 
-impl<K, V> SortedMapBackend<K, V> for TxTreeMap<K, V>
-where
-    K: Clone + Ord + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-{
-    fn first_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
-        TxTreeMap::first_entry(self, tx)
-    }
-    fn last_entry(&self, tx: &mut Txn) -> Option<(K, V)> {
-        TxTreeMap::last_entry(self, tx)
-    }
-    fn ceiling_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
-        TxTreeMap::ceiling_entry(self, tx, key)
-    }
-    fn floor_entry(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
-        TxTreeMap::floor_entry(self, tx, key)
-    }
-    fn next_entry_after(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
-        TxTreeMap::next_entry_after(self, tx, key)
-    }
-    fn prev_entry_before(&self, tx: &mut Txn, key: &K) -> Option<(K, V)> {
-        TxTreeMap::prev_entry_before(self, tx, key)
-    }
-    fn range_entries(&self, tx: &mut Txn, lower: Bound<&K>, upper: Bound<&K>) -> Vec<(K, V)> {
-        TxTreeMap::range_entries(self, tx, lower, upper)
-    }
-}
+// The TVar family: transaction threaded through every operation.
+delegate_map_backend!(tx TxHashMap, K: [Clone + Eq + std::hash::Hash], V: [Clone]);
+delegate_map_backend!(tx SegmentedTxHashMap, K: [Clone + Eq + std::hash::Hash], V: [Clone]);
+delegate_map_backend!(tx TxTreeMap, K: [Clone + Ord], V: [Clone]);
+delegate_sorted_backend!(tx TxTreeMap, K: [Clone + Ord], V: [Clone]);
+delegate_queue_backend!(tx TxVecDeque, T: [Clone]);
 
-impl<T> QueueBackend<T> for TxVecDeque<T>
-where
-    T: Clone + Send + Sync + 'static,
-{
-    fn push_back(&self, tx: &mut Txn, item: T) {
-        TxVecDeque::push_back(self, tx, item)
-    }
-    fn push_front(&self, tx: &mut Txn, item: T) {
-        TxVecDeque::push_front(self, tx, item)
-    }
-    fn pop_front(&self, tx: &mut Txn) -> Option<T> {
-        TxVecDeque::pop_front(self, tx)
-    }
-    fn peek_front(&self, tx: &mut Txn) -> Option<T> {
-        TxVecDeque::peek_front(self, tx)
-    }
-    fn len(&self, tx: &mut Txn) -> usize {
-        TxVecDeque::len(self, tx)
-    }
-}
+// The boosted family: the transaction is ignored — shard mutexes order the
+// physical accesses, semantic locks order the logical ones.
+delegate_map_backend!(direct BoostedHashMap, K: [Clone + Eq + std::hash::Hash], V: [Clone]);

@@ -31,9 +31,17 @@
 //! Scope: point operations and size. Iteration is provided only by the
 //! optimistic wrapper (an eager iterator would have to write-lock every
 //! visited key, which §5.1's performance framing argues against).
+//!
+//! Paired with the non-transactional [`BoostedHashMap`]
+//! ([`EagerTransactionalMap::boosted`]), this class is transactional
+//! *boosting* proper: in-place mutations against a genuinely concurrent
+//! structure, isolation entirely from the semantic locks plus the logged
+//! [`UndoOp`] compensations the kernel replays (newest first, before any
+//! lock is released) on abort.
 
 // txlint: semantic-tables
-use crate::backend::MapBackend;
+// txlint: boosted-backend
+use crate::backend::{MapBackend, UndoOp};
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{sweep_commit_footprint, FootprintOp, SemanticClass, SemanticCore};
 use crate::locks::{
@@ -45,7 +53,7 @@ use std::hash::Hash;
 use std::marker::PhantomData;
 use stm::trace::{self, LockKind};
 use stm::{TxState, Txn, TxnMode};
-use txstruct::TxHashMap;
+use txstruct::{BoostedHashMap, TxHashMap};
 
 // txlint: conflict-graph
 /// The eager (encounter-time) map's declared conflict graph: the same
@@ -140,28 +148,24 @@ pub enum EagerPolicy {
     DoomReaders,
 }
 
-enum UndoOp<K, V> {
-    /// Key held this value before our in-place update.
-    Restore(K, V),
-    /// Key was absent before our in-place insert.
-    Delete(K),
-}
-
-struct EagerLocal<K, V> {
+struct EagerLocal<K> {
     read_keys: HashSet<K>,
     write_keys: HashSet<K>,
-    undo: Vec<UndoOp<K, V>>,
+    /// Keys whose pre-transaction state is already captured in the kernel
+    /// undo log — only the **first** in-place write of a key logs an
+    /// [`UndoOp`]; later writes are undone by the same entry.
+    undone_keys: HashSet<K>,
     /// Net size change applied in place by this transaction.
     delta: i64,
     holds_size_lock: bool,
 }
 
-impl<K, V> Default for EagerLocal<K, V> {
+impl<K> Default for EagerLocal<K> {
     fn default() -> Self {
         EagerLocal {
             read_keys: HashSet::new(),
             write_keys: HashSet::new(),
-            undo: Vec::new(),
+            undone_keys: HashSet::new(),
             delta: 0,
             holds_size_lock: false,
         }
@@ -214,7 +218,7 @@ where
     /// remaining readers of the written keys (commit path only).
     fn release_owner(
         &self,
-        local: &EagerLocal<K, V>,
+        local: &EagerLocal<K>,
         id: u64,
         stats: &SemanticStats,
         doom_write_key_readers: bool,
@@ -265,7 +269,8 @@ where
     V: Clone + Send + Sync + 'static,
     B: MapBackend<K, V>,
 {
-    type Local = EagerLocal<K, V>;
+    type Local = EagerLocal<K>;
+    type Undo = UndoOp<K, V>;
 
     fn name(&self) -> &'static str {
         "eager_map"
@@ -280,23 +285,22 @@ where
     /// (none can exist — they abort on seeing the write lock — but a
     /// doomed-then-revived bookkeeping race is cheap to close), and release
     /// everything.
-    fn apply(&self, local: EagerLocal<K, V>, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
+    fn apply(&self, local: EagerLocal<K>, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
         self.release_owner(&local, id, stats, true);
     }
 
-    /// Abort handler: apply the undo log in reverse (direct mode), then
-    /// release.
-    fn release(&self, local: EagerLocal<K, V>, htx: &mut Txn, id: u64, stats: &SemanticStats) {
-        for op in local.undo.iter().rev() {
-            match op {
-                UndoOp::Restore(k, v) => {
-                    self.backend.insert(htx, k.clone(), v.clone());
-                }
-                UndoOp::Delete(k) => {
-                    self.backend.remove(htx, k);
-                }
-            }
-        }
+    /// One undo entry, replayed by the kernel in reverse logging order
+    /// **before** [`Self::release`] — this transaction's exclusive write
+    /// locks are still held, so no reader can observe the window between a
+    /// compensating write and the lock drop. Delegates to the backend's
+    /// undo surface ([`crate::backend::MapUndo::compensate`]).
+    fn compensate(&self, undo: UndoOp<K, V>, htx: &mut Txn) {
+        self.backend.compensate(htx, undo);
+    }
+
+    /// Abort handler: the kernel has already drained the undo log through
+    /// [`Self::compensate`]; all that is left is releasing the footprint.
+    fn release(&self, local: EagerLocal<K>, _htx: &mut Txn, id: u64, stats: &SemanticStats) {
         self.release_owner(&local, id, stats, false);
     }
 }
@@ -337,6 +341,26 @@ where
     /// Create over a fresh pre-sized [`TxHashMap`].
     pub fn with_capacity(capacity: usize, policy: EagerPolicy) -> Self {
         Self::wrap(TxHashMap::with_capacity(capacity), policy)
+    }
+}
+
+impl<K, V> EagerTransactionalMap<K, V, BoostedHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create over a fresh non-transactional [`BoostedHashMap`] —
+    /// transactional boosting proper (see the module docs): eager in-place
+    /// mutation of a real concurrent map, isolation entirely from this
+    /// wrapper's semantic locks and logged compensations.
+    pub fn boosted(policy: EagerPolicy) -> Self {
+        Self::wrap(BoostedHashMap::new(), policy)
+    }
+
+    /// [`Self::boosted`] with explicit stripe counts for the semantic
+    /// tables (the backend's shard count is its own, independent knob).
+    pub fn boosted_with_stripes(policy: EagerPolicy, nstripes: usize) -> Self {
+        Self::wrap_with_stripes(BoostedHashMap::new(), policy, nstripes)
     }
 }
 
@@ -384,7 +408,7 @@ where
         self.core.ensure_registered(tx);
     }
 
-    fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut EagerLocal<K, V>) -> R) -> R {
+    fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut EagerLocal<K>) -> R) -> R {
         self.core.with_local(tx, f)
     }
 
@@ -551,22 +575,16 @@ where
         let backend = &self.core.class().backend;
         let k2 = key.clone();
         let old = tx.open(move |otx| backend.insert(otx, k2.clone(), value.clone()));
-        let first_write = self.with_local(tx, |l| {
-            // Only the first in-place write of a key needs an undo entry;
-            // later writes are undone by the same restore.
-            let first = !l
-                .undo
-                .iter()
-                .any(|u| matches!(u, UndoOp::Restore(k, _) | UndoOp::Delete(k) if *k == key));
-            if first {
-                match &old {
-                    Some(v) => l.undo.push(UndoOp::Restore(key.clone(), v.clone())),
-                    None => l.undo.push(UndoOp::Delete(key.clone())),
-                }
+        // Only the first in-place write of a key needs an undo entry; later
+        // writes are undone by the same restore.
+        if self.with_local(tx, |l| l.undone_keys.insert(key.clone())) {
+            match &old {
+                Some(v) => self
+                    .core
+                    .log_undo(tx, UndoOp::Restore(key.clone(), v.clone())),
+                None => self.core.log_undo(tx, UndoOp::Delete(key.clone())),
             }
-            first
-        });
-        let _ = first_write;
+        }
         if old.is_none() {
             self.size_changed(tx, 1);
         }
@@ -582,15 +600,10 @@ where
         let k2 = key.clone();
         let old = tx.open(move |otx| backend.remove(otx, &k2));
         if let Some(v) = &old {
-            self.with_local(tx, |l| {
-                let first = !l
-                    .undo
-                    .iter()
-                    .any(|u| matches!(u, UndoOp::Restore(k, _) | UndoOp::Delete(k) if k == key));
-                if first {
-                    l.undo.push(UndoOp::Restore(key.clone(), v.clone()));
-                }
-            });
+            if self.with_local(tx, |l| l.undone_keys.insert(key.clone())) {
+                self.core
+                    .log_undo(tx, UndoOp::Restore(key.clone(), v.clone()));
+            }
             self.size_changed(tx, -1);
         }
         old

@@ -206,6 +206,7 @@ where
     V: Clone + Send + Sync + 'static,
 {
     type Local = IntervalMapLocal<K, V>;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "interval_map"

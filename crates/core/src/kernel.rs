@@ -37,6 +37,12 @@
 //!   `remove`, and local-undo compensation goes through the non-creating
 //!   [`SemanticCore::update_local`] so it can never resurrect state a
 //!   handler already removed.
+//! * **The per-transaction undo log.** Classes that apply mutations
+//!   eagerly (boosted backends) record a [`SemanticClass::Undo`] entry per
+//!   first write via [`SemanticCore::log_undo`]; the abort handler drains
+//!   the log **in reverse** through [`SemanticClass::compensate`] strictly
+//!   before `release` drops a single semantic lock, and the commit handler
+//!   discards it. Buffered classes set `type Undo = ()` and never touch it.
 //! * **The sweep discipline.** Commit and abort handlers visit the striped
 //!   lock tables in the proved order: touched key stripes strictly
 //!   ascending (grouped by a comparison-free [`bucket_order`] counting
@@ -97,6 +103,15 @@ pub trait SemanticClass: Send + Sync + 'static {
     /// plus pending writes. Created implicitly at `Default` on first touch.
     type Local: Default + Send + 'static;
 
+    /// One logged compensation entry for an **eagerly applied** mutation —
+    /// the boosted/undo-logging form of guideline 5, where the body writes
+    /// the underlying structure in place and records how to put it back.
+    /// Entries go through [`SemanticCore::log_undo`] and come back, in
+    /// reverse order, through [`SemanticClass::compensate`] when the
+    /// transaction aborts. Buffered-update classes never log; they set
+    /// `type Undo = ();`.
+    type Undo: Send + 'static;
+
     /// Short, stable class name ("map", "queue", ...) stamped on every
     /// trace event this instance emits, so `txtop` can attribute semantic
     /// conflicts to a collection class. Interned once at core construction;
@@ -117,6 +132,23 @@ pub trait SemanticClass: Send + Sync + 'static {
     /// release.
     fn release(&self, local: Self::Local, htx: &mut Txn, id: u64, stats: &SemanticStats);
 
+    /// Replay one undo entry in the abort handler (direct mode, under the
+    /// handler lane). The core drains the aborting transaction's undo log
+    /// **in reverse logging order**, calling this once per entry, strictly
+    /// **before** [`SemanticClass::release`] runs — so every compensating
+    /// write lands while the transaction still holds all of its semantic
+    /// locks (the undo-before-release obligation, `docs/PROTOCOL.md`).
+    ///
+    /// The default body is for buffered-update classes (`type Undo = ()`),
+    /// which never log: reaching it means a class logged entries without
+    /// implementing compensation, which is unrecoverable.
+    fn compensate(&self, _undo: Self::Undo, _htx: &mut Txn) {
+        unreachable!(
+            "class `{}` logged undo entries but does not implement `compensate`",
+            self.name()
+        );
+    }
+
     /// The class's declared operation conflict graph, if it has one.
     ///
     /// A class that declares its graph gets its lock modes *synthesized*
@@ -135,6 +167,11 @@ pub trait SemanticClass: Send + Sync + 'static {
 struct CoreInner<C: SemanticClass> {
     class: C,
     locals: LocalTable<C::Local>,
+    /// Per-transaction compensation log for eagerly applied mutations,
+    /// sharded like `locals`. Appended by [`SemanticCore::log_undo`];
+    /// drained in reverse by the abort handler (before `release`), and
+    /// discarded wholesale by the commit handler.
+    undo: LocalTable<Vec<C::Undo>>,
     stats: SemanticStats,
 }
 
@@ -166,6 +203,7 @@ impl<C: SemanticClass> SemanticCore<C> {
             inner: Arc::new(CoreInner {
                 class,
                 locals: LocalTable::new(nshards),
+                undo: LocalTable::new(nshards),
                 stats,
             }),
         }
@@ -230,11 +268,24 @@ impl<C: SemanticClass> SemanticCore<C> {
         }
         let inner = Arc::clone(&self.inner);
         tx.on_commit_top(move |htx| {
+            // Committed eager mutations stand: the undo log is dead weight,
+            // dropped before the apply sweep so nothing replays it.
+            drop(inner.undo.remove(id));
             let local = inner.locals.remove(id).unwrap_or_default();
             inner.class.apply(local, htx, id, &inner.stats);
         });
         let inner = Arc::clone(&self.inner);
         tx.on_abort_top(move |htx| {
+            // Undo before release: drain the compensation log in reverse
+            // while transaction `id` still holds every semantic lock it
+            // took, so no observer can see a partially rolled-back state
+            // between a compensating write and the lock drop
+            // (docs/PROTOCOL.md, "undo-before-release").
+            if let Some(log) = inner.undo.remove(id) {
+                for entry in log.into_iter().rev() {
+                    inner.class.compensate(entry, htx);
+                }
+            }
             let local = inner.locals.remove(id).unwrap_or_default();
             inner.class.release(local, htx, id, &inner.stats);
         });
@@ -256,10 +307,28 @@ impl<C: SemanticClass> SemanticCore<C> {
         self.inner.locals.update(id, f)
     }
 
+    /// Log a compensation entry for an **eagerly applied** mutation. The
+    /// abort handler replays the calling transaction's entries in reverse
+    /// logging order through [`SemanticClass::compensate`], strictly before
+    /// [`SemanticClass::release`]; a commit discards the log. Call
+    /// [`Self::ensure_registered`] first — an unregistered transaction has
+    /// no handler to drain what it logs.
+    pub fn log_undo(&self, tx: &Txn, entry: C::Undo) {
+        self.inner
+            .undo
+            .with(tx.handle().id(), |log| log.push(entry));
+    }
+
     /// Live local-state entries across all shards (diagnostics: nonzero
     /// with no transaction in flight means a handler leaked an entry).
     pub fn resident_locals(&self) -> usize {
         self.inner.locals.len()
+    }
+
+    /// Live undo logs across all shards (diagnostics: nonzero with no
+    /// transaction in flight means a handler leaked a compensation log).
+    pub fn resident_undo_logs(&self) -> usize {
+        self.inner.undo.len()
     }
 }
 
@@ -579,6 +648,7 @@ mod tests {
 
     impl SemanticClass for ProbeClass {
         type Local = Vec<u64>;
+        type Undo = ();
 
         fn apply(&self, local: Vec<u64>, _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
             self.applies.fetch_add(1, Ordering::SeqCst);
@@ -666,6 +736,86 @@ mod tests {
         t.commit();
         // The commit handler drained the entry; a stale undo must be a no-op.
         assert_eq!(core.update_local(id, |l| l.push(9)), None);
+        assert_eq!(core.resident_locals(), 0);
+    }
+
+    /// Class that logs undo entries and records the order in which the
+    /// core hands them back, plus whether `release` had already run.
+    struct UndoProbe {
+        events: Arc<parking_lot::Mutex<Vec<String>>>,
+    }
+
+    impl SemanticClass for UndoProbe {
+        type Local = ();
+        type Undo = u64;
+
+        fn apply(&self, _local: (), _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
+            self.events.lock().push("apply".into());
+        }
+
+        fn release(&self, _local: (), _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
+            self.events.lock().push("release".into());
+        }
+
+        fn compensate(&self, undo: u64, _htx: &mut Txn) {
+            self.events.lock().push(format!("undo:{undo}"));
+        }
+    }
+
+    fn undo_core() -> (
+        SemanticCore<UndoProbe>,
+        Arc<parking_lot::Mutex<Vec<String>>>,
+    ) {
+        let events = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let core = SemanticCore::new(
+            UndoProbe {
+                events: events.clone(),
+            },
+            4,
+        );
+        (core, events)
+    }
+
+    #[test]
+    fn abort_drains_undo_log_in_reverse_before_release() {
+        let (core, events) = undo_core();
+        let c = core.clone();
+        let (_, t) = stm::speculate(
+            move |tx| {
+                c.ensure_registered(tx);
+                c.log_undo(tx, 1);
+                c.log_undo(tx, 2);
+                c.log_undo(tx, 3);
+            },
+            0,
+        )
+        .unwrap();
+        t.abort(stm::AbortCause::Explicit);
+        assert_eq!(
+            *events.lock(),
+            vec!["undo:3", "undo:2", "undo:1", "release"],
+            "compensation must replay newest-first and finish before release"
+        );
+        assert_eq!(core.resident_undo_logs(), 0);
+        assert_eq!(core.resident_locals(), 0);
+    }
+
+    #[test]
+    fn commit_discards_undo_log_without_compensating() {
+        let (core, events) = undo_core();
+        let c = core.clone();
+        let (_, t) = stm::speculate(
+            move |tx| {
+                c.ensure_registered(tx);
+                c.log_undo(tx, 41);
+                c.log_undo(tx, 42);
+            },
+            0,
+        )
+        .unwrap();
+        t.commit();
+        assert_eq!(*events.lock(), vec!["apply"]);
+        assert_eq!(core.resident_undo_logs(), 0);
         assert_eq!(core.resident_locals(), 0);
     }
 

@@ -112,7 +112,10 @@ mod queue;
 mod set;
 mod sorted_map;
 
-pub use backend::{MapBackend, QueueBackend, SortedMapBackend};
+pub use backend::{
+    MapApplyOps, MapBackend, MapReadOps, MapUndo, QueueApplyOps, QueueBackend, QueueReadOps,
+    SortedMapBackend, SortedReadOps, UndoOp,
+};
 pub use conflict_graph::{
     declared_graphs, derive_edges, edge, generated_matrix, keyed_mode, op, reachable_cells,
     synthesize, validate, ConflictGraph, EdgeDecl, OpDecl, Overlap, Synthesis, SynthesizedMatrix,

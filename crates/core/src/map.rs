@@ -53,7 +53,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::marker::PhantomData;
 use stm::{Txn, TxnMode};
-use txstruct::TxHashMap;
+use txstruct::{BoostedHashMap, TxHashMap};
 
 // txlint: conflict-graph
 /// Paper Tables 1–2 as a declared conflict graph: the map's operations,
@@ -303,6 +303,7 @@ where
     B: MapBackend<K, V>,
 {
     type Local = MapLocal<K, V>;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "map"
@@ -418,6 +419,27 @@ where
     /// Create over a fresh, pre-sized [`TxHashMap`].
     pub fn with_capacity(capacity: usize) -> Self {
         Self::wrap(TxHashMap::with_capacity(capacity))
+    }
+}
+
+impl<K, V> TransactionalMap<K, V, BoostedHashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Create over a fresh non-transactional [`BoostedHashMap`] — the
+    /// boosted configuration: reads and commit-time writes go to a real
+    /// sharded concurrent map with no TVars on the hot path, and isolation
+    /// comes entirely from this wrapper's semantic locks plus the handler
+    /// lane (see "Backend layers" in `DESIGN.md`).
+    pub fn boosted() -> Self {
+        Self::wrap(BoostedHashMap::new())
+    }
+
+    /// [`Self::boosted`] with an explicit semantic-lock stripe count (the
+    /// backend's shard count is its own, independent knob).
+    pub fn boosted_with_stripes(nstripes: usize) -> Self {
+        Self::wrap_with_stripes(BoostedHashMap::new(), nstripes)
     }
 }
 

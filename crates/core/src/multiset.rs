@@ -19,7 +19,7 @@ use crate::locks::{ObsMode, SemanticStats, UpdateEffect, DEFAULT_STRIPES};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use stm::{TVar, Txn, TxnMode};
-use txstruct::TxHashMap;
+use txstruct::{BoostedHashMap, TxHashMap};
 
 // txlint: conflict-graph
 /// The multiset's declared conflict graph. `add` is blind (no observation
@@ -148,6 +148,7 @@ where
     B: MapBackend<T, u64>,
 {
     type Local = MultisetLocal<T>;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "multiset"
@@ -177,9 +178,9 @@ where
                 let new = (cur + d).max(0);
                 if new != cur {
                     if new == 0 {
-                        self.backend.remove(htx, k);
+                        let _ = self.backend.remove(htx, k);
                     } else {
-                        self.backend.insert(htx, k.clone(), new as u64);
+                        let _ = self.backend.insert(htx, k.clone(), new as u64);
                     }
                     applied += new - cur;
                     cx.doom(UpdateEffect::KeyWrite, k);
@@ -252,6 +253,18 @@ where
     /// power of two; `1` recovers the unstriped design).
     pub fn with_stripes(nstripes: usize) -> Self {
         Self::wrap_with_stripes(TxHashMap::new(), nstripes)
+    }
+}
+
+impl<T> TransactionalMultiset<T, BoostedHashMap<T, u64>>
+where
+    T: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    /// Create over a fresh non-transactional [`BoostedHashMap`] (the
+    /// boosted configuration; count cells live in the concurrent map, the
+    /// `total` stays a TVar driven from the handler lane).
+    pub fn boosted() -> Self {
+        Self::wrap(BoostedHashMap::new())
     }
 }
 

@@ -220,6 +220,7 @@ where
     B: SortedMapBackend<T, u64>,
 {
     type Local = PqLocal<T>;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "priority_queue"
@@ -254,9 +255,9 @@ where
                         let new = (cur + d).max(0);
                         if new != cur {
                             if new == 0 {
-                                self.backend.remove(htx, k);
+                                let _ = self.backend.remove(htx, k);
                             } else {
-                                self.backend.insert(htx, k.clone(), new as u64);
+                                let _ = self.backend.insert(htx, k.clone(), new as u64);
                             }
                             applied += new - cur;
                             let doomed = shard.doom_update(UpdateEffect::KeyWrite, k, id, stats);

@@ -207,6 +207,7 @@ where
     B: QueueBackend<T>,
 {
     type Local = QueueLocal<T>;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "queue"

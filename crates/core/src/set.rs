@@ -14,7 +14,7 @@ use crate::sorted_map::TransactionalSortedMap;
 use std::hash::Hash;
 use std::ops::Bound;
 use stm::Txn;
-use txstruct::{TxHashMap, TxTreeMap};
+use txstruct::{BoostedHashMap, TxHashMap, TxTreeMap};
 
 // txlint: conflict-graph
 /// The set abstraction's declared conflict graph (paper §3.2: the set is
@@ -220,6 +220,19 @@ where
     pub fn new() -> Self {
         TransactionalSet {
             map: TransactionalMap::new(),
+        }
+    }
+}
+
+impl<K> TransactionalSet<K, BoostedHashMap<K, ()>>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    /// Create over a fresh non-transactional [`BoostedHashMap`] (the
+    /// boosted configuration; see [`TransactionalMap::boosted`]).
+    pub fn boosted() -> Self {
+        TransactionalSet {
+            map: TransactionalMap::boosted(),
         }
     }
 }

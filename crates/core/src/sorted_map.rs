@@ -379,6 +379,7 @@ where
     B: SortedMapBackend<K, V>,
 {
     type Local = MapLocal<K, V>;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "sorted_map"

@@ -23,6 +23,7 @@ struct ProbeClass {
 
 impl SemanticClass for ProbeClass {
     type Local = Vec<u64>;
+    type Undo = ();
 
     fn apply(&self, local: Vec<u64>, _htx: &mut Txn, _id: u64, _stats: &SemanticStats) {
         self.applies.fetch_add(1, Ordering::SeqCst);

@@ -1,0 +1,16 @@
+//! Seeded TX011 violation: a boosted-backend file whose eager in-place
+//! mutations never log an `UndoOp` — an abort of this transaction would
+//! leave the clobbered value and the vanished entry in the concurrent map.
+//! NOT compiled — input for `txlint --self-test`.
+
+// txlint: boosted-backend
+
+impl NakedEagerMap {
+    fn put(&self, htx: &mut Txn, key: Key, value: Value) {
+        let _old = self.backend.insert(htx, key, value); // TX011: no compensation logged
+    }
+
+    fn delete(&self, htx: &mut Txn, key: &Key) {
+        let _old = self.backend.remove(htx, key); // TX011: no compensation logged
+    }
+}

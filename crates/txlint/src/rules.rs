@@ -262,6 +262,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx008_direct_handler_registration(path, src, &m, &mut out);
     tx009_alloc_in_trace_emission(path, &m, &mut out);
     tx010_conflict_graph(path, src, &m, &mut out);
+    tx011_unlogged_eager_mutation(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -1048,6 +1049,59 @@ fn cg_check(
     }
 }
 
+/// Marker comment (assembled at runtime like the others) declaring a file
+/// to mutate a boosted (non-transactional) backend **eagerly**: every
+/// in-place `backend.insert(..)` / `backend.remove(..)` site must pair
+/// with a logged `UndoOp` compensation, or an abort cannot restore the
+/// pre-transaction state.
+fn boosted_backend_marker() -> String {
+    format!("txlint: {}", "boosted-backend")
+}
+
+/// How far (in tokens, either direction) from an eager mutation site the
+/// undo pairing may sit. Generous enough for the buffered-`old`-value
+/// dance around `tx.open`, tight enough that a pairing in an unrelated
+/// function does not vouch for a naked mutation.
+const TX011_PAIRING_WINDOW: usize = 120;
+
+fn tx011_unlogged_eager_mutation(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Finding>) {
+    if !src.contains(&boosted_backend_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("backend") || toks.get(i + 1).and_then(Tok::punct) != Some('.') {
+            continue;
+        }
+        let Some(method) = toks.get(i + 2) else {
+            continue;
+        };
+        if !(method.is_ident("insert") || method.is_ident("remove"))
+            || toks.get(i + 3).and_then(Tok::punct) != Some('(')
+        {
+            continue;
+        }
+        let lo = i.saturating_sub(TX011_PAIRING_WINDOW);
+        let hi = (i + TX011_PAIRING_WINDOW).min(toks.len());
+        let paired = toks[lo..hi]
+            .iter()
+            .any(|p| p.is_ident("log_undo") || p.is_ident("UndoOp"));
+        if !paired {
+            out.push(finding(
+                path,
+                method,
+                "TX011",
+                format!(
+                    "eager `backend.{}(..)` with no `UndoOp` logged nearby in a \
+                     boosted-backend file",
+                    method.text
+                ),
+                "an in-place mutation against a boosted backend must record its compensation: log an UndoOp through SemanticCore::log_undo (first write per key) so the abort handler can replay it, newest first, before any semantic lock is released",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1352,6 +1406,55 @@ mod tests {
         assert!(msgs
             .iter()
             .any(|m| m.contains("does not declare mode Empty")));
+    }
+
+    #[test]
+    fn tx011_unlogged_eager_mutation_fires() {
+        let marked = |body: &str| format!("// {}\n{body}\n", boosted_backend_marker());
+        assert_eq!(
+            codes(&marked(
+                "fn put(&self, htx: &mut Txn) { let _ = self.backend.insert(htx, k, v); }"
+            )),
+            vec!["TX011"]
+        );
+        assert_eq!(
+            codes(&marked(
+                "fn del(&self, htx: &mut Txn) { let _ = self.backend.remove(htx, &k); }"
+            )),
+            vec!["TX011"]
+        );
+    }
+
+    #[test]
+    fn tx011_logged_mutation_is_clean() {
+        let marked = |body: &str| format!("// {}\n{body}\n", boosted_backend_marker());
+        // Pairing via the kernel log call...
+        assert!(codes(&marked(
+            "fn put(&self, tx: &mut Txn) { let old = self.backend.insert(tx, k, v); \
+             self.core.log_undo(tx, entry_for(old)); }"
+        ))
+        .is_empty());
+        // ...or via a literal UndoOp construction in the window.
+        assert!(codes(&marked(
+            "fn del(&self, tx: &mut Txn) { let old = self.backend.remove(tx, &k); \
+             if let Some(v) = old { log.push(UndoOp::Restore(k, v)); } }"
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn tx011_ignores_unmarked_files_and_reads() {
+        // No marker: none of txlint's business.
+        assert!(
+            codes("fn put(&self, htx: &mut Txn) { let _ = self.backend.insert(htx, k, v); }")
+                .is_empty()
+        );
+        // Reads in a marked file are not mutations.
+        let marked = |body: &str| format!("// {}\n{body}\n", boosted_backend_marker());
+        assert!(codes(&marked(
+            "fn get(&self, tx: &mut Txn) -> Option<V> { self.backend.get(tx, &k) }"
+        ))
+        .is_empty());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   (per-segment size fields), the prior-art alternative the paper argues
 //!   only *statistically* reduces conflicts (§2.4).
 //! * [`TxVecDeque`] — the queue substrate wrapped by `TransactionalQueue`.
+//! * [`BoostedHashMap`] — the one deliberately **non**-transactional
+//!   structure: a sharded concurrent hash map (per-shard mutexes, no TVars
+//!   on the hot path) serving as the *boosted* backend, where isolation
+//!   comes entirely from the wrapper's semantic locks plus commit/abort
+//!   (undo) handlers.
 //! * [`TxCell`] / [`TxCounter`] — shared scalars; the counter offers the
 //!   open-nested increment used for the paper's UID-generator discussion.
 //! * [`LockHashMap`] / [`LockTreeMap`] / [`LockDeque`] — coarse-grained-lock
@@ -30,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod boosted;
 mod cell;
 mod deque;
 mod hashmap;
@@ -37,6 +43,7 @@ mod locked;
 mod segmented;
 mod treemap;
 
+pub use boosted::BoostedHashMap;
 pub use cell::{TxCell, TxCounter};
 pub use deque::TxVecDeque;
 pub use hashmap::TxHashMap;

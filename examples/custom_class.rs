@@ -97,6 +97,7 @@ struct HistClass {
 
 impl SemanticClass for HistClass {
     type Local = HistLocal;
+    type Undo = ();
 
     fn name(&self) -> &'static str {
         "histogram"

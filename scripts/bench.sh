@@ -8,6 +8,10 @@
 #   BENCH_PR5.json — tracing overhead (PR 5): the conflict-provenance trace
 #                    layer off (must match PR4's sharded commit numbers
 #                    within host noise) vs on vs on-with-overflowing-rings.
+#   BENCH_PR7.json — boosted vs TVar map backends (PR 7): the same
+#                    uncontended get/insert/mixed workloads over both
+#                    backends plus a raw sharded-map floor, with windowed
+#                    protocol counters per configuration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +23,14 @@ cat BENCH_PR3.json
 
 cargo bench -q -p bench --bench trace_overhead >BENCH_PR5.json
 cat BENCH_PR5.json
+
+cargo bench -q -p bench --bench boosted_vs_tvar >BENCH_PR7.json
+cat BENCH_PR7.json
+
+# Counter-based regression gate: the new report's protocol counters may not
+# blow past the previous PR's where the two are comparable (ns/op is never
+# gated — 1-CPU hosts are too noisy for wall-clock gates).
+cargo run -q --release -p bench --bin benchdiff -- BENCH_PR6.json BENCH_PR7.json
 
 # Smoke the provenance reporter end to end: traced contended-map soak,
 # export, re-parse and structurally validate the exported trace.
