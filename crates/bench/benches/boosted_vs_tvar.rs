@@ -22,7 +22,16 @@
 //! above 1 measure scheduler interleaving, not parallelism; the numbers
 //! are for trend comparison against the checked-in JSON of later PRs, not
 //! absolute claims.
+//!
+//! PR 8 adds the **amortization sweep**: read-only transactions at
+//! `ops_per_txn` 1/16/64 with every op on one key (`repeat`) or on rotating
+//! keys (`distinct`), reporting per-transaction protocol counters —
+//! open-nested commits (now zero: reads flatten), flattened reads, stripe
+//! lock acquisitions, and cache hits. The `repeat_*` leaves are ceiling-
+//! gated by benchdiff: a repeat-key transaction must acquire one stripe
+//! lock per distinct key and run no open-nested child commits.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 use stm::{atomic, global_stats, StatsSnapshot};
@@ -220,6 +229,9 @@ fn add(a: &StatsSnapshot, b: &StatsSnapshot) -> StatsSnapshot {
     out.stripe_lock_spins += b.stripe_lock_spins;
     out.global_stripe_entries += b.global_stripe_entries;
     out.dooms_issued += b.dooms_issued;
+    out.open_commits += b.open_commits;
+    out.open_flattened += b.open_flattened;
+    out.lock_cache_hits += b.lock_cache_hits;
     out
 }
 
@@ -227,14 +239,103 @@ fn counters_json(c: &StatsSnapshot) -> String {
     format!(
         "{{\"commits\": {}, \"lane_entries\": {}, \"lane_free_commits\": {}, \
          \"var_lock_spins\": {}, \"stripe_lock_spins\": {}, \
-         \"global_stripe_entries\": {}, \"dooms_issued\": {}}}",
+         \"global_stripe_entries\": {}, \"dooms_issued\": {}, \
+         \"open_commits\": {}, \"open_flattened\": {}, \"lock_cache_hits\": {}}}",
         c.commits,
         c.lane_entries,
         c.lane_free_commits,
         c.var_lock_spins,
         c.stripe_lock_spins,
         c.global_stripe_entries,
-        c.dooms_issued
+        c.dooms_issued,
+        c.open_commits,
+        c.open_flattened,
+        c.lock_cache_hits
+    )
+}
+
+// ---------------------------------------------------------------------
+// Amortization sweep (PR 8)
+// ---------------------------------------------------------------------
+
+struct SweepCell {
+    ns_per_op: f64,
+    open_commits_per_txn: f64,
+    open_flattened_per_txn: f64,
+    lock_acquisitions_per_txn: f64,
+    lock_cache_hits_per_txn: f64,
+    /// Acquisitions beyond one per distinct key touched — the fast-path
+    /// contract says this is zero.
+    excess_lock_acquisitions_per_txn: f64,
+}
+
+/// Single-threaded read-only transactions of `ops_per_txn` gets: all on one
+/// key (`repeat`) or rotating through `KEYS_PER_THREAD` (`distinct`).
+/// Derived counters are per transaction, from the map's own semantic stats
+/// and the windowed global stm counters.
+fn run_sweep<B: MapBackend<u64, u64>>(
+    map: Arc<TransactionalMap<u64, u64, B>>,
+    ops_per_txn: u64,
+    repeat: bool,
+) -> SweepCell {
+    let m = map.clone();
+    atomic(move |tx| {
+        for k in 0..KEYS_PER_THREAD {
+            m.put_discard(tx, k, 1);
+        }
+    });
+    let distinct_per_txn = if repeat {
+        1
+    } else {
+        ops_per_txn.min(KEYS_PER_THREAD)
+    };
+    let sem = map.semantic_stats();
+    let acq0 = sem.lock_acquisitions.load(Ordering::Relaxed);
+    let hits0 = sem.lock_cache_hits.load(Ordering::Relaxed);
+    let before = global_stats();
+    let start = Instant::now();
+    for _ in 0..TXNS_PER_THREAD {
+        let map = map.clone();
+        atomic(move |tx| {
+            for j in 0..ops_per_txn {
+                let k = if repeat { 0 } else { j % KEYS_PER_THREAD };
+                let _ = map.get(tx, &k);
+            }
+        });
+    }
+    let ns_per_op =
+        start.elapsed().as_nanos() as f64 / (TXNS_PER_THREAD * ops_per_txn.max(1)) as f64;
+    let d = global_stats().since(&before);
+    let txns = TXNS_PER_THREAD as f64;
+    let acq = (sem.lock_acquisitions.load(Ordering::Relaxed) - acq0) as f64;
+    let hits = (sem.lock_cache_hits.load(Ordering::Relaxed) - hits0) as f64;
+    SweepCell {
+        ns_per_op,
+        open_commits_per_txn: d.open_commits as f64 / txns,
+        open_flattened_per_txn: d.open_flattened as f64 / txns,
+        lock_acquisitions_per_txn: acq / txns,
+        lock_cache_hits_per_txn: hits / txns,
+        excess_lock_acquisitions_per_txn: (acq / txns - distinct_per_txn as f64).max(0.0),
+    }
+}
+
+/// One sweep row. The per-txn counter leaves are prefixed with the key
+/// pattern so benchdiff can ceiling-gate the `repeat_*` family without the
+/// `distinct_*` cells polluting the sum.
+fn sweep_row(backend: &str, ops_per_txn: u64, repeat: bool, c: &SweepCell) -> String {
+    let p = if repeat { "repeat" } else { "distinct" };
+    format!(
+        "    {{\"backend\": \"{backend}\", \"ops_per_txn\": {ops_per_txn}, \
+         \"key_pattern\": \"{p}\", \"ns_per_op\": {:.1}, \
+         \"{p}_open_commits_per_txn\": {:.3}, \"{p}_open_flattened_per_txn\": {:.3}, \
+         \"{p}_lock_acquisitions_per_txn\": {:.3}, \"{p}_lock_cache_hits_per_txn\": {:.3}, \
+         \"{p}_excess_lock_acquisitions_per_txn\": {:.3}}}",
+        c.ns_per_op,
+        c.open_commits_per_txn,
+        c.open_flattened_per_txn,
+        c.lock_acquisitions_per_txn,
+        c.lock_cache_hits_per_txn,
+        c.excess_lock_acquisitions_per_txn,
     )
 }
 
@@ -280,33 +381,61 @@ fn main() {
         }
     }
 
+    let mut sweep_rows = Vec::new();
+    for &ops in &[1u64, 16, 64] {
+        for repeat in [true, false] {
+            let t = run_sweep(
+                Arc::new(TransactionalMap::<u64, u64>::with_stripes(16)),
+                ops,
+                repeat,
+            );
+            sweep_rows.push(sweep_row("tvar", ops, repeat, &t));
+            let b = run_sweep(
+                Arc::new(
+                    TransactionalMap::<u64, u64, BoostedHashMap<u64, u64>>::boosted_with_stripes(
+                        16,
+                    ),
+                ),
+                ops,
+                repeat,
+            );
+            sweep_rows.push(sweep_row("boosted", ops, repeat, &b));
+        }
+    }
+
     println!("{{");
-    println!("  \"pr\": 7,");
+    println!("  \"pr\": 8,");
     println!("  \"bench\": \"boosted_vs_tvar\",");
     println!("  \"cpus\": {cpus},");
     println!(
         "  \"caveat\": \"single-CPU container: thread counts above 1 measure scheduler \
          interleaving, not parallelism, and ns/op carries host noise — compare the windowed \
-         counters (lane_entries, var_lock_spins, stripe_lock_spins) across PRs, and treat \
-         ns/op as a trend line\","
+         counters (lane_entries, var_lock_spins, stripe_lock_spins, open_commits, \
+         lock_cache_hits) across PRs, and treat ns/op as a trend line\","
     );
     println!(
-        "  \"claim\": \"boosted_over_tvar sits at ~0.7-0.8 on every cell: dropping TVar \
-         read-validation from the backend more than pays for the undo seam, so the boosted \
-         map is strictly the faster backend. boosted_over_raw (~10-16x) measures what is \
-         left between us and the ROADMAP 'within ~2x of a plain sharded map' target: per-op \
-         open-nested semantic locking, now the sole remaining overhead — the backend itself \
-         is off the critical path\","
+        "  \"claim\": \"boosted_over_tvar stays at ~0.7-0.8 and boosted_over_raw tightens vs \
+         PR 7 on comparable cells: the txn-local lock cache and flattened read-only opens \
+         remove the per-op protocol tax the PR 7 report identified as the sole remaining \
+         overhead. The amortization sweep shows it directly — repeat-key transactions run \
+         zero open-nested commits and acquire exactly one stripe lock per distinct key \
+         (repeat_excess_lock_acquisitions_per_txn = 0), with every further observation \
+         answered by the cache\","
     );
     println!("  \"txns_per_thread\": {TXNS_PER_THREAD},");
     println!("  \"ops_per_txn\": {OPS_PER_TXN},");
     println!("  \"samples\": {SAMPLES},");
     println!(
         "  \"workload\": \"thread-private keys on one shared TransactionalMap (zero dooms \
-         asserted); raw_sharded is the same op mix on an untransacted BoostedHashMap\","
+         asserted); raw_sharded is the same op mix on an untransacted BoostedHashMap; the \
+         amortization sweep is single-threaded read-only txns at ops_per_txn 1/16/64, \
+         repeat-key vs rotating distinct keys\","
     );
     println!("  \"results\": [");
     println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"amortization_sweep\": [");
+    println!("{}", sweep_rows.join(",\n"));
     println!("  ]");
     println!("}}");
 }

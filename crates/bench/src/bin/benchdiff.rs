@@ -16,6 +16,10 @@
 //! Rules:
 //! * A contention counter present in both files may not grow past
 //!   `old * RATIO_LIMIT + ABS_SLACK` (slack absorbs 0 → tiny-number noise).
+//! * An amortization leaf present in the NEW file may not exceed its
+//!   absolute ceiling — these are per-transaction protocol counts whose
+//!   correct value is a workload constant (e.g. a repeat-key read txn runs
+//!   zero open-nested commits), so no old-file baseline is needed.
 //! * Successive PRs often measure *different* benches; if the files share
 //!   no counter keys the gate passes with a note — it is a ratchet where
 //!   comparable, not a straitjacket.
@@ -35,6 +39,16 @@ const GATED: [&str; 4] = [
 const REPORTED: [&str; 3] = ["commits", "lane_entries", "lane_free_commits"];
 const RATIO_LIMIT: f64 = 2.0;
 const ABS_SLACK: f64 = 100.0;
+
+/// Absolute ceilings on per-transaction amortization leaves (PR 8). The
+/// lexical collector SUMS a leaf across rows; the sweep emits each
+/// `repeat_*` leaf for 6 cells (ops_per_txn 1/16/64 × two backends), so a
+/// per-cell budget of ≤2 open commits and ≤0.5 excess acquisitions gives
+/// the totals below. Checked against the NEW file only.
+const CEILINGS: [(&str, f64); 2] = [
+    ("repeat_open_commits_per_txn", 12.0),
+    ("repeat_excess_lock_acquisitions_per_txn", 3.0),
+];
 
 /// Collect every `"key": <number>` pair in `src`, summing repeats.
 fn numeric_leaves(src: &str) -> Vec<(String, f64)> {
@@ -111,6 +125,17 @@ fn main() -> ExitCode {
         }
         println!("  [gated]    {key}: {o} -> {n} (limit {limit:.0}) {verdict}");
     }
+    for (key, ceiling) in CEILINGS {
+        let Some(n) = lookup(&new, key) else {
+            continue;
+        };
+        compared += 1;
+        let verdict = if n > ceiling { "REGRESSION" } else { "ok" };
+        if n > ceiling {
+            regressions += 1;
+        }
+        println!("  [ceiling]  {key}: {n} (ceiling {ceiling}) {verdict}");
+    }
     for key in REPORTED {
         if let (Some(o), Some(n)) = (lookup(&old, key), lookup(&new, key)) {
             println!("  [reported] {key}: {o} -> {n}");
@@ -142,5 +167,18 @@ mod tests {
         assert_eq!(lookup(&leaves, "a"), Some(3.5));
         assert_eq!(lookup(&leaves, "b"), Some(-3.0));
         assert_eq!(lookup(&leaves, "note"), None);
+    }
+
+    #[test]
+    fn ceiling_leaves_sum_across_sweep_cells() {
+        let src = r#"[
+            {"repeat_open_commits_per_txn": 0.0},
+            {"repeat_open_commits_per_txn": 1.5},
+            {"repeat_excess_lock_acquisitions_per_txn": 0.0}
+        ]"#;
+        let leaves = numeric_leaves(src);
+        assert_eq!(lookup(&leaves, "repeat_open_commits_per_txn"), Some(1.5));
+        let (key, ceiling) = CEILINGS[0];
+        assert!(lookup(&leaves, key).unwrap() <= ceiling);
     }
 }

@@ -41,7 +41,11 @@ const KEYS: u64 = 16;
 /// Run `threads` workers, each committing `txns` long transactions (four
 /// key-lock reads, one put) over a 16-key map — enough overlap that live
 /// readers routinely hold key and size locks across another thread's commit.
-fn soak_round(threads: u64, txns: u64) {
+/// With `repeat_keys` the four reads all hit one key, so every read after
+/// the first is answered by the txn-local lock cache while the transaction
+/// is still exposed to dooms — the traced regression shape for a cache
+/// that outlives its locks.
+fn soak_round(threads: u64, txns: u64, repeat_keys: bool) {
     let map: TransactionalMap<u64, u64> = TransactionalMap::new();
     atomic(|tx| {
         for k in 0..KEYS {
@@ -61,7 +65,8 @@ fn soak_round(threads: u64, txns: u64) {
                     atomic(|tx| {
                         let mut acc = 0u64;
                         for i in 0..4 {
-                            acc = acc.wrapping_add(map.get(tx, &((base + i) % KEYS)).unwrap_or(0));
+                            let k = if repeat_keys { base } else { (base + i) % KEYS };
+                            acc = acc.wrapping_add(map.get(tx, &k).unwrap_or(0));
                         }
                         map.put_discard(tx, base, acc.wrapping_add(1));
                     });
@@ -430,6 +435,8 @@ const KINDS: &[&str] = &[
     "sem_lock_acquired",
     "sem_lock_released",
     "doom_edge",
+    "open_flattened",
+    "lock_cache_hit",
 ];
 
 fn require_num(ev: &Json, field: &str, i: usize) -> Result<f64, String> {
@@ -537,6 +544,15 @@ fn validate(text: &str) -> Result<String, String> {
                 require_str(ev, "class", i)?;
                 require_str(ev, "lock", i)?;
             }
+            "open_flattened" => {
+                require_num(ev, "txn", i)?;
+            }
+            "lock_cache_hit" => {
+                require_num(ev, "txn", i)?;
+                require_num(ev, "key_hash", i)?;
+                require_str(ev, "class", i)?;
+                require_str(ev, "lock", i)?;
+            }
             _ => {}
         }
     }
@@ -588,7 +604,7 @@ fn validate(text: &str) -> Result<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: txtop --soak [--threads N] [--txns N] [--export-json FILE]\n\
+        "usage: txtop --soak [--threads N] [--txns N] [--repeat-keys] [--export-json FILE]\n\
         \x20      txtop --validate FILE"
     );
     ExitCode::from(2)
@@ -601,6 +617,7 @@ fn main() -> ExitCode {
     let mut txns = 400u64;
     let mut export: Option<String> = None;
     let mut validate_file: Option<String> = None;
+    let mut repeat_keys = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -612,6 +629,7 @@ fn main() -> ExitCode {
             }
             "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
             "--txns" => txns = it.next().and_then(|v| v.parse().ok()).unwrap_or(txns),
+            "--repeat-keys" => repeat_keys = true,
             "--export-json" => export = it.next().cloned(),
             _ => return usage(),
         }
@@ -631,7 +649,7 @@ fn main() -> ExitCode {
             // trace shows at least one semantic doom.
             let mut rounds = 0;
             loop {
-                soak_round(threads, txns);
+                soak_round(threads, txns, repeat_keys);
                 rounds += 1;
                 let snap = trace::snapshot();
                 let has_edge = snap

@@ -8,11 +8,15 @@
 //! structure, and they mirror the three ways the wrapper ever touches it:
 //!
 //! 1. **Speculative reads** ([`MapReadOps`], [`SortedReadOps`],
-//!    [`QueueReadOps`]) — body-side observations, performed inside
-//!    `Txn::open` after the appropriate semantic lock is taken. A TVar
-//!    backend validates these reads through the open-nested commit; a
-//!    boosted backend ignores the transaction entirely, because isolation
-//!    for it comes from the semantic locks alone.
+//!    [`QueueReadOps`]) — body-side observations, performed after the
+//!    appropriate semantic lock is taken. Read-only observations run as
+//!    **flattened opens** (`Txn::open_read`, no child transaction): a TVar
+//!    backend has each read stamp-validated inline — the same per-var check
+//!    the open-nested commit would have made — while a boosted backend
+//!    ignores the transaction entirely ([`MapReadOps::TRANSACTIONAL_READS`]
+//!    `== false`), because isolation for it comes from the semantic locks
+//!    alone and the validation sweep is vacuous. Observations that mutate
+//!    (`pop_front`) still run inside a real `Txn::open`.
 //! 2. **Direct applies** ([`MapApplyOps`], [`QueueApplyOps`]) — mutations,
 //!    run from commit handlers in direct mode under the handler lane (or,
 //!    for eager classes, from the body with logged compensation). A TVar
@@ -57,9 +61,22 @@ use txstruct::{BoostedHashMap, SegmentedTxHashMap, TxHashMap, TxTreeMap, TxVecDe
 // ----------------------------------------------------------------------
 
 /// Body-side observation surface of an unordered map backend. Called inside
-/// `Txn::open` after the semantic lock covering the observation is held
-/// (and from handlers in direct mode, where `open` is a pass-through).
+/// `Txn::open_read` (read-only flattened open) after the semantic lock
+/// covering the observation is held (and from handlers in direct mode,
+/// where `open_read` is a pass-through).
 pub trait MapReadOps<K, V>: Send + Sync + 'static {
+    /// Whether this backend's reads go through transactional memory.
+    ///
+    /// `true` (the default, and the only sound choice for any backend that
+    /// touches a `TVar`) means a read-only observation must be validated —
+    /// the collections run it under [`Txn::open_read`], which stamp-checks
+    /// every var the body read. `false` declares a **boosted** backend:
+    /// reads never touch a `TVar`, so under a held semantic lock they can be
+    /// served straight from the concurrent structure with nothing to
+    /// validate. A custom backend must only set this to `false` if its read
+    /// methods are linearizable on their own; declaring it falsely turns
+    /// flattened opens into unvalidated dirty reads.
+    const TRANSACTIONAL_READS: bool = true;
     /// Look up a key.
     #[must_use]
     fn get(&self, tx: &mut Txn, key: &K) -> Option<V>;
@@ -107,6 +124,8 @@ pub trait SortedReadOps<K, V>: MapReadOps<K, V> {
 
 /// Body-side observation surface of a FIFO backend.
 pub trait QueueReadOps<T>: Send + Sync + 'static {
+    /// See [`MapReadOps::TRANSACTIONAL_READS`] — same contract, FIFO seam.
+    const TRANSACTIONAL_READS: bool = true;
     /// Front element without removal.
     #[must_use]
     fn peek_front(&self, tx: &mut Txn) -> Option<T>;
@@ -229,6 +248,7 @@ macro_rules! delegate_map_backend {
             K: $($kb)* + Send + Sync + 'static,
             V: $($vb)* + Send + Sync + 'static,
         {
+            const TRANSACTIONAL_READS: bool = delegate_map_backend!(@treads $mode);
             fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
                 delegate_map_backend!(@call $mode, $backend::get, self, tx, key)
             }
@@ -260,6 +280,12 @@ macro_rules! delegate_map_backend {
             V: $($vb)* + Send + Sync + 'static,
         {
         }
+    };
+    (@treads tx) => {
+        true
+    };
+    (@treads direct) => {
+        false
     };
     (@call tx, $f:path, $self:expr, $tx:expr $(, $arg:expr)*) => {
         $f($self, $tx $(, $arg)*)
@@ -317,6 +343,7 @@ macro_rules! delegate_queue_backend {
         where
             T: $($tb)* + Send + Sync + 'static,
         {
+            const TRANSACTIONAL_READS: bool = delegate_map_backend!(@treads $mode);
             fn peek_front(&self, tx: &mut Txn) -> Option<T> {
                 delegate_map_backend!(@call $mode, $backend::peek_front, self, tx)
             }

@@ -41,6 +41,7 @@
 
 // txlint: semantic-tables
 // txlint: boosted-backend
+// txlint: fast-path
 use crate::backend::{MapBackend, UndoOp};
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{sweep_commit_footprint, FootprintOp, SemanticClass, SemanticCore};
@@ -437,6 +438,7 @@ where
                     return true;
                 }
             }
+            stats.bump(&stats.lock_acquisitions, 1);
             trace::sem_lock_acquired(
                 owner.id(),
                 stats.class_sym(),
@@ -452,8 +454,12 @@ where
         self.with_local(tx, |l| {
             l.read_keys.insert(key.clone());
         });
+        // Read locks are re-taken on every call rather than cached: caching
+        // would skip the stripe visit, and the stripe visit is where an
+        // in-place writer holding this key is detected. Skipping it opens a
+        // dirty-read window, so the eager map gets flattened reads only.
         let backend = &class.backend;
-        tx.open(|otx| backend.get(otx, key))
+        tx.open_read(|otx| backend.get(otx, key))
     }
 
     /// Whether a key is present (same locking as [`Self::get`]).
@@ -475,12 +481,13 @@ where
         let class = self.core.class();
         let stats = self.core.stats();
         let pending = class.tables.with_global(stats, |g| {
+            stats.bump(&stats.lock_acquisitions, 1);
             trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Size, 0);
             g.size_lockers.insert(owner);
             g.pending_delta
         });
         let backend = &class.backend;
-        let raw = tx.open(|otx| backend.len(otx)) as i64;
+        let raw = tx.open_read(|otx| backend.len(otx)) as i64;
         (raw - pending + own).max(0) as usize
     }
 
@@ -530,6 +537,7 @@ where
                     }
                 }
             }
+            stats.bump(&stats.lock_acquisitions, 1);
             trace::sem_lock_acquired(
                 owner.id(),
                 stats.class_sym(),

@@ -17,9 +17,10 @@
 //! at construction.
 
 // txlint: semantic-tables
+// txlint: fast-path
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::interval::IntervalTree;
-use crate::kernel::{SemanticClass, SemanticCore};
+use crate::kernel::{CachedPoint, SemanticClass, SemanticCore};
 use crate::locks::{
     bounds_overlap, key_hash64, ObsMode, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables,
     StripedTables, UpdateEffect, DEFAULT_STRIPES,
@@ -382,10 +383,11 @@ where
         });
     }
 
-    /// Committed-tree snapshot via one open-nested read.
+    /// Committed-tree snapshot via one flattened read (validated against
+    /// the store's version stamp, no child transaction).
     fn snapshot(&self, tx: &mut Txn) -> Arc<IntervalTree<K, (u64, V)>> {
         let store = self.core.class().store.clone();
-        tx.open(move |otx| store.read(otx))
+        tx.open_read(move |otx| store.read(otx))
     }
 
     /// Insert a value covering the half-open span `[lo, hi)`; returns the
@@ -428,18 +430,22 @@ where
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
         // Already removed by us, or our own buffered insert (which we can
-        // just drop — a txn-local entry needs no lock).
-        let local_hit = self.with_local(tx, |l| {
-            if l.removes.contains_key(&id) {
-                Some(None)
-            } else if let Some(idx) = l.adds.iter().position(|(aid, _, _, _)| *aid == id) {
-                let entry = l.adds.remove(idx);
-                l.delta -= 1;
-                Some(Some(entry))
-            } else {
-                None
-            }
-        });
+        // just drop — a txn-local entry needs no lock). Non-creating probe:
+        // a transaction with no locals entry cannot have a local hit.
+        let local_hit = self
+            .core
+            .try_local(tx, |l| {
+                if l.removes.contains_key(&id) {
+                    Some(None)
+                } else if let Some(idx) = l.adds.iter().position(|(aid, _, _, _)| *aid == id) {
+                    let entry = l.adds.remove(idx);
+                    l.delta -= 1;
+                    Some(Some(entry))
+                } else {
+                    None
+                }
+            })
+            .flatten();
         match local_hit {
             Some(None) => return false,
             Some(Some(entry)) => {
@@ -545,7 +551,9 @@ where
         committed: Vec<(u64, V)>,
         admit: impl Fn(&Bound<K>, &Bound<K>) -> bool,
     ) -> Vec<(u64, V)> {
-        self.with_local(tx, |l| {
+        let mut out = committed;
+        let merged = self.core.try_local(tx, |l| {
+            let committed = std::mem::take(&mut out);
             let mut out: Vec<(u64, V)> = committed
                 .into_iter()
                 .filter(|(id, _)| !l.removes.contains_key(id))
@@ -556,21 +564,25 @@ where
                 }
             }
             out
-        })
+        });
+        merged.unwrap_or(out)
     }
 
     /// Number of visible entries (size lock).
     pub fn len(&self, tx: &mut Txn) -> usize {
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
-        let owner = tx.handle().clone();
-        let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.points.take_size_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::Size) {
+            let owner = tx.handle().clone();
+            let stats = self.core.stats();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.points.take_size_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Size);
+        }
         let committed = self.snapshot(tx).len() as isize;
-        let delta = self.with_local(tx, |l| l.delta);
+        let delta = self.core.try_local(tx, |l| l.delta).unwrap_or(0);
         (committed + delta).max(0) as usize
     }
 
@@ -584,14 +596,17 @@ where
     pub fn is_empty_primitive(&self, tx: &mut Txn) -> bool {
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
-        let owner = tx.handle().clone();
-        let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::Empty) {
+            let owner = tx.handle().clone();
+            let stats = self.core.stats();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Empty);
+        }
         let committed = self.snapshot(tx).len() as isize;
-        let delta = self.with_local(tx, |l| l.delta);
+        let delta = self.core.try_local(tx, |l| l.delta).unwrap_or(0);
         (committed + delta) <= 0
     }
 }

@@ -23,15 +23,25 @@
 //!
 //! * **Idempotent first-touch registration.** On the first operation a
 //!   top-level transaction performs on an instance, the core registers one
-//!   commit/abort handler pair and creates the transaction's local-state
-//!   entry — in exactly the order `locals.contains` probe → commit handler
-//!   → abort handler → locals insert. Only the transaction's own thread
-//!   ever creates its entry, so the probe is stable; and because the
-//!   handlers are registered *before* the entry exists, an unwind between
-//!   the two steps cannot leave an orphaned entry with no abort handler to
-//!   remove it. Collections used to restate this obligation each; now it is
-//!   discharged here once (and txlint TX008 rejects any direct handler
-//!   registration outside this file).
+//!   commit/abort handler pair and marks the transaction — in exactly the
+//!   order extension-slot probe → commit handler → abort handler → slot
+//!   insert. The probe is a scan of the transaction's own extension vector
+//!   (zero shared-memory traffic — the deferred-registration fast path:
+//!   the sharded locals table is not touched until an operation actually
+//!   buffers state); and because the handlers are registered *before* the
+//!   marker exists, an unwind between the two steps cannot leave a marked
+//!   transaction with no abort handler to clean up. Collections used to
+//!   restate this obligation each; now it is discharged here once (and
+//!   txlint TX008 rejects any direct handler registration outside this
+//!   file).
+//! * **The txn-local semantic-lock cache.** The extension slot doubles as
+//!   a per-transaction, per-instance cache of already-acquired `(kind,
+//!   key)` semantic locks ([`SemanticCore::key_lock_cached`] /
+//!   [`SemanticCore::point_lock_cached`]): the first acquisition populates
+//!   it, every later operation on the same key or point lock is a local
+//!   hash probe that never touches a stripe mutex. Both handlers drop the
+//!   slot before releasing any lock, so the cache provably never outlives
+//!   the locks it witnesses (cache lifetime ⊆ lock hold).
 //! * **The sharded [`LocalTable`].** Locals are keyed by top-level
 //!   transaction id; handlers drain an attempt's entry exactly once via
 //!   `remove`, and local-undo compensation goes through the non-creating
@@ -77,11 +87,14 @@
 // txlint: semantic-kernel
 
 use crate::locks::{
-    bucket_order, KeyLockShard, LocalTable, MapTables, Owner, PointLocks, SemanticStats,
-    StripedTables, UpdateEffect,
+    bucket_order, key_hash64, KeyLockShard, LocalTable, MapTables, Owner, PointLocks,
+    SemanticStats, StripedTables, UpdateEffect,
 };
+use std::any::Any;
+use std::collections::HashSet;
 use std::hash::Hash;
 use std::sync::Arc;
+use stm::trace::LockKind;
 use stm::{Txn, TxnMode};
 
 // ----------------------------------------------------------------------
@@ -161,6 +174,65 @@ pub trait SemanticClass: Send + Sync + 'static {
     /// additionally checks the declarations lexically.
     fn conflict_graph(&self) -> Option<&'static crate::conflict_graph::ConflictGraph<'static>> {
         None
+    }
+}
+
+/// The per-attempt state a [`SemanticCore`] parks in its transaction
+/// extension slot: its presence is the registration marker, and it carries
+/// the txn-local semantic-lock cache. Handlers remove the slot (dropping
+/// the cache) strictly before any semantic lock is released, so a cached
+/// entry can never be observed without its lock (the cache-lifetime
+/// obligation, docs/PROTOCOL.md). Fresh attempts start with a fresh `Txn`
+/// and therefore an empty slot — abort invalidation is structural.
+#[derive(Default)]
+struct KernelSlot {
+    /// Bitmask of [`CachedPoint`] locks already acquired.
+    points: u8,
+    /// Key locks already acquired, type-erased: the key type is the
+    /// class's business, not the kernel's. Each core instance uses exactly
+    /// one key type, so the downcast is infallible in a correct class.
+    keys: Option<Box<dyn Any + Send>>,
+}
+
+fn cached_keys<Q: Eq + Hash + Send + 'static>(b: &(dyn Any + Send)) -> &HashSet<Q> {
+    b.downcast_ref::<HashSet<Q>>()
+        .expect("one key type per semantic core")
+}
+
+fn cached_keys_mut<Q: Eq + Hash + Send + 'static>(b: &mut (dyn Any + Send)) -> &mut HashSet<Q> {
+    b.downcast_mut::<HashSet<Q>>()
+        .expect("one key type per semantic core")
+}
+
+/// Whole-collection point-lock kinds the txn-local lock cache can remember
+/// (one bit each in [`KernelSlot::points`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedPoint {
+    /// The size lock.
+    Size = 0,
+    /// The zero-crossing emptiness lock.
+    Empty = 1,
+    /// A sorted collection's first-endpoint lock.
+    First = 2,
+    /// A sorted collection's last-endpoint lock.
+    Last = 3,
+    /// A bounded queue's fullness lock.
+    Full = 4,
+}
+
+impl CachedPoint {
+    fn bit(self) -> u8 {
+        1 << self as u8
+    }
+
+    /// The trace-layer lock kind a cache hit on this point reports.
+    fn lock_kind(self) -> LockKind {
+        match self {
+            CachedPoint::Size => LockKind::Size,
+            CachedPoint::Empty => LockKind::Empty,
+            CachedPoint::First | CachedPoint::Last => LockKind::Endpoint,
+            CachedPoint::Full => LockKind::Full,
+        }
     }
 }
 
@@ -246,28 +318,35 @@ impl<C: SemanticClass> SemanticCore<C> {
         &self.inner.stats
     }
 
-    /// Create local state and register the single commit/abort handler
-    /// pair on first use by this top-level transaction (paper §5
-    /// guideline 2). Call at the top of every operation; idempotent.
+    /// Register the single commit/abort handler pair and mark the
+    /// transaction on first use by this top-level transaction (paper §5
+    /// guideline 2). Call at the top of every operation; idempotent. The
+    /// probe and marker live in the transaction's own extension slot, so
+    /// the repeat-call case costs a local vector scan and no shared-memory
+    /// traffic; the locals-table entry is created lazily by the first
+    /// operation that buffers state.
     ///
-    /// Handlers are registered **before** the locals entry is created:
-    /// only this transaction's own thread ever creates its entry, so the
-    /// `contains` probe is stable, and an unwind during registration then
-    /// cannot leave an orphaned entry with no abort handler to remove it.
-    /// This ordering obligation lives here and nowhere else — txlint TX008
-    /// rejects direct handler registration in any other semantic-tables
-    /// file.
+    /// Handlers are registered **before** the marker is inserted: an
+    /// unwind during registration cannot leave a marked transaction whose
+    /// state no abort handler will clean up. This ordering obligation
+    /// lives here and nowhere else — txlint TX008 rejects direct handler
+    /// registration in any other semantic-tables file.
     pub fn ensure_registered(&self, tx: &mut Txn) {
         assert!(
             tx.mode() == TxnMode::Speculative,
             "semantic-class operations cannot run inside commit/abort handlers"
         );
-        let id = tx.handle().id();
-        if self.inner.locals.contains(id) {
+        let tag = self.tag();
+        if tx.ext_contains(tag) {
             return;
         }
+        let id = tx.handle().id();
         let inner = Arc::clone(&self.inner);
         tx.on_commit_top(move |htx| {
+            // Cache lifetime ⊆ lock hold (docs/PROTOCOL.md): the txn-local
+            // lock cache dies here, before the apply sweep releases a
+            // single semantic lock.
+            drop(htx.ext_remove(tag));
             // Committed eager mutations stand: the undo log is dead weight,
             // dropped before the apply sweep so nothing replays it.
             drop(inner.undo.remove(id));
@@ -276,6 +355,9 @@ impl<C: SemanticClass> SemanticCore<C> {
         });
         let inner = Arc::clone(&self.inner);
         tx.on_abort_top(move |htx| {
+            // Invalidate the lock cache first: nothing after this point may
+            // trust a cached acquisition while the footprint unwinds.
+            drop(htx.ext_remove(tag));
             // Undo before release: drain the compensation log in reverse
             // while transaction `id` still holds every semantic lock it
             // took, so no observer can see a partially rolled-back state
@@ -289,7 +371,107 @@ impl<C: SemanticClass> SemanticCore<C> {
             let local = inner.locals.remove(id).unwrap_or_default();
             inner.class.release(local, htx, id, &inner.stats);
         });
-        self.inner.locals.with(id, |_| {});
+        // Marker last: an unwind between handler registration and this
+        // insert leaves no marker (the next attempt re-registers) and the
+        // already-registered handlers drain harmlessly empty state. The
+        // locals entry itself is created lazily by `with_local` — a
+        // single-op read-only transaction may never create one at all (the
+        // deferred-registration fast path).
+        tx.ext_insert(tag, Box::new(KernelSlot::default()));
+    }
+
+    /// The owner-unique extension tag of this core instance: its inner
+    /// allocation's address. Stable for the life of the core, and safe
+    /// against address reuse within an attempt because the registered
+    /// handlers hold `Arc` clones that pin the allocation until they run.
+    fn tag(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    fn slot_mut<'t>(&self, tx: &'t mut Txn) -> Option<&'t mut KernelSlot> {
+        tx.ext_get_mut(self.tag())
+            .map(|s| s.downcast_mut::<KernelSlot>().expect("kernel slot type"))
+    }
+
+    /// Probe the txn-local lock cache for a key lock this transaction has
+    /// already acquired on this instance. `true` means the `(Key, key)`
+    /// lock is held — the caller must skip the stripe round trip entirely
+    /// (taking it again would be harmless but is exactly the traffic the
+    /// cache exists to remove). On `false` the caller acquires the lock and
+    /// then calls [`Self::note_key_lock`].
+    ///
+    /// Soundness of a hit: an active transaction's semantic locks are never
+    /// released by anyone else (doom sweeps retain active owners; release
+    /// happens only in the transaction's own handlers, which also drop this
+    /// cache first), so a cached entry can never outlive the lock it
+    /// witnesses.
+    pub fn key_lock_cached<Q>(&self, tx: &mut Txn, key: &Q) -> bool
+    where
+        Q: Eq + Hash + Clone + Send + 'static,
+    {
+        let Some(slot) = self.slot_mut(tx) else {
+            return false;
+        };
+        let hit = slot
+            .keys
+            .as_deref()
+            .is_some_and(|k| cached_keys::<Q>(k).contains(key));
+        if hit {
+            self.inner.stats.bump(&self.inner.stats.lock_cache_hits, 1);
+            stm::record_lock_cache_hit();
+            stm::trace::lock_cache_hit(
+                tx.handle().id(),
+                self.inner.stats.class_sym(),
+                LockKind::Key,
+                key_hash64(key),
+            );
+        }
+        hit
+    }
+
+    /// Remember that this transaction acquired the key lock for `key` on
+    /// this instance. Call strictly **after** the stripe acquisition
+    /// succeeded, so an unwind mid-acquisition can never leave a cached
+    /// entry without a lock behind it.
+    pub fn note_key_lock<Q>(&self, tx: &mut Txn, key: Q)
+    where
+        Q: Eq + Hash + Clone + Send + 'static,
+    {
+        if let Some(slot) = self.slot_mut(tx) {
+            cached_keys_mut::<Q>(
+                slot.keys
+                    .get_or_insert_with(|| Box::new(HashSet::<Q>::new()))
+                    .as_mut(),
+            )
+            .insert(key);
+        }
+    }
+
+    /// Probe the txn-local cache for a whole-collection point lock
+    /// ([`CachedPoint`]). Same contract as [`Self::key_lock_cached`].
+    pub fn point_lock_cached(&self, tx: &mut Txn, p: CachedPoint) -> bool {
+        let Some(slot) = self.slot_mut(tx) else {
+            return false;
+        };
+        let hit = slot.points & p.bit() != 0;
+        if hit {
+            self.inner.stats.bump(&self.inner.stats.lock_cache_hits, 1);
+            stm::record_lock_cache_hit();
+            stm::trace::lock_cache_hit(
+                tx.handle().id(),
+                self.inner.stats.class_sym(),
+                p.lock_kind(),
+                0,
+            );
+        }
+        hit
+    }
+
+    /// Remember a point-lock acquisition (strictly after it succeeded).
+    pub fn note_point_lock(&self, tx: &mut Txn, p: CachedPoint) {
+        if let Some(slot) = self.slot_mut(tx) {
+            slot.points |= p.bit();
+        }
     }
 
     /// Run `f` on the calling transaction's local state (creating it at
@@ -297,6 +479,16 @@ impl<C: SemanticClass> SemanticCore<C> {
     /// handlers that will drain it exist).
     pub fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut C::Local) -> R) -> R {
         self.inner.locals.with(tx.handle().id(), f)
+    }
+
+    /// Run `f` on the calling transaction's local state **only if a
+    /// buffering operation has already created it** — the non-creating read
+    /// for body-side probes (store-buffer lookups, delta reads). A
+    /// transaction that only ever reads must not inflate the sharded locals
+    /// table with an empty entry it registered no writes into (the
+    /// single-op fast path); absence simply means "nothing buffered".
+    pub fn try_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut C::Local) -> R) -> Option<R> {
+        self.inner.locals.update(tx.handle().id(), f)
     }
 
     /// Run `f` on transaction `id`'s local state **only if it still

@@ -396,6 +396,15 @@ pub struct SemanticStats {
     /// Acquisitions of the global stripe (size/empty/endpoint/range point
     /// locks) — the residual serialized fraction of semantic-lock traffic.
     pub global_stripe_entries: AtomicU64,
+    /// Semantic-lock acquisitions that actually reached a lock table (one
+    /// per `take_*_lock` insert). With the kernel's txn-local lock cache,
+    /// repeat acquisitions by the same transaction hit the cache instead,
+    /// so this counts *distinct* `(kind, key)` takes per transaction —
+    /// the precise denominator the amortization benches gate on.
+    pub lock_acquisitions: AtomicU64,
+    /// Acquisitions satisfied by the kernel's txn-local lock cache (the
+    /// stripe round trips that did not happen).
+    pub lock_cache_hits: AtomicU64,
     /// Interned class-name symbol for the trace layer (0 until
     /// [`SemanticStats::set_class`] runs — the kernel sets it once at
     /// collection construction).
@@ -520,6 +529,7 @@ impl<K> Default for KeyLockShard<K> {
 
 impl<K: Clone + Eq + Hash> KeyLockShard<K> {
     pub(crate) fn take_key_lock(&mut self, key: K, owner: Owner, stats: &SemanticStats) {
+        stats.bump(&stats.lock_acquisitions, 1);
         trace::sem_lock_acquired(
             owner.id(),
             stats.class_sym(),
@@ -608,11 +618,13 @@ pub(crate) struct PointLocks {
 
 impl PointLocks {
     pub(crate) fn take_size_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        stats.bump(&stats.lock_acquisitions, 1);
         trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Size, 0);
         self.size_lockers.insert(owner);
     }
 
     pub(crate) fn take_empty_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        stats.bump(&stats.lock_acquisitions, 1);
         trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Empty, 0);
         self.empty_lockers.insert(owner);
     }
@@ -905,9 +917,10 @@ impl<L> LocalTable<L> {
         &self.shards[(id & self.mask) as usize]
     }
 
-    /// Whether local state exists for `id` (the freshness probe of
-    /// `ensure_registered`; only `id`'s own thread creates its entry, so
-    /// the answer is stable for that thread).
+    /// Whether local state exists for `id` (test-only probe; production
+    /// registration checks moved to the transaction's own extension slot —
+    /// the deferred-registration fast path never asks the shared table).
+    #[cfg(test)]
     pub(crate) fn contains(&self, id: u64) -> bool {
         self.shard(id).lock().contains_key(&id)
     }
@@ -1047,11 +1060,13 @@ impl<K: Clone + Ord> SortedLockTables<K> {
     }
 
     pub(crate) fn take_first_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        stats.bump(&stats.lock_acquisitions, 1);
         trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Endpoint, 0);
         self.first_lockers.insert(owner);
     }
 
     pub(crate) fn take_last_lock(&mut self, owner: Owner, stats: &SemanticStats) {
+        stats.bump(&stats.lock_acquisitions, 1);
         trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Endpoint, 0);
         self.last_lockers.insert(owner);
     }
@@ -1065,6 +1080,7 @@ impl<K: Clone + Ord> SortedLockTables<K> {
         upper: Bound<K>,
         stats: &SemanticStats,
     ) -> u64 {
+        stats.bump(&stats.lock_acquisitions, 1);
         trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Range, 0);
         match &mut self.ranges {
             RangeStore::Flat { locks, next_id } => {

@@ -14,9 +14,12 @@
 //!    takes key locks on returned keys and the size lock once exhausted
 //!    (Table 2). Lock acquisition is a short critical section on one stripe
 //!    of the instance's striped lock table (point locks live in the global
-//!    stripe), after which the committed value is read in an **open-nested**
-//!    transaction — so the parent transaction carries *no memory dependency*
-//!    on the underlying structure.
+//!    stripe) — and repeat acquisitions by the same transaction are
+//!    short-circuited by the kernel's txn-local lock cache — after which the
+//!    committed value is read as a **flattened open** (`Txn::open_read`:
+//!    validated exactly like an open-nested child, with no child
+//!    transaction), so the parent carries *no memory dependency* on the
+//!    underlying structure.
 //! 2. **Check for semantic conflicts while writing during commit.** Writes
 //!    (`put`/`remove`) are buffered in transaction-local state (`storeBuffer`,
 //!    `delta` — Table 3). The commit handler applies the buffer to the
@@ -45,9 +48,10 @@
 //! `docs/PROTOCOL.md` for the full argument under the sharded commit path.
 
 // txlint: semantic-tables
+// txlint: fast-path
 use crate::backend::MapBackend;
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
-use crate::kernel::{ClassTables, SemanticClass, SemanticCore};
+use crate::kernel::{CachedPoint, ClassTables, SemanticClass, SemanticCore};
 use crate::locks::{ObsMode, SemanticStats, UpdateEffect, DEFAULT_STRIPES};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -509,8 +513,15 @@ where
     }
 
     /// Take a key read lock (in the key's stripe) and remember it locally
-    /// for cheap release.
+    /// for cheap release. The txn-local lock cache short-circuits repeat
+    /// acquisitions: only the first touch of a key pays the stripe round
+    /// trip. The cache is noted strictly after both the acquisition and the
+    /// release-list insert, so it is always a subset of `key_locks` — a hit
+    /// can never name a lock the release sweep will not drop.
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
+        if self.core.key_lock_cached(tx, key) {
+            return;
+        }
         let owner = tx.handle().clone();
         self.core
             .class()
@@ -519,10 +530,13 @@ where
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
         });
+        self.core.note_key_lock(tx, key.clone());
     }
 
     fn buffered(&self, tx: &Txn, key: &K) -> Option<BufWrite<V>> {
-        self.with_local(tx, |l| l.store_buffer.get(key).cloned())
+        self.core
+            .try_local(tx, |l| l.store_buffer.get(key).cloned())
+            .flatten()
     }
 
     /// Buffered entry plus whether it is blind (its presence relative to the
@@ -530,9 +544,11 @@ where
     /// writes to the key, or the size delta silently loses the unresolved
     /// contribution.
     fn buffered_with_blind(&self, tx: &Txn, key: &K) -> (Option<BufWrite<V>>, bool) {
-        self.with_local(tx, |l| {
-            (l.store_buffer.get(key).cloned(), l.blind.contains(key))
-        })
+        self.core
+            .try_local(tx, |l| {
+                (l.store_buffer.get(key).cloned(), l.blind.contains(key))
+            })
+            .unwrap_or((None, false))
     }
 
     /// Buffer a write, maintaining `delta`/`blind`, and register a local
@@ -584,8 +600,10 @@ where
     // Read operations (Table 2, upper half)
     // ------------------------------------------------------------------
 
-    /// Look up a key. Takes a key lock; reads the committed map open-nested;
-    /// consults the store buffer for this transaction's own writes.
+    /// Look up a key. Takes a key lock; reads the committed map as a
+    /// flattened open (`Txn::open_read` — validated like an open-nested
+    /// child, without the child); consults the store buffer for this
+    /// transaction's own writes.
     pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
@@ -596,7 +614,7 @@ where
         }
         self.take_key_lock(tx, key);
         let backend = &self.core.class().backend;
-        tx.open(|otx| backend.get(otx, key))
+        tx.open_read(|otx| backend.get(otx, key))
     }
 
     /// Whether a key is present (key lock on the argument — note that even
@@ -612,18 +630,21 @@ where
         }
         self.take_key_lock(tx, key);
         let backend = &self.core.class().backend;
-        tx.open(|otx| backend.contains_key(otx, key))
+        tx.open_read(|otx| backend.contains_key(otx, key))
     }
 
     /// Resolve blind writes: a size observation needs to know whether each
     /// blindly written key was previously present, which is itself a key
     /// read (so it takes the key lock the blind write deliberately avoided).
     fn resolve_blind(&self, tx: &mut Txn) {
-        let blind: Vec<K> = self.with_local(tx, |l| l.blind.iter().cloned().collect());
+        let blind: Vec<K> = self
+            .core
+            .try_local(tx, |l| l.blind.iter().cloned().collect())
+            .unwrap_or_default();
         for k in blind {
             self.take_key_lock(tx, &k);
             let backend = &self.core.class().backend;
-            let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
+            let committed_present = tx.open_read(|otx| backend.contains_key(otx, &k));
             self.with_local(tx, |l| {
                 if l.blind.remove(&k) {
                     let buffered_present = matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
@@ -640,14 +661,17 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        let owner = tx.handle().clone();
-        self.core
-            .class()
-            .tables
-            .take_size_lock(self.core.stats(), owner);
+        if !self.core.point_lock_cached(tx, CachedPoint::Size) {
+            let owner = tx.handle().clone();
+            self.core
+                .class()
+                .tables
+                .take_size_lock(self.core.stats(), owner);
+            self.core.note_point_lock(tx, CachedPoint::Size);
+        }
         let backend = &self.core.class().backend;
-        let committed = tx.open(|otx| backend.len(otx));
-        let delta = self.with_local(tx, |l| l.delta);
+        let committed = tx.open_read(|otx| backend.len(otx));
+        let delta = self.core.try_local(tx, |l| l.delta).unwrap_or(0);
         (committed as isize + delta).max(0) as usize
     }
 
@@ -666,14 +690,17 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        let owner = tx.handle().clone();
-        self.core
-            .class()
-            .tables
-            .take_empty_lock(self.core.stats(), owner);
+        if !self.core.point_lock_cached(tx, CachedPoint::Empty) {
+            let owner = tx.handle().clone();
+            self.core
+                .class()
+                .tables
+                .take_empty_lock(self.core.stats(), owner);
+            self.core.note_point_lock(tx, CachedPoint::Empty);
+        }
         let backend = &self.core.class().backend;
-        let committed = tx.open(|otx| backend.len(otx));
-        let delta = self.with_local(tx, |l| l.delta);
+        let committed = tx.open_read(|otx| backend.len(otx));
+        let delta = self.core.try_local(tx, |l| l.delta).unwrap_or(0);
         (committed as isize + delta) <= 0
     }
 
@@ -697,7 +724,7 @@ where
             None => {
                 self.take_key_lock(tx, &key);
                 let backend = &self.core.class().backend;
-                tx.open(|otx| backend.get(otx, &key))
+                tx.open_read(|otx| backend.get(otx, &key))
             }
         };
         // A blind entry's contribution to the size is still unresolved:
@@ -731,11 +758,14 @@ where
                 self.buffer_write(tx, key, BufWrite::Put(value), 1, false);
             }
             (None, _) => {
-                let known_lock = self.with_local(tx, |l| l.key_locks.contains(&key));
+                let known_lock = self
+                    .core
+                    .try_local(tx, |l| l.key_locks.contains(&key))
+                    .unwrap_or(false);
                 if known_lock {
                     // We already read this key earlier: presence is known.
                     let backend = &self.core.class().backend;
-                    let present = tx.open(|otx| backend.contains_key(otx, &key));
+                    let present = tx.open_read(|otx| backend.contains_key(otx, &key));
                     self.buffer_write(
                         tx,
                         key,
@@ -762,7 +792,7 @@ where
             None => {
                 self.take_key_lock(tx, key);
                 let backend = &self.core.class().backend;
-                tx.open(|otx| backend.get(otx, key))
+                tx.open_read(|otx| backend.get(otx, key))
             }
         };
         let delta_change = if was_blind {
@@ -788,10 +818,13 @@ where
             }
             (Some(BufWrite::Remove), _) => {}
             (None, _) => {
-                let known_lock = self.with_local(tx, |l| l.key_locks.contains(key));
+                let known_lock = self
+                    .core
+                    .try_local(tx, |l| l.key_locks.contains(key))
+                    .unwrap_or(false);
                 if known_lock {
                     let backend = &self.core.class().backend;
-                    let present = tx.open(|otx| backend.contains_key(otx, key));
+                    let present = tx.open_read(|otx| backend.contains_key(otx, key));
                     self.buffer_write(
                         tx,
                         key.clone(),
@@ -823,17 +856,20 @@ where
         self.ensure_registered(tx);
         let backend = &self.core.class().backend;
         let committed_keys: Vec<K> =
-            tx.open(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
+            tx.open_read(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
         let key_set: HashSet<K> = committed_keys.iter().cloned().collect();
-        let buffered_new: Vec<(K, V)> = self.with_local(tx, |l| {
-            l.store_buffer
-                .iter()
-                .filter_map(|(k, w)| match w {
-                    BufWrite::Put(v) if !key_set.contains(k) => Some((k.clone(), v.clone())),
-                    _ => None,
-                })
-                .collect()
-        });
+        let buffered_new: Vec<(K, V)> = self
+            .core
+            .try_local(tx, |l| {
+                l.store_buffer
+                    .iter()
+                    .filter_map(|(k, w)| match w {
+                        BufWrite::Put(v) if !key_set.contains(k) => Some((k.clone(), v.clone())),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         TxMapIter {
             map: self.clone(),
             keys: committed_keys,
@@ -912,7 +948,7 @@ where
                 // Lock, then read live (lock-then-read soundness).
                 self.map.take_key_lock(tx, &k);
                 let backend = &self.map.core.class().backend;
-                let committed = tx.open(|otx| backend.get(otx, &k));
+                let committed = tx.open_read(|otx| backend.get(otx, &k));
                 if committed.is_some() {
                     self.confirmed.insert(k.clone());
                 }
@@ -933,12 +969,15 @@ where
             }
             if !self.exhausted {
                 self.exhausted = true;
-                let owner = tx.handle().clone();
-                self.map
-                    .core
-                    .class()
-                    .tables
-                    .take_size_lock(self.map.core.stats(), owner);
+                if !self.map.core.point_lock_cached(tx, CachedPoint::Size) {
+                    let owner = tx.handle().clone();
+                    self.map
+                        .core
+                        .class()
+                        .tables
+                        .take_size_lock(self.map.core.stats(), owner);
+                    self.map.core.note_point_lock(tx, CachedPoint::Size);
+                }
                 // Completeness check: keys committed after our snapshot would
                 // silently be missed. Verify the set of confirmed keys equals
                 // the live committed key set; otherwise abort and retry. Every
@@ -947,7 +986,7 @@ where
                 // instant — a valid serialization point.
                 let backend = &self.map.core.class().backend;
                 let live: HashSet<K> =
-                    tx.open(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
+                    tx.open_read(|otx| backend.entries(otx).into_iter().map(|(k, _)| k).collect());
                 if live != self.confirmed {
                     stm::abort_and_retry();
                 }

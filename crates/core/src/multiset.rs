@@ -12,9 +12,10 @@
 //! dispatch matrix at construction.
 
 // txlint: semantic-tables
+// txlint: fast-path
 use crate::backend::MapBackend;
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
-use crate::kernel::{ClassTables, SemanticClass, SemanticCore};
+use crate::kernel::{CachedPoint, ClassTables, SemanticClass, SemanticCore};
 use crate::locks::{ObsMode, SemanticStats, UpdateEffect, DEFAULT_STRIPES};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -323,6 +324,9 @@ where
     }
 
     fn take_key_lock(&self, tx: &mut Txn, value: &T) {
+        if self.core.key_lock_cached(tx, value) {
+            return;
+        }
         let owner = tx.handle().clone();
         self.core
             .class()
@@ -331,6 +335,7 @@ where
         self.with_local(tx, |l| {
             l.key_locks.insert(value.clone());
         });
+        self.core.note_key_lock(tx, value.clone());
     }
 
     /// Buffer a count delta with a local undo (closed-nested rollback).
@@ -371,8 +376,11 @@ where
     fn visible_count(&self, tx: &mut Txn, value: &T) -> i64 {
         self.take_key_lock(tx, value);
         let backend = &self.core.class().backend;
-        let committed = tx.open(|otx| backend.get(otx, value)).unwrap_or(0) as i64;
-        let delta = self.with_local(tx, |l| l.deltas.get(value).copied().unwrap_or(0));
+        let committed = tx.open_read(|otx| backend.get(otx, value)).unwrap_or(0) as i64;
+        let delta = self
+            .core
+            .try_local(tx, |l| l.deltas.get(value).copied().unwrap_or(0))
+            .unwrap_or(0);
         (committed + delta).max(0)
     }
 
@@ -407,14 +415,17 @@ where
     pub fn len(&self, tx: &mut Txn) -> usize {
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
-        let owner = tx.handle().clone();
-        self.core
-            .class()
-            .tables
-            .take_size_lock(self.core.stats(), owner);
+        if !self.core.point_lock_cached(tx, CachedPoint::Size) {
+            let owner = tx.handle().clone();
+            self.core
+                .class()
+                .tables
+                .take_size_lock(self.core.stats(), owner);
+            self.core.note_point_lock(tx, CachedPoint::Size);
+        }
         let total = self.core.class().total.clone();
-        let committed = tx.open(move |otx| total.read(otx)) as i64;
-        let delta = self.with_local(tx, |l| l.total_delta);
+        let committed = tx.open_read(move |otx| total.read(otx)) as i64;
+        let delta = self.core.try_local(tx, |l| l.total_delta).unwrap_or(0);
         (committed + delta).max(0) as usize
     }
 
@@ -428,14 +439,17 @@ where
     pub fn is_empty_primitive(&self, tx: &mut Txn) -> bool {
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
-        let owner = tx.handle().clone();
-        self.core
-            .class()
-            .tables
-            .take_empty_lock(self.core.stats(), owner);
+        if !self.core.point_lock_cached(tx, CachedPoint::Empty) {
+            let owner = tx.handle().clone();
+            self.core
+                .class()
+                .tables
+                .take_empty_lock(self.core.stats(), owner);
+            self.core.note_point_lock(tx, CachedPoint::Empty);
+        }
         let total = self.core.class().total.clone();
-        let committed = tx.open(move |otx| total.read(otx)) as i64;
-        let delta = self.with_local(tx, |l| l.total_delta);
+        let committed = tx.open_read(move |otx| total.read(otx)) as i64;
+        let delta = self.core.try_local(tx, |l| l.total_delta).unwrap_or(0);
         (committed + delta) <= 0
     }
 

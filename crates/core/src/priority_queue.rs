@@ -13,10 +13,12 @@
 //! the dispatch matrix at construction.
 
 // txlint: semantic-tables
+// txlint: fast-path
 use crate::backend::SortedMapBackend;
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{
-    sweep_commit_footprint, sweep_release_footprint, FootprintOp, SemanticClass, SemanticCore,
+    sweep_commit_footprint, sweep_release_footprint, CachedPoint, FootprintOp, SemanticClass,
+    SemanticCore,
 };
 use crate::locks::{
     ObsMode, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables,
@@ -427,6 +429,9 @@ where
     }
 
     fn take_key_lock(&self, tx: &mut Txn, value: &T) {
+        if self.core.key_lock_cached(tx, value) {
+            return;
+        }
         let owner = tx.handle().clone();
         let class = self.core.class();
         let stats = self.core.stats();
@@ -436,6 +441,7 @@ where
         self.with_local(tx, |l| {
             l.key_locks.insert(value.clone());
         });
+        self.core.note_key_lock(tx, value.clone());
     }
 
     /// Buffer a multiplicity delta with a local undo (closed-nested
@@ -475,35 +481,44 @@ where
     /// the `Empty` lock, when there is no result — is taken before
     /// returning.
     fn visible_min(&self, tx: &mut Txn) -> Option<T> {
-        let owner = tx.handle().clone();
         let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.sorted.take_first_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::First) {
+            let owner = tx.handle().clone();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.sorted.take_first_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::First);
+        }
 
         // Committed side: counts stored in the backend are always >= 1, but
         // this transaction's own buffered deltas may cancel them.
         let mut committed_min: Option<T> = None;
         let backend = &self.core.class().backend;
-        let mut cur = tx.open(|otx| backend.first_entry(otx));
+        let mut cur = tx.open_read(|otx| backend.first_entry(otx));
         while let Some((k, c)) = cur {
-            let delta = self.with_local(tx, |l| l.deltas.get(&k).copied().unwrap_or(0));
+            let delta = self
+                .core
+                .try_local(tx, |l| l.deltas.get(&k).copied().unwrap_or(0))
+                .unwrap_or(0);
             if c as i64 + delta > 0 {
                 committed_min = Some(k);
                 break;
             }
-            cur = tx.open(|otx| backend.next_entry_after(otx, &k));
+            cur = tx.open_read(|otx| backend.next_entry_after(otx, &k));
         }
 
         // Buffered side: a positive delta is visible regardless of the
         // committed count.
-        let buffered_min = self.with_local(tx, |l| {
-            l.deltas
-                .iter()
-                .find(|(_, d)| **d > 0)
-                .map(|(k, _)| k.clone())
-        });
+        let buffered_min = self
+            .core
+            .try_local(tx, |l| {
+                l.deltas
+                    .iter()
+                    .find(|(_, d)| **d > 0)
+                    .map(|(k, _)| k.clone())
+            })
+            .flatten();
 
         let candidate = match (committed_min, buffered_min) {
             (None, None) => None,
@@ -514,11 +529,14 @@ where
         match &candidate {
             Some(k) => self.take_key_lock(tx, k),
             None => {
-                let owner = tx.handle().clone();
-                self.core
-                    .class()
-                    .tables
-                    .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+                if !self.core.point_lock_cached(tx, CachedPoint::Empty) {
+                    let owner = tx.handle().clone();
+                    self.core
+                        .class()
+                        .tables
+                        .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+                    self.core.note_point_lock(tx, CachedPoint::Empty);
+                }
             }
         }
         candidate
@@ -546,15 +564,18 @@ where
     pub fn len(&self, tx: &mut Txn) -> usize {
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
-        let owner = tx.handle().clone();
-        let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.points.take_size_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::Size) {
+            let owner = tx.handle().clone();
+            let stats = self.core.stats();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.points.take_size_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Size);
+        }
         let total = self.core.class().total.clone();
-        let committed = tx.open(move |otx| total.read(otx)) as i64;
-        let delta = self.with_local(tx, |l| l.total_delta);
+        let committed = tx.open_read(move |otx| total.read(otx)) as i64;
+        let delta = self.core.try_local(tx, |l| l.total_delta).unwrap_or(0);
         (committed + delta).max(0) as usize
     }
 
@@ -568,15 +589,18 @@ where
     pub fn is_empty_primitive(&self, tx: &mut Txn) -> bool {
         Self::assert_usable(tx);
         self.core.ensure_registered(tx);
-        let owner = tx.handle().clone();
-        let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::Empty) {
+            let owner = tx.handle().clone();
+            let stats = self.core.stats();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Empty);
+        }
         let total = self.core.class().total.clone();
-        let committed = tx.open(move |otx| total.read(otx)) as i64;
-        let delta = self.with_local(tx, |l| l.total_delta);
+        let committed = tx.open_read(move |otx| total.read(otx)) as i64;
+        let delta = self.core.try_local(tx, |l| l.total_delta).unwrap_or(0);
         (committed + delta) <= 0
     }
 }

@@ -29,9 +29,10 @@
 //! every other collection.
 
 // txlint: semantic-tables
+// txlint: fast-path
 use crate::backend::QueueBackend;
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
-use crate::kernel::{SemanticClass, SemanticCore};
+use crate::kernel::{CachedPoint, SemanticClass, SemanticCore};
 use crate::locks::{
     doom_others, mode_compatible, DoomCtx, GlobalStripe, ObsMode, Owner, SemanticStats,
     UpdateEffect, DEFAULT_STRIPES,
@@ -415,30 +416,44 @@ where
         self.core.with_local(tx, f)
     }
 
-    fn take_empty_lock(&self, tx: &Txn) {
+    fn take_empty_lock(&self, tx: &mut Txn) {
+        if self.core.point_lock_cached(tx, CachedPoint::Empty) {
+            return;
+        }
         let owner = tx.handle().clone();
         let stats = self.core.stats();
+        stats.bump(&stats.lock_acquisitions, 1);
         self.core.class().tables.with(stats, |t| {
             trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Empty, 0);
             t.empty_lockers.insert(owner);
         });
+        self.core.note_point_lock(tx, CachedPoint::Empty);
     }
 
-    fn take_full_lock(&self, tx: &Txn) {
+    fn take_full_lock(&self, tx: &mut Txn) {
+        if self.core.point_lock_cached(tx, CachedPoint::Full) {
+            return;
+        }
         let owner = tx.handle().clone();
         let stats = self.core.stats();
+        stats.bump(&stats.lock_acquisitions, 1);
         self.core.class().tables.with(stats, |t| {
             trace::sem_lock_acquired(owner.id(), stats.class_sym(), LockKind::Full, 0);
             t.full_lockers.insert(owner);
         });
+        self.core.note_point_lock(tx, CachedPoint::Full);
     }
 
     /// The number of items this transaction would see: committed queue plus
     /// everything it will publish at commit.
     fn visible_len(&self, tx: &mut Txn) -> usize {
         let backend = &self.core.class().backend;
-        let committed = tx.open(|otx| backend.len(otx));
-        committed + self.with_local(tx, |l| l.add_buffer.len() + l.return_buffer.len())
+        let committed = tx.open_read(|otx| backend.len(otx));
+        committed
+            + self
+                .core
+                .try_local(tx, |l| l.add_buffer.len() + l.return_buffer.len())
+                .unwrap_or(0)
     }
 
     /// Dequeue with blocking-take semantics in the threaded runtime: if the
@@ -455,7 +470,7 @@ where
     /// (diagnostic; takes no semantic locks).
     pub fn committed_len(&self, tx: &mut Txn) -> usize {
         let backend = &self.core.class().backend;
-        tx.open(|otx| backend.len(otx))
+        tx.open_read(|otx| backend.len(otx))
     }
 }
 
@@ -507,7 +522,9 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         let id = tx.handle().id();
-        // Reduced isolation: remove from the shared queue immediately.
+        // Reduced isolation: remove from the shared queue immediately. A
+        // mutating open — this one cannot flatten (`open_read` is read-only
+        // by contract) and stays a real open-nested child.
         let backend = &self.core.class().backend;
         if let Some(item) = tx.open(|otx| backend.pop_front(otx)) {
             let index = self.with_local(tx, |l| {
@@ -528,13 +545,16 @@ where
             return Some(item);
         }
         // Shared queue empty: consume our own pending additions.
-        let own = self.with_local(tx, |l| {
-            if l.add_buffer.is_empty() {
-                None
-            } else {
-                Some(l.add_buffer.remove(0))
-            }
-        });
+        let own = self
+            .core
+            .try_local(tx, |l| {
+                if l.add_buffer.is_empty() {
+                    None
+                } else {
+                    Some(l.add_buffer.remove(0))
+                }
+            })
+            .flatten();
         if let Some(item) = own {
             let core = self.core.clone();
             let item2 = item.clone();
@@ -554,13 +574,16 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         let backend = &self.core.class().backend;
-        if let Some(item) = tx.open(|otx| backend.peek_front(otx)) {
+        if let Some(item) = tx.open_read(|otx| backend.peek_front(otx)) {
             // A non-null peek never conflicts (Table 7: the queue is
             // unordered, so observing *an* element commutes with puts and
             // with takes of other elements).
             return Some(item);
         }
-        let own = self.with_local(tx, |l| l.add_buffer.first().cloned());
+        let own = self
+            .core
+            .try_local(tx, |l| l.add_buffer.first().cloned())
+            .flatten();
         if own.is_some() {
             return own;
         }

@@ -31,10 +31,12 @@
 //! buffer in key order.
 
 // txlint: semantic-tables
+// txlint: fast-path
 use crate::backend::SortedMapBackend;
 use crate::conflict_graph::{edge, op, ConflictGraph, Overlap};
 use crate::kernel::{
-    sweep_commit_footprint, sweep_release_footprint, FootprintOp, SemanticClass, SemanticCore,
+    sweep_commit_footprint, sweep_release_footprint, CachedPoint, FootprintOp, SemanticClass,
+    SemanticCore,
 };
 use crate::locks::{
     key_hash64, ObsMode, RangeIndexKind, SemanticStats, SortedGlobal, SortedTables, StripedTables,
@@ -627,6 +629,9 @@ where
     }
 
     fn take_key_lock(&self, tx: &mut Txn, key: &K) {
+        if self.core.key_lock_cached(tx, key) {
+            return;
+        }
         let owner = tx.handle().clone();
         let class = self.core.class();
         let stats = self.core.stats();
@@ -636,10 +641,13 @@ where
         self.with_local(tx, |l| {
             l.key_locks.insert(key.clone());
         });
+        self.core.note_key_lock(tx, key.clone());
     }
 
     fn buffered(&self, tx: &Txn, key: &K) -> Option<BufWrite<V>> {
-        self.with_local(tx, |l| l.store_buffer.get(key).cloned())
+        self.core
+            .try_local(tx, |l| l.store_buffer.get(key).cloned())
+            .flatten()
     }
 
     /// Buffered entry plus whether it is blind (its presence relative to the
@@ -647,9 +655,11 @@ where
     /// writes to the key, or the size delta silently loses the unresolved
     /// contribution.
     fn buffered_with_blind(&self, tx: &Txn, key: &K) -> (Option<BufWrite<V>>, bool) {
-        self.with_local(tx, |l| {
-            (l.store_buffer.get(key).cloned(), l.blind.contains(key))
-        })
+        self.core
+            .try_local(tx, |l| {
+                (l.store_buffer.get(key).cloned(), l.blind.contains(key))
+            })
+            .unwrap_or((None, false))
     }
 
     fn buffer_write(
@@ -706,7 +716,7 @@ where
         }
         self.take_key_lock(tx, key);
         let backend = &self.core.class().backend;
-        tx.open(|otx| backend.get(otx, key))
+        tx.open_read(|otx| backend.get(otx, key))
     }
 
     /// Whether a key is present (key lock).
@@ -720,7 +730,7 @@ where
         }
         self.take_key_lock(tx, key);
         let backend = &self.core.class().backend;
-        tx.open(|otx| backend.contains_key(otx, key))
+        tx.open_read(|otx| backend.contains_key(otx, key))
     }
 
     /// Insert or replace; returns the previous value (reads the key).
@@ -734,7 +744,7 @@ where
             None => {
                 self.take_key_lock(tx, &key);
                 let backend = &self.core.class().backend;
-                tx.open(|otx| backend.get(otx, &key))
+                tx.open_read(|otx| backend.get(otx, &key))
             }
         };
         // A blind entry's contribution to the size is still unresolved:
@@ -779,7 +789,7 @@ where
             None => {
                 self.take_key_lock(tx, key);
                 let backend = &self.core.class().backend;
-                tx.open(|otx| backend.get(otx, key))
+                tx.open_read(|otx| backend.get(otx, key))
             }
         };
         let delta_change = if was_blind {
@@ -811,11 +821,14 @@ where
     }
 
     fn resolve_blind(&self, tx: &mut Txn) {
-        let blind: Vec<K> = self.with_local(tx, |l| l.blind.iter().cloned().collect());
+        let blind: Vec<K> = self
+            .core
+            .try_local(tx, |l| l.blind.iter().cloned().collect())
+            .unwrap_or_default();
         for k in blind {
             self.take_key_lock(tx, &k);
             let backend = &self.core.class().backend;
-            let committed_present = tx.open(|otx| backend.contains_key(otx, &k));
+            let committed_present = tx.open_read(|otx| backend.contains_key(otx, &k));
             self.with_local(tx, |l| {
                 if l.blind.remove(&k) {
                     let buffered_present = matches!(l.store_buffer.get(&k), Some(BufWrite::Put(_)));
@@ -830,15 +843,18 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        let owner = tx.handle().clone();
-        let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.points.take_size_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::Size) {
+            let owner = tx.handle().clone();
+            let stats = self.core.stats();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.points.take_size_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Size);
+        }
         let backend = &self.core.class().backend;
-        let committed = tx.open(|otx| backend.len(otx));
-        let delta = self.with_local(tx, |l| l.delta);
+        let committed = tx.open_read(|otx| backend.len(otx));
+        let delta = self.core.try_local(tx, |l| l.delta).unwrap_or(0);
         (committed as isize + delta).max(0) as usize
     }
 
@@ -853,15 +869,18 @@ where
         Self::assert_usable(tx);
         self.ensure_registered(tx);
         self.resolve_blind(tx);
-        let owner = tx.handle().clone();
-        let stats = self.core.stats();
-        self.core
-            .class()
-            .tables
-            .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+        if !self.core.point_lock_cached(tx, CachedPoint::Empty) {
+            let owner = tx.handle().clone();
+            let stats = self.core.stats();
+            self.core
+                .class()
+                .tables
+                .with_global(stats, |g| g.points.take_empty_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Empty);
+        }
         let backend = &self.core.class().backend;
-        let committed = tx.open(|otx| backend.len(otx));
-        let delta = self.with_local(tx, |l| l.delta);
+        let committed = tx.open_read(|otx| backend.len(otx));
+        let delta = self.core.try_local(tx, |l| l.delta).unwrap_or(0);
         (committed as isize + delta) <= 0
     }
 
@@ -874,9 +893,9 @@ where
     fn committed_next(&self, tx: &mut Txn, from: &Bound<K>, upper: &Bound<K>) -> Option<(K, V)> {
         let backend = &self.core.class().backend;
         let mut cur = match from {
-            Bound::Unbounded => tx.open(|otx| backend.first_entry(otx)),
-            Bound::Included(k) => tx.open(|otx| backend.ceiling_entry(otx, k)),
-            Bound::Excluded(k) => tx.open(|otx| backend.next_entry_after(otx, k)),
+            Bound::Unbounded => tx.open_read(|otx| backend.first_entry(otx)),
+            Bound::Included(k) => tx.open_read(|otx| backend.ceiling_entry(otx, k)),
+            Bound::Excluded(k) => tx.open_read(|otx| backend.next_entry_after(otx, k)),
         };
         while let Some((k, v)) = cur {
             if !below_upper(&k, upper) {
@@ -884,7 +903,7 @@ where
             }
             match self.buffered(tx, &k) {
                 Some(BufWrite::Remove) => {
-                    cur = tx.open(|otx| backend.next_entry_after(otx, &k));
+                    cur = tx.open_read(|otx| backend.next_entry_after(otx, &k));
                 }
                 _ => return Some((k, v)),
             }
@@ -894,17 +913,19 @@ where
 
     /// Smallest buffered `Put` with key in `(from, upper]`.
     fn buffered_next(&self, tx: &Txn, from: &Bound<K>, upper: &Bound<K>) -> Option<(K, V)> {
-        self.with_local(tx, |l| {
-            l.store_buffer
-                .iter()
-                .filter_map(|(k, w)| match w {
-                    BufWrite::Put(v) if above_lower(k, from) && below_upper(k, upper) => {
-                        Some((k.clone(), v.clone()))
-                    }
-                    _ => None,
-                })
-                .min_by(|a, b| a.0.cmp(&b.0))
-        })
+        self.core
+            .try_local(tx, |l| {
+                l.store_buffer
+                    .iter()
+                    .filter_map(|(k, w)| match w {
+                        BufWrite::Put(v) if above_lower(k, from) && below_upper(k, upper) => {
+                            Some((k.clone(), v.clone()))
+                        }
+                        _ => None,
+                    })
+                    .min_by(|a, b| a.0.cmp(&b.0))
+            })
+            .flatten()
     }
 
     /// Largest committed entry at or below `upper`, skipping keys the buffer
@@ -912,9 +933,9 @@ where
     fn committed_prev(&self, tx: &mut Txn, upper: &Bound<K>, lower: &Bound<K>) -> Option<(K, V)> {
         let backend = &self.core.class().backend;
         let mut cur = match upper {
-            Bound::Unbounded => tx.open(|otx| backend.last_entry(otx)),
-            Bound::Included(k) => tx.open(|otx| backend.floor_entry(otx, k)),
-            Bound::Excluded(k) => tx.open(|otx| backend.prev_entry_before(otx, k)),
+            Bound::Unbounded => tx.open_read(|otx| backend.last_entry(otx)),
+            Bound::Included(k) => tx.open_read(|otx| backend.floor_entry(otx, k)),
+            Bound::Excluded(k) => tx.open_read(|otx| backend.prev_entry_before(otx, k)),
         };
         while let Some((k, v)) = cur {
             if !above_lower(&k, lower) {
@@ -922,7 +943,7 @@ where
             }
             match self.buffered(tx, &k) {
                 Some(BufWrite::Remove) => {
-                    cur = tx.open(|otx| backend.prev_entry_before(otx, &k));
+                    cur = tx.open_read(|otx| backend.prev_entry_before(otx, &k));
                 }
                 _ => return Some((k, v)),
             }
@@ -942,13 +963,15 @@ where
     pub fn first_in_range(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) -> Option<(K, V)> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        if matches!(lower, Bound::Unbounded) {
+        if matches!(lower, Bound::Unbounded) && !self.core.point_lock_cached(tx, CachedPoint::First)
+        {
             let owner = tx.handle().clone();
             let stats = self.core.stats();
             self.core
                 .class()
                 .tables
                 .with_global(stats, |g| g.sorted.take_first_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::First);
         }
         for _attempt in 0..64 {
             let committed = self.committed_next(tx, &lower, &upper);
@@ -1010,17 +1033,19 @@ where
 
     /// Largest buffered `Put` with key in `[lower, upper]` bounds.
     fn buffered_prev(&self, tx: &Txn, upper: &Bound<K>, lower: &Bound<K>) -> Option<(K, V)> {
-        self.with_local(tx, |l| {
-            l.store_buffer
-                .iter()
-                .filter_map(|(k, w)| match w {
-                    BufWrite::Put(v) if above_lower(k, lower) && below_upper(k, upper) => {
-                        Some((k.clone(), v.clone()))
-                    }
-                    _ => None,
-                })
-                .max_by(|a, b| a.0.cmp(&b.0))
-        })
+        self.core
+            .try_local(tx, |l| {
+                l.store_buffer
+                    .iter()
+                    .filter_map(|(k, w)| match w {
+                        BufWrite::Put(v) if above_lower(k, lower) && below_upper(k, upper) => {
+                            Some((k.clone(), v.clone()))
+                        }
+                        _ => None,
+                    })
+                    .max_by(|a, b| a.0.cmp(&b.0))
+            })
+            .flatten()
     }
 
     /// The largest visible entry in the given range — the mirror of
@@ -1030,13 +1055,15 @@ where
     pub fn last_in_range(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) -> Option<(K, V)> {
         Self::assert_usable(tx);
         self.ensure_registered(tx);
-        if matches!(upper, Bound::Unbounded) {
+        if matches!(upper, Bound::Unbounded) && !self.core.point_lock_cached(tx, CachedPoint::Last)
+        {
             let owner = tx.handle().clone();
             let stats = self.core.stats();
             self.core
                 .class()
                 .tables
                 .with_global(stats, |g| g.sorted.take_last_lock(owner, stats));
+            self.core.note_point_lock(tx, CachedPoint::Last);
         }
         for _attempt in 0..64 {
             let committed = self.committed_prev(tx, &upper, &lower);
@@ -1301,7 +1328,9 @@ where
                     // Exhaustion: lock the whole remaining range, then make
                     // sure nothing appeared before the lock landed.
                     self.extend_lock(tx, self.upper.clone());
-                    if matches!(self.upper, Bound::Unbounded) {
+                    if matches!(self.upper, Bound::Unbounded)
+                        && !self.map.core.point_lock_cached(tx, CachedPoint::Last)
+                    {
                         // Observed that nothing follows: the last-key lock
                         // of Table 5's `hasNext == false` row.
                         let owner = tx.handle().clone();
@@ -1310,6 +1339,7 @@ where
                         class
                             .tables
                             .with_global(stats, |g| g.sorted.take_last_lock(owner, stats));
+                        self.map.core.note_point_lock(tx, CachedPoint::Last);
                     }
                     let verify = self.map.committed_next(tx, &from, &self.upper);
                     if verify.is_some() {

@@ -81,8 +81,8 @@ pub use handlers::HandlerCtx;
 pub use interrupt::{abort_and_retry, user_abort, AbortCause};
 pub use runtime::{atomic, atomic_with, speculate, PreparedTxn, RunOpts};
 pub use stats::{
-    global_stats, record_global_stripe_entry, record_stripe_lock_spin, reset_global_stats,
-    StatsSnapshot,
+    global_stats, record_global_stripe_entry, record_lock_cache_hit, record_open_flattened,
+    record_stripe_lock_spin, reset_global_stats, StatsSnapshot,
 };
 pub use tvar::{label_var, var_label, TVar, VarId};
 pub use txn::{Txn, TxnMode};

@@ -16,6 +16,8 @@ struct Counters {
     aborts_explicit: AtomicU64,
     open_commits: AtomicU64,
     open_retries: AtomicU64,
+    open_flattened: AtomicU64,
+    lock_cache_hits: AtomicU64,
     frame_retries: AtomicU64,
     handler_runs: AtomicU64,
     var_lock_spins: AtomicU64,
@@ -34,6 +36,8 @@ static COUNTERS: Counters = Counters {
     aborts_explicit: AtomicU64::new(0),
     open_commits: AtomicU64::new(0),
     open_retries: AtomicU64::new(0),
+    open_flattened: AtomicU64::new(0),
+    lock_cache_hits: AtomicU64::new(0),
     frame_retries: AtomicU64::new(0),
     handler_runs: AtomicU64::new(0),
     var_lock_spins: AtomicU64::new(0),
@@ -64,6 +68,22 @@ pub(crate) fn record_open_commit() {
 
 pub(crate) fn record_open_retry() {
     COUNTERS.open_retries.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a flattened read-only open: a `tx.open(..)`-shaped read served
+/// without a child transaction — either `Txn::open_read` validating its
+/// scratch log, or a boosted backend reading its sharded map directly under
+/// an already-held semantic lock. Public: the second form lives in the
+/// collection layer, above this crate.
+pub fn record_open_flattened() {
+    COUNTERS.open_flattened.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a txn-local semantic-lock cache hit (the kernel found `(kind,
+/// key)` already acquired by this transaction and skipped the stripe
+/// round trip). Public for the collection layer's kernel.
+pub fn record_lock_cache_hit() {
+    COUNTERS.lock_cache_hits.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_frame_retry() {
@@ -126,6 +146,14 @@ pub struct StatsSnapshot {
     pub open_commits: u64,
     /// Open-nested child re-executions.
     pub open_retries: u64,
+    /// Flattened read-only opens: protocol-equivalent `open` calls served
+    /// with no child transaction (direct validated reads) — each one is an
+    /// open commit that did not have to happen.
+    pub open_flattened: u64,
+    /// Txn-local semantic-lock cache hits: `(kind, key)` acquisitions the
+    /// kernel satisfied from the transaction's own cache with zero
+    /// shared-memory traffic.
+    pub lock_cache_hits: u64,
     /// Closed-nested partial rollbacks (frame re-executions).
     pub frame_retries: u64,
     /// Commit/abort handler invocations.
@@ -182,6 +210,8 @@ impl StatsSnapshot {
             aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
             open_commits: self.open_commits.saturating_sub(earlier.open_commits),
             open_retries: self.open_retries.saturating_sub(earlier.open_retries),
+            open_flattened: self.open_flattened.saturating_sub(earlier.open_flattened),
+            lock_cache_hits: self.lock_cache_hits.saturating_sub(earlier.lock_cache_hits),
             frame_retries: self.frame_retries.saturating_sub(earlier.frame_retries),
             handler_runs: self.handler_runs.saturating_sub(earlier.handler_runs),
             var_lock_spins: self.var_lock_spins.saturating_sub(earlier.var_lock_spins),
@@ -220,6 +250,8 @@ pub fn global_stats() -> StatsSnapshot {
         aborts_explicit: COUNTERS.aborts_explicit.load(Ordering::Relaxed),
         open_commits: COUNTERS.open_commits.load(Ordering::Relaxed),
         open_retries: COUNTERS.open_retries.load(Ordering::Relaxed),
+        open_flattened: COUNTERS.open_flattened.load(Ordering::Relaxed),
+        lock_cache_hits: COUNTERS.lock_cache_hits.load(Ordering::Relaxed),
         frame_retries: COUNTERS.frame_retries.load(Ordering::Relaxed),
         handler_runs: COUNTERS.handler_runs.load(Ordering::Relaxed),
         var_lock_spins: COUNTERS.var_lock_spins.load(Ordering::Relaxed),
@@ -241,6 +273,8 @@ pub fn reset_global_stats() {
     COUNTERS.aborts_explicit.store(0, Ordering::Relaxed);
     COUNTERS.open_commits.store(0, Ordering::Relaxed);
     COUNTERS.open_retries.store(0, Ordering::Relaxed);
+    COUNTERS.open_flattened.store(0, Ordering::Relaxed);
+    COUNTERS.lock_cache_hits.store(0, Ordering::Relaxed);
     COUNTERS.frame_retries.store(0, Ordering::Relaxed);
     COUNTERS.handler_runs.store(0, Ordering::Relaxed);
     COUNTERS.var_lock_spins.store(0, Ordering::Relaxed);

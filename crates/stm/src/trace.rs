@@ -201,6 +201,8 @@ const K_SEM_BLOCKED: u8 = 9;
 const K_SEM_ACQUIRED: u8 = 10;
 const K_SEM_RELEASED: u8 = 11;
 const K_DOOM_EDGE: u8 = 12;
+const K_OPEN_FLAT: u8 = 13;
+const K_CACHE_HIT: u8 = 14;
 
 // word0 layout: kind(0..8) | sym(8..24) | aux(24..32) | aux2(32..40) |
 // flags(40..48). words 1..5: seq, a, b, c.
@@ -376,6 +378,34 @@ pub enum TraceEvent {
         /// The `mode_compatible` verdict for the pair (false = conflict).
         compatible: bool,
     },
+    /// A read-only open was served flattened: no child transaction, the
+    /// reads validated inline against per-var stamps (or, for boosted
+    /// backends, performed directly under an already-held semantic lock).
+    OpenFlattened {
+        /// Global emission order.
+        seq: u64,
+        /// Owning top-level attempt id.
+        txn: u64,
+        /// Nanoseconds since trace start.
+        ts: u64,
+    },
+    /// A semantic-lock acquisition was satisfied by the transaction's own
+    /// lock cache — the `(kind, key)` lock was already held, so no stripe
+    /// was touched.
+    LockCacheHit {
+        /// Global emission order.
+        seq: u64,
+        /// Attempt id whose cache hit.
+        txn: u64,
+        /// Collection class name.
+        class: Sym,
+        /// Which lock table the cached lock belongs to.
+        kind: LockKind,
+        /// Stripe-hash of the key (0 for point locks).
+        key_hash: u64,
+        /// Nanoseconds since trace start.
+        ts: u64,
+    },
 }
 
 impl TraceEvent {
@@ -394,7 +424,9 @@ impl TraceEvent {
             | TraceEvent::SemLockBlocked { seq, .. }
             | TraceEvent::SemLockAcquired { seq, .. }
             | TraceEvent::SemLockReleased { seq, .. }
-            | TraceEvent::DoomEdge { seq, .. } => *seq,
+            | TraceEvent::DoomEdge { seq, .. }
+            | TraceEvent::OpenFlattened { seq, .. }
+            | TraceEvent::LockCacheHit { seq, .. } => *seq,
         }
     }
 
@@ -453,6 +485,15 @@ impl TraceEvent {
                 obs: aux2 >> 4,
                 effect: aux2 & 0x0f,
                 compatible: flags & 1 != 0,
+            },
+            K_OPEN_FLAT => TraceEvent::OpenFlattened { seq, txn: a, ts: c },
+            K_CACHE_HIT => TraceEvent::LockCacheHit {
+                seq,
+                txn: a,
+                class: sym,
+                kind: LockKind::from_u8(aux),
+                key_hash: b,
+                ts: c,
             },
             _ => return None,
         })
@@ -683,6 +724,33 @@ pub(crate) fn open_commit(txn: u64) {
 pub(crate) fn open_retry(txn: u64) {
     if enabled() {
         emit(K_OPEN_RETRY, Sym::UNKNOWN, 0, 0, 0, txn, 0, now_ns());
+    }
+}
+
+#[inline]
+pub(crate) fn open_flattened(txn: u64) {
+    if enabled() {
+        emit(K_OPEN_FLAT, Sym::UNKNOWN, 0, 0, 0, txn, 0, now_ns());
+    }
+}
+
+/// Record a txn-local lock-cache hit: transaction `txn` already held the
+/// `(kind, key_hash)` lock on `class` and skipped the stripe round trip.
+/// Public for the collection layer's kernel — the no-alloc emission API
+/// (txlint TX009).
+#[inline]
+pub fn lock_cache_hit(txn: u64, class: Sym, kind: LockKind, key_hash: u64) {
+    if enabled() {
+        emit(
+            K_CACHE_HIT,
+            class,
+            kind as u8,
+            0,
+            0,
+            txn,
+            key_hash,
+            now_ns(),
+        );
     }
 }
 
@@ -937,6 +1005,23 @@ impl TraceSnapshot {
                     kind.name(),
                     obs_name(*obs),
                     effect_name(*effect)
+                ),
+                TraceEvent::OpenFlattened { seq, txn, ts } => write!(
+                    s,
+                    "{{\"kind\":\"open_flattened\",\"seq\":{seq},\"txn\":{txn},\"ts\":{ts}}}"
+                ),
+                TraceEvent::LockCacheHit {
+                    seq,
+                    txn,
+                    class,
+                    kind,
+                    key_hash,
+                    ts,
+                } => write!(
+                    s,
+                    "{{\"kind\":\"lock_cache_hit\",\"seq\":{seq},\"txn\":{txn},\"class\":\"{}\",\"lock\":\"{}\",\"key_hash\":{key_hash},\"ts\":{ts}}}",
+                    class.name(),
+                    kind.name()
                 ),
             };
         }

@@ -97,6 +97,24 @@ pub struct Txn {
     frames: Vec<Frame>,
     /// True for the child context of [`Txn::open`].
     is_open_child: bool,
+    /// Per-attempt extension slots, keyed by an owner-unique tag (the
+    /// semantic kernel uses the address of the owning collection core).
+    /// This is where layers above the runtime park per-transaction state
+    /// that must die with the attempt — the kernel's registration marker
+    /// and its txn-local semantic-lock cache. Linear scan on purpose: a
+    /// transaction touches a handful of collection instances at most.
+    ext: Vec<(usize, Box<dyn Any + Send>)>,
+    /// True while an [`Txn::open_read`] body runs: `read_var` serves
+    /// committed values and records them into `flat_reads` instead of the
+    /// frame read set (the flattened read-only open).
+    flat_mode: bool,
+    /// Scratch `(var, version)` log for `open_read`, validated when the
+    /// body returns; the buffer is reused across calls.
+    flat_reads: Vec<(Arc<dyn AnyVar>, u64)>,
+    /// Cached `Arc<TxHandle>` clone reused across this parent's open
+    /// children, so `Txn::open` costs one refcount bump per transaction
+    /// instead of one per operation.
+    spare_open_handle: Option<Arc<TxHandle>>,
 }
 
 impl Txn {
@@ -108,6 +126,10 @@ impl Txn {
             rv: clock::now(),
             frames: vec![Frame::new(FrameKind::Root)],
             is_open_child: false,
+            ext: Vec::new(),
+            flat_mode: false,
+            flat_reads: Vec::new(),
+            spare_open_handle: None,
         }
     }
 
@@ -118,6 +140,10 @@ impl Txn {
             rv: clock::now(),
             frames: vec![Frame::new(FrameKind::Root)],
             is_open_child: true,
+            ext: Vec::new(),
+            flat_mode: false,
+            flat_reads: Vec::new(),
+            spare_open_handle: None,
         }
     }
 
@@ -154,6 +180,16 @@ impl Txn {
             return var.read_committed();
         }
         self.check_doom();
+        if self.flat_mode {
+            // Flattened read-only open: serve the committed value and log
+            // `(var, version)` for the validation sweep at the end of the
+            // `open_read` body. Like an open child, this deliberately does
+            // *not* see the parent's buffered writes and leaves no entry in
+            // the parent's read set.
+            let (ver, val) = var.committed_pair();
+            self.flat_reads.push((var.any(), ver));
+            return val;
+        }
         let id = var.id();
         // Redo-log lookup, innermost frame first.
         for frame in self.frames.iter().rev() {
@@ -217,6 +253,10 @@ impl Txn {
             clock::publish_direct(var.core.as_ref(), &val);
             return;
         }
+        assert!(
+            !self.flat_mode,
+            "write inside an open_read body: flattened opens are read-only"
+        );
         self.check_doom();
         self.current_frame().writes.insert(
             var.id(),
@@ -327,6 +367,7 @@ impl Txn {
         if self.mode == TxnMode::Direct {
             return f(self); // flat in handler context (holding the lane)
         }
+        debug_assert!(!self.flat_mode, "closed nesting inside an open_read body");
         let my_index = self.frames.len();
         loop {
             self.frames.push(Frame::new(FrameKind::Closed));
@@ -384,13 +425,21 @@ impl Txn {
         if self.mode == TxnMode::Direct {
             return f(self); // handler context: effects are already immediate
         }
+        debug_assert!(!self.flat_mode, "open inside an open_read body");
+        // One handle clone per parent transaction, not one per op: the clone
+        // shuttles between `spare_open_handle` and the child across retries.
+        let mut handle = self
+            .spare_open_handle
+            .take()
+            .unwrap_or_else(|| Arc::clone(&self.handle));
         loop {
             self.check_doom();
-            let mut child = Txn::new_open_child(self.handle.clone());
+            let mut child = Txn::new_open_child(handle);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut child)));
             match outcome {
                 Ok(v) => match child.try_commit_open() {
-                    Ok(committed) => {
+                    Ok((committed, h)) => {
+                        self.spare_open_handle = Some(h);
                         let parent = self.current_frame();
                         parent.commit_handlers.extend(committed.commit_handlers);
                         parent.abort_handlers.extend(committed.abort_handlers);
@@ -399,32 +448,77 @@ impl Txn {
                         trace::open_commit(self.handle.id());
                         return v;
                     }
-                    Err(()) => {
+                    Err(h) => {
+                        handle = h;
                         stats::record_open_retry();
                         trace::open_retry(self.handle.id());
                         continue;
                     }
                 },
-                Err(payload) => match interrupt::classify(payload) {
-                    // A read conflict inside the child retries only the child.
-                    Ok(TxInterrupt::Retry(AbortCause::ReadInvalid))
-                    | Ok(TxInterrupt::RetryFrame(_)) => {
-                        stats::record_open_retry();
-                        trace::open_retry(self.handle.id());
-                        continue;
+                Err(payload) => {
+                    handle = child.into_handle();
+                    match interrupt::classify(payload) {
+                        // A read conflict inside the child retries only the child.
+                        Ok(TxInterrupt::Retry(AbortCause::ReadInvalid))
+                        | Ok(TxInterrupt::RetryFrame(_)) => {
+                            stats::record_open_retry();
+                            trace::open_retry(self.handle.id());
+                            continue;
+                        }
+                        // Doom / explicit abort concern the whole transaction.
+                        Ok(other) => interrupt::throw(other),
+                        Err(user) => std::panic::resume_unwind(user),
                     }
-                    // Doom / explicit abort concern the whole transaction.
-                    Ok(other) => interrupt::throw(other),
-                    Err(user) => std::panic::resume_unwind(user),
-                },
+                }
             }
         }
     }
 
+    /// Run `f` as a **flattened read-only open** — semantically a
+    /// [`Txn::open`] whose body performs no writes and registers nothing,
+    /// executed without constructing a child `Txn` or a `catch_unwind`.
+    /// Reads inside the body see committed state (never the parent's
+    /// buffered writes, exactly like an open child) and are logged into a
+    /// reusable scratch buffer; when the body returns, every logged read is
+    /// validated against its per-var stamp — the same check as
+    /// `try_commit_open`'s read-only path — and a failed validation re-runs
+    /// the body. The flattened-read obligation (docs/PROTOCOL.md): this is
+    /// observably equivalent to `open` for read-only bodies because both
+    /// publish nothing and both return only values whose versions were
+    /// simultaneously valid after the last read.
+    ///
+    /// The body must not write vars (asserted), open children, or register
+    /// handlers. A doom of the top-level handle propagates, as in `open`.
+    pub fn open_read<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
+        if self.mode == TxnMode::Direct {
+            return f(self); // handler context: reads are already committed
+        }
+        debug_assert!(!self.flat_mode, "open_read does not nest");
+        loop {
+            self.check_doom();
+            self.flat_reads.clear();
+            self.flat_mode = true;
+            let v = f(self);
+            self.flat_mode = false;
+            let valid = self
+                .flat_reads
+                .iter()
+                .all(|(var, ver)| clock::read_valid(var.as_ref(), *ver, false));
+            if valid {
+                stats::record_open_flattened();
+                trace::open_flattened(self.handle.id());
+                return v;
+            }
+            stats::record_open_retry();
+            trace::open_retry(self.handle.id());
+        }
+    }
+
     /// Commit an open-nested child: validate, publish, and surrender its
-    /// root frame (handlers and local undos) to the caller. `Err(())` means
-    /// validation failed and the child should re-execute.
-    fn try_commit_open(mut self) -> Result<Frame, ()> {
+    /// root frame (handlers and local undos) plus its handle clone to the
+    /// caller. `Err(handle)` means validation failed and the child should
+    /// re-execute (the handle comes back so the retry reuses it).
+    fn try_commit_open(mut self) -> Result<(Frame, Arc<TxHandle>), Arc<TxHandle>> {
         debug_assert!(self.is_open_child);
         debug_assert_eq!(self.frames.len(), 1, "open child must end with one frame");
         // Advisory doom check (cheap early exit). The authoritative
@@ -440,10 +534,11 @@ impl Txn {
             // lane, no clock traffic.
             for r in frame.reads.values() {
                 if !clock::read_valid(r.var.as_ref(), r.version, false) {
-                    return Err(());
+                    return Err(self.handle);
                 }
             }
-            return Ok(self.frames.pop().unwrap());
+            let frame = self.frames.pop().unwrap();
+            return Ok((frame, self.handle));
         }
         // A *writing* open commit publishes direct-mode-visible state, so it
         // serializes with handler execution: lane first, then var locks (a
@@ -454,7 +549,10 @@ impl Txn {
         for (id, r) in frame.reads.iter() {
             let own = frame.writes.contains_key(id);
             if !clock::read_valid(r.var.as_ref(), r.version, own) {
-                return Err(()); // guard + lane drop: locks released, versions unchanged
+                // guard + lane drop: locks released, versions unchanged
+                drop(guard);
+                drop(lane);
+                return Err(self.handle);
             }
         }
         guard.publish(|wv| {
@@ -463,7 +561,48 @@ impl Txn {
             }
         });
         drop(lane);
-        Ok(self.frames.pop().unwrap())
+        let frame = self.frames.pop().unwrap();
+        Ok((frame, self.handle))
+    }
+
+    /// Surrender this child's handle clone (retry paths that unwound out of
+    /// the body). `Txn` has no `Drop`, so the move is free.
+    fn into_handle(self) -> Arc<TxHandle> {
+        self.handle
+    }
+
+    // ------------------------------------------------------------------
+    // Extension slots (the semantic kernel's per-attempt state)
+    // ------------------------------------------------------------------
+
+    /// True if an extension slot tagged `tag` exists on this attempt. The
+    /// semantic kernel's first-touch probe: replaces a sharded-table lookup
+    /// with a scan of a (nearly always tiny) local vector.
+    pub fn ext_contains(&self, tag: usize) -> bool {
+        self.ext.iter().any(|(t, _)| *t == tag)
+    }
+
+    /// Insert an extension slot. `tag` must be unique per owner (use the
+    /// owner's address); inserting a duplicate tag is a logic error.
+    pub fn ext_insert(&mut self, tag: usize, slot: Box<dyn Any + Send>) {
+        debug_assert!(!self.ext_contains(tag), "duplicate extension tag");
+        self.ext.push((tag, slot));
+    }
+
+    /// Mutable access to the slot tagged `tag`, if present.
+    pub fn ext_get_mut(&mut self, tag: usize) -> Option<&mut (dyn Any + Send)> {
+        self.ext
+            .iter_mut()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, s)| s.as_mut())
+    }
+
+    /// Remove and return the slot tagged `tag`. Handlers use this to drop
+    /// kernel state (the lock cache) *before* any semantic lock is
+    /// released — the cache-lifetime obligation of docs/PROTOCOL.md.
+    pub fn ext_remove(&mut self, tag: usize) -> Option<Box<dyn Any + Send>> {
+        let i = self.ext.iter().position(|(t, _)| *t == tag)?;
+        Some(self.ext.swap_remove(i).1)
     }
 
     // ------------------------------------------------------------------
@@ -607,6 +746,9 @@ impl Txn {
     /// abort handlers in direct mode under the handler lane. Called by the
     /// runtime after any failed attempt and by [`crate::PreparedTxn::abort`].
     pub(crate) fn run_abort_path(&mut self, cause: AbortCause) {
+        // A doom may have unwound out of an `open_read` body mid-flight;
+        // clear the flag so handler-mode reads behave normally.
+        self.flat_mode = false;
         // Undos touch only this transaction's thread-local buffers (behind
         // each collection's own mutex), so they need no lane. Frames should
         // already be collapsed to the root by unwinding, but be robust to

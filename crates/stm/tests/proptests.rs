@@ -122,6 +122,31 @@ proptest! {
         });
         assert_eq!(a.read_committed() + b.read_committed(), 100);
     }
+
+    /// The flattened read (`open_read`) is observably equivalent to a
+    /// read-only open child: committed state only (never the parent's
+    /// buffer), and the two-var invariant holds — the per-var stamp
+    /// validation after the body rejects torn interleavings just as a
+    /// child commit's read validation would.
+    #[test]
+    fn open_read_matches_open_child_observations(
+        parent_writes in prop::collection::vec((0..2usize, -50i64..50), 0..4)
+    ) {
+        let a = TVar::new(25i64);
+        let b = TVar::new(75i64); // invariant: a + b == 100
+        atomic(|tx| {
+            for (i, v) in &parent_writes {
+                if *i == 0 { a.write(tx, *v); } else { b.write(tx, *v); }
+            }
+            let (fa, fb) = tx.open_read(|otx| (a.read(otx), b.read(otx)));
+            let (ca, cb) = tx.open(|otx| (a.read(otx), b.read(otx)));
+            assert_eq!((fa, fb), (ca, cb), "flattened read diverged from open child");
+            assert_eq!(fa + fb, 100, "flattened read saw parent buffer or torn state");
+            a.write(tx, fa);
+            b.write(tx, fb);
+        });
+        assert_eq!(a.read_committed() + b.read_committed(), 100);
+    }
 }
 
 /// Opacity stress: an 8-var zero-sum invariant hammered by writers while

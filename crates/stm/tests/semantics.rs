@@ -155,6 +155,57 @@ fn open_nested_leaves_no_parent_dependencies() {
 }
 
 #[test]
+fn open_read_leaves_no_parent_dependencies() {
+    // Same experiment as above with the flattened read: the per-var stamp
+    // validation happens inside `open_read` and is then forgotten — the
+    // noise var never enters the parent's read set.
+    let noise = Arc::new(TVar::new(0u64));
+    let target = Arc::new(TVar::new(0u64));
+    let attempts = Arc::new(AtomicU32::new(0));
+
+    let stop = Arc::new(AtomicU32::new(0));
+    let n2 = noise.clone();
+    let stop2 = stop.clone();
+    let writer = std::thread::spawn(move || {
+        while stop2.load(Ordering::SeqCst) == 0 {
+            atomic(|tx| {
+                let v = n2.read(tx);
+                n2.write(tx, v + 1);
+            });
+        }
+    });
+
+    let before = stm::global_stats();
+    let at = attempts.clone();
+    atomic(|tx| {
+        at.fetch_add(1, Ordering::SeqCst);
+        let _ = tx.open_read(|otx| noise.read(otx));
+        std::thread::sleep(std::time::Duration::from_millis(30)); // txlint: allow(TX001)
+        let t = target.read(tx);
+        target.write(tx, t + 1);
+    });
+    stop.store(1, Ordering::SeqCst);
+    writer.join().unwrap();
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "flattened read must not create a parent dependency"
+    );
+    let d = stm::global_stats().since(&before);
+    assert_eq!(d.open_commits, 0, "no child transaction may be spawned");
+    assert!(d.open_flattened >= 1, "the flattened read must be counted");
+}
+
+#[test]
+#[should_panic(expected = "write inside an open_read body")]
+fn open_read_rejects_writes() {
+    let v = Arc::new(TVar::new(0u32));
+    atomic(|tx| {
+        tx.open_read(|otx| v.write(otx, 1));
+    });
+}
+
+#[test]
 fn plain_read_of_contended_var_does_abort() {
     // Control experiment for the previous test: the same long transaction
     // reading `noise` directly IS expected to abort at commit.

@@ -1,0 +1,24 @@
+//! Seeded TX012 violation: a fast-path file still routing read-only
+//! backend observations through a full open-nested child instead of the
+//! flattened `Txn::open_read` — the child frame and unwind guard buy
+//! nothing for a body that never mutates.
+//! NOT compiled — input for `txlint --self-test`.
+
+// txlint: fast-path
+
+impl SlowReadMap {
+    fn lookup(&self, tx: &mut Txn, key: &Key) -> Option<Value> {
+        let backend = &self.core.class().backend;
+        tx.open(|otx| backend.get(otx, key)) // TX012: read-only body in a real open
+    }
+
+    fn count(&self, tx: &mut Txn) -> usize {
+        let backend = &self.core.class().backend;
+        tx.open(|otx| backend.len(otx)) // TX012: read-only body in a real open
+    }
+
+    fn take(&self, tx: &mut Txn) -> Option<Value> {
+        let backend = &self.core.class().backend;
+        tx.open(|otx| backend.pop_front(otx)) // fine: mutating open stays a child
+    }
+}

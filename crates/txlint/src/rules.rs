@@ -263,6 +263,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx009_alloc_in_trace_emission(path, &m, &mut out);
     tx010_conflict_graph(path, src, &m, &mut out);
     tx011_unlogged_eager_mutation(path, src, &m, &mut out);
+    tx012_read_only_open(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -1102,6 +1103,88 @@ fn tx011_unlogged_eager_mutation(path: &Path, src: &str, m: &FileModel, out: &mu
     }
 }
 
+/// Marker comment (assembled at runtime like the others) declaring a file
+/// ported to the single-op fast path: read-only backend observations must
+/// go through the flattened `Txn::open_read`, not a full open-nested child
+/// with its own frame and unwind guard.
+fn fast_path_marker() -> String {
+    format!("txlint: {}", "fast-path")
+}
+
+/// Backend methods that only observe state. An open-nested body made
+/// entirely of these is read-only and should be flattened.
+const TX012_READ_METHODS: &[&str] = &[
+    "get",
+    "contains_key",
+    "len",
+    "entries",
+    "peek_front",
+    "first_entry",
+    "last_entry",
+    "ceiling_entry",
+    "floor_entry",
+    "next_entry_after",
+    "prev_entry_before",
+    "range_entries",
+    "read",
+];
+
+/// Backend methods that mutate state. Their presence in an open body makes
+/// it a real open-nested child — `open_read` is read-only by contract.
+const TX012_WRITE_METHODS: &[&str] = &[
+    "insert",
+    "remove",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "write",
+];
+
+fn tx012_read_only_open(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Finding>) {
+    if !src.contains(&fast_path_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    let brackets = match_brackets(toks);
+    for (i, t) in toks.iter().enumerate() {
+        // `<recv>.open(` — `open_read` lexes as its own ident and never
+        // matches here.
+        if !t.is_ident("open")
+            || i.checked_sub(1).and_then(|p| toks[p].punct()) != Some('.')
+            || toks.get(i + 1).and_then(Tok::punct) != Some('(')
+        {
+            continue;
+        }
+        let Some(&close) = brackets.get(&(i + 1)) else {
+            continue;
+        };
+        let body = &toks[i + 2..close];
+        let is_method = |j: usize| {
+            j.checked_sub(1).and_then(|p| body[p].punct()) == Some('.')
+                && body.get(j + 1).and_then(Tok::punct) == Some('(')
+        };
+        let mut reads = false;
+        let mut writes = false;
+        for (j, b) in body.iter().enumerate() {
+            if b.kind != TokKind::Ident || !is_method(j) {
+                continue;
+            }
+            let name = b.text.as_str();
+            reads |= TX012_READ_METHODS.contains(&name);
+            writes |= TX012_WRITE_METHODS.contains(&name);
+        }
+        if reads && !writes {
+            out.push(finding(
+                path,
+                t,
+                "TX012",
+                "read-only open-nested body in a fast-path file".to_string(),
+                "a body that only observes the backend pays a child frame and an unwind guard for nothing: call Txn::open_read, which validates the logged reads in place and keeps the doom probe",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1440,6 +1523,41 @@ mod tests {
              if let Some(v) = old { log.push(UndoOp::Restore(k, v)); } }"
         ))
         .is_empty());
+    }
+
+    #[test]
+    fn tx012_read_only_open_fires() {
+        let src = "// txlint: fast-path\n\
+                   fn f(tx: &mut Txn) { let v = tx.open(|otx| backend.get(otx, &k)); }";
+        assert_eq!(codes(src), vec!["TX012"]);
+    }
+
+    #[test]
+    fn tx012_mutating_open_is_clean() {
+        let src = "// txlint: fast-path\n\
+                   fn f(tx: &mut Txn) { let v = tx.open(|otx| backend.pop_front(otx)); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tx012_open_read_is_clean() {
+        let src = "// txlint: fast-path\n\
+                   fn f(tx: &mut Txn) { let v = tx.open_read(|otx| backend.get(otx, &k)); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tx012_ignores_unmarked_files() {
+        let src = "fn f(tx: &mut Txn) { let v = tx.open(|otx| backend.get(otx, &k)); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tx012_mixed_read_write_body_is_clean() {
+        let src = "// txlint: fast-path\n\
+                   fn f(tx: &mut Txn) { tx.open(|otx| { let _ = backend.get(otx, &k); \
+                   backend.insert(otx, k, v) }); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
     }
 
     #[test]

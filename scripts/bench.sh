@@ -8,10 +8,11 @@
 #   BENCH_PR5.json — tracing overhead (PR 5): the conflict-provenance trace
 #                    layer off (must match PR4's sharded commit numbers
 #                    within host noise) vs on vs on-with-overflowing-rings.
-#   BENCH_PR7.json — boosted vs TVar map backends (PR 7): the same
-#                    uncontended get/insert/mixed workloads over both
-#                    backends plus a raw sharded-map floor, with windowed
-#                    protocol counters per configuration.
+#   BENCH_PR8.json — boosted vs TVar map backends + amortization sweep
+#                    (PR 8): the PR 7 uncontended workloads plus read-only
+#                    transactions at ops_per_txn 1/16/64 with repeat vs
+#                    distinct keys, reporting per-txn open-commit, flattened-
+#                    read, stripe-acquisition, and lock-cache counters.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,16 +25,22 @@ cat BENCH_PR3.json
 cargo bench -q -p bench --bench trace_overhead >BENCH_PR5.json
 cat BENCH_PR5.json
 
-cargo bench -q -p bench --bench boosted_vs_tvar >BENCH_PR7.json
-cat BENCH_PR7.json
+cargo bench -q -p bench --bench boosted_vs_tvar >BENCH_PR8.json
+cat BENCH_PR8.json
 
 # Counter-based regression gate: the new report's protocol counters may not
-# blow past the previous PR's where the two are comparable (ns/op is never
-# gated — 1-CPU hosts are too noisy for wall-clock gates).
-cargo run -q --release -p bench --bin benchdiff -- BENCH_PR6.json BENCH_PR7.json
+# blow past the previous PR's where the two are comparable, and the
+# amortization sweep's repeat_* per-txn leaves must stay under their
+# absolute ceilings (ns/op is never gated — 1-CPU hosts are too noisy for
+# wall-clock gates).
+cargo run -q --release -p bench --bin benchdiff -- BENCH_PR7.json BENCH_PR8.json
 
 # Smoke the provenance reporter end to end: traced contended-map soak,
-# export, re-parse and structurally validate the exported trace.
+# export, re-parse and structurally validate the exported trace. The second
+# soak repeats one key per transaction so the txn-local lock cache is
+# exercised under tracing and contention.
 cargo build -q --release -p bench --bin txtop
 ./target/release/txtop --soak --threads 4 --txns 300 --export-json target/txtop_trace.json
 ./target/release/txtop --validate target/txtop_trace.json
+./target/release/txtop --soak --threads 4 --txns 300 --repeat-keys --export-json target/txtop_repeat_trace.json
+./target/release/txtop --validate target/txtop_repeat_trace.json
