@@ -45,9 +45,17 @@ const ABS_SLACK: f64 = 100.0;
 /// `repeat_*` leaf for 6 cells (ops_per_txn 1/16/64 × two backends), so a
 /// per-cell budget of ≤2 open commits and ≤0.5 excess acquisitions gives
 /// the totals below. Checked against the NEW file only.
-const CEILINGS: [(&str, f64); 2] = [
+/// PR 9 adds the snapshot-read guarantees: aborts and semantic-lock
+/// acquisitions inside snapshot windows are zero **by construction** (not
+/// a tuning target), and chain-truncation fallbacks are a bounded escape
+/// hatch — each leaf appears once as a whole-file summary in
+/// BENCH_PR9.json, so no cross-row summing slack is needed.
+const CEILINGS: [(&str, f64); 5] = [
     ("repeat_open_commits_per_txn", 12.0),
     ("repeat_excess_lock_acquisitions_per_txn", 3.0),
+    ("snapshot_abort_count", 0.0),
+    ("snapshot_lock_acquisitions", 0.0),
+    ("snapshot_fallback_rate", 0.05),
 ];
 
 /// Collect every `"key": <number>` pair in `src`, summing repeats.

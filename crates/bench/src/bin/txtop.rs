@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use stm::trace::{self, TraceConfig, TraceEvent};
-use stm::{atomic, global_stats, AbortCause};
+use stm::{atomic, atomic_read, global_stats, AbortCause};
 use txcollections::TransactionalMap;
 
 // ----------------------------------------------------------------------
@@ -44,7 +44,10 @@ const KEYS: u64 = 16;
 /// With `repeat_keys` the four reads all hit one key, so every read after
 /// the first is answered by the txn-local lock cache while the transaction
 /// is still exposed to dooms — the traced regression shape for a cache
-/// that outlives its locks.
+/// that outlives its locks. One extra observer thread runs the same reads
+/// as snapshot transactions so the exported trace carries `snapshot_txn`
+/// (and, when a chain outruns a pin, `snapshot_fallback`) events for the
+/// validator to check.
 fn soak_round(threads: u64, txns: u64, repeat_keys: bool) {
     let map: TransactionalMap<u64, u64> = TransactionalMap::new();
     atomic(|tx| {
@@ -73,6 +76,14 @@ fn soak_round(threads: u64, txns: u64, repeat_keys: bool) {
                 }
             });
         }
+        {
+            let map = map.clone();
+            s.spawn(move || {
+                for i in 0..txns {
+                    let _ = atomic_read(|tx| map.get(tx, &(i % KEYS)));
+                }
+            });
+        }
     });
 }
 
@@ -92,6 +103,7 @@ fn report(snap: &trace::TraceSnapshot) {
     let mut lane_busy_ns = 0u64;
     let (mut min_ts, mut max_ts) = (u64::MAX, 0u64);
     let mut commits = 0u64;
+    let (mut snapshot_txns, mut snapshot_served, mut snapshot_fallbacks) = (0u64, 0u64, 0u64);
 
     for e in &snap.events {
         match e {
@@ -148,6 +160,11 @@ fn report(snap: &trace::TraceSnapshot) {
                     lane_busy_ns += ts.saturating_sub(start);
                 }
             }
+            TraceEvent::SnapshotTxn { reads, .. } => {
+                snapshot_txns += 1;
+                snapshot_served += reads;
+            }
+            TraceEvent::SnapshotFallback { .. } => snapshot_fallbacks += 1,
             _ => {}
         }
     }
@@ -159,6 +176,10 @@ fn report(snap: &trace::TraceSnapshot) {
         snap.dropped
     );
     println!("commits: {commits}");
+    println!(
+        "snapshot txns: {snapshot_txns} ({snapshot_served} chain reads served, \
+         {snapshot_fallbacks} fallbacks to the validated path)"
+    );
 
     println!("\n-- abort causes --");
     let mut cause_rows: Vec<_> = causes.into_iter().collect();
@@ -437,6 +458,8 @@ const KINDS: &[&str] = &[
     "doom_edge",
     "open_flattened",
     "lock_cache_hit",
+    "snapshot_txn",
+    "snapshot_fallback",
 ];
 
 fn require_num(ev: &Json, field: &str, i: usize) -> Result<f64, String> {
@@ -476,6 +499,14 @@ fn validate(text: &str) -> Result<String, String> {
     let mut doomed_culprits: HashMap<u64, u64> = HashMap::new();
     let mut incompatible_edges = 0u64;
     let mut last_seq = 0u64;
+    // Snapshot lifecycle: a snapshot_txn attempt must end in a commit; a
+    // snapshot_fallback attempt is abandoned and must end as an *explicit*
+    // abort with no culprit (a fallback is not a doomed abort — it re-runs
+    // under a fresh validated attempt).
+    let mut snapshot_commits: Vec<u64> = Vec::new();
+    let mut snapshot_fallbacks: Vec<u64> = Vec::new();
+    let mut commit_txns: Vec<u64> = Vec::new();
+    let mut plain_explicit_aborts: Vec<u64> = Vec::new();
 
     for (i, ev) in events.iter().enumerate() {
         let kind = require_str(ev, "kind", i)?;
@@ -495,6 +526,7 @@ fn validate(text: &str) -> Result<String, String> {
             "txn_commit" => {
                 let txn = require_num(ev, "txn", i)? as u64;
                 *terminals.entry(txn).or_default() += 1;
+                commit_txns.push(txn);
             }
             "txn_abort" => {
                 let txn = require_num(ev, "txn", i)? as u64;
@@ -505,6 +537,9 @@ fn validate(text: &str) -> Result<String, String> {
                 }
                 if cause == "doomed" && culprit != 0 {
                     doomed_culprits.insert(txn, culprit);
+                }
+                if cause == "explicit" && culprit == 0 {
+                    plain_explicit_aborts.push(txn);
                 }
                 *terminals.entry(txn).or_default() += 1;
             }
@@ -553,6 +588,20 @@ fn validate(text: &str) -> Result<String, String> {
                 require_str(ev, "class", i)?;
                 require_str(ev, "lock", i)?;
             }
+            "snapshot_txn" => {
+                let txn = require_num(ev, "txn", i)? as u64;
+                require_num(ev, "reads", i)?;
+                snapshot_commits.push(txn);
+            }
+            "snapshot_fallback" => {
+                let txn = require_num(ev, "txn", i)? as u64;
+                if snapshot_commits.contains(&txn) {
+                    return Err(format!(
+                        "attempt {txn}: both completed as a snapshot and fell back"
+                    ));
+                }
+                snapshot_fallbacks.push(txn);
+            }
             _ => {}
         }
     }
@@ -570,6 +619,21 @@ fn validate(text: &str) -> Result<String, String> {
         for txn in terminals.keys() {
             if !begins.contains_key(txn) {
                 return Err(format!("attempt {txn}: terminal event without a begin"));
+            }
+        }
+        for txn in &snapshot_commits {
+            if !commit_txns.contains(txn) {
+                return Err(format!(
+                    "attempt {txn}: snapshot_txn without a txn_commit terminal"
+                ));
+            }
+        }
+        for txn in &snapshot_fallbacks {
+            if !plain_explicit_aborts.contains(txn) {
+                return Err(format!(
+                    "attempt {txn}: snapshot_fallback must terminate as an explicit abort \
+                     with no culprit (a fallback is not a doomed abort)"
+                ));
             }
         }
     }
@@ -592,9 +656,11 @@ fn validate(text: &str) -> Result<String, String> {
 
     Ok(format!(
         "valid: {} events ({dropped} dropped), {incompatible_edges} doom edges, \
-         {} attributed doomed aborts",
+         {} attributed doomed aborts, {} snapshot txns ({} fallbacks)",
         events.len(),
-        doomed_culprits.len()
+        doomed_culprits.len(),
+        snapshot_commits.len(),
+        snapshot_fallbacks.len()
     ))
 }
 
@@ -738,10 +804,54 @@ mod tests {
             {"kind":"sem_lock_acquired","seq":3,"txn":10,"class":"map","lock":"key","key_hash":99,"ts":7},
             {"kind":"doom_edge","seq":4,"doomer":11,"victim":10,"class":"map","lock":"key","key_hash":99,"obs":"Key","effect":"KeyWrite","compatible":false},
             {"kind":"txn_commit","seq":5,"txn":11,"ts":8},
-            {"kind":"txn_abort","seq":6,"txn":10,"cause":"doomed","culprit":11,"ts":9}
+            {"kind":"txn_abort","seq":6,"txn":10,"cause":"doomed","culprit":11,"ts":9},
+            {"kind":"txn_begin","seq":7,"txn":20,"ts":10},
+            {"kind":"snapshot_txn","seq":8,"txn":20,"reads":4,"ts":11},
+            {"kind":"txn_commit","seq":9,"txn":20,"ts":12},
+            {"kind":"txn_begin","seq":10,"txn":21,"ts":13},
+            {"kind":"snapshot_fallback","seq":11,"txn":21,"ts":14},
+            {"kind":"txn_abort","seq":12,"txn":21,"cause":"explicit","culprit":0,"ts":15}
         ]}"#;
         let summary = validate(good).unwrap();
         assert!(summary.contains("1 doom edges"), "{summary}");
+        assert!(
+            summary.contains("1 snapshot txns (1 fallbacks)"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_broken_snapshot_lifecycles() {
+        // A snapshot that "completed" but then aborted: the never-abort
+        // guarantee was violated somewhere.
+        let aborted_snapshot = r#"{"version":1,"dropped":0,"events":[
+            {"kind":"doom_edge","seq":1,"doomer":11,"victim":10,"class":"map","lock":"key","key_hash":0,"obs":"Key","effect":"KeyWrite","compatible":false},
+            {"kind":"txn_begin","seq":2,"txn":20,"ts":10},
+            {"kind":"snapshot_txn","seq":3,"txn":20,"reads":4,"ts":11},
+            {"kind":"txn_abort","seq":4,"txn":20,"cause":"explicit","culprit":0,"ts":12}
+        ]}"#;
+        assert!(validate(aborted_snapshot)
+            .unwrap_err()
+            .contains("without a txn_commit"));
+
+        // A fallback whose teardown was recorded as a *doomed* abort:
+        // fallbacks must never enter the doom accounting.
+        let doomed_fallback = r#"{"version":1,"dropped":0,"events":[
+            {"kind":"doom_edge","seq":1,"doomer":11,"victim":21,"class":"map","lock":"key","key_hash":0,"obs":"Key","effect":"KeyWrite","compatible":false},
+            {"kind":"txn_begin","seq":2,"txn":21,"ts":10},
+            {"kind":"snapshot_fallback","seq":3,"txn":21,"ts":11},
+            {"kind":"txn_abort","seq":4,"txn":21,"cause":"doomed","culprit":11,"ts":12}
+        ]}"#;
+        assert!(validate(doomed_fallback)
+            .unwrap_err()
+            .contains("not a doomed abort"));
+
+        // One attempt cannot both serve a snapshot and fall back.
+        let both = r#"{"version":1,"dropped":0,"events":[
+            {"kind":"snapshot_txn","seq":1,"txn":22,"reads":1,"ts":10},
+            {"kind":"snapshot_fallback","seq":2,"txn":22,"ts":11}
+        ]}"#;
+        assert!(validate(both).unwrap_err().contains("both completed"));
     }
 
     #[test]

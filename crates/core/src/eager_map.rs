@@ -281,6 +281,15 @@ where
         Some(&EAGER_MAP_CONFLICT_GRAPH)
     }
 
+    /// Never snapshot-capable, regardless of backend: eager writes land in
+    /// the committed structure (as committed TVar versions) *before* the
+    /// transaction commits, so a snapshot at a version past the in-place
+    /// write would observe uncommitted state. Fall back to the validated
+    /// path, where write locks make such reads abort instead.
+    fn snapshot_capable(&self) -> bool {
+        false
+    }
+
     /// Commit handler. Changes are already in place: drop the undo log, doom
     /// the readers of our written keys that appeared after our write lock
     /// (none can exist — they abort on seeing the write lock — but a

@@ -376,6 +376,13 @@ where
     }
 
     fn take_range_lock(&self, tx: &mut Txn, lower: Bound<K>, upper: Bound<K>) {
+        if tx.in_snapshot() {
+            // Snapshot skip: range locks are not representable in the
+            // kernel's point/key cache, so the gate lives here. A snapshot
+            // read is isolated by the store's version chain; taking the
+            // lock would leak it (snapshot transactions run no handlers).
+            return;
+        }
         let owner = tx.handle().clone();
         let stats = self.core.stats();
         self.core.class().tables.with_global(stats, |g| {

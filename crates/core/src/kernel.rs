@@ -162,6 +162,24 @@ pub trait SemanticClass: Send + Sync + 'static {
         );
     }
 
+    /// Whether a **snapshot transaction** ([`stm::atomic_read`]) can serve
+    /// this class's read operations from TVar version chains.
+    ///
+    /// `true` (the default) requires every committed datum a read observes
+    /// to live in transactional memory with per-version history — the TVar
+    /// backends qualify. Return `false` when committed state is *not*
+    /// versioned: boosted backends (reads bypass TVars entirely, so a
+    /// snapshot would see current — possibly torn — state instead of the
+    /// state at its version), and eager classes (in-place uncommitted
+    /// writes are published as committed TVar versions before the
+    /// transaction commits, so a snapshot could observe them). A `false`
+    /// class makes the kernel abandon the snapshot attempt on first touch
+    /// ([`Txn::snapshot_fallback`]); the runner re-executes the body on the
+    /// validated path and counts the fallback — never silent, never wrong.
+    fn snapshot_capable(&self) -> bool {
+        true
+    }
+
     /// The class's declared operation conflict graph, if it has one.
     ///
     /// A class that declares its graph gets its lock modes *synthesized*
@@ -336,6 +354,18 @@ impl<C: SemanticClass> SemanticCore<C> {
             tx.mode() == TxnMode::Speculative,
             "semantic-class operations cannot run inside commit/abort handlers"
         );
+        if tx.in_snapshot() {
+            // The snapshot skip: a snapshot transaction takes no semantic
+            // locks, buffers no state, and cannot abort — there is nothing
+            // to register and no handler will ever run. The only obligation
+            // is capability: a class whose committed state has no
+            // per-version history cannot be served at a snapshot version,
+            // so the attempt falls back to the validated path (counted).
+            if !self.inner.class.snapshot_capable() {
+                tx.snapshot_fallback();
+            }
+            return;
+        }
         let tag = self.tag();
         if tx.ext_contains(tag) {
             return;
@@ -409,6 +439,13 @@ impl<C: SemanticClass> SemanticCore<C> {
     where
         Q: Eq + Hash + Clone + Send + 'static,
     {
+        if tx.in_snapshot() {
+            // Snapshot skip: report "already held" so the caller never
+            // reaches the stripe — snapshot reads are isolated by the TVar
+            // version chains, not by semantic locks. Not a cache hit; no
+            // counter or trace event fires.
+            return true;
+        }
         let Some(slot) = self.slot_mut(tx) else {
             return false;
         };
@@ -450,6 +487,10 @@ impl<C: SemanticClass> SemanticCore<C> {
     /// Probe the txn-local cache for a whole-collection point lock
     /// ([`CachedPoint`]). Same contract as [`Self::key_lock_cached`].
     pub fn point_lock_cached(&self, tx: &mut Txn, p: CachedPoint) -> bool {
+        if tx.in_snapshot() {
+            // Same snapshot skip as [`Self::key_lock_cached`].
+            return true;
+        }
         let Some(slot) = self.slot_mut(tx) else {
             return false;
         };
@@ -478,6 +519,10 @@ impl<C: SemanticClass> SemanticCore<C> {
     /// `Default` if absent — call [`Self::ensure_registered`] first so the
     /// handlers that will drain it exist).
     pub fn with_local<R>(&self, tx: &Txn, f: impl FnOnce(&mut C::Local) -> R) -> R {
+        tx.reject_in_snapshot(
+            "collection mutation inside a snapshot transaction (stm::atomic_read): snapshot \
+             transactions are read-only — run writes under stm::atomic",
+        );
         self.inner.locals.with(tx.handle().id(), f)
     }
 
@@ -506,6 +551,10 @@ impl<C: SemanticClass> SemanticCore<C> {
     /// [`Self::ensure_registered`] first — an unregistered transaction has
     /// no handler to drain what it logs.
     pub fn log_undo(&self, tx: &Txn, entry: C::Undo) {
+        tx.reject_in_snapshot(
+            "eager collection mutation inside a snapshot transaction (stm::atomic_read): \
+             snapshot transactions are read-only — run writes under stm::atomic",
+        );
         self.inner
             .undo
             .with(tx.handle().id(), |log| log.push(entry));

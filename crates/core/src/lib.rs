@@ -110,6 +110,7 @@ mod multiset;
 mod priority_queue;
 mod queue;
 mod set;
+mod snapshot;
 mod sorted_map;
 
 pub use backend::{

@@ -317,6 +317,14 @@ where
         Some(&MAP_CONFLICT_GRAPH)
     }
 
+    /// Snapshot reads need per-version committed history, which is exactly
+    /// what [`MapReadOps::TRANSACTIONAL_READS`] asserts: a TVar backend
+    /// serves them, a boosted backend (reads bypass the TVar layer) falls
+    /// back to the validated path.
+    fn snapshot_capable(&self) -> bool {
+        <B as crate::backend::MapReadOps<K, V>>::TRANSACTIONAL_READS
+    }
+
     /// Commit handler: apply the store buffer and doom conflicting lock
     /// holders, per-key applies and dooms under one hold of the key's
     /// stripe, size/empty dooms in the global stripe last (the kernel's

@@ -159,6 +159,12 @@ where
         Some(&MULTISET_CONFLICT_GRAPH)
     }
 
+    /// See `MapClass::snapshot_capable`: versioned (TVar) backends serve
+    /// snapshot reads, non-transactional ones fall back.
+    fn snapshot_capable(&self) -> bool {
+        <B as crate::backend::MapReadOps<T, u64>>::TRANSACTIONAL_READS
+    }
+
     /// Commit handler: apply the buffered count deltas (clamped at zero —
     /// visibility was checked under the element lock, so a negative clamp
     /// only fires for doomed racers), doom observers of each changed

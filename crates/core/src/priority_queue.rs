@@ -232,6 +232,12 @@ where
         Some(&PRIORITY_QUEUE_CONFLICT_GRAPH)
     }
 
+    /// See `MapClass::snapshot_capable`: versioned (TVar) backends serve
+    /// snapshot reads, non-transactional ones fall back.
+    fn snapshot_capable(&self) -> bool {
+        <B as crate::backend::MapReadOps<T, u64>>::TRANSACTIONAL_READS
+    }
+
     /// Commit handler: apply the buffered multiplicity deltas under each
     /// element's stripe (ascending, the kernel's sweep), dooming observers
     /// of each changed element; then the global stripe last for the

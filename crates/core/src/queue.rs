@@ -218,6 +218,12 @@ where
         Some(&QUEUE_CONFLICT_GRAPH)
     }
 
+    /// See `MapClass::snapshot_capable`: versioned (TVar) backends serve
+    /// snapshot reads, non-transactional ones fall back.
+    fn snapshot_capable(&self) -> bool {
+        <B as crate::backend::QueueReadOps<T>>::TRANSACTIONAL_READS
+    }
+
     /// Commit handler: publish the add/return buffers, then doom emptiness
     /// observers on a zero-crossing publish and fullness observers on a
     /// permanent consume (Tables 7-8).

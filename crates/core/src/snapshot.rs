@@ -1,0 +1,256 @@
+//! Snapshot read entry points: never-aborting reads for every collection.
+//!
+//! Each `snapshot_*` method runs its underlying observation inside
+//! [`stm::atomic_read`] — a **snapshot transaction** that samples the
+//! global clock once, pins that epoch, and serves every TVar read from the
+//! newest version-chain entry at or below the snapshot version. By
+//! construction the attempt keeps no read-set, performs no commit-time
+//! validation, acquires no semantic locks (the kernel's snapshot skip
+//! reports every lock as already held, so the stripe round trip never
+//! happens), and can never abort: a committing writer pushes the outgoing
+//! value onto the var's chain instead of invalidating the reader.
+//!
+//! Serializability comes from the chain, not from locking: all values a
+//! snapshot observes are the committed state at one clock instant, so the
+//! whole read serializes at its snapshot version (`docs/PROTOCOL.md`,
+//! "Snapshot reads"). The price is freshness — a snapshot may return state
+//! that was current when it began, not when it returned — which is exactly
+//! the paper's size/iteration pain point inverted: a whole-collection
+//! observation that conflicts with *nothing*.
+//!
+//! Two escape hatches, both counted (`snapshot_fallbacks` in
+//! [`stm::StatsSnapshot`]), never silent: a chain truncated past the
+//! snapshot (the reader outlived the bounded per-var history), and a class
+//! whose committed state has no per-version history — boosted backends and
+//! the eager map (`SemanticClass::snapshot_capable` returns `false`). In
+//! both cases the body re-runs as an ordinary validated transaction and
+//! returns the same answer, just with the usual conflict rules.
+//!
+//! This file deliberately contains only the thin `atomic_read` wrappers:
+//! txlint TX013 rejects any call to a lock-acquiring kernel entry point in
+//! a file carrying the snapshot-mode marker below, so the zero-lock
+//! property of the snapshot path is lexically enforced, not just dynamic.
+
+// txlint: snapshot-mode
+
+use crate::backend::{MapBackend, QueueBackend, SortedMapBackend};
+use crate::eager_map::EagerTransactionalMap;
+use crate::interval_map::TransactionalIntervalMap;
+use crate::map::TransactionalMap;
+use crate::multiset::TransactionalMultiset;
+use crate::priority_queue::TransactionalPriorityQueue;
+use crate::queue::{Channel, TransactionalQueue};
+use crate::set::{TransactionalSet, TransactionalSortedSet};
+use crate::sorted_map::TransactionalSortedMap;
+use std::hash::Hash;
+use stm::atomic_read;
+
+impl<K, V, B> TransactionalMap<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    /// [`Self::get`] at one consistent snapshot version, with no
+    /// transaction argument: never blocks on, conflicts with, or dooms any
+    /// writer.
+    ///
+    /// ```
+    /// use stm::atomic;
+    /// use txcollections::TransactionalMap;
+    ///
+    /// let map: TransactionalMap<u32, &str> = TransactionalMap::new();
+    /// atomic(|tx| map.put_discard(tx, 1, "one"));
+    /// assert_eq!(map.snapshot_get(&1), Some("one"));
+    /// ```
+    pub fn snapshot_get(&self, key: &K) -> Option<V> {
+        atomic_read(|tx| self.get(tx, key))
+    }
+
+    /// [`Self::contains_key`] at one consistent snapshot version.
+    pub fn snapshot_contains_key(&self, key: &K) -> bool {
+        atomic_read(|tx| self.contains_key(tx, key))
+    }
+
+    /// [`Self::size`] at one consistent snapshot version — the paper's
+    /// high-conflict whole-collection observation, made conflict-free.
+    pub fn snapshot_size(&self) -> usize {
+        atomic_read(|tx| self.size(tx))
+    }
+
+    /// [`Self::is_empty`] at one consistent snapshot version.
+    pub fn snapshot_is_empty(&self) -> bool {
+        atomic_read(|tx| self.is_empty(tx))
+    }
+}
+
+impl<K, V, B> TransactionalSortedMap<K, V, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: SortedMapBackend<K, V>,
+{
+    /// [`Self::get`] at one consistent snapshot version.
+    pub fn snapshot_get(&self, key: &K) -> Option<V> {
+        atomic_read(|tx| self.get(tx, key))
+    }
+
+    /// [`Self::size`] at one consistent snapshot version.
+    pub fn snapshot_size(&self) -> usize {
+        atomic_read(|tx| self.size(tx))
+    }
+
+    /// [`Self::first_key`] at one consistent snapshot version.
+    pub fn snapshot_first_key(&self) -> Option<K> {
+        atomic_read(|tx| self.first_key(tx))
+    }
+
+    /// [`Self::last_key`] at one consistent snapshot version.
+    pub fn snapshot_last_key(&self) -> Option<K> {
+        atomic_read(|tx| self.last_key(tx))
+    }
+
+    /// [`Self::entries`] at one consistent snapshot version: the ordered
+    /// iteration of paper §5.2 with zero endpoint or key locks.
+    pub fn snapshot_entries(&self) -> Vec<(K, V)> {
+        atomic_read(|tx| self.entries(tx))
+    }
+}
+
+impl<T, B> TransactionalQueue<T, B>
+where
+    T: Clone + Send + Sync + 'static,
+    B: QueueBackend<T>,
+{
+    /// [`Channel::peek`] at one consistent snapshot version.
+    pub fn snapshot_peek(&self) -> Option<T> {
+        atomic_read(|tx| self.peek(tx))
+    }
+
+    /// Queue length at one consistent snapshot version (the committed
+    /// length — a snapshot transaction has no buffered additions).
+    pub fn snapshot_len(&self) -> usize {
+        atomic_read(|tx| self.committed_len(tx))
+    }
+
+    /// Emptiness at one consistent snapshot version.
+    pub fn snapshot_is_empty(&self) -> bool {
+        self.snapshot_len() == 0
+    }
+}
+
+impl<K, B> TransactionalSet<K, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    B: MapBackend<K, ()>,
+{
+    /// [`Self::contains`] at one consistent snapshot version.
+    pub fn snapshot_contains(&self, value: &K) -> bool {
+        atomic_read(|tx| self.contains(tx, value))
+    }
+
+    /// [`Self::size`] at one consistent snapshot version.
+    pub fn snapshot_size(&self) -> usize {
+        atomic_read(|tx| self.size(tx))
+    }
+}
+
+impl<K, B> TransactionalSortedSet<K, B>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    B: SortedMapBackend<K, ()>,
+{
+    /// [`Self::contains`] at one consistent snapshot version.
+    pub fn snapshot_contains(&self, value: &K) -> bool {
+        atomic_read(|tx| self.contains(tx, value))
+    }
+
+    /// [`Self::size`] at one consistent snapshot version.
+    pub fn snapshot_size(&self) -> usize {
+        atomic_read(|tx| self.size(tx))
+    }
+
+    /// [`Self::first`] at one consistent snapshot version.
+    pub fn snapshot_first(&self) -> Option<K> {
+        atomic_read(|tx| self.first(tx))
+    }
+
+    /// [`Self::last`] at one consistent snapshot version.
+    pub fn snapshot_last(&self) -> Option<K> {
+        atomic_read(|tx| self.last(tx))
+    }
+}
+
+impl<T, B> TransactionalMultiset<T, B>
+where
+    T: Clone + Eq + Hash + Send + Sync + 'static,
+    B: MapBackend<T, u64>,
+{
+    /// [`Self::count`] at one consistent snapshot version.
+    pub fn snapshot_count(&self, value: &T) -> u64 {
+        atomic_read(|tx| self.count(tx, value))
+    }
+
+    /// [`Self::contains`] at one consistent snapshot version.
+    pub fn snapshot_contains(&self, value: &T) -> bool {
+        atomic_read(|tx| self.contains(tx, value))
+    }
+
+    /// [`Self::len`] at one consistent snapshot version.
+    pub fn snapshot_len(&self) -> usize {
+        atomic_read(|tx| self.len(tx))
+    }
+}
+
+impl<T, B> TransactionalPriorityQueue<T, B>
+where
+    T: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    B: SortedMapBackend<T, u64>,
+{
+    /// [`Self::peek_min`] at one consistent snapshot version.
+    pub fn snapshot_peek_min(&self) -> Option<T> {
+        atomic_read(|tx| self.peek_min(tx))
+    }
+
+    /// [`Self::len`] at one consistent snapshot version.
+    pub fn snapshot_len(&self) -> usize {
+        atomic_read(|tx| self.len(tx))
+    }
+}
+
+impl<K, V> TransactionalIntervalMap<K, V>
+where
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// [`Self::stab`] at one consistent snapshot version: no range lock is
+    /// recorded, so the query commutes with every concurrent update.
+    pub fn snapshot_stab(&self, point: &K) -> Vec<(u64, V)> {
+        atomic_read(|tx| self.stab(tx, point))
+    }
+
+    /// [`Self::overlapping`] at one consistent snapshot version.
+    pub fn snapshot_overlapping(&self, lo: K, hi: K) -> Vec<(u64, V)> {
+        atomic_read(|tx| self.overlapping(tx, lo.clone(), hi.clone()))
+    }
+
+    /// [`Self::len`] at one consistent snapshot version.
+    pub fn snapshot_len(&self) -> usize {
+        atomic_read(|tx| self.len(tx))
+    }
+}
+
+impl<K, V, B> EagerTransactionalMap<K, V, B>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    B: MapBackend<K, V>,
+{
+    /// [`Self::get`] through the snapshot entry point. The eager map is
+    /// never snapshot-capable (in-place writes land before commit), so this
+    /// always takes the counted fallback and re-runs validated — provided
+    /// for API uniformity, priced honestly in `snapshot_fallbacks`.
+    pub fn snapshot_get(&self, key: &K) -> Option<V> {
+        atomic_read(|tx| self.get(tx, key))
+    }
+}

@@ -391,6 +391,12 @@ where
         Some(&SORTED_MAP_CONFLICT_GRAPH)
     }
 
+    /// See `MapClass::snapshot_capable`: versioned (TVar) backends serve
+    /// snapshot reads, non-transactional ones fall back.
+    fn snapshot_capable(&self) -> bool {
+        <B as crate::backend::MapReadOps<K, V>>::TRANSACTIONAL_READS
+    }
+
     /// Commit handler: apply the store buffer and doom conflicting
     /// observers — per-key applies and key dooms under each key's stripe
     /// (ascending, the kernel's sweep), then the global stripe **last** for
@@ -989,7 +995,10 @@ where
                 Some(k) => Bound::Included(k.clone()),
                 None => upper.clone(),
             };
-            {
+            // Snapshot skip: the observed prefix is already stable (served
+            // from the version chains), and a snapshot transaction runs no
+            // release sweep, so a range lock taken here would leak.
+            if !tx.in_snapshot() {
                 let owner = tx.handle().clone();
                 let lo = lower.clone();
                 let up = lock_upper.clone();
@@ -1080,7 +1089,8 @@ where
                 Some(k) => Bound::Included(k.clone()),
                 None => lower.clone(),
             };
-            {
+            // Snapshot skip: see `first_in_range`.
+            if !tx.in_snapshot() {
                 let owner = tx.handle().clone();
                 let lo = lock_lower.clone();
                 let up = upper.clone();
@@ -1249,6 +1259,13 @@ where
     B: SortedMapBackend<K, V>,
 {
     fn extend_lock(&mut self, tx: &Txn, upper: Bound<K>) {
+        // Snapshot skip: the growing range lock exists to doom writers that
+        // insert into the iterated prefix, but a snapshot iteration is
+        // isolated by the version chains and has no sweep to release the
+        // lock — taking it would leak it. See `first_in_range`.
+        if tx.in_snapshot() {
+            return;
+        }
         let class = self.map.core.class();
         let stats = self.map.core.stats();
         match self.range_id {

@@ -1,0 +1,244 @@
+//! Collection-layer snapshot reads (PR 9): every `snapshot_*` entry point
+//! must return the committed answer while acquiring **zero semantic locks**
+//! and executing **zero aborts** — the acceptance criterion of the
+//! never-aborting read design — with the two non-capable cases (boosted
+//! backends, the eager map) taking the *counted* validated fallback.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use stm::{atomic, global_stats};
+use txcollections::{
+    Channel, EagerPolicy, EagerTransactionalMap, TransactionalIntervalMap, TransactionalMap,
+    TransactionalMultiset, TransactionalPriorityQueue, TransactionalQueue, TransactionalSet,
+    TransactionalSortedMap, TransactionalSortedSet,
+};
+
+/// Serializes the tests asserting exact deltas on process-global counters.
+static STATS_GATE: Mutex<()> = Mutex::new(());
+
+fn lock_acqs(stats: &txcollections::SemanticStats) -> u64 {
+    stats.lock_acquisitions.load(Ordering::Relaxed)
+}
+
+/// Every TVar-backed collection: one pass of snapshot reads returns the
+/// committed answers with zero aborts, zero fallbacks, zero semantic-lock
+/// acquisitions, and zero global-stripe visits.
+#[test]
+fn snapshot_reads_take_zero_locks_across_all_collections() {
+    let _g = STATS_GATE.lock().unwrap();
+
+    let map: TransactionalMap<u32, String> = TransactionalMap::new();
+    let sorted: TransactionalSortedMap<u32, u32> = TransactionalSortedMap::new();
+    let queue: TransactionalQueue<u32> = TransactionalQueue::new();
+    let set: TransactionalSet<u32> = TransactionalSet::new();
+    let sset: TransactionalSortedSet<u32> = TransactionalSortedSet::new();
+    let mset: TransactionalMultiset<u32> = TransactionalMultiset::new();
+    let pq: TransactionalPriorityQueue<u32> = TransactionalPriorityQueue::new();
+    let ivl: TransactionalIntervalMap<u32, &'static str> = TransactionalIntervalMap::new();
+
+    atomic(|tx| {
+        for k in 1..=5u32 {
+            map.put_discard(tx, k, format!("v{k}"));
+            sorted.put_discard(tx, k, k * 10);
+            queue.put(tx, k);
+            set.add_discard(tx, k);
+            sset.add(tx, k);
+            mset.add_n(tx, k, u64::from(k));
+            pq.insert(tx, k);
+        }
+        ivl.insert(tx, 10, 20, "a");
+        ivl.insert(tx, 15, 30, "b");
+    });
+
+    let before = global_stats();
+    let acq0: u64 = [
+        lock_acqs(map.semantic_stats()),
+        lock_acqs(sorted.semantic_stats()),
+        lock_acqs(queue.semantic_stats()),
+        lock_acqs(set.semantic_stats()),
+        lock_acqs(sset.semantic_stats()),
+        lock_acqs(mset.semantic_stats()),
+        lock_acqs(pq.semantic_stats()),
+        lock_acqs(ivl.semantic_stats()),
+    ]
+    .iter()
+    .sum();
+
+    assert_eq!(map.snapshot_get(&3), Some("v3".to_string()));
+    assert!(map.snapshot_contains_key(&5));
+    assert_eq!(map.snapshot_size(), 5);
+    assert!(!map.snapshot_is_empty());
+    assert_eq!(sorted.snapshot_get(&2), Some(20));
+    assert_eq!(sorted.snapshot_size(), 5);
+    assert_eq!(sorted.snapshot_first_key(), Some(1));
+    assert_eq!(sorted.snapshot_last_key(), Some(5));
+    assert_eq!(
+        sorted.snapshot_entries(),
+        (1..=5).map(|k| (k, k * 10)).collect::<Vec<_>>()
+    );
+    assert_eq!(queue.snapshot_peek(), Some(1));
+    assert_eq!(queue.snapshot_len(), 5);
+    assert!(!queue.snapshot_is_empty());
+    assert!(set.snapshot_contains(&4));
+    assert_eq!(set.snapshot_size(), 5);
+    assert!(sset.snapshot_contains(&1));
+    assert_eq!(sset.snapshot_size(), 5);
+    assert_eq!(sset.snapshot_first(), Some(1));
+    assert_eq!(sset.snapshot_last(), Some(5));
+    assert_eq!(mset.snapshot_count(&4), 4);
+    assert!(mset.snapshot_contains(&2));
+    assert_eq!(mset.snapshot_len(), 15);
+    assert_eq!(pq.snapshot_peek_min(), Some(1));
+    assert_eq!(pq.snapshot_len(), 5);
+    let stabbed = ivl.snapshot_stab(&18);
+    assert_eq!(stabbed.len(), 2, "both [10,20] and [15,30] cover 18");
+    assert_eq!(ivl.snapshot_overlapping(25, 40).len(), 1);
+    assert_eq!(ivl.snapshot_len(), 2);
+
+    let acq1: u64 = [
+        lock_acqs(map.semantic_stats()),
+        lock_acqs(sorted.semantic_stats()),
+        lock_acqs(queue.semantic_stats()),
+        lock_acqs(set.semantic_stats()),
+        lock_acqs(sset.semantic_stats()),
+        lock_acqs(mset.semantic_stats()),
+        lock_acqs(pq.semantic_stats()),
+        lock_acqs(ivl.semantic_stats()),
+    ]
+    .iter()
+    .sum();
+    let d = global_stats().diff(&before);
+
+    assert_eq!(acq1 - acq0, 0, "a snapshot read reached a lock table");
+    assert_eq!(d.aborts(), 0, "a snapshot read aborted: {d:?}");
+    assert_eq!(d.snapshot_fallbacks, 0, "a TVar-backed snapshot fell back");
+    assert_eq!(
+        d.global_stripe_entries, 0,
+        "a snapshot visited the global stripe"
+    );
+    assert_eq!(
+        d.lock_cache_hits, 0,
+        "snapshot skips must not count as cache hits"
+    );
+    assert!(d.snapshot_reads > 0, "snapshot reads not counted");
+}
+
+/// Boosted backends have no per-version history (reads bypass the TVar
+/// layer), so their snapshot entry points take the validated fallback —
+/// counted, correct, and not an abort.
+#[test]
+fn boosted_backend_snapshot_falls_back_counted() {
+    let _g = STATS_GATE.lock().unwrap();
+    let m: TransactionalMap<u32, u32, _> = TransactionalMap::boosted();
+    atomic(|tx| m.put_discard(tx, 7, 70));
+
+    let before = global_stats();
+    assert_eq!(m.snapshot_get(&7), Some(70));
+    let d = global_stats().diff(&before);
+    assert_eq!(d.snapshot_fallbacks, 1, "boosted fallback must be counted");
+    assert_eq!(d.aborts(), 0, "a fallback is not an abort");
+}
+
+/// The eager map is never snapshot-capable regardless of backend: its
+/// in-place writes land as committed TVar versions before commit, so a
+/// snapshot could observe uncommitted state. Always falls back, counted.
+#[test]
+fn eager_map_snapshot_always_falls_back() {
+    let _g = STATS_GATE.lock().unwrap();
+    let m: EagerTransactionalMap<u32, u32> = EagerTransactionalMap::new(EagerPolicy::WriterWaits);
+    atomic(|tx| {
+        m.put(tx, 1, 10);
+    });
+
+    let before = global_stats();
+    assert_eq!(m.snapshot_get(&1), Some(10));
+    let d = global_stats().diff(&before);
+    assert_eq!(d.snapshot_fallbacks, 1, "eager fallback must be counted");
+    assert_eq!(d.aborts(), 0);
+}
+
+/// The paper's size pain point, inverted: `snapshot_size` racing a writer
+/// dooms nobody. A validated size observation holds the size lock in
+/// observe mode and a size-changing put dooms it (or is doomed); the
+/// snapshot path touches no lock at all, so a single uncontended writer
+/// plus hammering snapshot observers commit with zero aborts total.
+#[test]
+fn snapshot_size_never_dooms_concurrent_writers() {
+    let _g = STATS_GATE.lock().unwrap();
+    let before = global_stats();
+    let m: Arc<TransactionalMap<u64, u64>> = Arc::new(TransactionalMap::new());
+    let observed_max = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        {
+            let m = m.clone();
+            s.spawn(move || {
+                for k in 0..400u64 {
+                    atomic(|tx| m.put_discard(tx, k, k));
+                }
+            });
+        }
+        for _ in 0..2 {
+            let m = m.clone();
+            let observed_max = &observed_max;
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..200 {
+                    let n = m.snapshot_size() as u64;
+                    assert!(
+                        n >= last,
+                        "snapshot sizes of a grow-only map went backwards"
+                    );
+                    last = n;
+                }
+                observed_max.fetch_max(last, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(m.snapshot_size(), 400);
+    let d = global_stats().diff(&before);
+    assert_eq!(
+        d.aborts(),
+        0,
+        "snapshot size observers doomed the writer (or aborted): {d:?}"
+    );
+    assert_eq!(d.snapshot_fallbacks, 0);
+}
+
+/// A snapshot taken mid-race is atomic across *different* collections in
+/// one `atomic_read`: a writer moves items from a queue into a map inside
+/// one transaction, and every snapshot sees queue_len + map_size constant.
+#[test]
+fn snapshot_is_atomic_across_collections() {
+    let q: Arc<TransactionalQueue<u32>> = Arc::new(TransactionalQueue::new());
+    let m: Arc<TransactionalMap<u32, ()>> = Arc::new(TransactionalMap::new());
+    atomic(|tx| {
+        for k in 0..64u32 {
+            q.put(tx, k);
+        }
+    });
+    std::thread::scope(|s| {
+        {
+            let (q, m) = (q.clone(), m.clone());
+            s.spawn(move || {
+                for _ in 0..64 {
+                    atomic(|tx| {
+                        if let Some(k) = q.poll(tx) {
+                            m.put_discard(tx, k, ());
+                        }
+                    });
+                }
+            });
+        }
+        for _ in 0..2 {
+            let (q, m) = (q.clone(), m.clone());
+            s.spawn(move || {
+                for _ in 0..100 {
+                    let total = stm::atomic_read(|tx| q.committed_len(tx) + m.size(tx));
+                    assert_eq!(total, 64, "snapshot tore across two collections");
+                }
+            });
+        }
+    });
+    assert_eq!(q.snapshot_len(), 0);
+    assert_eq!(m.snapshot_size(), 64);
+}

@@ -34,6 +34,18 @@ pub(crate) enum TxInterrupt {
     /// Partially roll back: discard frames above (and including) the frame
     /// with this index, then re-run that closed-nested frame only.
     RetryFrame(usize),
+    /// A snapshot ([`crate::atomic_read`]) attempt cannot be served from the
+    /// version chains (an entry was truncated past the snapshot version):
+    /// abandon the attempt and re-run on the validated path. Counted as a
+    /// fallback, never as an abort.
+    SnapshotFallback,
+    /// The program called a transactional API in a context where it is
+    /// forbidden (a write inside `open_read` or inside a snapshot
+    /// transaction). The attempt is aborted *cleanly* — compensation runs,
+    /// locks release — and the runner then panics with this diagnostic at
+    /// the `atomic` boundary, outside any re-executable closure, keeping the
+    /// runtime recoverable (the failure mode TX003 exists to catch).
+    Misuse(&'static str),
 }
 
 pub(crate) fn throw(i: TxInterrupt) -> ! {

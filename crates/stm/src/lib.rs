@@ -65,6 +65,7 @@
 mod clock;
 mod contention;
 mod cost;
+mod epoch;
 mod handle;
 mod handlers;
 mod interrupt;
@@ -79,7 +80,7 @@ pub use cost::{add_cost, current_cost, reset_cost, take_cost, MEM_ACCESS_COST};
 pub use handle::{TxHandle, TxState};
 pub use handlers::HandlerCtx;
 pub use interrupt::{abort_and_retry, user_abort, AbortCause};
-pub use runtime::{atomic, atomic_with, speculate, PreparedTxn, RunOpts};
+pub use runtime::{atomic, atomic_read, atomic_with, speculate, PreparedTxn, RunOpts};
 pub use stats::{
     global_stats, record_global_stripe_entry, record_lock_cache_hit, record_open_flattened,
     record_stripe_lock_spin, reset_global_stats, StatsSnapshot,

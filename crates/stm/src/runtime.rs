@@ -6,6 +6,7 @@ use crate::handle::TxHandle;
 use crate::interrupt::{self, AbortCause, TxInterrupt};
 use crate::tvar::VarId;
 use crate::txn::Txn;
+use crate::{epoch, stats, trace};
 use std::sync::Arc;
 
 /// Options for [`atomic_with`].
@@ -62,6 +63,17 @@ pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
                     tx.run_abort_path(AbortCause::Explicit);
                     panic!("transaction aborted by user request");
                 }
+                // Only snapshot attempts throw this; a validated transaction
+                // reaching it means a bug upstream — retry defensively.
+                Ok(TxInterrupt::SnapshotFallback) => {
+                    tx.run_abort_path(AbortCause::Explicit);
+                }
+                Ok(TxInterrupt::Misuse(diag)) => {
+                    // Clean abort first (compensation runs, locks release),
+                    // then report the misuse outside the re-executable body.
+                    tx.run_abort_path(AbortCause::Explicit);
+                    panic!("{diag}");
+                }
                 Err(user_panic) => {
                     // A genuine bug in user code: clean up transactional
                     // state, then let the panic continue.
@@ -78,6 +90,75 @@ pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
             );
         }
         cm.pause(attempts);
+    }
+}
+
+/// Run `f` as a **snapshot (read-only) transaction**: sample the clock once,
+/// pin that epoch, and serve every read from the newest version-chain entry
+/// at or below the snapshot — no read-set, no commit-time validation, no
+/// semantic locks, and no aborts by construction. Collection reads made
+/// through a snapshot transaction skip lock acquisition entirely (the
+/// kernel's snapshot skip); writes, handler registration, and lock-acquiring
+/// operations abort with a diagnostic.
+///
+/// The one escape hatch: if a chain was truncated past the snapshot (the
+/// reader was pinned for longer than the chain depth bound sustains, or it
+/// raced its own pin against a publish), or the body touched a structure
+/// with no per-version history (boosted or eager backends), the attempt is
+/// abandoned and `f` re-runs as an ordinary validated [`atomic`]
+/// transaction. This is counted (`snapshot_fallbacks`), never silent.
+///
+/// ```
+/// use stm::{atomic, atomic_read, TVar};
+/// let a = TVar::new(1);
+/// let b = TVar::new(2);
+/// atomic(|tx| { let x = a.read(tx); b.write(tx, x + 10); });
+/// let sum = atomic_read(|tx| a.read(tx) + b.read(tx));
+/// assert_eq!(sum, 12);
+/// ```
+pub fn atomic_read<T>(mut f: impl FnMut(&mut Txn) -> T) -> T {
+    let pin = epoch::pin();
+    let handle = TxHandle::new(0);
+    let mut tx = Txn::new_snapshot(handle, pin.epoch());
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
+    match outcome {
+        Ok(v) => {
+            tx.finish_snapshot();
+            v
+        }
+        Err(payload) => {
+            let id = tx.handle().id();
+            match interrupt::classify(payload) {
+                // Chain truncated past the snapshot — or, defensively, a
+                // body that asked to retry (unreachable by construction:
+                // snapshot reads are consistent, so consistency bail-outs
+                // like the iterators' completeness check never fire).
+                Ok(TxInterrupt::SnapshotFallback)
+                | Ok(TxInterrupt::Retry(_))
+                | Ok(TxInterrupt::RetryFrame(_)) => {
+                    trace::snapshot_fallback(id);
+                    tx.abandon_snapshot();
+                    // Unpin *before* the validated re-run: holding the pin
+                    // through an arbitrarily long transaction would stall
+                    // chain reclamation for everyone.
+                    drop(pin);
+                    stats::record_snapshot_fallback();
+                    atomic(f)
+                }
+                Ok(TxInterrupt::Misuse(diag)) => {
+                    tx.abandon_snapshot();
+                    panic!("{diag}");
+                }
+                Ok(TxInterrupt::UserAbort) => {
+                    tx.abandon_snapshot();
+                    panic!("transaction aborted by user request");
+                }
+                Err(user_panic) => {
+                    tx.abandon_snapshot();
+                    std::panic::resume_unwind(user_panic);
+                }
+            }
+        }
     }
 }
 
@@ -163,6 +244,16 @@ pub fn speculate<T>(
             Ok(TxInterrupt::UserAbort) => {
                 tx.run_abort_path(AbortCause::Explicit);
                 Err(AbortCause::Explicit)
+            }
+            Ok(TxInterrupt::SnapshotFallback) => {
+                // Never thrown by speculated bodies (the simulator does not
+                // run snapshot transactions); treat as an explicit abort.
+                tx.run_abort_path(AbortCause::Explicit);
+                Err(AbortCause::Explicit)
+            }
+            Ok(TxInterrupt::Misuse(diag)) => {
+                tx.run_abort_path(AbortCause::Explicit);
+                panic!("{diag}");
             }
             Err(user_panic) => {
                 tx.run_abort_path(AbortCause::Explicit);

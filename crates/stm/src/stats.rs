@@ -27,6 +27,9 @@ struct Counters {
     global_stripe_entries: AtomicU64,
     dooms_issued: AtomicU64,
     trace_events_dropped: AtomicU64,
+    snapshot_reads: AtomicU64,
+    snapshot_fallbacks: AtomicU64,
+    chain_entries_reclaimed: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -47,6 +50,9 @@ static COUNTERS: Counters = Counters {
     global_stripe_entries: AtomicU64::new(0),
     dooms_issued: AtomicU64::new(0),
     trace_events_dropped: AtomicU64::new(0),
+    snapshot_reads: AtomicU64::new(0),
+    snapshot_fallbacks: AtomicU64::new(0),
+    chain_entries_reclaimed: AtomicU64::new(0),
 };
 
 pub(crate) fn record_commit() {
@@ -116,6 +122,27 @@ pub(crate) fn record_trace_dropped() {
         .fetch_add(1, Ordering::Relaxed);
 }
 
+/// Record `n` variable reads served from a snapshot transaction's version
+/// chain (batched per transaction at completion).
+pub(crate) fn record_snapshot_reads(n: u64) {
+    COUNTERS.snapshot_reads.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record a snapshot transaction abandoning to the validated path because a
+/// chain was truncated past its snapshot version (or the body aborted, which
+/// by construction it should not).
+pub(crate) fn record_snapshot_fallback() {
+    COUNTERS.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `n` version-chain entries reclaimed by the epoch horizon, the
+/// depth bound, or the no-readers clearing path.
+pub(crate) fn record_chain_reclaimed(n: u64) {
+    COUNTERS
+        .chain_entries_reclaimed
+        .fetch_add(n, Ordering::Relaxed);
+}
+
 /// Record a contended semantic-stripe acquisition (a key stripe or the
 /// global stripe found held). Public: the striped lock tables live in the
 /// collection layer, above this crate.
@@ -182,6 +209,17 @@ pub struct StatsSnapshot {
     /// Trace events lost to ring-buffer overflow (drop-oldest) in
     /// [`crate::trace`]. Zero whenever tracing is off.
     pub trace_events_dropped: u64,
+    /// Variable reads served by snapshot ([`crate::atomic_read`])
+    /// transactions out of the multi-version chain — reads with no read-set
+    /// entry, no validation, and no semantic locks.
+    pub snapshot_reads: u64,
+    /// Snapshot transactions that abandoned to the validated path because a
+    /// version chain had been truncated past their snapshot (the counted,
+    /// never-silent escape hatch of the wait-free read design).
+    pub snapshot_fallbacks: u64,
+    /// Version-chain entries reclaimed: dropped past the epoch horizon or
+    /// the depth bound, or cleared when no snapshot reader was pinned.
+    pub chain_entries_reclaimed: u64,
 }
 
 impl StatsSnapshot {
@@ -229,6 +267,13 @@ impl StatsSnapshot {
             trace_events_dropped: self
                 .trace_events_dropped
                 .saturating_sub(earlier.trace_events_dropped),
+            snapshot_reads: self.snapshot_reads.saturating_sub(earlier.snapshot_reads),
+            snapshot_fallbacks: self
+                .snapshot_fallbacks
+                .saturating_sub(earlier.snapshot_fallbacks),
+            chain_entries_reclaimed: self
+                .chain_entries_reclaimed
+                .saturating_sub(earlier.chain_entries_reclaimed),
         }
     }
 
@@ -261,6 +306,9 @@ pub fn global_stats() -> StatsSnapshot {
         global_stripe_entries: COUNTERS.global_stripe_entries.load(Ordering::Relaxed),
         dooms_issued: COUNTERS.dooms_issued.load(Ordering::Relaxed),
         trace_events_dropped: COUNTERS.trace_events_dropped.load(Ordering::Relaxed),
+        snapshot_reads: COUNTERS.snapshot_reads.load(Ordering::Relaxed),
+        snapshot_fallbacks: COUNTERS.snapshot_fallbacks.load(Ordering::Relaxed),
+        chain_entries_reclaimed: COUNTERS.chain_entries_reclaimed.load(Ordering::Relaxed),
     }
 }
 
@@ -284,6 +332,9 @@ pub fn reset_global_stats() {
     COUNTERS.global_stripe_entries.store(0, Ordering::Relaxed);
     COUNTERS.dooms_issued.store(0, Ordering::Relaxed);
     COUNTERS.trace_events_dropped.store(0, Ordering::Relaxed);
+    COUNTERS.snapshot_reads.store(0, Ordering::Relaxed);
+    COUNTERS.snapshot_fallbacks.store(0, Ordering::Relaxed);
+    COUNTERS.chain_entries_reclaimed.store(0, Ordering::Relaxed);
 }
 
 /// Zero the global counters for a deterministic unit test. Test-only on

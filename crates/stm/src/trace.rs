@@ -203,6 +203,8 @@ const K_SEM_RELEASED: u8 = 11;
 const K_DOOM_EDGE: u8 = 12;
 const K_OPEN_FLAT: u8 = 13;
 const K_CACHE_HIT: u8 = 14;
+const K_SNAPSHOT_TXN: u8 = 15;
+const K_SNAPSHOT_FALLBACK: u8 = 16;
 
 // word0 layout: kind(0..8) | sym(8..24) | aux(24..32) | aux2(32..40) |
 // flags(40..48). words 1..5: seq, a, b, c.
@@ -406,6 +408,32 @@ pub enum TraceEvent {
         /// Nanoseconds since trace start.
         ts: u64,
     },
+    /// A snapshot ([`crate::atomic_read`]) transaction completed, having
+    /// served `reads` variable reads from the version chains with no
+    /// read-set, no validation, and no semantic locks. Emitted just before
+    /// the attempt's [`TraceEvent::TxnCommit`].
+    SnapshotTxn {
+        /// Global emission order.
+        seq: u64,
+        /// Attempt id.
+        txn: u64,
+        /// Chain reads served by the attempt.
+        reads: u64,
+        /// Nanoseconds since trace start.
+        ts: u64,
+    },
+    /// A snapshot attempt abandoned to the validated path (a version chain
+    /// was truncated past its snapshot). Emitted just before the attempt's
+    /// closing [`TraceEvent::TxnAbort`]; the re-run appears as a fresh
+    /// ordinary transaction.
+    SnapshotFallback {
+        /// Global emission order.
+        seq: u64,
+        /// Attempt id of the abandoned snapshot attempt.
+        txn: u64,
+        /// Nanoseconds since trace start.
+        ts: u64,
+    },
 }
 
 impl TraceEvent {
@@ -426,7 +454,9 @@ impl TraceEvent {
             | TraceEvent::SemLockReleased { seq, .. }
             | TraceEvent::DoomEdge { seq, .. }
             | TraceEvent::OpenFlattened { seq, .. }
-            | TraceEvent::LockCacheHit { seq, .. } => *seq,
+            | TraceEvent::LockCacheHit { seq, .. }
+            | TraceEvent::SnapshotTxn { seq, .. }
+            | TraceEvent::SnapshotFallback { seq, .. } => *seq,
         }
     }
 
@@ -495,6 +525,13 @@ impl TraceEvent {
                 key_hash: b,
                 ts: c,
             },
+            K_SNAPSHOT_TXN => TraceEvent::SnapshotTxn {
+                seq,
+                txn: a,
+                reads: b,
+                ts: c,
+            },
+            K_SNAPSHOT_FALLBACK => TraceEvent::SnapshotFallback { seq, txn: a, ts: c },
             _ => return None,
         })
     }
@@ -751,6 +788,20 @@ pub fn lock_cache_hit(txn: u64, class: Sym, kind: LockKind, key_hash: u64) {
             key_hash,
             now_ns(),
         );
+    }
+}
+
+#[inline]
+pub(crate) fn snapshot_txn(txn: u64, reads: u64) {
+    if enabled() {
+        emit(K_SNAPSHOT_TXN, Sym::UNKNOWN, 0, 0, 0, txn, reads, now_ns());
+    }
+}
+
+#[inline]
+pub(crate) fn snapshot_fallback(txn: u64) {
+    if enabled() {
+        emit(K_SNAPSHOT_FALLBACK, Sym::UNKNOWN, 0, 0, 0, txn, 0, now_ns());
     }
 }
 
@@ -1022,6 +1073,14 @@ impl TraceSnapshot {
                     "{{\"kind\":\"lock_cache_hit\",\"seq\":{seq},\"txn\":{txn},\"class\":\"{}\",\"lock\":\"{}\",\"key_hash\":{key_hash},\"ts\":{ts}}}",
                     class.name(),
                     kind.name()
+                ),
+                TraceEvent::SnapshotTxn { seq, txn, reads, ts } => write!(
+                    s,
+                    "{{\"kind\":\"snapshot_txn\",\"seq\":{seq},\"txn\":{txn},\"reads\":{reads},\"ts\":{ts}}}"
+                ),
+                TraceEvent::SnapshotFallback { seq, txn, ts } => write!(
+                    s,
+                    "{{\"kind\":\"snapshot_fallback\",\"seq\":{seq},\"txn\":{txn},\"ts\":{ts}}}"
                 ),
             };
         }

@@ -15,11 +15,17 @@
 
 use crate::cost;
 use crate::txn::Txn;
+use crate::{epoch, stats};
 use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on the per-var history chain. A snapshot pinned so far in the
+/// past that its entry fell off the end takes the counted fallback path
+/// instead; the bound is what keeps worst-case memory per var constant.
+pub(crate) const MAX_CHAIN_DEPTH: usize = 8;
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
 static LABELS: Mutex<Option<HashMap<VarId, String>>> = Mutex::new(None);
@@ -78,6 +84,21 @@ pub(crate) struct VarCore<T> {
     /// `(version << 1) | locked` — see the module docs.
     vlock: AtomicU64,
     cell: RwLock<(u64, T)>,
+    /// Multi-version history: previously committed `(version, value)` pairs,
+    /// newest first, forming a *contiguous* suffix of this var's committed
+    /// history ending just before `cell`. Maintained only while snapshot
+    /// readers are pinned (see `epoch.rs`); bounded by [`MAX_CHAIN_DEPTH`].
+    ///
+    /// The contiguity invariant is what makes [`VarCore::read_at`] sound:
+    /// every publish either pushes the outgoing head onto the chain or (when
+    /// no reader is pinned) clears the chain, so a chain entry `<= s` is
+    /// always the *latest* committed value at snapshot `s` — never a stale
+    /// value with skipped versions between it and `s`.
+    hist: Mutex<Vec<(u64, T)>>,
+    /// Relaxed mirror of `!hist.is_empty()`, so the no-readers publish path
+    /// pays one load instead of a mutex. Publishes to one var are serialized
+    /// by its commit lock, whose release/acquire pair orders this flag.
+    has_hist: AtomicBool,
 }
 
 impl<T: Clone + Send + Sync + 'static> VarCore<T> {
@@ -90,6 +111,50 @@ impl<T: Clone + Send + Sync + 'static> VarCore<T> {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+    }
+
+    /// Read the newest committed value at or below snapshot version `s`, or
+    /// `None` if the chain has been truncated (or never maintained) past it —
+    /// the caller then takes the counted validated-path fallback.
+    ///
+    /// Wait-free with respect to writers in the common case: the head check
+    /// is one `RwLock` read of `cell` (no spin on the commit lock — a locked
+    /// `vlock` just means a publish is in flight, and the cell still holds a
+    /// committed pair). Only a miss on the head touches the history mutex.
+    pub(crate) fn read_at(&self, s: u64) -> Option<T> {
+        {
+            let g = self.cell.read();
+            if g.0 <= s {
+                return Some(g.1.clone());
+            }
+        }
+        // The head is newer than the snapshot: look in the chain. A publish
+        // swaps the cell *while holding* the history lock, so if we saw the
+        // new head above, the outgoing value is already in the chain (or was
+        // deliberately reclaimed, in which case we miss — counted, never
+        // silent).
+        let h = self.hist.lock();
+        h.iter().find(|e| e.0 <= s).map(|e| e.1.clone())
+    }
+
+    /// Current history-chain length (diagnostic; used by the reclamation
+    /// stress tests to assert chains stay bounded).
+    fn chain_len(&self) -> usize {
+        self.hist.lock().len()
+    }
+
+    /// Drop chain entries no live pin can reach: everything strictly older
+    /// than the newest entry at or below `horizon` (future pins sample a
+    /// clock already past every committed version, so they never need the
+    /// chain at all), plus anything beyond the depth bound. Returns the
+    /// number of reclaimed entries.
+    fn truncate_chain(h: &mut Vec<(u64, T)>, horizon: u64) -> usize {
+        let before = h.len();
+        if let Some(i) = h.iter().position(|e| e.0 <= horizon) {
+            h.truncate(i + 1);
+        }
+        h.truncate(MAX_CHAIN_DEPTH);
+        before - h.len()
     }
 }
 
@@ -126,7 +191,39 @@ impl<T: Clone + Send + Sync + 'static> AnyVar for VarCore<T> {
         let v = val
             .downcast_ref::<T>()
             .expect("write-set entry type mismatch");
-        {
+        if epoch::readers_active() {
+            // A snapshot somewhere may still need the outgoing head: push it
+            // onto the chain. The history lock is held across the cell swap
+            // so a snapshot reader that misses the old head in `cell` is
+            // guaranteed to find it in the chain once it takes this lock.
+            let mut h = self.hist.lock();
+            {
+                let mut g = self.cell.write();
+                let old = std::mem::replace(&mut *g, (version, v.clone()));
+                h.insert(0, old);
+            }
+            self.has_hist.store(true, Ordering::Relaxed);
+            let reclaimed = Self::truncate_chain(&mut h, epoch::min_pinned());
+            drop(h);
+            if reclaimed > 0 {
+                stats::record_chain_reclaimed(reclaimed as u64);
+            }
+        } else {
+            // No snapshot pinned anywhere: overwrite in place, as before the
+            // multi-version chain existed. Any leftover chain must be cleared
+            // — skipping a push while keeping older entries would leave a
+            // version *gap*, and a later snapshot could then read a stale
+            // entry as if it were the state at its version.
+            if self.has_hist.load(Ordering::Relaxed) {
+                let mut h = self.hist.lock();
+                let reclaimed = h.len();
+                h.clear();
+                self.has_hist.store(false, Ordering::Relaxed);
+                drop(h);
+                if reclaimed > 0 {
+                    stats::record_chain_reclaimed(reclaimed as u64);
+                }
+            }
             let mut g = self.cell.write();
             *g = (version, v.clone());
         }
@@ -166,6 +263,8 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
                 id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
                 vlock: AtomicU64::new(0),
                 cell: RwLock::new((0, value)),
+                hist: Mutex::new(Vec::new()),
+                has_hist: AtomicBool::new(false),
             }),
         }
     }
@@ -209,6 +308,13 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     /// Committed version stamp (diagnostic).
     pub fn version(&self) -> u64 {
         self.core.version()
+    }
+
+    /// Length of this var's multi-version history chain (diagnostic). Zero
+    /// whenever no snapshot reader has been pinned across a recent publish;
+    /// never exceeds the compiled-in chain depth bound.
+    pub fn chain_len(&self) -> usize {
+        self.core.chain_len()
     }
 
     pub(crate) fn committed_pair(&self) -> (u64, T) {

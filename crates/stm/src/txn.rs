@@ -115,6 +115,14 @@ pub struct Txn {
     /// children, so `Txn::open` costs one refcount bump per transaction
     /// instead of one per operation.
     spare_open_handle: Option<Arc<TxHandle>>,
+    /// `Some(s)` for a snapshot transaction ([`crate::atomic_read`]): every
+    /// read is served from the newest chain entry with version `<= s`, with
+    /// no read-set entry, no validation, and no semantic locks. `None` for
+    /// ordinary transactions.
+    snapshot: Option<u64>,
+    /// Reads served from the version chains by this snapshot attempt,
+    /// flushed to the global counter in one add at completion.
+    snapshot_reads_served: u64,
 }
 
 impl Txn {
@@ -130,6 +138,27 @@ impl Txn {
             flat_mode: false,
             flat_reads: Vec::new(),
             spare_open_handle: None,
+            snapshot: None,
+            snapshot_reads_served: 0,
+        }
+    }
+
+    /// Context for a snapshot transaction reading at clock value `s` (the
+    /// caller holds the epoch pin protecting the chains down to `s`).
+    pub(crate) fn new_snapshot(handle: Arc<TxHandle>, s: u64) -> Self {
+        trace::txn_begin(handle.id());
+        Txn {
+            mode: TxnMode::Speculative,
+            handle,
+            rv: s,
+            frames: vec![Frame::new(FrameKind::Root)],
+            is_open_child: false,
+            ext: Vec::new(),
+            flat_mode: false,
+            flat_reads: Vec::new(),
+            spare_open_handle: None,
+            snapshot: Some(s),
+            snapshot_reads_served: 0,
         }
     }
 
@@ -144,6 +173,8 @@ impl Txn {
             flat_mode: false,
             flat_reads: Vec::new(),
             spare_open_handle: None,
+            snapshot: None,
+            snapshot_reads_served: 0,
         }
     }
 
@@ -163,6 +194,50 @@ impl Txn {
         self.mode = mode;
     }
 
+    /// True for a snapshot transaction (see [`crate::atomic_read`]). The
+    /// semantic kernel checks this to skip lock acquisition and registration
+    /// entirely; write-shaped entry points reject such transactions.
+    pub fn in_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// The clock value a snapshot transaction reads at, if this is one.
+    pub fn snapshot_version(&self) -> Option<u64> {
+        self.snapshot
+    }
+
+    /// Abandon the current snapshot attempt: the version chains cannot serve
+    /// it (an entry was truncated past the snapshot, or the structure does
+    /// not keep per-version history — boosted and eager backends). The
+    /// runner re-executes the body on the validated path and counts the
+    /// fallback; this is the *counted, never silent* escape hatch.
+    ///
+    /// No-op outside snapshot mode (so capability checks can call it
+    /// unconditionally).
+    pub fn snapshot_fallback(&self) {
+        if self.snapshot.is_some() {
+            interrupt::throw(TxInterrupt::SnapshotFallback);
+        }
+    }
+
+    /// Abort the attempt cleanly and report `diag` at the `atomic` boundary
+    /// — for transactional API calls that are forbidden in the current
+    /// context. See [`TxInterrupt::Misuse`].
+    fn misuse(&self, diag: &'static str) -> ! {
+        interrupt::throw(TxInterrupt::Misuse(diag));
+    }
+
+    /// Abort with `diag` if this is a snapshot transaction; no-op otherwise.
+    /// Write-shaped entry points in layers above this crate (the semantic
+    /// kernel's local-state and undo-log surfaces) call this unconditionally
+    /// so a buffering or compensating operation can never run under a
+    /// transaction that registers no handlers to drain it.
+    pub fn reject_in_snapshot(&self, diag: &'static str) {
+        if self.snapshot.is_some() {
+            self.misuse(diag);
+        }
+    }
+
     /// Abort immediately if another transaction has doomed this one.
     #[inline]
     fn check_doom(&self) {
@@ -178,6 +253,22 @@ impl Txn {
     pub(crate) fn read_var<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> T {
         if self.mode == TxnMode::Direct {
             return var.read_committed();
+        }
+        if let Some(s) = self.snapshot {
+            // Snapshot read: the newest committed value at or below `s`,
+            // straight off the version chain. No read-set entry, no rv
+            // extension, no doom check (a snapshot holds no locks and can
+            // never be doomed); a truncated chain abandons the attempt.
+            match var.core.read_at(s) {
+                Some(val) => {
+                    self.snapshot_reads_served += 1;
+                    return val;
+                }
+                None => {
+                    self.snapshot_fallback();
+                    unreachable!("snapshot_fallback always throws in snapshot mode");
+                }
+            }
         }
         self.check_doom();
         if self.flat_mode {
@@ -253,10 +344,21 @@ impl Txn {
             clock::publish_direct(var.core.as_ref(), &val);
             return;
         }
-        assert!(
-            !self.flat_mode,
-            "write inside an open_read body: flattened opens are read-only"
-        );
+        if self.snapshot.is_some() {
+            self.misuse(
+                "TVar write inside a snapshot transaction: atomic_read bodies are read-only \
+                 (use stm::atomic for read-write transactions)",
+            );
+        }
+        if self.flat_mode {
+            // Not a panic: the body is re-executable, so we abort the whole
+            // attempt cleanly (compensation runs, locks release) and report
+            // the misuse at the `atomic` boundary instead.
+            self.misuse(
+                "TVar write inside an open_read body: flattened opens are read-only \
+                 (use tx.open for read-write open-nested bodies)",
+            );
+        }
         self.check_doom();
         self.current_frame().writes.insert(
             var.id(),
@@ -327,14 +429,27 @@ impl Txn {
     // Handler / undo registration
     // ------------------------------------------------------------------
 
+    /// Snapshot transactions are pure reads: handlers and undos registered
+    /// on one would silently never run, so registration is a misuse abort.
+    fn reject_registration_in_snapshot(&self) {
+        if self.snapshot.is_some() {
+            self.misuse(
+                "handler/undo registration inside a snapshot transaction: atomic_read \
+                 bodies are read-only and never commit or abort anything",
+            );
+        }
+    }
+
     /// Register a commit handler on the *current nesting frame* (paper
     /// semantics: discarded if this frame aborts, promoted on commit).
     pub fn on_commit(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.reject_registration_in_snapshot();
         self.current_frame().commit_handlers.push(Box::new(h));
     }
 
     /// Register an abort handler on the current nesting frame.
     pub fn on_abort(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.reject_registration_in_snapshot();
         self.current_frame().abort_handlers.push(Box::new(h));
     }
 
@@ -342,17 +457,20 @@ impl Txn {
     /// enclosing closed-nested aborts. Collection classes use this because
     /// their semantic locks are owned by the top-level handle.
     pub fn on_commit_top(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.reject_registration_in_snapshot();
         self.frames[0].commit_handlers.push(Box::new(h));
     }
 
     /// Register an abort handler on the top-level frame.
     pub fn on_abort_top(&mut self, h: impl FnOnce(&mut Txn) + Send + 'static) {
+        self.reject_registration_in_snapshot();
         self.frames[0].abort_handlers.push(Box::new(h));
     }
 
     /// Register a compensation for thread-local state mutated in the current
     /// frame; runs (in reverse order) if this frame aborts.
     pub fn on_local_undo(&mut self, u: impl FnOnce() + Send + 'static) {
+        self.reject_registration_in_snapshot();
         self.current_frame().local_undos.push(Box::new(u));
     }
 
@@ -366,6 +484,11 @@ impl Txn {
     pub fn closed<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
         if self.mode == TxnMode::Direct {
             return f(self); // flat in handler context (holding the lane)
+        }
+        if self.snapshot.is_some() {
+            // Snapshot reads are consistent by construction, so nesting has
+            // nothing to isolate: flatten. (Writes inside abort as misuse.)
+            return f(self);
         }
         debug_assert!(!self.flat_mode, "closed nesting inside an open_read body");
         let my_index = self.frames.len();
@@ -424,6 +547,9 @@ impl Txn {
     pub fn open<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
         if self.mode == TxnMode::Direct {
             return f(self); // handler context: effects are already immediate
+        }
+        if self.snapshot.is_some() {
+            return f(self); // flatten, as in `closed`
         }
         debug_assert!(!self.flat_mode, "open inside an open_read body");
         // One handle clone per parent transaction, not one per op: the clone
@@ -492,6 +618,12 @@ impl Txn {
     pub fn open_read<T>(&mut self, mut f: impl FnMut(&mut Txn) -> T) -> T {
         if self.mode == TxnMode::Direct {
             return f(self); // handler context: reads are already committed
+        }
+        if self.snapshot.is_some() {
+            // Snapshot mode subsumes the flattened open: every read is
+            // already served at one consistent version, so there is no
+            // scratch log to validate and no retry loop to run.
+            return f(self);
         }
         debug_assert!(!self.flat_mode, "open_read does not nest");
         loop {
@@ -720,6 +852,37 @@ impl Txn {
         if !has_handlers {
             stats::record_lane_free_commit();
         }
+    }
+
+    /// Complete a successful snapshot attempt. There is nothing to validate,
+    /// publish, or run — the attempt logged no reads, buffered no writes,
+    /// and was barred from registering handlers — so completion is: mark
+    /// committed, flush the batched read counter, emit the trace pair.
+    pub(crate) fn finish_snapshot(&mut self) {
+        debug_assert!(self.snapshot.is_some());
+        self.handle.mark_committed();
+        stats::record_commit();
+        if self.snapshot_reads_served > 0 {
+            stats::record_snapshot_reads(self.snapshot_reads_served);
+        }
+        trace::snapshot_txn(self.handle.id(), self.snapshot_reads_served);
+        trace::txn_commit(self.handle.id());
+    }
+
+    /// Abandon a snapshot attempt (chain-truncation fallback, misuse, or a
+    /// user panic unwinding through the body). A snapshot holds no locks and
+    /// buffered nothing, so there is no compensation to run; this closes the
+    /// begin/terminal trace pairing and flushes reads served so far. Not
+    /// recorded as an abort in [`crate::global_stats`] — the transaction
+    /// never speculated anything, and `snapshot_fallbacks` is the
+    /// meaningful signal (see docs/OBSERVABILITY.md).
+    pub(crate) fn abandon_snapshot(&mut self) {
+        debug_assert!(self.snapshot.is_some());
+        self.handle.mark_aborted();
+        if self.snapshot_reads_served > 0 {
+            stats::record_snapshot_reads(self.snapshot_reads_served);
+        }
+        trace::txn_abort(self.handle.id(), AbortCause::Explicit, 0);
     }
 
     /// Drain commit handlers in direct mode. The caller holds the handler

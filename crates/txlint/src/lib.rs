@@ -72,9 +72,9 @@ impl fmt::Display for Finding {
 }
 
 /// All rule codes, for `--explain` style listings and self-tests.
-pub const ALL_CODES: [&str; 12] = [
+pub const ALL_CODES: [&str; 13] = [
     "TX001", "TX002", "TX003", "TX004", "TX005", "TX006", "TX007", "TX008", "TX009", "TX010",
-    "TX011", "TX012",
+    "TX011", "TX012", "TX013",
 ];
 
 /// Escape a string for embedding in a JSON string literal.

@@ -13,8 +13,11 @@ use crate::Finding;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
-/// Call names whose argument span is a transaction region.
-const TXN_ENTRY_FNS: [&str; 3] = ["atomic", "atomic_with", "speculate"];
+/// Call names whose argument span is a transaction region. `atomic_read`
+/// belongs here: its snapshot body re-runs on the validated path after a
+/// chain-truncation fallback, so the irrevocability and context rules bind
+/// exactly as they do under `atomic`.
+const TXN_ENTRY_FNS: [&str; 4] = ["atomic", "atomic_read", "atomic_with", "speculate"];
 /// Method names (after `.`) whose argument span is a nested-transaction
 /// region.
 const TXN_NEST_METHODS: [&str; 2] = ["closed", "open"];
@@ -264,6 +267,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx010_conflict_graph(path, src, &m, &mut out);
     tx011_unlogged_eager_mutation(path, src, &m, &mut out);
     tx012_read_only_open(path, src, &m, &mut out);
+    tx013_snapshot_mode_locking(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -1185,6 +1189,60 @@ fn tx012_read_only_open(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Fin
     }
 }
 
+/// Marker comment declaring a file that implements snapshot-mode (read-only,
+/// never-aborting) entry points: code in it must stay off every
+/// lock-acquiring or state-buffering kernel surface.
+fn snapshot_mode_marker() -> String {
+    format!("txlint: {}", "snapshot-mode")
+}
+
+/// Kernel entry points that acquire semantic locks or buffer transactional
+/// state. A snapshot transaction runs no release sweep and no handlers, so
+/// any of these reached from snapshot-mode code either leaks a lock for the
+/// lifetime of the table or strands buffered state — the dynamic guards
+/// abort, but snapshot-mode files must not even contain the call.
+const TX013_LOCKING_METHODS: &[&str] = &[
+    "take_key_lock",
+    "take_size_lock",
+    "take_empty_lock",
+    "take_full_lock",
+    "take_first_lock",
+    "take_last_lock",
+    "take_range_lock",
+    "add_range_lock",
+    "extend_range_upper",
+    "note_key_lock",
+    "note_point_lock",
+    "with_local",
+    "log_undo",
+];
+
+fn tx013_snapshot_mode_locking(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Finding>) {
+    if !src.contains(&snapshot_mode_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    for (i, t) in toks.iter().enumerate() {
+        // `<recv>.take_key_lock(` and friends — method-call shape only, so
+        // an identifier in, say, a match arm or a string (already stripped
+        // by the lexer) cannot fire.
+        if t.kind != TokKind::Ident
+            || !TX013_LOCKING_METHODS.contains(&t.text.as_str())
+            || i.checked_sub(1).and_then(|p| toks[p].punct()) != Some('.')
+            || toks.get(i + 1).and_then(Tok::punct) != Some('(')
+        {
+            continue;
+        }
+        out.push(finding(
+            path,
+            t,
+            "TX013",
+            format!("`{}` called in a snapshot-mode file", t.text),
+            "snapshot transactions take no semantic locks and buffer no state (there is no sweep or handler to undo either); route the operation through the collection's plain transactional API under stm::atomic instead",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1549,6 +1607,44 @@ mod tests {
     #[test]
     fn tx012_ignores_unmarked_files() {
         let src = "fn f(tx: &mut Txn) { let v = tx.open(|otx| backend.get(otx, &k)); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tx013_lock_call_in_snapshot_file_fires() {
+        let src = "// txlint: snapshot-mode\n\
+                   fn f(&self) { stm::atomic_read(|tx| { self.take_key_lock(tx, &k); \
+                   self.get(tx, &k) }); }";
+        assert_eq!(codes(src), vec!["TX013"]);
+    }
+
+    #[test]
+    fn tx013_buffering_call_in_snapshot_file_fires() {
+        let src = "// txlint: snapshot-mode\n\
+                   fn f(&self) { stm::atomic_read(|tx| self.core.with_local(tx, |s| s.0 += 1)); }";
+        assert_eq!(codes(src), vec!["TX013"]);
+    }
+
+    #[test]
+    fn tx013_plain_reads_are_clean() {
+        let src = "// txlint: snapshot-mode\n\
+                   fn f(&self) { stm::atomic_read(|tx| self.get(tx, &k)); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tx013_ignores_unmarked_files() {
+        let src = "fn f(&self, tx: &mut Txn) { self.take_key_lock(tx, &k); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn tx013_doc_text_cannot_fake_a_call_site() {
+        // The lexer strips comment bodies, so prose mentioning the entry
+        // points (as the real snapshot.rs docs do) never fires.
+        let src = "// txlint: snapshot-mode\n\
+                   /// Never calls .take_key_lock( or .with_local( here.\n\
+                   fn f(&self) { stm::atomic_read(|tx| self.get(tx, &k)); }";
         assert_eq!(codes(src), Vec::<&str>::new());
     }
 

@@ -13,6 +13,12 @@
 #                    transactions at ops_per_txn 1/16/64 with repeat vs
 #                    distinct keys, reporting per-txn open-commit, flattened-
 #                    read, stripe-acquisition, and lock-cache counters.
+#   BENCH_PR9.json — snapshot vs validated reads (PR 9): the same read-only
+#                    workload under atomic_read and atomic at 1/2/4/8
+#                    threads, plus the mixed abort-rate-delta cell (size-
+#                    changing writer vs whole-map observers). Ceiling-gated:
+#                    snapshot_abort_count = 0, snapshot_lock_acquisitions
+#                    = 0, snapshot_fallback_rate bounded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,12 +34,16 @@ cat BENCH_PR5.json
 cargo bench -q -p bench --bench boosted_vs_tvar >BENCH_PR8.json
 cat BENCH_PR8.json
 
+cargo bench -q -p bench --bench snapshot_reads >BENCH_PR9.json
+cat BENCH_PR9.json
+
 # Counter-based regression gate: the new report's protocol counters may not
 # blow past the previous PR's where the two are comparable, and the
 # amortization sweep's repeat_* per-txn leaves must stay under their
 # absolute ceilings (ns/op is never gated — 1-CPU hosts are too noisy for
 # wall-clock gates).
 cargo run -q --release -p bench --bin benchdiff -- BENCH_PR7.json BENCH_PR8.json
+cargo run -q --release -p bench --bin benchdiff -- BENCH_PR8.json BENCH_PR9.json
 
 # Smoke the provenance reporter end to end: traced contended-map soak,
 # export, re-parse and structurally validate the exported trace. The second
