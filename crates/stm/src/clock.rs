@@ -151,7 +151,7 @@ pub(crate) fn stable_version(var: &dyn AnyVar) -> u64 {
 pub(crate) fn publish_direct(var: &dyn AnyVar, val: &(dyn Any + Send + Sync)) {
     lock_var_spin(var);
     let wv = fresh_version();
-    var.apply(val, wv);
+    var.apply(val, wv, crate::epoch::publish_horizon());
 }
 
 /// Ownership of a write set's commit locks: phase one of the two-phase
@@ -182,10 +182,15 @@ impl<'a> CommitGuard<'a> {
 
     /// Phase two: draw the write version and apply the write set.
     /// `apply_all` must stamp every locked var with the version it is given
-    /// (each `apply` releases that var's lock).
-    pub(crate) fn publish(mut self, apply_all: impl FnOnce(u64)) {
+    /// (each `apply` releases that var's lock) and thread the horizon into
+    /// every `apply`. The reclamation horizon is sampled **once per commit**
+    /// here — while snapshot readers are pinned, `min_pinned()` is an
+    /// O(threads) slot scan, and paying it per published var would tax every
+    /// writer with `O(write_set × threads)` for a single long-lived reader.
+    pub(crate) fn publish(mut self, apply_all: impl FnOnce(u64, u64)) {
         let wv = fresh_version();
-        apply_all(wv);
+        let horizon = crate::epoch::publish_horizon();
+        apply_all(wv, horizon);
         self.armed = false;
     }
 }

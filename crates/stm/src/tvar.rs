@@ -14,8 +14,8 @@
 //! version + lock state as one word. See `clock.rs` for the protocol.
 
 use crate::cost;
+use crate::stats;
 use crate::txn::Txn;
-use crate::{epoch, stats};
 use parking_lot::{Mutex, RwLock};
 use std::any::Any;
 use std::collections::HashMap;
@@ -76,7 +76,11 @@ pub(crate) trait AnyVar: Send + Sync {
     /// Publish a buffered value with the given write version, releasing the
     /// commit lock in the same store.
     /// `val` must be the `T` of the underlying var (guaranteed by the logger).
-    fn apply(&self, val: &(dyn Any + Send + Sync), version: u64);
+    /// `horizon` is the chain-reclamation horizon for the publishing commit,
+    /// sampled once per commit via [`crate::epoch::publish_horizon`] —
+    /// `u64::MAX` means no snapshot reader is pinned and history maintenance
+    /// can be skipped entirely.
+    fn apply(&self, val: &(dyn Any + Send + Sync), version: u64, horizon: u64);
 }
 
 pub(crate) struct VarCore<T> {
@@ -117,24 +121,59 @@ impl<T: Clone + Send + Sync + 'static> VarCore<T> {
     /// `None` if the chain has been truncated (or never maintained) past it —
     /// the caller then takes the counted validated-path fallback.
     ///
-    /// Wait-free with respect to writers in the common case: the head check
-    /// is one `RwLock` read of `cell` (no spin on the commit lock — a locked
-    /// `vlock` just means a publish is in flight, and the cell still holds a
-    /// committed pair). Only a miss on the head touches the history mutex.
+    /// The head check is gated on the versioned commit lock: accepting a
+    /// head stamped `<= s` is sound **only** while the var is unlocked. A
+    /// committer draws its write version with the clock `fetch_add` *after*
+    /// locking its whole write set, so a commit that could still publish a
+    /// version `<= s` drew it before our snapshot sampled the clock — and
+    /// therefore still holds this var's lock. Skipping the lock check is the
+    /// torn-read bug: a snapshot pinned between a committer's `fetch_add`
+    /// and its last per-var apply would see already-applied vars at the new
+    /// version (`<= s`) and unapplied vars at their old versions (also
+    /// `<= s`) — an inconsistent cut through one atomic write set.
+    ///
+    /// The only wait is the bounded spin when a publish is in flight *and*
+    /// the committed head is still at or below `s`; every other path is one
+    /// stamp load, one `RwLock` read of `cell`, and a stamp re-check.
     pub(crate) fn read_at(&self, s: u64) -> Option<T> {
-        {
-            let g = self.cell.read();
-            if g.0 <= s {
-                return Some(g.1.clone());
+        loop {
+            let w = self.vlock.load(Ordering::Acquire);
+            if w & 1 == 0 {
+                if w >> 1 <= s {
+                    let g = self.cell.read();
+                    // Re-check the stamp under the cell guard: a commit may
+                    // have locked *and published* between the stamp load and
+                    // the cell read. Versions never repeat (the clock is a
+                    // monotone fetch_add), so stamp equality proves the pair
+                    // under the guard is still the one the stamp described.
+                    if self.vlock.load(Ordering::Acquire) == w {
+                        return Some(g.1.clone());
+                    }
+                    continue;
+                }
+            } else {
+                // A publish is in flight. If the committed head is already
+                // past `s`, the in-flight version is provably past it too
+                // (per-var versions are monotone), so the chain below stays
+                // the right place to look. Otherwise the pending write may
+                // be `<= s` — taking the head *or* the chain here could
+                // serve a stale value as `latest(v, s)` — so wait out the
+                // short publish window (the committer releases every lock
+                // by publishing or unwinding, so this terminates).
+                if self.cell.read().0 <= s {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                    continue;
+                }
             }
+            // Head is newer than the snapshot: look in the chain. A publish
+            // swaps the cell *while holding* the history lock, so having
+            // seen the new head, the outgoing value is already in the chain
+            // (or was deliberately reclaimed, in which case we miss —
+            // counted, never silent).
+            let h = self.hist.lock();
+            return h.iter().find(|e| e.0 <= s).map(|e| e.1.clone());
         }
-        // The head is newer than the snapshot: look in the chain. A publish
-        // swaps the cell *while holding* the history lock, so if we saw the
-        // new head above, the outgoing value is already in the chain (or was
-        // deliberately reclaimed, in which case we miss — counted, never
-        // silent).
-        let h = self.hist.lock();
-        h.iter().find(|e| e.0 <= s).map(|e| e.1.clone())
     }
 
     /// Current history-chain length (diagnostic; used by the reclamation
@@ -187,15 +226,19 @@ impl<T: Clone + Send + Sync + 'static> AnyVar for VarCore<T> {
         self.vlock.store(w & !1, Ordering::Release);
     }
 
-    fn apply(&self, val: &(dyn Any + Send + Sync), version: u64) {
+    fn apply(&self, val: &(dyn Any + Send + Sync), version: u64, horizon: u64) {
         let v = val
             .downcast_ref::<T>()
             .expect("write-set entry type mismatch");
-        if epoch::readers_active() {
+        if horizon != u64::MAX {
             // A snapshot somewhere may still need the outgoing head: push it
             // onto the chain. The history lock is held across the cell swap
             // so a snapshot reader that misses the old head in `cell` is
             // guaranteed to find it in the chain once it takes this lock.
+            // The horizon was sampled once for the whole commit: a pin that
+            // lands mid-batch is safe anyway, because its stabilization loop
+            // (`epoch::pin`) guarantees this commit's version is at or below
+            // the pinned epoch — the new head itself serves that snapshot.
             let mut h = self.hist.lock();
             {
                 let mut g = self.cell.write();
@@ -203,7 +246,7 @@ impl<T: Clone + Send + Sync + 'static> AnyVar for VarCore<T> {
                 h.insert(0, old);
             }
             self.has_hist.store(true, Ordering::Relaxed);
-            let reclaimed = Self::truncate_chain(&mut h, epoch::min_pinned());
+            let reclaimed = Self::truncate_chain(&mut h, horizon);
             drop(h);
             if reclaimed > 0 {
                 stats::record_chain_reclaimed(reclaimed as u64);
@@ -369,7 +412,7 @@ mod tests {
     fn apply_updates_value_and_version() {
         let v = TVar::new(1i32);
         let any = v.any();
-        any.apply(&42i32, 9);
+        any.apply(&42i32, 9, u64::MAX);
         assert_eq!(v.read_committed(), 42);
         assert_eq!(v.version(), 9);
     }
@@ -386,9 +429,55 @@ mod tests {
         assert_eq!(any.stamp(), 0);
         // A publish through apply releases and stamps in one store.
         assert!(any.try_lock_commit());
-        any.apply(&9u8, 3);
+        any.apply(&9u8, 3, u64::MAX);
         assert_eq!(any.stamp(), 3 << 1);
         assert_eq!(v.read_committed(), 9);
+    }
+
+    #[test]
+    fn read_at_waits_out_in_flight_publish_instead_of_tearing() {
+        // Regression for the torn-snapshot race: a commit of {a, b} draws
+        // its write version before applying vars one at a time, so a
+        // snapshot pinned at s >= wv can catch `a` already applied while
+        // `b` still holds its pre-commit value — both stamped <= s. The
+        // read must wait out `b`'s in-flight publish (its commit lock is
+        // the witness), never accept the stale head.
+        let a = TVar::new(0i32);
+        let b = TVar::new(0i32);
+        let (any_a, any_b) = (a.any(), b.any());
+        assert!(any_a.try_lock_commit());
+        assert!(any_b.try_lock_commit());
+        let wv = 5;
+        any_a.apply(&1i32, wv, u64::MAX);
+        assert_eq!(a.core.read_at(wv), Some(1), "applied var shows new value");
+        let reader = {
+            let core = Arc::clone(&b.core);
+            std::thread::spawn(move || core.read_at(wv))
+        };
+        // Let the reader reach the spin window while `b` is still locked;
+        // a torn read_at returns Some(0) here without waiting.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        any_b.apply(&2i32, wv, u64::MAX);
+        assert_eq!(
+            reader.join().unwrap(),
+            Some(2),
+            "snapshot saw a torn write set"
+        );
+    }
+
+    #[test]
+    fn read_at_serves_chain_without_waiting_when_head_is_newer() {
+        // An in-flight publish only forces a wait when the committed head
+        // is still at or below the snapshot: a head already newer proves
+        // the pending version is newer too, so the chain answers at once.
+        let v = TVar::new(0u32);
+        let any = v.any();
+        // horizon 0 retains the outgoing head on the chain: [(0, 0)].
+        any.apply(&1u32, 4, 0);
+        assert!(any.try_lock_commit(), "simulate a publish in flight");
+        assert_eq!(v.core.read_at(3), Some(0), "chain hit, no spin");
+        any.unlock_commit();
+        assert_eq!(v.core.read_at(4), Some(1));
     }
 
     #[test]

@@ -687,9 +687,9 @@ impl Txn {
                 return Err(self.handle);
             }
         }
-        guard.publish(|wv| {
+        guard.publish(|wv, horizon| {
             for w in frame.writes.values() {
-                w.var.apply(w.val.as_ref(), wv);
+                w.var.apply(w.val.as_ref(), wv, horizon);
             }
         });
         drop(lane);
@@ -792,9 +792,9 @@ impl Txn {
             }
             // Point of no return: a doom can no longer land.
             if let Some(guard) = guard {
-                guard.publish(|wv| {
+                guard.publish(|wv, horizon| {
                     for w in frame.writes.values() {
-                        w.var.apply(w.val.as_ref(), wv);
+                        w.var.apply(w.val.as_ref(), wv, horizon);
                     }
                 });
             }
@@ -836,9 +836,9 @@ impl Txn {
         self.handle.begin_commit_unchecked();
         if !frame.writes.is_empty() {
             let guard = clock::CommitGuard::lock_write_set(frame.write_vars());
-            guard.publish(|wv| {
+            guard.publish(|wv, horizon| {
                 for w in frame.writes.values() {
-                    w.var.apply(w.val.as_ref(), wv);
+                    w.var.apply(w.val.as_ref(), wv, horizon);
                 }
             });
         }
