@@ -50,12 +50,20 @@ const ABS_SLACK: f64 = 100.0;
 /// a tuning target), and chain-truncation fallbacks are a bounded escape
 /// hatch — each leaf appears once as a whole-file summary in
 /// BENCH_PR9.json, so no cross-row summing slack is needed.
-const CEILINGS: [(&str, f64); 5] = [
+/// PR 10 gates the dimensional metrics layer: the warm emission loop must
+/// allocate exactly zero times (`metrics_alloc_count` — a discipline, not
+/// a tuning target), and the enabled/disabled ns-per-txn ratio, SUMMED by
+/// the collector across the 4 thread rows, must stay under 12.0 (avg 3×
+/// per row — generous, because 1-CPU wall-clock carries ~38% noise; the
+/// real on-cost is a slab increment per site).
+const CEILINGS: [(&str, f64); 7] = [
     ("repeat_open_commits_per_txn", 12.0),
     ("repeat_excess_lock_acquisitions_per_txn", 3.0),
     ("snapshot_abort_count", 0.0),
     ("snapshot_lock_acquisitions", 0.0),
     ("snapshot_fallback_rate", 0.05),
+    ("metrics_alloc_count", 0.0),
+    ("metrics_on_off_ratio", 12.0),
 ];
 
 /// Collect every `"key": <number>` pair in `src`, summing repeats.

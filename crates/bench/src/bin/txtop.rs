@@ -18,16 +18,29 @@
 //! cargo run -p bench --bin txtop -- --soak --threads 4 --txns 400 \
 //!     --export-json trace.json
 //! cargo run -p bench --bin txtop -- --validate trace.json
+//! cargo run -p bench --bin txtop -- --metrics --threads 4 --txns 400
+//! cargo run -p bench --bin txtop -- --metrics --validate
 //! ```
 //!
-//! `--validate` re-parses the exported JSON with a dependency-free
+//! `--validate FILE` re-parses the exported JSON with a dependency-free
 //! recursive-descent parser and checks the structural invariants the CI
 //! traced-soak step relies on (schema version, event shapes, begin/terminal
 //! pairing, at least one incompatible doom edge, abort/edge attribution
 //! agreement). Exit status 0 = valid.
+//!
+//! `--metrics` runs the soak under the dimensional metrics layer
+//! (`stm::metrics`) with the flight recorder armed, then renders the
+//! windowed per-class/per-stripe doom-rate table, the hottest contended
+//! stripes, and the latency percentiles (commit, semantic-lock wait, txn
+//! wall, snapshot read). `--metrics --validate` instead takes two
+//! Prometheus scrapes with soak activity between them and checks the
+//! exposition is parseable, internally consistent (cumulative buckets,
+//! `+Inf` == `_count`), and monotone series-by-series — the CI metrics
+//! step. Exit status 0 = valid.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use stm::metrics::{self, MetricKind, ALL_HISTS};
 use stm::trace::{self, TraceConfig, TraceEvent};
 use stm::{atomic, atomic_read, global_stats, AbortCause};
 use txcollections::TransactionalMap;
@@ -229,6 +242,262 @@ fn report(snap: &trace::TraceSnapshot) {
     } else {
         println!("  (interval too short to estimate)");
     }
+}
+
+// ----------------------------------------------------------------------
+// Dimensional metrics mode
+// ----------------------------------------------------------------------
+
+/// How many landed dooms on one `(class, stripe)` within the soak window
+/// fire a flight-recorder dump.
+const METRICS_DOOM_THRESHOLD: u64 = 16;
+
+/// Run the soak under `stm::metrics` with the flight recorder armed, then
+/// render the windowed doom-rate table, hottest stripes, and latency
+/// percentiles.
+fn run_metrics_soak(threads: u64, txns: u64, repeat_keys: bool) -> ExitCode {
+    let cfg = metrics::FlightRecorderConfig {
+        dir: std::env::temp_dir().join(format!("stm-flightrec-{}", std::process::id())),
+        doom_threshold: METRICS_DOOM_THRESHOLD,
+        ring_slots: 1 << 16,
+    };
+    let mut rec = match metrics::FlightRecorder::arm(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("txtop: cannot arm the flight recorder: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let before = metrics::window();
+    // Same widening loop as --soak: a lucky serialized round on a 1-CPU
+    // host may produce no semantic doom at all.
+    let mut rounds = 0;
+    loop {
+        soak_round(threads, txns, repeat_keys);
+        rounds += 1;
+        let w = metrics::window().diff(&before);
+        if w.kind_total(MetricKind::Doom) > 0 || rounds >= 10 {
+            break;
+        }
+    }
+    let w = metrics::window().diff(&before);
+    let secs = (w.wall_ns() as f64 / 1e9).max(1e-9);
+
+    println!("== txtop: dimensional metrics ==");
+    println!(
+        "window: {secs:.2}s over {rounds} round(s) ({threads} threads x {txns} txns), \
+         {} dropped increments",
+        w.dropped()
+    );
+    println!(
+        "commits: {} ({:.0}/s), aborts: {} read-invalid, {} doomed, {} explicit",
+        w.kind_total(MetricKind::Commit),
+        w.kind_total(MetricKind::Commit) as f64 / secs,
+        w.kind_total(MetricKind::AbortReadInvalid),
+        w.kind_total(MetricKind::AbortDoomed),
+        w.kind_total(MetricKind::AbortExplicit),
+    );
+    println!(
+        "lock cache hits: {}, lane entries: {}, epoch pins: {}, snapshot fallbacks: {}",
+        w.kind_total(MetricKind::CacheHit),
+        w.kind_total(MetricKind::LaneEntry),
+        w.kind_total(MetricKind::EpochPin),
+        w.kind_total(MetricKind::SnapshotFallback),
+    );
+
+    println!("\n-- doom rate by class and stripe --");
+    let dooms = w.by_class_stripe(MetricKind::Doom);
+    if dooms.is_empty() {
+        println!("  (no semantic dooms in the window)");
+    }
+    for &(class, stripe, n) in dooms.iter().take(10) {
+        println!(
+            "  {:<16} stripe {:<7} {n:>6} dooms  ({:.1}/s)",
+            class.name(),
+            metrics::stripe_label(stripe),
+            n as f64 / secs
+        );
+    }
+
+    println!("\n-- hottest contended stripes (blocked acquisitions) --");
+    let blocked = w.by_class_stripe(MetricKind::StripeBlocked);
+    if blocked.is_empty() {
+        println!("  (no stripe ever blocked)");
+    }
+    for &(class, stripe, n) in blocked.iter().take(5) {
+        println!(
+            "  {:<16} stripe {:<7} {n:>6} blocked  ({:.1}/s)",
+            class.name(),
+            metrics::stripe_label(stripe),
+            n as f64 / secs
+        );
+    }
+
+    println!("\n-- latency percentiles (ns, log2 bucket upper bounds) --");
+    println!(
+        "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50", "p90", "p99", "max"
+    );
+    for kind in ALL_HISTS {
+        let h = w.histogram(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            kind.name(),
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max
+        );
+    }
+
+    println!("\n-- flight recorder --");
+    match rec.poll() {
+        Ok(Some(path)) => println!(
+            "  doom threshold ({METRICS_DOOM_THRESHOLD}/window) crossed; dump: {}",
+            path.display()
+        ),
+        Ok(None) => {
+            println!("  no (class, stripe) crossed {METRICS_DOOM_THRESHOLD} dooms in the window")
+        }
+        Err(e) => {
+            eprintln!("txtop: flight-recorder dump failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--metrics --validate`: two cumulative Prometheus scrapes with soak
+/// activity between them must parse, be internally consistent, and be
+/// monotone per series.
+fn run_metrics_validate(threads: u64, txns: u64) -> ExitCode {
+    let guard = metrics::MetricsConfig::default().enable();
+    soak_round(threads, txns, false);
+    let first = metrics::window().to_prometheus();
+    soak_round(threads, txns, false);
+    let second = metrics::window().to_prometheus();
+    drop(guard);
+    match validate_prometheus(&first, &second) {
+        Ok(summary) => {
+            println!("txtop: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("txtop: prometheus exposition INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse one Prometheus text-exposition scrape into `(series, value)` rows
+/// in file order, checking the structural grammar: `# TYPE` lines carry a
+/// known type, sample lines are `name[{labels}] value`, no duplicate
+/// series.
+fn parse_prometheus(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut series: Vec<(String, f64)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(ty) = comment.trim_start().strip_prefix("TYPE ") {
+                let mut it = ty.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+                let ty = it
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE {name} without a type"))?;
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                    return Err(format!("line {lineno}: unknown type \"{ty}\" for {name}"));
+                }
+            }
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {lineno}: sample without a value: {line:?}"));
+        };
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: unparseable value {value:?}"))?;
+        let shape_ok = match (name.find('{'), name.ends_with('}')) {
+            (None, false) => !name.is_empty(),
+            (Some(open), true) => open > 0,
+            _ => false,
+        };
+        if !shape_ok {
+            return Err(format!("line {lineno}: malformed series name {name:?}"));
+        }
+        if series.iter().any(|(s, _)| s == name) {
+            return Err(format!("line {lineno}: duplicate series {name:?}"));
+        }
+        series.push((name.to_string(), value));
+    }
+    Ok(series)
+}
+
+/// Check two scrapes taken in order: each parses, histograms are
+/// internally consistent in the later scrape (cumulative `le` buckets,
+/// `+Inf` bucket equals `_count`), and every series present in the first
+/// scrape is still present and did not decrease in the second.
+fn validate_prometheus(first: &str, second: &str) -> Result<String, String> {
+    let s1 = parse_prometheus(first)?;
+    let s2 = parse_prometheus(second)?;
+
+    if !s2.iter().any(|(n, _)| n.starts_with("stm_events_total{")) {
+        return Err("no stm_events_total series after the soak".into());
+    }
+
+    // Cumulative buckets never decrease within a family (rows are in `le`
+    // order in the exposition), and the +Inf bucket closes at _count.
+    let mut last_bucket: HashMap<&str, f64> = HashMap::new();
+    for (name, v) in &s2 {
+        if let Some(split) = name.find("_bucket{le=") {
+            let family = &name[..split];
+            if let Some(prev) = last_bucket.get(family) {
+                if v < prev {
+                    return Err(format!(
+                        "{family}: bucket counts not cumulative ({prev} then {v})"
+                    ));
+                }
+            }
+            last_bucket.insert(family, *v);
+        }
+    }
+    for (name, count) in &s2 {
+        let Some(family) = name.strip_suffix("_count") else {
+            continue;
+        };
+        let inf = format!("{family}_bucket{{le=\"+Inf\"}}");
+        match s2.iter().find(|(n, _)| n == &inf) {
+            Some((_, v)) if v == count => {}
+            Some((_, v)) => {
+                return Err(format!("{family}: +Inf bucket {v} != _count {count}"));
+            }
+            None => return Err(format!("{family}: histogram without an +Inf bucket")),
+        }
+    }
+
+    for (name, v1) in &s1 {
+        let Some((_, v2)) = s2.iter().find(|(n, _)| n == name) else {
+            return Err(format!("series {name:?} vanished between scrapes"));
+        };
+        if v2 < v1 {
+            return Err(format!("series {name:?} went backwards: {v1} -> {v2}"));
+        }
+    }
+
+    Ok(format!(
+        "prometheus ok: {} then {} series, parseable, cumulative, monotone",
+        s1.len(),
+        s2.len()
+    ))
 }
 
 // ----------------------------------------------------------------------
@@ -671,7 +940,9 @@ fn validate(text: &str) -> Result<String, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: txtop --soak [--threads N] [--txns N] [--repeat-keys] [--export-json FILE]\n\
-        \x20      txtop --validate FILE"
+        \x20      txtop --validate FILE\n\
+        \x20      txtop --metrics [--threads N] [--txns N] [--repeat-keys]\n\
+        \x20      txtop --metrics --validate [--threads N] [--txns N]"
     );
     ExitCode::from(2)
 }
@@ -685,10 +956,13 @@ fn main() -> ExitCode {
     let mut validate_file: Option<String> = None;
     let mut repeat_keys = false;
 
+    let mut metrics_validate = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--soak" => mode = Some("soak"),
+            "--metrics" => mode = Some("metrics"),
+            "--validate" if mode == Some("metrics") => metrics_validate = true,
             "--validate" => {
                 mode = Some("validate");
                 validate_file = it.next().cloned();
@@ -745,6 +1019,13 @@ fn main() -> ExitCode {
                 println!("\nexported {} bytes to {path}", json.len());
             }
             ExitCode::SUCCESS
+        }
+        Some("metrics") => {
+            if metrics_validate {
+                run_metrics_validate(threads, txns)
+            } else {
+                run_metrics_soak(threads, txns, repeat_keys)
+            }
         }
         Some("validate") => {
             let Some(path) = validate_file else {
@@ -880,5 +1161,72 @@ mod tests {
         // No doom edge at all: the traced soak failed its purpose.
         let empty = r#"{"version":1,"dropped":0,"events":[]}"#;
         assert!(validate(empty).unwrap_err().contains("no doom edge"));
+    }
+
+    const SCRAPE_1: &str = "\
+# HELP stm_events_total Dimensional STM runtime events.\n\
+# TYPE stm_events_total counter\n\
+stm_events_total{class=\"map\",stripe=\"3\",kind=\"doom\"} 4\n\
+# TYPE stm_commit_latency_ns histogram\n\
+stm_commit_latency_ns_bucket{le=\"1023\"} 2\n\
+stm_commit_latency_ns_bucket{le=\"+Inf\"} 3\n\
+stm_commit_latency_ns_sum 2400\n\
+stm_commit_latency_ns_count 3\n";
+
+    const SCRAPE_2: &str = "\
+# HELP stm_events_total Dimensional STM runtime events.\n\
+# TYPE stm_events_total counter\n\
+stm_events_total{class=\"map\",stripe=\"3\",kind=\"doom\"} 9\n\
+stm_events_total{class=\"map\",stripe=\"5\",kind=\"doom\"} 1\n\
+# TYPE stm_commit_latency_ns histogram\n\
+stm_commit_latency_ns_bucket{le=\"1023\"} 5\n\
+stm_commit_latency_ns_bucket{le=\"+Inf\"} 7\n\
+stm_commit_latency_ns_sum 7100\n\
+stm_commit_latency_ns_count 7\n";
+
+    #[test]
+    fn prometheus_monotone_scrapes_validate() {
+        let summary = validate_prometheus(SCRAPE_1, SCRAPE_2).unwrap();
+        assert!(summary.contains("monotone"), "{summary}");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_regressions() {
+        // A counter going backwards between scrapes.
+        assert!(validate_prometheus(SCRAPE_2, SCRAPE_1)
+            .unwrap_err()
+            .contains("went backwards"));
+
+        // A series vanishing between scrapes.
+        let missing = SCRAPE_2.replace(
+            "stm_events_total{class=\"map\",stripe=\"5\",kind=\"doom\"} 1\n",
+            "",
+        );
+        assert!(validate_prometheus(SCRAPE_2, &missing)
+            .unwrap_err()
+            .contains("vanished"));
+
+        // +Inf bucket disagreeing with _count.
+        let torn = SCRAPE_2.replace(
+            "stm_commit_latency_ns_count 7",
+            "stm_commit_latency_ns_count 9",
+        );
+        assert!(validate_prometheus(SCRAPE_1, &torn)
+            .unwrap_err()
+            .contains("+Inf"));
+
+        // Non-cumulative buckets.
+        let shrink = SCRAPE_2.replace(
+            "stm_commit_latency_ns_bucket{le=\"+Inf\"} 7",
+            "stm_commit_latency_ns_bucket{le=\"+Inf\"} 4",
+        );
+        assert!(validate_prometheus(SCRAPE_1, &shrink)
+            .unwrap_err()
+            .contains("cumulative"));
+
+        // Lexical garbage.
+        assert!(parse_prometheus("stm_events_total{unclosed 4\n").is_err());
+        assert!(parse_prometheus("stm_events_total four\n").is_err());
+        assert!(parse_prometheus("# TYPE stm_events_total frobnitz\n").is_err());
     }
 }

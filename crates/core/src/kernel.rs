@@ -1,5 +1,8 @@
 //! The semantic-class kernel: one protocol engine under every collection.
 //!
+//! txlint: metrics — metrics-emitter argument spans here must not allocate
+//! or format (TX014).
+//!
 //! Every transactional collection in this crate follows the same recipe
 //! (paper §2.4): take semantic locks in open-nested reads, buffer writes in
 //! transaction-local state, apply the buffer and doom conflicting lock
@@ -456,6 +459,7 @@ impl<C: SemanticClass> SemanticCore<C> {
         if hit {
             self.inner.stats.bump(&self.inner.stats.lock_cache_hits, 1);
             stm::record_lock_cache_hit();
+            stm::metrics::cache_hit(self.inner.stats.class_sym());
             stm::trace::lock_cache_hit(
                 tx.handle().id(),
                 self.inner.stats.class_sym(),
@@ -498,6 +502,7 @@ impl<C: SemanticClass> SemanticCore<C> {
         if hit {
             self.inner.stats.bump(&self.inner.stats.lock_cache_hits, 1);
             stm::record_lock_cache_hit();
+            stm::metrics::cache_hit(self.inner.stats.class_sym());
             stm::trace::lock_cache_hit(
                 tx.handle().id(),
                 self.inner.stats.class_sym(),

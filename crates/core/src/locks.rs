@@ -82,6 +82,9 @@
 //! program order of the handler — that all applies happened-before its
 //! subsequent read, so it observes the fully applied post-commit state.
 //! Each case is exactly the old single-mutex argument, replayed per stripe.
+//!
+//! txlint: metrics — metrics-emitter argument spans here must not allocate
+//! or format (TX014).
 
 use crate::interval::IntervalTree;
 use parking_lot::Mutex;
@@ -90,6 +93,7 @@ use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use stm::metrics;
 use stm::trace::{self, LockKind};
 use stm::{TxHandle, TxState};
 
@@ -474,6 +478,15 @@ impl DoomCtx<'_> {
             self.effect.code(),
             mode_compatible(self.obs, self.effect, overlap),
         );
+        // Dimensional doom counter. Key dooms are attributed to the key's
+        // default-grid stripe bucket (the fold `stripe_index` applies, at
+        // DEFAULT_STRIPES width); every other mode's lock lives in the
+        // global stripe.
+        let stripe = match self.obs {
+            ObsMode::Key => (self.key_hash ^ (self.key_hash >> 32)) & (DEFAULT_STRIPES as u64 - 1),
+            _ => u64::MAX,
+        };
+        metrics::doom_landed(self.stats.class_sym(), stripe);
     }
 }
 
@@ -733,7 +746,11 @@ impl<G> GlobalStripe<G> {
                 // Global-stripe contention: stripe index u64::MAX by
                 // convention (see `trace::TraceEvent::SemLockBlocked`).
                 trace::sem_lock_blocked(stats.class_sym(), u64::MAX);
-                self.inner.lock()
+                metrics::stripe_blocked(stats.class_sym(), u64::MAX);
+                let wait_t0 = metrics::timer();
+                let g = self.inner.lock();
+                metrics::hist_elapsed(metrics::HistKind::SemLockWait, wait_t0);
+                g
             }
         };
         f(&mut guard)
@@ -818,7 +835,11 @@ impl<S, G> StripedTables<S, G> {
                 stats.stripe_lock_spins.fetch_add(1, Ordering::Relaxed);
                 stm::record_stripe_lock_spin();
                 trace::sem_lock_blocked(stats.class_sym(), idx as u64);
-                self.stripes[idx].lock()
+                metrics::stripe_blocked(stats.class_sym(), idx as u64);
+                let wait_t0 = metrics::timer();
+                let g = self.stripes[idx].lock();
+                metrics::hist_elapsed(metrics::HistKind::SemLockWait, wait_t0);
+                g
             }
         }
     }

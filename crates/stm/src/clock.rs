@@ -4,6 +4,9 @@
 //! to publish writes is through [`CommitGuard`] / [`publish_direct`], so no
 //! collection-layer code can bypass the commit protocol.
 //!
+//! txlint: metrics — metrics-emitter argument spans here must not allocate
+//! or format (TX014).
+//!
 //! The STM uses a single monotonically increasing version clock. Every
 //! committed write stamps its `TVar` with a version drawn from this clock
 //! (one atomic `fetch_add` per writing commit), and every transaction records
@@ -85,6 +88,7 @@ pub(crate) fn fresh_version() -> u64 {
 /// events (enter after acquisition, exit on drop).
 pub(crate) fn lane_lock(txn: u64) -> LaneGuard {
     stats::record_lane_entry();
+    crate::metrics::lane_entered();
     let inner = HANDLER_LANE.lock();
     trace::lane_enter(txn);
     LaneGuard { txn, _inner: inner }

@@ -1,5 +1,8 @@
 //! Epoch-based reclamation for the multi-version `TVar` chains.
 //!
+//! txlint: metrics — metrics-emitter argument spans here must not allocate
+//! or format (TX014).
+//!
 //! Snapshot transactions ([`crate::atomic_read`]) read old committed values
 //! out of a per-var history chain (see `tvar.rs`). Those chain entries must
 //! stay alive for as long as some snapshot might still read them, and be
@@ -125,6 +128,7 @@ impl Drop for PinGuard {
 /// depth bound (a pin outrun by more than `MAX_CHAIN_DEPTH` publishes to
 /// one var) and snapshot-incapable backends.
 pub(crate) fn pin() -> PinGuard {
+    crate::metrics::pin_entered();
     let mut epoch = crate::clock::now();
     let first = PIN_STATE.with(|st| {
         let mut st = st.borrow_mut();

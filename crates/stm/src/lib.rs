@@ -69,6 +69,7 @@ mod epoch;
 mod handle;
 mod handlers;
 mod interrupt;
+pub mod metrics;
 mod runtime;
 mod stats;
 pub mod trace;
@@ -83,7 +84,7 @@ pub use interrupt::{abort_and_retry, user_abort, AbortCause};
 pub use runtime::{atomic, atomic_read, atomic_with, speculate, PreparedTxn, RunOpts};
 pub use stats::{
     global_stats, record_global_stripe_entry, record_lock_cache_hit, record_open_flattened,
-    record_stripe_lock_spin, reset_global_stats, StatsSnapshot,
+    record_stripe_lock_spin, reset_global_stats, StatsSnapshot, TornWindow,
 };
 pub use tvar::{label_var, var_label, TVar, VarId};
 pub use txn::{Txn, TxnMode};

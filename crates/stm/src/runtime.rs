@@ -1,12 +1,15 @@
 //! Execution drivers: the threaded retry loop and the simulator-facing
 //! prepared-transaction API.
+//!
+//! txlint: metrics — metrics-emitter argument spans here must not allocate
+//! or format (TX014).
 
 use crate::contention::{BackoffPolicy, ContentionManager};
 use crate::handle::TxHandle;
 use crate::interrupt::{self, AbortCause, TxInterrupt};
 use crate::tvar::VarId;
 use crate::txn::Txn;
-use crate::{epoch, stats, trace};
+use crate::{epoch, metrics, stats, trace};
 use std::sync::Arc;
 
 /// Options for [`atomic_with`].
@@ -38,6 +41,8 @@ pub fn atomic<T>(f: impl FnMut(&mut Txn) -> T) -> T {
 /// [`atomic`] with explicit [`RunOpts`].
 pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
     let cm = ContentionManager::new(opts.backoff);
+    // Wall time spans every retry attempt: the latency the *caller* sees.
+    let wall_t0 = metrics::timer();
     let mut attempts: u32 = 0;
     loop {
         let handle = TxHandle::new(attempts);
@@ -45,7 +50,10 @@ pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
         match outcome {
             Ok(v) => match tx.try_commit_top() {
-                Ok(()) => return v,
+                Ok(()) => {
+                    metrics::hist_elapsed(metrics::HistKind::TxnWall, wall_t0);
+                    return v;
+                }
                 Err(cause) => {
                     tx.run_abort_path(cause);
                 }
@@ -117,6 +125,7 @@ pub fn atomic_with<T>(opts: RunOpts, mut f: impl FnMut(&mut Txn) -> T) -> T {
 /// assert_eq!(sum, 12);
 /// ```
 pub fn atomic_read<T>(mut f: impl FnMut(&mut Txn) -> T) -> T {
+    let read_t0 = metrics::timer();
     let pin = epoch::pin();
     let handle = TxHandle::new(0);
     let mut tx = Txn::new_snapshot(handle, pin.epoch());
@@ -124,6 +133,7 @@ pub fn atomic_read<T>(mut f: impl FnMut(&mut Txn) -> T) -> T {
     match outcome {
         Ok(v) => {
             tx.finish_snapshot();
+            metrics::hist_elapsed(metrics::HistKind::SnapshotRead, read_t0);
             v
         }
         Err(payload) => {
@@ -143,6 +153,7 @@ pub fn atomic_read<T>(mut f: impl FnMut(&mut Txn) -> T) -> T {
                     // chain reclamation for everyone.
                     drop(pin);
                     stats::record_snapshot_fallback();
+                    metrics::fallback_taken();
                     atomic(f)
                 }
                 Ok(TxInterrupt::Misuse(diag)) => {

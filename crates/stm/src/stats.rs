@@ -32,6 +32,12 @@ struct Counters {
     chain_entries_reclaimed: AtomicU64,
 }
 
+/// Bumped by every [`reset_global_stats`], sampled into
+/// [`StatsSnapshot::generation`]: two snapshots straddling a reset carry
+/// different generations, which is how [`StatsSnapshot::diff_checked`]
+/// detects a torn window instead of fabricating a saturated-to-zero delta.
+static RESET_GENERATION: AtomicU64 = AtomicU64::new(0);
+
 static COUNTERS: Counters = Counters {
     commits: AtomicU64::new(0),
     aborts_read_invalid: AtomicU64::new(0),
@@ -220,7 +226,38 @@ pub struct StatsSnapshot {
     /// Version-chain entries reclaimed: dropped past the epoch horizon or
     /// the depth bound, or cleared when no snapshot reader was pinned.
     pub chain_entries_reclaimed: u64,
+    /// The [`reset_global_stats`] generation this snapshot was taken at.
+    /// Two snapshots with different generations straddle a reset: their
+    /// windowed difference is meaningless (every counter "went backwards"
+    /// and would silently saturate to zero). [`StatsSnapshot::diff_checked`]
+    /// reports that as [`TornWindow`]; the unchecked [`StatsSnapshot::diff`]
+    /// keeps its legacy saturating behavior for harnesses that own their
+    /// reset discipline.
+    pub generation: u64,
 }
+
+/// Error from [`StatsSnapshot::diff_checked`]: the two snapshots straddle a
+/// [`reset_global_stats`] call, so their difference is not a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWindow {
+    /// Generation of the earlier snapshot.
+    pub earlier: u64,
+    /// Generation of the later snapshot.
+    pub later: u64,
+}
+
+impl std::fmt::Display for TornWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "torn stats window: reset_global_stats ran between the snapshots \
+             (generation {} -> {})",
+            self.earlier, self.later
+        )
+    }
+}
+
+impl std::error::Error for TornWindow {}
 
 impl StatsSnapshot {
     /// Total aborts of top-level attempts.
@@ -274,6 +311,7 @@ impl StatsSnapshot {
             chain_entries_reclaimed: self
                 .chain_entries_reclaimed
                 .saturating_sub(earlier.chain_entries_reclaimed),
+            generation: self.generation,
         }
     }
 
@@ -282,6 +320,25 @@ impl StatsSnapshot {
     #[must_use]
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         self.diff(earlier)
+    }
+
+    /// Did a [`reset_global_stats`] run between `earlier` and `self`? When
+    /// true, any field-wise difference is a torn window, not a measurement.
+    pub fn torn_since(&self, earlier: &StatsSnapshot) -> bool {
+        self.generation != earlier.generation
+    }
+
+    /// [`StatsSnapshot::diff`] that refuses to fabricate: if the snapshots
+    /// straddle a reset (different [`StatsSnapshot::generation`]s), returns
+    /// [`TornWindow`] instead of a silently saturated-to-zero delta.
+    pub fn diff_checked(&self, earlier: &StatsSnapshot) -> Result<StatsSnapshot, TornWindow> {
+        if self.torn_since(earlier) {
+            return Err(TornWindow {
+                earlier: earlier.generation,
+                later: self.generation,
+            });
+        }
+        Ok(self.diff(earlier))
     }
 }
 
@@ -309,12 +366,19 @@ pub fn global_stats() -> StatsSnapshot {
         snapshot_reads: COUNTERS.snapshot_reads.load(Ordering::Relaxed),
         snapshot_fallbacks: COUNTERS.snapshot_fallbacks.load(Ordering::Relaxed),
         chain_entries_reclaimed: COUNTERS.chain_entries_reclaimed.load(Ordering::Relaxed),
+        generation: RESET_GENERATION.load(Ordering::Relaxed),
     }
 }
 
-/// Zero the global counters. Tests in the same process race on this; prefer
-/// snapshot-and-[`StatsSnapshot::since`] in concurrent tests.
+/// Zero the global counters and bump the reset generation (so in-flight
+/// snapshot pairs can detect the torn window via
+/// [`StatsSnapshot::diff_checked`]). Tests in the same process race on
+/// this; prefer snapshot-and-[`StatsSnapshot::since`] in concurrent tests.
 pub fn reset_global_stats() {
+    // Bump first: a snapshot taken mid-reset (some counters zeroed, some
+    // not) must already carry the new generation so a pre-reset partner
+    // flags it torn.
+    RESET_GENERATION.fetch_add(1, Ordering::Relaxed);
     COUNTERS.commits.store(0, Ordering::Relaxed);
     COUNTERS.aborts_read_invalid.store(0, Ordering::Relaxed);
     COUNTERS.aborts_doomed.store(0, Ordering::Relaxed);
@@ -370,6 +434,55 @@ mod tests {
         assert_eq!(d.dooms_issued, 0);
         // `since` is an exact alias.
         assert_eq!(later.since(&earlier), d);
+    }
+
+    #[test]
+    fn diff_checked_reports_torn_window_across_reset() {
+        // The race diff_is_fieldwise_and_saturating documents ("went
+        // backwards (reset raced): saturates to 0") is now detectable: the
+        // generations differ, so the checked diff refuses.
+        let earlier = StatsSnapshot {
+            commits: 10,
+            generation: 4,
+            ..StatsSnapshot::default()
+        };
+        let later = StatsSnapshot {
+            commits: 2, // lower than earlier: a reset happened in between
+            generation: 5,
+            ..StatsSnapshot::default()
+        };
+        assert!(later.torn_since(&earlier));
+        let err = later.diff_checked(&earlier).unwrap_err();
+        assert_eq!(
+            err,
+            TornWindow {
+                earlier: 4,
+                later: 5
+            }
+        );
+        assert!(err.to_string().contains("torn stats window"));
+        // Same generation: checked diff agrees with the unchecked one.
+        let later_ok = StatsSnapshot {
+            commits: 12,
+            generation: 4,
+            ..earlier
+        };
+        assert!(!later_ok.torn_since(&earlier));
+        assert_eq!(
+            later_ok.diff_checked(&earlier).unwrap(),
+            later_ok.diff(&earlier)
+        );
+    }
+
+    #[test]
+    fn reset_bumps_generation() {
+        let _g = crate::trace::TEST_LOCK.lock();
+        let before = global_stats();
+        reset_global_stats();
+        let after = global_stats();
+        assert!(after.generation > before.generation);
+        assert!(after.torn_since(&before));
+        assert!(after.diff_checked(&before).is_err());
     }
 
     #[test]

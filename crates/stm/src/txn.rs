@@ -1,9 +1,13 @@
 //! Transaction contexts, nesting frames, and the commit machinery.
+//!
+//! txlint: metrics — metrics-emitter argument spans here must not allocate
+//! or format (TX014).
 
 use crate::clock;
 use crate::handle::TxHandle;
 use crate::handlers::{Handler, LocalUndo};
 use crate::interrupt::{self, AbortCause, TxInterrupt};
+use crate::metrics;
 use crate::stats;
 use crate::trace;
 use crate::tvar::{AnyVar, TVar, VarId};
@@ -763,6 +767,7 @@ impl Txn {
     pub(crate) fn try_commit_top(&mut self) -> Result<(), AbortCause> {
         debug_assert!(!self.is_open_child);
         debug_assert_eq!(self.frames.len(), 1, "unbalanced nesting at commit");
+        let commit_t0 = metrics::timer();
         let frame = &self.frames[0];
         let has_handlers = !frame.commit_handlers.is_empty();
         // Lane before var locks, never the reverse: a lane-holder's direct
@@ -805,6 +810,8 @@ impl Txn {
         }
         drop(lane);
         stats::record_commit();
+        metrics::hist_elapsed(metrics::HistKind::CommitLatency, commit_t0);
+        metrics::commit_counted();
         trace::txn_commit(self.handle.id());
         if !has_handlers {
             stats::record_lane_free_commit();
@@ -848,6 +855,7 @@ impl Txn {
         }
         drop(lane);
         stats::record_commit();
+        metrics::commit_counted();
         trace::txn_commit(self.handle.id());
         if !has_handlers {
             stats::record_lane_free_commit();
@@ -862,6 +870,7 @@ impl Txn {
         debug_assert!(self.snapshot.is_some());
         self.handle.mark_committed();
         stats::record_commit();
+        metrics::commit_counted();
         if self.snapshot_reads_served > 0 {
             stats::record_snapshot_reads(self.snapshot_reads_served);
         }
@@ -954,6 +963,7 @@ impl Txn {
             self.handle.mark_aborted();
         }
         stats::record_abort(cause);
+        metrics::abort_counted(cause);
         // Every begun attempt reaches exactly one of `trace::txn_commit` /
         // this emission, so a trace never holds a dangling begin.
         let culprit = if cause == AbortCause::Doomed {

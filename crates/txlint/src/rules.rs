@@ -268,6 +268,7 @@ pub fn analyze_source(path: &Path, src: &str) -> Vec<Finding> {
     tx011_unlogged_eager_mutation(path, src, &m, &mut out);
     tx012_read_only_open(path, src, &m, &mut out);
     tx013_snapshot_mode_locking(path, src, &m, &mut out);
+    tx014_alloc_in_metrics_emission(path, src, &m, &mut out);
 
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -703,6 +704,123 @@ fn tx009_alloc_in_trace_emission(path: &Path, m: &FileModel, out: &mut Vec<Findi
                 t,
                 "TX009",
                 format!("per-event `intern(..)` in `{emitter}(..)` trace emission"),
+                HELP,
+            ));
+        }
+    }
+}
+
+/// The `stm::metrics` emission functions whose argument spans must stay
+/// allocation-free (TX014, the dimensional-metrics mirror of TX009). Bare
+/// call names, matched with the same call-shape test as [`TRACE_EMITTERS`].
+const METRICS_EMITTERS: [&str; 10] = [
+    "doom_landed",
+    "stripe_blocked",
+    "cache_hit",
+    "lane_entered",
+    "pin_entered",
+    "fallback_taken",
+    "commit_counted",
+    "abort_counted",
+    "hist_elapsed",
+    "hist_record_ns",
+];
+
+/// Marker comment (assembled at runtime so this file never carries the
+/// contiguous text) declaring a file to contain metrics emission sites
+/// whose argument spans must not allocate or format.
+fn metrics_marker() -> String {
+    format!("txlint: {}", "metrics")
+}
+
+/// TX014: no allocation or formatting inside metrics-emitter argument
+/// spans, in files carrying the metrics marker. The metrics layer promises
+/// one relaxed load per site when disabled and zero allocation when
+/// enabled; a `format!`/`String::..`/`.to_string()`/`intern(..)` inside an
+/// emitter call defeats that on every emission. Mirror of TX009, gated by
+/// the marker because the emitter names are ordinary words that would
+/// false-positive in unrelated files.
+fn tx014_alloc_in_metrics_emission(path: &Path, src: &str, m: &FileModel, out: &mut Vec<Finding>) {
+    if !src.contains(&metrics_marker()) {
+        return;
+    }
+    let toks = m.toks;
+    let brackets = match_brackets(toks);
+    // Argument spans of metrics-emitter *calls* (their `fn` declarations in
+    // metrics.rs are not call sites).
+    let mut spans: Vec<(usize, usize, &str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !METRICS_EMITTERS.contains(&t.text.as_str())
+            || (i >= 1 && toks[i - 1].is_ident("fn"))
+            || toks.get(i + 1).and_then(Tok::punct) != Some('(')
+        {
+            continue;
+        }
+        if let Some(&close) = brackets.get(&(i + 1)) {
+            spans.push((i + 1, close, t.text.as_str()));
+        }
+    }
+    if spans.is_empty() {
+        return;
+    }
+    const HELP: &str = "metrics counters are fixed-key slab increments on hot paths; pass integers and pre-interned Sym values (intern the class name once at collection construction, not per emission)";
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(&(_, _, emitter)) = spans.iter().find(|&&(o, c, _)| o < i && i < c) else {
+            continue;
+        };
+        let prev_punct = i.checked_sub(1).and_then(|p| toks[p].punct());
+        let next_punct = toks.get(i + 1).and_then(Tok::punct);
+        let next2_punct = toks.get(i + 2).and_then(Tok::punct);
+        let name = t.text.as_str();
+
+        // `format!(..)` allocates a String per emission.
+        if name == "format" && next_punct == Some('!') {
+            out.push(finding(
+                path,
+                t,
+                "TX014",
+                format!("allocating `format!` in `{emitter}(..)` metrics emission"),
+                HELP,
+            ));
+            continue;
+        }
+        // `String::from(..)` / `String::new()` and friends.
+        if name == "String" && next_punct == Some(':') && next2_punct == Some(':') {
+            out.push(finding(
+                path,
+                t,
+                "TX014",
+                format!("`String::..` construction in `{emitter}(..)` metrics emission"),
+                HELP,
+            ));
+            continue;
+        }
+        // `.to_string()` / `.to_owned()` on a payload expression.
+        if (name == "to_string" || name == "to_owned")
+            && prev_punct == Some('.')
+            && next_punct == Some('(')
+        {
+            out.push(finding(
+                path,
+                t,
+                "TX014",
+                format!("allocating `.{name}()` in `{emitter}(..)` metrics emission"),
+                HELP,
+            ));
+            continue;
+        }
+        // `intern(..)` per emission: interning takes the global symbol-table
+        // mutex and is meant to run once per class, at construction.
+        if name == "intern" && next_punct == Some('(') {
+            out.push(finding(
+                path,
+                t,
+                "TX014",
+                format!("per-emission `intern(..)` in `{emitter}(..)` metrics emission"),
                 HELP,
             ));
         }
@@ -1645,6 +1763,71 @@ mod tests {
         let src = "// txlint: snapshot-mode\n\
                    /// Never calls .take_key_lock( or .with_local( here.\n\
                    fn f(&self) { stm::atomic_read(|tx| self.get(tx, &k)); }";
+        assert_eq!(codes(src), Vec::<&str>::new());
+    }
+
+    fn metrics_marked(body: &str) -> String {
+        format!("// {}\n{body}\n", metrics_marker())
+    }
+
+    #[test]
+    fn tx014_allocation_in_metrics_emission() {
+        assert_eq!(
+            codes(&metrics_marked(
+                "fn f() { metrics::doom_landed(intern(class_name), stripe); }"
+            )),
+            vec!["TX014"]
+        );
+        assert_eq!(
+            codes(&metrics_marked(
+                "fn f() { metrics::cache_hit(sym_for(format!(\"{class}\"))); }"
+            )),
+            vec!["TX014"]
+        );
+        assert_eq!(
+            codes(&metrics_marked(
+                "fn f() { metrics::stripe_blocked(key_of(label.to_string()), idx); }"
+            )),
+            vec!["TX014"]
+        );
+        assert_eq!(
+            codes(&metrics_marked(
+                "fn f() { metrics::hist_record_ns(kind_of(String::from(\"commit\")), ns); }"
+            )),
+            vec!["TX014"]
+        );
+    }
+
+    #[test]
+    fn tx014_sanctioned_payloads_are_clean() {
+        // Integers and pre-interned syms are the sanctioned payloads.
+        assert!(codes(&metrics_marked(
+            "fn f() { metrics::doom_landed(self.stats.class_sym(), stripe_of(self.key_hash)); }"
+        ))
+        .is_empty());
+        // The emitters' own declarations (metrics.rs) are not call sites.
+        assert!(codes(&metrics_marked(
+            "pub fn doom_landed(class: Sym, stripe: u64) { bump(class, stripe); }"
+        ))
+        .is_empty());
+        // Allocation outside an emitter span is none of TX014's business.
+        assert!(codes(&metrics_marked(
+            "fn f() { let s = format!(\"x\"); metrics::commit_counted(); }"
+        ))
+        .is_empty());
+        // Construction-time interning (outside any emission span) stays the
+        // sanctioned pattern in marked files too.
+        assert!(codes(&metrics_marked(
+            "fn new() -> Self { Self { class: intern(\"map\") } }"
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn tx014_ignores_unmarked_files() {
+        // The emitter names are ordinary words; without the marker the rule
+        // must not run at all.
+        let src = "fn f() { metrics::doom_landed(intern(class_name), stripe); }";
         assert_eq!(codes(src), Vec::<&str>::new());
     }
 

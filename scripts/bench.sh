@@ -19,6 +19,16 @@
 #                    changing writer vs whole-map observers). Ceiling-gated:
 #                    snapshot_abort_count = 0, snapshot_lock_acquisitions
 #                    = 0, snapshot_fallback_rate bounded.
+#   BENCH_PR10.json — dimensional metrics overhead (PR 10): disjoint-RMW
+#                    ns/txn with metrics off vs on at 1/2/4/8 threads, a
+#                    counting-allocator emission loop, and p50/p99 commit
+#                    latency per backend (TVar RMW vs boosted map) from the
+#                    enabled commit-latency histogram. Ceiling-gated:
+#                    metrics_alloc_count = 0 and the summed on/off ratio.
+#                    As everywhere in this file: 1-CPU container, ns/op
+#                    medians carry ~38% run-to-run noise — counters and
+#                    percentile bucket bounds are the stable signals,
+#                    wall-clock is context.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +47,9 @@ cat BENCH_PR8.json
 cargo bench -q -p bench --bench snapshot_reads >BENCH_PR9.json
 cat BENCH_PR9.json
 
+cargo bench -q -p bench --bench metrics_overhead >BENCH_PR10.json
+cat BENCH_PR10.json
+
 # Counter-based regression gate: the new report's protocol counters may not
 # blow past the previous PR's where the two are comparable, and the
 # amortization sweep's repeat_* per-txn leaves must stay under their
@@ -44,6 +57,7 @@ cat BENCH_PR9.json
 # wall-clock gates).
 cargo run -q --release -p bench --bin benchdiff -- BENCH_PR7.json BENCH_PR8.json
 cargo run -q --release -p bench --bin benchdiff -- BENCH_PR8.json BENCH_PR9.json
+cargo run -q --release -p bench --bin benchdiff -- BENCH_PR9.json BENCH_PR10.json
 
 # Smoke the provenance reporter end to end: traced contended-map soak,
 # export, re-parse and structurally validate the exported trace. The second
@@ -54,3 +68,11 @@ cargo build -q --release -p bench --bin txtop
 ./target/release/txtop --validate target/txtop_trace.json
 ./target/release/txtop --soak --threads 4 --txns 300 --repeat-keys --export-json target/txtop_repeat_trace.json
 ./target/release/txtop --validate target/txtop_repeat_trace.json
+
+# Dimensional metrics end to end: a contended soak under the metrics layer
+# with the flight recorder armed (renders the per-class/per-stripe doom-rate
+# table and the latency percentiles), then the Prometheus validation pass —
+# two cumulative scrapes with soak activity between must parse and stay
+# monotone series-by-series.
+./target/release/txtop --metrics --threads 4 --txns 300
+./target/release/txtop --metrics --validate --threads 2 --txns 200
